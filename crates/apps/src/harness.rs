@@ -1,0 +1,242 @@
+//! Shared experiment harness: run a case study on I-Cilk and on the
+//! baseline, collect per-level statistics, and compute the ratios the paper
+//! plots.
+
+use rp_icilk::master::MasterConfig;
+use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_sim::latency::LatencyModel;
+use rp_sim::stats::{ratio, LatencyStats, RatioSummary};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration shared by all three case studies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of worker threads for the server.
+    pub workers: usize,
+    /// Number of simulated client connections (proxy / email) or arrival
+    /// intensity scale (jserver).
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Simulated I/O latency model.
+    pub io_latency: LatencyModel,
+    /// Seed for all randomised pieces of the workload.
+    pub seed: u64,
+    /// Master scheduler parameters (quantum, threshold, γ).
+    pub quantum_micros: u64,
+    /// Utilization threshold for the master.
+    pub utilization_threshold: f64,
+    /// Growth parameter γ.
+    pub growth: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            workers: 4,
+            connections: 16,
+            requests_per_connection: 8,
+            io_latency: LatencyModel::Uniform { lo: 200, hi: 1_500 },
+            seed: 42,
+            quantum_micros: 500,
+            utilization_threshold: 0.9,
+            growth: 2.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The master-scheduler configuration implied by this experiment config.
+    pub fn master(&self) -> MasterConfig {
+        MasterConfig {
+            quantum: Duration::from_micros(self.quantum_micros),
+            utilization_threshold: self.utilization_threshold,
+            growth: self.growth,
+        }
+    }
+
+    /// Builds the runtime configuration for the given scheduler flavour and
+    /// priority level names (lowest first).
+    pub fn runtime_config(&self, scheduler: SchedulerKind, level_names: &[&str]) -> RuntimeConfig {
+        RuntimeConfig::new(self.workers, level_names.len())
+            .with_level_names(level_names.to_vec())
+            .with_scheduler(scheduler)
+            .with_master(self.master())
+            .with_io_latency(self.io_latency, self.seed)
+    }
+
+    /// Starts a runtime for this experiment.
+    pub fn start_runtime(&self, scheduler: SchedulerKind, level_names: &[&str]) -> Runtime {
+        Runtime::start(self.runtime_config(scheduler, level_names))
+    }
+}
+
+/// Per-priority-level results of one run of one application on one
+/// scheduler.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// The level's name.
+    pub name: String,
+    /// The level's index (0 = lowest).
+    pub level: usize,
+    /// Compute-time statistics of tasks at this level.
+    pub compute: LatencyStats,
+    /// Response-time statistics of tasks at this level.
+    pub response: LatencyStats,
+}
+
+/// The results of running one application once on one scheduler.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which scheduler ran it.
+    pub scheduler: SchedulerKind,
+    /// Client-observed response times (request issued → reply delivered) for
+    /// the highest-priority interactive path.
+    pub client_response: LatencyStats,
+    /// Per-level task statistics, lowest level first.
+    pub levels: Vec<LevelReport>,
+}
+
+/// The paired comparison the figures plot: baseline (Cilk-F) over treatment
+/// (I-Cilk), so values above 1 mean I-Cilk is better.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Application name.
+    pub app: String,
+    /// The configuration used.
+    pub config: ExperimentConfig,
+    /// The I-Cilk run.
+    pub icilk: RunReport,
+    /// The baseline run.
+    pub baseline: RunReport,
+}
+
+impl ExperimentReport {
+    /// The responsiveness ratio (baseline / I-Cilk) of client-observed
+    /// response times — the quantity of Figure 13.
+    pub fn responsiveness_ratio(&self) -> Option<RatioSummary> {
+        ratio(&self.baseline.client_response, &self.icilk.client_response)
+    }
+
+    /// The compute-time ratio (baseline / I-Cilk) for one priority level —
+    /// the quantity of Figure 14.
+    pub fn compute_ratio(&self, level: usize) -> Option<RatioSummary> {
+        let b = &self.baseline.levels.get(level)?.compute;
+        let t = &self.icilk.levels.get(level)?.compute;
+        ratio(b, t)
+    }
+
+    /// Renders one figure-style row: app, connections, then mean/p95 ratios.
+    pub fn figure13_row(&self) -> String {
+        match self.responsiveness_ratio() {
+            Some(r) => format!(
+                "{:<8} conns={:<4} responsiveness ratio: mean {:.2}x  p95 {:.2}x  (I-Cilk mean {:.0}µs)",
+                self.app,
+                self.config.connections,
+                r.mean_ratio,
+                r.p95_ratio,
+                self.icilk.client_response.mean_micros().unwrap_or(0.0)
+            ),
+            None => format!("{:<8} conns={:<4} (no samples)", self.app, self.config.connections),
+        }
+    }
+
+    /// Renders Figure 14 style rows: one per level, highest priority first.
+    pub fn figure14_rows(&self) -> Vec<String> {
+        let mut rows = Vec::new();
+        for level in (0..self.icilk.levels.len()).rev() {
+            let name = &self.icilk.levels[level].name;
+            match self.compute_ratio(level) {
+                Some(r) => rows.push(format!(
+                    "{:<8} conns={:<4} level {:<12} compute ratio: mean {:.2}x  p95 {:.2}x",
+                    self.app, self.config.connections, name, r.mean_ratio, r.p95_ratio
+                )),
+                None => rows.push(format!(
+                    "{:<8} conns={:<4} level {:<12} (no samples)",
+                    self.app, self.config.connections, name
+                )),
+            }
+        }
+        rows
+    }
+}
+
+/// Builds a [`RunReport`] from a runtime's metrics snapshot plus the
+/// client-side response samples gathered by the application driver.
+pub fn run_report(
+    scheduler: SchedulerKind,
+    rt: &Runtime,
+    level_names: &[&str],
+    client_response: LatencyStats,
+) -> RunReport {
+    let snap = rt.metrics();
+    let levels = level_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| LevelReport {
+            name: (*name).to_string(),
+            level: i,
+            compute: snap.compute.get(i).cloned().unwrap_or_default(),
+            response: snap.response.get(i).cloned().unwrap_or_default(),
+        })
+        .collect();
+    RunReport {
+        scheduler,
+        client_response,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ExperimentConfig::default();
+        assert!(c.workers >= 1);
+        assert_eq!(c.master().growth, 2.0);
+        assert_eq!(c.master().quantum, Duration::from_micros(500));
+    }
+
+    #[test]
+    fn runtime_config_carries_levels_and_scheduler() {
+        let c = ExperimentConfig::default();
+        let rc = c.runtime_config(SchedulerKind::Baseline, &["a", "b", "c"]);
+        assert_eq!(rc.levels, 3);
+        assert_eq!(rc.scheduler, SchedulerKind::Baseline);
+    }
+
+    #[test]
+    fn report_ratios_and_rows() {
+        let mut fast = LatencyStats::new();
+        let mut slow = LatencyStats::new();
+        for v in [10_000u64, 20_000, 30_000] {
+            fast.record_value(v);
+            slow.record_value(v * 3);
+        }
+        let mk_run = |sched, client: &LatencyStats| RunReport {
+            scheduler: sched,
+            client_response: client.clone(),
+            levels: vec![LevelReport {
+                name: "only".into(),
+                level: 0,
+                compute: client.clone(),
+                response: client.clone(),
+            }],
+        };
+        let report = ExperimentReport {
+            app: "test".into(),
+            config: ExperimentConfig::default(),
+            icilk: mk_run(SchedulerKind::ICilk, &fast),
+            baseline: mk_run(SchedulerKind::Baseline, &slow),
+        };
+        let r = report.responsiveness_ratio().unwrap();
+        assert!((r.mean_ratio - 3.0).abs() < 1e-9);
+        assert!(report.figure13_row().contains("responsiveness ratio"));
+        assert_eq!(report.figure14_rows().len(), 1);
+        assert!(report.compute_ratio(0).is_some());
+        assert!(report.compute_ratio(7).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end case-study runs (small configurations) on
+//! I-Cilk vs the baseline — the benchmark-sized version of Figures 13/14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_apps::harness::ExperimentConfig;
+use rp_apps::{jserver, proxy};
+use rp_sim::latency::LatencyModel;
+use std::time::Duration;
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workers: 2,
+        connections: 4,
+        requests_per_connection: 3,
+        io_latency: LatencyModel::Constant { micros: 200 },
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let config = small_config();
+    group.bench_with_input(
+        BenchmarkId::new("proxy", "both-schedulers"),
+        &config,
+        |b, cfg| b.iter(|| proxy::run_experiment(cfg)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("jserver", "both-schedulers"),
+        &config,
+        |b, cfg| b.iter(|| jserver::run_experiment(cfg)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: cost of the Section 2 analyses (well-formedness,
+//! a-strengthening, a-span, competitor work, the Theorem 2.3 bound) on
+//! randomly generated well-formed DAGs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_core::prelude::*;
+use std::time::Duration;
+
+fn dag_of_size(depth: usize, seed: u64) -> CostDag {
+    let config = RandomDagConfig {
+        priority_levels: 3,
+        max_depth: depth,
+        max_children: 3,
+        max_thread_len: 5,
+        touch_probability: 0.7,
+        weak_edge_probability: 0.3,
+    };
+    RandomDagGenerator::new(config, seed).generate()
+}
+
+fn bench_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for depth in [3usize, 4, 5] {
+        let dag = dag_of_size(depth, 7);
+        let main = dag.threads().next().expect("root thread");
+        group.bench_with_input(
+            BenchmarkId::new("well_formed", dag.vertex_count()),
+            &dag,
+            |b, dag| b.iter(|| check_well_formed(dag).is_ok()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("response_time_bound", dag.vertex_count()),
+            &dag,
+            |b, dag| b.iter(|| response_time_bound(dag, main, 8)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bound_check_vs_prompt_schedule", dag.vertex_count()),
+            &dag,
+            |b, dag| {
+                let sched = prompt_schedule(dag, 8);
+                b.iter(|| check_response_time_bound(dag, &sched, main))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound);
+criterion_main!(benches);

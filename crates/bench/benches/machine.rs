@@ -1,0 +1,42 @@
+//! Criterion bench: the λ⁴ᵢ abstract machine — type checking and running the
+//! example programs under the prompt and oblivious D-Par policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_lambda4i::policy::SelectionPolicy;
+use rp_lambda4i::progs;
+use rp_lambda4i::run::{run_program, RunConfig};
+use rp_lambda4i::typecheck::typecheck_program;
+use std::time::Duration;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda4i");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    for prog in [progs::parallel_fib(5), progs::server_with_background(3, 6)] {
+        group.bench_with_input(
+            BenchmarkId::new("typecheck", &prog.name),
+            &prog,
+            |b, prog| b.iter(|| typecheck_program(prog).expect("type checks")),
+        );
+        for (policy, label) in [
+            (SelectionPolicy::Prompt, "run-prompt"),
+            (SelectionPolicy::Oblivious, "run-oblivious"),
+        ] {
+            let config = RunConfig {
+                cores: 2,
+                policy,
+                max_steps: 1_000_000,
+            };
+            group.bench_with_input(BenchmarkId::new(label, &prog.name), &prog, |b, prog| {
+                b.iter(|| run_program(prog, &config).expect("runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: offline schedulers (prompt vs oblivious vs random) on
+//! random well-formed DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_core::prelude::*;
+use std::time::Duration;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let dag = RandomDagGenerator::new(RandomDagConfig::default(), 11).generate();
+    for cores in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("prompt", cores), &cores, |b, &cores| {
+            b.iter(|| prompt_schedule(&dag, cores))
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious", cores), &cores, |b, &cores| {
+            b.iter(|| oblivious_schedule(&dag, cores))
+        });
+        group.bench_with_input(BenchmarkId::new("random", cores), &cores, |b, &cores| {
+            b.iter(|| random_schedule(&dag, cores, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Figure 13: the responsiveness ratio (Cilk-F baseline over
+//! I-Cilk) of client-observed response times for the proxy and email case
+//! studies, across a sweep of connection counts.
+//!
+//! Usage: `fig13 [--quick]` (the quick mode shrinks the sweep so the binary
+//! finishes in a few seconds; the default sweep mirrors the paper's
+//! 90/120/150/180 connections scaled to the local machine).
+
+use rp_apps::harness::ExperimentConfig;
+use rp_apps::{email, proxy};
+use rp_sim::latency::LatencyModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(4);
+    let connections: Vec<usize> = if quick {
+        vec![6, 12]
+    } else {
+        vec![12, 24, 36, 48]
+    };
+    let requests = if quick { 4 } else { 8 };
+
+    println!("Figure 13: responsiveness ratio (baseline / I-Cilk); higher = I-Cilk more responsive");
+    println!("(paper sweep: 90/120/150/180 connections on 20 cores; local sweep scaled to {workers} workers)");
+    println!();
+    for &conns in &connections {
+        let config = ExperimentConfig {
+            workers,
+            connections: conns,
+            requests_per_connection: requests,
+            io_latency: LatencyModel::Uniform { lo: 200, hi: 2_000 },
+            ..ExperimentConfig::default()
+        };
+        let proxy_report = proxy::run_experiment(&config);
+        println!("{}", proxy_report.figure13_row());
+        let email_report = email::run_experiment(&config);
+        println!("{}", email_report.figure13_row());
+    }
+    println!();
+    println!("Expected shape: ratios >= ~1 everywhere and growing with load; email shows a larger");
+    println!("advantage than proxy (proxy is I/O-bound and lightly loaded, email has more compute).");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1: the compile-time cost of the priority layer.
+//!
+//! The paper measures C++ compilation time and binary size with and without
+//! priority templates; this reproduction measures λ⁴ᵢ type-checking time and
+//! judgment counts with and without the priority layer on the three
+//! case-study encodings (see DESIGN.md for the substitution argument).
+
+fn main() {
+    let rows = rp_bench::table1(5);
+    print!("{}", rp_bench::format_table1(&rows));
+    println!();
+    println!("Paper reference (C++ / templates): proxy 1.27x / 1.18x, email 1.16x / 1.17x, jserver 1.27x / 1.16x");
+    println!("Expected shape: overhead factors are modest constants (roughly 1x-2x), never order-of-magnitude.");
+}

@@ -1,0 +1,184 @@
+//! Precomputed adjacency structure for efficient schedule checks and
+//! schedulers.
+//!
+//! Several operations (promptness checking, the offline schedulers, the run
+//! driver of the λ⁴ᵢ machine) need, for every step of a schedule, the set of
+//! vertices whose strong parents have all executed.  Recomputing that from
+//! the edge list is `O(V·E)` per step; [`Adjacency`] precomputes per-vertex
+//! parent counts and successor lists so the ready set can be maintained
+//! incrementally in `O(E)` total across a whole schedule.
+
+use crate::graph::{CostDag, VertexId};
+
+/// Per-vertex strong in-degree and strong successor lists.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    /// Number of strong parents of each vertex.
+    pub strong_indegree: Vec<usize>,
+    /// Strong successors (targets of strong out-edges) of each vertex.
+    pub strong_successors: Vec<Vec<VertexId>>,
+    /// Weak successors of each vertex.
+    pub weak_successors: Vec<Vec<VertexId>>,
+}
+
+impl Adjacency {
+    /// Builds the adjacency structure for a graph.
+    pub fn new(dag: &CostDag) -> Self {
+        let n = dag.vertex_count();
+        let mut strong_indegree = vec![0usize; n];
+        let mut strong_successors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut weak_successors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for e in dag.edges() {
+            if e.kind.is_strong() {
+                strong_indegree[e.to.index()] += 1;
+                strong_successors[e.from.index()].push(e.to);
+            } else {
+                weak_successors[e.from.index()].push(e.to);
+            }
+        }
+        Adjacency {
+            strong_indegree,
+            strong_successors,
+            weak_successors,
+        }
+    }
+
+    /// The initially ready vertices (no strong parents).
+    pub fn initial_ready(&self) -> Vec<VertexId> {
+        self.strong_indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+}
+
+/// An incrementally maintained ready set: vertices whose strong parents have
+/// all been marked executed and that have not themselves been executed.
+#[derive(Debug, Clone)]
+pub struct ReadyTracker {
+    remaining_parents: Vec<usize>,
+    ready: Vec<bool>,
+    executed: Vec<bool>,
+}
+
+impl ReadyTracker {
+    /// Starts tracking from the unexecuted state.
+    pub fn new(adj: &Adjacency) -> Self {
+        let n = adj.strong_indegree.len();
+        let mut ready = vec![false; n];
+        for (i, &d) in adj.strong_indegree.iter().enumerate() {
+            ready[i] = d == 0;
+        }
+        ReadyTracker {
+            remaining_parents: adj.strong_indegree.clone(),
+            ready,
+            executed: vec![false; n],
+        }
+    }
+
+    /// Whether a vertex is currently ready.
+    pub fn is_ready(&self, v: VertexId) -> bool {
+        self.ready[v.index()] && !self.executed[v.index()]
+    }
+
+    /// Whether a vertex has been executed.
+    pub fn is_executed(&self, v: VertexId) -> bool {
+        self.executed[v.index()]
+    }
+
+    /// The current ready set (allocates; prefer [`is_ready`](Self::is_ready)
+    /// in hot loops).
+    pub fn ready_set(&self) -> Vec<VertexId> {
+        self.ready
+            .iter()
+            .enumerate()
+            .filter(|(i, &r)| r && !self.executed[*i])
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+
+    /// Marks a vertex executed, updating its strong successors' readiness.
+    pub fn execute(&mut self, adj: &Adjacency, v: VertexId) {
+        debug_assert!(!self.executed[v.index()], "vertex executed twice");
+        self.executed[v.index()] = true;
+        self.ready[v.index()] = false;
+        for &succ in &adj.strong_successors[v.index()] {
+            let r = &mut self.remaining_parents[succ.index()];
+            *r -= 1;
+            if *r == 0 {
+                self.ready[succ.index()] = true;
+            }
+        }
+    }
+
+    /// Number of executed vertices.
+    pub fn executed_count(&self) -> usize {
+        self.executed.iter().filter(|&&e| e).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rp_priority::PriorityDomain;
+
+    fn diamond() -> (CostDag, [VertexId; 4]) {
+        // main: m0 m1; child: c0; create(m0, child); touch(child, m1);
+        // plus an extra main vertex between to form a diamond-ish shape.
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let mut b = DagBuilder::new(dom);
+        let main = b.thread("main", p);
+        let child = b.thread("child", p);
+        let m0 = b.vertex(main);
+        let m1 = b.vertex(main);
+        let m2 = b.vertex(main);
+        let c0 = b.vertex(child);
+        b.fcreate(m0, child).unwrap();
+        b.ftouch(child, m2).unwrap();
+        let _ = m1;
+        (b.build().unwrap(), [m0, m1, m2, c0])
+    }
+
+    #[test]
+    fn tracker_follows_execution() {
+        let (g, [m0, m1, m2, c0]) = diamond();
+        let adj = Adjacency::new(&g);
+        let mut t = ReadyTracker::new(&adj);
+        assert_eq!(adj.initial_ready(), vec![m0]);
+        assert!(t.is_ready(m0) && !t.is_ready(m1) && !t.is_ready(c0));
+        t.execute(&adj, m0);
+        assert!(t.is_ready(m1) && t.is_ready(c0));
+        assert!(!t.is_ready(m2), "m2 waits for both m1 and c0");
+        t.execute(&adj, m1);
+        assert!(!t.is_ready(m2));
+        t.execute(&adj, c0);
+        assert!(t.is_ready(m2));
+        t.execute(&adj, m2);
+        assert_eq!(t.executed_count(), 4);
+        assert!(t.ready_set().is_empty());
+        assert!(t.is_executed(m0));
+    }
+
+    #[test]
+    fn ready_set_matches_naive_computation() {
+        let (g, _) = diamond();
+        let adj = Adjacency::new(&g);
+        let mut t = ReadyTracker::new(&adj);
+        let mut executed = vec![false; g.vertex_count()];
+        // Execute in topological order, comparing against the naive helper.
+        for v in crate::analysis::topological_order(&g) {
+            let naive = crate::analysis::ready_vertices(&g, &executed);
+            let mut incremental = t.ready_set();
+            incremental.sort();
+            let mut naive_sorted = naive.clone();
+            naive_sorted.sort();
+            assert_eq!(incremental, naive_sorted);
+            t.execute(&adj, v);
+            executed[v.index()] = true;
+        }
+    }
+}

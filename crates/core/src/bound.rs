@@ -1,0 +1,270 @@
+//! The Theorem 2.3 response-time bound.
+//!
+//! For a well-formed graph `g`, a thread `a` of priority `ρ`, and any
+//! admissible prompt schedule on `P` cores:
+//!
+//! ```text
+//! T(a) ≤ (1/P) · [ W_{⊀ρ}(↛↓a) + (P − 1) · S_a(↛↓a) ]
+//! ```
+//!
+//! [`response_time_bound`] computes the right-hand side and
+//! [`check_response_time_bound`] compares it against the observed response
+//! time of a concrete schedule, producing a [`BoundReport`].
+
+use crate::analysis::Reachability;
+use crate::graph::{CostDag, ThreadId};
+use crate::metrics::{a_span_with, competitor_work_with};
+use crate::schedule::Schedule;
+use crate::strengthen::strengthening_with;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of checking Theorem 2.3 on one thread and one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundReport {
+    /// The thread the bound was computed for.
+    pub thread: ThreadId,
+    /// Number of cores of the schedule.
+    pub num_cores: usize,
+    /// Competitor work `W_{⊀ρ}(↛↓a)`.
+    pub competitor_work: usize,
+    /// The a-span `S_a(↛↓a)`.
+    pub a_span: usize,
+    /// The right-hand side of the bound, exactly as printed in the paper:
+    /// `(W + (P-1)·S) / P`.
+    pub bound: f64,
+    /// The boundary-adjusted bound `(W + 2 + (P-1)·(S+1)) / P`.
+    ///
+    /// The paper's competitor-work and a-span sets `↛↓a` exclude the
+    /// thread's own first and last vertices (`s` and `t` are ancestors of
+    /// themselves), but the token-counting argument in the proof of
+    /// Theorem 2.3 places tokens for `s` and `t` and walks span paths that
+    /// may include `s`.  The adjusted bound accounts for those boundary
+    /// vertices; it is the inequality the proof establishes verbatim, and
+    /// differs from `bound` by at most `(2 + P - 1) / P ≤ 3`.
+    pub adjusted_bound: f64,
+    /// The observed response time `T(a)`, if the schedule completed the
+    /// thread.
+    pub observed: Option<usize>,
+    /// Whether the schedule was admissible for the graph.
+    pub admissible: bool,
+    /// Whether the schedule was prompt for the graph.
+    pub prompt: bool,
+    /// Whether the graph was well-formed.
+    pub well_formed: bool,
+}
+
+impl BoundReport {
+    /// Whether the theorem's hypotheses hold for this (graph, schedule)
+    /// pair — well-formed graph, admissible prompt schedule.
+    pub fn hypotheses_hold(&self) -> bool {
+        self.well_formed && self.admissible && self.prompt
+    }
+
+    /// Whether the boundary-adjusted bound is respected.  Vacuously true when
+    /// the observed response time is unavailable.
+    pub fn bound_holds(&self) -> bool {
+        match self.observed {
+            Some(t) => (t as f64) <= self.adjusted_bound + 1e-9,
+            None => true,
+        }
+    }
+
+    /// Whether the unadjusted bound (the formula exactly as printed in the
+    /// paper) is respected.  This can be off by the boundary vertices `s`
+    /// and `t`; see [`BoundReport::adjusted_bound`].
+    pub fn paper_bound_holds(&self) -> bool {
+        match self.observed {
+            Some(t) => (t as f64) <= self.bound + 1e-9,
+            None => true,
+        }
+    }
+
+    /// Whether this report is a counterexample to Theorem 2.3: the
+    /// hypotheses hold but the bound does not.
+    pub fn is_counterexample(&self) -> bool {
+        self.hypotheses_hold() && !self.bound_holds()
+    }
+}
+
+/// Computes the right-hand side of Theorem 2.3 for thread `a` on `P` cores.
+///
+/// # Panics
+///
+/// Panics if `num_cores == 0`.
+pub fn response_time_bound(dag: &CostDag, a: ThreadId, num_cores: usize) -> f64 {
+    assert!(num_cores > 0, "need at least one core");
+    let reach = Reachability::new(dag);
+    let st = strengthening_with(dag, a, &reach);
+    let w = competitor_work_with(dag, a, &reach);
+    let s = a_span_with(dag, a, &reach, &st);
+    (w as f64 + (num_cores as f64 - 1.0) * s as f64) / num_cores as f64
+}
+
+/// Checks Theorem 2.3 for every thread of the graph against a concrete
+/// schedule, sharing the reachability analysis, the admissibility /
+/// promptness checks, and the well-formedness check across threads.
+///
+/// The returned vector is indexed by thread id (`ThreadId::index`).
+pub fn check_bounds_batch(dag: &CostDag, schedule: &Schedule) -> Vec<BoundReport> {
+    let reach = Reachability::new(dag);
+    let admissible = schedule.is_admissible(dag);
+    let prompt = schedule.is_prompt(dag);
+    let well_formed = crate::wellformed::check_well_formed_with(dag, &reach).is_ok();
+    let p = schedule.num_cores;
+    dag.threads()
+        .map(|a| {
+            let st = strengthening_with(dag, a, &reach);
+            let w = competitor_work_with(dag, a, &reach);
+            let s = a_span_with(dag, a, &reach, &st);
+            let bound = (w as f64 + (p as f64 - 1.0) * s as f64) / p as f64;
+            let adjusted_bound =
+                (w as f64 + 2.0 + (p as f64 - 1.0) * (s as f64 + 1.0)) / p as f64;
+            BoundReport {
+                thread: a,
+                num_cores: p,
+                competitor_work: w,
+                a_span: s,
+                bound,
+                adjusted_bound,
+                observed: schedule.response_time(dag, a),
+                admissible,
+                prompt,
+                well_formed,
+            }
+        })
+        .collect()
+}
+
+/// Checks Theorem 2.3 for one thread against a concrete schedule.
+///
+/// The report records the bound's ingredients, the observed response time,
+/// and whether the theorem's hypotheses (well-formed graph, admissible prompt
+/// schedule) hold, so callers can distinguish "bound violated" from "bound
+/// not applicable".
+pub fn check_response_time_bound(dag: &CostDag, schedule: &Schedule, a: ThreadId) -> BoundReport {
+    let reach = Reachability::new(dag);
+    let st = strengthening_with(dag, a, &reach);
+    let w = competitor_work_with(dag, a, &reach);
+    let s = a_span_with(dag, a, &reach, &st);
+    let p = schedule.num_cores;
+    let bound = (w as f64 + (p as f64 - 1.0) * s as f64) / p as f64;
+    let adjusted_bound = (w as f64 + 2.0 + (p as f64 - 1.0) * (s as f64 + 1.0)) / p as f64;
+    BoundReport {
+        thread: a,
+        num_cores: p,
+        competitor_work: w,
+        a_span: s,
+        bound,
+        adjusted_bound,
+        observed: schedule.response_time(dag, a),
+        admissible: schedule.is_admissible(dag),
+        prompt: schedule.is_prompt(dag),
+        well_formed: crate::wellformed::check_well_formed_with(dag, &reach).is_ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use crate::scheduler::{oblivious_schedule, prompt_schedule};
+    use rp_priority::PriorityDomain;
+
+    /// Root (hi) creates a hi thread H (3 vertices) and a lo thread L
+    /// (6 vertices); only H is touched back by the root.
+    fn contended() -> CostDag {
+        let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+        let hi = dom.priority("hi").unwrap();
+        let lo = dom.priority("lo").unwrap();
+        let mut b = DagBuilder::new(dom);
+        let root = b.thread("root", hi);
+        let h = b.thread("h", hi);
+        let l = b.thread("l", lo);
+        let r0 = b.vertex(root);
+        let r1 = b.vertex(root);
+        b.vertices(h, 3);
+        b.vertices(l, 6);
+        b.fcreate(r0, h).unwrap();
+        b.fcreate(r0, l).unwrap();
+        b.ftouch(h, r1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bound_holds_for_prompt_schedules() {
+        let g = contended();
+        let h = g.thread_by_name("h").unwrap();
+        for p in 1..=4 {
+            let sched = prompt_schedule(&g, p);
+            let report = check_response_time_bound(&g, &sched, h);
+            assert!(report.well_formed);
+            assert!(report.prompt);
+            assert!(report.admissible, "no weak edges, so trivially admissible");
+            assert!(report.bound_holds(), "P={p}: {report:?}");
+            assert!(!report.is_counterexample());
+        }
+    }
+
+    #[test]
+    fn bound_ingredients_are_sensible() {
+        let g = contended();
+        let h = g.thread_by_name("h").unwrap();
+        // Competitor work for H: only H's own middle vertex counts — r0 is an
+        // ancestor of H's start, r1 is a descendant of H's end (via the touch
+        // edge), H's first/last vertices are their own ancestors/descendants,
+        // and L's vertices are strictly lower priority.  So W = 1.
+        // a-span: H's vertices other than its first = 2.
+        let report = check_response_time_bound(&g, &prompt_schedule(&g, 2), h);
+        assert_eq!(report.competitor_work, 1);
+        assert_eq!(report.a_span, 2);
+        assert_eq!(report.bound, (1.0 + 1.0 * 2.0) / 2.0);
+        assert_eq!(report.adjusted_bound, (1.0 + 2.0 + 1.0 * 3.0) / 2.0);
+    }
+
+    #[test]
+    fn oblivious_schedule_can_violate_the_bound() {
+        // Arrange the low-priority thread before the high-priority one so the
+        // oblivious scheduler serves it first; the bound (which assumes
+        // promptness) is then exceeded, demonstrating why promptness matters.
+        let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+        let hi = dom.priority("hi").unwrap();
+        let lo = dom.priority("lo").unwrap();
+        let mut b = DagBuilder::new(dom);
+        let root = b.thread("root", lo);
+        let l = b.thread("l", lo);
+        let h = b.thread("h", hi);
+        let r0 = b.vertex(root);
+        b.vertices(l, 20);
+        b.vertices(h, 2);
+        b.fcreate(r0, l).unwrap();
+        b.fcreate(r0, h).unwrap();
+        let g = b.build().unwrap();
+        let h = g.thread_by_name("h").unwrap();
+        let sched = oblivious_schedule(&g, 1);
+        let report = check_response_time_bound(&g, &sched, h);
+        assert!(report.well_formed && report.admissible);
+        assert!(!report.prompt);
+        assert!(!report.bound_holds());
+        // Not a counterexample to the theorem because promptness fails.
+        assert!(!report.is_counterexample());
+    }
+
+    #[test]
+    fn bound_value_matches_formula() {
+        let g = contended();
+        let h = g.thread_by_name("h").unwrap();
+        let b4 = response_time_bound(&g, h, 4);
+        let b1 = response_time_bound(&g, h, 1);
+        assert!(b1 >= 0.0 && b4 >= 0.0);
+        // With P = 1 the bound is exactly the competitor work + 0·span.
+        assert_eq!(b1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let g = contended();
+        let h = g.thread_by_name("h").unwrap();
+        let _ = response_time_bound(&g, h, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Weak-edge cost graphs for responsive parallelism.
+//!
+//! This crate implements Section 2 of *Responsive Parallelism with Futures
+//! and State* (PLDI 2020): a DAG cost model for prioritized parallel programs
+//! that communicate through mutable state.
+//!
+//! The central type is [`CostDag`], a computation graph
+//! `g = (T, Ec, Et, Ew)`:
+//!
+//! * `T` maps thread symbols to their priority and vertex sequence
+//!   (continuation edges are implicit in the sequence);
+//! * `Ec` holds **fcreate** edges from a creating vertex to the created
+//!   thread's first vertex;
+//! * `Et` holds **ftouch** edges from a touched thread's last vertex to the
+//!   touching vertex;
+//! * `Ew` holds **weak** edges, which record happens-before dependencies
+//!   that arise through mutable state: a weak edge `(u, u')` means the DAG is
+//!   only meaningful for schedules that execute `u` strictly before `u'`
+//!   (such schedules are *admissible*).
+//!
+//! On top of the graph the crate provides:
+//!
+//! * ancestor analyses distinguishing strong and weak paths
+//!   ([`analysis`]);
+//! * *well-formedness* (Definition 1) and *strong well-formedness*
+//!   (Definition 4) — the absence of priority inversions ([`wellformed`]);
+//! * the *a-strengthening* transformation (Definition 2) and the *a-span*
+//!   and *competitor work* metrics ([`strengthen`], [`metrics`]);
+//! * schedules, admissibility, promptness, and per-thread response time
+//!   ([`schedule`]);
+//! * schedulers: prompt (priority-greedy), priority-oblivious, and random
+//!   ([`scheduler`]);
+//! * the Theorem 2.3 response-time bound and checking helpers ([`bound`]);
+//! * random well-formed DAG generation for property tests and benchmarks
+//!   ([`random`]);
+//! * the example DAGs of Figures 1–3 ([`examples`]) and DOT rendering
+//!   ([`render`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rp_core::prelude::*;
+//! use rp_priority::PriorityDomain;
+//!
+//! let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+//! let hi = dom.priority("hi").unwrap();
+//! let lo = dom.priority("lo").unwrap();
+//!
+//! // A high-priority thread that forks a low-priority helper and never
+//! // touches it: well-formed.
+//! let mut b = DagBuilder::new(dom.clone());
+//! let main = b.thread("main", hi);
+//! let helper = b.thread("helper", lo);
+//! let v0 = b.vertex(main);
+//! let _v1 = b.vertex(main);
+//! let h0 = b.vertex(helper);
+//! b.fcreate(v0, helper).unwrap();
+//! let dag = b.build().unwrap();
+//! assert!(dag.vertex_count() == 3 && dag.thread_count() == 2);
+//! assert!(check_well_formed(&dag).is_ok());
+//! let _ = h0;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adjacency;
+pub mod analysis;
+pub mod bound;
+pub mod build;
+pub mod examples;
+pub mod graph;
+pub mod metrics;
+pub mod random;
+pub mod render;
+pub mod schedule;
+pub mod scheduler;
+pub mod strengthen;
+pub mod wellformed;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::adjacency::{Adjacency, ReadyTracker};
+    pub use crate::analysis::Reachability;
+    pub use crate::bound::{check_bounds_batch, check_response_time_bound, response_time_bound, BoundReport};
+    pub use crate::build::{DagBuildError, DagBuilder};
+    pub use crate::graph::{CostDag, EdgeKind, ThreadId, VertexId};
+    pub use crate::metrics::{a_span, competitor_work, span, work};
+    pub use crate::random::{RandomDagConfig, RandomDagGenerator};
+    pub use crate::schedule::{Schedule, ScheduleError};
+    pub use crate::scheduler::{
+        oblivious_schedule, prompt_schedule, random_schedule, weak_respecting_prompt_schedule,
+        SchedulerKind,
+    };
+    pub use crate::strengthen::strengthening;
+    pub use crate::wellformed::{check_strongly_well_formed, check_well_formed, WellFormedError};
+}
+
+pub use prelude::*;

@@ -1,0 +1,252 @@
+//! Random generation of well-formed cost graphs.
+//!
+//! Property tests and benchmarks need many graphs that satisfy the paper's
+//! well-formedness conditions.  [`RandomDagGenerator`] builds them the same
+//! way a well-typed λ⁴ᵢ program would: threads only ftouch threads of equal
+//! or higher priority, fire-and-forget children may have any priority, and
+//! weak edges are either *shadowed* by existing strong paths (so every valid
+//! schedule is admissible) or represent a low-to-high write/read pair that is
+//! also reflected by the handle-propagation structure.
+
+use crate::build::DagBuilder;
+use crate::graph::{CostDag, ThreadId, VertexId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rp_priority::{Priority, PriorityDomain};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`RandomDagGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomDagConfig {
+    /// Number of priority levels (a total order is used).
+    pub priority_levels: usize,
+    /// Maximum recursion depth of thread creation.
+    pub max_depth: usize,
+    /// Maximum number of children any thread creates.
+    pub max_children: usize,
+    /// Maximum number of vertices per thread (minimum is 2).
+    pub max_thread_len: usize,
+    /// Probability that a created child is touched back (joined).
+    pub touch_probability: f64,
+    /// Probability of adding a shadowed weak edge along an existing strong
+    /// path (models a read of state previously written by an ancestor).
+    pub weak_edge_probability: f64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            priority_levels: 3,
+            max_depth: 4,
+            max_children: 3,
+            max_thread_len: 5,
+            touch_probability: 0.6,
+            weak_edge_probability: 0.3,
+        }
+    }
+}
+
+/// Generates random well-formed cost graphs.
+///
+/// # Example
+///
+/// ```
+/// use rp_core::random::{RandomDagConfig, RandomDagGenerator};
+/// use rp_core::wellformed::check_well_formed;
+///
+/// let mut gen = RandomDagGenerator::new(RandomDagConfig::default(), 42);
+/// let dag = gen.generate();
+/// assert!(check_well_formed(&dag).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct RandomDagGenerator {
+    config: RandomDagConfig,
+    rng: StdRng,
+    domain: PriorityDomain,
+}
+
+impl RandomDagGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for zero priority levels.
+    pub fn new(config: RandomDagConfig, seed: u64) -> Self {
+        assert!(config.priority_levels > 0, "need at least one priority level");
+        let domain = PriorityDomain::numeric(config.priority_levels);
+        RandomDagGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            domain,
+        }
+    }
+
+    /// The priority domain used by generated graphs.
+    pub fn domain(&self) -> &PriorityDomain {
+        &self.domain
+    }
+
+    /// Generates one well-formed graph.
+    pub fn generate(&mut self) -> CostDag {
+        let mut builder = DagBuilder::new(self.domain.clone());
+        // Root priority: anywhere in the order.
+        let root_prio = self.random_priority();
+        let root = builder.thread("root", root_prio);
+        self.grow_thread(&mut builder, root, root_prio, 0);
+        builder
+            .build()
+            .expect("generator only produces acyclic graphs")
+    }
+
+    fn random_priority(&mut self) -> Priority {
+        let i = self.rng.gen_range(0..self.domain.len());
+        self.domain.by_index(i)
+    }
+
+    /// Priority greater than or equal to `lo` (for touched children).
+    fn random_priority_at_least(&mut self, lo: Priority) -> Priority {
+        let candidates: Vec<Priority> = self
+            .domain
+            .iter()
+            .filter(|&p| self.domain.leq(lo, p))
+            .collect();
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    /// Grows a thread: a prefix of vertices, a batch of children created at
+    /// random points, touches of the joinable children near the end, and an
+    /// optional shadowed weak edge.
+    fn grow_thread(
+        &mut self,
+        builder: &mut DagBuilder,
+        thread: ThreadId,
+        prio: Priority,
+        depth: usize,
+    ) -> (VertexId, VertexId) {
+        let len = self.rng.gen_range(2..=self.config.max_thread_len.max(2));
+        let vertices = builder.vertices(thread, len);
+        let first = vertices[0];
+        let last = *vertices.last().expect("len >= 2");
+
+        if depth < self.config.max_depth {
+            let n_children = self.rng.gen_range(0..=self.config.max_children);
+            for c in 0..n_children {
+                // Create from some vertex strictly before the last one so a
+                // touch from the last vertex cannot form a cycle.
+                let create_at = vertices[self.rng.gen_range(0..len - 1)];
+                let touch_back = self.rng.gen_bool(self.config.touch_probability);
+                let child_prio = if touch_back {
+                    // The touch rule: toucher priority ⪯ touched priority.
+                    self.random_priority_at_least(prio)
+                } else {
+                    self.random_priority()
+                };
+                let name = format!("{}-{}-{}", builder_thread_name(builder, thread), depth, c);
+                let child = builder.thread(name, child_prio);
+                let (_, child_last) = self.grow_thread(builder, child, child_prio, depth + 1);
+                builder
+                    .fcreate(create_at, child)
+                    .expect("fresh child cannot already have a creator");
+                if touch_back {
+                    builder
+                        .ftouch(child, last)
+                        .expect("touching a different thread");
+                }
+                // Optionally add a shadowed weak edge child_last ⇢ last (a
+                // read of state the child wrote).  It parallels the touch
+                // edge, so admissibility of valid schedules is preserved only
+                // when the touch exists; otherwise the weak edge represents
+                // genuine state communication and admissible schedules must
+                // order it.
+                if touch_back && self.rng.gen_bool(self.config.weak_edge_probability) {
+                    builder
+                        .weak(child_last, last)
+                        .expect("distinct vertices");
+                }
+            }
+        }
+        (first, last)
+    }
+
+    /// Generates a batch of graphs.
+    pub fn generate_many(&mut self, n: usize) -> Vec<CostDag> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+}
+
+fn builder_thread_name(_builder: &DagBuilder, thread: ThreadId) -> String {
+    format!("t{}", thread.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{prompt_schedule, weak_respecting_prompt_schedule};
+    use crate::wellformed::{check_strongly_well_formed, check_well_formed};
+
+    #[test]
+    fn generated_graphs_are_well_formed() {
+        let mut gen = RandomDagGenerator::new(RandomDagConfig::default(), 1);
+        for dag in gen.generate_many(25) {
+            check_well_formed(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_strongly_well_formed() {
+        let mut gen = RandomDagGenerator::new(RandomDagConfig::default(), 2);
+        for dag in gen.generate_many(25) {
+            check_strongly_well_formed(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_schedulable() {
+        let mut gen = RandomDagGenerator::new(RandomDagConfig::default(), 3);
+        for dag in gen.generate_many(10) {
+            for p in [1, 2, 4] {
+                let s = prompt_schedule(&dag, p);
+                s.validate(&dag).unwrap();
+                let ws = weak_respecting_prompt_schedule(&dag, p);
+                ws.validate(&dag).unwrap();
+                assert!(ws.is_admissible(&dag));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = RandomDagGenerator::new(RandomDagConfig::default(), 7).generate();
+        let b = RandomDagGenerator::new(RandomDagConfig::default(), 7).generate();
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.thread_count(), b.thread_count());
+    }
+
+    #[test]
+    fn config_is_respected() {
+        let config = RandomDagConfig {
+            priority_levels: 1,
+            max_depth: 1,
+            max_children: 1,
+            max_thread_len: 2,
+            touch_probability: 1.0,
+            weak_edge_probability: 0.0,
+        };
+        let mut gen = RandomDagGenerator::new(config, 11);
+        let dag = gen.generate();
+        assert!(dag.thread_count() <= 2);
+        assert!(dag.vertex_count() <= 4);
+        assert!(dag.weak_edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one priority level")]
+    fn zero_levels_rejected() {
+        let config = RandomDagConfig {
+            priority_levels: 0,
+            ..RandomDagConfig::default()
+        };
+        let _ = RandomDagGenerator::new(config, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Rendering cost graphs to Graphviz DOT, mirroring the paper's drawing
+//! conventions: threads are drawn as columns (clusters), weak edges are
+//! dotted, fcreate/ftouch edges are solid cross-thread edges.
+
+use crate::graph::{CostDag, EdgeKind};
+use std::fmt::Write as _;
+
+/// Renders a cost graph as a Graphviz DOT document.
+///
+/// Vertices are labelled with their label (if any) or their id; each thread
+/// becomes a cluster annotated with its priority; weak edges are drawn with
+/// `style=dotted`, matching the figures in the paper.
+///
+/// # Example
+///
+/// ```
+/// use rp_core::examples::figure1c;
+/// use rp_core::render::to_dot;
+/// let (dag, _) = figure1c();
+/// let dot = to_dot(&dag);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("style=dotted"));
+/// ```
+pub fn to_dot(dag: &CostDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cost_dag {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for t in dag.threads() {
+        let info = dag.thread(t);
+        let _ = writeln!(out, "  subgraph cluster_{} {{", t.index());
+        let _ = writeln!(
+            out,
+            "    label=\"{} @ {}\";",
+            escape(&info.name),
+            dag.domain().name(info.priority)
+        );
+        for &v in &info.vertices {
+            let label = dag
+                .label(v)
+                .map(escape)
+                .unwrap_or_else(|| format!("{v}"));
+            let _ = writeln!(out, "    v{} [label=\"{}\"];", v.index(), label);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for e in dag.edges() {
+        let style = match e.kind {
+            EdgeKind::Weak => " [style=dotted]",
+            EdgeKind::Create => " [color=blue]",
+            EdgeKind::Touch => " [color=red]",
+            EdgeKind::Continuation => "",
+        };
+        let _ = writeln!(out, "  v{} -> v{}{};", e.from.index(), e.to.index(), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a short text summary of a graph: threads, priorities, vertex and
+/// edge counts — used by harness binaries for human-readable output.
+pub fn summary(dag: &CostDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cost graph: {} threads, {} vertices, {} fcreate, {} ftouch, {} weak edges",
+        dag.thread_count(),
+        dag.vertex_count(),
+        dag.create_edges().len(),
+        dag.touch_edges().len(),
+        dag.weak_edges().len()
+    );
+    for t in dag.threads() {
+        let info = dag.thread(t);
+        let _ = writeln!(
+            out,
+            "  {} @ {}: {} vertices",
+            info.name,
+            dag.domain().name(info.priority),
+            info.vertices.len()
+        );
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure1c, figure2b};
+
+    #[test]
+    fn dot_output_contains_all_vertices_and_edge_styles() {
+        let (g, _) = figure1c();
+        let dot = to_dot(&g);
+        for v in g.vertices() {
+            assert!(dot.contains(&format!("v{}", v.index())));
+        }
+        assert!(dot.contains("style=dotted"), "weak edge rendered dotted");
+        assert!(dot.contains("color=blue"), "create edges rendered");
+        assert!(dot.contains("color=red"), "touch edges rendered");
+        assert!(dot.contains("cluster_0"));
+    }
+
+    #[test]
+    fn summary_mentions_threads_and_counts() {
+        let (g, _) = figure2b();
+        let s = summary(&g);
+        assert!(s.contains("3 threads"));
+        assert!(s.contains("a @ hi"));
+        assert!(s.contains("b @ lo"));
+    }
+
+    #[test]
+    fn escape_quotes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

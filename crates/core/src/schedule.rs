@@ -1,0 +1,365 @@
+//! Schedules of cost graphs: validity, admissibility, promptness, and
+//! response time.
+
+use crate::graph::{CostDag, ThreadId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A schedule: the assignment of vertices to processing cores at each time
+/// step.  `steps[j]` lists the vertices executed during step `j`
+/// (at most `num_cores` of them).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Number of processing cores `P`.
+    pub num_cores: usize,
+    /// Vertices executed per step.
+    pub steps: Vec<Vec<VertexId>>,
+}
+
+/// Reasons a schedule fails validation against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A step executes more vertices than there are cores.
+    TooManyPerStep {
+        /// The offending step index.
+        step: usize,
+    },
+    /// A vertex was executed more than once, or never.
+    NotExactlyOnce(VertexId),
+    /// A vertex was executed before one of its strong parents.
+    DependenceViolated {
+        /// The parent that had not yet executed.
+        parent: VertexId,
+        /// The vertex that ran too early.
+        child: VertexId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::TooManyPerStep { step } => {
+                write!(f, "step {step} assigns more vertices than cores")
+            }
+            ScheduleError::NotExactlyOnce(v) => {
+                write!(f, "vertex {v} is not executed exactly once")
+            }
+            ScheduleError::DependenceViolated { parent, child } => {
+                write!(f, "vertex {child} executed before its strong parent {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Creates an empty schedule for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        Schedule {
+            num_cores,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Total number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step at which each vertex was executed (`None` if never).
+    pub fn step_of(&self, dag: &CostDag) -> Vec<Option<usize>> {
+        let mut step_of = vec![None; dag.vertex_count()];
+        for (j, step) in self.steps.iter().enumerate() {
+            for &v in step {
+                step_of[v.index()] = Some(j);
+            }
+        }
+        step_of
+    }
+
+    /// Checks that the schedule is a valid schedule of `dag`: every vertex
+    /// runs exactly once, no step uses more than `num_cores` cores, and every
+    /// vertex runs strictly after all of its *strong* parents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, dag: &CostDag) -> Result<(), ScheduleError> {
+        let mut count = vec![0usize; dag.vertex_count()];
+        for (j, step) in self.steps.iter().enumerate() {
+            if step.len() > self.num_cores {
+                return Err(ScheduleError::TooManyPerStep { step: j });
+            }
+            for &v in step {
+                count[v.index()] += 1;
+            }
+        }
+        for v in dag.vertices() {
+            if count[v.index()] != 1 {
+                return Err(ScheduleError::NotExactlyOnce(v));
+            }
+        }
+        let step_of = self.step_of(dag);
+        for e in dag.strong_edges() {
+            let (ps, cs) = (step_of[e.from.index()], step_of[e.to.index()]);
+            match (ps, cs) {
+                (Some(p), Some(c)) if p < c => {}
+                _ => {
+                    return Err(ScheduleError::DependenceViolated {
+                        parent: e.from,
+                        child: e.to,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the schedule is *admissible* for `dag`: for every weak edge
+    /// `(u, u')`, `u` executes strictly before `u'` (Section 2.2).
+    pub fn is_admissible(&self, dag: &CostDag) -> bool {
+        let step_of = self.step_of(dag);
+        dag.weak_edges().iter().all(|&(u, v)| {
+            match (step_of[u.index()], step_of[v.index()]) {
+                (Some(su), Some(sv)) => su < sv,
+                _ => false,
+            }
+        })
+    }
+
+    /// Whether the schedule is *prompt* for `dag`: at every step, ready
+    /// vertices are assigned in priority order — no assigned vertex is
+    /// strictly lower priority than an unassigned ready vertex, and cores are
+    /// only left idle when no ready vertices remain.
+    ///
+    /// The ready set is maintained incrementally, so the check is linear in
+    /// the size of the graph plus the priority comparisons per step.
+    pub fn is_prompt(&self, dag: &CostDag) -> bool {
+        let dom = dag.domain();
+        let adj = crate::adjacency::Adjacency::new(dag);
+        let mut tracker = crate::adjacency::ReadyTracker::new(&adj);
+        for step in &self.steps {
+            let assigned: &[VertexId] = step;
+            // All assigned vertices must be ready.
+            if !assigned.iter().all(|&v| tracker.is_ready(v)) {
+                return false;
+            }
+            let ready = tracker.ready_set();
+            // Cores may only idle if every ready vertex was assigned.
+            if assigned.len() < self.num_cores.min(ready.len()) {
+                return false;
+            }
+            // No unassigned ready vertex is strictly higher priority than an
+            // assigned one.
+            for &u in assigned {
+                for &v in &ready {
+                    if !assigned.contains(&v)
+                        && dom.lt(dag.priority_of(u), dag.priority_of(v))
+                    {
+                        return false;
+                    }
+                }
+            }
+            for &v in assigned {
+                tracker.execute(&adj, v);
+            }
+        }
+        true
+    }
+
+    /// The response time `T(a)` of thread `a` under this schedule: the number
+    /// of steps between when `a`'s first vertex becomes ready and when its
+    /// last vertex is executed, inclusive (Section 2.3).
+    ///
+    /// Returns `None` if the thread's last vertex is never executed.
+    pub fn response_time(&self, dag: &CostDag, a: ThreadId) -> Option<usize> {
+        let s = dag.first_vertex(a);
+        let t = dag.last_vertex(a);
+        let step_of = self.step_of(dag);
+        let end = step_of[t.index()]?;
+        // s becomes ready at the first step at the start of which all of its
+        // strong parents have executed.
+        let parents = dag.strong_parents(s);
+        let ready_step = parents
+            .iter()
+            .map(|p| step_of[p.index()].map(|j| j + 1))
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        Some(end.saturating_sub(ready_step) + 1)
+    }
+
+    /// The number of steps during which at least one vertex of thread `a`
+    /// could still run (from `s` ready to `t` executed); alias of
+    /// [`response_time`](Self::response_time) kept for readability at call
+    /// sites measuring responsiveness.
+    pub fn active_steps(&self, dag: &CostDag, a: ThreadId) -> Option<usize> {
+        self.response_time(dag, a)
+    }
+
+    /// Utilization: fraction of core-steps that execute a vertex.
+    pub fn utilization(&self) -> f64 {
+        if self.steps.is_empty() || self.num_cores == 0 {
+            return 0.0;
+        }
+        let busy: usize = self.steps.iter().map(Vec::len).sum();
+        busy as f64 / (self.steps.len() * self.num_cores) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rp_priority::PriorityDomain;
+
+    /// main = [m0, m1], child = [c0]; create(m0, child); weak(c0, m1).
+    fn weak_graph() -> (CostDag, VertexId, VertexId, VertexId) {
+        let dom = PriorityDomain::numeric(2);
+        let mut b = DagBuilder::new(dom.clone());
+        let main = b.thread("main", dom.by_index(1));
+        let child = b.thread("child", dom.by_index(0));
+        let m0 = b.vertex(main);
+        let m1 = b.vertex(main);
+        let c0 = b.vertex(child);
+        b.fcreate(m0, child).unwrap();
+        b.weak(c0, m1).unwrap();
+        (b.build().unwrap(), m0, m1, c0)
+    }
+
+    #[test]
+    fn validate_accepts_correct_schedule() {
+        let (g, m0, m1, c0) = weak_graph();
+        let s = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1, c0]],
+        };
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.len(), 2);
+        assert!((s.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_duplicate() {
+        let (g, m0, m1, c0) = weak_graph();
+        let missing = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1]],
+        };
+        assert!(matches!(
+            missing.validate(&g),
+            Err(ScheduleError::NotExactlyOnce(_))
+        ));
+        let dup = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1, c0], vec![c0]],
+        };
+        assert!(matches!(
+            dup.validate(&g),
+            Err(ScheduleError::NotExactlyOnce(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_dependence_violation_and_overflow() {
+        let (g, m0, m1, c0) = weak_graph();
+        let early = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m1, m0], vec![c0]],
+        };
+        assert!(matches!(
+            early.validate(&g),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
+        let overflow = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![m1, c0]],
+        };
+        assert!(matches!(
+            overflow.validate(&g),
+            Err(ScheduleError::TooManyPerStep { .. })
+        ));
+    }
+
+    #[test]
+    fn admissibility_requires_weak_order() {
+        let (g, m0, m1, c0) = weak_graph();
+        // c0 strictly before m1: admissible.
+        let good = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![c0], vec![m1]],
+        };
+        assert!(good.validate(&g).is_ok());
+        assert!(good.is_admissible(&g));
+        // m1 and c0 in the same step: not admissible.
+        let same = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1, c0]],
+        };
+        assert!(!same.is_admissible(&g));
+        // m1 before c0: not admissible.
+        let rev = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![m1], vec![c0]],
+        };
+        assert!(!rev.is_admissible(&g));
+    }
+
+    #[test]
+    fn promptness_checks_priority_order_and_idleness() {
+        let (g, m0, m1, c0) = weak_graph();
+        // m1 (hi) and c0 (lo) both ready after m0.  With one core, a prompt
+        // schedule must run m1 before c0.
+        let prompt = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![m1], vec![c0]],
+        };
+        assert!(prompt.is_prompt(&g));
+        let not_prompt = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![c0], vec![m1]],
+        };
+        assert!(!not_prompt.is_prompt(&g));
+        // Leaving a core idle while work is ready is not prompt.
+        let idle = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1], vec![c0]],
+        };
+        assert!(!idle.is_prompt(&g));
+        // Using both cores is prompt (though not admissible here).
+        let both = Schedule {
+            num_cores: 2,
+            steps: vec![vec![m0], vec![m1, c0]],
+        };
+        assert!(both.is_prompt(&g));
+    }
+
+    #[test]
+    fn response_time_measured_from_readiness() {
+        let (g, m0, m1, c0) = weak_graph();
+        let main = g.thread_by_name("main").unwrap();
+        let child = g.thread_by_name("child").unwrap();
+        let s = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0], vec![c0], vec![m1]],
+        };
+        // main: s = m0 ready at step 0, t = m1 executed at step 2 → T = 3.
+        assert_eq!(s.response_time(&g, main), Some(3));
+        // child: c0 ready after m0 (step 1), executed at step 1 → T = 1.
+        assert_eq!(s.response_time(&g, child), Some(1));
+        assert_eq!(s.active_steps(&g, child), Some(1));
+        // Incomplete schedule yields None.
+        let incomplete = Schedule {
+            num_cores: 1,
+            steps: vec![vec![m0]],
+        };
+        assert_eq!(incomplete.response_time(&g, main), None);
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline schedulers for cost graphs.
+//!
+//! These schedulers construct a [`Schedule`] for a finished graph.  They are
+//! used to compare the paper's *prompt* scheduling principle against a
+//! priority-oblivious baseline, and to generate admissible prompt schedules
+//! for checking the Theorem 2.3 bound.
+
+use crate::adjacency::{Adjacency, ReadyTracker};
+use crate::graph::{CostDag, VertexId};
+use crate::schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling policy to use, for configuration-style call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Priority-greedy prompt scheduling (the paper's scheduling principle).
+    Prompt,
+    /// Prompt scheduling that additionally waits for weak parents, so that
+    /// the produced schedule is admissible whenever the graph is acyclic.
+    WeakRespectingPrompt,
+    /// Greedy scheduling that ignores priorities (FIFO by vertex id), the
+    /// analogue of the Cilk-F baseline.
+    Oblivious,
+    /// Uniformly random greedy scheduling.
+    Random {
+        /// PRNG seed, so schedules are reproducible.
+        seed: u64,
+    },
+}
+
+/// Builds a schedule with the given policy.
+pub fn schedule_with(dag: &CostDag, num_cores: usize, kind: SchedulerKind) -> Schedule {
+    match kind {
+        SchedulerKind::Prompt => prompt_schedule(dag, num_cores),
+        SchedulerKind::WeakRespectingPrompt => weak_respecting_prompt_schedule(dag, num_cores),
+        SchedulerKind::Oblivious => oblivious_schedule(dag, num_cores),
+        SchedulerKind::Random { seed } => random_schedule(dag, num_cores, seed),
+    }
+}
+
+/// A prompt schedule: at each step, repeatedly assign a ready vertex that no
+/// unassigned ready vertex strictly outranks, until cores or ready vertices
+/// run out.
+///
+/// Ties (equal or incomparable priorities) are broken by vertex id, making
+/// the schedule deterministic.
+///
+/// # Panics
+///
+/// Panics if `num_cores == 0`.
+pub fn prompt_schedule(dag: &CostDag, num_cores: usize) -> Schedule {
+    greedy_schedule(dag, num_cores, Selection::Prompt)
+}
+
+/// A prompt schedule that also waits for weak parents before considering a
+/// vertex ready.  Every schedule it produces is admissible; it is prompt in
+/// the paper's sense whenever weak dependencies never delay a higher-priority
+/// vertex behind a lower-priority one (checked separately by
+/// [`Schedule::is_prompt`]).
+///
+/// # Panics
+///
+/// Panics if `num_cores == 0`.
+pub fn weak_respecting_prompt_schedule(dag: &CostDag, num_cores: usize) -> Schedule {
+    greedy_schedule(dag, num_cores, Selection::WeakPrompt)
+}
+
+/// A priority-oblivious greedy schedule: ready vertices are assigned in
+/// vertex-id (creation) order, ignoring priorities.  This is the DAG-level
+/// analogue of the Cilk-F baseline used in the paper's evaluation.
+///
+/// # Panics
+///
+/// Panics if `num_cores == 0`.
+pub fn oblivious_schedule(dag: &CostDag, num_cores: usize) -> Schedule {
+    greedy_schedule(dag, num_cores, Selection::Oblivious)
+}
+
+/// A random greedy schedule: each step executes a uniformly random subset of
+/// ready vertices of maximal size.
+///
+/// # Panics
+///
+/// Panics if `num_cores == 0`.
+pub fn random_schedule(dag: &CostDag, num_cores: usize, seed: u64) -> Schedule {
+    greedy_schedule(dag, num_cores, Selection::Random(StdRng::seed_from_u64(seed)))
+}
+
+enum Selection {
+    Prompt,
+    WeakPrompt,
+    Oblivious,
+    Random(StdRng),
+}
+
+fn greedy_schedule(dag: &CostDag, num_cores: usize, mut sel: Selection) -> Schedule {
+    assert!(num_cores > 0, "need at least one core");
+    let n = dag.vertex_count();
+    let adj = Adjacency::new(dag);
+    let mut tracker = ReadyTracker::new(&adj);
+    let mut remaining = n;
+    let mut steps = Vec::new();
+    let dom = dag.domain().clone();
+
+    // Weak parents, for the weak-respecting policy.
+    let weak_parents: Vec<Vec<VertexId>> = dag.vertices().map(|v| dag.weak_parents(v)).collect();
+
+    while remaining > 0 {
+        let mut ready = tracker.ready_set();
+        if let Selection::WeakPrompt = sel {
+            ready.retain(|&v| {
+                weak_parents[v.index()]
+                    .iter()
+                    .all(|p| tracker.is_executed(*p))
+            });
+        }
+        assert!(
+            !ready.is_empty(),
+            "no ready vertices but {remaining} unexecuted: graph must be acyclic"
+        );
+        let chosen: Vec<VertexId> = match &mut sel {
+            Selection::Prompt | Selection::WeakPrompt => {
+                // Repeatedly take a vertex that nothing unassigned outranks.
+                let mut pool = ready.clone();
+                let mut picked = Vec::new();
+                while picked.len() < num_cores && !pool.is_empty() {
+                    let pos = pool
+                        .iter()
+                        .position(|&u| {
+                            pool.iter().all(|&v| {
+                                v == u || !dom.lt(dag.priority_of(u), dag.priority_of(v))
+                            })
+                        })
+                        .expect("a maximal-priority vertex always exists in a finite pool");
+                    picked.push(pool.remove(pos));
+                }
+                picked
+            }
+            Selection::Oblivious => {
+                let mut pool = ready.clone();
+                pool.sort();
+                pool.truncate(num_cores);
+                pool
+            }
+            Selection::Random(rng) => {
+                let mut pool = ready.clone();
+                pool.shuffle(rng);
+                pool.truncate(num_cores);
+                pool
+            }
+        };
+        for &v in &chosen {
+            tracker.execute(&adj, v);
+        }
+        remaining -= chosen.len();
+        steps.push(chosen);
+    }
+
+    Schedule { num_cores, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rp_priority::PriorityDomain;
+
+    /// hi thread H = [h0, h1, h2]; lo thread L = [l0..l5]; root R(hi) = [r0];
+    /// R creates both; H and L are independent after creation.
+    fn contended() -> CostDag {
+        let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+        let hi = dom.priority("hi").unwrap();
+        let lo = dom.priority("lo").unwrap();
+        let mut b = DagBuilder::new(dom);
+        let root = b.thread("root", hi);
+        let h = b.thread("h", hi);
+        let l = b.thread("l", lo);
+        let r0 = b.vertex(root);
+        b.vertices(h, 3);
+        b.vertices(l, 6);
+        b.fcreate(r0, h).unwrap();
+        b.fcreate(r0, l).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_schedulers_produce_valid_schedules() {
+        let g = contended();
+        for kind in [
+            SchedulerKind::Prompt,
+            SchedulerKind::WeakRespectingPrompt,
+            SchedulerKind::Oblivious,
+            SchedulerKind::Random { seed: 7 },
+        ] {
+            for p in 1..=4 {
+                let s = schedule_with(&g, p, kind);
+                s.validate(&g).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_schedule_is_prompt() {
+        let g = contended();
+        for p in 1..=4 {
+            let s = prompt_schedule(&g, p);
+            assert!(s.is_prompt(&g), "prompt schedule not prompt at P={p}");
+        }
+    }
+
+    #[test]
+    fn prompt_prioritizes_high_priority_thread() {
+        let g = contended();
+        let h = g.thread_by_name("h").unwrap();
+        let prompt = prompt_schedule(&g, 1);
+        let oblivious = oblivious_schedule(&g, 1);
+        let t_prompt = prompt.response_time(&g, h).unwrap();
+        let t_obliv = oblivious.response_time(&g, h).unwrap();
+        // With one core, prompt runs all of H before L: response time 3.
+        assert_eq!(t_prompt, 3);
+        // The oblivious scheduler interleaves by id; H is created before L so
+        // it actually still wins here, but never does better than prompt.
+        assert!(t_prompt <= t_obliv);
+    }
+
+    #[test]
+    fn oblivious_can_delay_high_priority() {
+        // Make the low-priority thread have smaller vertex ids so the
+        // oblivious scheduler prefers it.
+        let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+        let hi = dom.priority("hi").unwrap();
+        let lo = dom.priority("lo").unwrap();
+        let mut b = DagBuilder::new(dom);
+        let root = b.thread("root", lo);
+        let l = b.thread("l", lo);
+        let h = b.thread("h", hi);
+        let r0 = b.vertex(root);
+        b.vertices(l, 6);
+        b.vertices(h, 3);
+        b.fcreate(r0, l).unwrap();
+        b.fcreate(r0, h).unwrap();
+        let g = b.build().unwrap();
+        let h = g.thread_by_name("h").unwrap();
+        let t_prompt = prompt_schedule(&g, 1).response_time(&g, h).unwrap();
+        let t_obliv = oblivious_schedule(&g, 1).response_time(&g, h).unwrap();
+        assert_eq!(t_prompt, 3);
+        assert_eq!(t_obliv, 9, "oblivious runs all 6 low-priority vertices first");
+    }
+
+    #[test]
+    fn weak_respecting_schedules_are_admissible() {
+        let dom = PriorityDomain::numeric(2);
+        let mut b = DagBuilder::new(dom.clone());
+        let main = b.thread("main", dom.by_index(1));
+        let child = b.thread("child", dom.by_index(0));
+        let m0 = b.vertex(main);
+        let m1 = b.vertex(main);
+        let c0 = b.vertex(child);
+        b.fcreate(m0, child).unwrap();
+        b.weak(c0, m1).unwrap();
+        let g = b.build().unwrap();
+        for p in 1..=3 {
+            let s = weak_respecting_prompt_schedule(&g, p);
+            s.validate(&g).unwrap();
+            assert!(s.is_admissible(&g));
+        }
+        // The plain prompt scheduler on 2 cores runs m1 and c0 together,
+        // which is not admissible — exactly the Figure 1(c) phenomenon.
+        let s = prompt_schedule(&g, 2);
+        assert!(!s.is_admissible(&g));
+        let _ = m1;
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible() {
+        let g = contended();
+        let a = random_schedule(&g, 2, 42);
+        let b = random_schedule(&g, 2, 42);
+        let c = random_schedule(&g, 2, 43);
+        assert_eq!(a, b);
+        // Different seeds usually differ (not guaranteed, but this graph has
+        // enough slack that seed 43 diverges).
+        assert!(a != c || a.steps.len() == c.steps.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let g = contended();
+        let _ = prompt_schedule(&g, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The *a-strengthening* transformation (Definition 2).
+//!
+//! For a thread `a = s · … · t` of a well-formed graph, the strengthening
+//! `ĝₐ` replaces every strong edge `(u₀, u)` that would put lower-priority
+//! work on `a`'s critical path with the edge `(u′, u)`, where `u′` is a
+//! vertex witnessing the weak path mandated by well-formedness: in any
+//! admissible schedule `u′` runs after `u₀`, so the implicit dependence is
+//! preserved while the low-priority vertex `u₀` disappears from the a-span.
+
+use crate::analysis::Reachability;
+use crate::graph::{CostDag, Edge, ThreadId, VertexId};
+
+/// The result of a-strengthening: the same vertices as the base graph with a
+/// rewritten edge relation.
+#[derive(Debug, Clone)]
+pub struct StrengthenedDag {
+    /// The thread the strengthening was taken with respect to.
+    pub thread: ThreadId,
+    /// Number of vertices (same as the base graph).
+    pub vertex_count: usize,
+    /// The rewritten edge set.
+    pub edges: Vec<Edge>,
+    /// Strong edges that Definition 2 removed, as `(u0, u)` pairs.
+    pub removed: Vec<(VertexId, VertexId)>,
+    /// Replacement edges added, as `(u', u)` pairs.
+    pub added: Vec<(VertexId, VertexId)>,
+}
+
+impl StrengthenedDag {
+    /// Outgoing edges of a vertex in the strengthened graph.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied().filter(move |e| e.from == v)
+    }
+
+    /// Incoming edges of a vertex in the strengthened graph.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied().filter(move |e| e.to == v)
+    }
+
+    /// Incoming strong parents in the strengthened graph.
+    pub fn strong_parents(&self, v: VertexId) -> Vec<VertexId> {
+        self.in_edges(v)
+            .filter(|e| e.kind.is_strong())
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Whether the strengthened graph still contains the strong edge
+    /// `(from, to)`.
+    pub fn has_strong_edge(&self, from: VertexId, to: VertexId) -> bool {
+        self.edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.kind.is_strong())
+    }
+}
+
+/// Computes the a-strengthening `ĝₐ` of `dag` with respect to thread `a`
+/// (Definition 2).
+///
+/// For every strong edge `(u₀, u)` such that `u ⊒ˢ t`, `Prio(u) ⪯̸ Prio(u₀)`,
+/// and `u ⋣ s` (where `s` and `t` are the first and last vertices of `a`):
+///
+/// 1. the edge `(u₀, u)` is removed;
+/// 2. if some `u′` exists with `u′ ⊒ˢ t`, `u₀ ⊒ʷ u′`, and `u′ ⋣ s`, the edge
+///    `(u′, u)` is added in its place (preferring witnesses that are not
+///    descendants of `u`, which well-formedness guarantees exist).
+///
+/// The transformation never looks at weak edges other than through the
+/// `⊒ʷ` relation; weak edges of the base graph are carried over unchanged.
+pub fn strengthening(dag: &CostDag, a: ThreadId) -> StrengthenedDag {
+    let reach = Reachability::new(dag);
+    strengthening_with(dag, a, &reach)
+}
+
+/// Like [`strengthening`] but reuses an existing [`Reachability`] analysis.
+pub fn strengthening_with(dag: &CostDag, a: ThreadId, reach: &Reachability) -> StrengthenedDag {
+    let s = dag.first_vertex(a);
+    let t = dag.last_vertex(a);
+    let dom = dag.domain();
+
+    let mut edges: Vec<Edge> = Vec::with_capacity(dag.edges().len());
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+
+    let rho_a = dag.thread_priority(a);
+    for e in dag.edges() {
+        if !e.kind.is_strong() {
+            edges.push(*e);
+            continue;
+        }
+        let (u0, u) = (e.from, e.to);
+        // As in the well-formedness check, the transformation is restricted
+        // to edges whose source is strictly lower priority than `a` itself —
+        // those are the vertices that cannot be charged to competitor work
+        // and must therefore leave the critical path.
+        let triggers = reach.is_strong_ancestor(u, t)
+            && !dom.leq(dag.priority_of(u), dag.priority_of(u0))
+            && !dom.leq(rho_a, dag.priority_of(u0))
+            && !reach.is_ancestor(u, s);
+        if !triggers {
+            edges.push(*e);
+            continue;
+        }
+        removed.push((u0, u));
+        // Find the witness u' of Definition 2: u' ⊒ˢ t and u0 ⊒ʷ u'.
+        // Prefer a witness that is not a descendant of u (well-formedness
+        // guarantees one exists) so the strengthened graph stays acyclic.
+        let mut witness: Option<VertexId> = None;
+        for cand in dag.vertices() {
+            if reach.is_strong_ancestor(cand, t)
+                && reach.is_weak_ancestor(u0, cand)
+                && !reach.is_ancestor(cand, s)
+            {
+                let non_descendant = !reach.is_ancestor(u, cand);
+                match witness {
+                    None => witness = Some(cand),
+                    Some(w) => {
+                        // Upgrade to a non-descendant witness if the current
+                        // one is a descendant of u.
+                        if non_descendant && reach.is_ancestor(u, w) {
+                            witness = Some(cand);
+                        }
+                    }
+                }
+                if non_descendant {
+                    // Keep scanning only to prefer later continuation points?
+                    // The definition allows any witness; the first
+                    // non-descendant is fine.
+                    witness = Some(cand);
+                    break;
+                }
+            }
+        }
+        if let Some(u_prime) = witness {
+            added.push((u_prime, u));
+            edges.push(Edge {
+                from: u_prime,
+                to: u,
+                kind: e.kind,
+            });
+        }
+    }
+
+    StrengthenedDag {
+        thread: a,
+        vertex_count: dag.vertex_count(),
+        edges,
+        removed,
+        added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rp_priority::PriorityDomain;
+
+    /// The Figure 3 situation: high-priority thread A = [s, u', t],
+    /// low-priority B = [u0, w], high-priority C = [u]; create(s,B),
+    /// create(u0,C), touch(C,t), weak(w, u').
+    fn fig3() -> (CostDag, [VertexId; 6]) {
+        let dom = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+        let hi = dom.priority("hi").unwrap();
+        let lo = dom.priority("lo").unwrap();
+        let mut b = DagBuilder::new(dom);
+        let a = b.thread("a", hi);
+        let bb = b.thread("b", lo);
+        let c = b.thread("c", hi);
+        let s = b.vertex(a);
+        let u_prime = b.vertex(a);
+        let t = b.vertex(a);
+        let u0 = b.vertex(bb);
+        let w = b.vertex(bb);
+        let u = b.vertex(c);
+        b.fcreate(s, bb).unwrap();
+        b.fcreate(u0, c).unwrap();
+        b.ftouch(c, t).unwrap();
+        b.weak(w, u_prime).unwrap();
+        (b.build().unwrap(), [s, u_prime, t, u0, w, u])
+    }
+
+    #[test]
+    fn strengthening_replaces_low_priority_create_edge() {
+        let (g, [_s, u_prime, _t, u0, _w, u]) = fig3();
+        let a = g.thread_by_name("a").unwrap();
+        let st = strengthening(&g, a);
+        assert_eq!(st.removed, vec![(u0, u)]);
+        assert_eq!(st.added, vec![(u_prime, u)]);
+        assert!(!st.has_strong_edge(u0, u));
+        assert!(st.has_strong_edge(u_prime, u));
+        // Edge count is preserved: one removed, one added.
+        assert_eq!(st.edges.len(), g.edges().len());
+    }
+
+    #[test]
+    fn strengthening_of_priority_free_graph_is_identity() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let mut b = DagBuilder::new(dom);
+        let a = b.thread("a", p);
+        let c = b.thread("c", p);
+        let a0 = b.vertex(a);
+        let a1 = b.vertex(a);
+        let _c0 = b.vertex(c);
+        b.fcreate(a0, c).unwrap();
+        b.ftouch(c, a1).unwrap();
+        let g = b.build().unwrap();
+        let st = strengthening(&g, a);
+        assert!(st.removed.is_empty() && st.added.is_empty());
+        assert_eq!(st.edges.len(), g.edges().len());
+    }
+
+    #[test]
+    fn strengthened_accessors() {
+        let (g, [_s, u_prime, t, _u0, _w, u]) = fig3();
+        let a = g.thread_by_name("a").unwrap();
+        let st = strengthening(&g, a);
+        assert_eq!(st.vertex_count, g.vertex_count());
+        assert!(st.strong_parents(u).contains(&u_prime));
+        assert!(st.out_edges(u).any(|e| e.to == t));
+        assert!(st.in_edges(t).any(|e| e.from == u));
+    }
+}

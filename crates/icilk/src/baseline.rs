@@ -1,0 +1,78 @@
+//! The Cilk-F baseline configuration.
+//!
+//! The paper compares I-Cilk against Cilk-F, the futures-capable runtime it
+//! is built on: the same work-stealing machinery and the same latency-hiding
+//! `io_future` library, but no notion of priority.  This module provides the
+//! corresponding configuration helpers: the baseline runtime shares every
+//! component with the I-Cilk runtime except that all tasks flow through a
+//! single FIFO pool and no master scheduler runs.
+//!
+//! Keeping the comparison inside one code base mirrors the paper's
+//! methodology ("for fair comparison, Cilk-F is also equipped with the same
+//! io_future library").
+
+use crate::master::MasterConfig;
+use crate::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_sim::latency::LatencyModel;
+
+/// A baseline (priority-oblivious) configuration with the same parameters as
+/// the given I-Cilk configuration.
+pub fn baseline_of(config: &RuntimeConfig) -> RuntimeConfig {
+    let mut c = config.clone();
+    c.scheduler = SchedulerKind::Baseline;
+    c
+}
+
+/// Starts a matched pair of runtimes — I-Cilk and the baseline — with
+/// identical workers, levels, and I/O latency model, for side-by-side
+/// experiments.
+pub fn matched_pair(
+    workers: usize,
+    level_names: &[&str],
+    io: LatencyModel,
+    seed: u64,
+    master: MasterConfig,
+) -> (Runtime, Runtime) {
+    let base = RuntimeConfig::new(workers, level_names.len())
+        .with_level_names(level_names.to_vec())
+        .with_io_latency(io, seed)
+        .with_master(master);
+    let icilk = Runtime::start(base.clone());
+    let cilk_f = Runtime::start(baseline_of(&base));
+    (icilk, cilk_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn baseline_of_only_changes_the_scheduler() {
+        let a = RuntimeConfig::new(3, 2).with_level_names(["lo", "hi"]);
+        let b = baseline_of(&a);
+        assert_eq!(b.scheduler, SchedulerKind::Baseline);
+        assert_eq!(b.workers, a.workers);
+        assert_eq!(b.levels, a.levels);
+        assert_eq!(b.level_names, a.level_names);
+    }
+
+    #[test]
+    fn matched_pair_runs_the_same_workload() {
+        let (icilk, cilk_f) = matched_pair(
+            2,
+            &["bg", "ui"],
+            LatencyModel::Constant { micros: 100 },
+            7,
+            MasterConfig::default(),
+        );
+        for rt in [&icilk, &cilk_f] {
+            let ui = rt.priority_by_name("ui").unwrap();
+            let f = rt.fcreate(ui, || 2 + 2);
+            assert_eq!(rt.ftouch_blocking(&f), 4);
+            assert!(rt.drain(Duration::from_secs(1)));
+        }
+        icilk.shutdown();
+        cilk_f.shutdown();
+    }
+}

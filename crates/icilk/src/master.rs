@@ -1,0 +1,226 @@
+//! The two-level adaptive master scheduler (Section 4.3).
+//!
+//! Every scheduling quantum the master:
+//!
+//! 1. computes each priority level's *utilization* over the quantum —
+//!    useful work performed divided by the capacity it was allotted;
+//! 2. updates each level's *desire*: multiply by the growth parameter γ when
+//!    utilization exceeded the threshold and the previous desire was
+//!    satisfied, keep it when utilization was high but the desire was not
+//!    met, and divide by γ otherwise;
+//! 3. hands out cores in priority order, highest first, each level receiving
+//!    `min(desire, remaining)` cores, and maps workers to levels
+//!    accordingly (left-over cores go to the lowest level so they are never
+//!    parked while work exists).
+
+use crate::pool::SharedState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunable parameters of the master scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterConfig {
+    /// The scheduling quantum (the paper uses 500µs).
+    pub quantum: Duration,
+    /// The utilization threshold above which a level's desire grows
+    /// (the paper uses 90%).
+    pub utilization_threshold: f64,
+    /// The multiplicative growth parameter γ (the paper uses 2).
+    pub growth: f64,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            quantum: Duration::from_micros(500),
+            utilization_threshold: 0.9,
+            growth: 2.0,
+        }
+    }
+}
+
+/// One master re-evaluation: reads and resets the per-level busy counters,
+/// updates desires, and recomputes allotments and the worker→level
+/// assignment.  Extracted from the master loop so it can be unit-tested
+/// without threads.
+pub fn rebalance(shared: &SharedState, config: &MasterConfig) {
+    let quantum_nanos = config.quantum.as_nanos().max(1) as f64;
+    let num_levels = shared.levels.len();
+    let num_workers = shared.num_workers;
+
+    // Step 1 & 2: utilization and desire updates.
+    for level in shared.levels.iter() {
+        let busy = level.busy_nanos.swap(0, Ordering::Relaxed) as f64;
+        let allotment = level.allotment.load(Ordering::Relaxed);
+        let desire = level.desire.load(Ordering::Relaxed).max(1);
+        let pending = level.pending.load(Ordering::Relaxed);
+        let capacity = (allotment.max(1) as f64) * quantum_nanos;
+        let utilization = (busy / capacity).min(1.0);
+        let satisfied = allotment >= desire;
+        let new_desire = if pending == 0 && busy == 0.0 {
+            // Nothing queued and nothing ran: shrink toward one core.
+            ((desire as f64) / config.growth).floor().max(1.0) as usize
+        } else if utilization >= config.utilization_threshold && satisfied {
+            (((desire as f64) * config.growth).ceil() as usize).min(num_workers)
+        } else if utilization >= config.utilization_threshold {
+            desire
+        } else {
+            ((desire as f64) / config.growth).floor().max(1.0) as usize
+        };
+        level.desire.store(new_desire, Ordering::Relaxed);
+    }
+
+    // Step 3: allot cores from the highest priority downward.
+    let mut remaining = num_workers;
+    let mut allotments = vec![0usize; num_levels];
+    for level_ix in (0..num_levels).rev() {
+        let desire = shared.levels[level_ix].desire.load(Ordering::Relaxed);
+        let grant = desire.min(remaining);
+        allotments[level_ix] = grant;
+        remaining -= grant;
+    }
+    // Left-over cores go to the lowest level so no core idles by fiat.
+    allotments[0] += remaining;
+    for (level_ix, &a) in allotments.iter().enumerate() {
+        shared.levels[level_ix].allotment.store(a, Ordering::Relaxed);
+    }
+
+    // Map workers to levels: highest priority levels get the first workers.
+    let mut worker = 0usize;
+    for level_ix in (0..num_levels).rev() {
+        for _ in 0..allotments[level_ix] {
+            if worker < shared.assignment.len() {
+                shared.assignment[worker].store(level_ix, Ordering::Relaxed);
+                worker += 1;
+            }
+        }
+    }
+    while worker < shared.assignment.len() {
+        shared.assignment[worker].store(0, Ordering::Relaxed);
+        worker += 1;
+    }
+}
+
+/// The master thread: rebalances every quantum until shutdown.
+pub fn master_loop(shared: Arc<SharedState>, config: MasterConfig) {
+    while !shared.is_shutting_down() {
+        std::thread::sleep(config.quantum);
+        rebalance(&shared, &config);
+    }
+}
+
+/// Spawns the master scheduler thread.
+pub fn spawn_master(shared: &Arc<SharedState>, config: MasterConfig) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("icilk-master".to_string())
+        .spawn(move || master_loop(shared, config))
+        .expect("spawning the master thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolKind, SharedState};
+    use crate::priority::PrioritySet;
+
+    fn shared(workers: usize) -> Arc<SharedState> {
+        SharedState::new(
+            PrioritySet::new(["lo", "mid", "hi"]),
+            workers,
+            PoolKind::Prioritized,
+        )
+    }
+
+    #[test]
+    fn high_priority_levels_get_cores_first() {
+        let s = shared(4);
+        let config = MasterConfig::default();
+        // Pretend the high level was fully busy and wants more.
+        s.levels[2].desire.store(3, Ordering::Relaxed);
+        s.levels[2].allotment.store(3, Ordering::Relaxed);
+        s.levels[2]
+            .busy_nanos
+            .store(3 * config.quantum.as_nanos() as u64, Ordering::Relaxed);
+        s.levels[2].pending.store(5, Ordering::Relaxed);
+        // The low level also wants everything.
+        s.levels[0].desire.store(4, Ordering::Relaxed);
+        s.levels[0].allotment.store(1, Ordering::Relaxed);
+        s.levels[0]
+            .busy_nanos
+            .store(config.quantum.as_nanos() as u64, Ordering::Relaxed);
+        s.levels[0].pending.store(5, Ordering::Relaxed);
+        rebalance(&s, &config);
+        let hi = s.levels[2].allotment.load(Ordering::Relaxed);
+        let lo = s.levels[0].allotment.load(Ordering::Relaxed);
+        assert!(hi >= 3, "high level keeps or grows its cores, got {hi}");
+        assert!(hi + lo <= 4 + 0 || lo >= 0);
+        // Workers 0.. are assigned to the high level first.
+        assert_eq!(s.assignment[0].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn desire_grows_when_utilized_and_satisfied() {
+        let s = shared(4);
+        let config = MasterConfig::default();
+        s.levels[1].desire.store(1, Ordering::Relaxed);
+        s.levels[1].allotment.store(1, Ordering::Relaxed);
+        s.levels[1]
+            .busy_nanos
+            .store(config.quantum.as_nanos() as u64, Ordering::Relaxed);
+        s.levels[1].pending.store(3, Ordering::Relaxed);
+        rebalance(&s, &config);
+        assert_eq!(s.levels[1].desire.load(Ordering::Relaxed), 2, "γ = 2 doubles");
+    }
+
+    #[test]
+    fn desire_shrinks_when_idle() {
+        let s = shared(4);
+        let config = MasterConfig::default();
+        s.levels[2].desire.store(4, Ordering::Relaxed);
+        s.levels[2].allotment.store(4, Ordering::Relaxed);
+        // No busy time, nothing pending.
+        rebalance(&s, &config);
+        assert_eq!(s.levels[2].desire.load(Ordering::Relaxed), 2);
+        rebalance(&s, &config);
+        assert_eq!(s.levels[2].desire.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn leftover_cores_go_to_the_lowest_level() {
+        let s = shared(8);
+        let config = MasterConfig::default();
+        // Every level wants one core; 8 − 3 = 5 left over.
+        rebalance(&s, &config);
+        let total: usize = (0..3)
+            .map(|i| s.levels[i].allotment.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 8, "all cores are assigned");
+        assert!(s.levels[0].allotment.load(Ordering::Relaxed) >= 5);
+    }
+
+    #[test]
+    fn desire_never_exceeds_worker_count_nor_drops_below_one() {
+        let s = shared(2);
+        let config = MasterConfig {
+            growth: 4.0,
+            ..MasterConfig::default()
+        };
+        s.levels[2].desire.store(2, Ordering::Relaxed);
+        s.levels[2].allotment.store(2, Ordering::Relaxed);
+        s.levels[2]
+            .busy_nanos
+            .store(2 * config.quantum.as_nanos() as u64, Ordering::Relaxed);
+        s.levels[2].pending.store(1, Ordering::Relaxed);
+        rebalance(&s, &config);
+        assert!(s.levels[2].desire.load(Ordering::Relaxed) <= 2);
+        for _ in 0..5 {
+            rebalance(&s, &config);
+        }
+        for l in &s.levels {
+            assert!(l.desire.load(Ordering::Relaxed) >= 1);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-priority-level task metrics.
+//!
+//! The evaluation (Section 5.2) reports, per priority level, the *response
+//! time* (request sent → handled) and the *compute time* (task start →
+//! finish), as averages and 95th percentiles.  [`MetricsCollector`] gathers
+//! both for every task the runtime executes.
+
+use parking_lot::Mutex;
+use rp_sim::stats::LatencyStats;
+use std::time::Duration;
+
+/// Thread-safe collector of per-level task statistics.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    response: Vec<LatencyStats>,
+    compute: Vec<LatencyStats>,
+    completed: Vec<u64>,
+}
+
+/// An immutable snapshot of the collected statistics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Response time (creation → completion) per level, lowest level first.
+    pub response: Vec<LatencyStats>,
+    /// Compute time (start → completion) per level, lowest level first.
+    pub compute: Vec<LatencyStats>,
+    /// Number of completed tasks per level.
+    pub completed: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Mean response time in microseconds for a level, if any task completed.
+    pub fn mean_response_micros(&self, level: usize) -> Option<f64> {
+        self.response.get(level).and_then(|s| s.mean_micros())
+    }
+
+    /// 95th-percentile response time in microseconds for a level.
+    pub fn p95_response_micros(&self, level: usize) -> Option<f64> {
+        self.response.get(level).and_then(|s| s.p95_micros())
+    }
+
+    /// Mean compute time in microseconds for a level.
+    pub fn mean_compute_micros(&self, level: usize) -> Option<f64> {
+        self.compute.get(level).and_then(|s| s.mean_micros())
+    }
+
+    /// 95th-percentile compute time in microseconds for a level.
+    pub fn p95_compute_micros(&self, level: usize) -> Option<f64> {
+        self.compute.get(level).and_then(|s| s.p95_micros())
+    }
+
+    /// Total tasks completed across all levels.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+}
+
+impl MetricsCollector {
+    /// A collector for `levels` priority levels.
+    pub fn new(levels: usize) -> Self {
+        MetricsCollector {
+            inner: Mutex::new(Inner {
+                response: vec![LatencyStats::new(); levels],
+                compute: vec![LatencyStats::new(); levels],
+                completed: vec![0; levels],
+            }),
+        }
+    }
+
+    /// Records one completed task at the given level.
+    pub fn record_task(&self, level: usize, response: Duration, compute: Duration) {
+        let mut inner = self.inner.lock();
+        if level < inner.response.len() {
+            inner.response[level].record(response);
+            inner.compute[level].record(compute);
+            inner.completed[level] += 1;
+        }
+    }
+
+    /// Takes a snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            response: inner.response.clone(),
+            compute: inner.compute.clone(),
+            completed: inner.completed.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_level() {
+        let m = MetricsCollector::new(2);
+        m.record_task(0, Duration::from_micros(100), Duration::from_micros(40));
+        m.record_task(1, Duration::from_micros(10), Duration::from_micros(5));
+        m.record_task(1, Duration::from_micros(30), Duration::from_micros(15));
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, vec![1, 2]);
+        assert_eq!(snap.total_completed(), 3);
+        assert!((snap.mean_response_micros(0).unwrap() - 100.0).abs() < 1.0);
+        assert!((snap.mean_response_micros(1).unwrap() - 20.0).abs() < 1.0);
+        assert!((snap.mean_compute_micros(1).unwrap() - 10.0).abs() < 1.0);
+        assert!(snap.p95_response_micros(1).unwrap() >= 29.0);
+        assert!(snap.p95_compute_micros(0).is_some());
+    }
+
+    #[test]
+    fn out_of_range_level_is_ignored() {
+        let m = MetricsCollector::new(1);
+        m.record_task(7, Duration::from_micros(1), Duration::from_micros(1));
+        assert_eq!(m.snapshot().total_completed(), 0);
+    }
+
+    #[test]
+    fn empty_levels_report_none() {
+        let m = MetricsCollector::new(2);
+        let snap = m.snapshot();
+        assert!(snap.mean_response_micros(0).is_none());
+        assert!(snap.p95_response_micros(1).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-priority-level task pools and the runtime's shared state.
+
+use crate::metrics::MetricsCollector;
+use crate::priority::PrioritySet;
+use crossbeam::deque::{Injector, Steal};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A unit of work: the boxed task body plus accounting metadata.
+pub struct Task {
+    /// The task body.
+    pub run: Box<dyn FnOnce() + Send + 'static>,
+    /// The priority level index of the task (0 = lowest).
+    pub level: usize,
+    /// When the task was enqueued (for response-time accounting).
+    pub enqueued_at: Instant,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("level", &self.level)
+            .field("enqueued_at", &self.enqueued_at)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The queue and scheduler counters of one priority level.
+#[derive(Debug)]
+pub struct LevelPool {
+    /// The level's task queue.
+    pub injector: Injector<Task>,
+    /// Nanoseconds of useful work performed for this level in the current
+    /// scheduling quantum.
+    pub busy_nanos: AtomicU64,
+    /// The level's desire (number of cores it wants next quantum).
+    pub desire: AtomicUsize,
+    /// The level's current allotment (cores assigned this quantum).
+    pub allotment: AtomicUsize,
+    /// Tasks currently queued or running at this level.
+    pub pending: AtomicUsize,
+}
+
+impl LevelPool {
+    fn new() -> Self {
+        LevelPool {
+            injector: Injector::new(),
+            busy_nanos: AtomicU64::new(0),
+            desire: AtomicUsize::new(1),
+            allotment: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Which scheduling strategy the runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// I-Cilk: per-level pools, workers assigned to levels by the master.
+    Prioritized,
+    /// Cilk-F baseline: a single FIFO pool, priorities ignored for
+    /// scheduling (but still recorded for metrics).
+    Oblivious,
+}
+
+/// State shared between the public runtime handle, the workers, the master
+/// scheduler, and the I/O reactor.
+#[derive(Debug)]
+pub struct SharedState {
+    /// The program's priority levels.
+    pub priorities: PrioritySet,
+    /// Per-level pools (always one per level, even in oblivious mode).
+    pub levels: Vec<LevelPool>,
+    /// The single global queue used in oblivious (baseline) mode.
+    pub global: Injector<Task>,
+    /// Which strategy is in effect.
+    pub kind: PoolKind,
+    /// Worker → assigned level index (meaningful in prioritized mode).
+    pub assignment: Vec<AtomicUsize>,
+    /// Set when the runtime is shutting down.
+    pub shutdown: AtomicBool,
+    /// Per-level task statistics.
+    pub metrics: MetricsCollector,
+    /// Number of worker threads.
+    pub num_workers: usize,
+}
+
+impl SharedState {
+    /// Creates the shared state for `num_workers` workers over the given
+    /// priority set.
+    pub fn new(priorities: PrioritySet, num_workers: usize, kind: PoolKind) -> Arc<Self> {
+        let levels = (0..priorities.len()).map(|_| LevelPool::new()).collect();
+        let metrics = MetricsCollector::new(priorities.len());
+        // Initially every worker serves the highest level; the master
+        // rebalances at the end of the first quantum.
+        let top = priorities.len() - 1;
+        let assignment = (0..num_workers).map(|_| AtomicUsize::new(top)).collect();
+        Arc::new(SharedState {
+            priorities,
+            levels,
+            global: Injector::new(),
+            kind,
+            assignment,
+            shutdown: AtomicBool::new(false),
+            metrics,
+            num_workers,
+        })
+    }
+
+    /// Enqueues a task at its level (or the global queue in oblivious mode).
+    pub fn push_task(&self, task: Task) {
+        let level = task.level.min(self.levels.len() - 1);
+        self.levels[level].pending.fetch_add(1, Ordering::Relaxed);
+        match self.kind {
+            PoolKind::Prioritized => self.levels[level].injector.push(task),
+            PoolKind::Oblivious => self.global.push(task),
+        }
+    }
+
+    /// Tries to pop a task for a worker assigned to `preferred_level`
+    /// (prioritized mode) or any task (oblivious mode).
+    ///
+    /// In prioritized mode a worker first serves its assigned level; if that
+    /// level is empty it may help any *other* level, scanning from the
+    /// highest priority down — this approximates proactive work stealing's
+    /// property that cores are never idle while work exists, while the
+    /// master's allotments still bias capacity toward high priorities.
+    pub fn pop_task(&self, preferred_level: usize) -> Option<Task> {
+        match self.kind {
+            PoolKind::Oblivious => loop {
+                match self.global.steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => return None,
+                    Steal::Retry => continue,
+                }
+            },
+            PoolKind::Prioritized => {
+                if let Some(t) = self.pop_level(preferred_level) {
+                    return Some(t);
+                }
+                for level in (0..self.levels.len()).rev() {
+                    if level != preferred_level {
+                        if let Some(t) = self.pop_level(level) {
+                            return Some(t);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn pop_level(&self, level: usize) -> Option<Task> {
+        loop {
+            match self.levels[level].injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
+    /// Records that `nanos` of work were done for `level` this quantum.
+    pub fn record_busy(&self, level: usize, nanos: u64) {
+        if let Some(l) = self.levels.get(level) {
+            l.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks a task at `level` as finished (for the pending counter).
+    pub fn task_finished(&self, level: usize) {
+        if let Some(l) = self.levels.get(level) {
+            l.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any task is pending anywhere.
+    pub fn any_pending(&self) -> bool {
+        self.levels
+            .iter()
+            .any(|l| l.pending.load(Ordering::Relaxed) > 0)
+    }
+
+    /// Signals shutdown to workers, the master, and the reactor.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(kind: PoolKind) -> Arc<SharedState> {
+        SharedState::new(PrioritySet::new(["lo", "hi"]), 2, kind)
+    }
+
+    fn task(level: usize, marker: Arc<AtomicUsize>) -> Task {
+        Task {
+            run: Box::new(move || {
+                marker.fetch_add(1, Ordering::SeqCst);
+            }),
+            level,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn prioritized_pop_prefers_assigned_then_highest() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        s.push_task(task(0, m.clone()));
+        s.push_task(task(1, m.clone()));
+        // A worker assigned to level 0 pops its own level first.
+        let t = s.pop_task(0).unwrap();
+        assert_eq!(t.level, 0);
+        // Then helps the other level.
+        let t = s.pop_task(0).unwrap();
+        assert_eq!(t.level, 1);
+        assert!(s.pop_task(0).is_none());
+    }
+
+    #[test]
+    fn oblivious_pop_is_fifo_across_levels() {
+        let s = shared(PoolKind::Oblivious);
+        let m = Arc::new(AtomicUsize::new(0));
+        s.push_task(task(0, m.clone()));
+        s.push_task(task(1, m.clone()));
+        let first = s.pop_task(1).unwrap();
+        assert_eq!(first.level, 0, "baseline ignores priority: FIFO order");
+    }
+
+    #[test]
+    fn pending_counters_track_push_and_finish() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        assert!(!s.any_pending());
+        s.push_task(task(1, m));
+        assert!(s.any_pending());
+        let t = s.pop_task(1).unwrap();
+        (t.run)();
+        s.task_finished(t.level);
+        assert!(!s.any_pending());
+    }
+
+    #[test]
+    fn busy_accounting_and_shutdown_flag() {
+        let s = shared(PoolKind::Prioritized);
+        s.record_busy(1, 500);
+        assert_eq!(s.levels[1].busy_nanos.load(Ordering::Relaxed), 500);
+        assert!(!s.is_shutting_down());
+        s.request_shutdown();
+        assert!(s.is_shutting_down());
+    }
+}

@@ -1,0 +1,211 @@
+//! Priorities for I-Cilk tasks: a compile-time encoding and a runtime
+//! representation.
+//!
+//! The paper encodes priorities as C++ classes whose inheritance hierarchy
+//! mirrors the priority order and checks `is_base_of` at `ftouch` sites.
+//! The Rust analogue: each priority level is a zero-sized type implementing
+//! [`PriorityLevel`]; the ordering is expressed by implementations of the
+//! marker trait [`OutranksOrEqual`].  The typed API
+//! ([`crate::runtime::Runtime::fcreate_typed`] /
+//! [`crate::runtime::Runtime::ftouch_typed`]) requires
+//! `Touched: OutranksOrEqual<Toucher>`, so a priority inversion is a compile
+//! error, exactly like the paper's `static_assert`.
+//!
+//! The [`define_priorities!`](crate::define_priorities) macro declares a
+//! totally ordered family of levels and all the `OutranksOrEqual`
+//! implementations.
+//!
+//! The runtime side ([`PrioritySet`]) is a thin wrapper over
+//! [`rp_priority::PriorityDomain`] mapping level indices to scheduler pools.
+
+use rp_priority::{Priority, PriorityDomain};
+
+/// A compile-time priority level (a zero-sized marker type).
+pub trait PriorityLevel: Send + Sync + 'static {
+    /// The level's index, 0 = lowest.
+    const INDEX: usize;
+    /// The level's human-readable name.
+    const NAME: &'static str;
+}
+
+/// Marker trait: `Self` is higher than or equal to `Lower` in the priority
+/// order.  `ftouch` of a thread at priority `Self` from code at priority
+/// `Lower` is allowed exactly when this bound holds (the λ⁴ᵢ `Touch` rule).
+pub trait OutranksOrEqual<Lower: PriorityLevel>: PriorityLevel {}
+
+/// Declares a totally ordered set of priority levels, lowest first, and
+/// implements [`PriorityLevel`] and [`OutranksOrEqual`] accordingly.
+///
+/// ```
+/// use rp_icilk::define_priorities;
+/// use rp_icilk::priority::{OutranksOrEqual, PriorityLevel};
+///
+/// define_priorities!(Background, Logging, Interactive);
+///
+/// fn requires_no_inversion<Touched, Toucher>()
+/// where
+///     Toucher: PriorityLevel,
+///     Touched: OutranksOrEqual<Toucher>,
+/// {
+/// }
+///
+/// // Interactive code may touch interactive work; background code may touch
+/// // anything.
+/// requires_no_inversion::<Interactive, Background>();
+/// requires_no_inversion::<Interactive, Interactive>();
+/// // `requires_no_inversion::<Background, Interactive>()` would not compile:
+/// // that is the priority inversion the type system rules out.
+/// assert_eq!(Background::INDEX, 0);
+/// assert_eq!(Interactive::NAME, "Interactive");
+/// ```
+#[macro_export]
+macro_rules! define_priorities {
+    ($($name:ident),+ $(,)?) => {
+        $crate::define_priorities!(@declare 0usize; $($name),+);
+        $crate::define_priorities!(@order ; $($name),+);
+    };
+    (@declare $idx:expr; $name:ident $(, $rest:ident)*) => {
+        /// A priority level declared by `define_priorities!`.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+        impl $crate::priority::PriorityLevel for $name {
+            const INDEX: usize = $idx;
+            const NAME: &'static str = stringify!($name);
+        }
+        // Every level outranks-or-equals itself (reflexivity of ⪯).
+        impl $crate::priority::OutranksOrEqual<$name> for $name {}
+        $crate::define_priorities!(@declare $idx + 1usize; $($rest),*);
+    };
+    (@declare $idx:expr;) => {};
+    // For each level, make every *later* (higher) level outrank it.
+    (@order $($lower:ident),*; $name:ident $(, $rest:ident)*) => {
+        $(
+            impl $crate::priority::OutranksOrEqual<$lower> for $name {}
+        )*
+        $crate::define_priorities!(@order $($lower,)* $name; $($rest),*);
+    };
+    (@order $($lower:ident),*;) => {};
+}
+
+
+/// The runtime representation of a program's priority levels: a total order
+/// with named levels, convertible to scheduler pool indices.
+#[derive(Debug, Clone)]
+pub struct PrioritySet {
+    domain: PriorityDomain,
+}
+
+impl PrioritySet {
+    /// A totally ordered set with the given names, lowest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names are duplicated or empty.
+    pub fn new<I, S>(names_low_to_high: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PrioritySet {
+            domain: PriorityDomain::total_order(names_low_to_high)
+                .expect("priority level names must be distinct and non-empty"),
+        }
+    }
+
+    /// A set with `n` anonymous levels.
+    pub fn numeric(n: usize) -> Self {
+        PrioritySet {
+            domain: PriorityDomain::numeric(n),
+        }
+    }
+
+    /// The underlying domain.
+    pub fn domain(&self) -> &PriorityDomain {
+        &self.domain
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether the set is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.domain.is_empty()
+    }
+
+    /// Looks up a level by name.
+    pub fn by_name(&self, name: &str) -> Option<Priority> {
+        self.domain.priority(name)
+    }
+
+    /// The level with the given index (0 = lowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn by_index(&self, index: usize) -> Priority {
+        self.domain.by_index(index)
+    }
+
+    /// The runtime check corresponding to `Touched: OutranksOrEqual<Toucher>`:
+    /// does code at `toucher` touching a future at `touched` avoid a priority
+    /// inversion?
+    pub fn touch_allowed(&self, toucher: Priority, touched: Priority) -> bool {
+        self.domain.leq(toucher, touched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    define_priorities!(Low, Mid, High);
+
+    fn assert_outranks<A, B>()
+    where
+        B: PriorityLevel,
+        A: OutranksOrEqual<B>,
+    {
+    }
+
+    #[test]
+    fn macro_generates_indices_and_names() {
+        assert_eq!(Low::INDEX, 0);
+        assert_eq!(Mid::INDEX, 1);
+        assert_eq!(High::INDEX, 2);
+        assert_eq!(Low::NAME, "Low");
+        assert_eq!(High::NAME, "High");
+    }
+
+    #[test]
+    fn macro_generates_order() {
+        assert_outranks::<Low, Low>();
+        assert_outranks::<Mid, Low>();
+        assert_outranks::<High, Low>();
+        assert_outranks::<High, Mid>();
+        assert_outranks::<High, High>();
+        // assert_outranks::<Low, High>() must not compile; see the
+        // compile-fail style doc in the macro's example.
+    }
+
+    #[test]
+    fn priority_set_runtime_checks() {
+        let set = PrioritySet::new(["bg", "ui"]);
+        let bg = set.by_name("bg").unwrap();
+        let ui = set.by_name("ui").unwrap();
+        assert!(set.touch_allowed(bg, ui));
+        assert!(set.touch_allowed(ui, ui));
+        assert!(!set.touch_allowed(ui, bg), "inversion is rejected");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.by_index(1), ui);
+    }
+
+    #[test]
+    fn numeric_set() {
+        let set = PrioritySet::numeric(4);
+        assert_eq!(set.len(), 4);
+        assert!(set.touch_allowed(set.by_index(0), set.by_index(3)));
+    }
+}

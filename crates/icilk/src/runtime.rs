@@ -1,0 +1,459 @@
+//! The public I-Cilk runtime.
+
+use crate::future::{IFuture, PriorityCtx, TypedFuture};
+use crate::io_future::IoReactor;
+use crate::master::{spawn_master, MasterConfig};
+use crate::metrics::MetricsSnapshot;
+use crate::pool::{PoolKind, SharedState, Task};
+use crate::priority::{OutranksOrEqual, PriorityLevel, PrioritySet};
+use crate::worker::{execute_task, spawn_workers};
+use rp_priority::Priority;
+use rp_sim::latency::LatencyModel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which scheduler the runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The full I-Cilk scheduler: per-level pools plus the two-level adaptive
+    /// master.
+    ICilk,
+    /// The priority-oblivious baseline standing in for Cilk-F: a single FIFO
+    /// pool, no master.
+    Baseline,
+}
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Number of priority levels (lowest = 0).
+    pub levels: usize,
+    /// Optional names for the levels, lowest first.
+    pub level_names: Option<Vec<String>>,
+    /// Scheduler flavour.
+    pub scheduler: SchedulerKind,
+    /// Master scheduler parameters (quantum, utilization threshold, γ).
+    pub master: MasterConfig,
+    /// Latency model for simulated I/O.
+    pub io_latency: LatencyModel,
+    /// Seed for the I/O latency sampler.
+    pub io_seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A configuration with the given number of workers and priority levels,
+    /// using the I-Cilk scheduler and the paper's default master parameters
+    /// (500µs quantum, 90% utilization threshold, γ = 2).
+    pub fn new(workers: usize, levels: usize) -> Self {
+        RuntimeConfig {
+            workers: workers.max(1),
+            levels: levels.max(1),
+            level_names: None,
+            scheduler: SchedulerKind::ICilk,
+            master: MasterConfig::default(),
+            io_latency: LatencyModel::Uniform { lo: 200, hi: 2_000 },
+            io_seed: 0xC11F,
+        }
+    }
+
+    /// Names the priority levels, lowest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names differs from `levels`.
+    pub fn with_level_names<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(names.len(), self.levels, "one name per priority level");
+        self.level_names = Some(names);
+        self
+    }
+
+    /// Selects the scheduler flavour.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Overrides the master scheduler parameters.
+    pub fn with_master(mut self, master: MasterConfig) -> Self {
+        self.master = master;
+        self
+    }
+
+    /// Overrides the simulated I/O latency model.
+    pub fn with_io_latency(mut self, model: LatencyModel, seed: u64) -> Self {
+        self.io_latency = model;
+        self.io_seed = seed;
+        self
+    }
+}
+
+/// The I-Cilk runtime: a fixed set of workers, per-priority pools, the
+/// adaptive master (unless running the baseline), and the simulated-I/O
+/// reactor.
+#[derive(Debug)]
+pub struct Runtime {
+    shared: Arc<SharedState>,
+    reactor: IoReactor,
+    workers: Vec<JoinHandle<()>>,
+    master: Option<JoinHandle<()>>,
+    started_at: Instant,
+}
+
+impl Runtime {
+    /// Starts the runtime.
+    pub fn start(config: RuntimeConfig) -> Self {
+        let priorities = match &config.level_names {
+            Some(names) => PrioritySet::new(names.clone()),
+            None => PrioritySet::numeric(config.levels),
+        };
+        let kind = match config.scheduler {
+            SchedulerKind::ICilk => PoolKind::Prioritized,
+            SchedulerKind::Baseline => PoolKind::Oblivious,
+        };
+        let shared = SharedState::new(priorities, config.workers, kind);
+        let workers = spawn_workers(&shared);
+        let master = match config.scheduler {
+            SchedulerKind::ICilk => Some(spawn_master(&shared, config.master)),
+            SchedulerKind::Baseline => None,
+        };
+        let reactor = IoReactor::start(config.io_latency, config.io_seed);
+        Runtime {
+            shared,
+            reactor,
+            workers,
+            master,
+            started_at: Instant::now(),
+        }
+    }
+
+    /// The runtime's priority levels.
+    pub fn priorities(&self) -> &PrioritySet {
+        &self.shared.priorities
+    }
+
+    /// Looks up a priority level by name.
+    pub fn priority_by_name(&self, name: &str) -> Option<Priority> {
+        self.shared.priorities.by_name(name)
+    }
+
+    /// The priority level with the given index (0 = lowest).
+    pub fn priority_by_index(&self, index: usize) -> Priority {
+        self.shared.priorities.by_index(index)
+    }
+
+    /// `fcreate`: spawns `body` as a task at `priority` and returns its
+    /// future.
+    pub fn fcreate<T, F>(&self, priority: Priority, body: F) -> IFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let future = IFuture::new(priority);
+        let completion = future.clone();
+        let level = priority.index();
+        self.shared.push_task(Task {
+            run: Box::new(move || completion.complete(body())),
+            level,
+            enqueued_at: Instant::now(),
+        });
+        future
+    }
+
+    /// `fcreate` with a compile-time priority level: the returned
+    /// [`TypedFuture`] can only be touched from code whose level it outranks
+    /// or equals.
+    pub fn fcreate_typed<T, P, F>(&self, body: F) -> TypedFuture<T, P>
+    where
+        T: Send + 'static,
+        P: PriorityLevel,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let priority = self.shared.priorities.by_index(P::INDEX.min(
+            self.shared.priorities.len() - 1,
+        ));
+        TypedFuture::wrap(self.fcreate(priority, body))
+    }
+
+    /// `ftouch` from inside a task: waits for the future, executing other
+    /// ready tasks while it is not yet available (so the worker never idles
+    /// on a join — the analogue of proactive work stealing's non-blocking
+    /// joins).
+    pub fn ftouch<T: Clone + Send + 'static>(&self, future: &IFuture<T>) -> T {
+        loop {
+            if let Some(v) = future.try_get() {
+                return v;
+            }
+            // Help: run someone else's task, preferring the highest levels.
+            let top = self.shared.priorities.len() - 1;
+            match self.shared.pop_task(top) {
+                Some(task) => execute_task(&self.shared, task),
+                None => {
+                    if let Some(v) = future.wait_clone_timeout(Duration::from_micros(200)) {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ftouch` with the compile-time priority-inversion check: only
+    /// compiles when the touched level outranks or equals the toucher's
+    /// level (`Touched: OutranksOrEqual<Toucher>`), the Rust rendering of the
+    /// paper's `static_assert(is_base_of<...>)`.
+    pub fn ftouch_typed<T, Touched, Toucher>(
+        &self,
+        _at: PriorityCtx<Toucher>,
+        future: &TypedFuture<T, Touched>,
+    ) -> T
+    where
+        T: Clone + Send + 'static,
+        Toucher: PriorityLevel,
+        Touched: OutranksOrEqual<Toucher>,
+    {
+        self.ftouch(future.untyped())
+    }
+
+    /// Runtime-checked `ftouch`: returns an error instead of touching when
+    /// the touch would invert priorities.  This is the dynamically-checked
+    /// fallback for call sites where the priority is not statically known.
+    pub fn try_ftouch<T: Clone + Send + 'static>(
+        &self,
+        at: Priority,
+        future: &IFuture<T>,
+    ) -> Result<T, PriorityInversion> {
+        if !self.shared.priorities.touch_allowed(at, future.priority()) {
+            return Err(PriorityInversion {
+                toucher: at,
+                touched: future.priority(),
+            });
+        }
+        Ok(self.ftouch(future))
+    }
+
+    /// Blocking `ftouch` for threads outside the runtime (e.g. the test
+    /// driver): parks the calling thread until the value is ready.
+    pub fn ftouch_blocking<T: Clone + Send + 'static>(&self, future: &IFuture<T>) -> T {
+        future.wait_clone()
+    }
+
+    /// Starts a simulated I/O operation (`cilk_read` / `cilk_write`): the
+    /// payload is produced after a latency drawn from the configured model,
+    /// without occupying any worker.
+    pub fn submit_io<T, F>(&self, priority: Priority, produce: F) -> IFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.reactor.submit_with_model_latency(priority, produce)
+    }
+
+    /// Starts a simulated I/O operation with an explicit latency.
+    pub fn submit_io_with_latency<T, F>(
+        &self,
+        priority: Priority,
+        latency: Duration,
+        produce: F,
+    ) -> IFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.reactor.submit(priority, latency, produce)
+    }
+
+    /// A snapshot of the per-level response/compute statistics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Time since the runtime started.
+    pub fn uptime(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    /// Waits (bounded by `timeout`) until no tasks are pending.
+    /// Returns whether the runtime drained in time.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.any_pending() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Shuts the runtime down, joining all of its threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.request_shutdown();
+        self.reactor.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.master.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if !self.shared.is_shutting_down() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// The error returned by [`Runtime::try_ftouch`] when the touch would invert
+/// priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PriorityInversion {
+    /// The priority of the code performing the touch.
+    pub toucher: Priority,
+    /// The (lower) priority of the touched future.
+    pub touched: Priority,
+}
+
+impl std::fmt::Display for PriorityInversion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "priority inversion: code at {} may not ftouch a future at {}",
+            self.toucher, self.touched
+        )
+    }
+}
+
+impl std::error::Error for PriorityInversion {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::define_priorities;
+    use crate::future::PriorityCtx;
+
+    define_priorities!(Bg, Ui);
+
+    fn runtime(kind: SchedulerKind) -> Runtime {
+        Runtime::start(
+            RuntimeConfig::new(2, 2)
+                .with_level_names(["bg", "ui"])
+                .with_scheduler(kind)
+                .with_io_latency(LatencyModel::Constant { micros: 500 }, 1),
+        )
+    }
+
+    #[test]
+    fn fcreate_and_ftouch_roundtrip() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let ui = rt.priority_by_name("ui").unwrap();
+        let f = rt.fcreate(ui, || (1..=10).sum::<u64>());
+        assert_eq!(rt.ftouch_blocking(&f), 55);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn nested_spawns_and_helping_touch() {
+        let rt = Arc::new(runtime(SchedulerKind::ICilk));
+        let ui = rt.priority_by_name("ui").unwrap();
+        let rt2 = Arc::clone(&rt);
+        let outer = rt.fcreate(ui, move || {
+            let inner = rt2.fcreate(ui, || 21u64);
+            rt2.ftouch(&inner) * 2
+        });
+        assert_eq!(rt.ftouch_blocking(&outer), 42);
+        Arc::try_unwrap(rt).expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn typed_api_compiles_for_legal_touches() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let f: TypedFuture<u32, Ui> = rt.fcreate_typed(|| 7);
+        // Background code touching UI work is allowed (Ui outranks Bg)...
+        let v = rt.ftouch_typed(PriorityCtx::<Bg>::new(), &f);
+        assert_eq!(v, 7);
+        // ...and UI touching UI is allowed too.
+        let g: TypedFuture<u32, Ui> = rt.fcreate_typed(|| 9);
+        assert_eq!(rt.ftouch_typed(PriorityCtx::<Ui>::new(), &g), 9);
+        // `rt.ftouch_typed(PriorityCtx::<Ui>::new(), &bg_future)` would be a
+        // compile error — the inversion the type system prevents.
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dynamic_priority_check_rejects_inversion() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let bg = rt.priority_by_name("bg").unwrap();
+        let ui = rt.priority_by_name("ui").unwrap();
+        let low = rt.fcreate(bg, || 1u32);
+        let err = rt.try_ftouch(ui, &low).unwrap_err();
+        assert_eq!(err.toucher, ui);
+        assert!(err.to_string().contains("priority inversion"));
+        // The legal direction succeeds.
+        let hi = rt.fcreate(ui, || 2u32);
+        assert_eq!(rt.try_ftouch(bg, &hi).unwrap(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn io_futures_do_not_occupy_workers() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let ui = rt.priority_by_name("ui").unwrap();
+        // Start an I/O with a long latency, then immediately get CPU work
+        // done: the workers are not blocked by the in-flight I/O.
+        let io = rt.submit_io_with_latency(ui, Duration::from_millis(50), || 99u64);
+        let cpu = rt.fcreate(ui, || 123u64);
+        let started = Instant::now();
+        assert_eq!(rt.ftouch_blocking(&cpu), 123);
+        assert!(started.elapsed() < Duration::from_millis(40));
+        assert_eq!(rt.ftouch_blocking(&io), 99);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_accumulate_per_level() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let bg = rt.priority_by_name("bg").unwrap();
+        let ui = rt.priority_by_name("ui").unwrap();
+        let fs: Vec<_> = (0..8)
+            .map(|i| {
+                let p = if i % 2 == 0 { bg } else { ui };
+                rt.fcreate(p, move || i)
+            })
+            .collect();
+        for f in &fs {
+            let _ = rt.ftouch_blocking(f);
+        }
+        assert!(rt.drain(Duration::from_secs(2)));
+        let m = rt.metrics();
+        assert_eq!(m.total_completed(), 8);
+        assert_eq!(m.completed, vec![4, 4]);
+        assert!(m.mean_response_micros(1).is_some());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn baseline_scheduler_also_completes_work() {
+        let rt = runtime(SchedulerKind::Baseline);
+        let ui = rt.priority_by_name("ui").unwrap();
+        let bg = rt.priority_by_name("bg").unwrap();
+        let a = rt.fcreate(bg, || 3u64);
+        let b = rt.fcreate(ui, || 4u64);
+        assert_eq!(rt.ftouch_blocking(&a) + rt.ftouch_blocking(&b), 7);
+        assert!(rt.uptime() > Duration::ZERO);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,114 @@
+//! Worker threads.
+//!
+//! Each worker repeatedly asks the shared state for a task — preferring its
+//! master-assigned priority level — executes it, and records its compute and
+//! response times.  When no work is available the worker sleeps briefly
+//! (an idle tick), which the master observes as low utilization.
+
+use crate::pool::SharedState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps before re-checking for work.
+pub const IDLE_SLEEP: Duration = Duration::from_micros(100);
+
+/// Runs one task to completion, recording metrics and counters.
+///
+/// Shared by the worker loop and by `ftouch`'s helping path, so that a task
+/// executed while waiting is accounted identically.
+pub fn execute_task(shared: &SharedState, task: crate::pool::Task) {
+    let level = task.level;
+    let started = Instant::now();
+    (task.run)();
+    let finished = Instant::now();
+    let compute = finished - started;
+    let response = finished - task.enqueued_at;
+    shared.record_busy(level, compute.as_nanos() as u64);
+    shared.metrics.record_task(level, response, compute);
+    shared.task_finished(level);
+}
+
+/// The body of a worker thread.
+pub fn worker_loop(shared: Arc<SharedState>, worker_id: usize) {
+    while !shared.is_shutting_down() {
+        let assigned = shared
+            .assignment
+            .get(worker_id)
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        match shared.pop_task(assigned) {
+            Some(task) => execute_task(&shared, task),
+            None => std::thread::sleep(IDLE_SLEEP),
+        }
+    }
+}
+
+/// Spawns the worker threads.
+pub fn spawn_workers(shared: &Arc<SharedState>) -> Vec<JoinHandle<()>> {
+    (0..shared.num_workers)
+        .map(|id| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("icilk-worker-{id}"))
+                .spawn(move || worker_loop(shared, id))
+                .expect("spawning a worker thread")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolKind, Task};
+    use crate::priority::PrioritySet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn execute_task_records_metrics_and_counters() {
+        let shared = SharedState::new(PrioritySet::new(["lo", "hi"]), 1, PoolKind::Prioritized);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = ran.clone();
+        let task = Task {
+            run: Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+            level: 1,
+            enqueued_at: Instant::now(),
+        };
+        shared.push_task(task);
+        let t = shared.pop_task(1).unwrap();
+        execute_task(&shared, t);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.completed, vec![0, 1]);
+        assert!(!shared.any_pending());
+    }
+
+    #[test]
+    fn workers_drain_the_queue_and_shut_down() {
+        let shared = SharedState::new(PrioritySet::new(["only"]), 2, PoolKind::Prioritized);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = counter.clone();
+            shared.push_task(Task {
+                run: Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+                level: 0,
+                enqueued_at: Instant::now(),
+            });
+        }
+        let handles = spawn_workers(&shared);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shared.any_pending() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shared.request_shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+}

@@ -1,0 +1,51 @@
+//! The λ⁴ᵢ calculus: prioritized futures with mutable state.
+//!
+//! This crate implements Section 3 of *Responsive Parallelism with Futures
+//! and State* (PLDI 2020):
+//!
+//! * [`syntax`] — the A-normal-form expression layer and the monadic command
+//!   layer of λ⁴ᵢ (Figure 4), with capture-avoiding substitution;
+//! * [`typecheck`] — the type system of Figures 5–7, including
+//!   priority-polymorphic types `∀π ∼ C. τ`, the signature `Σ` of thread
+//!   symbols and memory locations, and the `Touch` rule that rules out
+//!   priority inversions;
+//! * [`machine`] — the stack-based parallel abstract machine of Figures
+//!   8–11 (rules D-Bind, D-Create, D-Touch, D-Dcl, D-Get, D-Set, D-Ret,
+//!   D-Exp, D-Par, plus the CAS extension of §3.3), which both executes the
+//!   program and emits a weak-edge cost graph in the sense of Section 2;
+//! * [`policy`] — thread-selection policies for the D-Par rule (prompt,
+//!   priority-oblivious, random);
+//! * [`run`] — a driver that runs programs to completion, collects per-thread
+//!   response times, and cross-checks the emitted graph against the
+//!   `rp-core` well-formedness and bound machinery;
+//! * [`progs`] — a library of example programs, including the racy Figure 1
+//!   program and λ⁴ᵢ encodings of the paper's three case studies (used by
+//!   the Table 1 reproduction).
+//!
+//! # Example
+//!
+//! ```
+//! use rp_lambda4i::progs;
+//! use rp_lambda4i::run::{run_program, RunConfig};
+//! use rp_lambda4i::typecheck::typecheck_program;
+//!
+//! let prog = progs::parallel_fib(6);
+//! typecheck_program(&prog).unwrap();
+//! let result = run_program(&prog, &RunConfig::default()).unwrap();
+//! assert!(result.graph_report.strongly_well_formed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod policy;
+pub mod pretty;
+pub mod progs;
+pub mod run;
+pub mod syntax;
+pub mod typecheck;
+
+pub use run::{run_program, RunConfig, RunResult};
+pub use syntax::{Cmd, Expr, Program, Type};
+pub use typecheck::{typecheck_program, TypeError};

@@ -1,0 +1,1157 @@
+//! The stack-based parallel abstract machine of λ⁴ᵢ (Figures 8–11).
+//!
+//! Each thread carries a stack of [`Frame`]s and a [`Control`] state
+//! (`k ▷ e`, `k ◁ v`, `k ▶ m`, `k ◀ ret v`).  A single call to
+//! [`Machine::step_thread`] performs one transition of the judgment
+//! `σ | µ ⊗ a ↪ K ⇒ …` and, exactly as in the paper's cost semantics,
+//! allocates one fresh cost-graph vertex for the step and records any
+//! fcreate, ftouch, or weak edges it introduces.  The [`run`](crate::run)
+//! driver implements the D-Par rule by stepping a policy-chosen subset of
+//! threads per parallel step.
+//!
+//! Heap cells record, besides their value, the vertex that last wrote them
+//! and the set of thread symbols the writer "knew about" — reads add a weak
+//! edge from that vertex and merge the known set, exactly as rules D-Get2,
+//! D-Dcl2, D-Set3 and D-CAS prescribe.
+
+use crate::syntax::{Cmd, Expr, LocId, PrimOp, Program, ThreadSym, Type, Var};
+use rp_core::build::DagBuilder;
+use rp_core::graph::{CostDag, ThreadId as DagThreadId, VertexId};
+use rp_priority::{PrioTerm, Priority, PriorityDomain};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stack frames `f` (Figure 8), extended with the frames needed to evaluate
+/// non-A-normal subterms and the CAS extension.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// `let x = – in e`.
+    LetIn(Var, Expr),
+    /// `– e` (the function position of an application).
+    AppFn(Expr),
+    /// `v –` (the argument position; holds the evaluated function).
+    AppArg(Expr),
+    /// `ifz – {e; x.e}`.
+    IfzCond(Expr, Var, Expr),
+    /// `fst –`.
+    FstHole,
+    /// `snd –`.
+    SndHole,
+    /// `case – {x.e; y.e}`.
+    CaseScrut(Var, Expr, Var, Expr),
+    /// `–[ρ]`.
+    PAppHole(PrioTerm),
+    /// `(–, e)`.
+    PairL(Expr),
+    /// `(v, –)`.
+    PairR(Expr),
+    /// `inl –`.
+    InlHole,
+    /// `inr –`.
+    InrHole,
+    /// `– ⊕ e`.
+    PrimL(PrimOp, Expr),
+    /// `v ⊕ –`.
+    PrimR(PrimOp, Expr),
+    /// `x ← –; m`.
+    BindIn(Var, Arc<Cmd>),
+    /// `ftouch –`.
+    TouchHole,
+    /// `dcl[τ] x := – in m`.
+    DclIn(Type, Var, Arc<Cmd>),
+    /// `!–`.
+    GetHole,
+    /// `– := e`.
+    SetTarget(Expr),
+    /// `ref[s] := –`.
+    SetValue(LocId),
+    /// `ret –`.
+    RetHole,
+    /// `cas(–, e, e)`.
+    CasTarget(Expr, Expr),
+    /// `cas(ref[s], –, e)`.
+    CasExpected(LocId, Expr),
+    /// `cas(ref[s], v, –)`.
+    CasNew(LocId, Expr),
+}
+
+/// The machine's control state (Figure 8's stack states).
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// `k ▷ e` — popping an expression.
+    EvalExpr(Expr),
+    /// `k ◁ v` — pushing an expression value.
+    RetExpr(Expr),
+    /// `k ▶ m` — popping a command.
+    EvalCmd(Arc<Cmd>),
+    /// `k ◀ ret v` — pushing a command result.
+    RetCmd(Expr),
+}
+
+/// A heap cell `s ↦ (v, u, Σ)`: the stored value, the vertex of the most
+/// recent write, and the thread symbols the writer knew about.
+#[derive(Debug, Clone)]
+pub struct HeapCell {
+    /// The stored value.
+    pub value: Expr,
+    /// The vertex that performed the most recent write.
+    pub writer: VertexId,
+    /// The threads the writer knew about at the time of the write.
+    pub known: HashSet<ThreadSym>,
+}
+
+/// Per-thread machine state.
+#[derive(Debug)]
+pub struct ThreadEntry {
+    /// The thread symbol `a`.
+    pub sym: ThreadSym,
+    /// The thread's priority `ρ`.
+    pub priority: Priority,
+    /// The corresponding thread of the cost graph being built.
+    pub dag_thread: DagThreadId,
+    /// The thread symbols this thread knows about (its signature `Σ_a`,
+    /// restricted to threads).
+    pub known: HashSet<ThreadSym>,
+    /// The final value once the thread reaches `ϵ ◀ ret v`.
+    pub done: Option<Expr>,
+    /// The parallel step at which the thread was created.
+    pub created_at_step: usize,
+    /// The parallel step at which the thread finished, if it has.
+    pub finished_at_step: Option<usize>,
+    /// Number of cost-graph vertices this thread has executed.
+    pub vertices_created: usize,
+    stack: Vec<Frame>,
+    control: Control,
+}
+
+impl ThreadEntry {
+    /// Whether the thread has finished executing.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+}
+
+/// The result of attempting to step one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// The thread made a transition and executed the given cost-graph vertex.
+    Progress(VertexId),
+    /// The thread is blocked on an `ftouch` of the given unfinished thread.
+    Blocked(ThreadSym),
+    /// The thread had already finished.
+    Finished,
+}
+
+/// Runtime errors: a well-typed program never triggers these (Progress,
+/// Theorem 3.3), but the machine is defensive so ill-typed terms fail with a
+/// description rather than a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The machine reached a state no rule applies to.
+    Stuck {
+        /// The thread that got stuck.
+        thread: ThreadSym,
+        /// A description of the offending state.
+        state: String,
+    },
+    /// A priority that should have been concrete at runtime was still a
+    /// variable.
+    UnresolvedPriority(String),
+    /// A read or write targeted an unknown location.
+    DanglingLocation(LocId),
+    /// An `ftouch` targeted an unknown thread symbol.
+    DanglingThread(ThreadSym),
+    /// The run exceeded the configured maximum number of parallel steps.
+    StepLimitExceeded(usize),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Stuck { thread, state } => {
+                write!(f, "thread {thread} is stuck: {state}")
+            }
+            MachineError::UnresolvedPriority(p) => {
+                write!(f, "priority variable `{p}` reached runtime unresolved")
+            }
+            MachineError::DanglingLocation(s) => write!(f, "dangling memory location {s}"),
+            MachineError::DanglingThread(a) => write!(f, "dangling thread symbol {a}"),
+            MachineError::StepLimitExceeded(n) => {
+                write!(f, "execution exceeded the {n}-step limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The parallel abstract machine: thread pool `µ`, heap `σ`, and the cost
+/// graph under construction.
+#[derive(Debug)]
+pub struct Machine {
+    domain: PriorityDomain,
+    threads: Vec<ThreadEntry>,
+    heap: HashMap<LocId, HeapCell>,
+    next_loc: u32,
+    builder: DagBuilder,
+    /// The initial thread.
+    pub main: ThreadSym,
+}
+
+impl Machine {
+    /// Loads a program into a fresh machine with a single initial thread.
+    pub fn new(program: &Program) -> Self {
+        let mut builder = DagBuilder::new(program.domain.clone());
+        let dag_thread = builder.thread("main", program.main_priority);
+        let main_sym = ThreadSym(0);
+        let main_entry = ThreadEntry {
+            sym: main_sym,
+            priority: program.main_priority,
+            dag_thread,
+            known: HashSet::new(),
+            done: None,
+            created_at_step: 0,
+            finished_at_step: None,
+            vertices_created: 0,
+            stack: Vec::new(),
+            control: Control::EvalCmd(program.main.clone()),
+        };
+        Machine {
+            domain: program.domain.clone(),
+            threads: vec![main_entry],
+            heap: HashMap::new(),
+            next_loc: 0,
+            builder,
+            main: main_sym,
+        }
+    }
+
+    /// The priority domain of the loaded program.
+    pub fn domain(&self) -> &PriorityDomain {
+        &self.domain
+    }
+
+    /// All thread symbols currently in the pool.
+    pub fn thread_syms(&self) -> Vec<ThreadSym> {
+        self.threads.iter().map(|t| t.sym).collect()
+    }
+
+    /// Access to a thread's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was not created by this machine.
+    pub fn thread(&self, sym: ThreadSym) -> &ThreadEntry {
+        &self.threads[sym.0 as usize]
+    }
+
+    /// Whether every thread has finished.
+    pub fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.is_done())
+    }
+
+    /// The final value of the main thread, if it has finished.
+    pub fn main_value(&self) -> Option<&Expr> {
+        self.threads[self.main.0 as usize].done.as_ref()
+    }
+
+    /// Threads that can take a step right now: not finished and not blocked
+    /// on an unfinished `ftouch`.
+    pub fn runnable(&self) -> Vec<ThreadSym> {
+        self.threads
+            .iter()
+            .filter(|t| !t.is_done() && self.blocked_on(t.sym).is_none())
+            .map(|t| t.sym)
+            .collect()
+    }
+
+    /// If the thread is blocked on an `ftouch`, the thread it is waiting for.
+    pub fn blocked_on(&self, sym: ThreadSym) -> Option<ThreadSym> {
+        let t = &self.threads[sym.0 as usize];
+        if t.is_done() {
+            return None;
+        }
+        if let (Control::RetExpr(Expr::Tid(b)), Some(Frame::TouchHole)) =
+            (&t.control, t.stack.last())
+        {
+            let target = &self.threads[b.0 as usize];
+            if !target.is_done() {
+                return Some(*b);
+            }
+        }
+        None
+    }
+
+    /// Performs one transition of thread `sym` (one auxiliary-judgment step
+    /// of Figures 9–11), allocating one cost-graph vertex if the thread
+    /// progresses.
+    ///
+    /// `step_index` is the index of the current parallel step; it is recorded
+    /// for threads created or finished during this transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if the thread is stuck (only possible for
+    /// ill-typed programs) or mentions dangling symbols.
+    pub fn step_thread(
+        &mut self,
+        sym: ThreadSym,
+        step_index: usize,
+    ) -> Result<StepOutcome, MachineError> {
+        let idx = sym.0 as usize;
+        if self.threads[idx].is_done() {
+            return Ok(StepOutcome::Finished);
+        }
+        if let Some(b) = self.blocked_on(sym) {
+            return Ok(StepOutcome::Blocked(b));
+        }
+
+        // Take the control out to appease the borrow checker; it is always
+        // put back (or the thread is marked done) before returning.
+        let control = std::mem::replace(
+            &mut self.threads[idx].control,
+            Control::RetExpr(Expr::Unit),
+        );
+        let outcome = self.transition(idx, control, step_index);
+        match outcome {
+            Ok(vertex) => Ok(StepOutcome::Progress(vertex)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Allocates the fresh vertex for a step of thread `idx`.
+    fn fresh_vertex(&mut self, idx: usize, label: &'static str) -> VertexId {
+        let dag_thread = self.threads[idx].dag_thread;
+        self.threads[idx].vertices_created += 1;
+        self.builder.vertex_labeled(dag_thread, Some(label))
+    }
+
+    fn stuck<T>(&self, idx: usize, msg: impl Into<String>) -> Result<T, MachineError> {
+        Err(MachineError::Stuck {
+            thread: self.threads[idx].sym,
+            state: msg.into(),
+        })
+    }
+
+    /// One transition.  Returns the vertex allocated for the step.
+    fn transition(
+        &mut self,
+        idx: usize,
+        control: Control,
+        step_index: usize,
+    ) -> Result<VertexId, MachineError> {
+        match control {
+            Control::EvalCmd(m) => self.step_cmd(idx, m, step_index),
+            Control::EvalExpr(e) => self.step_expr_eval(idx, e),
+            Control::RetExpr(v) => self.step_expr_return(idx, v, step_index),
+            Control::RetCmd(v) => self.step_cmd_return(idx, v, step_index),
+        }
+    }
+
+    /// `k ▶ m` transitions (Figure 9, "pop command").
+    fn step_cmd(
+        &mut self,
+        idx: usize,
+        m: Arc<Cmd>,
+        step_index: usize,
+    ) -> Result<VertexId, MachineError> {
+        match m.as_ref() {
+            Cmd::Bind { var, expr, rest } => {
+                // D-Bind1.
+                let u = self.fresh_vertex(idx, "bind");
+                self.threads[idx]
+                    .stack
+                    .push(Frame::BindIn(var.clone(), rest.clone()));
+                self.threads[idx].control = Control::EvalExpr((**expr).clone());
+                Ok(u)
+            }
+            Cmd::Fcreate {
+                prio,
+                ret_type: _,
+                body,
+            } => {
+                // D-Create.
+                let u = self.fresh_vertex(idx, "fcreate");
+                let prio = match prio.as_const() {
+                    Some(p) => p,
+                    None => {
+                        return Err(MachineError::UnresolvedPriority(prio.to_string()));
+                    }
+                };
+                let new_sym = ThreadSym(self.threads.len() as u32);
+                let dag_thread = self
+                    .builder
+                    .thread(format!("thread-{}", new_sym.0), prio);
+                // The child inherits the parent's signature (known threads).
+                let mut known = self.threads[idx].known.clone();
+                known.insert(new_sym);
+                let entry = ThreadEntry {
+                    sym: new_sym,
+                    priority: prio,
+                    dag_thread,
+                    known,
+                    done: None,
+                    created_at_step: step_index,
+                    finished_at_step: None,
+                    vertices_created: 0,
+                    stack: Vec::new(),
+                    control: Control::EvalCmd(body.clone()),
+                };
+                self.threads.push(entry);
+                self.builder
+                    .fcreate(u, dag_thread)
+                    .expect("fresh thread has no creator yet");
+                // The parent learns about the new thread and returns its
+                // handle.
+                self.threads[idx].known.insert(new_sym);
+                self.threads[idx].control = Control::RetCmd(Expr::Tid(new_sym));
+                Ok(u)
+            }
+            Cmd::Ftouch(e) => {
+                // D-Touch1.
+                let u = self.fresh_vertex(idx, "ftouch");
+                self.threads[idx].stack.push(Frame::TouchHole);
+                self.threads[idx].control = Control::EvalExpr((**e).clone());
+                Ok(u)
+            }
+            Cmd::Dcl { ty, var, init, body } => {
+                // D-Dcl1.
+                let u = self.fresh_vertex(idx, "dcl");
+                self.threads[idx].stack.push(Frame::DclIn(
+                    ty.clone(),
+                    var.clone(),
+                    body.clone(),
+                ));
+                self.threads[idx].control = Control::EvalExpr((**init).clone());
+                Ok(u)
+            }
+            Cmd::Get(e) => {
+                // D-Get1.
+                let u = self.fresh_vertex(idx, "get");
+                self.threads[idx].stack.push(Frame::GetHole);
+                self.threads[idx].control = Control::EvalExpr((**e).clone());
+                Ok(u)
+            }
+            Cmd::Set(target, value) => {
+                // D-Set1.
+                let u = self.fresh_vertex(idx, "set");
+                self.threads[idx]
+                    .stack
+                    .push(Frame::SetTarget((**value).clone()));
+                self.threads[idx].control = Control::EvalExpr((**target).clone());
+                Ok(u)
+            }
+            Cmd::Ret(e) => {
+                // D-Ret1.
+                let u = self.fresh_vertex(idx, "ret");
+                self.threads[idx].stack.push(Frame::RetHole);
+                self.threads[idx].control = Control::EvalExpr((**e).clone());
+                Ok(u)
+            }
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => {
+                let u = self.fresh_vertex(idx, "cas");
+                self.threads[idx].stack.push(Frame::CasTarget(
+                    (**expected).clone(),
+                    (**new).clone(),
+                ));
+                self.threads[idx].control = Control::EvalExpr((**target).clone());
+                Ok(u)
+            }
+        }
+    }
+
+    /// `k ▷ e` transitions (Figure 11 and rule D-Exp).
+    fn step_expr_eval(&mut self, idx: usize, e: Expr) -> Result<VertexId, MachineError> {
+        let u = self.fresh_vertex(idx, "expr");
+        if e.is_value() {
+            self.threads[idx].control = Control::RetExpr(e);
+            return Ok(u);
+        }
+        let t = &mut self.threads[idx];
+        match e {
+            Expr::Let(x, e1, e2) => {
+                t.stack.push(Frame::LetIn(x, *e2));
+                t.control = Control::EvalExpr(*e1);
+            }
+            Expr::App(f, a) => {
+                if f.is_value() {
+                    t.stack.push(Frame::AppArg(*f));
+                    t.control = Control::EvalExpr(*a);
+                } else {
+                    t.stack.push(Frame::AppFn(*a));
+                    t.control = Control::EvalExpr(*f);
+                }
+            }
+            Expr::Ifz(c, z, x, s) => {
+                t.stack.push(Frame::IfzCond(*z, x, *s));
+                t.control = Control::EvalExpr(*c);
+            }
+            Expr::Fst(v) => {
+                t.stack.push(Frame::FstHole);
+                t.control = Control::EvalExpr(*v);
+            }
+            Expr::Snd(v) => {
+                t.stack.push(Frame::SndHole);
+                t.control = Control::EvalExpr(*v);
+            }
+            Expr::Case(scrut, x, e1, y, e2) => {
+                t.stack.push(Frame::CaseScrut(x, *e1, y, *e2));
+                t.control = Control::EvalExpr(*scrut);
+            }
+            Expr::PApp(v, p) => {
+                t.stack.push(Frame::PAppHole(p));
+                t.control = Control::EvalExpr(*v);
+            }
+            Expr::Fix(x, ty, body) => {
+                // fix x:τ is e  ↦  [fix x:τ is e / x] e.
+                let unrolled = body.subst(&x, &Expr::Fix(x.clone(), ty, body.clone()));
+                t.control = Control::EvalExpr(unrolled);
+            }
+            Expr::Pair(a, b) => {
+                t.stack.push(Frame::PairL(*b));
+                t.control = Control::EvalExpr(*a);
+            }
+            Expr::Inl(v) => {
+                t.stack.push(Frame::InlHole);
+                t.control = Control::EvalExpr(*v);
+            }
+            Expr::Inr(v) => {
+                t.stack.push(Frame::InrHole);
+                t.control = Control::EvalExpr(*v);
+            }
+            Expr::Prim(op, a, b) => {
+                t.stack.push(Frame::PrimL(op, *b));
+                t.control = Control::EvalExpr(*a);
+            }
+            other => {
+                let msg = format!("cannot evaluate expression {other:?}");
+                return self.stuck(idx, msg);
+            }
+        }
+        Ok(u)
+    }
+
+    /// `k ◁ v` transitions: an expression value meets the top stack frame.
+    fn step_expr_return(
+        &mut self,
+        idx: usize,
+        v: Expr,
+        _step_index: usize,
+    ) -> Result<VertexId, MachineError> {
+        let frame = match self.threads[idx].stack.last().cloned() {
+            Some(f) => f,
+            None => {
+                return self.stuck(idx, "value returned to an empty stack");
+            }
+        };
+        match frame {
+            // ----- expression frames -----
+            Frame::LetIn(x, e2) => {
+                let u = self.fresh_vertex(idx, "let");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control = Control::EvalExpr(e2.subst(&x, &v));
+                Ok(u)
+            }
+            Frame::AppFn(arg) => {
+                let u = self.fresh_vertex(idx, "app-fn");
+                self.threads[idx].stack.pop();
+                self.threads[idx].stack.push(Frame::AppArg(v));
+                self.threads[idx].control = Control::EvalExpr(arg);
+                Ok(u)
+            }
+            Frame::AppArg(fun) => {
+                let u = self.fresh_vertex(idx, "app");
+                self.threads[idx].stack.pop();
+                match fun {
+                    Expr::Lam(x, _ty, body) => {
+                        self.threads[idx].control = Control::EvalExpr(body.subst(&x, &v));
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("applied non-function {other:?}")),
+                }
+            }
+            Frame::IfzCond(zero, x, succ) => {
+                let u = self.fresh_vertex(idx, "ifz");
+                self.threads[idx].stack.pop();
+                match v {
+                    Expr::Nat(0) => {
+                        self.threads[idx].control = Control::EvalExpr(zero);
+                        Ok(u)
+                    }
+                    Expr::Nat(n) => {
+                        self.threads[idx].control =
+                            Control::EvalExpr(succ.subst(&x, &Expr::Nat(n - 1)));
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("ifz on non-natural {other:?}")),
+                }
+            }
+            Frame::FstHole => {
+                let u = self.fresh_vertex(idx, "fst");
+                self.threads[idx].stack.pop();
+                match v {
+                    Expr::Pair(a, _) => {
+                        self.threads[idx].control = Control::RetExpr(*a);
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("fst of non-pair {other:?}")),
+                }
+            }
+            Frame::SndHole => {
+                let u = self.fresh_vertex(idx, "snd");
+                self.threads[idx].stack.pop();
+                match v {
+                    Expr::Pair(_, b) => {
+                        self.threads[idx].control = Control::RetExpr(*b);
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("snd of non-pair {other:?}")),
+                }
+            }
+            Frame::CaseScrut(x, e1, y, e2) => {
+                let u = self.fresh_vertex(idx, "case");
+                self.threads[idx].stack.pop();
+                match v {
+                    Expr::Inl(a) => {
+                        self.threads[idx].control = Control::EvalExpr(e1.subst(&x, &a));
+                        Ok(u)
+                    }
+                    Expr::Inr(b) => {
+                        self.threads[idx].control = Control::EvalExpr(e2.subst(&y, &b));
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("case of non-sum {other:?}")),
+                }
+            }
+            Frame::PAppHole(p) => {
+                let u = self.fresh_vertex(idx, "papp");
+                self.threads[idx].stack.pop();
+                match v {
+                    Expr::PLam(pi, _c, body) => {
+                        self.threads[idx].control = Control::EvalExpr(body.subst_prio(&pi, &p));
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("priority application of {other:?}")),
+                }
+            }
+            Frame::PairL(b) => {
+                let u = self.fresh_vertex(idx, "pair-l");
+                self.threads[idx].stack.pop();
+                self.threads[idx].stack.push(Frame::PairR(v));
+                self.threads[idx].control = Control::EvalExpr(b);
+                Ok(u)
+            }
+            Frame::PairR(a) => {
+                let u = self.fresh_vertex(idx, "pair");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control =
+                    Control::RetExpr(Expr::Pair(Box::new(a), Box::new(v)));
+                Ok(u)
+            }
+            Frame::InlHole => {
+                let u = self.fresh_vertex(idx, "inl");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control = Control::RetExpr(Expr::Inl(Box::new(v)));
+                Ok(u)
+            }
+            Frame::InrHole => {
+                let u = self.fresh_vertex(idx, "inr");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control = Control::RetExpr(Expr::Inr(Box::new(v)));
+                Ok(u)
+            }
+            Frame::PrimL(op, rhs) => {
+                let u = self.fresh_vertex(idx, "prim-l");
+                self.threads[idx].stack.pop();
+                self.threads[idx].stack.push(Frame::PrimR(op, v));
+                self.threads[idx].control = Control::EvalExpr(rhs);
+                Ok(u)
+            }
+            Frame::PrimR(op, lhs) => {
+                let u = self.fresh_vertex(idx, "prim");
+                self.threads[idx].stack.pop();
+                match (lhs, v) {
+                    (Expr::Nat(a), Expr::Nat(b)) => {
+                        let r = match op {
+                            PrimOp::Add => a + b,
+                            PrimOp::Sub => a.saturating_sub(b),
+                            PrimOp::Mul => a * b,
+                            PrimOp::Eq => u64::from(a == b),
+                            PrimOp::Lt => u64::from(a < b),
+                        };
+                        self.threads[idx].control = Control::RetExpr(Expr::Nat(r));
+                        Ok(u)
+                    }
+                    (a, b) => self.stuck(idx, format!("primitive on non-naturals {a:?}, {b:?}")),
+                }
+            }
+            // ----- command frames -----
+            Frame::BindIn(_, _) => {
+                // D-Bind2: the value must be an encapsulated command; start
+                // running it, keeping the frame for D-Bind3.
+                let u = self.fresh_vertex(idx, "bind-run");
+                match v {
+                    Expr::CmdVal(_p, m) => {
+                        self.threads[idx].control = Control::EvalCmd(m);
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("bind of non-command {other:?}")),
+                }
+            }
+            Frame::TouchHole => {
+                // D-Touch2 (the blocked case is filtered in `step_thread`).
+                match v {
+                    Expr::Tid(b) => {
+                        let target_idx = b.0 as usize;
+                        if target_idx >= self.threads.len() {
+                            return Err(MachineError::DanglingThread(b));
+                        }
+                        let (value, target_known, target_dag) = {
+                            let target = &self.threads[target_idx];
+                            match &target.done {
+                                Some(val) => {
+                                    (val.clone(), target.known.clone(), target.dag_thread)
+                                }
+                                None => {
+                                    // Not actually runnable; restore state.
+                                    self.threads[idx].control =
+                                        Control::RetExpr(Expr::Tid(b));
+                                    return self.stuck(
+                                        idx,
+                                        "touch of unfinished thread reached transition",
+                                    );
+                                }
+                            }
+                        };
+                        let u = self.fresh_vertex(idx, "touch");
+                        self.threads[idx].stack.pop();
+                        self.threads[idx].known.extend(target_known);
+                        self.threads[idx].control = Control::RetCmd(value);
+                        self.builder
+                            .ftouch(target_dag, u)
+                            .expect("touching a different thread");
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("ftouch of non-handle {other:?}")),
+                }
+            }
+            Frame::DclIn(_ty, var, body) => {
+                // D-Dcl2.
+                let u = self.fresh_vertex(idx, "dcl-alloc");
+                self.threads[idx].stack.pop();
+                let loc = LocId(self.next_loc);
+                self.next_loc += 1;
+                let known = self.threads[idx].known.clone();
+                self.heap.insert(
+                    loc,
+                    HeapCell {
+                        value: v,
+                        writer: u,
+                        known,
+                    },
+                );
+                let body_with_ref = body.subst(&var, &Expr::RefVal(loc));
+                self.threads[idx].control = Control::EvalCmd(Arc::new(body_with_ref));
+                Ok(u)
+            }
+            Frame::GetHole => {
+                // D-Get2.
+                match v {
+                    Expr::RefVal(s) => {
+                        let u = self.fresh_vertex(idx, "get-read");
+                        let cell = self
+                            .heap
+                            .get(&s)
+                            .cloned()
+                            .ok_or(MachineError::DanglingLocation(s))?;
+                        self.threads[idx].stack.pop();
+                        self.threads[idx].known.extend(cell.known.iter().copied());
+                        self.threads[idx].control = Control::RetCmd(cell.value);
+                        // The weak edge from the most recent write to this
+                        // read.  A read of a cell written by the same thread
+                        // is already ordered by continuation edges; the
+                        // builder would reject a self-loop only if the writer
+                        // were this very vertex, which cannot happen.
+                        self.builder
+                            .weak(cell.writer, u)
+                            .expect("read vertex is fresh");
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("read of non-reference {other:?}")),
+                }
+            }
+            Frame::SetTarget(value_expr) => {
+                // D-Set2.
+                match v {
+                    Expr::RefVal(s) => {
+                        let u = self.fresh_vertex(idx, "set-target");
+                        self.threads[idx].stack.pop();
+                        self.threads[idx].stack.push(Frame::SetValue(s));
+                        self.threads[idx].control = Control::EvalExpr(value_expr);
+                        Ok(u)
+                    }
+                    other => self.stuck(idx, format!("assignment to non-reference {other:?}")),
+                }
+            }
+            Frame::SetValue(s) => {
+                // D-Set3.
+                let u = self.fresh_vertex(idx, "set-write");
+                if !self.heap.contains_key(&s) {
+                    return Err(MachineError::DanglingLocation(s));
+                }
+                self.threads[idx].stack.pop();
+                let known = self.threads[idx].known.clone();
+                self.heap.insert(
+                    s,
+                    HeapCell {
+                        value: v.clone(),
+                        writer: u,
+                        known,
+                    },
+                );
+                self.threads[idx].control = Control::RetCmd(v);
+                Ok(u)
+            }
+            Frame::RetHole => {
+                // D-Ret2.
+                let u = self.fresh_vertex(idx, "ret-value");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control = Control::RetCmd(v);
+                Ok(u)
+            }
+            Frame::CasTarget(expected, new) => match v {
+                Expr::RefVal(s) => {
+                    let u = self.fresh_vertex(idx, "cas-target");
+                    self.threads[idx].stack.pop();
+                    self.threads[idx].stack.push(Frame::CasExpected(s, new));
+                    self.threads[idx].control = Control::EvalExpr(expected);
+                    Ok(u)
+                }
+                other => self.stuck(idx, format!("cas on non-reference {other:?}")),
+            },
+            Frame::CasExpected(s, new) => {
+                let u = self.fresh_vertex(idx, "cas-expected");
+                self.threads[idx].stack.pop();
+                self.threads[idx].stack.push(Frame::CasNew(s, v));
+                self.threads[idx].control = Control::EvalExpr(new);
+                Ok(u)
+            }
+            Frame::CasNew(s, expected) => {
+                // D-CAS1 / D-CAS2.
+                let u = self.fresh_vertex(idx, "cas-apply");
+                let cell = self
+                    .heap
+                    .get(&s)
+                    .cloned()
+                    .ok_or(MachineError::DanglingLocation(s))?;
+                self.threads[idx].stack.pop();
+                // A CAS observes the current value, so it behaves like a read
+                // (weak edge + signature merge) whether or not it succeeds.
+                self.threads[idx].known.extend(cell.known.iter().copied());
+                self.builder
+                    .weak(cell.writer, u)
+                    .expect("cas vertex is fresh");
+                if cell.value == expected {
+                    let known = self.threads[idx].known.clone();
+                    self.heap.insert(
+                        s,
+                        HeapCell {
+                            value: v,
+                            writer: u,
+                            known,
+                        },
+                    );
+                    self.threads[idx].control = Control::RetCmd(Expr::Nat(1));
+                } else {
+                    self.threads[idx].control = Control::RetCmd(Expr::Nat(0));
+                }
+                Ok(u)
+            }
+        }
+    }
+
+    /// `k ◀ ret v` transitions (D-Bind3 or thread completion).
+    fn step_cmd_return(
+        &mut self,
+        idx: usize,
+        v: Expr,
+        step_index: usize,
+    ) -> Result<VertexId, MachineError> {
+        match self.threads[idx].stack.last().cloned() {
+            None => {
+                // ϵ ◀ ret v: the thread is finished.  The finishing step
+                // itself allocates a final vertex so every thread has at
+                // least one vertex and `ftouch` edges have a well-defined
+                // source.
+                let u = self.fresh_vertex(idx, "finish");
+                self.threads[idx].done = Some(v.clone());
+                self.threads[idx].finished_at_step = Some(step_index);
+                self.threads[idx].control = Control::RetCmd(v);
+                Ok(u)
+            }
+            Some(Frame::BindIn(x, m2)) => {
+                // D-Bind3.
+                let u = self.fresh_vertex(idx, "bind-continue");
+                self.threads[idx].stack.pop();
+                self.threads[idx].control = Control::EvalCmd(Arc::new(m2.subst(&x, &v)));
+                Ok(u)
+            }
+            Some(other) => self.stuck(
+                idx,
+                format!("command result returned to unexpected frame {other:?}"),
+            ),
+        }
+    }
+
+    /// Finishes the run: consumes the machine and produces the cost graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying builder error if the graph is malformed (which
+    /// would indicate a bug in the machine, not in the program).
+    pub fn into_graph(mut self) -> Result<CostDag, rp_core::build::DagBuildError> {
+        // A thread that was created but never scheduled has no vertices; give
+        // it a placeholder so the graph is buildable.  (The run driver drains
+        // all threads, so this only happens when a run is cut short by the
+        // step limit.)
+        let unstarted: Vec<DagThreadId> = self
+            .threads
+            .iter()
+            .filter(|t| t.vertices_created == 0)
+            .map(|t| t.dag_thread)
+            .collect();
+        for dag_thread in unstarted {
+            self.builder.vertex_labeled(dag_thread, Some("unstarted"));
+        }
+        self.builder.build()
+    }
+
+    /// Per-thread summary used by the run driver.
+    pub fn thread_entries(&self) -> &[ThreadEntry] {
+        &self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::dsl::*;
+
+    fn single_prog(m: Cmd) -> Program {
+        let domain = PriorityDomain::single();
+        Program {
+            name: "test".into(),
+            domain: domain.clone(),
+            main_priority: domain.by_index(0),
+            main: Arc::new(m),
+            return_type: Type::Nat,
+        }
+    }
+
+    /// Runs a single-threaded program by stepping the main thread until done.
+    fn run_sequential(prog: &Program) -> (Expr, CostDag) {
+        let mut m = Machine::new(prog);
+        let mut step = 0;
+        while !m.all_done() {
+            let runnable = m.runnable();
+            assert!(!runnable.is_empty(), "deadlock in sequential run");
+            for sym in runnable {
+                m.step_thread(sym, step).unwrap();
+            }
+            step += 1;
+            assert!(step < 100_000, "runaway program");
+        }
+        let v = m.main_value().unwrap().clone();
+        let g = m.into_graph().unwrap();
+        (v, g)
+    }
+
+    #[test]
+    fn ret_literal() {
+        let (v, g) = run_sequential(&single_prog(ret(nat(7))));
+        assert_eq!(v, nat(7));
+        assert!(g.vertex_count() >= 2);
+        assert_eq!(g.thread_count(), 1);
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let m = ret(add(mul(nat(6), nat(7)), nat(8)));
+        let (v, _) = run_sequential(&single_prog(m));
+        assert_eq!(v, nat(50));
+    }
+
+    #[test]
+    fn let_and_application() {
+        let m = ret(let_(
+            "f",
+            lam("x", Type::Nat, add(var("x"), nat(1))),
+            app(var("f"), app(var("f"), nat(0))),
+        ));
+        let (v, _) = run_sequential(&single_prog(m));
+        assert_eq!(v, nat(2));
+    }
+
+    #[test]
+    fn fix_factorial() {
+        // fact = fix f. λn. ifz n {1} {m. n * f(m)}
+        let fact = fix(
+            "f",
+            Type::arrow(Type::Nat, Type::Nat),
+            lam(
+                "n",
+                Type::Nat,
+                ifz(
+                    var("n"),
+                    nat(1),
+                    "m",
+                    mul(var("n"), app(var("f"), var("m"))),
+                ),
+            ),
+        );
+        let (v, _) = run_sequential(&single_prog(ret(app(fact, nat(5)))));
+        assert_eq!(v, nat(120));
+    }
+
+    #[test]
+    fn references_read_back_writes() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let m = dcl(
+            "r",
+            Type::Nat,
+            nat(1),
+            bind(
+                "_",
+                cmd(p, set(var("r"), nat(42))),
+                bind("v", cmd(p, get(var("r"))), ret(var("v"))),
+            ),
+        );
+        let (v, g) = run_sequential(&single_prog(m));
+        assert_eq!(v, nat(42));
+        // The read adds a weak edge from the write.
+        assert_eq!(g.weak_edges().len(), 1);
+    }
+
+    #[test]
+    fn cas_succeeds_then_fails() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let m = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind(
+                "first",
+                cmd(p, cas(var("r"), nat(0), nat(5))),
+                bind(
+                    "second",
+                    cmd(p, cas(var("r"), nat(0), nat(9))),
+                    ret(add(mul(var("first"), nat(10)), var("second"))),
+                ),
+            ),
+        );
+        let (v, _) = run_sequential(&single_prog(m));
+        // first = 1 (success), second = 0 (failure): 10.
+        assert_eq!(v, nat(10));
+    }
+
+    #[test]
+    fn fcreate_and_ftouch_join_value() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let m = bind(
+            "t",
+            cmd(p, fcreate(p, Type::Nat, ret(add(nat(20), nat(22))))),
+            bind("v", cmd(p, ftouch(var("t"))), ret(var("v"))),
+        );
+        let (v, g) = run_sequential(&single_prog(m));
+        assert_eq!(v, nat(42));
+        assert_eq!(g.thread_count(), 2);
+        assert_eq!(g.create_edges().len(), 1);
+        assert_eq!(g.touch_edges().len(), 1);
+    }
+
+    #[test]
+    fn touch_blocks_until_child_finishes() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        // The child does a little arithmetic so it cannot finish instantly.
+        let m = bind(
+            "t",
+            cmd(p, fcreate(p, Type::Nat, ret(add(nat(1), nat(2))))),
+            bind("v", cmd(p, ftouch(var("t"))), ret(var("v"))),
+        );
+        let prog = single_prog(m);
+        let mut machine = Machine::new(&prog);
+        let main = machine.main;
+        // Step only the main thread until it blocks.
+        let mut steps = 0;
+        loop {
+            match machine.step_thread(main, steps).unwrap() {
+                StepOutcome::Blocked(child) => {
+                    assert_ne!(child, main);
+                    break;
+                }
+                StepOutcome::Progress(_) => {}
+                StepOutcome::Finished => panic!("main cannot finish before the child"),
+            }
+            steps += 1;
+            assert!(steps < 1000);
+        }
+        // Now drain the child, then the main thread can finish.
+        let child = machine
+            .thread_syms()
+            .into_iter()
+            .find(|s| *s != main)
+            .unwrap();
+        while !machine.thread(child).is_done() {
+            machine.step_thread(child, steps).unwrap();
+            steps += 1;
+        }
+        while !machine.thread(main).is_done() {
+            machine.step_thread(main, steps).unwrap();
+            steps += 1;
+        }
+        assert_eq!(machine.main_value().unwrap(), &nat(3));
+    }
+
+    #[test]
+    fn ill_typed_program_gets_stuck_not_panics() {
+        // Applying a number as a function.
+        let m = ret(app(nat(1), nat(2)));
+        let prog = single_prog(m);
+        let mut machine = Machine::new(&prog);
+        let main = machine.main;
+        let mut result = Ok(StepOutcome::Finished);
+        for step in 0..100 {
+            result = machine.step_thread(main, step);
+            if result.is_err() || machine.thread(main).is_done() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(MachineError::Stuck { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let errs = [
+            MachineError::Stuck {
+                thread: ThreadSym(0),
+                state: "x".into(),
+            },
+            MachineError::UnresolvedPriority("pi".into()),
+            MachineError::DanglingLocation(LocId(0)),
+            MachineError::DanglingThread(ThreadSym(1)),
+            MachineError::StepLimitExceeded(10),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Pretty-printing of λ⁴ᵢ types, expressions, and commands.
+//!
+//! The output approximates the paper's concrete syntax (Figure 4) and is
+//! intended for error messages, examples, and debugging, not for parsing
+//! back.
+
+use crate::syntax::{Cmd, Expr, PrimOp, Type};
+use std::fmt::Write as _;
+
+/// Renders a type.
+pub fn type_to_string(t: &Type) -> String {
+    match t {
+        Type::Unit => "unit".to_string(),
+        Type::Nat => "nat".to_string(),
+        Type::Arrow(a, b) => format!("({} -> {})", type_to_string(a), type_to_string(b)),
+        Type::Prod(a, b) => format!("({} * {})", type_to_string(a), type_to_string(b)),
+        Type::Sum(a, b) => format!("({} + {})", type_to_string(a), type_to_string(b)),
+        Type::Ref(a) => format!("{} ref", type_to_string(a)),
+        Type::Thread(a, p) => format!("{} thread[{p}]", type_to_string(a)),
+        Type::Cmd(a, p) => format!("{} cmd[{p}]", type_to_string(a)),
+        Type::Forall(v, c, a) => format!("forall {v} ~ {c}. {}", type_to_string(a)),
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Var(x) => x.clone(),
+        Expr::Unit => "<>".to_string(),
+        Expr::Nat(n) => n.to_string(),
+        Expr::Lam(x, ty, b) => format!("\\{x}:{}. {}", type_to_string(ty), expr_to_string(b)),
+        Expr::Pair(a, b) => format!("({}, {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Inl(a) => format!("inl {}", expr_to_string(a)),
+        Expr::Inr(a) => format!("inr {}", expr_to_string(a)),
+        Expr::RefVal(s) => format!("ref[{s}]"),
+        Expr::Tid(a) => format!("tid[{a}]"),
+        Expr::CmdVal(p, m) => format!("cmd[{p}]{{{}}}", cmd_to_string(m)),
+        Expr::PLam(v, c, b) => format!("/\\{v} ~ {c}. {}", expr_to_string(b)),
+        Expr::PApp(b, p) => format!("{}[{p}]", expr_to_string(b)),
+        Expr::Let(x, a, b) => format!(
+            "let {x} = {} in {}",
+            expr_to_string(a),
+            expr_to_string(b)
+        ),
+        Expr::Ifz(c, z, x, s) => format!(
+            "ifz {} {{{}; {x}.{}}}",
+            expr_to_string(c),
+            expr_to_string(z),
+            expr_to_string(s)
+        ),
+        Expr::App(a, b) => format!("({} {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Fst(a) => format!("fst {}", expr_to_string(a)),
+        Expr::Snd(a) => format!("snd {}", expr_to_string(a)),
+        Expr::Case(s, x, a, y, b) => format!(
+            "case {} {{{x}.{}; {y}.{}}}",
+            expr_to_string(s),
+            expr_to_string(a),
+            expr_to_string(b)
+        ),
+        Expr::Fix(x, ty, b) => format!(
+            "fix {x}:{} is {}",
+            type_to_string(ty),
+            expr_to_string(b)
+        ),
+        Expr::Prim(op, a, b) => {
+            let sym = match op {
+                PrimOp::Add => "+",
+                PrimOp::Sub => "-",
+                PrimOp::Mul => "*",
+                PrimOp::Eq => "==",
+                PrimOp::Lt => "<",
+            };
+            format!("({} {sym} {})", expr_to_string(a), expr_to_string(b))
+        }
+    }
+}
+
+/// Renders a command.
+pub fn cmd_to_string(m: &Cmd) -> String {
+    match m {
+        Cmd::Fcreate {
+            prio,
+            ret_type,
+            body,
+        } => format!(
+            "fcreate[{prio}; {}]{{{}}}",
+            type_to_string(ret_type),
+            cmd_to_string(body)
+        ),
+        Cmd::Ftouch(e) => format!("ftouch {}", expr_to_string(e)),
+        Cmd::Dcl { ty, var, init, body } => format!(
+            "dcl[{}] {var} := {} in {}",
+            type_to_string(ty),
+            expr_to_string(init),
+            cmd_to_string(body)
+        ),
+        Cmd::Get(e) => format!("!{}", expr_to_string(e)),
+        Cmd::Set(a, b) => format!("{} := {}", expr_to_string(a), expr_to_string(b)),
+        Cmd::Bind { var, expr, rest } => format!(
+            "{var} <- {}; {}",
+            expr_to_string(expr),
+            cmd_to_string(rest)
+        ),
+        Cmd::Ret(e) => format!("ret {}", expr_to_string(e)),
+        Cmd::Cas {
+            target,
+            expected,
+            new,
+        } => format!(
+            "cas({}, {}, {})",
+            expr_to_string(target),
+            expr_to_string(expected),
+            expr_to_string(new)
+        ),
+    }
+}
+
+/// Renders a whole program, including its priority domain.
+pub fn program_to_string(p: &crate::syntax::Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} : {}", p.name, type_to_string(&p.return_type));
+    let _ = writeln!(
+        out,
+        "priorities: {}",
+        p.domain
+            .iter()
+            .map(|q| p.domain.name(q).to_string())
+            .collect::<Vec<_>>()
+            .join(" < ")
+    );
+    let _ = writeln!(out, "main @ {}:", p.domain.name(p.main_priority));
+    let _ = writeln!(out, "  {}", cmd_to_string(&p.main));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progs;
+    use crate::syntax::dsl::*;
+    use rp_priority::PriorityDomain;
+
+    #[test]
+    fn types_render() {
+        let dom = PriorityDomain::numeric(2);
+        let t = Type::arrow(
+            Type::Nat,
+            Type::cmd(Type::prod(Type::Unit, Type::Nat), dom.by_index(1)),
+        );
+        let s = type_to_string(&t);
+        assert!(s.contains("nat") && s.contains("cmd") && s.contains("->"));
+    }
+
+    #[test]
+    fn expressions_and_commands_render() {
+        let dom = PriorityDomain::numeric(1);
+        let p = dom.by_index(0);
+        let m = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind("v", cmd(p, get(var("r"))), ret(add(var("v"), nat(1)))),
+        );
+        let s = cmd_to_string(&m);
+        assert!(s.contains("dcl") && s.contains("<-") && s.contains("ret"));
+    }
+
+    #[test]
+    fn program_rendering_mentions_priorities() {
+        let prog = progs::server_with_background(1, 1);
+        let s = program_to_string(&prog);
+        assert!(s.contains("background") && s.contains("interactive"));
+        assert!(s.contains("fcreate"));
+    }
+
+    #[test]
+    fn all_syntax_constructors_render_nonempty() {
+        let dom = PriorityDomain::numeric(1);
+        let p = dom.by_index(0);
+        let exprs = vec![
+            unit(),
+            nat(3),
+            var("x"),
+            lam("x", Type::Nat, var("x")),
+            pair(nat(1), nat(2)),
+            Expr::Inl(Box::new(nat(1))),
+            Expr::Inr(Box::new(unit())),
+            Expr::Fst(Box::new(var("p"))),
+            Expr::Snd(Box::new(var("p"))),
+            Expr::Case(
+                Box::new(var("s")),
+                "a".into(),
+                Box::new(nat(1)),
+                "b".into(),
+                Box::new(nat(2)),
+            ),
+            ifz(nat(0), nat(1), "m", var("m")),
+            fix("f", Type::Nat, nat(1)),
+            cmd(p, ret(nat(1))),
+            eq(nat(1), nat(2)),
+            sub(nat(3), nat(1)),
+        ];
+        for e in exprs {
+            assert!(!expr_to_string(&e).is_empty());
+        }
+        let cmds = vec![
+            ret(nat(1)),
+            get(var("r")),
+            set(var("r"), nat(1)),
+            cas(var("r"), nat(0), nat(1)),
+            ftouch(var("t")),
+            fcreate(p, Type::Nat, ret(nat(1))),
+            dcl("r", Type::Nat, nat(0), ret(nat(1))),
+            bind("x", cmd(p, ret(nat(1))), ret(var("x"))),
+        ];
+        for m in cmds {
+            assert!(!cmd_to_string(&m).is_empty());
+        }
+    }
+}

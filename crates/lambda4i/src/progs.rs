@@ -1,0 +1,501 @@
+//! A library of λ⁴ᵢ example programs.
+//!
+//! These programs are used by the test suite (soundness and bound checks),
+//! the examples, and the Table 1 reproduction, which compares type-checking
+//! cost with and without the priority layer on λ⁴ᵢ encodings of the paper's
+//! three case studies.
+
+use crate::syntax::dsl::*;
+use crate::syntax::{Cmd, Expr, Program, Type};
+use rp_priority::{Priority, PriorityDomain};
+use std::sync::Arc;
+
+/// Builds a [`Program`] value from its pieces.
+fn program(
+    name: &str,
+    domain: PriorityDomain,
+    main_priority: Priority,
+    main: Cmd,
+    return_type: Type,
+) -> Program {
+    Program {
+        name: name.to_string(),
+        domain,
+        main_priority,
+        main: Arc::new(main),
+        return_type,
+    }
+}
+
+/// A pure compute kernel: `work(n)` counts down from `n`, returning `n`,
+/// taking Θ(n) machine steps.  Used to give threads tunable amounts of work.
+fn work_fn() -> Expr {
+    fix(
+        "loop",
+        Type::arrow(Type::Nat, Type::Nat),
+        lam(
+            "n",
+            Type::Nat,
+            ifz(
+                var("n"),
+                nat(0),
+                "m",
+                add(nat(1), app(var("loop"), var("m"))),
+            ),
+        ),
+    )
+}
+
+/// Fibonacci with futures: each recursive call below the cutoff is spawned
+/// as a future and touched, exactly the classic parallel-fib example.
+///
+/// All threads share one priority level; the point of the program is the
+/// dynamic fork/join structure, which exercises fcreate/ftouch edges.
+pub fn parallel_fib(n: u64) -> Program {
+    let dom = PriorityDomain::single();
+    let p = dom.by_index(0);
+    // fibc : nat → nat cmd[p]
+    let fib_ty = Type::arrow(Type::Nat, Type::cmd(Type::Nat, p));
+    let spawn_call = |arg: &str| {
+        // fcreate[p; nat]{ x ← fib arg; ret x }
+        fcreate(
+            p,
+            Type::Nat,
+            bind("x", app(var("fib"), var(arg)), ret(var("x"))),
+        )
+    };
+    let fibc = fix(
+        "fib",
+        fib_ty,
+        lam(
+            "n",
+            Type::Nat,
+            ifz(
+                var("n"),
+                cmd(p, ret(nat(0))),
+                "n1",
+                ifz(
+                    var("n1"),
+                    cmd(p, ret(nat(1))),
+                    "n2",
+                    cmd(
+                        p,
+                        bind(
+                            "ta",
+                            cmd(p, spawn_call("n1")),
+                            bind(
+                                "tb",
+                                cmd(p, spawn_call("n2")),
+                                bind(
+                                    "a",
+                                    cmd(p, ftouch(var("ta"))),
+                                    bind(
+                                        "b",
+                                        cmd(p, ftouch(var("tb"))),
+                                        ret(add(var("a"), var("b"))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let main = bind("r", app(fibc, nat(n)), ret(var("r")));
+    program("parallel-fib", dom, p, main, Type::Nat)
+}
+
+/// The racy Figure 1 program: `main` forks `f`, which forks `g` and writes
+/// `g`'s handle into shared state; `main` reads the state and touches the
+/// handle only if the write has already happened.
+///
+/// Depending on the schedule, the resulting cost graph either contains the
+/// `ftouch` of `g` (with the weak edge from the write to the read) or not —
+/// the two DAGs of Figure 1.
+pub fn figure1_program() -> Program {
+    let dom = PriorityDomain::single();
+    let p = dom.by_index(0);
+    let handle_ty = Type::sum(Type::thread(Type::Unit, p), Type::Unit);
+
+    // g: the trivial thread.
+    let g_body = ret(unit());
+    // f: fork g, then publish its handle through the shared reference.
+    let f_body = bind(
+        "h",
+        cmd(p, fcreate(p, Type::Unit, g_body)),
+        bind(
+            "_",
+            cmd(p, set(var("t"), Expr::Inl(Box::new(var("h"))))),
+            ret(unit()),
+        ),
+    );
+    let main = dcl(
+        "t",
+        handle_ty,
+        Expr::Inr(Box::new(unit())),
+        bind(
+            "_f",
+            cmd(p, fcreate(p, Type::Unit, f_body)),
+            bind(
+                "v",
+                cmd(p, get(var("t"))),
+                bind(
+                    "r",
+                    Expr::Case(
+                        Box::new(var("v")),
+                        "h".into(),
+                        Box::new(cmd(
+                            p,
+                            bind("_x", cmd(p, ftouch(var("h"))), ret(unit())),
+                        )),
+                        "_u".into(),
+                        Box::new(cmd(p, ret(unit()))),
+                    ),
+                    ret(var("r")),
+                ),
+            ),
+        ),
+    );
+    program("figure1", dom, p, main, Type::Unit)
+}
+
+/// An interactive server skeleton: a low-priority main loop spawns
+/// `background` fire-and-forget worker threads (heavy compute, publishing
+/// progress through a shared reference) and `requests` high-priority
+/// interactive threads (light compute that reads the shared progress), then
+/// joins only the interactive threads and sums their results.
+///
+/// This is the minimal shape of the paper's motivating example (event loop +
+/// background optimiser communicating through state) and is the workhorse of
+/// the bound and responsiveness tests.
+pub fn server_with_background(requests: usize, background: usize) -> Program {
+    let dom = PriorityDomain::total_order(["background", "interactive"]).expect("distinct names");
+    let bg = dom.priority("background").expect("declared");
+    let hi = dom.priority("interactive").expect("declared");
+
+    // Background worker: heavy compute, then publish to the shared cell.
+    let bg_body = bind(
+        "w",
+        cmd(bg, ret(app(work_fn(), nat(12)))),
+        bind("_", cmd(bg, set(var("progress"), var("w"))), ret(var("w"))),
+    );
+    // Interactive request: read progress, light compute.
+    let req_body = bind(
+        "seen",
+        cmd(hi, get(var("progress"))),
+        bind(
+            "w",
+            cmd(hi, ret(app(work_fn(), nat(3)))),
+            ret(add(var("w"), mul(nat(0), var("seen")))),
+        ),
+    );
+
+    // Spawn background threads (never touched), then requests, then touch the
+    // requests and sum.
+    let mut touches_sum: Expr = nat(0);
+    for i in 0..requests {
+        touches_sum = add(touches_sum, var(&format!("v{i}")));
+    }
+    let mut body: Cmd = ret(touches_sum);
+    for i in (0..requests).rev() {
+        body = bind(
+            &format!("v{i}"),
+            cmd(bg, ftouch(var(&format!("r{i}")))),
+            body,
+        );
+    }
+    for i in (0..requests).rev() {
+        body = bind(
+            &format!("r{i}"),
+            cmd(bg, fcreate(hi, Type::Nat, req_body.clone())),
+            body,
+        );
+    }
+    for i in (0..background).rev() {
+        body = bind(
+            &format!("b{i}"),
+            cmd(bg, fcreate(bg, Type::Nat, bg_body.clone())),
+            body,
+        );
+    }
+    let main = dcl("progress", Type::Nat, nat(0), body);
+    program("server-with-background", dom, bg, main, Type::Nat)
+}
+
+/// A program with a deliberate priority inversion (a high-priority thread
+/// touching a low-priority one).  It is rejected by the type checker; the
+/// machine will still run it, producing an ill-formed graph — useful for
+/// negative tests.
+pub fn priority_inversion_program() -> Program {
+    let dom = PriorityDomain::total_order(["lo", "hi"]).expect("distinct names");
+    let lo = dom.priority("lo").expect("declared");
+    let hi = dom.priority("hi").expect("declared");
+    let main = bind(
+        "t",
+        cmd(hi, fcreate(lo, Type::Nat, ret(app(work_fn(), nat(6))))),
+        bind("v", cmd(hi, ftouch(var("t"))), ret(var("v"))),
+    );
+    program("priority-inversion", dom, hi, main, Type::Nat)
+}
+
+/// The print/compress coordination pattern of the email case study (§5.1):
+/// two threads race to claim an email slot with CAS; the loser touches the
+/// winner's handle before proceeding.  Because the toucher runs at a
+/// priority ⪯ the touched thread, the program is accepted by the type
+/// system even though the handle flows through mutable state.
+pub fn email_coordination_program() -> Program {
+    let dom =
+        PriorityDomain::total_order(["compress", "print", "event"]).expect("distinct names");
+    let compress = dom.priority("compress").expect("declared");
+    let print = dom.priority("print").expect("declared");
+    let event = dom.priority("event").expect("declared");
+
+    let slot_ty = Type::sum(Type::thread(Type::Nat, print), Type::Unit);
+
+    // The print thread: do some work, publish own completion value.
+    let print_body = ret(app(work_fn(), nat(8)));
+    // The compress thread: CAS the slot; here we model the "found an ongoing
+    // print" path by reading the slot and touching the handle if present.
+    let compress_body = bind(
+        "slot_val",
+        cmd(compress, get(var("slot"))),
+        bind(
+            "state",
+            Expr::Case(
+                Box::new(var("slot_val")),
+                "h".into(),
+                Box::new(cmd(
+                    compress,
+                    bind("done", cmd(compress, ftouch(var("h"))), ret(var("done"))),
+                )),
+                "_n".into(),
+                Box::new(cmd(compress, ret(nat(0)))),
+            ),
+            bind(
+                "w",
+                cmd(compress, ret(app(work_fn(), nat(6)))),
+                ret(add(var("state"), var("w"))),
+            ),
+        ),
+    );
+
+    // The event loop (highest priority): spawn the print thread, publish its
+    // handle via the slot, spawn the compress thread, and finish.  It touches
+    // neither (both are lower priority), mirroring the fire-and-forget event
+    // loop of the case study.
+    let main = dcl(
+        "slot",
+        slot_ty,
+        Expr::Inr(Box::new(unit())),
+        bind(
+            "p",
+            cmd(event, fcreate(print, Type::Nat, print_body)),
+            bind(
+                "_pub",
+                cmd(event, set(var("slot"), Expr::Inl(Box::new(var("p"))))),
+                bind(
+                    "_c",
+                    cmd(event, fcreate(compress, Type::Nat, compress_body)),
+                    ret(nat(0)),
+                ),
+            ),
+        ),
+    );
+    program("email-coordination", dom, event, main, Type::Nat)
+}
+
+// ---------------------------------------------------------------------------
+// Case-study encodings for the Table 1 reproduction.
+//
+// The paper measures the compile-time overhead of the priority machinery on
+// three C++ applications.  Our substitute measures λ⁴ᵢ type-checking cost on
+// structurally representative encodings: an event loop at the highest
+// priority, a stack of lower-priority components, shared state between them,
+// and a configurable amount of per-component code (`units`).
+// ---------------------------------------------------------------------------
+
+/// Shared shape of the three case-study encodings: `levels` priority levels,
+/// one component per level below the event loop, `units` of work-spawning
+/// code per component.
+fn case_study(name: &str, level_names: &[&str], units: usize) -> Program {
+    let dom = PriorityDomain::total_order(level_names.to_vec()).expect("distinct names");
+    let top = dom
+        .priority(level_names.last().expect("non-empty"))
+        .expect("declared");
+
+    // A component at priority `p` spawns `units` helper threads at its own
+    // priority, touches them, reads the shared statistics cell, and returns a
+    // sum.
+    let component_body = |p: Priority| -> Cmd {
+        let helper = bind(
+            "w",
+            cmd(p, ret(app(work_fn(), nat(4)))),
+            ret(var("w")),
+        );
+        let mut sum: Expr = nat(0);
+        for u in 0..units {
+            sum = add(sum, var(&format!("hv{u}")));
+        }
+        let mut body: Cmd = bind(
+            "_pub",
+            cmd(p, set(var("stats"), sum.clone())),
+            ret(sum),
+        );
+        for u in (0..units).rev() {
+            body = bind(
+                &format!("hv{u}"),
+                cmd(p, ftouch(var(&format!("h{u}")))),
+                body,
+            );
+        }
+        for u in (0..units).rev() {
+            body = bind(
+                &format!("h{u}"),
+                cmd(p, fcreate(p, Type::Nat, helper.clone())),
+                body,
+            );
+        }
+        bind("seen", cmd(p, get(var("stats"))), body)
+    };
+
+    // The event loop spawns one component per lower level (fire-and-forget,
+    // since they are lower priority), reads the stats cell, and returns.
+    let mut main_body: Cmd = bind("final", cmd(top, get(var("stats"))), ret(var("final")));
+    for (i, name) in level_names.iter().enumerate().rev().skip(1) {
+        let p = dom.priority(name).expect("declared");
+        main_body = bind(
+            &format!("c{i}"),
+            cmd(top, fcreate(p, Type::Nat, component_body(p))),
+            main_body,
+        );
+    }
+    let main = dcl("stats", Type::Nat, nat(0), main_body);
+    program(name, dom, top, main, Type::Nat)
+}
+
+/// λ⁴ᵢ encoding of the proxy-server case study: four priority levels
+/// (main/shutdown, logging, fetch, event loop), matching §5.1.
+pub fn proxy_program() -> Program {
+    case_study("proxy", &["main", "logging", "fetch", "event-loop"], 6)
+}
+
+/// λ⁴ᵢ encoding of the email-client case study: six priority levels
+/// (main, check, compress/print, sort, send, event loop), matching §5.1.
+pub fn email_program() -> Program {
+    case_study(
+        "email",
+        &["main", "check", "compress", "sort", "send", "event-loop"],
+        4,
+    )
+}
+
+/// λ⁴ᵢ encoding of the job-server case study: four priority levels, one per
+/// job class (sw, sort, fib, matmul), matching §5.1.
+pub fn jserver_program() -> Program {
+    case_study("jserver", &["sw", "sort", "fib", "matmul"], 8)
+}
+
+/// All three case-study programs, paired with their names — the Table 1
+/// row set.
+pub fn case_studies() -> Vec<Program> {
+    vec![proxy_program(), email_program(), jserver_program()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_program, RunConfig};
+    use crate::typecheck::{typecheck_program, typecheck_program_with, TypeError};
+
+    #[test]
+    fn all_positive_programs_typecheck() {
+        for prog in [
+            parallel_fib(5),
+            figure1_program(),
+            server_with_background(2, 3),
+            email_coordination_program(),
+            proxy_program(),
+            email_program(),
+            jserver_program(),
+        ] {
+            typecheck_program(&prog).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        }
+    }
+
+    #[test]
+    fn priority_inversion_program_is_rejected_then_accepted_without_checks() {
+        let prog = priority_inversion_program();
+        assert!(matches!(
+            typecheck_program(&prog),
+            Err(TypeError::PriorityInversion { .. })
+        ));
+        typecheck_program_with(&prog, false).unwrap();
+    }
+
+    #[test]
+    fn parallel_fib_values() {
+        for (n, expected) in [(0, 0), (1, 1), (2, 1), (5, 5), (7, 13)] {
+            let prog = parallel_fib(n);
+            let result = run_program(&prog, &RunConfig::default()).unwrap();
+            assert_eq!(result.value, Expr::Nat(expected), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn figure1_program_runs_under_all_policies() {
+        use crate::policy::SelectionPolicy;
+        let prog = figure1_program();
+        typecheck_program(&prog).unwrap();
+        for policy in [
+            SelectionPolicy::Prompt,
+            SelectionPolicy::Oblivious,
+            SelectionPolicy::Random { seed: 9 },
+        ] {
+            let result = run_program(
+                &prog,
+                &RunConfig {
+                    cores: 2,
+                    policy,
+                    max_steps: 100_000,
+                },
+            )
+            .unwrap();
+            assert!(result.graph_report.strongly_well_formed);
+            assert!(result.admissible);
+        }
+    }
+
+    #[test]
+    fn email_coordination_produces_weak_edges_and_well_formed_graph() {
+        let prog = email_coordination_program();
+        let result = run_program(&prog, &RunConfig::default()).unwrap();
+        assert!(result.graph_report.weak_edges >= 1);
+        assert!(result.graph_report.well_formed);
+        assert!(result.graph_report.strongly_well_formed);
+    }
+
+    #[test]
+    fn ill_typed_inversion_program_can_produce_ill_formed_graph() {
+        // Running the rejected program shows why the type system matters: the
+        // produced graph has a touch edge from high to low priority and fails
+        // well-formedness.
+        let prog = priority_inversion_program();
+        let result = run_program(&prog, &RunConfig::default()).unwrap();
+        assert!(!result.graph_report.strongly_well_formed);
+        assert!(!result.graph_report.well_formed);
+    }
+
+    #[test]
+    fn case_studies_have_substantial_size() {
+        use crate::typecheck::count_nodes;
+        for prog in case_studies() {
+            assert!(
+                count_nodes(&prog) > 200,
+                "{} too small: {}",
+                prog.name,
+                count_nodes(&prog)
+            );
+        }
+    }
+}

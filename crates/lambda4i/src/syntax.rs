@@ -1,0 +1,800 @@
+//! Abstract syntax of λ⁴ᵢ (Figure 4), in A-normal form.
+//!
+//! The language is split into an *expression* layer, which cannot observe the
+//! heap or the thread pool, and a *command* layer, which can.  Commands are
+//! sequenced monadically with `bind` and injected with `ret`; encapsulated
+//! commands `cmd[ρ]{m}` are first-class expression values.
+//!
+//! Runtime-only values (references `ref[s]` and thread handles `tid[a]`)
+//! also live in the expression grammar, exactly as in the paper, so the
+//! abstract machine can substitute them into terms.
+
+use rp_priority::{Constraint, PrioTerm, PrioVar, Priority, PriorityDomain};
+use std::fmt;
+use std::sync::Arc;
+
+/// A term-level variable.
+pub type Var = String;
+
+/// A memory location symbol `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocId(pub u32);
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A thread symbol `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadSym(pub u32);
+
+impl fmt::Display for ThreadSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Types `τ` of λ⁴ᵢ (Figure 4), extended with the priority-polymorphic type
+/// `∀π ∼ C. τ` used by the ∀I/∀E rules of Figure 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `unit`.
+    Unit,
+    /// `nat`.
+    Nat,
+    /// `τ₁ → τ₂`.
+    Arrow(Box<Type>, Box<Type>),
+    /// `τ₁ × τ₂`.
+    Prod(Box<Type>, Box<Type>),
+    /// `τ₁ + τ₂`.
+    Sum(Box<Type>, Box<Type>),
+    /// `τ ref`.
+    Ref(Box<Type>),
+    /// `τ thread[ρ]`: a handle to a thread of return type `τ` running at
+    /// priority `ρ`.
+    Thread(Box<Type>, PrioTerm),
+    /// `τ cmd[ρ]`: an encapsulated command of return type `τ` runnable at
+    /// priority `ρ`.
+    Cmd(Box<Type>, PrioTerm),
+    /// `∀π ∼ C. τ`: priority polymorphism constrained by `C`.
+    Forall(PrioVar, Constraint, Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for `τ₁ → τ₂`.
+    pub fn arrow(a: Type, b: Type) -> Type {
+        Type::Arrow(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `τ₁ × τ₂`.
+    pub fn prod(a: Type, b: Type) -> Type {
+        Type::Prod(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `τ₁ + τ₂`.
+    pub fn sum(a: Type, b: Type) -> Type {
+        Type::Sum(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `τ ref`.
+    pub fn reference(t: Type) -> Type {
+        Type::Ref(Box::new(t))
+    }
+
+    /// Convenience constructor for `τ thread[ρ]`.
+    pub fn thread(t: Type, p: impl Into<PrioTerm>) -> Type {
+        Type::Thread(Box::new(t), p.into())
+    }
+
+    /// Convenience constructor for `τ cmd[ρ]`.
+    pub fn cmd(t: Type, p: impl Into<PrioTerm>) -> Type {
+        Type::Cmd(Box::new(t), p.into())
+    }
+
+    /// Substitutes a priority term for a priority variable throughout the
+    /// type (`[ρ/π]τ`).
+    pub fn subst_prio(&self, var: &PrioVar, term: &PrioTerm) -> Type {
+        let s = rp_priority::PrioSubst::single(var.clone(), term.clone());
+        self.subst_prio_all(&s)
+    }
+
+    /// Applies a priority substitution throughout the type.
+    pub fn subst_prio_all(&self, s: &rp_priority::PrioSubst) -> Type {
+        match self {
+            Type::Unit => Type::Unit,
+            Type::Nat => Type::Nat,
+            Type::Arrow(a, b) => Type::arrow(a.subst_prio_all(s), b.subst_prio_all(s)),
+            Type::Prod(a, b) => Type::prod(a.subst_prio_all(s), b.subst_prio_all(s)),
+            Type::Sum(a, b) => Type::sum(a.subst_prio_all(s), b.subst_prio_all(s)),
+            Type::Ref(t) => Type::reference(t.subst_prio_all(s)),
+            Type::Thread(t, p) => Type::Thread(Box::new(t.subst_prio_all(s)), p.subst(s)),
+            Type::Cmd(t, p) => Type::Cmd(Box::new(t.subst_prio_all(s)), p.subst(s)),
+            Type::Forall(v, c, t) => {
+                // Substitution does not descend under a binder for the same
+                // variable name (shadowing).
+                if s.get(v).is_some() {
+                    let mut filtered = rp_priority::PrioSubst::new();
+                    for (var, term) in s.iter() {
+                        if var != v {
+                            filtered.bind(var.clone(), term.clone());
+                        }
+                    }
+                    Type::Forall(v.clone(), c.subst(&filtered), Box::new(t.subst_prio_all(&filtered)))
+                } else {
+                    Type::Forall(v.clone(), c.subst(s), Box::new(t.subst_prio_all(s)))
+                }
+            }
+        }
+    }
+}
+
+/// Expressions `e` and values `v` of λ⁴ᵢ (Figure 4).
+///
+/// A-normal form: elimination forms take value subterms; computations are
+/// sequenced with `let`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable `x`.
+    Var(Var),
+    /// `⟨⟩`.
+    Unit,
+    /// Numeral `n`.
+    Nat(u64),
+    /// `λx:τ. e` (the paper's lambdas are unannotated; the annotation makes
+    /// type checking syntax-directed).
+    Lam(Var, Type, Box<Expr>),
+    /// `(v, v)`.
+    Pair(Box<Expr>, Box<Expr>),
+    /// `inl v`.
+    Inl(Box<Expr>),
+    /// `inr v`.
+    Inr(Box<Expr>),
+    /// Runtime reference value `ref[s]`.
+    RefVal(LocId),
+    /// Runtime thread handle `tid[a]`.
+    Tid(ThreadSym),
+    /// `cmd[ρ]{m}` — an encapsulated command.
+    CmdVal(PrioTerm, Arc<Cmd>),
+    /// `Λπ ∼ C. e` — priority abstraction.
+    PLam(PrioVar, Constraint, Box<Expr>),
+    /// `v[ρ]` — priority application.
+    PApp(Box<Expr>, PrioTerm),
+    /// `let x = e₁ in e₂`.
+    Let(Var, Box<Expr>, Box<Expr>),
+    /// `ifz v {e₁; x.e₂}` — zero/successor case on naturals.
+    Ifz(Box<Expr>, Box<Expr>, Var, Box<Expr>),
+    /// Application `v₁ v₂`.
+    App(Box<Expr>, Box<Expr>),
+    /// `fst v`.
+    Fst(Box<Expr>),
+    /// `snd v`.
+    Snd(Box<Expr>),
+    /// `case v {x.e₁; y.e₂}`.
+    Case(Box<Expr>, Var, Box<Expr>, Var, Box<Expr>),
+    /// `fix x:τ is e`.
+    Fix(Var, Type, Box<Expr>),
+    /// Primitive arithmetic, an inessential convenience for writing
+    /// realistic workloads (`e₁ ⊕ e₂` on naturals).
+    Prim(PrimOp, Box<Expr>, Box<Expr>),
+}
+
+/// Primitive binary operations on naturals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimOp {
+    /// Addition.
+    Add,
+    /// Saturating subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Equality test (1 if equal, 0 otherwise).
+    Eq,
+    /// Strictly-less test (1 if less, 0 otherwise).
+    Lt,
+}
+
+/// Commands `m` of λ⁴ᵢ (Figure 4), plus the CAS extension of §3.3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cmd {
+    /// `fcreate[ρ'; τ]{m}` — spawn `m` in a new thread at priority `ρ'`.
+    Fcreate {
+        /// The new thread's priority.
+        prio: PrioTerm,
+        /// The new thread's return type.
+        ret_type: Type,
+        /// The body to run.
+        body: Arc<Cmd>,
+    },
+    /// `ftouch e` — wait for the thread denoted by `e` and return its value.
+    Ftouch(Box<Expr>),
+    /// `dcl[τ] s := e in m` — allocate a reference initialised with `e`.
+    Dcl {
+        /// The declared location's content type.
+        ty: Type,
+        /// A binder name for the new reference inside `body` (the paper uses
+        /// a location symbol; we bind a variable that the machine substitutes
+        /// the fresh `ref[s]` value for).
+        var: Var,
+        /// The initial value expression.
+        init: Box<Expr>,
+        /// The scope of the declaration.
+        body: Arc<Cmd>,
+    },
+    /// `!e` — read a reference.
+    Get(Box<Expr>),
+    /// `e₁ := e₂` — write a reference, returning the new value.
+    Set(Box<Expr>, Box<Expr>),
+    /// `x ← e; m` — run the encapsulated command produced by `e`, bind its
+    /// result to `x`, continue as `m`.
+    Bind {
+        /// The bound variable.
+        var: Var,
+        /// The expression producing an encapsulated command.
+        expr: Box<Expr>,
+        /// The continuation command.
+        rest: Arc<Cmd>,
+    },
+    /// `ret e` — return the value of an expression.
+    Ret(Box<Expr>),
+    /// `cas(e_ref, e_old, e_new)` — compare-and-swap (§3.3); returns `1` on
+    /// success and `0` on failure.
+    Cas {
+        /// The reference to update.
+        target: Box<Expr>,
+        /// The expected current value.
+        expected: Box<Expr>,
+        /// The replacement value.
+        new: Box<Expr>,
+    },
+}
+
+/// A closed λ⁴ᵢ program: a command to run in the initial thread at a given
+/// priority, over a given priority domain.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// The priority domain `R`.
+    pub domain: PriorityDomain,
+    /// The priority of the initial thread.
+    pub main_priority: Priority,
+    /// The command the initial thread runs.
+    pub main: Arc<Cmd>,
+    /// The program's declared return type (checked by `typecheck_program`).
+    pub return_type: Type,
+}
+
+impl Expr {
+    /// Whether the expression is a value `v` of Figure 4.
+    pub fn is_value(&self) -> bool {
+        matches!(
+            self,
+            Expr::Var(_)
+                | Expr::Unit
+                | Expr::Nat(_)
+                | Expr::Lam(..)
+                | Expr::RefVal(_)
+                | Expr::Tid(_)
+                | Expr::CmdVal(..)
+                | Expr::PLam(..)
+        ) || match self {
+            Expr::Pair(a, b) => a.is_value() && b.is_value(),
+            Expr::Inl(v) | Expr::Inr(v) => v.is_value(),
+            _ => false,
+        }
+    }
+
+    /// Capture-avoiding substitution `[v/x]e`.
+    ///
+    /// The substituted expression `v` must be closed (the machine only ever
+    /// substitutes closed values), so no renaming is required.
+    pub fn subst(&self, x: &str, v: &Expr) -> Expr {
+        match self {
+            Expr::Var(y) => {
+                if y == x {
+                    v.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => self.clone(),
+            Expr::Lam(y, ty, body) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    Expr::Lam(y.clone(), ty.clone(), Box::new(body.subst(x, v)))
+                }
+            }
+            Expr::Pair(a, b) => Expr::Pair(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Inl(a) => Expr::Inl(Box::new(a.subst(x, v))),
+            Expr::Inr(a) => Expr::Inr(Box::new(a.subst(x, v))),
+            Expr::CmdVal(p, m) => Expr::CmdVal(p.clone(), Arc::new(m.subst(x, v))),
+            Expr::PLam(pv, c, e) => {
+                Expr::PLam(pv.clone(), c.clone(), Box::new(e.subst(x, v)))
+            }
+            Expr::PApp(e, p) => Expr::PApp(Box::new(e.subst(x, v)), p.clone()),
+            Expr::Let(y, e1, e2) => {
+                let e1 = Box::new(e1.subst(x, v));
+                if y == x {
+                    Expr::Let(y.clone(), e1, e2.clone())
+                } else {
+                    Expr::Let(y.clone(), e1, Box::new(e2.subst(x, v)))
+                }
+            }
+            Expr::Ifz(cond, z, y, s) => {
+                let cond = Box::new(cond.subst(x, v));
+                let z = Box::new(z.subst(x, v));
+                let s = if y == x {
+                    s.clone()
+                } else {
+                    Box::new(s.subst(x, v))
+                };
+                Expr::Ifz(cond, z, y.clone(), s)
+            }
+            Expr::App(a, b) => Expr::App(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Fst(a) => Expr::Fst(Box::new(a.subst(x, v))),
+            Expr::Snd(a) => Expr::Snd(Box::new(a.subst(x, v))),
+            Expr::Case(scr, y1, e1, y2, e2) => {
+                let scr = Box::new(scr.subst(x, v));
+                let e1 = if y1 == x {
+                    e1.clone()
+                } else {
+                    Box::new(e1.subst(x, v))
+                };
+                let e2 = if y2 == x {
+                    e2.clone()
+                } else {
+                    Box::new(e2.subst(x, v))
+                };
+                Expr::Case(scr, y1.clone(), e1, y2.clone(), e2)
+            }
+            Expr::Fix(y, t, e) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    Expr::Fix(y.clone(), t.clone(), Box::new(e.subst(x, v)))
+                }
+            }
+            Expr::Prim(op, a, b) => {
+                Expr::Prim(*op, Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            }
+        }
+    }
+
+    /// Substitutes a priority term for a priority variable (`[ρ/π]e`).
+    pub fn subst_prio(&self, var: &PrioVar, term: &PrioTerm) -> Expr {
+        let s = rp_priority::PrioSubst::single(var.clone(), term.clone());
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => {
+                self.clone()
+            }
+            Expr::Lam(y, ty, body) => Expr::Lam(
+                y.clone(),
+                ty.subst_prio(var, term),
+                Box::new(body.subst_prio(var, term)),
+            ),
+            Expr::Pair(a, b) => Expr::Pair(
+                Box::new(a.subst_prio(var, term)),
+                Box::new(b.subst_prio(var, term)),
+            ),
+            Expr::Inl(a) => Expr::Inl(Box::new(a.subst_prio(var, term))),
+            Expr::Inr(a) => Expr::Inr(Box::new(a.subst_prio(var, term))),
+            Expr::CmdVal(p, m) => Expr::CmdVal(p.subst(&s), Arc::new(m.subst_prio(var, term))),
+            Expr::PLam(pv, c, e) => {
+                if pv == var {
+                    self.clone()
+                } else {
+                    Expr::PLam(
+                        pv.clone(),
+                        c.subst(&s),
+                        Box::new(e.subst_prio(var, term)),
+                    )
+                }
+            }
+            Expr::PApp(e, p) => Expr::PApp(Box::new(e.subst_prio(var, term)), p.subst(&s)),
+            Expr::Let(y, e1, e2) => Expr::Let(
+                y.clone(),
+                Box::new(e1.subst_prio(var, term)),
+                Box::new(e2.subst_prio(var, term)),
+            ),
+            Expr::Ifz(c, z, y, sc) => Expr::Ifz(
+                Box::new(c.subst_prio(var, term)),
+                Box::new(z.subst_prio(var, term)),
+                y.clone(),
+                Box::new(sc.subst_prio(var, term)),
+            ),
+            Expr::App(a, b) => Expr::App(
+                Box::new(a.subst_prio(var, term)),
+                Box::new(b.subst_prio(var, term)),
+            ),
+            Expr::Fst(a) => Expr::Fst(Box::new(a.subst_prio(var, term))),
+            Expr::Snd(a) => Expr::Snd(Box::new(a.subst_prio(var, term))),
+            Expr::Case(scr, y1, e1, y2, e2) => Expr::Case(
+                Box::new(scr.subst_prio(var, term)),
+                y1.clone(),
+                Box::new(e1.subst_prio(var, term)),
+                y2.clone(),
+                Box::new(e2.subst_prio(var, term)),
+            ),
+            Expr::Fix(y, t, e) => Expr::Fix(
+                y.clone(),
+                t.subst_prio(var, term),
+                Box::new(e.subst_prio(var, term)),
+            ),
+            Expr::Prim(op, a, b) => Expr::Prim(
+                *op,
+                Box::new(a.subst_prio(var, term)),
+                Box::new(b.subst_prio(var, term)),
+            ),
+        }
+    }
+}
+
+impl Cmd {
+    /// Capture-avoiding substitution `[v/x]m` of a closed value into a
+    /// command.
+    pub fn subst(&self, x: &str, v: &Expr) -> Cmd {
+        match self {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => Cmd::Fcreate {
+                prio: prio.clone(),
+                ret_type: ret_type.clone(),
+                body: Arc::new(body.subst(x, v)),
+            },
+            Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(e.subst(x, v))),
+            Cmd::Dcl { ty, var, init, body } => {
+                let init = Box::new(init.subst(x, v));
+                let body = if var == x {
+                    body.clone()
+                } else {
+                    Arc::new(body.subst(x, v))
+                };
+                Cmd::Dcl {
+                    ty: ty.clone(),
+                    var: var.clone(),
+                    init,
+                    body,
+                }
+            }
+            Cmd::Get(e) => Cmd::Get(Box::new(e.subst(x, v))),
+            Cmd::Set(a, b) => Cmd::Set(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Cmd::Bind { var, expr, rest } => {
+                let expr = Box::new(expr.subst(x, v));
+                let rest = if var == x {
+                    rest.clone()
+                } else {
+                    Arc::new(rest.subst(x, v))
+                };
+                Cmd::Bind {
+                    var: var.clone(),
+                    expr,
+                    rest,
+                }
+            }
+            Cmd::Ret(e) => Cmd::Ret(Box::new(e.subst(x, v))),
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => Cmd::Cas {
+                target: Box::new(target.subst(x, v)),
+                expected: Box::new(expected.subst(x, v)),
+                new: Box::new(new.subst(x, v)),
+            },
+        }
+    }
+
+    /// Substitutes a priority term for a priority variable (`[ρ/π]m`).
+    pub fn subst_prio(&self, var: &PrioVar, term: &PrioTerm) -> Cmd {
+        let s = rp_priority::PrioSubst::single(var.clone(), term.clone());
+        match self {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => Cmd::Fcreate {
+                prio: prio.subst(&s),
+                ret_type: ret_type.subst_prio(var, term),
+                body: Arc::new(body.subst_prio(var, term)),
+            },
+            Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(e.subst_prio(var, term))),
+            Cmd::Dcl { ty, var: y, init, body } => Cmd::Dcl {
+                ty: ty.subst_prio(var, term),
+                var: y.clone(),
+                init: Box::new(init.subst_prio(var, term)),
+                body: Arc::new(body.subst_prio(var, term)),
+            },
+            Cmd::Get(e) => Cmd::Get(Box::new(e.subst_prio(var, term))),
+            Cmd::Set(a, b) => Cmd::Set(
+                Box::new(a.subst_prio(var, term)),
+                Box::new(b.subst_prio(var, term)),
+            ),
+            Cmd::Bind { var: y, expr, rest } => Cmd::Bind {
+                var: y.clone(),
+                expr: Box::new(expr.subst_prio(var, term)),
+                rest: Arc::new(rest.subst_prio(var, term)),
+            },
+            Cmd::Ret(e) => Cmd::Ret(Box::new(e.subst_prio(var, term))),
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => Cmd::Cas {
+                target: Box::new(target.subst_prio(var, term)),
+                expected: Box::new(expected.subst_prio(var, term)),
+                new: Box::new(new.subst_prio(var, term)),
+            },
+        }
+    }
+}
+
+/// Ergonomic constructors used throughout the example programs and tests.
+pub mod dsl {
+    use super::*;
+
+    /// Variable reference.
+    pub fn var(x: &str) -> Expr {
+        Expr::Var(x.to_string())
+    }
+
+    /// Natural number literal.
+    pub fn nat(n: u64) -> Expr {
+        Expr::Nat(n)
+    }
+
+    /// Unit literal.
+    pub fn unit() -> Expr {
+        Expr::Unit
+    }
+
+    /// Lambda abstraction `λx:τ. body`.
+    pub fn lam(x: &str, ty: Type, body: Expr) -> Expr {
+        Expr::Lam(x.to_string(), ty, Box::new(body))
+    }
+
+    /// Application.
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// Let binding.
+    pub fn let_(x: &str, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(x.to_string(), Box::new(bound), Box::new(body))
+    }
+
+    /// Zero/successor conditional.
+    pub fn ifz(cond: Expr, zero: Expr, x: &str, succ: Expr) -> Expr {
+        Expr::Ifz(Box::new(cond), Box::new(zero), x.to_string(), Box::new(succ))
+    }
+
+    /// Pair constructor.
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Recursive definition.
+    pub fn fix(x: &str, ty: Type, body: Expr) -> Expr {
+        Expr::Fix(x.to_string(), ty, Box::new(body))
+    }
+
+    /// Addition.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Prim(PrimOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// Saturating subtraction.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Prim(PrimOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// Multiplication.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Prim(PrimOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Equality test.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Prim(PrimOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    /// Encapsulated command value.
+    pub fn cmd(p: impl Into<PrioTerm>, m: Cmd) -> Expr {
+        Expr::CmdVal(p.into(), Arc::new(m))
+    }
+
+    /// `ret e`.
+    pub fn ret(e: Expr) -> Cmd {
+        Cmd::Ret(Box::new(e))
+    }
+
+    /// `x ← e; m`.
+    pub fn bind(x: &str, e: Expr, m: Cmd) -> Cmd {
+        Cmd::Bind {
+            var: x.to_string(),
+            expr: Box::new(e),
+            rest: Arc::new(m),
+        }
+    }
+
+    /// `fcreate[ρ; τ]{m}`.
+    pub fn fcreate(p: impl Into<PrioTerm>, ty: Type, m: Cmd) -> Cmd {
+        Cmd::Fcreate {
+            prio: p.into(),
+            ret_type: ty,
+            body: Arc::new(m),
+        }
+    }
+
+    /// `ftouch e`.
+    pub fn ftouch(e: Expr) -> Cmd {
+        Cmd::Ftouch(Box::new(e))
+    }
+
+    /// `dcl[τ] x := e in m`.
+    pub fn dcl(x: &str, ty: Type, init: Expr, body: Cmd) -> Cmd {
+        Cmd::Dcl {
+            ty,
+            var: x.to_string(),
+            init: Box::new(init),
+            body: Arc::new(body),
+        }
+    }
+
+    /// `!e`.
+    pub fn get(e: Expr) -> Cmd {
+        Cmd::Get(Box::new(e))
+    }
+
+    /// `e₁ := e₂`.
+    pub fn set(target: Expr, value: Expr) -> Cmd {
+        Cmd::Set(Box::new(target), Box::new(value))
+    }
+
+    /// `cas(target, expected, new)`.
+    pub fn cas(target: Expr, expected: Expr, new: Expr) -> Cmd {
+        Cmd::Cas {
+            target: Box::new(target),
+            expected: Box::new(expected),
+            new: Box::new(new),
+        }
+    }
+
+    /// Sequences a list of commands at priority `p`, discarding intermediate
+    /// results, and ends with the final command.
+    pub fn seq(p: impl Into<PrioTerm>, cmds: Vec<Cmd>, last: Cmd) -> Cmd {
+        let p = p.into();
+        cmds.into_iter().rev().fold(last, |acc, c| Cmd::Bind {
+            var: "_".to_string(),
+            expr: Box::new(Expr::CmdVal(p.clone(), Arc::new(c))),
+            rest: Arc::new(acc),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn values_are_recognised() {
+        assert!(nat(3).is_value());
+        assert!(unit().is_value());
+        assert!(lam("x", Type::Nat, var("x")).is_value());
+        assert!(pair(nat(1), nat(2)).is_value());
+        assert!(Expr::Inl(Box::new(nat(1))).is_value());
+        assert!(!let_("x", nat(1), var("x")).is_value());
+        assert!(!app(lam("x", Type::Nat, var("x")), nat(1)).is_value());
+        assert!(!pair(app(lam("x", Type::Nat, var("x")), nat(1)), nat(2)).is_value());
+    }
+
+    #[test]
+    fn subst_replaces_free_occurrences_only() {
+        let e = let_("y", var("x"), add(var("x"), var("y")));
+        let r = e.subst("x", &nat(7));
+        assert_eq!(
+            r,
+            let_("y", nat(7), add(nat(7), var("y")))
+        );
+    }
+
+    #[test]
+    fn subst_respects_shadowing() {
+        let e = lam("x", Type::Nat, var("x"));
+        assert_eq!(e.subst("x", &nat(1)), e);
+        let e = let_("x", var("x"), var("x"));
+        // The bound expression is in scope of the outer x; the body is not.
+        assert_eq!(e.subst("x", &nat(2)), let_("x", nat(2), var("x")));
+        let e = ifz(var("n"), nat(0), "n", var("n"));
+        assert_eq!(
+            e.subst("n", &nat(5)),
+            ifz(nat(5), nat(0), "n", var("n"))
+        );
+    }
+
+    #[test]
+    fn subst_into_commands() {
+        let m = bind("y", var("c"), ret(add(var("x"), var("y"))));
+        let m2 = m.subst("x", &nat(3));
+        match &m2 {
+            Cmd::Bind { rest, .. } => match rest.as_ref() {
+                Cmd::Ret(e) => assert_eq!(**e, add(nat(3), var("y"))),
+                other => panic!("unexpected rest {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // Binding variable shadows.
+        let m3 = m.subst("y", &nat(9));
+        match &m3 {
+            Cmd::Bind { rest, .. } => match rest.as_ref() {
+                Cmd::Ret(e) => assert_eq!(**e, add(var("x"), var("y"))),
+                other => panic!("unexpected rest {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_substitution_in_types() {
+        let dom = PriorityDomain::numeric(2);
+        let hi = dom.by_index(1);
+        let pi = PrioVar::new("pi");
+        let t = Type::thread(Type::Nat, PrioTerm::Var(pi.clone()));
+        let t2 = t.subst_prio(&pi, &PrioTerm::Const(hi));
+        assert_eq!(t2, Type::thread(Type::Nat, hi));
+        // Binder shadows.
+        let poly = Type::Forall(
+            pi.clone(),
+            Constraint::True,
+            Box::new(Type::cmd(Type::Nat, PrioTerm::Var(pi.clone()))),
+        );
+        let poly2 = poly.subst_prio(&pi, &PrioTerm::Const(hi));
+        assert_eq!(poly, poly2);
+    }
+
+    #[test]
+    fn priority_substitution_in_terms() {
+        let dom = PriorityDomain::numeric(2);
+        let hi = dom.by_index(1);
+        let pi = PrioVar::new("pi");
+        let e = cmd(PrioTerm::Var(pi.clone()), ret(nat(1)));
+        let e2 = e.subst_prio(&pi, &PrioTerm::Const(hi));
+        match e2 {
+            Expr::CmdVal(p, _) => assert_eq!(p, PrioTerm::Const(hi)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // PLam over the same variable shadows.
+        let shadowed = Expr::PLam(
+            pi.clone(),
+            Constraint::True,
+            Box::new(cmd(PrioTerm::Var(pi.clone()), ret(nat(1)))),
+        );
+        assert_eq!(shadowed.subst_prio(&pi, &PrioTerm::Const(hi)), shadowed);
+    }
+
+    #[test]
+    fn seq_builds_nested_binds() {
+        let dom = PriorityDomain::single();
+        let m = seq(dom.by_index(0), vec![ret(nat(1)), ret(nat(2))], ret(nat(3)));
+        // Two nested binds ending in ret 3.
+        let mut depth = 0;
+        let mut cur = m;
+        while let Cmd::Bind { rest, .. } = cur {
+            depth += 1;
+            cur = rest.as_ref().clone();
+        }
+        assert_eq!(depth, 2);
+        assert_eq!(cur, ret(nat(3)));
+    }
+
+    #[test]
+    fn display_of_symbols() {
+        assert_eq!(format!("{}", LocId(3)), "s3");
+        assert_eq!(format!("{}", ThreadSym(2)), "a2");
+    }
+}

@@ -1,0 +1,872 @@
+//! The λ⁴ᵢ type system (Figures 5, 6, 7).
+//!
+//! The expression judgment `Γ ⊢^R_Σ e : τ` and the command judgment
+//! `Γ ⊢^R_Σ m ∼: τ @ ρ` are implemented by [`Typechecker::check_expr`] and
+//! [`Typechecker::check_cmd`].  The signature `Σ` records the types of
+//! memory locations and the return type / priority of thread symbols; the
+//! context `Γ` records term variables, priority variables, and priority
+//! constraint hypotheses.
+//!
+//! The single rule that rules out priority inversions is `Touch`
+//! (Figure 6): `ftouch e` is only well-typed at priority `ρ` when `e` is a
+//! handle to a thread at priority `ρ'` with `Γ ⊢^R ρ ⪯ ρ'`.  The checker can
+//! be run with that check disabled ([`Typechecker::without_priority_checks`])
+//! to measure the cost of the priority layer for the Table 1 reproduction.
+
+use crate::syntax::{Cmd, Expr, LocId, Program, ThreadSym, Type, Var};
+use rp_priority::{Constraint, ConstraintCtx, PrioTerm, PriorityDomain};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The signature `Σ`: thread symbols `a ∼ τ @ ρ` and locations `s ∼ τ`.
+#[derive(Debug, Clone, Default)]
+pub struct Signature {
+    threads: HashMap<ThreadSym, (Type, PrioTerm)>,
+    locs: HashMap<LocId, Type>,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `a ∼ τ @ ρ`.
+    pub fn declare_thread(&mut self, a: ThreadSym, ty: Type, prio: PrioTerm) {
+        self.threads.insert(a, (ty, prio));
+    }
+
+    /// Adds `s ∼ τ`.
+    pub fn declare_loc(&mut self, s: LocId, ty: Type) {
+        self.locs.insert(s, ty);
+    }
+
+    /// Looks up a thread symbol.
+    pub fn thread(&self, a: ThreadSym) -> Option<&(Type, PrioTerm)> {
+        self.threads.get(&a)
+    }
+
+    /// Looks up a location.
+    pub fn loc(&self, s: LocId) -> Option<&Type> {
+        self.locs.get(&s)
+    }
+}
+
+/// Type errors reported by the checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A variable is not bound in `Γ`.
+    UnboundVariable(Var),
+    /// A thread symbol is not declared in `Σ`.
+    UnknownThread(ThreadSym),
+    /// A memory location is not declared in `Σ`.
+    UnknownLocation(LocId),
+    /// Two types that must match do not.
+    Mismatch {
+        /// What the context required.
+        expected: Type,
+        /// What the term actually has.
+        found: Type,
+        /// Where the mismatch occurred.
+        context: String,
+    },
+    /// An elimination form was applied to a value of the wrong shape.
+    WrongShape {
+        /// What shape was required (e.g. "function", "pair").
+        wanted: &'static str,
+        /// The type that was found instead.
+        found: Type,
+        /// Where it happened.
+        context: String,
+    },
+    /// The `Touch` rule's priority side condition `ρ ⪯ ρ'` failed:
+    /// a priority inversion.
+    PriorityInversion {
+        /// The priority of the command performing the `ftouch`.
+        at: PrioTerm,
+        /// The priority of the touched thread.
+        touched: PrioTerm,
+    },
+    /// A priority constraint required by ∀-elimination is not entailed.
+    ConstraintNotEntailed(String),
+    /// An undeclared priority variable was mentioned.
+    UnknownPriorityVariable(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::UnknownThread(a) => write!(f, "unknown thread symbol {a}"),
+            TypeError::UnknownLocation(s) => write!(f, "unknown memory location {s}"),
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected:?}, found {found:?}"
+            ),
+            TypeError::WrongShape {
+                wanted,
+                found,
+                context,
+            } => write!(f, "expected a {wanted} in {context}, found {found:?}"),
+            TypeError::PriorityInversion { at, touched } => write!(
+                f,
+                "priority inversion: ftouch at priority {at} of a thread at priority {touched}"
+            ),
+            TypeError::ConstraintNotEntailed(c) => {
+                write!(f, "priority constraint not entailed: {c}")
+            }
+            TypeError::UnknownPriorityVariable(v) => {
+                write!(f, "undeclared priority variable `{v}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The typing context `Γ`: term variables plus priority hypotheses.
+#[derive(Debug, Clone, Default)]
+pub struct TypeCtx {
+    vars: Vec<(Var, Type)>,
+    /// Priority variables and constraint hypotheses.
+    pub prio: ConstraintCtx,
+}
+
+impl TypeCtx {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends the context with a term variable binding.
+    pub fn bind(&self, x: &str, ty: Type) -> TypeCtx {
+        let mut new = self.clone();
+        new.vars.push((x.to_string(), ty));
+        new
+    }
+
+    /// Looks up a term variable (innermost binding wins).
+    pub fn lookup(&self, x: &str) -> Option<&Type> {
+        self.vars.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+    }
+}
+
+/// Statistics gathered during a type-checking run, used by the Table 1
+/// reproduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Number of expression typing judgments derived.
+    pub expr_judgments: usize,
+    /// Number of command typing judgments derived.
+    pub cmd_judgments: usize,
+    /// Number of priority-constraint entailment checks performed.
+    pub entailment_checks: usize,
+}
+
+/// The λ⁴ᵢ type checker.
+#[derive(Debug, Clone)]
+pub struct Typechecker {
+    domain: PriorityDomain,
+    check_priorities: bool,
+    stats: CheckStats,
+}
+
+impl Typechecker {
+    /// A checker over the given priority domain with the priority layer
+    /// enabled.
+    pub fn new(domain: PriorityDomain) -> Self {
+        Typechecker {
+            domain,
+            check_priorities: true,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// A checker with the priority side conditions disabled (the "without
+    /// priority" configuration of Table 1).  All other typing rules still
+    /// apply.
+    pub fn without_priority_checks(domain: PriorityDomain) -> Self {
+        Typechecker {
+            domain,
+            check_priorities: false,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Statistics from the judgments derived so far.
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    fn entails(&mut self, ctx: &TypeCtx, c: &Constraint) -> Result<(), TypeError> {
+        self.stats.entailment_checks += 1;
+        if !self.check_priorities {
+            return Ok(());
+        }
+        ctx.prio
+            .check(&self.domain, c)
+            .map_err(|e| TypeError::ConstraintNotEntailed(e.to_string()))
+    }
+
+    /// The expression judgment `Γ ⊢^R_Σ e : τ` (Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] when the expression is ill-typed.
+    pub fn check_expr(
+        &mut self,
+        ctx: &TypeCtx,
+        sig: &Signature,
+        e: &Expr,
+    ) -> Result<Type, TypeError> {
+        self.stats.expr_judgments += 1;
+        match e {
+            Expr::Var(x) => ctx
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
+            Expr::Unit => Ok(Type::Unit),
+            Expr::Nat(_) => Ok(Type::Nat),
+            Expr::Lam(x, ty, body) => {
+                let body_ty = self.check_expr(&ctx.bind(x, ty.clone()), sig, body)?;
+                Ok(Type::arrow(ty.clone(), body_ty))
+            }
+            Expr::Pair(a, b) => Ok(Type::prod(
+                self.check_expr(ctx, sig, a)?,
+                self.check_expr(ctx, sig, b)?,
+            )),
+            Expr::Inl(v) => {
+                // Without an annotation the right component is unconstrained;
+                // we type sums only through `case`, so synthesise with Unit,
+                // and rely on `expect_type` call sites for refinement.
+                Ok(Type::sum(self.check_expr(ctx, sig, v)?, Type::Unit))
+            }
+            Expr::Inr(v) => Ok(Type::sum(Type::Unit, self.check_expr(ctx, sig, v)?)),
+            Expr::RefVal(s) => sig
+                .loc(*s)
+                .map(|t| Type::reference(t.clone()))
+                .ok_or(TypeError::UnknownLocation(*s)),
+            Expr::Tid(a) => sig
+                .thread(*a)
+                .map(|(t, p)| Type::thread(t.clone(), p.clone()))
+                .ok_or(TypeError::UnknownThread(*a)),
+            Expr::CmdVal(p, m) => {
+                let t = self.check_cmd(ctx, sig, m, p)?;
+                Ok(Type::cmd(t, p.clone()))
+            }
+            Expr::PLam(pi, c, body) => {
+                let mut inner = ctx.clone();
+                inner.prio.declare(pi.clone());
+                inner.prio.assume(c.clone());
+                let t = self.check_expr(&inner, sig, body)?;
+                Ok(Type::Forall(pi.clone(), c.clone(), Box::new(t)))
+            }
+            Expr::PApp(v, rho) => {
+                let t = self.check_expr(ctx, sig, v)?;
+                match t {
+                    Type::Forall(pi, c, body) => {
+                        let instantiated_c = c.subst(&rp_priority::PrioSubst::single(
+                            pi.clone(),
+                            rho.clone(),
+                        ));
+                        self.entails(ctx, &instantiated_c)?;
+                        Ok(body.subst_prio(&pi, rho))
+                    }
+                    other => Err(TypeError::WrongShape {
+                        wanted: "priority-polymorphic value",
+                        found: other,
+                        context: "priority application".into(),
+                    }),
+                }
+            }
+            Expr::Let(x, e1, e2) => {
+                let t1 = self.check_expr(ctx, sig, e1)?;
+                self.check_expr(&ctx.bind(x, t1), sig, e2)
+            }
+            Expr::Ifz(cond, zero, x, succ) => {
+                let tc = self.check_expr(ctx, sig, cond)?;
+                self.expect(&tc, &Type::Nat, "ifz scrutinee")?;
+                let tz = self.check_expr(ctx, sig, zero)?;
+                let ts = self.check_expr(&ctx.bind(x, Type::Nat), sig, succ)?;
+                self.expect(&ts, &tz, "ifz branches")?;
+                Ok(tz)
+            }
+            Expr::App(f, a) => {
+                let tf = self.check_expr(ctx, sig, f)?;
+                match tf {
+                    Type::Arrow(t1, t2) => {
+                        let ta = self.check_expr(ctx, sig, a)?;
+                        self.expect(&ta, &t1, "function argument")?;
+                        Ok(*t2)
+                    }
+                    other => Err(TypeError::WrongShape {
+                        wanted: "function",
+                        found: other,
+                        context: "application".into(),
+                    }),
+                }
+            }
+            Expr::Fst(v) => match self.check_expr(ctx, sig, v)? {
+                Type::Prod(a, _) => Ok(*a),
+                other => Err(TypeError::WrongShape {
+                    wanted: "pair",
+                    found: other,
+                    context: "fst".into(),
+                }),
+            },
+            Expr::Snd(v) => match self.check_expr(ctx, sig, v)? {
+                Type::Prod(_, b) => Ok(*b),
+                other => Err(TypeError::WrongShape {
+                    wanted: "pair",
+                    found: other,
+                    context: "snd".into(),
+                }),
+            },
+            Expr::Case(scrut, x, e1, y, e2) => match self.check_expr(ctx, sig, scrut)? {
+                Type::Sum(tl, tr) => {
+                    let t1 = self.check_expr(&ctx.bind(x, *tl), sig, e1)?;
+                    let t2 = self.check_expr(&ctx.bind(y, *tr), sig, e2)?;
+                    self.expect(&t2, &t1, "case branches")?;
+                    Ok(t1)
+                }
+                other => Err(TypeError::WrongShape {
+                    wanted: "sum",
+                    found: other,
+                    context: "case".into(),
+                }),
+            },
+            Expr::Fix(x, ty, body) => {
+                let t = self.check_expr(&ctx.bind(x, ty.clone()), sig, body)?;
+                self.expect(&t, ty, "fix body")?;
+                Ok(ty.clone())
+            }
+            Expr::Prim(op, a, b) => {
+                let ta = self.check_expr(ctx, sig, a)?;
+                let tb = self.check_expr(ctx, sig, b)?;
+                self.expect(&ta, &Type::Nat, "primitive operand")?;
+                self.expect(&tb, &Type::Nat, "primitive operand")?;
+                let _ = op;
+                Ok(Type::Nat)
+            }
+        }
+    }
+
+    /// The command judgment `Γ ⊢^R_Σ m ∼: τ @ ρ` (Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] when the command is ill-typed, including the
+    /// `Touch` rule's priority-inversion check.
+    pub fn check_cmd(
+        &mut self,
+        ctx: &TypeCtx,
+        sig: &Signature,
+        m: &Cmd,
+        rho: &PrioTerm,
+    ) -> Result<Type, TypeError> {
+        self.stats.cmd_judgments += 1;
+        match m {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => {
+                let t = self.check_cmd(ctx, sig, body, prio)?;
+                self.expect(&t, ret_type, "fcreate body")?;
+                Ok(Type::thread(ret_type.clone(), prio.clone()))
+            }
+            Cmd::Ftouch(e) => {
+                let te = self.check_expr(ctx, sig, e)?;
+                match te {
+                    Type::Thread(t, rho_prime) => {
+                        if self.check_priorities {
+                            self.entails(ctx, &Constraint::leq(rho.clone(), rho_prime.clone()))
+                                .map_err(|_| TypeError::PriorityInversion {
+                                    at: rho.clone(),
+                                    touched: rho_prime.clone(),
+                                })?;
+                        } else {
+                            self.stats.entailment_checks += 1;
+                        }
+                        Ok(*t)
+                    }
+                    other => Err(TypeError::WrongShape {
+                        wanted: "thread handle",
+                        found: other,
+                        context: "ftouch".into(),
+                    }),
+                }
+            }
+            Cmd::Dcl { ty, var, init, body } => {
+                let ti = self.check_expr(ctx, sig, init)?;
+                self.expect(&ti, ty, "reference initialiser")?;
+                // The body is checked with the binder standing for the fresh
+                // reference (the paper introduces s ∼ τ into Σ; binding a
+                // variable of reference type is the syntax-directed version).
+                self.check_cmd(&ctx.bind(var, Type::reference(ty.clone())), sig, body, rho)
+            }
+            Cmd::Get(e) => match self.check_expr(ctx, sig, e)? {
+                Type::Ref(t) => Ok(*t),
+                other => Err(TypeError::WrongShape {
+                    wanted: "reference",
+                    found: other,
+                    context: "get (!)".into(),
+                }),
+            },
+            Cmd::Set(target, value) => match self.check_expr(ctx, sig, target)? {
+                Type::Ref(t) => {
+                    let tv = self.check_expr(ctx, sig, value)?;
+                    self.expect(&tv, &t, "assignment")?;
+                    Ok(*t)
+                }
+                other => Err(TypeError::WrongShape {
+                    wanted: "reference",
+                    found: other,
+                    context: "assignment target".into(),
+                }),
+            },
+            Cmd::Bind { var, expr, rest } => match self.check_expr(ctx, sig, expr)? {
+                Type::Cmd(t1, rho_e) => {
+                    if self.check_priorities && &rho_e != rho {
+                        // The Bind rule requires the encapsulated command to
+                        // run at the ambient priority.
+                        return Err(TypeError::Mismatch {
+                            expected: Type::cmd(*t1, rho.clone()),
+                            found: Type::cmd(Type::Unit, rho_e),
+                            context: "bind: encapsulated command priority".into(),
+                        });
+                    }
+                    self.check_cmd(&ctx.bind(var, *t1), sig, rest, rho)
+                }
+                other => Err(TypeError::WrongShape {
+                    wanted: "encapsulated command",
+                    found: other,
+                    context: "bind".into(),
+                }),
+            },
+            Cmd::Ret(e) => self.check_expr(ctx, sig, e),
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => match self.check_expr(ctx, sig, target)? {
+                Type::Ref(t) => {
+                    let te = self.check_expr(ctx, sig, expected)?;
+                    let tn = self.check_expr(ctx, sig, new)?;
+                    self.expect(&te, &t, "cas expected value")?;
+                    self.expect(&tn, &t, "cas new value")?;
+                    Ok(Type::Nat)
+                }
+                other => Err(TypeError::WrongShape {
+                    wanted: "reference",
+                    found: other,
+                    context: "cas target".into(),
+                }),
+            },
+        }
+    }
+
+    /// Structural type compatibility.  Sum types synthesised from bare
+    /// `inl`/`inr` values carry a `Unit` placeholder on the missing side, so
+    /// compatibility treats a required sum side as satisfied by the
+    /// placeholder; everything else is exact equality.
+    fn compatible(&self, found: &Type, expected: &Type) -> bool {
+        if found == expected {
+            return true;
+        }
+        match (found, expected) {
+            (Type::Sum(fl, fr), Type::Sum(el, er)) => {
+                (self.compatible(fl, el) || **fl == Type::Unit || **el == Type::Unit)
+                    && (self.compatible(fr, er) || **fr == Type::Unit || **er == Type::Unit)
+            }
+            (Type::Prod(a1, b1), Type::Prod(a2, b2)) => {
+                self.compatible(a1, a2) && self.compatible(b1, b2)
+            }
+            (Type::Ref(a), Type::Ref(b)) => self.compatible(a, b),
+            (Type::Arrow(a1, b1), Type::Arrow(a2, b2)) => {
+                self.compatible(a1, a2) && self.compatible(b1, b2)
+            }
+            (Type::Cmd(a, p), Type::Cmd(b, q)) => self.compatible(a, b) && p == q,
+            (Type::Thread(a, p), Type::Thread(b, q)) => self.compatible(a, b) && p == q,
+            _ => false,
+        }
+    }
+
+    fn expect(&mut self, found: &Type, expected: &Type, context: &str) -> Result<(), TypeError> {
+        if self.compatible(found, expected) {
+            Ok(())
+        } else {
+            Err(TypeError::Mismatch {
+                expected: expected.clone(),
+                found: found.clone(),
+                context: context.to_string(),
+            })
+        }
+    }
+}
+
+/// Type checks a whole program: the main command must have the program's
+/// declared return type at the main priority, in the empty context and
+/// signature.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+pub fn typecheck_program(prog: &Program) -> Result<CheckStats, TypeError> {
+    typecheck_program_with(prog, true)
+}
+
+/// Like [`typecheck_program`], optionally disabling the priority layer
+/// (the Table 1 "without priorities" configuration).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+pub fn typecheck_program_with(
+    prog: &Program,
+    check_priorities: bool,
+) -> Result<CheckStats, TypeError> {
+    let mut tc = if check_priorities {
+        Typechecker::new(prog.domain.clone())
+    } else {
+        Typechecker::without_priority_checks(prog.domain.clone())
+    };
+    let ctx = TypeCtx::new();
+    let sig = Signature::new();
+    let t = tc.check_cmd(
+        &ctx,
+        &sig,
+        &prog.main,
+        &PrioTerm::Const(prog.main_priority),
+    )?;
+    let mut probe = tc.clone();
+    probe.expect(&t, &prog.return_type, "program return type")?;
+    Ok(probe.stats())
+}
+
+/// Counts the AST nodes of a program (expressions + commands + types), the
+/// size metric used alongside type-checking time in the Table 1
+/// reproduction.
+pub fn count_nodes(prog: &Program) -> usize {
+    count_cmd(&prog.main)
+}
+
+fn count_cmd(m: &Cmd) -> usize {
+    1 + match m {
+        Cmd::Fcreate { body, .. } => count_cmd(body),
+        Cmd::Ftouch(e) => count_expr(e),
+        Cmd::Dcl { init, body, .. } => count_expr(init) + count_cmd(body),
+        Cmd::Get(e) => count_expr(e),
+        Cmd::Set(a, b) => count_expr(a) + count_expr(b),
+        Cmd::Bind { expr, rest, .. } => count_expr(expr) + count_cmd(rest),
+        Cmd::Ret(e) => count_expr(e),
+        Cmd::Cas {
+            target,
+            expected,
+            new,
+        } => count_expr(target) + count_expr(expected) + count_expr(new),
+    }
+}
+
+fn count_expr(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => 0,
+        Expr::Lam(_, _, b) => count_expr(b),
+        Expr::Pair(a, b) | Expr::App(a, b) | Expr::Prim(_, a, b) => count_expr(a) + count_expr(b),
+        Expr::Inl(a) | Expr::Inr(a) | Expr::Fst(a) | Expr::Snd(a) => count_expr(a),
+        Expr::CmdVal(_, m) => count_cmd(m),
+        Expr::PLam(_, _, b) => count_expr(b),
+        Expr::PApp(b, _) => count_expr(b),
+        Expr::Let(_, a, b) => count_expr(a) + count_expr(b),
+        Expr::Ifz(c, z, _, s) => count_expr(c) + count_expr(z) + count_expr(s),
+        Expr::Case(s, _, a, _, b) => count_expr(s) + count_expr(a) + count_expr(b),
+        Expr::Fix(_, _, b) => count_expr(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::dsl::*;
+    use std::sync::Arc;
+
+    fn dom() -> PriorityDomain {
+        PriorityDomain::total_order(["lo", "hi"]).unwrap()
+    }
+
+    fn program(main: Cmd, prio: &str, ret: Type) -> Program {
+        let d = dom();
+        let p = d.priority(prio).unwrap();
+        Program {
+            name: "test".into(),
+            domain: d,
+            main_priority: p,
+            main: Arc::new(main),
+            return_type: ret,
+        }
+    }
+
+    #[test]
+    fn ret_of_literal_checks() {
+        let prog = program(ret(nat(42)), "hi", Type::Nat);
+        typecheck_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn arithmetic_and_let_check() {
+        let prog = program(
+            ret(let_("x", nat(2), add(var("x"), mul(nat(3), nat(4))))),
+            "lo",
+            Type::Nat,
+        );
+        typecheck_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let prog = program(ret(var("nope")), "hi", Type::Nat);
+        assert!(matches!(
+            typecheck_program(&prog),
+            Err(TypeError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn application_requires_matching_argument() {
+        let good = program(
+            ret(app(lam("x", Type::Nat, add(var("x"), nat(1))), nat(3))),
+            "hi",
+            Type::Nat,
+        );
+        typecheck_program(&good).unwrap();
+        let bad = program(
+            ret(app(lam("x", Type::Nat, var("x")), unit())),
+            "hi",
+            Type::Nat,
+        );
+        assert!(matches!(
+            typecheck_program(&bad),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn touch_of_equal_or_higher_priority_accepted() {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        // At lo: create a hi thread and touch it.
+        let m = bind(
+            "t",
+            cmd(d.priority("lo").unwrap(), fcreate(hi, Type::Nat, ret(nat(7)))),
+            bind(
+                "v",
+                cmd(d.priority("lo").unwrap(), ftouch(var("t"))),
+                ret(var("v")),
+            ),
+        );
+        let prog = program(m, "lo", Type::Nat);
+        typecheck_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn priority_inversion_rejected_and_allowed_without_checks() {
+        let d = dom();
+        let lo = d.priority("lo").unwrap();
+        let hi = d.priority("hi").unwrap();
+        // At hi: create a lo thread and touch it — inversion.
+        let m = bind(
+            "t",
+            cmd(hi, fcreate(lo, Type::Nat, ret(nat(7)))),
+            bind("v", cmd(hi, ftouch(var("t"))), ret(var("v"))),
+        );
+        let prog = program(m, "hi", Type::Nat);
+        assert!(matches!(
+            typecheck_program(&prog),
+            Err(TypeError::PriorityInversion { .. })
+        ));
+        // The unchecked configuration accepts it (this is what the paper's
+        // "no-priority" baseline compiles).
+        typecheck_program_with(&prog, false).unwrap();
+    }
+
+    #[test]
+    fn bind_requires_matching_priority() {
+        let d = dom();
+        let lo = d.priority("lo").unwrap();
+        let hi = d.priority("hi").unwrap();
+        // Binding a cmd[lo] inside a hi computation is rejected.
+        let m = bind("x", cmd(lo, ret(nat(1))), ret(var("x")));
+        let prog = program(m, "hi", Type::Nat);
+        assert!(typecheck_program(&prog).is_err());
+        // Same priority is fine.
+        let m = bind("x", cmd(hi, ret(nat(1))), ret(var("x")));
+        let prog = program(m, "hi", Type::Nat);
+        typecheck_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn references_are_strongly_typed() {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let good = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind(
+                "_",
+                cmd(hi, set(var("r"), nat(5))),
+                bind("v", cmd(hi, get(var("r"))), ret(var("v"))),
+            ),
+        );
+        typecheck_program(&program(good, "hi", Type::Nat)).unwrap();
+        let bad = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind("_", cmd(hi, set(var("r"), unit())), ret(nat(0))),
+        );
+        assert!(matches!(
+            typecheck_program(&program(bad, "hi", Type::Nat)),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cas_returns_nat_and_checks_operands() {
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let good = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind("ok", cmd(hi, cas(var("r"), nat(0), nat(1))), ret(var("ok"))),
+        );
+        typecheck_program(&program(good, "hi", Type::Nat)).unwrap();
+        let bad = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind("ok", cmd(hi, cas(var("r"), unit(), nat(1))), ret(var("ok"))),
+        );
+        assert!(typecheck_program(&program(bad, "hi", Type::Nat)).is_err());
+    }
+
+    #[test]
+    fn ifz_branches_must_agree() {
+        let good = program(ret(ifz(nat(0), nat(1), "p", var("p"))), "hi", Type::Nat);
+        typecheck_program(&good).unwrap();
+        let bad = program(ret(ifz(nat(0), unit(), "p", var("p"))), "hi", Type::Nat);
+        assert!(typecheck_program(&bad).is_err());
+    }
+
+    #[test]
+    fn fix_must_match_annotation() {
+        let t = Type::arrow(Type::Nat, Type::Nat);
+        let good = program(
+            ret(app(
+                fix(
+                    "f",
+                    t.clone(),
+                    lam("n", Type::Nat, ifz(var("n"), nat(0), "m", app(var("f"), var("m")))),
+                ),
+                nat(3),
+            )),
+            "hi",
+            Type::Nat,
+        );
+        typecheck_program(&good).unwrap();
+        let bad = program(
+            ret(fix("f", Type::Nat, unit())),
+            "hi",
+            Type::Nat,
+        );
+        assert!(typecheck_program(&bad).is_err());
+    }
+
+    #[test]
+    fn priority_polymorphism_checks_constraints() {
+        let d = dom();
+        let lo = d.priority("lo").unwrap();
+        let hi = d.priority("hi").unwrap();
+        // Λπ ∼ (lo ⪯ π). cmd[π] { t ← fcreate[π]{ret 1}; v ← ftouch t; ret v }
+        // instantiated at hi is fine; the constraint lo ⪯ hi holds.
+        let pi = rp_priority::PrioVar::new("pi");
+        let body = cmd(
+            PrioTerm::Var(pi.clone()),
+            bind(
+                "t",
+                cmd(
+                    PrioTerm::Var(pi.clone()),
+                    fcreate(PrioTerm::Var(pi.clone()), Type::Nat, ret(nat(1))),
+                ),
+                bind(
+                    "v",
+                    cmd(PrioTerm::Var(pi.clone()), ftouch(var("t"))),
+                    ret(var("v")),
+                ),
+            ),
+        );
+        let plam = Expr::PLam(
+            pi.clone(),
+            Constraint::leq(lo, PrioTerm::Var(pi.clone())),
+            Box::new(body),
+        );
+        let applied_ok = bind(
+            "v",
+            Expr::PApp(Box::new(plam.clone()), PrioTerm::Const(hi)),
+            ret(var("v")),
+        );
+        let prog = program(applied_ok, "hi", Type::Nat);
+        typecheck_program(&prog).unwrap();
+        // Instantiating a constraint that fails (hi ⪯ lo required) is
+        // rejected.
+        let plam_bad = Expr::PLam(
+            pi.clone(),
+            Constraint::leq(hi, PrioTerm::Var(pi.clone())),
+            Box::new(cmd(PrioTerm::Var(pi.clone()), ret(nat(1)))),
+        );
+        let applied_bad = bind(
+            "c",
+            Expr::PApp(Box::new(plam_bad), PrioTerm::Const(lo)),
+            ret(nat(0)),
+        );
+        let prog = program(applied_bad, "lo", Type::Nat);
+        assert!(matches!(
+            typecheck_program(&prog),
+            Err(TypeError::ConstraintNotEntailed(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_judgments() {
+        let prog = program(ret(add(nat(1), nat(2))), "hi", Type::Nat);
+        let stats = typecheck_program(&prog).unwrap();
+        assert!(stats.expr_judgments >= 3);
+        assert_eq!(stats.cmd_judgments, 1);
+    }
+
+    #[test]
+    fn node_count_is_positive_and_monotone() {
+        let small = program(ret(nat(1)), "hi", Type::Nat);
+        let big = program(ret(add(nat(1), add(nat(2), nat(3)))), "hi", Type::Nat);
+        assert!(count_nodes(&big) > count_nodes(&small));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<TypeError> = vec![
+            TypeError::UnboundVariable("x".into()),
+            TypeError::UnknownThread(ThreadSym(0)),
+            TypeError::UnknownLocation(LocId(0)),
+            TypeError::ConstraintNotEntailed("c".into()),
+            TypeError::UnknownPriorityVariable("pi".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Partially ordered priority domains for responsive parallelism.
+//!
+//! The paper *Responsive Parallelism with Futures and State* (PLDI 2020)
+//! assigns every thread a priority `ρ` drawn from a partially ordered set
+//! `R`, where `ρ₁ ⪯ ρ₂` means `ρ₁` is lower than (or equal to) `ρ₂`.  This
+//! crate provides:
+//!
+//! * [`PriorityDomain`] — an explicit, finite, partially ordered set of
+//!   priorities with named levels, reflexive-transitive ordering queries, and
+//!   builders for total orders, trees, and arbitrary DAG-shaped orders
+//!   (module [`domain`]).
+//! * [`Priority`] — a cheap copyable handle to a priority level of a domain.
+//! * [`PrioTerm`] and [`PrioVar`] — priority *terms* that may mention
+//!   priority variables, as used by λ⁴ᵢ's priority-polymorphic types
+//!   (module [`var`]).
+//! * [`Constraint`] and [`ConstraintCtx`] — the constraint language
+//!   `C ::= ρ ⪯ ρ | C ∧ C` of Figure 4 and the entailment judgment
+//!   `Γ ⊢^R C` of Figure 7 (module [`constraint`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rp_priority::{PriorityDomain, Constraint};
+//!
+//! // A total order with four levels, from lowest to highest.
+//! let dom = PriorityDomain::total_order(["background", "logging", "fetch", "ui"]).unwrap();
+//! let background = dom.priority("background").unwrap();
+//! let ui = dom.priority("ui").unwrap();
+//!
+//! assert!(dom.leq(background, ui));
+//! assert!(!dom.leq(ui, background));
+//!
+//! // Entailment of constraints with no hypotheses.
+//! let c = Constraint::leq(background, ui);
+//! assert!(dom.entails_closed(&c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod constraint;
+pub mod domain;
+pub mod var;
+
+pub use constraint::{Constraint, ConstraintCtx, EntailmentError};
+pub use domain::{DomainBuildError, Priority, PriorityDomain, PriorityDomainBuilder};
+pub use var::{PrioSubst, PrioTerm, PrioVar};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Priority>();
+        assert_send_sync::<PriorityDomain>();
+        assert_send_sync::<Constraint>();
+        assert_send_sync::<ConstraintCtx>();
+        assert_send_sync::<PrioTerm>();
+        assert_send_sync::<PrioVar>();
+    }
+}

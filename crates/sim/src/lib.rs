@@ -1,0 +1,33 @@
+//! Deterministic simulation substrate for the I-Cilk evaluation.
+//!
+//! The paper evaluates I-Cilk on a 40-core server with real sockets, real
+//! files, and hundreds of client connections.  This crate provides the
+//! in-process substitutes used by the reproduction:
+//!
+//! * [`clock`] — virtual time and a discrete-event queue;
+//! * [`latency`] — I/O latency models (constant, uniform, exponential) with
+//!   deterministic seeded sampling;
+//! * [`poisson`] — Poisson arrival processes for open-loop workload
+//!   generation (the job server's arrivals, client request trains);
+//! * [`stats`] — latency statistics: mean, percentiles (the paper reports
+//!   average and 95th-percentile response times), and histogram summaries;
+//! * [`workload`] — synthetic request/response payload generators for the
+//!   proxy and email case studies.
+//!
+//! Everything is deterministic given a seed, so experiment *shapes* are
+//! reproducible run to run even though the real-threaded runtime above it is
+//! not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod latency;
+pub mod poisson;
+pub mod stats;
+pub mod workload;
+
+pub use clock::{EventQueue, VirtualTime};
+pub use latency::LatencyModel;
+pub use poisson::PoissonProcess;
+pub use stats::LatencyStats;

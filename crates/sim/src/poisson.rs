@@ -1,0 +1,143 @@
+//! Poisson arrival processes.
+//!
+//! The job-server case study "simulates user inputs using a Poisson process
+//! to generate jobs at random intervals" (§5.1); the proxy and email load
+//! generators use the same machinery to pace client requests.
+
+use crate::clock::VirtualTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A Poisson process: exponentially distributed inter-arrival times with a
+/// configurable mean.
+#[derive(Debug)]
+pub struct PoissonProcess {
+    mean_inter_arrival_micros: f64,
+    rng: StdRng,
+    last_arrival: VirtualTime,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is zero.
+    pub fn with_mean_inter_arrival(mean: Duration, seed: u64) -> Self {
+        let micros = mean.as_micros() as f64;
+        assert!(micros > 0.0, "mean inter-arrival time must be positive");
+        PoissonProcess {
+            mean_inter_arrival_micros: micros,
+            rng: StdRng::seed_from_u64(seed),
+            last_arrival: VirtualTime::ZERO,
+        }
+    }
+
+    /// Creates a process with the given arrival rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn with_rate_per_sec(rate: f64, seed: u64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        let mean_micros = 1_000_000.0 / rate;
+        PoissonProcess {
+            mean_inter_arrival_micros: mean_micros,
+            rng: StdRng::seed_from_u64(seed),
+            last_arrival: VirtualTime::ZERO,
+        }
+    }
+
+    /// The mean inter-arrival time in microseconds.
+    pub fn mean_inter_arrival_micros(&self) -> f64 {
+        self.mean_inter_arrival_micros
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> Duration {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = -(u.ln()) * self.mean_inter_arrival_micros;
+        Duration::from_micros(gap as u64)
+    }
+
+    /// Draws the next absolute arrival time (monotonically increasing).
+    pub fn next_arrival(&mut self) -> VirtualTime {
+        let gap = self.next_gap();
+        self.last_arrival = self.last_arrival + VirtualTime::from_micros(gap.as_micros() as u64);
+        self.last_arrival
+    }
+
+    /// Generates all arrival times up to a horizon.
+    pub fn arrivals_until(&mut self, horizon: VirtualTime) -> Vec<VirtualTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut p = PoissonProcess::with_rate_per_sec(1000.0, 1);
+        let mut prev = VirtualTime::ZERO;
+        for _ in 0..100 {
+            let t = p.next_arrival();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_approximately_respected() {
+        // 1000 events/sec → mean gap 1000µs.
+        let mut p = PoissonProcess::with_rate_per_sec(1000.0, 7);
+        let n = 5000;
+        let total: u128 = (0..n).map(|_| p.next_gap().as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (800.0..1200.0).contains(&mean),
+            "sample mean gap {mean}µs should be near 1000µs"
+        );
+        assert!((p.mean_inter_arrival_micros() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrivals_until_horizon() {
+        let mut p = PoissonProcess::with_mean_inter_arrival(Duration::from_micros(100), 3);
+        let arrivals = p.arrivals_until(VirtualTime::from_millis(10));
+        assert!(!arrivals.is_empty());
+        assert!(arrivals.iter().all(|&t| t <= VirtualTime::from_millis(10)));
+        // Roughly 10000µs / 100µs = 100 arrivals; allow generous slack.
+        assert!(arrivals.len() > 40 && arrivals.len() < 220, "{}", arrivals.len());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<u128> = {
+            let mut p = PoissonProcess::with_rate_per_sec(10.0, 11);
+            (0..5).map(|_| p.next_gap().as_micros()).collect()
+        };
+        let b: Vec<u128> = {
+            let mut p = PoissonProcess::with_rate_per_sec(10.0, 11);
+            (0..5).map(|_| p.next_gap().as_micros()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonProcess::with_rate_per_sec(0.0, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Latency statistics: mean and tail percentiles.
+//!
+//! The paper reports, for every configuration, both the *average* and the
+//! *95th percentile* of measured times ("for many interactive applications,
+//! what one cares about is the latency near the tail").  [`LatencyStats`]
+//! accumulates samples and reports both, plus a few extra summaries used by
+//! the harness output.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// An accumulator of latency samples (in nanoseconds internally).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample expressed as a [`Duration`].
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ns.push(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records a sample expressed in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Records a sample expressed in abstract "steps" or microseconds — any
+    /// unit is fine as long as it is used consistently.
+    pub fn record_value(&mut self, v: u64) {
+        self.samples_ns.push(v);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        Some(self.samples_ns.iter().map(|&x| x as f64).sum::<f64>() / self.samples_ns.len() as f64)
+    }
+
+    /// The `q`-th percentile (0.0 ≤ q ≤ 100.0) using the nearest-rank method,
+    /// or `None` if empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        Some(sorted[rank.min(sorted.len()) - 1] as f64)
+    }
+
+    /// The 95th percentile, the paper's tail metric.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples_ns.iter().copied().max()
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples_ns.iter().copied().min()
+    }
+
+    /// Mean expressed in microseconds (assuming samples were recorded in
+    /// nanoseconds).
+    pub fn mean_micros(&self) -> Option<f64> {
+        self.mean().map(|m| m / 1_000.0)
+    }
+
+    /// 95th percentile expressed in microseconds (assuming nanosecond
+    /// samples).
+    pub fn p95_micros(&self) -> Option<f64> {
+        self.p95().map(|m| m / 1_000.0)
+    }
+}
+
+/// The ratio between two statistics, used for the paper's
+/// "responsiveness ratio" and "compute time ratio" figures
+/// (baseline / treatment, so values above 1 mean the treatment is better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioSummary {
+    /// Ratio of the means.
+    pub mean_ratio: f64,
+    /// Ratio of the 95th percentiles.
+    pub p95_ratio: f64,
+}
+
+/// Computes baseline/treatment ratios of mean and p95.
+///
+/// Returns `None` if either side is empty or the treatment mean/p95 is zero.
+pub fn ratio(baseline: &LatencyStats, treatment: &LatencyStats) -> Option<RatioSummary> {
+    let bm = baseline.mean()?;
+    let tm = treatment.mean()?;
+    let bp = baseline.p95()?;
+    let tp = treatment.p95()?;
+    if tm == 0.0 || tp == 0.0 {
+        return None;
+    }
+    Some(RatioSummary {
+        mean_ratio: bm / tm,
+        p95_ratio: bp / tp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_none() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.p95(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record_value(v);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean().unwrap() - 50.5).abs() < 1e-9);
+        assert_eq!(s.p95().unwrap(), 95.0);
+        assert_eq!(s.median().unwrap(), 50.0);
+        assert_eq!(s.percentile(100.0).unwrap(), 100.0);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(100));
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_nanos(42));
+        assert_eq!(s.p95().unwrap(), 42.0);
+        assert_eq!(s.mean().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record_value(1);
+        let mut b = LatencyStats::new();
+        b.record_value(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn micro_conversions() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_micros(10));
+        assert!((s.mean_micros().unwrap() - 10.0).abs() < 1e-9);
+        assert!((s.p95_micros().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut base = LatencyStats::new();
+        let mut treat = LatencyStats::new();
+        for v in [10, 20, 30] {
+            base.record_value(v * 2);
+            treat.record_value(v);
+        }
+        let r = ratio(&base, &treat).unwrap();
+        assert!((r.mean_ratio - 2.0).abs() < 1e-9);
+        assert!((r.p95_ratio - 2.0).abs() < 1e-9);
+        assert!(ratio(&LatencyStats::new(), &treat).is_none());
+    }
+}

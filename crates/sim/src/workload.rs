@@ -1,0 +1,182 @@
+//! Synthetic request/response payload generators for the case studies.
+//!
+//! The proxy case study fetches "websites"; the email case study sends,
+//! sorts, prints, and compresses "messages".  These generators produce
+//! deterministic pseudo-content of configurable size so the compute kernels
+//! (hashing, Huffman coding, sorting) have realistic inputs without any
+//! network or disk.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A deterministic generator of web-page-like payloads for the proxy.
+#[derive(Debug)]
+pub struct PageGenerator {
+    rng: StdRng,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl PageGenerator {
+    /// Creates a generator producing pages between `min_len` and `max_len`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_len > max_len` or `max_len == 0`.
+    pub fn new(min_len: usize, max_len: usize, seed: u64) -> Self {
+        assert!(min_len <= max_len && max_len > 0, "invalid page size range");
+        PageGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Generates the page body for a URL.  The same URL always produces the
+    /// same body (content is keyed on the URL hash, not the generator state).
+    pub fn page_for(&mut self, url: &str) -> Bytes {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in url.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let len = if self.min_len == self.max_len {
+            self.min_len
+        } else {
+            rng.gen_range(self.min_len..=self.max_len)
+        };
+        let body: Vec<u8> = (0..len)
+            .map(|_| {
+                // Mostly-printable content compresses realistically.
+                let c: u8 = rng.gen_range(0..96);
+                c + 32
+            })
+            .collect();
+        // Advance the generator's own rng so successive calls with generated
+        // URLs don't correlate.
+        let _ = self.rng.gen::<u64>();
+        Bytes::from(body)
+    }
+
+    /// Generates a synthetic URL for client request `i`, drawn from a pool of
+    /// `distinct` URLs (so cache hit rates are controllable).
+    pub fn url(&mut self, i: usize, distinct: usize) -> String {
+        let d = distinct.max(1);
+        format!("http://site-{}.example/page", i % d)
+    }
+}
+
+/// A deterministic generator of email-like messages.
+#[derive(Debug)]
+pub struct EmailGenerator {
+    rng: StdRng,
+    words: Vec<&'static str>,
+}
+
+impl EmailGenerator {
+    /// Creates a message generator.
+    pub fn new(seed: u64) -> Self {
+        EmailGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            words: vec![
+                "meeting", "report", "deadline", "parallel", "future", "priority", "schedule",
+                "response", "thread", "server", "client", "update", "review", "draft", "budget",
+                "quarter", "release", "issue", "patch", "latency",
+            ],
+        }
+    }
+
+    /// Generates one message body with roughly `words` words.
+    pub fn message(&mut self, words: usize) -> String {
+        let mut out = String::with_capacity(words * 8);
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            let w = self.words[self.rng.gen_range(0..self.words.len())];
+            out.push_str(w);
+        }
+        out
+    }
+
+    /// Generates a batch of messages with sizes uniform in
+    /// `[min_words, max_words]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_words > max_words`.
+    pub fn mailbox(&mut self, count: usize, min_words: usize, max_words: usize) -> Vec<String> {
+        assert!(min_words <= max_words, "invalid word range");
+        (0..count)
+            .map(|_| {
+                let w = if min_words == max_words {
+                    min_words
+                } else {
+                    self.rng.gen_range(min_words..=max_words)
+                };
+                self.message(w)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_deterministic_per_url() {
+        let mut g1 = PageGenerator::new(100, 200, 1);
+        let mut g2 = PageGenerator::new(100, 200, 999);
+        let a = g1.page_for("http://a.example/");
+        let b = g2.page_for("http://a.example/");
+        assert_eq!(a, b, "page content is keyed on the URL");
+        assert!(a.len() >= 100 && a.len() <= 200);
+        let c = g1.page_for("http://b.example/");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn url_pool_wraps() {
+        let mut g = PageGenerator::new(10, 10, 0);
+        assert_eq!(g.url(0, 3), g.url(3, 3));
+        assert_ne!(g.url(0, 3), g.url(1, 3));
+    }
+
+    #[test]
+    fn pages_are_printable() {
+        let mut g = PageGenerator::new(50, 50, 2);
+        let p = g.page_for("http://x.example/");
+        assert!(p.iter().all(|&b| (32..128).contains(&b)));
+    }
+
+    #[test]
+    fn emails_have_requested_length() {
+        let mut g = EmailGenerator::new(4);
+        let m = g.message(12);
+        assert_eq!(m.split_whitespace().count(), 12);
+        let mb = g.mailbox(5, 3, 9);
+        assert_eq!(mb.len(), 5);
+        for m in mb {
+            let n = m.split_whitespace().count();
+            assert!((3..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid page size range")]
+    fn bad_page_range_rejected() {
+        let _ = PageGenerator::new(10, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid word range")]
+    fn bad_word_range_rejected() {
+        let mut g = EmailGenerator::new(0);
+        let _ = g.mailbox(1, 5, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! The proxy-server case study as a runnable demo: serve a small client
+//! train on I-Cilk and on the priority-oblivious baseline and print the
+//! responsiveness comparison (a one-configuration slice of Figure 13).
+//!
+//! Run with: `cargo run --example proxy_server --release`
+
+use responsive_parallelism::apps::harness::ExperimentConfig;
+use responsive_parallelism::apps::proxy;
+use responsive_parallelism::sim::latency::LatencyModel;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(4);
+    let config = ExperimentConfig {
+        workers,
+        connections: 12,
+        requests_per_connection: 6,
+        io_latency: LatencyModel::Uniform { lo: 200, hi: 2_000 },
+        ..ExperimentConfig::default()
+    };
+    println!(
+        "proxy case study: {} workers, {} connections x {} requests, simulated fetch latency {:?}",
+        config.workers, config.connections, config.requests_per_connection, config.io_latency
+    );
+    let report = proxy::run_experiment(&config);
+    println!("{}", report.figure13_row());
+    for row in report.figure14_rows() {
+        println!("{row}");
+    }
+    println!(
+        "I-Cilk client response:   mean {:>8.0}µs   p95 {:>8.0}µs",
+        report.icilk.client_response.mean_micros().unwrap_or(0.0),
+        report.icilk.client_response.p95_micros().unwrap_or(0.0)
+    );
+    println!(
+        "baseline client response: mean {:>8.0}µs   p95 {:>8.0}µs",
+        report.baseline.client_response.mean_micros().unwrap_or(0.0),
+        report.baseline.client_response.p95_micros().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,40 @@
+//! # Responsive Parallelism with Futures and State — reproduction
+//!
+//! This is the facade crate of a Rust reproduction of
+//! *Responsive Parallelism with Futures and State* (Muller, Singer,
+//! Goldstein, Acar, Agrawal, Lee — PLDI 2020).  It re-exports the workspace
+//! crates under short module names so examples and integration tests can use
+//! a single dependency:
+//!
+//! * [`priority`] — partially ordered priority domains and constraint
+//!   entailment (`rp-priority`).
+//! * [`dag`] — the weak-edge cost-graph model, well-formedness,
+//!   a-strengthening, a-span, competitor work, prompt scheduling, and the
+//!   Theorem 2.3 response-time bound (`rp-core`).
+//! * [`lambda4i`] — the λ⁴ᵢ calculus: syntax, type system, and the
+//!   graph-emitting stack-machine cost semantics (`rp-lambda4i`).
+//! * [`sim`] — the deterministic discrete-event multicore simulation
+//!   substrate (`rp-sim`).
+//! * [`icilk`] — the I-Cilk runtime: prioritized futures, two-level adaptive
+//!   scheduling, latency-hiding I/O futures, and the priority-oblivious
+//!   baseline (`rp-icilk`).
+//! * [`apps`] — the proxy / email / jserver case studies and their load
+//!   harness (`rp-apps`).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced tables and figures.
+//!
+//! ```
+//! use responsive_parallelism::priority::PriorityDomain;
+//! let dom = PriorityDomain::total_order(["background", "interactive"]).unwrap();
+//! assert!(dom.lt(dom.priority("background").unwrap(), dom.priority("interactive").unwrap()));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rp_apps as apps;
+pub use rp_core as dag;
+pub use rp_icilk as icilk;
+pub use rp_lambda4i as lambda4i;
+pub use rp_priority as priority;
+pub use rp_sim as sim;

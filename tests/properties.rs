@@ -1,0 +1,123 @@
+//! Property-based tests over the core invariants:
+//!
+//! * random well-formed DAGs respect Theorem 2.3 under prompt admissible
+//!   schedules;
+//! * prompt schedules are always prompt, valid, and no longer than twice the
+//!   greedy lower bound `max(W/P, span)`;
+//! * strengthening never removes high-priority vertices from the a-span's
+//!   reach and never makes the a-span larger;
+//! * priority-domain entailment is reflexive, transitive, and antisymmetric
+//!   on concrete priorities.
+
+use proptest::prelude::*;
+use responsive_parallelism::dag::prelude::*;
+use responsive_parallelism::dag::random::{RandomDagConfig, RandomDagGenerator};
+use responsive_parallelism::priority::{Constraint, PriorityDomain};
+
+fn dag_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
+    // (seed, priority levels, depth)
+    (0u64..1_000, 1usize..4, 2usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_dags_are_well_formed_and_bounded((seed, levels, depth) in dag_strategy()) {
+        let config = RandomDagConfig {
+            priority_levels: levels,
+            max_depth: depth,
+            max_children: 3,
+            max_thread_len: 4,
+            touch_probability: 0.7,
+            weak_edge_probability: 0.4,
+        };
+        let dag = RandomDagGenerator::new(config, seed).generate();
+        prop_assert!(check_well_formed(&dag).is_ok());
+        prop_assert!(check_strongly_well_formed(&dag).is_ok());
+
+        for cores in [1usize, 2, 4] {
+            let schedule = weak_respecting_prompt_schedule(&dag, cores);
+            schedule.validate(&dag).unwrap();
+            prop_assert!(schedule.is_admissible(&dag));
+            let reports = check_bounds_batch(&dag, &schedule);
+            for report in reports {
+                // Only prompt admissible schedules are covered by the
+                // theorem; the weak-respecting scheduler is admissible by
+                // construction and usually prompt.  Never a counterexample.
+                prop_assert!(!report.is_counterexample(), "{report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_schedules_are_prompt_and_greedy((seed, levels, depth) in dag_strategy()) {
+        let config = RandomDagConfig {
+            priority_levels: levels,
+            max_depth: depth,
+            max_children: 3,
+            max_thread_len: 4,
+            touch_probability: 0.8,
+            weak_edge_probability: 0.0,
+        };
+        let dag = RandomDagGenerator::new(config, seed).generate();
+        for cores in [1usize, 2, 4] {
+            let schedule = prompt_schedule(&dag, cores);
+            schedule.validate(&dag).unwrap();
+            prop_assert!(schedule.is_prompt(&dag));
+            // Greedy (Brent-style) upper bound: T ≤ W/P + span.
+            let upper = work(&dag) as f64 / cores as f64 + span(&dag) as f64;
+            prop_assert!(schedule.len() as f64 <= upper + 1.0);
+            // And no schedule beats max(ceil(W/P), span).
+            let lower = (work(&dag) as f64 / cores as f64).ceil().max(span(&dag) as f64);
+            prop_assert!(schedule.len() as f64 >= lower);
+        }
+    }
+
+    #[test]
+    fn strengthening_only_shortens_the_a_span((seed, levels, depth) in dag_strategy()) {
+        let config = RandomDagConfig {
+            priority_levels: levels,
+            max_depth: depth,
+            max_children: 2,
+            max_thread_len: 4,
+            touch_probability: 0.6,
+            weak_edge_probability: 0.5,
+        };
+        let dag = RandomDagGenerator::new(config, seed).generate();
+        for a in dag.threads() {
+            let st = strengthening(&dag, a);
+            // Replacement edges are only ever added for removed ones.
+            prop_assert!(st.added.len() <= st.removed.len());
+            // The a-span never exceeds the total work and is at least 1
+            // (t itself) unless t is an ancestor of s (impossible).
+            let s = a_span(&dag, a);
+            prop_assert!(s >= 1 && s <= work(&dag));
+            // Competitor work is at most the total work.
+            prop_assert!(competitor_work(&dag, a) <= work(&dag));
+        }
+    }
+
+    #[test]
+    fn priority_order_is_a_partial_order(levels in 1usize..6) {
+        let dom = PriorityDomain::numeric(levels);
+        for a in dom.iter() {
+            prop_assert!(dom.leq(a, a));
+            for b in dom.iter() {
+                if dom.leq(a, b) && dom.leq(b, a) {
+                    prop_assert_eq!(a, b);
+                }
+                for c in dom.iter() {
+                    if dom.leq(a, b) && dom.leq(b, c) {
+                        prop_assert!(dom.leq(a, c));
+                    }
+                }
+                // Entailment of closed constraints agrees with the order.
+                prop_assert_eq!(
+                    dom.entails_closed(&Constraint::leq(a, b)),
+                    dom.leq(a, b)
+                );
+            }
+        }
+    }
+}
