@@ -65,7 +65,11 @@ impl HuffmanCode {
             let (f1, _, n1) = forest.remove(0);
             let (f2, _, n2) = forest.remove(0);
             tiebreak += 1;
-            forest.push((f1 + f2, tiebreak, Node::Internal(Box::new(n1), Box::new(n2))));
+            forest.push((
+                f1 + f2,
+                tiebreak,
+                Node::Internal(Box::new(n1), Box::new(n2)),
+            ));
         }
         let (_, _, root) = forest.pop().expect("non-empty input has a tree");
         let mut codes = HashMap::new();

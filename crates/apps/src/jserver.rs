@@ -35,8 +35,12 @@ pub fn fib(n: u64) -> u64 {
 /// Dense matrix multiplication of two `n × n` matrices generated from the
 /// seed; returns a checksum of the product.
 pub fn matmul_checksum(n: usize, seed: u64) -> u64 {
-    let a: Vec<u64> = (0..n * n).map(|i| (i as u64).wrapping_mul(seed) % 97).collect();
-    let b: Vec<u64> = (0..n * n).map(|i| (i as u64).wrapping_add(seed) % 89).collect();
+    let a: Vec<u64> = (0..n * n)
+        .map(|i| (i as u64).wrapping_mul(seed) % 97)
+        .collect();
+    let b: Vec<u64> = (0..n * n)
+        .map(|i| (i as u64).wrapping_add(seed) % 89)
+        .collect();
     let mut c = vec![0u64; n * n];
     for i in 0..n {
         for k in 0..n {
@@ -46,7 +50,8 @@ pub fn matmul_checksum(n: usize, seed: u64) -> u64 {
             }
         }
     }
-    c.iter().fold(0u64, |h, &x| h.wrapping_mul(31).wrapping_add(x))
+    c.iter()
+        .fold(0u64, |h, &x| h.wrapping_mul(31).wrapping_add(x))
 }
 
 /// Mergesort of a pseudo-random vector; returns the median element.
@@ -97,7 +102,12 @@ pub fn smith_waterman(n: usize, seed: u64) -> i64 {
     for i in 1..=n {
         let mut current = vec![0i64; n + 1];
         for j in 1..=n {
-            let diag = prev[j - 1] + if a[i - 1] == b[j - 1] { match_s } else { mismatch };
+            let diag = prev[j - 1]
+                + if a[i - 1] == b[j - 1] {
+                    match_s
+                } else {
+                    mismatch
+                };
             let up = prev[j] + gap;
             let left = current[j - 1] + gap;
             current[j] = diag.max(up).max(left).max(0);
@@ -179,10 +189,8 @@ pub fn drive_jobs(rt: &Arc<Runtime>, config: &ExperimentConfig) -> LatencyStats 
     let mix = JobClass::default_mix();
     // Arrival rate per class: `connections` jobs per class over the run.
     let jobs_per_class = config.connections.max(1) * config.requests_per_connection.max(1) / 4;
-    let mut arrivals = PoissonProcess::with_mean_inter_arrival(
-        Duration::from_micros(400),
-        config.seed,
-    );
+    let mut arrivals =
+        PoissonProcess::with_mean_inter_arrival(Duration::from_micros(400), config.seed);
     let mut stats = LatencyStats::new();
     let mut futures = Vec::new();
     for i in 0..jobs_per_class.max(1) {

@@ -54,8 +54,9 @@ impl ProxyState {
 /// A tiny checksum standing in for the response post-processing the real
 /// proxy does (header rewriting etc.).
 fn checksum(body: &[u8]) -> u64 {
-    body.iter()
-        .fold(1469598103934665603u64, |h, &b| (h ^ u64::from(b)).wrapping_mul(1099511628211))
+    body.iter().fold(1469598103934665603u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(1099511628211)
+    })
 }
 
 /// Handles one client request on the given runtime, returning a future for
@@ -189,7 +190,10 @@ mod tests {
         let state = ProxyState::new();
         assert!(state.lookup("http://x/").is_none());
         state.insert("http://x/".into(), Bytes::from_static(b"abc"));
-        assert_eq!(state.lookup("http://x/").unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(
+            state.lookup("http://x/").unwrap(),
+            Bytes::from_static(b"abc")
+        );
         *state.hits.lock() += 1;
         assert_eq!(state.stats(), (1, 0));
     }

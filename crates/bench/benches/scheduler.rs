@@ -1,8 +1,11 @@
 //! Criterion bench: offline schedulers (prompt vs oblivious vs random) on
-//! random well-formed DAGs.
+//! random well-formed DAGs, plus the 50k-vertex prompt-scheduling kernel
+//! comparing the bucketed implementation against the retained naive
+//! reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rp_core::prelude::*;
+use rp_core::scheduler::reference;
 use std::time::Duration;
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -26,5 +29,28 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
+/// The acceptance kernel: a seeded 50k-vertex / 1k-thread / 8-level DAG at
+/// P = 8.  `bucketed` is the production scheduler; `naive` is the retained
+/// `O(ready²·P)`-per-step reference producing identical schedules.
+fn bench_prompt_50k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_50k");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    let dag = sized_dag(0x5EED_50C5, 1_000, 50, 8);
+    group.bench_with_input(
+        BenchmarkId::new("bucketed", dag.vertex_count()),
+        &8usize,
+        |b, &cores| b.iter(|| prompt_schedule(&dag, cores)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("naive", dag.vertex_count()),
+        &8usize,
+        |b, &cores| b.iter(|| reference::prompt_schedule(&dag, cores)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_prompt_50k);
 criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Scheduler throughput kernel: bucketed prompt scheduling vs the retained
+//! naive reference on a seeded 50k-vertex / 1k-thread / 8-level random DAG
+//! at P = 8, with machine-readable JSON output for CI trend tracking.
+//!
+//! Usage: `bench_scheduler [--quick] [--out PATH]`
+//!
+//! * `--quick` shrinks the kernel (5k vertices) so smoke runs finish fast;
+//! * `--out PATH` writes the JSON report there (default
+//!   `BENCH_scheduler.json` in the current directory).
+//!
+//! The binary also cross-checks that both implementations produce
+//! *identical* schedules on the kernel before timing anything, so the
+//! speedup it reports is never an apples-to-oranges number.
+
+use rp_core::random::sized_dag;
+use rp_core::scheduler::{prompt_schedule, reference};
+use std::time::{Duration, Instant};
+
+const CORES: usize = 8;
+const LEVELS: usize = 8;
+const SEED: u64 = 0x5EED_50C5;
+
+fn time_min<F: FnMut()>(mut f: F, samples: usize, budget: Duration) -> Duration {
+    let mut best = Duration::MAX;
+    let deadline = Instant::now() + budget;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+
+    let (threads, verts_per_thread) = if quick { (100, 50) } else { (1_000, 50) };
+    let dag = sized_dag(SEED, threads, verts_per_thread, LEVELS);
+    let vertices = dag.vertex_count();
+    println!(
+        "kernel: prompt_schedule on {vertices} vertices / {threads} threads / {LEVELS} levels at P={CORES}"
+    );
+
+    // Correctness gate: the schedules must be byte-identical.
+    let bucketed = prompt_schedule(&dag, CORES);
+    let naive = reference::prompt_schedule(&dag, CORES);
+    assert_eq!(
+        bucketed, naive,
+        "bucketed and naive reference schedules diverged — refusing to benchmark"
+    );
+    println!(
+        "schedules identical: {} steps for {vertices} vertices",
+        bucketed.len()
+    );
+
+    let bucketed_time = time_min(
+        || {
+            std::hint::black_box(prompt_schedule(&dag, CORES));
+        },
+        5,
+        Duration::from_secs(30),
+    );
+    // The naive reference is O(ready²·P) per step; one to three samples
+    // within the budget is plenty for a min-of-samples figure.
+    let naive_time = time_min(
+        || {
+            std::hint::black_box(reference::prompt_schedule(&dag, CORES));
+        },
+        3,
+        Duration::from_secs(120),
+    );
+
+    let vps = vertices as f64 / bucketed_time.as_secs_f64();
+    let speedup = naive_time.as_secs_f64() / bucketed_time.as_secs_f64();
+    println!(
+        "bucketed: {:>12.3?}  ({vps:.0} vertices/sec)",
+        bucketed_time
+    );
+    println!("naive:    {:>12.3?}", naive_time);
+    println!("speedup:  {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"kernel\": \"prompt_schedule\",\n  \"vertices\": {vertices},\n  \"threads\": {threads},\n  \"levels\": {LEVELS},\n  \"cores\": {CORES},\n  \"seed\": {SEED},\n  \"quick\": {quick},\n  \"bucketed_seconds\": {:.6},\n  \"naive_seconds\": {:.6},\n  \"vertices_per_second\": {:.1},\n  \"speedup_vs_naive\": {:.2}\n}}\n",
+        bucketed_time.as_secs_f64(),
+        naive_time.as_secs_f64(),
+        vps,
+        speedup,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

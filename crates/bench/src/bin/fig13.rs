@@ -22,7 +22,9 @@ fn main() {
     };
     let requests = if quick { 4 } else { 8 };
 
-    println!("Figure 13: responsiveness ratio (baseline / I-Cilk); higher = I-Cilk more responsive");
+    println!(
+        "Figure 13: responsiveness ratio (baseline / I-Cilk); higher = I-Cilk more responsive"
+    );
     println!("(paper sweep: 90/120/150/180 connections on 20 cores; local sweep scaled to {workers} workers)");
     println!();
     for &conns in &connections {
@@ -40,5 +42,7 @@ fn main() {
     }
     println!();
     println!("Expected shape: ratios >= ~1 everywhere and growing with load; email shows a larger");
-    println!("advantage than proxy (proxy is I/O-bound and lightly loaded, email has more compute).");
+    println!(
+        "advantage than proxy (proxy is I/O-bound and lightly loaded, email has more compute)."
+    );
 }

@@ -39,6 +39,10 @@ fn main() {
         }
     }
     println!("Expected shape: the highest-priority levels have ratios >= ~1 (I-Cilk serves them at least as fast),");
-    println!("growing with load, while the lowest-priority levels fall below 1 under heavy load — the");
-    println!("paper's observation that responsiveness is bought by sacrificing background compute time.");
+    println!(
+        "growing with load, while the lowest-priority levels fall below 1 under heavy load — the"
+    );
+    println!(
+        "paper's observation that responsiveness is bought by sacrificing background compute time."
+    );
 }

@@ -3,10 +3,11 @@
 //!
 //! Usage: `figures_dag [fig1|fig2|fig3|all] [--dot]`
 
+use rp_core::bound::BoundAnalysis;
 use rp_core::examples::{figure1a, figure1b, figure1c, figure2a, figure2b, figure3};
 use rp_core::render::{summary, to_dot};
 use rp_core::scheduler::{prompt_schedule, weak_respecting_prompt_schedule};
-use rp_core::strengthen::strengthening;
+use rp_core::strengthen::strengthening_with;
 use rp_core::wellformed::{check_strongly_well_formed, check_well_formed};
 
 fn main() {
@@ -68,13 +69,25 @@ fn main() {
         println!("=== Figure 3: a-strengthening ===");
         let (dag, v) = figure3();
         let a = dag.thread_by_name("a").expect("thread a exists");
-        let st = strengthening(&dag, a);
+        // One BoundAnalysis serves the strengthening, the per-thread bound
+        // ingredients, and the well-formedness verdict below.
+        let analysis = BoundAnalysis::new(&dag);
+        let st = strengthening_with(&dag, a, analysis.reachability());
         println!("  removed strong edges: {:?}", st.removed);
         println!("  added replacement edges: {:?}", st.added);
         println!(
             "  (u0, u) = ({}, {}) is replaced by (u', u) = ({}, {})",
             v.u0, v.u, v.u_prime, v.u
         );
+        println!("  well-formed = {}", analysis.is_well_formed());
+        for t in dag.threads() {
+            let (w, s) = analysis.thread_metrics(t);
+            println!(
+                "  thread {}: competitor work W = {w}, a-span S = {s}, bound(P=2) = {:.1}",
+                dag.thread(t).name,
+                analysis.bound(t, 2)
+            );
+        }
         println!("Expected shape: exactly the low-priority create edge (u0, u) is removed and (u', u) added.");
     }
 }

@@ -56,8 +56,7 @@ impl Table1Row {
         let with = (self.stats_with.expr_judgments
             + self.stats_with.cmd_judgments
             + self.stats_with.entailment_checks) as f64;
-        let without = (self.stats_without.expr_judgments
-            + self.stats_without.cmd_judgments) as f64;
+        let without = (self.stats_without.expr_judgments + self.stats_without.cmd_judgments) as f64;
         with / without.max(1.0)
     }
 }
@@ -99,9 +98,7 @@ pub fn table1(repeats: usize) -> Vec<Table1Row> {
 /// Formats Table 1 in the paper's layout.
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Table 1: type-checking cost of the priority layer (lambda-4i encodings)\n",
-    );
+    out.push_str("Table 1: type-checking cost of the priority layer (lambda-4i encodings)\n");
     out.push_str(
         "case study        nodes   check time w/o   with      overhead   judgment overhead\n",
     );

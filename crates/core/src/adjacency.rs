@@ -1,55 +1,51 @@
-//! Precomputed adjacency structure for efficient schedule checks and
-//! schedulers.
+//! Incremental ready-set tracking for schedulers and schedule checks.
 //!
 //! Several operations (promptness checking, the offline schedulers, the run
 //! driver of the λ⁴ᵢ machine) need, for every step of a schedule, the set of
-//! vertices whose strong parents have all executed.  Recomputing that from
-//! the edge list is `O(V·E)` per step; [`Adjacency`] precomputes per-vertex
-//! parent counts and successor lists so the ready set can be maintained
-//! incrementally in `O(E)` total across a whole schedule.
+//! vertices whose strong parents have all executed.  The graph's cached
+//! [`CsrIndex`](crate::csr::CsrIndex) provides per-vertex strong in-degrees
+//! and successor slices; [`ReadyTracker`] maintains the ready set
+//! incrementally on top of it in `O(E)` total across a whole schedule.
+//!
+//! [`Adjacency`] remains as a thin read-only view over the cached index for
+//! callers that want the adjacency data without a tracker.
 
 use crate::graph::{CostDag, VertexId};
 
-/// Per-vertex strong in-degree and strong successor lists.
-#[derive(Debug, Clone)]
-pub struct Adjacency {
-    /// Number of strong parents of each vertex.
-    pub strong_indegree: Vec<usize>,
-    /// Strong successors (targets of strong out-edges) of each vertex.
-    pub strong_successors: Vec<Vec<VertexId>>,
-    /// Weak successors of each vertex.
-    pub weak_successors: Vec<Vec<VertexId>>,
+/// A read-only view of the graph's strong/weak adjacency, backed by the CSR
+/// index cached on the graph (no per-vertex allocation).
+#[derive(Debug, Clone, Copy)]
+pub struct Adjacency<'g> {
+    dag: &'g CostDag,
 }
 
-impl Adjacency {
-    /// Builds the adjacency structure for a graph.
-    pub fn new(dag: &CostDag) -> Self {
-        let n = dag.vertex_count();
-        let mut strong_indegree = vec![0usize; n];
-        let mut strong_successors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        let mut weak_successors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        for e in dag.edges() {
-            if e.kind.is_strong() {
-                strong_indegree[e.to.index()] += 1;
-                strong_successors[e.from.index()].push(e.to);
-            } else {
-                weak_successors[e.from.index()].push(e.to);
-            }
-        }
-        Adjacency {
-            strong_indegree,
-            strong_successors,
-            weak_successors,
-        }
+impl<'g> Adjacency<'g> {
+    /// Creates the view.  `O(1)`: the underlying index was built with the
+    /// graph.
+    pub fn new(dag: &'g CostDag) -> Self {
+        Adjacency { dag }
+    }
+
+    /// Number of strong parents of `v`.
+    pub fn strong_indegree(&self, v: VertexId) -> usize {
+        self.dag.strong_indegree(v)
+    }
+
+    /// Strong successors (targets of strong out-edges) of `v`.
+    pub fn strong_successors(&self, v: VertexId) -> &'g [VertexId] {
+        self.dag.strong_successors(v)
+    }
+
+    /// Weak successors of `v`.
+    pub fn weak_successors(&self, v: VertexId) -> &'g [VertexId] {
+        self.dag.weak_successors(v)
     }
 
     /// The initially ready vertices (no strong parents).
     pub fn initial_ready(&self) -> Vec<VertexId> {
-        self.strong_indegree
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| VertexId(i as u32))
+        self.dag
+            .vertices()
+            .filter(|&v| self.dag.strong_indegree(v) == 0)
             .collect()
     }
 }
@@ -58,23 +54,28 @@ impl Adjacency {
 /// all been marked executed and that have not themselves been executed.
 #[derive(Debug, Clone)]
 pub struct ReadyTracker {
-    remaining_parents: Vec<usize>,
+    remaining_parents: Vec<u32>,
     ready: Vec<bool>,
     executed: Vec<bool>,
+    executed_count: usize,
 }
 
 impl ReadyTracker {
     /// Starts tracking from the unexecuted state.
-    pub fn new(adj: &Adjacency) -> Self {
-        let n = adj.strong_indegree.len();
+    pub fn new(dag: &CostDag) -> Self {
+        let n = dag.vertex_count();
+        let mut remaining_parents = vec![0u32; n];
         let mut ready = vec![false; n];
-        for (i, &d) in adj.strong_indegree.iter().enumerate() {
-            ready[i] = d == 0;
+        for v in dag.vertices() {
+            let d = dag.strong_indegree(v);
+            remaining_parents[v.index()] = d as u32;
+            ready[v.index()] = d == 0;
         }
         ReadyTracker {
-            remaining_parents: adj.strong_indegree.clone(),
+            remaining_parents,
             ready,
             executed: vec![false; n],
+            executed_count: 0,
         }
     }
 
@@ -100,22 +101,33 @@ impl ReadyTracker {
     }
 
     /// Marks a vertex executed, updating its strong successors' readiness.
-    pub fn execute(&mut self, adj: &Adjacency, v: VertexId) {
+    ///
+    /// Newly ready successors are reported through `on_ready`, so callers
+    /// maintaining their own ready structures (e.g. the bucketed scheduler)
+    /// need not rescan.
+    pub fn execute_with(&mut self, dag: &CostDag, v: VertexId, mut on_ready: impl FnMut(VertexId)) {
         debug_assert!(!self.executed[v.index()], "vertex executed twice");
         self.executed[v.index()] = true;
         self.ready[v.index()] = false;
-        for &succ in &adj.strong_successors[v.index()] {
+        self.executed_count += 1;
+        for &succ in dag.strong_successors(v) {
             let r = &mut self.remaining_parents[succ.index()];
             *r -= 1;
             if *r == 0 {
                 self.ready[succ.index()] = true;
+                on_ready(succ);
             }
         }
     }
 
+    /// Marks a vertex executed, updating its strong successors' readiness.
+    pub fn execute(&mut self, dag: &CostDag, v: VertexId) {
+        self.execute_with(dag, v, |_| {});
+    }
+
     /// Number of executed vertices.
     pub fn executed_count(&self) -> usize {
-        self.executed.iter().filter(|&&e| e).count()
+        self.executed_count
     }
 }
 
@@ -147,27 +159,36 @@ mod tests {
     fn tracker_follows_execution() {
         let (g, [m0, m1, m2, c0]) = diamond();
         let adj = Adjacency::new(&g);
-        let mut t = ReadyTracker::new(&adj);
+        let mut t = ReadyTracker::new(&g);
         assert_eq!(adj.initial_ready(), vec![m0]);
         assert!(t.is_ready(m0) && !t.is_ready(m1) && !t.is_ready(c0));
-        t.execute(&adj, m0);
+        t.execute(&g, m0);
         assert!(t.is_ready(m1) && t.is_ready(c0));
         assert!(!t.is_ready(m2), "m2 waits for both m1 and c0");
-        t.execute(&adj, m1);
+        t.execute(&g, m1);
         assert!(!t.is_ready(m2));
-        t.execute(&adj, c0);
+        t.execute(&g, c0);
         assert!(t.is_ready(m2));
-        t.execute(&adj, m2);
+        t.execute(&g, m2);
         assert_eq!(t.executed_count(), 4);
         assert!(t.ready_set().is_empty());
         assert!(t.is_executed(m0));
     }
 
     #[test]
+    fn execute_with_reports_newly_ready() {
+        let (g, [m0, m1, _m2, c0]) = diamond();
+        let mut t = ReadyTracker::new(&g);
+        let mut woken = Vec::new();
+        t.execute_with(&g, m0, |v| woken.push(v));
+        woken.sort();
+        assert_eq!(woken, vec![m1, c0]);
+    }
+
+    #[test]
     fn ready_set_matches_naive_computation() {
         let (g, _) = diamond();
-        let adj = Adjacency::new(&g);
-        let mut t = ReadyTracker::new(&adj);
+        let mut t = ReadyTracker::new(&g);
         let mut executed = vec![false; g.vertex_count()];
         // Execute in topological order, comparing against the naive helper.
         for v in crate::analysis::topological_order(&g) {
@@ -177,8 +198,18 @@ mod tests {
             let mut naive_sorted = naive.clone();
             naive_sorted.sort();
             assert_eq!(incremental, naive_sorted);
-            t.execute(&adj, v);
+            t.execute(&g, v);
             executed[v.index()] = true;
         }
+    }
+
+    #[test]
+    fn adjacency_view_matches_graph() {
+        let (g, [m0, _m1, m2, c0]) = diamond();
+        let adj = Adjacency::new(&g);
+        assert_eq!(adj.strong_indegree(m0), 0);
+        assert_eq!(adj.strong_indegree(m2), 2);
+        assert!(adj.strong_successors(m0).contains(&c0));
+        assert!(adj.weak_successors(m0).is_empty());
     }
 }

@@ -12,7 +12,7 @@
 //! [`Reachability`] precomputes all three as bit matrices so the
 //! well-formedness checks, strengthening, and span computations are cheap.
 
-use crate::graph::{CostDag, EdgeKind, VertexId};
+use crate::graph::{CostDag, VertexId};
 
 /// A simple dense bit matrix over vertex pairs.
 #[derive(Debug, Clone)]
@@ -58,6 +58,15 @@ impl BitMatrix {
             }
         }
         changed
+    }
+
+    /// `self.row(i) |= other.row(j)` across two matrices, word at a time.
+    pub(crate) fn or_row_from(&mut self, i: usize, other: &BitMatrix, j: usize) {
+        debug_assert_eq!(self.words_per_row, other.words_per_row);
+        let (ri, rj) = (i * self.words_per_row, j * other.words_per_row);
+        for w in 0..self.words_per_row {
+            self.bits[ri + w] |= other.bits[rj + w];
+        }
     }
 }
 
@@ -108,30 +117,24 @@ impl Reachability {
             any.set(v, v);
             strong_path.set(v, v);
         }
-        // Successor lists.
-        let mut succ: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
-        for e in dag.edges() {
-            succ[e.from.index()].push((e.to.index(), e.kind));
-        }
         // Process in reverse topological order so successors are done first.
-        for &u in order.iter().rev() {
-            let u = u.index();
-            // Copy successor indices to avoid borrow issues.
-            let outs = succ[u].clone();
-            for (v, kind) in outs {
+        // The graph's CSR index provides the out-edge slices; the matrices
+        // are separate objects, so no successor list needs to be cloned per
+        // vertex.
+        for &u_id in order.iter().rev() {
+            let u = u_id.index();
+            for e in dag.out_edges(u_id) {
+                let v = e.to.index();
                 any.or_row(u, v);
-                if kind.is_strong() {
+                if e.kind.is_strong() {
                     strong_path.or_row(u, v);
                     weak.or_row(u, v);
                 } else {
                     // A weak edge makes every vertex reachable from v a weak
-                    // descendant of u.
-                    for x in 0..n {
-                        if any.get(v, x) {
-                            weak.set(u, x);
-                        }
-                    }
-                    // It still contributes to `any`, handled above.
+                    // descendant of u: fold v's `any` row into u's `weak` row
+                    // a word at a time.  It still contributes to `any`,
+                    // handled above.
+                    weak.or_row_from(u, &any, v);
                 }
             }
         }
@@ -192,10 +195,8 @@ impl Reachability {
 pub fn topological_order(dag: &CostDag) -> Vec<VertexId> {
     let n = dag.vertex_count();
     let mut indegree = vec![0usize; n];
-    let mut succ: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for e in dag.edges() {
         indegree[e.to.index()] += 1;
-        succ[e.from.index()].push(e.to);
     }
     let mut stack: Vec<VertexId> = dag
         .vertices()
@@ -204,7 +205,8 @@ pub fn topological_order(dag: &CostDag) -> Vec<VertexId> {
     let mut order = Vec::with_capacity(n);
     while let Some(v) = stack.pop() {
         order.push(v);
-        for &w in &succ[v.index()] {
+        for e in dag.out_edges(v) {
+            let w = e.to;
             indegree[w.index()] -= 1;
             if indegree[w.index()] == 0 {
                 stack.push(w);
@@ -221,11 +223,7 @@ pub fn topological_order(dag: &CostDag) -> Vec<VertexId> {
 pub fn ready_vertices(dag: &CostDag, executed: &[bool]) -> Vec<VertexId> {
     dag.vertices()
         .filter(|&v| {
-            !executed[v.index()]
-                && dag
-                    .strong_parents(v)
-                    .iter()
-                    .all(|p| executed[p.index()])
+            !executed[v.index()] && dag.strong_parents(v).iter().all(|p| executed[p.index()])
         })
         .collect()
 }

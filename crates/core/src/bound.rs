@@ -17,6 +17,7 @@ use crate::metrics::{a_span_with, competitor_work_with};
 use crate::schedule::Schedule;
 use crate::strengthen::strengthening_with;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// The outcome of checking Theorem 2.3 on one thread and one schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,18 +87,138 @@ impl BoundReport {
     }
 }
 
+/// A per-graph cache of everything the bound computation needs that does not
+/// depend on a schedule: the reachability relations, the well-formedness
+/// verdict, and the per-thread `(competitor work, a-span)` pairs (computed
+/// on demand and memoized, since the strengthening is inherently
+/// per-thread).
+///
+/// Callers that check bounds for several threads or several schedules of the
+/// same graph should build one `BoundAnalysis` and reuse it; the one-shot
+/// helpers below construct a fresh analysis per call, which recomputes the
+/// `O(V·E/64)` reachability matrices every time.
+#[derive(Debug)]
+pub struct BoundAnalysis<'g> {
+    dag: &'g CostDag,
+    reach: Reachability,
+    well_formed: bool,
+    metrics: RefCell<Vec<Option<(usize, usize)>>>,
+}
+
+impl<'g> BoundAnalysis<'g> {
+    /// Analyses a graph: reachability and well-formedness are computed once,
+    /// here; per-thread metrics lazily.
+    pub fn new(dag: &'g CostDag) -> Self {
+        let reach = Reachability::new(dag);
+        let well_formed = crate::wellformed::check_well_formed_with(dag, &reach).is_ok();
+        BoundAnalysis {
+            dag,
+            reach,
+            well_formed,
+            metrics: RefCell::new(vec![None; dag.thread_count()]),
+        }
+    }
+
+    /// The graph the analysis belongs to.
+    pub fn dag(&self) -> &'g CostDag {
+        self.dag
+    }
+
+    /// The shared reachability relations.
+    pub fn reachability(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// Whether the graph is well-formed (Definition 1).
+    pub fn is_well_formed(&self) -> bool {
+        self.well_formed
+    }
+
+    /// `(W_{⊀ρ}(↛↓a), S_a(↛↓a))` for thread `a`, memoized.
+    pub fn thread_metrics(&self, a: ThreadId) -> (usize, usize) {
+        if let Some(m) = self.metrics.borrow()[a.index()] {
+            return m;
+        }
+        let st = strengthening_with(self.dag, a, &self.reach);
+        let w = competitor_work_with(self.dag, a, &self.reach);
+        let s = a_span_with(self.dag, a, &self.reach, &st);
+        self.metrics.borrow_mut()[a.index()] = Some((w, s));
+        (w, s)
+    }
+
+    /// The right-hand side of Theorem 2.3 for thread `a` on `P` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores == 0`.
+    pub fn bound(&self, a: ThreadId, num_cores: usize) -> f64 {
+        assert!(num_cores > 0, "need at least one core");
+        let (w, s) = self.thread_metrics(a);
+        (w as f64 + (num_cores as f64 - 1.0) * s as f64) / num_cores as f64
+    }
+
+    /// Builds the report for one thread, given schedule facts the caller has
+    /// already established.
+    fn report_with(
+        &self,
+        schedule: &Schedule,
+        a: ThreadId,
+        admissible: bool,
+        prompt: bool,
+    ) -> BoundReport {
+        let (w, s) = self.thread_metrics(a);
+        let p = schedule.num_cores;
+        let bound = (w as f64 + (p as f64 - 1.0) * s as f64) / p as f64;
+        let adjusted_bound = (w as f64 + 2.0 + (p as f64 - 1.0) * (s as f64 + 1.0)) / p as f64;
+        BoundReport {
+            thread: a,
+            num_cores: p,
+            competitor_work: w,
+            a_span: s,
+            bound,
+            adjusted_bound,
+            observed: schedule.response_time(self.dag, a),
+            admissible,
+            prompt,
+            well_formed: self.well_formed,
+        }
+    }
+
+    /// Checks Theorem 2.3 for one thread against a concrete schedule.
+    pub fn check(&self, schedule: &Schedule, a: ThreadId) -> BoundReport {
+        self.report_with(
+            schedule,
+            a,
+            schedule.is_admissible(self.dag),
+            schedule.is_prompt(self.dag),
+        )
+    }
+
+    /// Checks Theorem 2.3 for every thread against a concrete schedule,
+    /// evaluating the admissibility and promptness of the schedule once.
+    ///
+    /// The returned vector is indexed by thread id (`ThreadId::index`).
+    pub fn check_all(&self, schedule: &Schedule) -> Vec<BoundReport> {
+        let admissible = schedule.is_admissible(self.dag);
+        let prompt = schedule.is_prompt(self.dag);
+        self.dag
+            .threads()
+            .map(|a| self.report_with(schedule, a, admissible, prompt))
+            .collect()
+    }
+}
+
 /// Computes the right-hand side of Theorem 2.3 for thread `a` on `P` cores.
+///
+/// One-shot: builds a fresh [`BoundAnalysis`].  Prefer constructing the
+/// analysis explicitly when asking about several threads or core counts.
 ///
 /// # Panics
 ///
 /// Panics if `num_cores == 0`.
 pub fn response_time_bound(dag: &CostDag, a: ThreadId, num_cores: usize) -> f64 {
     assert!(num_cores > 0, "need at least one core");
-    let reach = Reachability::new(dag);
-    let st = strengthening_with(dag, a, &reach);
-    let w = competitor_work_with(dag, a, &reach);
-    let s = a_span_with(dag, a, &reach, &st);
-    (w as f64 + (num_cores as f64 - 1.0) * s as f64) / num_cores as f64
+    BoundAnalysis::new(dag).bound(a, num_cores)
 }
 
 /// Checks Theorem 2.3 for every thread of the graph against a concrete
@@ -106,33 +227,7 @@ pub fn response_time_bound(dag: &CostDag, a: ThreadId, num_cores: usize) -> f64 
 ///
 /// The returned vector is indexed by thread id (`ThreadId::index`).
 pub fn check_bounds_batch(dag: &CostDag, schedule: &Schedule) -> Vec<BoundReport> {
-    let reach = Reachability::new(dag);
-    let admissible = schedule.is_admissible(dag);
-    let prompt = schedule.is_prompt(dag);
-    let well_formed = crate::wellformed::check_well_formed_with(dag, &reach).is_ok();
-    let p = schedule.num_cores;
-    dag.threads()
-        .map(|a| {
-            let st = strengthening_with(dag, a, &reach);
-            let w = competitor_work_with(dag, a, &reach);
-            let s = a_span_with(dag, a, &reach, &st);
-            let bound = (w as f64 + (p as f64 - 1.0) * s as f64) / p as f64;
-            let adjusted_bound =
-                (w as f64 + 2.0 + (p as f64 - 1.0) * (s as f64 + 1.0)) / p as f64;
-            BoundReport {
-                thread: a,
-                num_cores: p,
-                competitor_work: w,
-                a_span: s,
-                bound,
-                adjusted_bound,
-                observed: schedule.response_time(dag, a),
-                admissible,
-                prompt,
-                well_formed,
-            }
-        })
-        .collect()
+    BoundAnalysis::new(dag).check_all(schedule)
 }
 
 /// Checks Theorem 2.3 for one thread against a concrete schedule.
@@ -142,25 +237,7 @@ pub fn check_bounds_batch(dag: &CostDag, schedule: &Schedule) -> Vec<BoundReport
 /// schedule) hold, so callers can distinguish "bound violated" from "bound
 /// not applicable".
 pub fn check_response_time_bound(dag: &CostDag, schedule: &Schedule, a: ThreadId) -> BoundReport {
-    let reach = Reachability::new(dag);
-    let st = strengthening_with(dag, a, &reach);
-    let w = competitor_work_with(dag, a, &reach);
-    let s = a_span_with(dag, a, &reach, &st);
-    let p = schedule.num_cores;
-    let bound = (w as f64 + (p as f64 - 1.0) * s as f64) / p as f64;
-    let adjusted_bound = (w as f64 + 2.0 + (p as f64 - 1.0) * (s as f64 + 1.0)) / p as f64;
-    BoundReport {
-        thread: a,
-        num_cores: p,
-        competitor_work: w,
-        a_span: s,
-        bound,
-        adjusted_bound,
-        observed: schedule.response_time(dag, a),
-        admissible: schedule.is_admissible(dag),
-        prompt: schedule.is_prompt(dag),
-        well_formed: crate::wellformed::check_well_formed_with(dag, &reach).is_ok(),
-    }
+    BoundAnalysis::new(dag).check(schedule, a)
 }
 
 #[cfg(test)]

@@ -256,6 +256,16 @@ impl DagBuilder {
                 kind: EdgeKind::Weak,
             });
         }
+        let index = crate::csr::CsrIndex::build(
+            self.vertices.len(),
+            self.threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.name.clone(), i as u32)),
+            &edges,
+            &self.create_edges,
+            self.threads.len(),
+        );
         let dag = CostDag {
             domain: self.domain,
             threads: self.threads,
@@ -264,6 +274,7 @@ impl DagBuilder {
             create_edges: self.create_edges,
             touch_edges: self.touch_edges,
             weak_edges: self.weak_edges,
+            index,
         };
         if let Some(v) = find_cycle(&dag) {
             return Err(DagBuildError::Cyclic(v));
@@ -280,15 +291,15 @@ fn find_cycle(dag: &CostDag) -> Option<VertexId> {
     for e in dag.edges() {
         indegree[e.to.index()] += 1;
     }
-    let mut stack: Vec<VertexId> = dag.vertices().filter(|v| indegree[v.index()] == 0).collect();
+    let mut stack: Vec<VertexId> = dag
+        .vertices()
+        .filter(|v| indegree[v.index()] == 0)
+        .collect();
     let mut removed = 0usize;
-    let mut succ: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    for e in dag.edges() {
-        succ[e.from.index()].push(e.to);
-    }
     while let Some(v) = stack.pop() {
         removed += 1;
-        for &w in &succ[v.index()] {
+        for e in dag.out_edges(v) {
+            let w = e.to;
             indegree[w.index()] -= 1;
             if indegree[w.index()] == 0 {
                 stack.push(w);
@@ -357,7 +368,10 @@ mod tests {
         let mut b = DagBuilder::new(d.clone());
         let a = b.thread("a", d.by_index(0));
         let a0 = b.vertex(a);
-        assert!(matches!(b.fcreate(a0, a), Err(DagBuildError::SelfCreate(_))));
+        assert!(matches!(
+            b.fcreate(a0, a),
+            Err(DagBuildError::SelfCreate(_))
+        ));
         assert!(matches!(b.ftouch(a, a0), Err(DagBuildError::SelfTouch(_))));
     }
 
@@ -367,7 +381,10 @@ mod tests {
         let mut b = DagBuilder::new(d.clone());
         let a = b.thread("a", d.by_index(0));
         let a0 = b.vertex(a);
-        assert!(matches!(b.weak(a0, a0), Err(DagBuildError::SelfWeakEdge(_))));
+        assert!(matches!(
+            b.weak(a0, a0),
+            Err(DagBuildError::SelfWeakEdge(_))
+        ));
     }
 
     #[test]

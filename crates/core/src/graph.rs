@@ -1,5 +1,6 @@
 //! The cost-graph representation `g = (T, Ec, Et, Ew)`.
 
+use crate::csr::CsrIndex;
 use rp_priority::{Priority, PriorityDomain};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -100,7 +101,11 @@ pub struct VertexInfo {
 /// as explicit vertex-to-vertex edges: fcreate edges `(u, a)` are stored as
 /// `(u, first(a))` and ftouch edges `(a, u)` as `(last(a), u)`, exactly as the
 /// paper's shorthand prescribes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// No serde derives: the cached CSR index is derived data that a naive
+// field-wise Deserialize could not rebuild, leaving a graph whose adjacency
+// queries panic.  If (de)serialization is ever needed, implement it by
+// round-tripping through the builder so the index is reconstructed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostDag {
     pub(crate) domain: PriorityDomain,
     pub(crate) threads: Vec<ThreadInfo>,
@@ -112,6 +117,9 @@ pub struct CostDag {
     pub(crate) create_edges: Vec<(VertexId, ThreadId)>,
     pub(crate) touch_edges: Vec<(ThreadId, VertexId)>,
     pub(crate) weak_edges: Vec<(VertexId, VertexId)>,
+    /// CSR adjacency index, built once by the builder alongside the edge
+    /// list it is derived from.
+    pub(crate) index: CsrIndex,
 }
 
 impl CostDag {
@@ -197,12 +205,9 @@ impl CostDag {
             .expect("threads have at least one vertex")
     }
 
-    /// Looks up a thread by name.
+    /// Looks up a thread by name in `O(1)` via the cached name map.
     pub fn thread_by_name(&self, name: &str) -> Option<ThreadId> {
-        self.threads
-            .iter()
-            .position(|t| t.name == name)
-            .map(|i| ThreadId(i as u32))
+        self.index.thread_by_name(name)
     }
 
     /// All edges (continuation, fcreate, ftouch, weak).
@@ -231,39 +236,50 @@ impl CostDag {
     }
 
     /// The vertex that created thread `t`, if any (the source of its fcreate
-    /// edge).  The initial/root thread has no creator.
+    /// edge).  The initial/root thread has no creator.  `O(1)` via the
+    /// cached creator table.
     pub fn creator_of(&self, t: ThreadId) -> Option<VertexId> {
-        self.create_edges
-            .iter()
-            .find(|(_, thr)| *thr == t)
-            .map(|(v, _)| *v)
+        self.index.creator_of(t)
     }
 
-    /// Outgoing edges of a vertex.
+    /// Outgoing edges of a vertex, in edge-list order (`O(deg)` via the CSR
+    /// index).
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.iter().copied().filter(move |e| e.from == v)
+        self.index.out_edges(v).iter().copied()
     }
 
-    /// Incoming edges of a vertex.
+    /// Incoming edges of a vertex, in edge-list order (`O(deg)` via the CSR
+    /// index).
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.iter().copied().filter(move |e| e.to == v)
+        self.index.in_edges(v).iter().copied()
     }
 
     /// Incoming *strong* parent vertices of `v` (the vertices that must have
-    /// executed before `v` is ready).
-    pub fn strong_parents(&self, v: VertexId) -> Vec<VertexId> {
-        self.in_edges(v)
-            .filter(|e| e.kind.is_strong())
-            .map(|e| e.from)
-            .collect()
+    /// executed before `v` is ready).  A borrowed slice of the CSR index —
+    /// no allocation.
+    pub fn strong_parents(&self, v: VertexId) -> &[VertexId] {
+        self.index.strong_parents(v)
     }
 
-    /// Incoming weak parent vertices of `v`.
-    pub fn weak_parents(&self, v: VertexId) -> Vec<VertexId> {
-        self.in_edges(v)
-            .filter(|e| e.kind == EdgeKind::Weak)
-            .map(|e| e.from)
-            .collect()
+    /// Incoming weak parent vertices of `v`.  A borrowed slice of the CSR
+    /// index — no allocation.
+    pub fn weak_parents(&self, v: VertexId) -> &[VertexId] {
+        self.index.weak_parents(v)
+    }
+
+    /// Strong successor vertices of `v` (targets of its strong out-edges).
+    pub fn strong_successors(&self, v: VertexId) -> &[VertexId] {
+        self.index.strong_successors(v)
+    }
+
+    /// Weak successor vertices of `v`.
+    pub fn weak_successors(&self, v: VertexId) -> &[VertexId] {
+        self.index.weak_successors(v)
+    }
+
+    /// Number of strong parents of `v`.
+    pub fn strong_indegree(&self, v: VertexId) -> usize {
+        self.index.strong_indegree(v)
     }
 
     /// Total work: the number of vertices.

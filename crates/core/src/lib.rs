@@ -69,6 +69,7 @@ pub mod adjacency;
 pub mod analysis;
 pub mod bound;
 pub mod build;
+pub mod csr;
 pub mod examples;
 pub mod graph;
 pub mod metrics;
@@ -83,11 +84,14 @@ pub mod wellformed;
 pub mod prelude {
     pub use crate::adjacency::{Adjacency, ReadyTracker};
     pub use crate::analysis::Reachability;
-    pub use crate::bound::{check_bounds_batch, check_response_time_bound, response_time_bound, BoundReport};
+    pub use crate::bound::{
+        check_bounds_batch, check_response_time_bound, response_time_bound, BoundAnalysis,
+        BoundReport,
+    };
     pub use crate::build::{DagBuildError, DagBuilder};
     pub use crate::graph::{CostDag, EdgeKind, ThreadId, VertexId};
     pub use crate::metrics::{a_span, competitor_work, span, work};
-    pub use crate::random::{RandomDagConfig, RandomDagGenerator};
+    pub use crate::random::{sized_dag, RandomDagConfig, RandomDagGenerator};
     pub use crate::schedule::{Schedule, ScheduleError};
     pub use crate::scheduler::{
         oblivious_schedule, prompt_schedule, random_schedule, weak_respecting_prompt_schedule,

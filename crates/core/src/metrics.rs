@@ -51,9 +51,7 @@ pub fn competitor_work_with(dag: &CostDag, a: ThreadId, reach: &Reachability) ->
         .filter(|&u| {
             // u is not an ancestor of s, t is not an ancestor of u,
             // and Prio(u) ⊀ ρ.
-            !reach.is_ancestor(u, s)
-                && !reach.is_ancestor(t, u)
-                && !dom.lt(dag.priority_of(u), rho)
+            !reach.is_ancestor(u, s) && !reach.is_ancestor(t, u) && !dom.lt(dag.priority_of(u), rho)
         })
         .count()
 }
@@ -109,9 +107,9 @@ pub(crate) fn longest_strong_path_to(
         // cycles; acyclicity makes this a plain memo in practice.
         memo[v.index()] = Some(1);
         let mut best = 1;
-        for e in st.in_edges(v) {
-            if e.kind.is_strong() && allowed(e.from) {
-                best = best.max(1 + go(st, e.from, allowed, memo));
+        for &p in st.strong_parents(v) {
+            if allowed(p) {
+                best = best.max(1 + go(st, p, allowed, memo));
             }
         }
         memo[v.index()] = Some(best);

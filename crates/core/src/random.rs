@@ -73,7 +73,10 @@ impl RandomDagGenerator {
     ///
     /// Panics if the configuration asks for zero priority levels.
     pub fn new(config: RandomDagConfig, seed: u64) -> Self {
-        assert!(config.priority_levels > 0, "need at least one priority level");
+        assert!(
+            config.priority_levels > 0,
+            "need at least one priority level"
+        );
         let domain = PriorityDomain::numeric(config.priority_levels);
         RandomDagGenerator {
             config,
@@ -160,9 +163,7 @@ impl RandomDagGenerator {
                 // genuine state communication and admissible schedules must
                 // order it.
                 if touch_back && self.rng.gen_bool(self.config.weak_edge_probability) {
-                    builder
-                        .weak(child_last, last)
-                        .expect("distinct vertices");
+                    builder.weak(child_last, last).expect("distinct vertices");
                 }
             }
         }
@@ -177,6 +178,75 @@ impl RandomDagGenerator {
 
 fn builder_thread_name(_builder: &DagBuilder, thread: ThreadId) -> String {
     format!("t{}", thread.index())
+}
+
+/// Generates a seeded well-formed DAG of an exact size: `num_threads`
+/// threads of `verts_per_thread` vertices each over a totally ordered domain
+/// of `levels` priorities.
+///
+/// Unlike [`RandomDagGenerator`], whose recursive growth makes the final
+/// size a random variable, this builds the thread forest iteratively —
+/// every new thread picks a uniformly random existing parent — so benchmark
+/// kernels get exactly `num_threads · verts_per_thread` vertices (e.g. the
+/// 50k-vertex / 1k-thread / 8-level scheduler kernel).  The same local rules
+/// as the recursive generator keep the graph well-formed: children touched
+/// back by their parent have priority at least the parent's, creates happen
+/// strictly before the parent's last vertex, and weak edges only shadow
+/// touch edges.
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0`, `verts_per_thread < 2`, or `levels == 0`.
+pub fn sized_dag(seed: u64, num_threads: usize, verts_per_thread: usize, levels: usize) -> CostDag {
+    assert!(num_threads > 0, "need at least one thread");
+    assert!(verts_per_thread >= 2, "threads need at least two vertices");
+    assert!(levels > 0, "need at least one priority level");
+    let domain = PriorityDomain::numeric(levels);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new(domain.clone());
+
+    let root_prio = domain.by_index(rng.gen_range(0..levels));
+    let root = b.thread("t0", root_prio);
+    let root_verts = b.vertices(root, verts_per_thread);
+    // (priority index, first..last vertex ids) per thread; vertex ids within
+    // a thread are contiguous, so the range stands in for the vertex list.
+    let mut threads: Vec<(usize, VertexId, VertexId)> = vec![(
+        root_prio.index(),
+        root_verts[0],
+        *root_verts.last().expect("verts_per_thread >= 2"),
+    )];
+
+    for i in 1..num_threads {
+        let (parent_prio_ix, parent_first, parent_last) = threads[rng.gen_range(0..threads.len())];
+        // Create strictly before the parent's last vertex so a touch back
+        // into that last vertex cannot form a cycle.
+        let span = parent_last.index() - parent_first.index();
+        let create_at = VertexId((parent_first.index() + rng.gen_range(0..span)) as u32);
+        let touch_back = rng.gen_bool(0.6);
+        let prio_ix = if touch_back {
+            // Touch rule: toucher priority ⪯ touched priority.
+            rng.gen_range(parent_prio_ix..levels)
+        } else {
+            rng.gen_range(0..levels)
+        };
+        let child = b.thread(format!("t{i}"), domain.by_index(prio_ix));
+        let verts = b.vertices(child, verts_per_thread);
+        let (first, last) = (verts[0], *verts.last().expect("non-empty"));
+        b.fcreate(create_at, child)
+            .expect("fresh child has no creator");
+        if touch_back {
+            b.ftouch(child, parent_last)
+                .expect("touching a different thread");
+            if rng.gen_bool(0.3) {
+                // A shadowed weak edge: a read by the parent of state the
+                // child wrote, ordered by the touch it parallels.
+                b.weak(last, parent_last).expect("distinct vertices");
+            }
+        }
+        threads.push((prio_ix, first, last));
+    }
+
+    b.build().expect("iterative growth is acyclic")
 }
 
 #[cfg(test)]
@@ -238,6 +308,31 @@ mod tests {
         assert!(dag.thread_count() <= 2);
         assert!(dag.vertex_count() <= 4);
         assert!(dag.weak_edges().is_empty());
+    }
+
+    #[test]
+    fn sized_dag_has_exact_size_and_is_well_formed() {
+        let dag = sized_dag(42, 20, 5, 4);
+        assert_eq!(dag.thread_count(), 20);
+        assert_eq!(dag.vertex_count(), 100);
+        check_well_formed(&dag).unwrap();
+        check_strongly_well_formed(&dag).unwrap();
+        for p in [1, 4] {
+            let s = prompt_schedule(&dag, p);
+            s.validate(&dag).unwrap();
+            let ws = weak_respecting_prompt_schedule(&dag, p);
+            ws.validate(&dag).unwrap();
+            assert!(ws.is_admissible(&dag));
+        }
+    }
+
+    #[test]
+    fn sized_dag_is_reproducible() {
+        let a = sized_dag(7, 10, 3, 2);
+        let b = sized_dag(7, 10, 3, 2);
+        assert_eq!(a, b);
+        let c = sized_dag(8, 10, 3, 2);
+        assert!(a != c || a.edges().len() == c.edges().len());
     }
 
     #[test]

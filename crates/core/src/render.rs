@@ -36,10 +36,7 @@ pub fn to_dot(dag: &CostDag) -> String {
             dag.domain().name(info.priority)
         );
         for &v in &info.vertices {
-            let label = dag
-                .label(v)
-                .map(escape)
-                .unwrap_or_else(|| format!("{v}"));
+            let label = dag.label(v).map(escape).unwrap_or_else(|| format!("{v}"));
             let _ = writeln!(out, "    v{} [label=\"{}\"];", v.index(), label);
         }
         let _ = writeln!(out, "  }}");

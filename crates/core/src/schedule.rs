@@ -45,7 +45,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "vertex {v} is not executed exactly once")
             }
             ScheduleError::DependenceViolated { parent, child } => {
-                write!(f, "vertex {child} executed before its strong parent {parent}")
+                write!(
+                    f,
+                    "vertex {child} executed before its strong parent {parent}"
+                )
             }
         }
     }
@@ -125,12 +128,12 @@ impl Schedule {
     /// `(u, u')`, `u` executes strictly before `u'` (Section 2.2).
     pub fn is_admissible(&self, dag: &CostDag) -> bool {
         let step_of = self.step_of(dag);
-        dag.weak_edges().iter().all(|&(u, v)| {
-            match (step_of[u.index()], step_of[v.index()]) {
+        dag.weak_edges()
+            .iter()
+            .all(|&(u, v)| match (step_of[u.index()], step_of[v.index()]) {
                 (Some(su), Some(sv)) => su < sv,
                 _ => false,
-            }
-        })
+            })
     }
 
     /// Whether the schedule is *prompt* for `dag`: at every step, ready
@@ -142,8 +145,7 @@ impl Schedule {
     /// the size of the graph plus the priority comparisons per step.
     pub fn is_prompt(&self, dag: &CostDag) -> bool {
         let dom = dag.domain();
-        let adj = crate::adjacency::Adjacency::new(dag);
-        let mut tracker = crate::adjacency::ReadyTracker::new(&adj);
+        let mut tracker = crate::adjacency::ReadyTracker::new(dag);
         for step in &self.steps {
             let assigned: &[VertexId] = step;
             // All assigned vertices must be ready.
@@ -159,15 +161,13 @@ impl Schedule {
             // assigned one.
             for &u in assigned {
                 for &v in &ready {
-                    if !assigned.contains(&v)
-                        && dom.lt(dag.priority_of(u), dag.priority_of(v))
-                    {
+                    if !assigned.contains(&v) && dom.lt(dag.priority_of(u), dag.priority_of(v)) {
                         return false;
                     }
                 }
             }
             for &v in assigned {
-                tracker.execute(&adj, v);
+                tracker.execute(dag, v);
             }
         }
         true

@@ -8,6 +8,7 @@
 //! preserved while the low-priority vertex `u₀` disappears from the a-span.
 
 use crate::analysis::Reachability;
+use crate::csr::VertexCsr;
 use crate::graph::{CostDag, Edge, ThreadId, VertexId};
 
 /// The result of a-strengthening: the same vertices as the base graph with a
@@ -24,6 +25,9 @@ pub struct StrengthenedDag {
     pub removed: Vec<(VertexId, VertexId)>,
     /// Replacement edges added, as `(u', u)` pairs.
     pub added: Vec<(VertexId, VertexId)>,
+    /// CSR over the rewritten strong in-edges, so the a-span's longest-path
+    /// walk is `O(deg)` per vertex instead of a full edge-list filter.
+    pub(crate) strong_in: VertexCsr,
 }
 
 impl StrengthenedDag {
@@ -37,12 +41,10 @@ impl StrengthenedDag {
         self.edges.iter().copied().filter(move |e| e.to == v)
     }
 
-    /// Incoming strong parents in the strengthened graph.
-    pub fn strong_parents(&self, v: VertexId) -> Vec<VertexId> {
-        self.in_edges(v)
-            .filter(|e| e.kind.is_strong())
-            .map(|e| e.from)
-            .collect()
+    /// Incoming strong parents in the strengthened graph (`O(deg)` via the
+    /// cached CSR).
+    pub fn strong_parents(&self, v: VertexId) -> &[VertexId] {
+        self.strong_in.slice(v)
     }
 
     /// Whether the strengthened graph still contains the strong edge
@@ -141,12 +143,16 @@ pub fn strengthening_with(dag: &CostDag, a: ThreadId, reach: &Reachability) -> S
         }
     }
 
+    let strong_in = VertexCsr::build(dag.vertex_count(), &edges, |e| {
+        e.kind.is_strong().then_some((e.to.index(), e.from))
+    });
     StrengthenedDag {
         thread: a,
         vertex_count: dag.vertex_count(),
         edges,
         removed,
         added,
+        strong_in,
     }
 }
 

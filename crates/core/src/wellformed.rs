@@ -109,7 +109,10 @@ pub fn check_well_formed_with(
                 && !reach.is_ancestor(u, s)
                 && !dom.leq(rho, dag.priority_of(u))
             {
-                errors.push(WellFormedError::LowPriorityStrongAncestor { thread: a, vertex: u });
+                errors.push(WellFormedError::LowPriorityStrongAncestor {
+                    thread: a,
+                    vertex: u,
+                });
             }
         }
         // Second bullet: strong edges (u0, u) with u ⊒ˢ t, u0 ⋣ s and

@@ -193,7 +193,9 @@ impl<P: PriorityLevel> PriorityCtx<P> {
     /// Creates the witness.  (There is nothing to check at runtime; the value
     /// only exists to carry `P` to touch sites.)
     pub fn new() -> Self {
-        PriorityCtx { _level: PhantomData }
+        PriorityCtx {
+            _level: PhantomData,
+        }
     }
 
     /// The level's index.

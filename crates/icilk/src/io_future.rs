@@ -154,12 +154,7 @@ fn reactor_loop(state: Arc<(Mutex<ReactorState>, Condvar)>) {
             }
             let now = Instant::now();
             let mut due = Vec::new();
-            while st
-                .queue
-                .peek()
-                .map(|p| p.deadline <= now)
-                .unwrap_or(false)
-            {
+            while st.queue.peek().map(|p| p.deadline <= now).unwrap_or(false) {
                 due.push(st.queue.pop().expect("peeked"));
             }
             if due.is_empty() {

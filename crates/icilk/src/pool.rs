@@ -1,10 +1,29 @@
-//! Per-priority-level task pools and the runtime's shared state.
+//! Per-priority-level task pools, per-worker work-stealing deques, and the
+//! runtime's shared state.
+//!
+//! # Queue architecture
+//!
+//! In prioritized (I-Cilk) mode each worker owns a private work-stealing
+//! deque: tasks a worker spawns at its own assigned level go onto its deque
+//! (LIFO for the owner — locality), and idle workers steal the oldest task
+//! from a peer, preferring peers assigned to the highest-allotted priority
+//! level.  The per-level [`Injector`]s remain as the *injection/overflow*
+//! path: they receive tasks pushed from outside the worker pool (the
+//! original submission of every experiment) and tasks whose level differs
+//! from the spawning worker's current assignment.  The fast path — a worker
+//! spawning and then executing its own work — never touches a shared
+//! injector, so the injectors stop being the contended bottleneck.
+//!
+//! In oblivious (Cilk-F stand-in) mode everything still funnels through one
+//! global FIFO, deliberately: that contention is part of the baseline being
+//! compared against.
 
 use crate::metrics::MetricsCollector;
 use crate::priority::PrioritySet;
-use crossbeam::deque::{Injector, Steal};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A unit of work: the boxed task body plus accounting metadata.
@@ -29,7 +48,7 @@ impl std::fmt::Debug for Task {
 /// The queue and scheduler counters of one priority level.
 #[derive(Debug)]
 pub struct LevelPool {
-    /// The level's task queue.
+    /// The level's injection/overflow queue (see the module docs).
     pub injector: Injector<Task>,
     /// Nanoseconds of useful work performed for this level in the current
     /// scheduling quantum.
@@ -57,11 +76,27 @@ impl LevelPool {
 /// Which scheduling strategy the runtime uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolKind {
-    /// I-Cilk: per-level pools, workers assigned to levels by the master.
+    /// I-Cilk: per-worker deques plus per-level injection queues, workers
+    /// assigned to levels by the master.
     Prioritized,
     /// Cilk-F baseline: a single FIFO pool, priorities ignored for
     /// scheduling (but still recorded for metrics).
     Oblivious,
+}
+
+/// A worker thread's private deque, installed in thread-local storage so
+/// [`SharedState::push_task`] can take the fast path without threading a
+/// handle through every spawn site.
+struct LocalDeque {
+    /// Address of the owning [`SharedState`], guarding against a worker of
+    /// one runtime pushing tasks of another runtime onto its deque.
+    owner: usize,
+    worker_id: usize,
+    deque: Worker<Task>,
+}
+
+thread_local! {
+    static LOCAL_DEQUE: RefCell<Option<LocalDeque>> = const { RefCell::new(None) };
 }
 
 /// State shared between the public runtime handle, the workers, the master
@@ -78,6 +113,11 @@ pub struct SharedState {
     pub kind: PoolKind,
     /// Worker → assigned level index (meaningful in prioritized mode).
     pub assignment: Vec<AtomicUsize>,
+    /// Stealer side of each worker's private deque.
+    pub stealers: Vec<Stealer<Task>>,
+    /// The worker-owned deque handles, taken once by each worker thread at
+    /// startup (`None` after being claimed).
+    deques: Mutex<Vec<Option<Worker<Task>>>>,
     /// Set when the runtime is shutting down.
     pub shutdown: AtomicBool,
     /// Per-level task statistics.
@@ -96,45 +136,151 @@ impl SharedState {
         // rebalances at the end of the first quantum.
         let top = priorities.len() - 1;
         let assignment = (0..num_workers).map(|_| AtomicUsize::new(top)).collect();
+        let deques: Vec<Worker<Task>> = (0..num_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = deques.iter().map(Worker::stealer).collect();
         Arc::new(SharedState {
             priorities,
             levels,
             global: Injector::new(),
             kind,
             assignment,
+            stealers,
+            deques: Mutex::new(deques.into_iter().map(Some).collect()),
             shutdown: AtomicBool::new(false),
             metrics,
             num_workers,
         })
     }
 
-    /// Enqueues a task at its level (or the global queue in oblivious mode).
+    /// Claims worker `worker_id`'s deque and installs it in this thread's
+    /// local storage.  Called once by each worker thread at startup.
+    pub fn register_current_worker(self: &Arc<Self>, worker_id: usize) {
+        let deque = self
+            .deques
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_mut(worker_id)
+            .and_then(Option::take);
+        if let Some(deque) = deque {
+            LOCAL_DEQUE.with(|slot| {
+                *slot.borrow_mut() = Some(LocalDeque {
+                    owner: Arc::as_ptr(self) as usize,
+                    worker_id,
+                    deque,
+                });
+            });
+        }
+    }
+
+    /// Removes this thread's local deque, if it belongs to this runtime.
+    /// Remaining tasks flow back to the level injectors so nothing is
+    /// stranded on a dead thread.
+    pub fn unregister_current_worker(&self) {
+        let local = LOCAL_DEQUE.with(|slot| {
+            let owned = matches!(&*slot.borrow(), Some(l) if l.owner == self.addr());
+            if owned {
+                slot.borrow_mut().take()
+            } else {
+                None
+            }
+        });
+        if let Some(local) = local {
+            while let Some(task) = local.deque.pop() {
+                let level = task.level.min(self.levels.len() - 1);
+                self.levels[level].injector.push(task);
+            }
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const SharedState as usize
+    }
+
+    /// Enqueues a task.
+    ///
+    /// Prioritized mode fast path: when called from a worker thread of this
+    /// runtime whose current assignment matches the task's level, the task
+    /// goes onto that worker's private deque; otherwise (external
+    /// submission, or a spawn at a different level) it goes to the level's
+    /// injection queue.  Oblivious mode always uses the global FIFO.
     pub fn push_task(&self, task: Task) {
         let level = task.level.min(self.levels.len() - 1);
         self.levels[level].pending.fetch_add(1, Ordering::Relaxed);
         match self.kind {
-            PoolKind::Prioritized => self.levels[level].injector.push(task),
+            PoolKind::Prioritized => {
+                if let Some(task) = self.try_push_local(task, level) {
+                    self.levels[level].injector.push(task);
+                }
+            }
             PoolKind::Oblivious => self.global.push(task),
         }
     }
 
-    /// Tries to pop a task for a worker assigned to `preferred_level`
-    /// (prioritized mode) or any task (oblivious mode).
+    /// Attempts the worker-local fast path; gives the task back on miss.
+    fn try_push_local(&self, task: Task, level: usize) -> Option<Task> {
+        LOCAL_DEQUE.with(|slot| match &*slot.borrow() {
+            Some(local)
+                if local.owner == self.addr()
+                    && self
+                        .assignment
+                        .get(local.worker_id)
+                        .map(|a| a.load(Ordering::Relaxed))
+                        == Some(level) =>
+            {
+                local.deque.push(task);
+                None
+            }
+            _ => Some(task),
+        })
+    }
+
+    /// The pop path for worker threads: own deque first (newest-first,
+    /// locality), then the worker's assigned level injector, then stealing
+    /// from peers serving the highest-allotted levels, then helping the
+    /// other level injectors from the highest priority downward.
+    pub fn pop_for_worker(&self, worker_id: usize) -> Option<Task> {
+        match self.kind {
+            PoolKind::Oblivious => self.pop_global(),
+            PoolKind::Prioritized => {
+                let assigned = self
+                    .assignment
+                    .get(worker_id)
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .unwrap_or(0);
+                if let Some(t) = self.pop_local(assigned) {
+                    return Some(t);
+                }
+                if let Some(t) = self.pop_level(assigned) {
+                    return Some(t);
+                }
+                if let Some(t) = self.steal_from_peers(Some(worker_id)) {
+                    return Some(t);
+                }
+                for level in (0..self.levels.len()).rev() {
+                    if level != assigned {
+                        if let Some(t) = self.pop_level(level) {
+                            return Some(t);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Tries to pop a task for a helper assigned to `preferred_level`
+    /// (prioritized mode) or any task (oblivious mode).  Used by `ftouch`'s
+    /// helping path and by threads outside the worker pool.
     ///
-    /// In prioritized mode a worker first serves its assigned level; if that
-    /// level is empty it may help any *other* level, scanning from the
-    /// highest priority down — this approximates proactive work stealing's
-    /// property that cores are never idle while work exists, while the
-    /// master's allotments still bias capacity toward high priorities.
+    /// In prioritized mode the helper first serves `preferred_level`'s
+    /// injector; if that is empty it helps any *other* level, scanning from
+    /// the highest priority down, and finally steals from the worker deques
+    /// — this approximates proactive work stealing's property that cores are
+    /// never idle while work exists, while the master's allotments still
+    /// bias capacity toward high priorities.
     pub fn pop_task(&self, preferred_level: usize) -> Option<Task> {
         match self.kind {
-            PoolKind::Oblivious => loop {
-                match self.global.steal() {
-                    Steal::Success(t) => return Some(t),
-                    Steal::Empty => return None,
-                    Steal::Retry => continue,
-                }
-            },
+            PoolKind::Oblivious => self.pop_global(),
             PoolKind::Prioritized => {
                 if let Some(t) = self.pop_level(preferred_level) {
                     return Some(t);
@@ -146,7 +292,62 @@ impl SharedState {
                         }
                     }
                 }
+                self.steal_from_peers(None)
+            }
+        }
+    }
+
+    /// Pops from this thread's own deque, when it belongs to this runtime.
+    ///
+    /// Only tasks matching the worker's *current* assignment are returned:
+    /// after a master rebalance, tasks of the old level left on the deque
+    /// flow back to their level injectors instead of being executed ahead
+    /// of the newly assigned (possibly higher-priority) level — otherwise a
+    /// stale backlog would invert the priority the rebalance established.
+    fn pop_local(&self, assigned: usize) -> Option<Task> {
+        LOCAL_DEQUE.with(|slot| match &*slot.borrow() {
+            Some(local) if local.owner == self.addr() => {
+                while let Some(task) = local.deque.pop() {
+                    let level = task.level.min(self.levels.len() - 1);
+                    if level == assigned {
+                        return Some(task);
+                    }
+                    self.levels[level].injector.push(task);
+                }
                 None
+            }
+            _ => None,
+        })
+    }
+
+    /// Steals from peer workers' deques, visiting peers assigned to the
+    /// highest priority level first (the steal-from-highest-allotted-level
+    /// policy: stolen capacity flows toward the levels the master granted
+    /// the most cores at the top of the order).
+    fn steal_from_peers(&self, thief: Option<usize>) -> Option<Task> {
+        for level in (0..self.levels.len()).rev() {
+            for (peer, assigned) in self.assignment.iter().enumerate() {
+                if Some(peer) == thief || assigned.load(Ordering::Relaxed) != level {
+                    continue;
+                }
+                loop {
+                    match self.stealers[peer].steal() {
+                        Steal::Success(t) => return Some(t),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn pop_global(&self) -> Option<Task> {
+        loop {
+            match self.global.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
             }
         }
     }
@@ -217,7 +418,7 @@ mod tests {
         let m = Arc::new(AtomicUsize::new(0));
         s.push_task(task(0, m.clone()));
         s.push_task(task(1, m.clone()));
-        // A worker assigned to level 0 pops its own level first.
+        // A helper assigned to level 0 pops its own level first.
         let t = s.pop_task(0).unwrap();
         assert_eq!(t.level, 0);
         // Then helps the other level.
@@ -257,5 +458,92 @@ mod tests {
         assert!(!s.is_shutting_down());
         s.request_shutdown();
         assert!(s.is_shutting_down());
+    }
+
+    #[test]
+    fn worker_local_spawn_uses_private_deque_and_is_stealable() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        // Pretend this test thread is worker 0, assigned to level 1 (the
+        // initial assignment).
+        s.register_current_worker(0);
+        s.push_task(task(1, m.clone()));
+        s.push_task(task(1, m.clone()));
+        // The tasks went to worker 0's deque, not the injector.
+        assert!(s.levels[1].injector.is_empty());
+        assert_eq!(s.stealers[0].len(), 2);
+        // The owner pops newest-first from its own deque.
+        assert!(s.pop_for_worker(0).is_some());
+        assert_eq!(s.stealers[0].len(), 1);
+        // A peer (or helper) can steal the remainder.
+        let stolen = s.pop_task(0);
+        assert!(stolen.is_some());
+        assert_eq!(s.stealers[0].len(), 0);
+        s.unregister_current_worker();
+    }
+
+    #[test]
+    fn spawn_at_other_level_overflows_to_injector() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        s.register_current_worker(0);
+        // Worker 0 is assigned to level 1; a level-0 spawn must not hide in
+        // its deque (a level-0 worker would never find it there first).
+        s.push_task(task(0, m.clone()));
+        assert_eq!(s.stealers[0].len(), 0);
+        assert_eq!(s.levels[0].injector.len(), 1);
+        s.unregister_current_worker();
+    }
+
+    #[test]
+    fn unregister_drains_deque_back_to_injectors() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        s.register_current_worker(0);
+        s.push_task(task(1, m.clone()));
+        assert_eq!(s.stealers[0].len(), 1);
+        s.unregister_current_worker();
+        assert_eq!(s.stealers[0].len(), 0);
+        assert_eq!(s.levels[1].injector.len(), 1, "task flowed back");
+    }
+
+    #[test]
+    fn reassigned_worker_reinjects_stale_deque_backlog() {
+        let s = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        s.register_current_worker(0);
+        // Worker 0 starts assigned to level 1 and builds a local backlog.
+        s.push_task(task(1, m.clone()));
+        s.push_task(task(1, m.clone()));
+        assert_eq!(s.stealers[0].len(), 2);
+        // The master reassigns worker 0 to level 0: the stale level-1 tasks
+        // must flow back to the level-1 injector rather than being popped
+        // ahead of the worker's new assignment.
+        s.assignment[0].store(0, Ordering::Relaxed);
+        // Nothing at level 0, so the worker helps the level-1 injector —
+        // but only after the backlog has been re-injected there.
+        let t = s.pop_for_worker(0).expect("backlog still reachable");
+        assert_eq!(t.level, 1);
+        assert_eq!(
+            s.stealers[0].len(),
+            0,
+            "deque drained on assignment mismatch"
+        );
+        assert_eq!(s.levels[1].injector.len(), 1, "one task re-injected");
+        s.unregister_current_worker();
+    }
+
+    #[test]
+    fn cross_runtime_pushes_never_land_on_foreign_deques() {
+        let a = shared(PoolKind::Prioritized);
+        let b = shared(PoolKind::Prioritized);
+        let m = Arc::new(AtomicUsize::new(0));
+        // This thread is a worker of runtime A...
+        a.register_current_worker(0);
+        // ...but pushes a task belonging to runtime B.
+        b.push_task(task(1, m.clone()));
+        assert_eq!(a.stealers[0].len(), 0, "A's deque untouched");
+        assert_eq!(b.levels[1].injector.len(), 1, "B got its task");
+        a.unregister_current_worker();
     }
 }

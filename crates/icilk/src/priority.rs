@@ -87,7 +87,6 @@ macro_rules! define_priorities {
     (@order $($lower:ident),*;) => {};
 }
 
-
 /// The runtime representation of a program's priority levels: a total order
 /// with named levels, convertible to scheduler pool indices.
 #[derive(Debug, Clone)]

@@ -176,9 +176,10 @@ impl Runtime {
         P: PriorityLevel,
         F: FnOnce() -> T + Send + 'static,
     {
-        let priority = self.shared.priorities.by_index(P::INDEX.min(
-            self.shared.priorities.len() - 1,
-        ));
+        let priority = self
+            .shared
+            .priorities
+            .by_index(P::INDEX.min(self.shared.priorities.len() - 1));
         TypedFuture::wrap(self.fcreate(priority, body))
     }
 

@@ -6,7 +6,6 @@
 //! (an idle tick), which the master observes as low utilization.
 
 use crate::pool::SharedState;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -31,14 +30,26 @@ pub fn execute_task(shared: &SharedState, task: crate::pool::Task) {
 }
 
 /// The body of a worker thread.
+///
+/// The worker claims its private work-stealing deque on entry; spawns it
+/// performs at its assigned level then bypass the shared injectors entirely
+/// (see [`SharedState::push_task`]).  On exit the deque's remaining tasks
+/// flow back to the injectors.
 pub fn worker_loop(shared: Arc<SharedState>, worker_id: usize) {
+    /// Drains the worker's deque back to the injectors even when a task
+    /// panics and unwinds the loop — queued tasks must survive a dying
+    /// worker, as they did when they lived in the shared injectors.
+    struct DequeGuard<'a>(&'a SharedState);
+    impl Drop for DequeGuard<'_> {
+        fn drop(&mut self) {
+            self.0.unregister_current_worker();
+        }
+    }
+
+    shared.register_current_worker(worker_id);
+    let _guard = DequeGuard(&shared);
     while !shared.is_shutting_down() {
-        let assigned = shared
-            .assignment
-            .get(worker_id)
-            .map(|a| a.load(Ordering::Relaxed))
-            .unwrap_or(0);
-        match shared.pop_task(assigned) {
+        match shared.pop_for_worker(worker_id) {
             Some(task) => execute_task(&shared, task),
             None => std::thread::sleep(IDLE_SLEEP),
         }
@@ -63,7 +74,7 @@ mod tests {
     use super::*;
     use crate::pool::{PoolKind, Task};
     use crate::priority::PrioritySet;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn execute_task_records_metrics_and_counters() {

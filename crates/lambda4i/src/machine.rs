@@ -309,10 +309,8 @@ impl Machine {
 
         // Take the control out to appease the borrow checker; it is always
         // put back (or the thread is marked done) before returning.
-        let control = std::mem::replace(
-            &mut self.threads[idx].control,
-            Control::RetExpr(Expr::Unit),
-        );
+        let control =
+            std::mem::replace(&mut self.threads[idx].control, Control::RetExpr(Expr::Unit));
         let outcome = self.transition(idx, control, step_index);
         match outcome {
             Ok(vertex) => Ok(StepOutcome::Progress(vertex)),
@@ -380,9 +378,7 @@ impl Machine {
                     }
                 };
                 let new_sym = ThreadSym(self.threads.len() as u32);
-                let dag_thread = self
-                    .builder
-                    .thread(format!("thread-{}", new_sym.0), prio);
+                let dag_thread = self.builder.thread(format!("thread-{}", new_sym.0), prio);
                 // The child inherits the parent's signature (known threads).
                 let mut known = self.threads[idx].known.clone();
                 known.insert(new_sym);
@@ -415,14 +411,17 @@ impl Machine {
                 self.threads[idx].control = Control::EvalExpr((**e).clone());
                 Ok(u)
             }
-            Cmd::Dcl { ty, var, init, body } => {
+            Cmd::Dcl {
+                ty,
+                var,
+                init,
+                body,
+            } => {
                 // D-Dcl1.
                 let u = self.fresh_vertex(idx, "dcl");
-                self.threads[idx].stack.push(Frame::DclIn(
-                    ty.clone(),
-                    var.clone(),
-                    body.clone(),
-                ));
+                self.threads[idx]
+                    .stack
+                    .push(Frame::DclIn(ty.clone(), var.clone(), body.clone()));
                 self.threads[idx].control = Control::EvalExpr((**init).clone());
                 Ok(u)
             }
@@ -455,10 +454,9 @@ impl Machine {
                 new,
             } => {
                 let u = self.fresh_vertex(idx, "cas");
-                self.threads[idx].stack.push(Frame::CasTarget(
-                    (**expected).clone(),
-                    (**new).clone(),
-                ));
+                self.threads[idx]
+                    .stack
+                    .push(Frame::CasTarget((**expected).clone(), (**new).clone()));
                 self.threads[idx].control = Control::EvalExpr((**target).clone());
                 Ok(u)
             }
@@ -649,8 +647,7 @@ impl Machine {
             Frame::PairR(a) => {
                 let u = self.fresh_vertex(idx, "pair");
                 self.threads[idx].stack.pop();
-                self.threads[idx].control =
-                    Control::RetExpr(Expr::Pair(Box::new(a), Box::new(v)));
+                self.threads[idx].control = Control::RetExpr(Expr::Pair(Box::new(a), Box::new(v)));
                 Ok(u)
             }
             Frame::InlHole => {
@@ -714,13 +711,10 @@ impl Machine {
                         let (value, target_known, target_dag) = {
                             let target = &self.threads[target_idx];
                             match &target.done {
-                                Some(val) => {
-                                    (val.clone(), target.known.clone(), target.dag_thread)
-                                }
+                                Some(val) => (val.clone(), target.known.clone(), target.dag_thread),
                                 None => {
                                     // Not actually runnable; restore state.
-                                    self.threads[idx].control =
-                                        Control::RetExpr(Expr::Tid(b));
+                                    self.threads[idx].control = Control::RetExpr(Expr::Tid(b));
                                     return self.stuck(
                                         idx,
                                         "touch of unfinished thread reached transition",

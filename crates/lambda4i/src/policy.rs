@@ -22,9 +22,10 @@ use serde::{Deserialize, Serialize};
 
 /// How the run driver picks which runnable threads step at each parallel
 /// step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SelectionPolicy {
     /// Priority-greedy (prompt) selection.
+    #[default]
     Prompt,
     /// Priority-oblivious FIFO selection (by thread creation order).
     Oblivious,
@@ -33,12 +34,6 @@ pub enum SelectionPolicy {
         /// PRNG seed for reproducibility.
         seed: u64,
     },
-}
-
-impl Default for SelectionPolicy {
-    fn default() -> Self {
-        SelectionPolicy::Prompt
-    }
 }
 
 /// Stateful selector produced from a [`SelectionPolicy`].

@@ -37,11 +37,7 @@ pub fn expr_to_string(e: &Expr) -> String {
         Expr::CmdVal(p, m) => format!("cmd[{p}]{{{}}}", cmd_to_string(m)),
         Expr::PLam(v, c, b) => format!("/\\{v} ~ {c}. {}", expr_to_string(b)),
         Expr::PApp(b, p) => format!("{}[{p}]", expr_to_string(b)),
-        Expr::Let(x, a, b) => format!(
-            "let {x} = {} in {}",
-            expr_to_string(a),
-            expr_to_string(b)
-        ),
+        Expr::Let(x, a, b) => format!("let {x} = {} in {}", expr_to_string(a), expr_to_string(b)),
         Expr::Ifz(c, z, x, s) => format!(
             "ifz {} {{{}; {x}.{}}}",
             expr_to_string(c),
@@ -57,11 +53,7 @@ pub fn expr_to_string(e: &Expr) -> String {
             expr_to_string(a),
             expr_to_string(b)
         ),
-        Expr::Fix(x, ty, b) => format!(
-            "fix {x}:{} is {}",
-            type_to_string(ty),
-            expr_to_string(b)
-        ),
+        Expr::Fix(x, ty, b) => format!("fix {x}:{} is {}", type_to_string(ty), expr_to_string(b)),
         Expr::Prim(op, a, b) => {
             let sym = match op {
                 PrimOp::Add => "+",
@@ -88,7 +80,12 @@ pub fn cmd_to_string(m: &Cmd) -> String {
             cmd_to_string(body)
         ),
         Cmd::Ftouch(e) => format!("ftouch {}", expr_to_string(e)),
-        Cmd::Dcl { ty, var, init, body } => format!(
+        Cmd::Dcl {
+            ty,
+            var,
+            init,
+            body,
+        } => format!(
             "dcl[{}] {var} := {} in {}",
             type_to_string(ty),
             expr_to_string(init),
@@ -96,11 +93,9 @@ pub fn cmd_to_string(m: &Cmd) -> String {
         ),
         Cmd::Get(e) => format!("!{}", expr_to_string(e)),
         Cmd::Set(a, b) => format!("{} := {}", expr_to_string(a), expr_to_string(b)),
-        Cmd::Bind { var, expr, rest } => format!(
-            "{var} <- {}; {}",
-            expr_to_string(expr),
-            cmd_to_string(rest)
-        ),
+        Cmd::Bind { var, expr, rest } => {
+            format!("{var} <- {}; {}", expr_to_string(expr), cmd_to_string(rest))
+        }
         Cmd::Ret(e) => format!("ret {}", expr_to_string(e)),
         Cmd::Cas {
             target,
@@ -118,7 +113,12 @@ pub fn cmd_to_string(m: &Cmd) -> String {
 /// Renders a whole program, including its priority domain.
 pub fn program_to_string(p: &crate::syntax::Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "program {} : {}", p.name, type_to_string(&p.return_type));
+    let _ = writeln!(
+        out,
+        "program {} : {}",
+        p.name,
+        type_to_string(&p.return_type)
+    );
     let _ = writeln!(
         out,
         "priorities: {}",

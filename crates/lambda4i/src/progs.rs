@@ -145,10 +145,7 @@ pub fn figure1_program() -> Program {
                     Expr::Case(
                         Box::new(var("v")),
                         "h".into(),
-                        Box::new(cmd(
-                            p,
-                            bind("_x", cmd(p, ftouch(var("h"))), ret(unit())),
-                        )),
+                        Box::new(cmd(p, bind("_x", cmd(p, ftouch(var("h"))), ret(unit())))),
                         "_u".into(),
                         Box::new(cmd(p, ret(unit()))),
                     ),
@@ -245,8 +242,7 @@ pub fn priority_inversion_program() -> Program {
 /// priority ⪯ the touched thread, the program is accepted by the type
 /// system even though the handle flows through mutable state.
 pub fn email_coordination_program() -> Program {
-    let dom =
-        PriorityDomain::total_order(["compress", "print", "event"]).expect("distinct names");
+    let dom = PriorityDomain::total_order(["compress", "print", "event"]).expect("distinct names");
     let compress = dom.priority("compress").expect("declared");
     let print = dom.priority("print").expect("declared");
     let event = dom.priority("event").expect("declared");
@@ -328,20 +324,12 @@ fn case_study(name: &str, level_names: &[&str], units: usize) -> Program {
     // priority, touches them, reads the shared statistics cell, and returns a
     // sum.
     let component_body = |p: Priority| -> Cmd {
-        let helper = bind(
-            "w",
-            cmd(p, ret(app(work_fn(), nat(4)))),
-            ret(var("w")),
-        );
+        let helper = bind("w", cmd(p, ret(app(work_fn(), nat(4)))), ret(var("w")));
         let mut sum: Expr = nat(0);
         for u in 0..units {
             sum = add(sum, var(&format!("hv{u}")));
         }
-        let mut body: Cmd = bind(
-            "_pub",
-            cmd(p, set(var("stats"), sum.clone())),
-            ret(sum),
-        );
+        let mut body: Cmd = bind("_pub", cmd(p, set(var("stats"), sum.clone())), ret(sum));
         for u in (0..units).rev() {
             body = bind(
                 &format!("hv{u}"),

@@ -217,15 +217,17 @@ pub fn run_program(program: &Program, config: &RunConfig) -> Result<RunResult, M
     let bounds = check_bounds_batch(&graph, &schedule);
     let threads = timings
         .into_iter()
-        .map(|(sym, dag_thread, priority, created, finished)| ThreadReport {
-            sym,
-            dag_thread,
-            priority,
-            created_at_step: created,
-            finished_at_step: finished,
-            response_steps: finished.saturating_sub(created) + 1,
-            bound: bounds[dag_thread.index()].clone(),
-        })
+        .map(
+            |(sym, dag_thread, priority, created, finished)| ThreadReport {
+                sym,
+                dag_thread,
+                priority,
+                created_at_step: created,
+                finished_at_step: finished,
+                response_steps: finished.saturating_sub(created) + 1,
+                bound: bounds[dag_thread.index()].clone(),
+            },
+        )
         .collect();
 
     Ok(RunResult {
@@ -255,7 +257,10 @@ mod tests {
         assert_eq!(result.value, Expr::Nat(8));
         assert!(result.graph_report.well_formed);
         assert!(result.graph_report.strongly_well_formed);
-        assert!(result.admissible, "machine runs are admissible by construction");
+        assert!(
+            result.admissible,
+            "machine runs are admissible by construction"
+        );
         assert!(result.graph_report.threads > 1, "fib(6) spawns futures");
     }
 

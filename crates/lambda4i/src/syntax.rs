@@ -121,7 +121,11 @@ impl Type {
                             filtered.bind(var.clone(), term.clone());
                         }
                     }
-                    Type::Forall(v.clone(), c.subst(&filtered), Box::new(t.subst_prio_all(&filtered)))
+                    Type::Forall(
+                        v.clone(),
+                        c.subst(&filtered),
+                        Box::new(t.subst_prio_all(&filtered)),
+                    )
                 } else {
                     Type::Forall(v.clone(), c.subst(s), Box::new(t.subst_prio_all(s)))
                 }
@@ -311,9 +315,7 @@ impl Expr {
             Expr::Inl(a) => Expr::Inl(Box::new(a.subst(x, v))),
             Expr::Inr(a) => Expr::Inr(Box::new(a.subst(x, v))),
             Expr::CmdVal(p, m) => Expr::CmdVal(p.clone(), Arc::new(m.subst(x, v))),
-            Expr::PLam(pv, c, e) => {
-                Expr::PLam(pv.clone(), c.clone(), Box::new(e.subst(x, v)))
-            }
+            Expr::PLam(pv, c, e) => Expr::PLam(pv.clone(), c.clone(), Box::new(e.subst(x, v))),
             Expr::PApp(e, p) => Expr::PApp(Box::new(e.subst(x, v)), p.clone()),
             Expr::Let(y, e1, e2) => {
                 let e1 = Box::new(e1.subst(x, v));
@@ -386,11 +388,7 @@ impl Expr {
                 if pv == var {
                     self.clone()
                 } else {
-                    Expr::PLam(
-                        pv.clone(),
-                        c.subst(&s),
-                        Box::new(e.subst_prio(var, term)),
-                    )
+                    Expr::PLam(pv.clone(), c.subst(&s), Box::new(e.subst_prio(var, term)))
                 }
             }
             Expr::PApp(e, p) => Expr::PApp(Box::new(e.subst_prio(var, term)), p.subst(&s)),
@@ -447,7 +445,12 @@ impl Cmd {
                 body: Arc::new(body.subst(x, v)),
             },
             Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(e.subst(x, v))),
-            Cmd::Dcl { ty, var, init, body } => {
+            Cmd::Dcl {
+                ty,
+                var,
+                init,
+                body,
+            } => {
                 let init = Box::new(init.subst(x, v));
                 let body = if var == x {
                     body.clone()
@@ -503,7 +506,12 @@ impl Cmd {
                 body: Arc::new(body.subst_prio(var, term)),
             },
             Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(e.subst_prio(var, term))),
-            Cmd::Dcl { ty, var: y, init, body } => Cmd::Dcl {
+            Cmd::Dcl {
+                ty,
+                var: y,
+                init,
+                body,
+            } => Cmd::Dcl {
                 ty: ty.subst_prio(var, term),
                 var: y.clone(),
                 init: Box::new(init.subst_prio(var, term)),
@@ -569,7 +577,12 @@ pub mod dsl {
 
     /// Zero/successor conditional.
     pub fn ifz(cond: Expr, zero: Expr, x: &str, succ: Expr) -> Expr {
-        Expr::Ifz(Box::new(cond), Box::new(zero), x.to_string(), Box::new(succ))
+        Expr::Ifz(
+            Box::new(cond),
+            Box::new(zero),
+            x.to_string(),
+            Box::new(succ),
+        )
     }
 
     /// Pair constructor.
@@ -697,10 +710,7 @@ mod tests {
     fn subst_replaces_free_occurrences_only() {
         let e = let_("y", var("x"), add(var("x"), var("y")));
         let r = e.subst("x", &nat(7));
-        assert_eq!(
-            r,
-            let_("y", nat(7), add(nat(7), var("y")))
-        );
+        assert_eq!(r, let_("y", nat(7), add(nat(7), var("y"))));
     }
 
     #[test]
@@ -711,10 +721,7 @@ mod tests {
         // The bound expression is in scope of the outer x; the body is not.
         assert_eq!(e.subst("x", &nat(2)), let_("x", nat(2), var("x")));
         let e = ifz(var("n"), nat(0), "n", var("n"));
-        assert_eq!(
-            e.subst("n", &nat(5)),
-            ifz(nat(5), nat(0), "n", var("n"))
-        );
+        assert_eq!(e.subst("n", &nat(5)), ifz(nat(5), nat(0), "n", var("n")));
     }
 
     #[test]

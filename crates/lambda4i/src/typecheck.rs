@@ -13,6 +13,10 @@
 //! be run with that check disabled ([`Typechecker::without_priority_checks`])
 //! to measure the cost of the priority layer for the Table 1 reproduction.
 
+// `TypeError` carries the full offending expression/command for error
+// messages; boxing it would complicate every checker rule for a cold path.
+#![allow(clippy::result_large_err)]
+
 use crate::syntax::{Cmd, Expr, LocId, Program, ThreadSym, Type, Var};
 use rp_priority::{Constraint, ConstraintCtx, PrioTerm, PriorityDomain};
 use std::collections::HashMap;
@@ -269,10 +273,8 @@ impl Typechecker {
                 let t = self.check_expr(ctx, sig, v)?;
                 match t {
                     Type::Forall(pi, c, body) => {
-                        let instantiated_c = c.subst(&rp_priority::PrioSubst::single(
-                            pi.clone(),
-                            rho.clone(),
-                        ));
+                        let instantiated_c =
+                            c.subst(&rp_priority::PrioSubst::single(pi.clone(), rho.clone()));
                         self.entails(ctx, &instantiated_c)?;
                         Ok(body.subst_prio(&pi, rho))
                     }
@@ -401,7 +403,12 @@ impl Typechecker {
                     }),
                 }
             }
-            Cmd::Dcl { ty, var, init, body } => {
+            Cmd::Dcl {
+                ty,
+                var,
+                init,
+                body,
+            } => {
                 let ti = self.check_expr(ctx, sig, init)?;
                 self.expect(&ti, ty, "reference initialiser")?;
                 // The body is checked with the binder standing for the fresh
@@ -537,12 +544,7 @@ pub fn typecheck_program_with(
     };
     let ctx = TypeCtx::new();
     let sig = Signature::new();
-    let t = tc.check_cmd(
-        &ctx,
-        &sig,
-        &prog.main,
-        &PrioTerm::Const(prog.main_priority),
-    )?;
+    let t = tc.check_cmd(&ctx, &sig, &prog.main, &PrioTerm::Const(prog.main_priority))?;
     let mut probe = tc.clone();
     probe.expect(&t, &prog.return_type, "program return type")?;
     Ok(probe.stats())
@@ -661,7 +663,10 @@ mod tests {
         // At lo: create a hi thread and touch it.
         let m = bind(
             "t",
-            cmd(d.priority("lo").unwrap(), fcreate(hi, Type::Nat, ret(nat(7)))),
+            cmd(
+                d.priority("lo").unwrap(),
+                fcreate(hi, Type::Nat, ret(nat(7))),
+            ),
             bind(
                 "v",
                 cmd(d.priority("lo").unwrap(), ftouch(var("t"))),
@@ -771,7 +776,11 @@ mod tests {
                 fix(
                     "f",
                     t.clone(),
-                    lam("n", Type::Nat, ifz(var("n"), nat(0), "m", app(var("f"), var("m")))),
+                    lam(
+                        "n",
+                        Type::Nat,
+                        ifz(var("n"), nat(0), "m", app(var("f"), var("m"))),
+                    ),
                 ),
                 nat(3),
             )),
@@ -779,11 +788,7 @@ mod tests {
             Type::Nat,
         );
         typecheck_program(&good).unwrap();
-        let bad = program(
-            ret(fix("f", Type::Nat, unit())),
-            "hi",
-            Type::Nat,
-        );
+        let bad = program(ret(fix("f", Type::Nat, unit())), "hi", Type::Nat);
         assert!(typecheck_program(&bad).is_err());
     }
 

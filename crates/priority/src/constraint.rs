@@ -217,6 +217,9 @@ impl ConstraintCtx {
     ///
     /// Returns [`EntailmentError::NotEntailed`] describing the first atomic
     /// conjunct that could not be derived.
+    // Index loops keep the transitive closure readable (see
+    // `PriorityDomainBuilder::build`).
+    #[allow(clippy::needless_range_loop)]
     pub fn check(&self, domain: &PriorityDomain, goal: &Constraint) -> Result<(), EntailmentError> {
         // Universe of terms: everything mentioned in hypotheses or the goal,
         // plus every concrete priority of the domain (so `assume` and
@@ -345,7 +348,10 @@ mod tests {
         let d = dom();
         let mut ctx = ConstraintCtx::new();
         ctx.declare(PrioVar::new("pi"));
-        ctx.assume(Constraint::leq(PrioTerm::var("pi"), d.priority("mid").unwrap()));
+        ctx.assume(Constraint::leq(
+            PrioTerm::var("pi"),
+            d.priority("mid").unwrap(),
+        ));
         // pi ⪯ mid and mid ⪯ hi (ambient) gives pi ⪯ hi.
         assert!(ctx.entails(
             &d,

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn exponential_model_respects_cap_and_mean() {
-        let model = LatencyModel::Exponential { mean: 100, cap: 1000 };
+        let model = LatencyModel::Exponential {
+            mean: 100,
+            cap: 1000,
+        };
         let mut s = LatencySampler::new(model, 3);
         let n = 2000;
         let mut sum = 0u64;

@@ -65,7 +65,7 @@ impl PoissonProcess {
     /// Draws the next absolute arrival time (monotonically increasing).
     pub fn next_arrival(&mut self) -> VirtualTime {
         let gap = self.next_gap();
-        self.last_arrival = self.last_arrival + VirtualTime::from_micros(gap.as_micros() as u64);
+        self.last_arrival += VirtualTime::from_micros(gap.as_micros() as u64);
         self.last_arrival
     }
 
@@ -119,7 +119,11 @@ mod tests {
         assert!(!arrivals.is_empty());
         assert!(arrivals.iter().all(|&t| t <= VirtualTime::from_millis(10)));
         // Roughly 10000µs / 100µs = 100 arrivals; allow generous slack.
-        assert!(arrivals.len() > 40 && arrivals.len() < 220, "{}", arrivals.len());
+        assert!(
+            arrivals.len() > 40 && arrivals.len() < 220,
+            "{}",
+            arrivals.len()
+        );
     }
 
     #[test]

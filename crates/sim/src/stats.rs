@@ -23,7 +23,8 @@ impl LatencyStats {
 
     /// Records a sample expressed as a [`Duration`].
     pub fn record(&mut self, d: Duration) {
-        self.samples_ns.push(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.samples_ns
+            .push(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Records a sample expressed in nanoseconds.

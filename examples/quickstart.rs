@@ -47,7 +47,10 @@ fn main() {
         Ok(_) => unreachable!("the runtime rejects priority inversions"),
     }
     // From background-priority code the same touch is fine.
-    println!("background may touch it: {}", rt.try_ftouch(background, &low).unwrap());
+    println!(
+        "background may touch it: {}",
+        rt.try_ftouch(background, &low).unwrap()
+    );
 
     let metrics = rt.metrics();
     println!(

@@ -57,7 +57,10 @@ fn main() {
                 "to the handle read (DAG (a)/(c))"
             }
         );
-        assert!(result.admissible, "machine executions are admissible by construction");
+        assert!(
+            result.admissible,
+            "machine executions are admissible by construction"
+        );
         assert!(result.graph_report.strongly_well_formed);
     }
 }

@@ -31,7 +31,10 @@ fn lambda4i_programs_produce_graphs_the_cost_model_accepts() {
         progs::email_coordination_program(),
     ] {
         typecheck_program(&prog).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
-        for policy in [SelectionPolicy::Prompt, SelectionPolicy::Random { seed: 13 }] {
+        for policy in [
+            SelectionPolicy::Prompt,
+            SelectionPolicy::Random { seed: 13 },
+        ] {
             let result = run_program(
                 &prog,
                 &RunConfig {
@@ -83,7 +86,9 @@ fn machine_schedule_agrees_with_offline_prompt_scheduler_shape() {
     let off_prompt = prompt_schedule(dag, 1);
     let off_oblivious = oblivious_schedule(dag, 1);
     let r_prompt = off_prompt.response_time(dag, interactive_thread).unwrap();
-    let r_oblivious = off_oblivious.response_time(dag, interactive_thread).unwrap();
+    let r_oblivious = off_oblivious
+        .response_time(dag, interactive_thread)
+        .unwrap();
     assert!(r_prompt <= r_oblivious);
 }
 
@@ -143,7 +148,11 @@ fn all_three_case_studies_run_on_both_schedulers() {
     ];
     for report in &reports {
         assert!(report.icilk.client_response.count() > 0, "{}", report.app);
-        assert!(report.baseline.client_response.count() > 0, "{}", report.app);
+        assert!(
+            report.baseline.client_response.count() > 0,
+            "{}",
+            report.app
+        );
         assert!(
             report.responsiveness_ratio().is_some(),
             "{} produced no ratio",

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! real `serde` cannot be fetched.  Nothing in the workspace actually
+//! serializes through serde (there is no `serde_json` dependency); the
+//! derives only need to *compile*.  This stub therefore provides the two
+//! marker traits with blanket implementations and re-exports no-op derive
+//! macros under the usual names, so `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bounds behave exactly as with the real crate at the type
+//! level.
+//!
+//! If the workspace ever gains real serialization needs, replace this stub
+//! with the genuine `serde` by deleting `vendor/serde*` and pointing the
+//! workspace manifests at crates.io.
+
+/// Marker trait mirroring `serde::Serialize`.  Blanket-implemented: every
+/// type is trivially "serializable" because no serializer exists here.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.  Blanket-implemented
+/// for the same reason as [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A skeleton of `serde::de` so paths like `serde::de::DeserializeOwned`
+/// resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// A skeleton of `serde::ser` so paths like `serde::ser::Serialize` resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented for
+//! all types, so the derives have nothing to generate.  They still must
+//! exist (and register the `#[serde(...)]` helper attribute) for
+//! `#[derive(Serialize, Deserialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
