@@ -12,7 +12,10 @@
 //! proceeding, so a print never observes a half-compressed message and vice
 //! versa — coordination through thread handles stored in mutable state.
 
-use crate::harness::{run_report, ExperimentConfig, ExperimentReport};
+use crate::harness::{
+    drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode, OpenLoopConfig,
+    OpenLoopOutcome,
+};
 use parking_lot::Mutex;
 use rp_icilk::runtime::{Runtime, SchedulerKind};
 use rp_icilk::IFuture;
@@ -296,22 +299,10 @@ impl EmailState {
     }
 }
 
-/// Drives the email workload on one runtime and returns client-observed
-/// response times for the event-loop requests.
-pub fn drive_clients(
-    rt: &Arc<Runtime>,
-    state: &Arc<EmailState>,
-    config: &ExperimentConfig,
-) -> LatencyStats {
-    let event = rt.priority_by_name("event").expect("level exists");
-    let send = rt.priority_by_name("send").expect("level exists");
-    let sort = rt.priority_by_name("sort").expect("level exists");
+/// Spawns the background checker that fires off compression of every
+/// mailbox (shared by both load modes).
+fn spawn_checker(rt: &Arc<Runtime>, state: &Arc<EmailState>) {
     let check = rt.priority_by_name("check").expect("level exists");
-    let mut stats = LatencyStats::new();
-    let users = state.mailboxes.len();
-    let total = config.connections * config.requests_per_connection;
-
-    // The background checker periodically fires off compressions.
     let rt_check = Arc::clone(rt);
     let state_check = Arc::clone(state);
     rt.fcreate(check, move || {
@@ -321,63 +312,140 @@ pub fn drive_clients(
             }
         }
     });
+}
 
-    for i in 0..total {
-        let user = i % users;
-        let started = Instant::now();
-        let rt2 = Arc::clone(rt);
-        let state2 = Arc::clone(state);
-        // Each client request is handled by the event loop, which dispatches
-        // to send / sort / print components and waits for the reply the user
-        // needs (send confirmation or the printed text).
-        let request: IFuture<u64> = rt.fcreate(event, move || {
-            let mailbox = &state2.mailboxes[user];
-            match i % 3 {
-                0 => {
-                    // Send: simulated SMTP I/O plus a light body checksum at
-                    // `send` priority.
-                    let io = rt2.submit_io(event, move || 1u64);
-                    let body_sum = {
-                        let msg = mailbox.message(i % mailbox.len());
-                        let body = msg.body.lock();
-                        body.bytes().map(u64::from).sum::<u64>()
-                    };
-                    let _ = rt2.fcreate(send, move || body_sum);
-                    rt2.ftouch(&io) + body_sum % 97
-                }
-                1 => {
-                    // Sort the mailbox by length at `sort` priority and wait
-                    // for the result (sort outranks event? no — event
-                    // outranks sort, so the event loop only *spawns* it and
-                    // replies immediately with the count, as the paper's
-                    // event loop does for slow operations).
-                    let lengths: Vec<usize> = (0..mailbox.len())
-                        .map(|j| mailbox.message(j).body.lock().len())
-                        .collect();
-                    let _ = rt2.fcreate(sort, move || {
-                        let mut l = lengths;
-                        l.sort_unstable();
-                        l.last().copied().unwrap_or(0) as u64
-                    });
-                    mailbox.len() as u64
-                }
-                _ => {
-                    // Print: the event loop only *fires off* the print (it
-                    // runs at a lower priority, so touching it here would be
-                    // the very inversion the type system forbids) and
-                    // acknowledges the request; the print itself coordinates
-                    // with any in-flight compression through the slot.
+/// The request-path priority levels, resolved once per run so the
+/// per-request issue path does no name lookups.
+#[derive(Debug, Clone, Copy)]
+struct RequestLevels {
+    event: rp_priority::Priority,
+    send: rp_priority::Priority,
+    sort: rp_priority::Priority,
+}
+
+impl RequestLevels {
+    fn resolve(rt: &Runtime) -> Self {
+        RequestLevels {
+            event: rt.priority_by_name("event").expect("level exists"),
+            send: rt.priority_by_name("send").expect("level exists"),
+            sort: rt.priority_by_name("sort").expect("level exists"),
+        }
+    }
+}
+
+/// Issues the `i`-th client request: the event loop dispatches to
+/// send / sort / print components and replies with what the user needs
+/// (send confirmation, mailbox size, or the print acknowledgement).
+/// Shared by the closed- and open-loop drivers so the request mix is
+/// identical across modes; `levels` is resolved once per run so this
+/// per-request path does no name lookups.
+fn issue_request_at(
+    rt: &Arc<Runtime>,
+    state: &Arc<EmailState>,
+    i: usize,
+    levels: RequestLevels,
+) -> IFuture<u64> {
+    let RequestLevels { event, send, sort } = levels;
+    let users = state.mailboxes.len();
+    let user = i % users;
+    let rt2 = Arc::clone(rt);
+    let state2 = Arc::clone(state);
+    rt.fcreate(event, move || {
+        let mailbox = &state2.mailboxes[user];
+        match i % 3 {
+            0 => {
+                // Send: simulated SMTP I/O plus a light body checksum at
+                // `send` priority.
+                let io = rt2.submit_io(event, move || 1u64);
+                let body_sum = {
                     let msg = mailbox.message(i % mailbox.len());
-                    let _printed = print_message(&rt2, msg);
-                    mailbox.message(i % mailbox.len()).body.lock().len() as u64
-                }
+                    let body = msg.body.lock();
+                    body.bytes().map(u64::from).sum::<u64>()
+                };
+                let _ = rt2.fcreate(send, move || body_sum);
+                rt2.ftouch(&io) + body_sum % 97
             }
-        });
+            1 => {
+                // Sort the mailbox by length at `sort` priority and wait
+                // for the result (sort outranks event? no — event
+                // outranks sort, so the event loop only *spawns* it and
+                // replies immediately with the count, as the paper's
+                // event loop does for slow operations).
+                let lengths: Vec<usize> = (0..mailbox.len())
+                    .map(|j| mailbox.message(j).body.lock().len())
+                    .collect();
+                let _ = rt2.fcreate(sort, move || {
+                    let mut l = lengths;
+                    l.sort_unstable();
+                    l.last().copied().unwrap_or(0) as u64
+                });
+                mailbox.len() as u64
+            }
+            _ => {
+                // Print: the event loop only *fires off* the print (it
+                // runs at a lower priority, so touching it here would be
+                // the very inversion the type system forbids) and
+                // acknowledges the request; the print itself coordinates
+                // with any in-flight compression through the slot.
+                let msg = mailbox.message(i % mailbox.len());
+                let _printed = print_message(&rt2, msg);
+                mailbox.message(i % mailbox.len()).body.lock().len() as u64
+            }
+        }
+    })
+}
+
+/// Drives the email workload on one runtime and returns client-observed
+/// response times for the event-loop requests.
+pub fn drive_clients(
+    rt: &Arc<Runtime>,
+    state: &Arc<EmailState>,
+    config: &ExperimentConfig,
+) -> LatencyStats {
+    let mut stats = LatencyStats::new();
+    let total = config.connections * config.requests_per_connection;
+    let levels = RequestLevels::resolve(rt);
+    spawn_checker(rt, state);
+    for i in 0..total {
+        let started = Instant::now();
+        let request = issue_request_at(rt, state, i, levels);
         let _ = rt.ftouch_blocking(&request);
         stats.record(started.elapsed());
     }
     rt.drain(Duration::from_secs(10));
     stats
+}
+
+/// Open-loop variant of [`drive_clients`]: the same request mix, injected
+/// at seeded Poisson arrival times instead of being paced by replies.
+pub fn drive_clients_open(
+    rt: &Arc<Runtime>,
+    state: &Arc<EmailState>,
+    config: &ExperimentConfig,
+    open: &OpenLoopConfig,
+) -> OpenLoopOutcome {
+    let levels = RequestLevels::resolve(rt);
+    spawn_checker(rt, state);
+    drive_open_loop(open, config.seed, |i| {
+        issue_request_at(rt, state, i, levels)
+    })
+}
+
+/// Runs the email workload in the mode `config.mode` selects.
+pub fn drive(
+    rt: &Arc<Runtime>,
+    state: &Arc<EmailState>,
+    config: &ExperimentConfig,
+) -> LatencyStats {
+    match config.mode {
+        LoadMode::Closed => drive_clients(rt, state, config),
+        LoadMode::Open(open) => {
+            let outcome = drive_clients_open(rt, state, config, &open);
+            outcome.warn_if_lossy("email");
+            rt.drain(Duration::from_secs(10));
+            outcome.latency
+        }
+    }
 }
 
 /// Runs the email case study on both schedulers and reports the comparison.
@@ -387,9 +455,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
         let rt = Arc::new(config.start_runtime(scheduler, &LEVELS));
         let users = config.connections.max(1);
         let state = EmailState::generate(users, 6, config.seed);
-        let client = drive_clients(&rt, &state, config);
+        let client = drive(&rt, &state, config);
         reports.push(run_report(scheduler, &rt, &LEVELS, client));
-        Arc::try_unwrap(rt).expect("sole owner").shutdown();
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
     }
     let baseline = reports.pop().expect("two runs");
     let icilk = reports.pop().expect("two runs");
@@ -458,17 +526,7 @@ mod tests {
         // The spawned tasks hold clones of the runtime handle until their
         // closures finish; drain first, then wait to become the sole owner.
         assert!(rt.drain(Duration::from_secs(5)));
-        let mut rt = rt;
-        let rt = loop {
-            match Arc::try_unwrap(rt) {
-                Ok(owned) => break owned,
-                Err(shared) => {
-                    rt = shared;
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-            }
-        };
-        rt.shutdown();
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(5));
     }
 
     #[test]

@@ -1,13 +1,75 @@
 //! Shared experiment harness: run a case study on I-Cilk and on the
 //! baseline, collect per-level statistics, and compute the ratios the paper
 //! plots.
+//!
+//! Two load-generation modes are supported:
+//!
+//! * **closed loop** — each simulated connection issues its next request only
+//!   after the previous reply arrives (`connections ×
+//!   requests_per_connection` requests total).  Simple, but the offered load
+//!   adapts to the server: a slow server sees *fewer* requests per second,
+//!   which hides latency problems;
+//! * **open loop** — requests are injected at the times of a seeded Poisson
+//!   arrival process regardless of how the server is doing, the paper's
+//!   actual workload model ("simulates user inputs using a Poisson
+//!   process").  [`drive_open_loop`] implements the injection with
+//!   warmup/measurement windows and *coordinated-omission-corrected*
+//!   latencies: each response time is measured from the request's *intended*
+//!   arrival time, not from when the injector actually managed to send it,
+//!   so injector stalls behind a slow server count against the server
+//!   instead of silently dropping the worst samples.
 
 use rp_icilk::master::MasterConfig;
 use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_icilk::IFuture;
+use rp_sim::clock::VirtualTime;
 use rp_sim::latency::LatencyModel;
+use rp_sim::poisson::PoissonProcess;
 use rp_sim::stats::{ratio, LatencyStats, RatioSummary};
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the load generator paces requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LoadMode {
+    /// Closed loop: `connections × requests_per_connection` requests, each
+    /// connection waiting for its reply before issuing the next request.
+    #[default]
+    Closed,
+    /// Open loop: Poisson arrivals at a fixed rate, independent of server
+    /// progress.
+    Open(OpenLoopConfig),
+}
+
+/// Parameters of the open-loop injector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopConfig {
+    /// Mean arrival rate in requests per second.
+    pub arrival_rate_per_sec: f64,
+    /// Warmup window: arrivals in the first `warmup_millis` are issued but
+    /// not measured (caches fill, the master's allotments settle).
+    pub warmup_millis: u64,
+    /// Measurement window length, after the warmup.
+    pub measure_millis: u64,
+}
+
+impl OpenLoopConfig {
+    /// A config with the given arrival rate and the default 100 ms warmup /
+    /// 400 ms measurement windows.
+    pub fn at_rate(arrival_rate_per_sec: f64) -> Self {
+        OpenLoopConfig {
+            arrival_rate_per_sec,
+            warmup_millis: 100,
+            measure_millis: 400,
+        }
+    }
+
+    /// Total injection horizon (warmup + measurement).
+    pub fn horizon(&self) -> Duration {
+        Duration::from_millis(self.warmup_millis + self.measure_millis)
+    }
+}
 
 /// Configuration shared by all three case studies.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,6 +81,8 @@ pub struct ExperimentConfig {
     pub connections: usize,
     /// Requests issued per connection.
     pub requests_per_connection: usize,
+    /// How the load generator paces requests (closed or open loop).
+    pub mode: LoadMode,
     /// Simulated I/O latency model.
     pub io_latency: LatencyModel,
     /// Seed for all randomised pieces of the workload.
@@ -37,6 +101,7 @@ impl Default for ExperimentConfig {
             workers: 4,
             connections: 16,
             requests_per_connection: 8,
+            mode: LoadMode::Closed,
             io_latency: LatencyModel::Uniform { lo: 200, hi: 1_500 },
             seed: 42,
             quantum_micros: 500,
@@ -69,6 +134,168 @@ impl ExperimentConfig {
     /// Starts a runtime for this experiment.
     pub fn start_runtime(&self, scheduler: SchedulerKind, level_names: &[&str]) -> Runtime {
         Runtime::start(self.runtime_config(scheduler, level_names))
+    }
+
+    /// This config with the load mode switched to open loop at the given
+    /// arrival parameters.
+    pub fn open_loop(mut self, open: OpenLoopConfig) -> Self {
+        self.mode = LoadMode::Open(open);
+        self
+    }
+}
+
+/// What one open-loop run produced.
+#[derive(Debug, Clone)]
+pub struct OpenLoopOutcome {
+    /// Coordinated-omission-corrected response times (intended arrival →
+    /// observed completion) of the requests in the measurement window.
+    pub latency: LatencyStats,
+    /// Requests injected over the whole horizon (warmup + measurement).
+    pub issued: usize,
+    /// Requests measured (intended arrival inside the measurement window
+    /// and completed before the tail deadline).
+    pub measured: usize,
+    /// Requests still incomplete when the tail deadline expired (0 on a
+    /// healthy run).
+    pub unfinished: usize,
+}
+
+impl OpenLoopOutcome {
+    /// Warns on stderr when requests never completed: their latencies are
+    /// *absent* from [`Self::latency`], so tail percentiles understate an
+    /// overloaded server.  Callers that reduce the outcome to bare stats
+    /// (the `drive()` dispatchers) must not let that loss pass silently.
+    pub fn warn_if_lossy(&self, app: &str) {
+        if self.unfinished > 0 {
+            eprintln!(
+                "warning: {app} open-loop run: {} of {} requests never completed; \
+                 measured latencies exclude them, so tail percentiles are understated",
+                self.unfinished, self.issued
+            );
+        }
+    }
+}
+
+/// How long after the last injection the driver keeps waiting for
+/// still-running requests before giving up on them.
+const OPEN_LOOP_TAIL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Completion-poll granularity of the injector while it waits for the next
+/// intended arrival time (bounds the measurement error of each sample).
+const OPEN_LOOP_POLL: Duration = Duration::from_micros(200);
+
+/// Runs an open-loop injection: `issue(i)` is called at (or as soon as
+/// possible after) the `i`-th arrival time of a Poisson process seeded with
+/// `seed`, and every returned future's completion is awaited.
+///
+/// The arrival *schedule* is drawn up front, so the number of issued
+/// requests is a deterministic function of `(open, seed)` — the injector
+/// falling behind real time changes measured latencies, never the workload
+/// shape.  Latency is measured from the **intended** arrival time
+/// (coordinated-omission correction): if the injector stalls because the
+/// server is saturated, the stall is charged to the affected requests
+/// instead of being dropped from the distribution.
+pub fn drive_open_loop<T, F>(open: &OpenLoopConfig, seed: u64, mut issue: F) -> OpenLoopOutcome
+where
+    T: Clone + Send + 'static,
+    F: FnMut(usize) -> IFuture<T>,
+{
+    let warmup = Duration::from_millis(open.warmup_millis);
+    let horizon = VirtualTime::from_micros(open.horizon().as_micros() as u64);
+    let offsets =
+        PoissonProcess::with_rate_per_sec(open.arrival_rate_per_sec, seed).arrivals_until(horizon);
+
+    let start = Instant::now();
+    let mut latency = LatencyStats::new();
+    let mut measured = 0usize;
+    // (intended arrival, inside the measurement window, future)
+    let mut in_flight: Vec<(Instant, bool, IFuture<T>)> = Vec::new();
+
+    fn poll_completions<T: Clone + Send + 'static>(
+        in_flight: &mut Vec<(Instant, bool, IFuture<T>)>,
+        latency: &mut LatencyStats,
+        measured: &mut usize,
+    ) {
+        in_flight.retain(|(intended, measure, fut)| {
+            if !fut.is_ready() {
+                return true;
+            }
+            if *measure {
+                latency.record(Instant::now().saturating_duration_since(*intended));
+                *measured += 1;
+            }
+            false
+        });
+    }
+
+    for (i, offset) in offsets.iter().enumerate() {
+        let offset = Duration::from_micros(offset.as_micros());
+        let intended = start + offset;
+        // Harvest at least once per arrival — even when behind schedule —
+        // so a completion is observed within one arrival interval of
+        // happening and a backlogged injector does not inflate the
+        // latencies of already-finished requests.
+        poll_completions(&mut in_flight, &mut latency, &mut measured);
+        // Wait for the intended arrival, harvesting completions meanwhile.
+        // When behind schedule this loop exits immediately and the request
+        // is injected late — with its latency still measured from
+        // `intended`.
+        loop {
+            let now = Instant::now();
+            if now >= intended {
+                break;
+            }
+            std::thread::sleep((intended - now).min(OPEN_LOOP_POLL));
+            poll_completions(&mut in_flight, &mut latency, &mut measured);
+        }
+        let fut = issue(i);
+        in_flight.push((intended, offset >= warmup, fut));
+    }
+
+    let deadline = Instant::now() + OPEN_LOOP_TAIL_TIMEOUT;
+    while !in_flight.is_empty() && Instant::now() < deadline {
+        poll_completions(&mut in_flight, &mut latency, &mut measured);
+        if !in_flight.is_empty() {
+            std::thread::sleep(OPEN_LOOP_POLL);
+        }
+    }
+
+    OpenLoopOutcome {
+        latency,
+        issued: offsets.len(),
+        measured,
+        unfinished: in_flight.len(),
+    }
+}
+
+/// Waits for spawned task closures to release their clones of the runtime
+/// handle, then shuts the runtime down.
+///
+/// A task body that captured an `Arc<Runtime>` drops it only when the
+/// closure itself is dropped, which can trail `Runtime::drain` by a moment —
+/// so a bare `Arc::try_unwrap(rt).expect("sole owner")` right after a drain
+/// is a race.  This retries until sole ownership is reached.
+///
+/// # Panics
+///
+/// Panics if the runtime is still shared after `timeout` (a stuck task).
+pub fn shutdown_runtime(mut rt: Arc<Runtime>, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Arc::try_unwrap(rt) {
+            Ok(owned) => {
+                owned.shutdown();
+                return;
+            }
+            Err(shared) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "runtime handle still shared after {timeout:?} — a task is stuck"
+                );
+                rt = shared;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
     }
 }
 
@@ -191,13 +418,89 @@ pub fn run_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn default_config_is_sane() {
         let c = ExperimentConfig::default();
         assert!(c.workers >= 1);
+        assert_eq!(c.mode, LoadMode::Closed);
         assert_eq!(c.master().growth, 2.0);
         assert_eq!(c.master().quantum, Duration::from_micros(500));
+        let open = c.open_loop(OpenLoopConfig::at_rate(500.0));
+        match open.mode {
+            LoadMode::Open(o) => {
+                assert_eq!(o.arrival_rate_per_sec, 500.0);
+                assert_eq!(o.horizon(), Duration::from_millis(500));
+            }
+            LoadMode::Closed => panic!("open_loop() must switch the mode"),
+        }
+    }
+
+    fn tiny_runtime() -> Arc<Runtime> {
+        Arc::new(Runtime::start(
+            RuntimeConfig::new(2, 2)
+                .with_level_names(["bg", "ui"])
+                .with_io_latency(LatencyModel::Constant { micros: 100 }, 1),
+        ))
+    }
+
+    #[test]
+    fn open_loop_issues_a_deterministic_schedule() {
+        let open = OpenLoopConfig {
+            arrival_rate_per_sec: 1_000.0,
+            warmup_millis: 20,
+            measure_millis: 80,
+        };
+        let run = || {
+            let rt = tiny_runtime();
+            let ui = rt.priority_by_name("ui").unwrap();
+            let outcome = drive_open_loop(&open, 7, |i| rt.fcreate(ui, move || i as u64));
+            rt.drain(Duration::from_secs(5));
+            outcome
+        };
+        let a = run();
+        let b = run();
+        assert!(a.issued > 20, "~100 arrivals expected, got {}", a.issued);
+        assert_eq!(a.issued, b.issued, "arrival schedule is seed-determined");
+        assert_eq!(a.unfinished, 0);
+        assert_eq!(b.unfinished, 0);
+        assert_eq!(a.measured, b.measured);
+        assert_eq!(a.latency.count(), a.measured);
+        assert!(
+            a.measured < a.issued,
+            "warmup arrivals are issued but not measured"
+        );
+    }
+
+    /// Coordinated-omission correction: when the injector falls behind (here
+    /// because issuing itself is artificially slow), the backlog delay must
+    /// show up in the measured latencies — they are measured from the
+    /// *intended* arrival times.  Measuring from the actual send time would
+    /// report near-zero latencies for these instantly-completing requests.
+    #[test]
+    fn open_loop_charges_injector_stalls_to_latency() {
+        let open = OpenLoopConfig {
+            arrival_rate_per_sec: 1_000.0,
+            warmup_millis: 0,
+            measure_millis: 100,
+        };
+        let rt = tiny_runtime();
+        let ui = rt.priority_by_name("ui").unwrap();
+        let outcome = drive_open_loop(&open, 3, |i| {
+            // A stalled injector: each send takes ~2 ms against a 1 ms mean
+            // inter-arrival gap, so intended arrivals pile up behind it.
+            std::thread::sleep(Duration::from_millis(2));
+            rt.fcreate(ui, move || i as u64)
+        });
+        rt.drain(Duration::from_secs(5));
+        assert_eq!(outcome.unfinished, 0);
+        let p95 = outcome.latency.p95().unwrap();
+        assert!(
+            p95 >= 10_000_000.0,
+            "p95 {p95}ns should reflect the ≥10 ms injection backlog, \
+             not the near-zero service time"
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! alignment (`sw`) — the same classes as the paper, with input sizes scaled
 //! down so the experiments run in seconds rather than minutes.
 
-use crate::harness::{run_report, ExperimentConfig, ExperimentReport};
+use crate::harness::{
+    drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode, OpenLoopConfig,
+    OpenLoopOutcome,
+};
 use rp_icilk::runtime::{Runtime, SchedulerKind};
 use rp_sim::poisson::PoissonProcess;
 use rp_sim::stats::LatencyStats;
@@ -216,14 +219,46 @@ pub fn drive_jobs(rt: &Arc<Runtime>, config: &ExperimentConfig) -> LatencyStats 
     stats
 }
 
+/// Open-loop variant of [`drive_jobs`]: jobs cycle through the default mix
+/// and arrive at seeded Poisson times.  Unlike the closed loop (which
+/// reports only the interactive `matmul` class), the returned outcome's
+/// latency covers every job class — per-class tails come from the runtime's
+/// per-level metrics.
+pub fn drive_jobs_open(
+    rt: &Arc<Runtime>,
+    config: &ExperimentConfig,
+    open: &OpenLoopConfig,
+) -> OpenLoopOutcome {
+    let mix = JobClass::default_mix();
+    drive_open_loop(open, config.seed, |i| {
+        let job = mix[i % mix.len()];
+        let priority = rt.priority_by_index(job.level());
+        let seed = config.seed.wrapping_add(i as u64);
+        rt.fcreate(priority, move || job.execute(seed))
+    })
+}
+
+/// Drives the job server in the mode `config.mode` selects.
+pub fn drive(rt: &Arc<Runtime>, config: &ExperimentConfig) -> LatencyStats {
+    match config.mode {
+        LoadMode::Closed => drive_jobs(rt, config),
+        LoadMode::Open(open) => {
+            let outcome = drive_jobs_open(rt, config, &open);
+            outcome.warn_if_lossy("jserver");
+            rt.drain(Duration::from_secs(20));
+            outcome.latency
+        }
+    }
+}
+
 /// Runs the job-server case study on both schedulers.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
     let mut reports = Vec::new();
     for scheduler in [SchedulerKind::ICilk, SchedulerKind::Baseline] {
         let rt = Arc::new(config.start_runtime(scheduler, &LEVELS));
-        let client = drive_jobs(&rt, config);
+        let client = drive(&rt, config);
         reports.push(run_report(scheduler, &rt, &LEVELS, client));
-        Arc::try_unwrap(rt).expect("sole owner").shutdown();
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
     }
     let baseline = reports.pop().expect("two runs");
     let icilk = reports.pop().expect("two runs");

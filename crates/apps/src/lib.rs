@@ -19,7 +19,11 @@
 //! The [`harness`] module runs any of them against both the I-Cilk runtime
 //! and the priority-oblivious baseline under a configurable load, collecting
 //! the response-time and compute-time statistics that Figures 13 and 14
-//! report.
+//! report.  Load is generated either closed-loop (each connection waits for
+//! its reply) or open-loop ([`harness::drive_open_loop`]): Poisson arrivals
+//! at a configured rate with warmup/measurement windows and
+//! coordinated-omission-corrected latencies, the paper's actual workload
+//! model for the rate sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +33,6 @@ pub mod harness;
 pub mod jserver;
 pub mod proxy;
 
-pub use harness::{ExperimentConfig, ExperimentReport, LevelReport};
+pub use harness::{
+    ExperimentConfig, ExperimentReport, LevelReport, LoadMode, OpenLoopConfig, OpenLoopOutcome,
+};

@@ -7,7 +7,10 @@
 //! loop handling requests) — the assignment that "favors response time for
 //! client requests".
 
-use crate::harness::{run_report, ExperimentConfig, ExperimentReport};
+use crate::harness::{
+    drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode, OpenLoopConfig,
+    OpenLoopOutcome,
+};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use rp_icilk::runtime::{Runtime, SchedulerKind};
@@ -113,6 +116,43 @@ pub fn handle_request(
     })
 }
 
+/// Runs the proxy workload in the mode `config.mode` selects and returns
+/// the client-observed response-time samples.
+pub fn drive(
+    rt: &Arc<Runtime>,
+    state: &Arc<ProxyState>,
+    config: &ExperimentConfig,
+) -> LatencyStats {
+    match config.mode {
+        LoadMode::Closed => drive_clients(rt, state, config),
+        LoadMode::Open(open) => {
+            let outcome = drive_clients_open(rt, state, config, &open);
+            outcome.warn_if_lossy("proxy");
+            rt.drain(Duration::from_secs(10));
+            outcome.latency
+        }
+    }
+}
+
+/// Open-loop variant of [`drive_clients`]: requests arrive at the times of
+/// a seeded Poisson process instead of being paced by previous replies.
+/// The distinct-URL pool is sized like the closed loop's so cache behaviour
+/// stays comparable across modes.
+pub fn drive_clients_open(
+    rt: &Arc<Runtime>,
+    state: &Arc<ProxyState>,
+    config: &ExperimentConfig,
+    open: &OpenLoopConfig,
+) -> OpenLoopOutcome {
+    let mut pages = PageGenerator::new(256, 2048, config.seed);
+    let distinct = (config.connections * config.requests_per_connection / 4).max(1);
+    drive_open_loop(open, config.seed, |i| {
+        let url = pages.url(i, distinct);
+        let body = pages.page_for(&url);
+        handle_request(rt, state, url, body)
+    })
+}
+
 /// Runs the proxy workload on one runtime and returns the client-observed
 /// response-time samples.
 pub fn drive_clients(
@@ -155,10 +195,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentReport {
     for scheduler in [SchedulerKind::ICilk, SchedulerKind::Baseline] {
         let rt = Arc::new(config.start_runtime(scheduler, &LEVELS));
         let state = ProxyState::new();
-        let client = drive_clients(&rt, &state, config);
+        let client = drive(&rt, &state, config);
         let report = run_report(scheduler, &rt, &LEVELS, client);
         reports.push(report);
-        Arc::try_unwrap(rt).expect("sole owner").shutdown();
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
     }
     let baseline = reports.pop().expect("two runs");
     let icilk = reports.pop().expect("two runs");
@@ -212,7 +252,7 @@ mod tests {
         let stats = drive_clients(&rt, &state, &config);
         assert_eq!(stats.count(), 12);
         assert!(!state.cache.read().is_empty());
-        Arc::try_unwrap(rt).expect("sole owner").shutdown();
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
     }
 
     #[test]
@@ -223,5 +263,47 @@ mod tests {
         assert!(report.icilk.client_response.count() > 0);
         assert!(report.responsiveness_ratio().is_some());
         assert!(!report.figure13_row().is_empty());
+    }
+
+    #[test]
+    fn open_loop_requests_complete_and_measure() {
+        let config = small_config().open_loop(crate::harness::OpenLoopConfig {
+            arrival_rate_per_sec: 300.0,
+            warmup_millis: 20,
+            measure_millis: 80,
+        });
+        let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &LEVELS));
+        let state = ProxyState::new();
+        let outcome = drive_clients_open(
+            &rt,
+            &state,
+            &config,
+            match &config.mode {
+                crate::harness::LoadMode::Open(o) => o,
+                _ => unreachable!(),
+            },
+        );
+        assert!(outcome.issued > 0);
+        assert_eq!(outcome.unfinished, 0, "all requests completed");
+        assert_eq!(outcome.latency.count(), outcome.measured);
+        assert!(!state.cache.read().is_empty(), "misses populated the cache");
+        assert!(rt.drain(Duration::from_secs(5)));
+        crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn open_loop_experiment_produces_per_level_stats() {
+        let config = small_config().open_loop(crate::harness::OpenLoopConfig {
+            arrival_rate_per_sec: 300.0,
+            warmup_millis: 10,
+            measure_millis: 60,
+        });
+        let report = run_experiment(&config);
+        assert!(report.icilk.client_response.count() > 0);
+        assert!(report.baseline.client_response.count() > 0);
+        // The event level saw every request on both schedulers.
+        let event = LEVELS.iter().position(|&n| n == "event").unwrap();
+        assert!(report.icilk.levels[event].response.count() > 0);
+        assert!(report.baseline.levels[event].response.count() > 0);
     }
 }

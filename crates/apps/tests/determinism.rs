@@ -1,0 +1,121 @@
+//! Harness determinism: the same `ExperimentConfig` + seed must yield
+//! identical request counts and completed-task totals across two runs, in
+//! both closed- and open-loop modes.
+//!
+//! The proxy is deliberately not covered: its per-request task count depends
+//! on cache hits, which depend on completion *timing* (a miss spawns an
+//! extra insertion task), so only its request count — not its task total —
+//! is timing-independent.  The job server and email client spawn a fixed,
+//! seed-determined task shape per request.
+
+use rp_apps::harness::{shutdown_runtime, ExperimentConfig, LoadMode, OpenLoopConfig};
+use rp_apps::{email, jserver};
+use rp_icilk::runtime::SchedulerKind;
+use rp_sim::latency::LatencyModel;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workers: 2,
+        connections: 2,
+        requests_per_connection: 4,
+        io_latency: LatencyModel::Constant { micros: 150 },
+        seed: 1234,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs the job server once and returns (client samples, completed tasks).
+fn run_jserver(config: &ExperimentConfig) -> (usize, u64) {
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &jserver::LEVELS));
+    let client = jserver::drive(&rt, config);
+    assert!(rt.drain(Duration::from_secs(10)));
+    let completed = rt.metrics().total_completed();
+    let count = client.count();
+    shutdown_runtime(rt, Duration::from_secs(10));
+    (count, completed)
+}
+
+/// Runs the email client once and returns (client samples, completed tasks).
+fn run_email(config: &ExperimentConfig) -> (usize, u64) {
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &email::LEVELS));
+    let state = email::EmailState::generate(config.connections.max(1), 6, config.seed);
+    let client = email::drive(&rt, &state, config);
+    assert!(rt.drain(Duration::from_secs(10)));
+    let completed = rt.metrics().total_completed();
+    let count = client.count();
+    drop(state);
+    shutdown_runtime(rt, Duration::from_secs(10));
+    (count, completed)
+}
+
+#[test]
+fn jserver_closed_loop_is_deterministic() {
+    let config = base_config();
+    let a = run_jserver(&config);
+    let b = run_jserver(&config);
+    assert_eq!(a, b, "closed-loop request/task totals must not vary");
+    // connections × requests_per_connection jobs, one task each.
+    assert_eq!(a.1, 8);
+}
+
+#[test]
+fn jserver_open_loop_is_deterministic() {
+    let config = base_config().open_loop(OpenLoopConfig {
+        arrival_rate_per_sec: 400.0,
+        warmup_millis: 30,
+        measure_millis: 120,
+    });
+    let a = run_jserver(&config);
+    let b = run_jserver(&config);
+    assert_eq!(
+        a, b,
+        "open-loop arrivals are drawn up front from the seed, so counts must match"
+    );
+    assert!(a.0 > 0, "the measurement window saw requests");
+    assert!(
+        a.1 >= a.0 as u64,
+        "every measured request is a completed task"
+    );
+}
+
+#[test]
+fn email_closed_loop_is_deterministic() {
+    let config = base_config();
+    let a = run_email(&config);
+    let b = run_email(&config);
+    assert_eq!(a, b, "email task shape is fixed per request index");
+    assert_eq!(a.0, config.connections * config.requests_per_connection);
+}
+
+#[test]
+fn email_open_loop_is_deterministic() {
+    let config = base_config().open_loop(OpenLoopConfig {
+        arrival_rate_per_sec: 300.0,
+        warmup_millis: 30,
+        measure_millis: 120,
+    });
+    let a = run_email(&config);
+    let b = run_email(&config);
+    assert_eq!(
+        a, b,
+        "open-loop email: seed-determined arrivals and a fixed task shape per request index"
+    );
+    assert!(a.0 > 0, "the measurement window saw requests");
+}
+
+#[test]
+fn open_loop_mode_changes_the_workload_shape() {
+    // Sanity check that the dispatch actually switches modes: closed and
+    // open runs of the same base config should issue different numbers of
+    // requests (8 closed vs a ~45-jobs-per-150ms Poisson schedule).
+    let closed = run_jserver(&base_config());
+    let open = run_jserver(&base_config().open_loop(OpenLoopConfig {
+        arrival_rate_per_sec: 400.0,
+        warmup_millis: 0,
+        measure_millis: 150,
+    }));
+    assert!(matches!(base_config().mode, LoadMode::Closed));
+    assert_ne!(closed.0, open.0);
+}

@@ -1,0 +1,77 @@
+//! Microbenchmark of the metrics-collection hot path: every task completion
+//! on every worker calls `MetricsCollector::record_task`, so this compares
+//! the sharded collector against the retained global-mutex reference under
+//! 8-thread contention (the acceptance scenario of the open-loop harness
+//! work) and single-threaded (the uncontended floor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_icilk::metrics::{reference::MutexMetricsCollector, MetricsCollector};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 20_000;
+
+fn hammer<C, F>(collector: Arc<C>, record: F)
+where
+    C: Send + Sync + 'static,
+    F: Fn(&C, usize) + Copy + Send + 'static,
+{
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let collector = Arc::clone(&collector);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    record(&collector, t + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+}
+
+fn record_sharded(c: &MetricsCollector, i: usize) {
+    c.record_task(i % 4, Duration::from_micros(100), Duration::from_micros(50));
+}
+
+fn record_mutexed(c: &MutexMetricsCollector, i: usize) {
+    c.record_task(i % 4, Duration::from_micros(100), Duration::from_micros(50));
+}
+
+fn bench_record_task(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_record_task");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("sharded_8_threads", |b| {
+        b.iter(|| hammer(Arc::new(MetricsCollector::new(4)), record_sharded));
+    });
+    group.bench_function("global_mutex_8_threads", |b| {
+        b.iter(|| hammer(Arc::new(MutexMetricsCollector::new(4)), record_mutexed));
+    });
+    group.bench_function("sharded_single_thread", |b| {
+        let collector = MetricsCollector::new(4);
+        b.iter(|| {
+            for i in 0..OPS_PER_THREAD {
+                record_sharded(&collector, i);
+            }
+        });
+    });
+    group.bench_function("global_mutex_single_thread", |b| {
+        let collector = MutexMetricsCollector::new(4);
+        b.iter(|| {
+            for i in 0..OPS_PER_THREAD {
+                record_mutexed(&collector, i);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_task);
+criterion_main!(benches);

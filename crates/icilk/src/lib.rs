@@ -23,7 +23,9 @@
 //!   simulated I/O after a sampled latency without occupying a worker
 //!   (the `io_future` / `cilk_read` / `cilk_write` substitute);
 //! * [`metrics`] — per-level response-time and compute-time statistics
-//!   (mean and 95th percentile, the quantities of Figures 13 and 14);
+//!   (mean and 95th percentile, the quantities of Figures 13 and 14),
+//!   sharded per recording thread so the task-completion hot path never
+//!   contends on a global lock;
 //! * [`runtime`] — the public [`runtime::Runtime`] facade tying it together.
 //!
 //! # Quick start

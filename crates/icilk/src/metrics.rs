@@ -4,15 +4,49 @@
 //! time* (request sent → handled) and the *compute time* (task start →
 //! finish), as averages and 95th percentiles.  [`MetricsCollector`] gathers
 //! both for every task the runtime executes.
+//!
+//! # Sharding
+//!
+//! Every task completion on every worker goes through
+//! [`MetricsCollector::record_task`], so under an open-loop flood this is a
+//! hot path.  The collector therefore keeps one shard per recording thread
+//! (threads are assigned to shards round-robin on first use): a worker only
+//! ever locks its own shard, which is uncontended in the common case of at
+//! most [`DEFAULT_SHARDS`] recording threads.  Shards are merged only when
+//! [`MetricsCollector::snapshot`] is called — a cheap bucket-wise histogram
+//! addition thanks to the fixed-size [`LatencyStats`] backing.  The previous
+//! single-global-mutex implementation is retained as
+//! [`reference::MutexMetricsCollector`] so benchmarks can quantify the win.
 
 use parking_lot::Mutex;
 use rp_sim::stats::LatencyStats;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// Thread-safe collector of per-level task statistics.
-#[derive(Debug)]
-pub struct MetricsCollector {
-    inner: Mutex<Inner>,
+/// Default number of metrics shards; recording threads beyond this many
+/// share shards (round-robin), trading a little contention for fixed memory.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A process-wide ordinal for each recording thread, assigned on the
+/// thread's first record and reused for every collector: thread → shard
+/// assignment stays stable and contention-free without per-collector
+/// registration.
+static NEXT_THREAD_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_ordinal() -> usize {
+    THREAD_ORDINAL.with(|slot| {
+        let mut ord = slot.get();
+        if ord == usize::MAX {
+            ord = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            slot.set(ord);
+        }
+        ord
+    })
 }
 
 #[derive(Debug, Default)]
@@ -20,6 +54,41 @@ struct Inner {
     response: Vec<LatencyStats>,
     compute: Vec<LatencyStats>,
     completed: Vec<u64>,
+}
+
+impl Inner {
+    fn new(levels: usize) -> Self {
+        Inner {
+            response: vec![LatencyStats::new(); levels],
+            compute: vec![LatencyStats::new(); levels],
+            completed: vec![0; levels],
+        }
+    }
+
+    fn record(&mut self, level: usize, response: Duration, compute: Duration) {
+        if level < self.response.len() {
+            self.response[level].record(response);
+            self.compute[level].record(compute);
+            self.completed[level] += 1;
+        }
+    }
+}
+
+/// One metrics shard, padded to its own cache lines so concurrent workers
+/// recording into adjacent shards never false-share a line.
+#[derive(Debug)]
+#[repr(align(128))]
+struct Shard(Mutex<Inner>);
+
+/// Thread-safe collector of per-level task statistics, sharded per
+/// recording thread (see the module docs).
+#[derive(Debug)]
+pub struct MetricsCollector {
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; the shard count is a power of two so shard
+    /// selection is a mask, not a division, on the hot path.
+    shard_mask: usize,
+    levels: usize,
 }
 
 /// An immutable snapshot of the collected statistics.
@@ -61,34 +130,94 @@ impl MetricsSnapshot {
 }
 
 impl MetricsCollector {
-    /// A collector for `levels` priority levels.
+    /// A collector for `levels` priority levels with [`DEFAULT_SHARDS`]
+    /// shards.
     pub fn new(levels: usize) -> Self {
+        Self::with_shards(levels, DEFAULT_SHARDS)
+    }
+
+    /// A collector with an explicit shard count (≥ 1; rounded up to the
+    /// next power of two so shard selection stays a mask).
+    pub fn with_shards(levels: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         MetricsCollector {
-            inner: Mutex::new(Inner {
-                response: vec![LatencyStats::new(); levels],
-                compute: vec![LatencyStats::new(); levels],
-                completed: vec![0; levels],
-            }),
+            shards: (0..shards)
+                .map(|_| Shard(Mutex::new(Inner::new(levels))))
+                .collect(),
+            shard_mask: shards - 1,
+            levels,
         }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Records one completed task at the given level.
+    ///
+    /// Hot path: locks only the calling thread's shard, so concurrent
+    /// workers never contend with each other (up to the shard count).
     pub fn record_task(&self, level: usize, response: Duration, compute: Duration) {
-        let mut inner = self.inner.lock();
-        if level < inner.response.len() {
-            inner.response[level].record(response);
-            inner.compute[level].record(compute);
-            inner.completed[level] += 1;
-        }
+        let shard = &self.shards[thread_ordinal() & self.shard_mask];
+        shard.0.lock().record(level, response, compute);
     }
 
-    /// Takes a snapshot of everything recorded so far.
+    /// Takes a snapshot of everything recorded so far, merging the shards.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock();
+        let mut merged = Inner::new(self.levels);
+        for shard in &self.shards {
+            let inner = shard.0.lock();
+            for level in 0..self.levels {
+                merged.response[level].merge(&inner.response[level]);
+                merged.compute[level].merge(&inner.compute[level]);
+                merged.completed[level] += inner.completed[level];
+            }
+        }
         MetricsSnapshot {
-            response: inner.response.clone(),
-            compute: inner.compute.clone(),
-            completed: inner.completed.clone(),
+            response: merged.response,
+            compute: merged.compute,
+            completed: merged.completed,
+        }
+    }
+}
+
+/// The pre-sharding implementation, retained as the benchmark baseline.
+pub mod reference {
+    use super::{Inner, MetricsSnapshot};
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    /// The original collector: one global mutex on the task-completion hot
+    /// path.  Kept so `bench_server` / the `metrics` bench can measure the
+    /// sharded path against it; not used by the runtime.
+    #[derive(Debug)]
+    pub struct MutexMetricsCollector {
+        inner: Mutex<Inner>,
+    }
+
+    impl MutexMetricsCollector {
+        /// A collector for `levels` priority levels.
+        pub fn new(levels: usize) -> Self {
+            MutexMetricsCollector {
+                inner: Mutex::new(Inner::new(levels)),
+            }
+        }
+
+        /// Records one completed task at the given level (all threads
+        /// funnel through the one mutex).
+        pub fn record_task(&self, level: usize, response: Duration, compute: Duration) {
+            self.inner.lock().record(level, response, compute);
+        }
+
+        /// Takes a snapshot of everything recorded so far.
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            let inner = self.inner.lock();
+            MetricsSnapshot {
+                response: inner.response.clone(),
+                compute: inner.compute.clone(),
+                completed: inner.completed.clone(),
+            }
         }
     }
 }
@@ -96,6 +225,7 @@ impl MetricsCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn records_per_level() {
@@ -126,5 +256,59 @@ mod tests {
         let snap = m.snapshot();
         assert!(snap.mean_response_micros(0).is_none());
         assert!(snap.p95_response_micros(1).is_none());
+    }
+
+    #[test]
+    fn snapshot_merges_records_from_many_threads() {
+        let m = Arc::new(MetricsCollector::with_shards(3, 4));
+        let per_thread = 500usize;
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let level = (t + i) % 3;
+                        m.record_task(
+                            level,
+                            Duration::from_micros(100 + i as u64),
+                            Duration::from_micros(50),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.total_completed(), 8 * per_thread as u64);
+        for level in 0..3 {
+            assert!(snap.completed[level] > 0);
+            assert!(snap.mean_response_micros(level).is_some());
+        }
+    }
+
+    #[test]
+    fn sharded_and_reference_agree_on_totals() {
+        let sharded = MetricsCollector::new(2);
+        let mutexed = reference::MutexMetricsCollector::new(2);
+        for i in 0..100u64 {
+            let (r, c) = (Duration::from_micros(i + 1), Duration::from_micros(i / 2));
+            sharded.record_task((i % 2) as usize, r, c);
+            mutexed.record_task((i % 2) as usize, r, c);
+        }
+        let a = sharded.snapshot();
+        let b = mutexed.snapshot();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_response_micros(0), b.mean_response_micros(0));
+        assert_eq!(a.p95_response_micros(1), b.p95_response_micros(1));
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let m = MetricsCollector::with_shards(1, 1);
+        assert_eq!(m.shard_count(), 1);
+        m.record_task(0, Duration::from_micros(5), Duration::from_micros(5));
+        assert_eq!(m.snapshot().total_completed(), 1);
     }
 }

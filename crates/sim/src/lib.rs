@@ -5,6 +5,9 @@
 //! in-process substitutes used by the reproduction:
 //!
 //! * [`clock`] — virtual time and a discrete-event queue;
+//! * [`histogram`] — a mergeable log-bucketed histogram: fixed memory,
+//!   O(1) record, percentiles without sorting — the backing store of the
+//!   latency statistics;
 //! * [`latency`] — I/O latency models (constant, uniform, exponential) with
 //!   deterministic seeded sampling;
 //! * [`poisson`] — Poisson arrival processes for open-loop workload
@@ -22,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod histogram;
 pub mod latency;
 pub mod poisson;
 pub mod stats;
 pub mod workload;
 
 pub use clock::{EventQueue, VirtualTime};
+pub use histogram::LogHistogram;
 pub use latency::LatencyModel;
 pub use poisson::PoissonProcess;
 pub use stats::LatencyStats;

@@ -5,14 +5,23 @@
 //! what one cares about is the latency near the tail").  [`LatencyStats`]
 //! accumulates samples and reports both, plus a few extra summaries used by
 //! the harness output.
+//!
+//! Samples are stored in a [`LogHistogram`] rather than retained
+//! individually: recording is O(1), memory is fixed no matter how many
+//! samples an open-loop run pushes through, and percentile queries walk the
+//! bucket array instead of cloning and sorting a sample vector.  Mean, min,
+//! and max are exact; percentiles are exact for values below
+//! [`LogHistogram::PRECISION`] and within [`LogHistogram::MAX_RELATIVE_ERROR`]
+//! (relatively) above it.
 
+use crate::histogram::LogHistogram;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// An accumulator of latency samples (in nanoseconds internally).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
-    samples_ns: Vec<u64>,
+    hist: LogHistogram,
 }
 
 impl LatencyStats {
@@ -23,54 +32,47 @@ impl LatencyStats {
 
     /// Records a sample expressed as a [`Duration`].
     pub fn record(&mut self, d: Duration) {
-        self.samples_ns
-            .push(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.hist
+            .record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Records a sample expressed in nanoseconds.
     pub fn record_ns(&mut self, ns: u64) {
-        self.samples_ns.push(ns);
+        self.hist.record(ns);
     }
 
     /// Records a sample expressed in abstract "steps" or microseconds — any
     /// unit is fine as long as it is used consistently.
     pub fn record_value(&mut self, v: u64) {
-        self.samples_ns.push(v);
+        self.hist.record(v);
     }
 
-    /// Merges another accumulator into this one.
+    /// Merges another accumulator into this one (bucket-wise addition — the
+    /// cost is bounded by the histogram's fixed bucket count, not by how
+    /// many samples either side holds).
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.hist.merge(&other.hist);
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples_ns.len()
+        self.hist.count() as usize
     }
 
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.hist.is_empty()
     }
 
-    /// Arithmetic mean of the samples, or `None` if empty.
+    /// Arithmetic mean of the samples (exact), or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.samples_ns.is_empty() {
-            return None;
-        }
-        Some(self.samples_ns.iter().map(|&x| x as f64).sum::<f64>() / self.samples_ns.len() as f64)
+        self.hist.mean()
     }
 
-    /// The `q`-th percentile (0.0 ≤ q ≤ 100.0) using the nearest-rank method,
-    /// or `None` if empty.
+    /// The `q`-th percentile (0.0 ≤ q ≤ 100.0) using the nearest-rank method
+    /// over the histogram buckets, or `None` if empty.
     pub fn percentile(&self, q: f64) -> Option<f64> {
-        if self.samples_ns.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples_ns.clone();
-        sorted.sort_unstable();
-        let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-        Some(sorted[rank.min(sorted.len()) - 1] as f64)
+        self.hist.percentile(q)
     }
 
     /// The 95th percentile, the paper's tail metric.
@@ -83,14 +85,14 @@ impl LatencyStats {
         self.percentile(50.0)
     }
 
-    /// The maximum sample.
+    /// The maximum sample (exact).
     pub fn max(&self) -> Option<u64> {
-        self.samples_ns.iter().copied().max()
+        self.hist.max()
     }
 
-    /// The minimum sample.
+    /// The minimum sample (exact).
     pub fn min(&self) -> Option<u64> {
-        self.samples_ns.iter().copied().min()
+        self.hist.min()
     }
 
     /// Mean expressed in microseconds (assuming samples were recorded in
@@ -103,6 +105,12 @@ impl LatencyStats {
     /// samples).
     pub fn p95_micros(&self) -> Option<f64> {
         self.p95().map(|m| m / 1_000.0)
+    }
+
+    /// The backing histogram (for error-bound and memory-footprint
+    /// inspection).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 }
 
@@ -186,6 +194,8 @@ mod tests {
         let mut s = LatencyStats::new();
         s.record(Duration::from_micros(10));
         assert!((s.mean_micros().unwrap() - 10.0).abs() < 1e-9);
+        // A single sample is exact: the histogram clamps percentile
+        // representatives to the observed [min, max].
         assert!((s.p95_micros().unwrap() - 10.0).abs() < 1e-9);
     }
 
@@ -201,5 +211,37 @@ mod tests {
         assert!((r.mean_ratio - 2.0).abs() < 1e-9);
         assert!((r.p95_ratio - 2.0).abs() < 1e-9);
         assert!(ratio(&LatencyStats::new(), &treat).is_none());
+    }
+
+    /// Regression test for the old clone-and-sort percentile path: the
+    /// stats no longer retain samples at all, so storage stays at the
+    /// histogram's fixed bucket count no matter how many samples arrive
+    /// (this test does not compile against the pre-histogram code), and
+    /// percentiles on a known heavy-tailed distribution stay within the
+    /// histogram's documented relative-error bound.
+    #[test]
+    fn percentile_error_is_bounded_and_memory_fixed() {
+        let values: Vec<u64> = (1..=50_000u64).map(|i| i * 17 + (i % 13) * 1_000).collect();
+        let mut s = LatencyStats::new();
+        for &v in &values {
+            s.record_ns(v);
+        }
+        assert_eq!(
+            s.histogram().allocated_buckets(),
+            LogHistogram::NUM_BUCKETS,
+            "storage is the fixed bucket array, not the 50k samples"
+        );
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [50.0, 90.0, 95.0, 99.0] {
+            let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            let exact = sorted[rank.min(sorted.len()) - 1] as f64;
+            let approx = s.percentile(q).unwrap();
+            let err = (approx - exact).abs() / exact;
+            assert!(
+                err <= LogHistogram::MAX_RELATIVE_ERROR,
+                "p{q}: exact {exact} approx {approx} err {err}"
+            );
+        }
     }
 }
