@@ -13,8 +13,8 @@
 //! versa — coordination through thread handles stored in mutable state.
 
 use crate::harness::{
-    drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode, OpenLoopConfig,
-    OpenLoopOutcome,
+    collect_trace, drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode,
+    OpenLoopConfig, OpenLoopOutcome, TraceHarvestError, TraceRunReport,
 };
 use parking_lot::Mutex;
 use rp_icilk::runtime::{Runtime, SchedulerKind};
@@ -446,6 +446,28 @@ pub fn drive(
             outcome.latency
         }
     }
+}
+
+/// Runs the email workload once on the I-Cilk scheduler with execution
+/// tracing on — the `--trace` mode of the closed- and open-loop harness
+/// paths — and checks Theorem 2.3 against the reconstructed cost graph.
+/// The print/compress coordination tickets are detached futures and thus
+/// untraced: their orderings simply contribute no edges.
+///
+/// # Errors
+///
+/// Returns a [`TraceHarvestError`] when the trace cannot be reconstructed.
+pub fn run_traced(config: &ExperimentConfig) -> Result<TraceRunReport, TraceHarvestError> {
+    let config = config.clone().traced();
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &LEVELS));
+    let users = config.connections.max(1);
+    let state = EmailState::generate(users, 6, config.seed);
+    // `drive` ends with a drain in both load modes, so the snapshot below
+    // sees only completed tasks.
+    let _client = drive(&rt, &state, &config);
+    let report = collect_trace(&rt);
+    crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
+    report
 }
 
 /// Runs the email case study on both schedulers and reports the comparison.

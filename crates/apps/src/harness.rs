@@ -19,6 +19,7 @@
 //!   so injector stalls behind a slow server count against the server
 //!   instead of silently dropping the worst samples.
 
+use rp_core::trace::{ReconstructedRun, TraceBoundReport, TraceError};
 use rp_icilk::master::MasterConfig;
 use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
 use rp_icilk::IFuture;
@@ -93,6 +94,9 @@ pub struct ExperimentConfig {
     pub utilization_threshold: f64,
     /// Growth parameter γ.
     pub growth: f64,
+    /// Whether the runtime records an execution trace (see
+    /// [`collect_trace`]).
+    pub trace: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -107,6 +111,7 @@ impl Default for ExperimentConfig {
             quantum_micros: 500,
             utilization_threshold: 0.9,
             growth: 2.0,
+            trace: false,
         }
     }
 }
@@ -129,6 +134,7 @@ impl ExperimentConfig {
             .with_scheduler(scheduler)
             .with_master(self.master())
             .with_io_latency(self.io_latency, self.seed)
+            .with_tracing(self.trace)
     }
 
     /// Starts a runtime for this experiment.
@@ -140,6 +146,12 @@ impl ExperimentConfig {
     /// arrival parameters.
     pub fn open_loop(mut self, open: OpenLoopConfig) -> Self {
         self.mode = LoadMode::Open(open);
+        self
+    }
+
+    /// This config with execution tracing enabled.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -266,6 +278,90 @@ where
         measured,
         unfinished: in_flight.len(),
     }
+}
+
+/// Why harvesting a trace from a runtime failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceHarvestError {
+    /// The runtime was started without tracing (`ExperimentConfig::trace`
+    /// was false).
+    NotTracing,
+    /// The event log could not be reconstructed into a cost graph.
+    Reconstruct(TraceError),
+}
+
+impl std::fmt::Display for TraceHarvestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceHarvestError::NotTracing => write!(f, "runtime was not started with tracing"),
+            TraceHarvestError::Reconstruct(e) => write!(f, "trace reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceHarvestError {}
+
+/// What a traced run produced: the reconstructed cost graph and schedule,
+/// plus Theorem 2.3 reports against both the observed execution and a
+/// replayed prompt admissible schedule on the same number of cores.
+#[derive(Debug)]
+pub struct TraceRunReport {
+    /// The reconstructed graph, observed schedule, and per-task metadata.
+    pub run: ReconstructedRun,
+    /// Bound reports against the observed schedule (indexed by thread).
+    pub observed: Vec<TraceBoundReport>,
+    /// Bound reports against the replayed weak-respecting prompt schedule.
+    pub replay: Vec<TraceBoundReport>,
+}
+
+impl TraceRunReport {
+    /// Reports (observed and replay alike) that are counterexamples to
+    /// Theorem 2.3 — the hypotheses held and the bound still failed.  A
+    /// non-empty result means the scheduler, tracer, or bound analysis has a
+    /// bug; callers should fail loudly.
+    pub fn counterexamples(&self) -> Vec<&TraceBoundReport> {
+        self.observed
+            .iter()
+            .chain(&self.replay)
+            .filter(|r| r.report.is_counterexample())
+            .collect()
+    }
+
+    /// How many threads' hypotheses held under the observed schedule (the
+    /// rest are vacuous: their bound was not applicable as observed).
+    pub fn observed_hypotheses_held(&self) -> usize {
+        self.observed
+            .iter()
+            .filter(|r| r.report.hypotheses_hold())
+            .count()
+    }
+}
+
+/// Harvests a drained, tracing runtime into a [`TraceRunReport`]: snapshots
+/// the event log, reconstructs the cost graph and observed schedule, and
+/// checks the Theorem 2.3 bound per thread against both the observed
+/// schedule and a replayed prompt admissible schedule.
+///
+/// Call after [`Runtime::drain`] so no task is mid-flight (incomplete tasks
+/// would be skipped by reconstruction).
+///
+/// # Errors
+///
+/// Returns [`TraceHarvestError::NotTracing`] when the runtime records no
+/// trace and [`TraceHarvestError::Reconstruct`] when the event log cannot be
+/// rebuilt into a graph.
+pub fn collect_trace(rt: &Runtime) -> Result<TraceRunReport, TraceHarvestError> {
+    let trace = rt.trace_snapshot().ok_or(TraceHarvestError::NotTracing)?;
+    let run = trace
+        .reconstruct()
+        .map_err(TraceHarvestError::Reconstruct)?;
+    let observed = run.check_observed();
+    let replay = run.check_replay(run.schedule.num_cores);
+    Ok(TraceRunReport {
+        run,
+        observed,
+        replay,
+    })
 }
 
 /// Waits for spawned task closures to release their clones of the runtime

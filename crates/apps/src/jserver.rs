@@ -202,7 +202,9 @@ pub fn drive_jobs(rt: &Arc<Runtime>, config: &ExperimentConfig) -> LatencyStats 
             // Pace the open-loop arrival process in real time (capped so the
             // experiment stays fast).
             std::thread::sleep(gap.min(Duration::from_micros(300)));
-            let priority = rt.priority_by_index(job.level());
+            let priority = rt
+                .priority_by_index(job.level())
+                .expect("job classes map onto the runtime's levels");
             let seed = config.seed.wrapping_add(i as u64);
             let submitted = std::time::Instant::now();
             let fut = rt.fcreate(priority, move || job.execute(seed));
@@ -232,7 +234,9 @@ pub fn drive_jobs_open(
     let mix = JobClass::default_mix();
     drive_open_loop(open, config.seed, |i| {
         let job = mix[i % mix.len()];
-        let priority = rt.priority_by_index(job.level());
+        let priority = rt
+            .priority_by_index(job.level())
+            .expect("job classes map onto the runtime's levels");
         let seed = config.seed.wrapping_add(i as u64);
         rt.fcreate(priority, move || job.execute(seed))
     })

@@ -8,8 +8,8 @@
 //! client requests".
 
 use crate::harness::{
-    drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode, OpenLoopConfig,
-    OpenLoopOutcome,
+    collect_trace, drive_open_loop, run_report, ExperimentConfig, ExperimentReport, LoadMode,
+    OpenLoopConfig, OpenLoopOutcome, TraceHarvestError, TraceRunReport,
 };
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -187,6 +187,25 @@ pub fn drive_clients(
     }
     rt.drain(Duration::from_secs(10));
     stats
+}
+
+/// Runs the proxy workload once on the I-Cilk scheduler with execution
+/// tracing on — the `--trace` mode of the closed- and open-loop harness
+/// paths — and checks Theorem 2.3 against the reconstructed cost graph.
+///
+/// # Errors
+///
+/// Returns a [`TraceHarvestError`] when the trace cannot be reconstructed.
+pub fn run_traced(config: &ExperimentConfig) -> Result<TraceRunReport, TraceHarvestError> {
+    let config = config.clone().traced();
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &LEVELS));
+    let state = ProxyState::new();
+    // `drive` ends with a drain in both load modes, so the snapshot below
+    // sees only completed tasks.
+    let _client = drive(&rt, &state, &config);
+    let report = collect_trace(&rt);
+    crate::harness::shutdown_runtime(rt, Duration::from_secs(10));
+    report
 }
 
 /// Runs the proxy case study on both schedulers and reports the comparison.

@@ -1,0 +1,194 @@
+//! Trace → cost-DAG reconstruction against the real runtime.
+//!
+//! Deterministic seeded runs on **one worker** must reconstruct a
+//! well-formed cost graph whose observed schedule is a topological order of
+//! the graph matching the execution order, and `BoundAnalysis::check_all`
+//! must report `hypotheses_hold()` — well-formed graph, admissible prompt
+//! schedule — on every thread, so the Theorem 2.3 bound applies (and holds)
+//! for everything the runtime executed.
+
+use rp_apps::harness::{shutdown_runtime, ExperimentConfig, OpenLoopConfig};
+use rp_apps::{email, proxy};
+use rp_core::trace::ReconstructedRun;
+use rp_core::wellformed::check_well_formed;
+use rp_icilk::runtime::{Runtime, RuntimeConfig};
+use rp_sim::latency::LatencyModel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fully sequential chain on one worker and one priority level: the
+/// driver spawns a root task that alternately spawns-and-touches CPU
+/// children and I/O futures.  With a single level and `P = 1`, promptness
+/// is structural, so every hypothesis of Theorem 2.3 must hold.
+fn chain_run(seed: u64, links: u64) -> ReconstructedRun {
+    let rt = Arc::new(Runtime::start(
+        RuntimeConfig::new(1, 1)
+            .with_level_names(["only"])
+            .with_tracing(true)
+            .with_io_latency(LatencyModel::Constant { micros: 200 }, seed),
+    ));
+    let p = rt.priority_by_name("only").unwrap();
+    let rt2 = Arc::clone(&rt);
+    let root = rt.fcreate(p, move || {
+        let mut acc = seed;
+        for i in 0..links {
+            let child = rt2.fcreate(p, move || i * 3 + 1);
+            acc = acc.wrapping_add(rt2.ftouch(&child));
+            let io = rt2.submit_io(p, move || i + 100);
+            acc = acc.wrapping_add(rt2.ftouch(&io));
+        }
+        acc
+    });
+    let _ = rt.ftouch_blocking(&root);
+    assert!(rt.drain(Duration::from_secs(10)));
+    let trace = rt.trace_snapshot().expect("tracing enabled");
+    let run = trace.reconstruct().expect("trace reconstructs");
+    shutdown_runtime(rt, Duration::from_secs(10));
+    run
+}
+
+#[test]
+fn chain_reconstruction_is_well_formed_and_matches_execution_order() {
+    let run = chain_run(0xA11CE, 4);
+    // Root + 4 children + 4 I/O futures.
+    assert_eq!(run.dag.thread_count(), 9);
+    assert_eq!(run.skipped, 0);
+    assert!(
+        check_well_formed(&run.dag).is_ok(),
+        "reconstructed DAG well-formed"
+    );
+    run.schedule.validate(&run.dag).expect("valid schedule");
+    assert!(run.schedule.is_admissible(&run.dag));
+    assert!(run.schedule.is_prompt(&run.dag), "one level, one core");
+
+    // The observed schedule is the execution order: with P = 1 it is one
+    // vertex per step, a topological order of the graph (validate() above
+    // already proved every vertex runs strictly after its strong parents),
+    // and it never runs counter to the recorded timestamps.
+    assert!(run.schedule.steps.iter().all(|s| s.len() == 1));
+    let flat: Vec<_> = run.schedule.steps.iter().flatten().copied().collect();
+    assert_eq!(flat.len(), run.dag.vertex_count());
+    for w in flat.windows(2) {
+        assert!(
+            run.vertex_times[w[0].index()] <= run.vertex_times[w[1].index()],
+            "observed schedule reordered vertices against the recorded clock"
+        );
+    }
+}
+
+#[test]
+fn chain_hypotheses_and_bounds_hold_on_every_thread() {
+    let run = chain_run(0xBEEF, 3);
+    let reports = run.check_observed();
+    assert_eq!(reports.len(), run.dag.thread_count());
+    for r in &reports {
+        assert!(
+            r.report.hypotheses_hold(),
+            "hypotheses must hold on thread {:?}: {r:?}",
+            r.task.thread
+        );
+        assert!(r.report.bound_holds(), "bound violated: {r:?}");
+        assert!(!r.report.is_counterexample());
+        assert!(r.report.observed.is_some(), "every thread completed");
+        // The wall-clock measurement is coherent: spawn precedes finish.
+        assert!(r.task.finished_at >= r.task.spawned_at);
+    }
+    // The replayed prompt schedule agrees.
+    for r in run.check_replay(1) {
+        assert!(!r.report.is_counterexample(), "{r:?}");
+    }
+}
+
+#[test]
+fn chain_reconstruction_is_deterministic_across_runs() {
+    let a = chain_run(7, 5);
+    let b = chain_run(7, 5);
+    assert_eq!(a.dag.thread_count(), b.dag.thread_count());
+    assert_eq!(a.dag.vertex_count(), b.dag.vertex_count());
+    assert_eq!(a.dag.create_edges().len(), b.dag.create_edges().len());
+    assert_eq!(a.dag.touch_edges().len(), b.dag.touch_edges().len());
+    assert_eq!(a.dag.weak_edges().len(), b.dag.weak_edges().len());
+    for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!(ta.is_io, tb.is_io);
+        assert_eq!(ta.level, tb.level);
+        assert_eq!(
+            a.dag.thread(ta.thread).vertices.len(),
+            b.dag.thread(tb.thread).vertices.len()
+        );
+    }
+}
+
+fn proxy_config() -> ExperimentConfig {
+    ExperimentConfig {
+        workers: 1,
+        connections: 4,
+        requests_per_connection: 3,
+        io_latency: LatencyModel::Constant { micros: 300 },
+        seed: 0x7AACE,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn traced_proxy_closed_loop_reconstructs_without_counterexamples() {
+    let report = proxy::run_traced(&proxy_config()).expect("proxy trace reconstructs");
+    assert!(report.run.dag.thread_count() > 12, "every request traced");
+    assert_eq!(
+        report.run.skipped, 0,
+        "drained run leaves nothing mid-flight"
+    );
+    assert!(
+        check_well_formed(&report.run.dag).is_ok(),
+        "the proxy's priority discipline reconstructs to a well-formed graph"
+    );
+    report
+        .run
+        .schedule
+        .validate(&report.run.dag)
+        .expect("observed schedule valid");
+    assert!(report.run.schedule.is_admissible(&report.run.dag));
+    assert!(
+        report.counterexamples().is_empty(),
+        "Theorem 2.3 refuted: {:?}",
+        report.counterexamples()
+    );
+}
+
+#[test]
+fn traced_proxy_open_loop_reconstructs_without_counterexamples() {
+    let config = proxy_config().open_loop(OpenLoopConfig {
+        arrival_rate_per_sec: 300.0,
+        warmup_millis: 10,
+        measure_millis: 80,
+    });
+    let report = proxy::run_traced(&config).expect("proxy trace reconstructs");
+    assert!(report.run.dag.thread_count() > 0);
+    report
+        .run
+        .schedule
+        .validate(&report.run.dag)
+        .expect("observed schedule valid");
+    assert!(report.run.schedule.is_admissible(&report.run.dag));
+    assert!(report.counterexamples().is_empty());
+}
+
+#[test]
+fn traced_email_reconstructs_without_counterexamples() {
+    let config = ExperimentConfig {
+        workers: 2,
+        connections: 3,
+        requests_per_connection: 3,
+        io_latency: LatencyModel::Constant { micros: 200 },
+        seed: 99,
+        ..ExperimentConfig::default()
+    };
+    let report = email::run_traced(&config).expect("email trace reconstructs");
+    assert!(report.run.dag.thread_count() > 0);
+    report
+        .run
+        .schedule
+        .validate(&report.run.dag)
+        .expect("observed schedule valid");
+    assert!(report.run.schedule.is_admissible(&report.run.dag));
+    assert!(report.counterexamples().is_empty());
+}

@@ -33,6 +33,9 @@
 //! * the Theorem 2.3 response-time bound and checking helpers ([`bound`]);
 //! * random well-formed DAG generation for property tests and benchmarks
 //!   ([`random`]);
+//! * reconstruction of cost graphs and schedules from runtime execution
+//!   traces, so Theorem 2.3 can be checked against what the `rp-icilk`
+//!   work-stealing runtime actually executed ([`trace`]);
 //! * the example DAGs of Figures 1–3 ([`examples`]) and DOT rendering
 //!   ([`render`]).
 //!
@@ -78,6 +81,7 @@ pub mod render;
 pub mod schedule;
 pub mod scheduler;
 pub mod strengthen;
+pub mod trace;
 pub mod wellformed;
 
 /// Convenient re-exports of the most commonly used items.
@@ -98,6 +102,9 @@ pub mod prelude {
         SchedulerKind,
     };
     pub use crate::strengthen::strengthening;
+    pub use crate::trace::{
+        ExecutionTrace, ReconstructedRun, TraceBoundReport, TraceError, TraceEvent, TracedTask,
+    };
     pub use crate::wellformed::{check_strongly_well_formed, check_well_formed, WellFormedError};
 }
 

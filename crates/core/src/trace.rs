@@ -1,0 +1,947 @@
+//! Reconstructing cost graphs from runtime execution traces.
+//!
+//! The I-Cilk runtime (`rp-icilk`) can record a low-overhead event log of
+//! everything it executes: task spawns (`fcreate`), touches (`ftouch`),
+//! simulated-I/O submissions and completions, and per-task run spans.  This
+//! module is the other half of that loop: it converts such an
+//! [`ExecutionTrace`] back into the paper's cost model — a [`CostDag`]
+//! `g = (T, Ec, Et, Ew)` plus a concrete [`Schedule`] — so that
+//! [`BoundAnalysis`] can check the Theorem 2.3 response-time bound against
+//! what the production scheduler *actually did*, not just against synthetic
+//! DAGs.
+//!
+//! # Reconstruction rules
+//!
+//! * every traced task (and every I/O future) becomes a **thread** whose
+//!   priority is the task's priority level;
+//! * a task's vertex sequence is: a *begin* vertex (run start), one *action*
+//!   vertex per spawn or touch it performed (in recorded order), and an
+//!   *end* vertex (run end).  An I/O future is a single-vertex thread at its
+//!   completion instant;
+//! * each spawn becomes a **strong fcreate edge** from the spawning action
+//!   vertex to the child's first vertex;
+//! * each touch of an equal-or-higher-priority task becomes a **strong
+//!   ftouch edge** (touched thread's last vertex → touching action vertex);
+//! * a touch of a *lower*-priority task — a dependence the λ⁴ᵢ type system
+//!   would reject as an inversion — is demoted to a **weak edge**: the
+//!   observed execution did order the two endpoints (the value was
+//!   available), so the reconstructed schedule remains admissible, and the
+//!   graph stays well-formed exactly when the program's legal touches are
+//!   the only strong dependencies;
+//! * the **observed schedule** is the recorded execution linearised: vertex
+//!   timestamps are first made causally consistent (every vertex strictly
+//!   after all of its parents), then vertices are grouped greedily into
+//!   steps of at most `P` vertices such that no step contains both endpoints
+//!   of an edge.  The result is always a valid, admissible schedule of the
+//!   reconstructed graph; whether it is *prompt* is checked (not assumed),
+//!   so a report can honestly distinguish "bound violated" from "hypotheses
+//!   did not hold".
+//!
+//! Any run where the hypotheses hold and the bound still fails
+//! ([`BoundReport::is_counterexample`]) is a scheduler or reconstruction bug
+//! — the theorem turned into an executable oracle.
+
+use crate::bound::{BoundAnalysis, BoundReport};
+use crate::build::{DagBuildError, DagBuilder};
+use crate::graph::{CostDag, ThreadId, VertexId};
+use crate::schedule::Schedule;
+use crate::scheduler::weak_respecting_prompt_schedule;
+use rp_priority::PriorityDomain;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a traced task or I/O future, unique within one trace.
+pub type TaskKey = u64;
+
+/// One recorded runtime event.  Timestamps are nanoseconds since the
+/// recording collector's epoch, from a single monotonic clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `fcreate`: a task was spawned at a priority level.  `parent` is the
+    /// traced task whose body performed the spawn (`None` when spawned from
+    /// outside the runtime, e.g. by a load driver).
+    Spawn {
+        /// The new task's key.
+        task: TaskKey,
+        /// The spawning task, if the spawn happened inside a traced task.
+        parent: Option<TaskKey>,
+        /// Priority level index (0 = lowest).
+        level: usize,
+        /// When the spawn was recorded.
+        at: u64,
+    },
+    /// A simulated-I/O operation was submitted (`cilk_read`/`cilk_write`).
+    IoSubmit {
+        /// The I/O future's key.
+        task: TaskKey,
+        /// The submitting task, if traced.
+        parent: Option<TaskKey>,
+        /// Priority level index of the I/O future.
+        level: usize,
+        /// When the submission was recorded.
+        at: u64,
+    },
+    /// A worker began running a task's body.
+    Start {
+        /// The task.
+        task: TaskKey,
+        /// Ordinal of the recording worker thread.
+        worker: usize,
+        /// When the run began.
+        at: u64,
+    },
+    /// A task's body finished (recorded *before* its future is fulfilled, so
+    /// every touch of the value is timestamped after the end event).
+    End {
+        /// The task.
+        task: TaskKey,
+        /// When the run ended.
+        at: u64,
+    },
+    /// `ftouch` obtained a value.  `toucher` is the traced task whose body
+    /// performed the touch (`None` for blocking touches from outside the
+    /// runtime, which reconstruct to no edge).
+    Touch {
+        /// The touching task, if traced.
+        toucher: Option<TaskKey>,
+        /// The touched task or I/O future.
+        touched: TaskKey,
+        /// When the touch was recorded.
+        at: u64,
+    },
+    /// A simulated-I/O operation completed (its payload was produced).
+    IoComplete {
+        /// The I/O future.
+        task: TaskKey,
+        /// When the completion was recorded.
+        at: u64,
+    },
+    /// A task was stolen from a peer worker's deque (diagnostic only; does
+    /// not affect reconstruction).
+    Steal {
+        /// The stolen task.
+        task: TaskKey,
+        /// Ordinal of the stealing worker thread.
+        thief: usize,
+        /// When the steal was recorded.
+        at: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (nanoseconds since the trace epoch).
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::Spawn { at, .. }
+            | TraceEvent::IoSubmit { at, .. }
+            | TraceEvent::Start { at, .. }
+            | TraceEvent::End { at, .. }
+            | TraceEvent::Touch { at, .. }
+            | TraceEvent::IoComplete { at, .. }
+            | TraceEvent::Steal { at, .. } => at,
+        }
+    }
+}
+
+/// A merged, time-ordered event log of one runtime execution, together with
+/// the context reconstruction needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// The events, sorted by timestamp (stable: events recorded by one
+    /// thread keep their relative order on ties).
+    pub events: Vec<TraceEvent>,
+    /// Number of worker threads of the traced runtime (the `P` of the
+    /// observed schedule).
+    pub num_workers: usize,
+    /// Names of the priority levels, lowest first.
+    pub level_names: Vec<String>,
+}
+
+/// Errors produced while reconstructing a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace declared no priority levels.
+    NoLevels,
+    /// The level names were rejected by the priority-domain builder.
+    BadLevels(String),
+    /// An event referenced a priority level index outside the declared
+    /// domain.
+    LevelOutOfRange {
+        /// The offending task.
+        task: TaskKey,
+        /// The out-of-range level index.
+        level: usize,
+    },
+    /// No task in the trace ever completed, so there is nothing to analyse.
+    Empty,
+    /// The reconstructed edge set was rejected by the DAG builder (this
+    /// indicates a recording bug: causally ordered events cannot form a
+    /// cycle).
+    Build(DagBuildError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NoLevels => write!(f, "trace declares no priority levels"),
+            TraceError::BadLevels(e) => write!(f, "bad priority level names: {e}"),
+            TraceError::LevelOutOfRange { task, level } => {
+                write!(f, "task {task} has out-of-range priority level {level}")
+            }
+            TraceError::Empty => write!(f, "trace contains no completed tasks"),
+            TraceError::Build(e) => write!(f, "reconstructed graph rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Metadata about one reconstructed thread (task or I/O future).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracedTask {
+    /// The runtime's key for the task.
+    pub key: TaskKey,
+    /// The thread the task became (index into the reconstructed graph).
+    pub thread: ThreadId,
+    /// Whether this is an I/O future rather than a CPU task.
+    pub is_io: bool,
+    /// Priority level index.
+    pub level: usize,
+    /// When the task was spawned / the I/O submitted (trace nanos).
+    pub spawned_at: u64,
+    /// When the body started running (for I/O: completion time).
+    pub started_at: u64,
+    /// When the body finished (for I/O: completion time).
+    pub finished_at: u64,
+}
+
+impl TracedTask {
+    /// Wall-clock response time: spawn (readiness) → body finished, in
+    /// nanoseconds.  The runtime-level analogue of the schedule's step-count
+    /// response time `T(a)`.
+    pub fn measured_response_nanos(&self) -> u64 {
+        self.finished_at.saturating_sub(self.spawned_at)
+    }
+}
+
+/// One thread's Theorem 2.3 verdict, paired with the wall-clock measurement
+/// from the trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBoundReport {
+    /// The task this report is about.
+    pub task: TracedTask,
+    /// The bound report for the thread against the checked schedule.
+    pub report: BoundReport,
+}
+
+impl TraceBoundReport {
+    /// Observed steps over the boundary-adjusted bound (`≤ 1` when the bound
+    /// holds); `None` when the schedule never completed the thread.
+    pub fn slack_ratio(&self) -> Option<f64> {
+        let observed = self.report.observed? as f64;
+        (self.report.adjusted_bound > 0.0).then(|| observed / self.report.adjusted_bound)
+    }
+}
+
+/// What reconstruction produced: the cost graph, the observed schedule, and
+/// per-thread task metadata (indexed by [`ThreadId::index`]).
+#[derive(Debug)]
+pub struct ReconstructedRun {
+    /// The reconstructed cost graph.
+    pub dag: CostDag,
+    /// The observed execution, linearised into a valid admissible schedule
+    /// on `num_workers` cores.
+    pub schedule: Schedule,
+    /// Per-thread task metadata, indexed by thread id.
+    pub tasks: Vec<TracedTask>,
+    /// Raw observed timestamp of every vertex, indexed by vertex id.
+    pub vertex_times: Vec<u64>,
+    /// Tasks dropped because the trace never saw them complete (e.g. a
+    /// snapshot taken before drain).
+    pub skipped: usize,
+    /// Number of recorded work-steals (diagnostic).
+    pub steals: u64,
+}
+
+impl ReconstructedRun {
+    /// Checks Theorem 2.3 for every thread against the **observed**
+    /// schedule.  Reports are indexed by thread id.
+    pub fn check_observed(&self) -> Vec<TraceBoundReport> {
+        self.check_schedule(&self.schedule)
+    }
+
+    /// Checks Theorem 2.3 for every thread against a **replayed** prompt
+    /// admissible schedule of the reconstructed graph on `num_cores` cores
+    /// (the weak-respecting prompt scheduler).  Whenever the replay is
+    /// prompt, the theorem applies in full, so any counterexample here is a
+    /// bug in the graph reconstruction, the scheduler, or the bound
+    /// implementation.
+    pub fn check_replay(&self, num_cores: usize) -> Vec<TraceBoundReport> {
+        let replay = weak_respecting_prompt_schedule(&self.dag, num_cores);
+        self.check_schedule(&replay)
+    }
+
+    fn check_schedule(&self, schedule: &Schedule) -> Vec<TraceBoundReport> {
+        let analysis = BoundAnalysis::new(&self.dag);
+        analysis
+            .check_all(schedule)
+            .into_iter()
+            .zip(&self.tasks)
+            .map(|(report, task)| TraceBoundReport {
+                task: task.clone(),
+                report,
+            })
+            .collect()
+    }
+}
+
+/// Per-task accumulation while walking the event log.
+#[derive(Debug)]
+struct TaskRecord {
+    level: usize,
+    is_io: bool,
+    spawned_at: u64,
+    started_at: Option<u64>,
+    finished_at: Option<u64>,
+    /// Spawns and touches performed by this task's body, in recorded order.
+    actions: Vec<Action>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ActionKind {
+    SpawnChild(TaskKey),
+    Touch(TaskKey),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Action {
+    at: u64,
+    kind: ActionKind,
+}
+
+impl ExecutionTrace {
+    /// Reconstructs the cost graph and observed schedule from the event
+    /// log.
+    ///
+    /// Tasks that never completed are skipped (counted in
+    /// [`ReconstructedRun::skipped`]); edges referencing skipped or unknown
+    /// tasks are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when the level declaration is unusable, an
+    /// event references an out-of-range level, or no task ever completed.
+    pub fn reconstruct(&self) -> Result<ReconstructedRun, TraceError> {
+        if self.level_names.is_empty() {
+            return Err(TraceError::NoLevels);
+        }
+        let domain = PriorityDomain::total_order(self.level_names.iter().cloned())
+            .map_err(|e| TraceError::BadLevels(e.to_string()))?;
+
+        // Pass 1a: create a record per declared task, in first-appearance
+        // order.  Done before any Start/End is applied so a cross-shard
+        // timestamp tie that orders a task's `Start` ahead of its `Spawn`
+        // in the merged log cannot silently drop the task.
+        let mut order: Vec<TaskKey> = Vec::new();
+        let mut records: HashMap<TaskKey, TaskRecord> = HashMap::new();
+        let mut steals = 0u64;
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Spawn {
+                    task, level, at, ..
+                }
+                | TraceEvent::IoSubmit {
+                    task, level, at, ..
+                } => {
+                    if level >= domain.len() {
+                        return Err(TraceError::LevelOutOfRange { task, level });
+                    }
+                    records.entry(task).or_insert_with(|| {
+                        order.push(task);
+                        TaskRecord {
+                            level,
+                            is_io: matches!(ev, TraceEvent::IoSubmit { .. }),
+                            spawned_at: at,
+                            started_at: None,
+                            finished_at: None,
+                            actions: Vec::new(),
+                        }
+                    });
+                }
+                TraceEvent::Steal { .. } => steals += 1,
+                _ => {}
+            }
+        }
+
+        // Pass 1b: apply run spans and completions.
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Start { task, at, .. } => {
+                    if let Some(r) = records.get_mut(&task) {
+                        r.started_at.get_or_insert(at);
+                    }
+                }
+                TraceEvent::End { task, at } => {
+                    if let Some(r) = records.get_mut(&task) {
+                        r.finished_at.get_or_insert(at);
+                    }
+                }
+                TraceEvent::IoComplete { task, at } => {
+                    if let Some(r) = records.get_mut(&task) {
+                        r.started_at.get_or_insert(at);
+                        r.finished_at.get_or_insert(at);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Pass 2: attribute spawn/touch actions to the performing task.
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Spawn {
+                    task,
+                    parent: Some(p),
+                    at,
+                    ..
+                }
+                | TraceEvent::IoSubmit {
+                    task,
+                    parent: Some(p),
+                    at,
+                    ..
+                } if records.contains_key(&task) => {
+                    if let Some(r) = records.get_mut(&p) {
+                        r.actions.push(Action {
+                            at,
+                            kind: ActionKind::SpawnChild(task),
+                        });
+                    }
+                }
+                TraceEvent::Touch {
+                    toucher: Some(t),
+                    touched,
+                    at,
+                } if records.contains_key(&touched) => {
+                    if let Some(r) = records.get_mut(&t) {
+                        r.actions.push(Action {
+                            at,
+                            kind: ActionKind::Touch(touched),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Keep only completed tasks.
+        let complete =
+            |r: &TaskRecord| -> bool { r.started_at.is_some() && r.finished_at.is_some() };
+        let kept: Vec<TaskKey> = order
+            .iter()
+            .copied()
+            .filter(|k| complete(&records[k]))
+            .collect();
+        let skipped = order.len() - kept.len();
+        if kept.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let thread_of: HashMap<TaskKey, usize> =
+            kept.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+
+        // Pass 3: build the graph.  Threads in `kept` order; vertices carry
+        // their observed timestamps; action vertex timestamps are clamped
+        // into the task's [start, end] span to tolerate clock coarseness.
+        let mut builder = DagBuilder::new(domain.clone());
+        let mut vertex_times: Vec<u64> = Vec::new();
+        let mut threads: Vec<ThreadId> = Vec::with_capacity(kept.len());
+        let mut tasks: Vec<TracedTask> = Vec::with_capacity(kept.len());
+        // Action vertices of each thread, aligned with the kept actions, and
+        // each thread's last vertex (needed before `build()` for weak edges).
+        let mut action_vertices: Vec<Vec<VertexId>> = Vec::with_capacity(kept.len());
+        let mut thread_last: Vec<VertexId> = Vec::with_capacity(kept.len());
+        for (i, key) in kept.iter().enumerate() {
+            let r = &records[key];
+            let priority = domain.by_index(r.level);
+            let name = if r.is_io {
+                format!("io{i}")
+            } else {
+                format!("task{i}")
+            };
+            let t = builder.thread(name, priority);
+            threads.push(t);
+            let started = r.started_at.expect("kept tasks are complete");
+            let finished = r.finished_at.expect("kept tasks are complete").max(started);
+            let mut actions = Vec::new();
+            let last = if r.is_io {
+                // A single vertex at the completion instant.
+                let v = builder.vertex_labeled(t, Some("io"));
+                vertex_times.push(finished);
+                v
+            } else {
+                let _begin = builder.vertex_labeled(t, Some("begin"));
+                vertex_times.push(started);
+                for a in &r.actions {
+                    let label = match a.kind {
+                        ActionKind::SpawnChild(_) => "spawn",
+                        ActionKind::Touch(_) => "touch",
+                    };
+                    let v = builder.vertex_labeled(t, Some(label));
+                    actions.push(v);
+                    vertex_times.push(a.at.clamp(started, finished));
+                }
+                let end = builder.vertex_labeled(t, Some("end"));
+                vertex_times.push(finished);
+                end
+            };
+            action_vertices.push(actions);
+            thread_last.push(last);
+            tasks.push(TracedTask {
+                key: *key,
+                thread: t,
+                is_io: r.is_io,
+                level: r.level,
+                spawned_at: r.spawned_at,
+                started_at: started,
+                finished_at: finished,
+            });
+        }
+
+        // Pass 4: edges.
+        for (i, key) in kept.iter().enumerate() {
+            let r = &records[key];
+            if r.is_io {
+                continue;
+            }
+            let my_priority = domain.by_index(r.level);
+            for (a, &v) in r.actions.iter().zip(&action_vertices[i]) {
+                match a.kind {
+                    ActionKind::SpawnChild(child) => {
+                        let Some(&j) = thread_of.get(&child) else {
+                            continue;
+                        };
+                        builder.fcreate(v, threads[j]).map_err(TraceError::Build)?;
+                    }
+                    ActionKind::Touch(touched) => {
+                        let Some(&j) = thread_of.get(&touched) else {
+                            continue;
+                        };
+                        let touched_priority = domain.by_index(records[&touched].level);
+                        if domain.leq(my_priority, touched_priority) {
+                            // A legal touch: a strong ftouch edge.
+                            builder.ftouch(threads[j], v).map_err(TraceError::Build)?;
+                        } else {
+                            // An inverting dependence: demoted to a weak
+                            // edge from the touched thread's last vertex so
+                            // the graph stays well-formed while the observed
+                            // ordering is still recorded.
+                            builder.weak(thread_last[j], v).map_err(TraceError::Build)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        let dag = builder.build().map_err(TraceError::Build)?;
+        let schedule = observed_schedule(&dag, &vertex_times, self.num_workers.max(1));
+        Ok(ReconstructedRun {
+            dag,
+            schedule,
+            tasks,
+            vertex_times,
+            skipped,
+            steals,
+        })
+    }
+}
+
+/// Linearises observed vertex timestamps into a valid admissible schedule:
+///
+/// 1. *causal adjustment*: in topological order, each vertex's time becomes
+///    `max(observed, max(parent adjusted) + 1)` over strong **and** weak
+///    parents, repairing sub-tick clock ties without reordering anything the
+///    clock did resolve;
+/// 2. vertices are sorted by `(adjusted time, vertex id)` — a linear
+///    extension, since every edge strictly increases adjusted time;
+/// 3. greedy grouping packs consecutive vertices into steps of at most
+///    `num_cores`, starting a new step whenever a vertex has a parent in the
+///    current step.
+fn observed_schedule(dag: &CostDag, times: &[u64], num_cores: usize) -> Schedule {
+    let order = crate::analysis::topological_order(dag);
+    let mut adjusted: Vec<u64> = times.to_vec();
+    for &v in &order {
+        let mut t = times[v.index()];
+        for e in dag.in_edges(v) {
+            t = t.max(adjusted[e.from.index()].saturating_add(1));
+        }
+        adjusted[v.index()] = t;
+    }
+    let mut by_time: Vec<VertexId> = dag.vertices().collect();
+    by_time.sort_by_key(|v| (adjusted[v.index()], v.0));
+
+    let mut steps: Vec<Vec<VertexId>> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut in_current = vec![false; dag.vertex_count()];
+    for v in by_time {
+        let parent_in_step = dag.in_edges(v).any(|e| in_current[e.from.index()]);
+        if current.len() >= num_cores || parent_in_step {
+            for &u in &current {
+                in_current[u.index()] = false;
+            }
+            steps.push(std::mem::take(&mut current));
+        }
+        in_current[v.index()] = true;
+        current.push(v);
+    }
+    if !current.is_empty() {
+        steps.push(current);
+    }
+    Schedule { num_cores, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wellformed::check_well_formed;
+
+    fn trace(events: Vec<TraceEvent>, workers: usize, levels: &[&str]) -> ExecutionTrace {
+        ExecutionTrace {
+            events,
+            num_workers: workers,
+            level_names: levels.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// External driver spawns task 1; task 1 spawns task 2 and touches it.
+    fn chain_events() -> Vec<TraceEvent> {
+        use TraceEvent::*;
+        vec![
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 0,
+                at: 0,
+            },
+            Start {
+                task: 1,
+                worker: 0,
+                at: 10,
+            },
+            Spawn {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 20,
+            },
+            Start {
+                task: 2,
+                worker: 0,
+                at: 30,
+            },
+            End { task: 2, at: 40 },
+            Touch {
+                toucher: Some(1),
+                touched: 2,
+                at: 50,
+            },
+            End { task: 1, at: 60 },
+        ]
+    }
+
+    #[test]
+    fn chain_reconstructs_well_formed_dag_and_valid_schedule() {
+        let run = trace(chain_events(), 1, &["only"]).reconstruct().unwrap();
+        assert_eq!(run.dag.thread_count(), 2);
+        // task0: begin, spawn, touch, end; task1: begin, end.
+        assert_eq!(run.dag.vertex_count(), 6);
+        assert_eq!(run.dag.create_edges().len(), 1);
+        assert_eq!(run.dag.touch_edges().len(), 1);
+        assert_eq!(run.dag.weak_edges().len(), 0);
+        assert_eq!(run.skipped, 0);
+        assert!(check_well_formed(&run.dag).is_ok());
+        run.schedule.validate(&run.dag).unwrap();
+        assert!(run.schedule.is_admissible(&run.dag));
+        assert!(run.schedule.is_prompt(&run.dag), "single level, P=1");
+        // Measured response covers spawn → end.
+        assert_eq!(run.tasks[0].measured_response_nanos(), 60);
+        assert_eq!(run.tasks[1].measured_response_nanos(), 20);
+    }
+
+    #[test]
+    fn chain_bounds_hold_on_observed_and_replay() {
+        let run = trace(chain_events(), 1, &["only"]).reconstruct().unwrap();
+        for reports in [run.check_observed(), run.check_replay(1)] {
+            assert_eq!(reports.len(), 2);
+            for r in &reports {
+                assert!(r.report.hypotheses_hold(), "{r:?}");
+                assert!(r.report.bound_holds(), "{r:?}");
+                assert!(!r.report.is_counterexample());
+                assert!(r.slack_ratio().unwrap() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverting_touch_becomes_weak_edge() {
+        use TraceEvent::*;
+        // A high-priority task touches a low-priority one: illegal as a
+        // strong edge, demoted to weak.
+        let events = vec![
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 1,
+                at: 0,
+            },
+            Start {
+                task: 1,
+                worker: 0,
+                at: 10,
+            },
+            Spawn {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 20,
+            },
+            Start {
+                task: 2,
+                worker: 0,
+                at: 30,
+            },
+            End { task: 2, at: 40 },
+            Touch {
+                toucher: Some(1),
+                touched: 2,
+                at: 50,
+            },
+            End { task: 1, at: 60 },
+        ];
+        let run = trace(events, 1, &["lo", "hi"]).reconstruct().unwrap();
+        assert_eq!(run.dag.touch_edges().len(), 0);
+        assert_eq!(run.dag.weak_edges().len(), 1);
+        assert!(
+            check_well_formed(&run.dag).is_ok(),
+            "weak demotion keeps the graph well-formed"
+        );
+        run.schedule.validate(&run.dag).unwrap();
+        assert!(
+            run.schedule.is_admissible(&run.dag),
+            "the observed order satisfied the weak edge"
+        );
+    }
+
+    #[test]
+    fn io_future_becomes_single_vertex_thread() {
+        use TraceEvent::*;
+        let events = vec![
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 0,
+                at: 0,
+            },
+            Start {
+                task: 1,
+                worker: 0,
+                at: 10,
+            },
+            IoSubmit {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 20,
+            },
+            IoComplete { task: 2, at: 45 },
+            Touch {
+                toucher: Some(1),
+                touched: 2,
+                at: 50,
+            },
+            End { task: 1, at: 60 },
+        ];
+        let run = trace(events, 1, &["only"]).reconstruct().unwrap();
+        assert_eq!(run.dag.thread_count(), 2);
+        let io = run.tasks.iter().find(|t| t.is_io).unwrap();
+        assert_eq!(run.dag.thread(io.thread).vertices.len(), 1);
+        assert_eq!(io.measured_response_nanos(), 25);
+        assert_eq!(run.dag.create_edges().len(), 1);
+        assert_eq!(run.dag.touch_edges().len(), 1);
+        assert!(check_well_formed(&run.dag).is_ok());
+        run.schedule.validate(&run.dag).unwrap();
+        for r in run.check_observed() {
+            assert!(!r.report.is_counterexample());
+        }
+    }
+
+    #[test]
+    fn incomplete_tasks_are_skipped() {
+        use TraceEvent::*;
+        let events = vec![
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 0,
+                at: 0,
+            },
+            Start {
+                task: 1,
+                worker: 0,
+                at: 10,
+            },
+            // Task 2 spawned but never ran.
+            Spawn {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 20,
+            },
+            End { task: 1, at: 30 },
+        ];
+        let run = trace(events, 1, &["only"]).reconstruct().unwrap();
+        assert_eq!(run.skipped, 1);
+        assert_eq!(run.dag.thread_count(), 1);
+        assert_eq!(
+            run.dag.create_edges().len(),
+            0,
+            "edge to skipped task dropped"
+        );
+        run.schedule.validate(&run.dag).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        use TraceEvent::*;
+        assert_eq!(
+            trace(vec![], 1, &[]).reconstruct().unwrap_err(),
+            TraceError::NoLevels
+        );
+        assert_eq!(
+            trace(vec![], 1, &["only"]).reconstruct().unwrap_err(),
+            TraceError::Empty
+        );
+        let bad_level = vec![Spawn {
+            task: 1,
+            parent: None,
+            level: 7,
+            at: 0,
+        }];
+        assert!(matches!(
+            trace(bad_level, 1, &["only"]).reconstruct().unwrap_err(),
+            TraceError::LevelOutOfRange { task: 1, level: 7 }
+        ));
+        let dup = trace(vec![], 1, &["a", "a"]).reconstruct().unwrap_err();
+        assert!(matches!(dup, TraceError::BadLevels(_)));
+        // Display impls render.
+        for e in [
+            TraceError::NoLevels,
+            TraceError::Empty,
+            TraceError::LevelOutOfRange { task: 1, level: 7 },
+            TraceError::BadLevels("dup".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// Spawn and Start land in different shards (different recording
+    /// threads), so a timestamp tie can order Start *before* Spawn in the
+    /// merged log.  The task must still reconstruct, not be skipped.
+    #[test]
+    fn start_ordered_before_spawn_on_a_tie_still_reconstructs() {
+        use TraceEvent::*;
+        let events = vec![
+            Start {
+                task: 1,
+                worker: 0,
+                at: 10,
+            },
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 0,
+                at: 10,
+            },
+            IoComplete { task: 2, at: 20 },
+            IoSubmit {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 20,
+            },
+            End { task: 1, at: 30 },
+        ];
+        let run = trace(events, 1, &["only"]).reconstruct().unwrap();
+        assert_eq!(run.skipped, 0, "tied events must not drop tasks");
+        assert_eq!(run.dag.thread_count(), 2);
+        assert_eq!(run.dag.create_edges().len(), 1);
+        run.schedule.validate(&run.dag).unwrap();
+    }
+
+    #[test]
+    fn clock_ties_are_causally_repaired() {
+        use TraceEvent::*;
+        // Coarse clock: everything at t=0.  The schedule must still be a
+        // valid linear extension.
+        let events = vec![
+            Spawn {
+                task: 1,
+                parent: None,
+                level: 0,
+                at: 0,
+            },
+            Start {
+                task: 1,
+                worker: 0,
+                at: 0,
+            },
+            Spawn {
+                task: 2,
+                parent: Some(1),
+                level: 0,
+                at: 0,
+            },
+            Start {
+                task: 2,
+                worker: 0,
+                at: 0,
+            },
+            End { task: 2, at: 0 },
+            Touch {
+                toucher: Some(1),
+                touched: 2,
+                at: 0,
+            },
+            End { task: 1, at: 0 },
+        ];
+        let run = trace(events, 2, &["only"]).reconstruct().unwrap();
+        run.schedule.validate(&run.dag).unwrap();
+        assert!(run.schedule.is_admissible(&run.dag));
+    }
+
+    #[test]
+    fn grouping_respects_core_limit() {
+        use TraceEvent::*;
+        // Four independent externally-spawned tasks at overlapping times on
+        // two workers: no step may exceed two vertices.
+        let mut events = Vec::new();
+        for k in 1..=4u64 {
+            events.push(Spawn {
+                task: k,
+                parent: None,
+                level: 0,
+                at: 0,
+            });
+            events.push(Start {
+                task: k,
+                worker: (k % 2) as usize,
+                at: 10,
+            });
+            events.push(End { task: k, at: 20 });
+        }
+        let run = trace(events, 2, &["only"]).reconstruct().unwrap();
+        run.schedule.validate(&run.dag).unwrap();
+        assert!(run.schedule.steps.iter().all(|s| s.len() <= 2));
+        assert_eq!(run.schedule.num_cores, 2);
+    }
+}

@@ -10,6 +10,7 @@ use crate::priority::PriorityLevel;
 use parking_lot::{Condvar, Mutex};
 use rp_priority::Priority;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,6 +21,9 @@ pub(crate) struct FutureInner<T> {
     ready: Condvar,
     priority: Priority,
     created_at: Instant,
+    /// The backing task's trace key when the runtime records an execution
+    /// trace (`0` = untraced).  Set once, before the handle is handed out.
+    trace_key: AtomicU64,
 }
 
 /// A handle to a running prioritized task (the paper's thread handle /
@@ -48,7 +52,24 @@ impl<T> IFuture<T> {
                 ready: Condvar::new(),
                 priority,
                 created_at: Instant::now(),
+                trace_key: AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// Tags the future with its backing task's trace key.  Called by the
+    /// runtime before the handle is returned to the caller, so every
+    /// `ftouch` through the handle sees the key.
+    pub(crate) fn set_trace_key(&self, key: u64) {
+        self.inner.trace_key.store(key, Ordering::Relaxed);
+    }
+
+    /// The backing task's trace key, if the future was created by a tracing
+    /// runtime.
+    pub(crate) fn trace_key(&self) -> Option<u64> {
+        match self.inner.trace_key.load(Ordering::Relaxed) {
+            0 => None,
+            k => Some(k),
         }
     }
 

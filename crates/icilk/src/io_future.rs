@@ -53,6 +53,11 @@ struct ReactorState {
     /// Loop iterations of the reactor thread, for the idle-wakeup
     /// regression test and diagnostics.
     wakeups: u64,
+    /// Operations popped from the queue as due but whose completion
+    /// closures have not finished running yet.  Without this, an operation
+    /// being completed is invisible to [`IoReactor::pending_ops`] and a
+    /// drain could declare the runtime idle mid-completion.
+    in_flight: usize,
 }
 
 /// The simulated-I/O reactor: owns a background thread that completes
@@ -143,6 +148,15 @@ impl IoReactor {
         self.state.0.lock().wakeups
     }
 
+    /// Number of submitted operations that have not completed yet: those
+    /// still queued behind their deadlines plus those whose completion
+    /// closures are currently running.  [`crate::runtime::Runtime::drain`]
+    /// polls this so in-flight I/O counts as outstanding work.
+    pub fn pending_ops(&self) -> usize {
+        let st = self.state.0.lock();
+        st.queue.len() + st.in_flight
+    }
+
     /// Stops the reactor, completing any still-pending operations
     /// immediately.
     pub fn shutdown(&mut self) {
@@ -195,10 +209,16 @@ fn reactor_loop(state: Arc<(Mutex<ReactorState>, Condvar)>) {
                     }
                 }
             }
+            // Popped operations stay visible to `pending_ops` until their
+            // completion closures have run.
+            st.in_flight = due.len();
             due
         };
-        for op in due {
-            (op.complete)();
+        if !due.is_empty() {
+            for op in due {
+                (op.complete)();
+            }
+            lock.lock().in_flight = 0;
         }
     }
 }
@@ -287,6 +307,30 @@ mod tests {
             wakeups <= 5,
             "idle reactor woke {wakeups} times in 250 ms — busy-wake regression"
         );
+    }
+
+    /// Regression test: a submitted operation must count as pending until
+    /// its completion closure has run.  `Runtime::drain` polls
+    /// `pending_ops`, so this is what keeps a drain from declaring the
+    /// runtime idle while I/O is still in flight.
+    #[test]
+    fn pending_ops_counts_submitted_until_completed() {
+        let reactor = IoReactor::start(LatencyModel::Constant { micros: 100 }, 6);
+        assert_eq!(reactor.pending_ops(), 0);
+        let f = reactor.submit(prio(), Duration::from_millis(20), || 1u32);
+        assert_eq!(
+            reactor.pending_ops(),
+            1,
+            "submission must be visible immediately"
+        );
+        assert_eq!(f.wait_clone(), 1);
+        // The completion closure has run; the counter settles to zero (the
+        // reactor zeroes `in_flight` right after completing the batch).
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while reactor.pending_ops() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(reactor.pending_ops(), 0);
     }
 
     /// An idle (parked) reactor must still pick up new submissions promptly:

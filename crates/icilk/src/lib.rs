@@ -26,6 +26,10 @@
 //!   (mean and 95th percentile, the quantities of Figures 13 and 14),
 //!   sharded per recording thread so the task-completion hot path never
 //!   contends on a global lock;
+//! * [`trace`] — an optional low-overhead execution tracer (sharded like
+//!   [`metrics`]) whose event log `rp_core::trace` reconstructs into a cost
+//!   graph and schedule, making the Theorem 2.3 response-time bound an
+//!   executable invariant of real runs;
 //! * [`runtime`] — the public [`runtime::Runtime`] facade tying it together.
 //!
 //! # Quick start
@@ -53,6 +57,7 @@ pub mod metrics;
 pub mod pool;
 pub mod priority;
 pub mod runtime;
+pub mod trace;
 pub mod worker;
 
 pub use future::IFuture;

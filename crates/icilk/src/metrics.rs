@@ -38,7 +38,7 @@ thread_local! {
     static THREAD_ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
-fn thread_ordinal() -> usize {
+pub(crate) fn thread_ordinal() -> usize {
     THREAD_ORDINAL.with(|slot| {
         let mut ord = slot.get();
         if ord == usize::MAX {

@@ -20,6 +20,7 @@
 
 use crate::metrics::MetricsCollector;
 use crate::priority::PrioritySet;
+use crate::trace::TraceCollector;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -34,6 +35,8 @@ pub struct Task {
     pub level: usize,
     /// When the task was enqueued (for response-time accounting).
     pub enqueued_at: Instant,
+    /// The task's trace key, when the runtime records an execution trace.
+    pub trace: Option<u64>,
 }
 
 impl std::fmt::Debug for Task {
@@ -122,14 +125,26 @@ pub struct SharedState {
     pub shutdown: AtomicBool,
     /// Per-level task statistics.
     pub metrics: MetricsCollector,
+    /// The execution tracer, when tracing is enabled.
+    pub trace: Option<Arc<TraceCollector>>,
     /// Number of worker threads.
     pub num_workers: usize,
 }
 
 impl SharedState {
     /// Creates the shared state for `num_workers` workers over the given
-    /// priority set.
+    /// priority set, without tracing.
     pub fn new(priorities: PrioritySet, num_workers: usize, kind: PoolKind) -> Arc<Self> {
+        Self::new_with_trace(priorities, num_workers, kind, None)
+    }
+
+    /// Like [`SharedState::new`], optionally installing an execution tracer.
+    pub fn new_with_trace(
+        priorities: PrioritySet,
+        num_workers: usize,
+        kind: PoolKind,
+        trace: Option<Arc<TraceCollector>>,
+    ) -> Arc<Self> {
         let levels = (0..priorities.len()).map(|_| LevelPool::new()).collect();
         let metrics = MetricsCollector::new(priorities.len());
         // Initially every worker serves the highest level; the master
@@ -148,6 +163,7 @@ impl SharedState {
             deques: Mutex::new(deques.into_iter().map(Some).collect()),
             shutdown: AtomicBool::new(false),
             metrics,
+            trace,
             num_workers,
         })
     }
@@ -332,7 +348,12 @@ impl SharedState {
                 }
                 loop {
                     match self.stealers[peer].steal() {
-                        Steal::Success(t) => return Some(t),
+                        Steal::Success(t) => {
+                            if let (Some(tc), Some(key)) = (&self.trace, t.trace) {
+                                tc.record_steal(key);
+                            }
+                            return Some(t);
+                        }
                         Steal::Empty => break,
                         Steal::Retry => continue,
                     }
@@ -409,6 +430,7 @@ mod tests {
             }),
             level,
             enqueued_at: Instant::now(),
+            trace: None,
         }
     }
 

@@ -147,6 +147,13 @@ impl PrioritySet {
         self.domain.by_index(index)
     }
 
+    /// The level with the given index (0 = lowest), or `None` when the
+    /// index is out of range — the checked variant of
+    /// [`by_index`](Self::by_index).
+    pub fn get(&self, index: usize) -> Option<Priority> {
+        (index < self.domain.len()).then(|| self.domain.by_index(index))
+    }
+
     /// The runtime check corresponding to `Touched: OutranksOrEqual<Toucher>`:
     /// does code at `toucher` touching a future at `touched` avoid a priority
     /// inversion?

@@ -6,7 +6,9 @@ use crate::master::{spawn_master, MasterConfig};
 use crate::metrics::MetricsSnapshot;
 use crate::pool::{PoolKind, SharedState, Task};
 use crate::priority::{OutranksOrEqual, PriorityLevel, PrioritySet};
+use crate::trace::{TaskScope, TraceCollector};
 use crate::worker::{execute_task, spawn_workers};
+use rp_core::trace::ExecutionTrace;
 use rp_priority::Priority;
 use rp_sim::latency::LatencyModel;
 use std::sync::Arc;
@@ -41,6 +43,8 @@ pub struct RuntimeConfig {
     pub io_latency: LatencyModel,
     /// Seed for the I/O latency sampler.
     pub io_seed: u64,
+    /// Whether to record an execution trace (see [`crate::trace`]).
+    pub tracing: bool,
 }
 
 impl RuntimeConfig {
@@ -56,6 +60,7 @@ impl RuntimeConfig {
             master: MasterConfig::default(),
             io_latency: LatencyModel::Uniform { lo: 200, hi: 2_000 },
             io_seed: 0xC11F,
+            tracing: false,
         }
     }
 
@@ -93,6 +98,14 @@ impl RuntimeConfig {
         self.io_seed = seed;
         self
     }
+
+    /// Enables or disables execution tracing.  Traced runtimes record every
+    /// spawn, run span, steal, touch, and I/O event;
+    /// [`Runtime::trace_snapshot`] returns the merged log.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
 }
 
 /// The I-Cilk runtime: a fixed set of workers, per-priority pools, the
@@ -118,7 +131,13 @@ impl Runtime {
             SchedulerKind::ICilk => PoolKind::Prioritized,
             SchedulerKind::Baseline => PoolKind::Oblivious,
         };
-        let shared = SharedState::new(priorities, config.workers, kind);
+        let trace = config.tracing.then(|| {
+            let names = (0..priorities.len())
+                .map(|i| priorities.domain().name(priorities.by_index(i)).to_string())
+                .collect();
+            Arc::new(TraceCollector::new(names, config.workers))
+        });
+        let shared = SharedState::new_with_trace(priorities, config.workers, kind, trace);
         let workers = spawn_workers(&shared);
         let master = match config.scheduler {
             SchedulerKind::ICilk => Some(spawn_master(&shared, config.master)),
@@ -144,9 +163,10 @@ impl Runtime {
         self.shared.priorities.by_name(name)
     }
 
-    /// The priority level with the given index (0 = lowest).
-    pub fn priority_by_index(&self, index: usize) -> Priority {
-        self.shared.priorities.by_index(index)
+    /// The priority level with the given index (0 = lowest), or `None` when
+    /// the index is out of range.
+    pub fn priority_by_index(&self, index: usize) -> Option<Priority> {
+        self.shared.priorities.get(index)
     }
 
     /// `fcreate`: spawns `body` as a task at `priority` and returns its
@@ -159,10 +179,29 @@ impl Runtime {
         let future = IFuture::new(priority);
         let completion = future.clone();
         let level = priority.index();
+        let run: Box<dyn FnOnce() + Send + 'static> = match &self.shared.trace {
+            Some(tc) => {
+                let key = tc.record_spawn(level);
+                future.set_trace_key(key);
+                let tc = Arc::clone(tc);
+                Box::new(move || {
+                    let scope = TaskScope::enter(&tc, key);
+                    let value = body();
+                    // End the run span before fulfilling the future, so
+                    // every recorded touch of the value is timestamped after
+                    // the task's end event.
+                    drop(scope);
+                    completion.complete(value);
+                })
+            }
+            None => Box::new(move || completion.complete(body())),
+        };
+        let trace = future.trace_key();
         self.shared.push_task(Task {
-            run: Box::new(move || completion.complete(body())),
+            run,
             level,
             enqueued_at: Instant::now(),
+            trace,
         });
         future
     }
@@ -188,9 +227,9 @@ impl Runtime {
     /// on a join — the analogue of proactive work stealing's non-blocking
     /// joins).
     pub fn ftouch<T: Clone + Send + 'static>(&self, future: &IFuture<T>) -> T {
-        loop {
+        let value = loop {
             if let Some(v) = future.try_get() {
-                return v;
+                break v;
             }
             // Help: run someone else's task, preferring the highest levels.
             let top = self.shared.priorities.len() - 1;
@@ -198,11 +237,13 @@ impl Runtime {
                 Some(task) => execute_task(&self.shared, task),
                 None => {
                     if let Some(v) = future.wait_clone_timeout(Duration::from_micros(200)) {
-                        return v;
+                        break v;
                     }
                 }
             }
-        }
+        };
+        self.record_touch(future);
+        value
     }
 
     /// `ftouch` with the compile-time priority-inversion check: only
@@ -242,7 +283,17 @@ impl Runtime {
     /// Blocking `ftouch` for threads outside the runtime (e.g. the test
     /// driver): parks the calling thread until the value is ready.
     pub fn ftouch_blocking<T: Clone + Send + 'static>(&self, future: &IFuture<T>) -> T {
-        future.wait_clone()
+        let value = future.wait_clone();
+        self.record_touch(future);
+        value
+    }
+
+    /// Records an `ftouch` event when tracing is on and the future belongs
+    /// to a traced task.
+    fn record_touch<T>(&self, future: &IFuture<T>) {
+        if let (Some(tc), Some(key)) = (&self.shared.trace, future.trace_key()) {
+            tc.record_touch(key);
+        }
     }
 
     /// Starts a simulated I/O operation (`cilk_read` / `cilk_write`): the
@@ -253,7 +304,8 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.reactor.submit_with_model_latency(priority, produce)
+        let latency = self.reactor.sample_latency();
+        self.submit_io_with_latency(priority, latency, produce)
     }
 
     /// Starts a simulated I/O operation with an explicit latency.
@@ -267,7 +319,22 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.reactor.submit(priority, latency, produce)
+        match &self.shared.trace {
+            Some(tc) => {
+                let key = tc.record_io_submit(priority.index());
+                let tc = Arc::clone(tc);
+                let future = self.reactor.submit(priority, latency, move || {
+                    let value = produce();
+                    // Recorded before the future is fulfilled, so touches of
+                    // the payload are timestamped after the completion.
+                    tc.record_io_complete(key);
+                    value
+                });
+                future.set_trace_key(key);
+                future
+            }
+            None => self.reactor.submit(priority, latency, produce),
+        }
     }
 
     /// A snapshot of the per-level response/compute statistics.
@@ -275,16 +342,30 @@ impl Runtime {
         self.shared.metrics.snapshot()
     }
 
+    /// A snapshot of the execution trace, or `None` when the runtime was
+    /// started without tracing.  Take it after [`Runtime::drain`] so every
+    /// spawned task has completed and reconstruction skips nothing.
+    pub fn trace_snapshot(&self) -> Option<ExecutionTrace> {
+        self.shared.trace.as_ref().map(|tc| tc.snapshot())
+    }
+
     /// Time since the runtime started.
     pub fn uptime(&self) -> Duration {
         self.started_at.elapsed()
     }
 
-    /// Waits (bounded by `timeout`) until no tasks are pending.
-    /// Returns whether the runtime drained in time.
+    /// Waits (bounded by `timeout`) until no tasks are pending **and** no
+    /// simulated-I/O operations are still in flight.  Returns whether the
+    /// runtime drained in time.
+    ///
+    /// I/O futures never occupy a worker, so they are not counted by the
+    /// per-level pending counters; draining used to ignore them and could
+    /// report an empty runtime while submitted operations were still waiting
+    /// on the reactor — see the `drain_waits_for_in_flight_io` regression
+    /// test.
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while self.shared.any_pending() {
+        while self.shared.any_pending() || self.reactor.pending_ops() > 0 {
             if Instant::now() >= deadline {
                 return false;
             }
@@ -444,6 +525,96 @@ mod tests {
         assert_eq!(m.completed, vec![4, 4]);
         assert!(m.mean_response_micros(1).is_some());
         rt.shutdown();
+    }
+
+    /// Regression test: `priority_by_index` used to panic on an
+    /// out-of-range index; it now returns `None`.
+    #[test]
+    fn priority_by_index_is_checked() {
+        let rt = runtime(SchedulerKind::ICilk);
+        assert_eq!(rt.priority_by_index(0), rt.priority_by_name("bg"));
+        assert_eq!(rt.priority_by_index(1), rt.priority_by_name("ui"));
+        assert_eq!(rt.priority_by_index(2), None);
+        assert_eq!(rt.priority_by_index(usize::MAX), None);
+        rt.shutdown();
+    }
+
+    /// Regression test: I/O futures never occupy a worker, so `drain` used
+    /// to ignore them entirely — it returned `true` immediately while a
+    /// just-submitted operation was still waiting on the reactor.  A
+    /// successful drain must now imply every submitted I/O has completed.
+    #[test]
+    fn drain_waits_for_in_flight_io() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let ui = rt.priority_by_name("ui").unwrap();
+        let io = rt.submit_io_with_latency(ui, Duration::from_millis(50), || 5u32);
+        let started = Instant::now();
+        assert!(rt.drain(Duration::from_secs(5)), "drain must finish");
+        assert!(
+            io.is_ready(),
+            "a drained runtime has no I/O still in flight"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(45),
+            "drain returned in {:?}, before the 50 ms I/O completed",
+            started.elapsed()
+        );
+        rt.shutdown();
+    }
+
+    /// Tracing end-to-end: a traced runtime's snapshot reconstructs into a
+    /// well-formed cost graph whose bound reports carry no counterexample.
+    #[test]
+    fn traced_runtime_reconstructs_cost_dag() {
+        let rt = Arc::new(Runtime::start(
+            RuntimeConfig::new(1, 2)
+                .with_level_names(["bg", "ui"])
+                .with_tracing(true)
+                .with_io_latency(LatencyModel::Constant { micros: 300 }, 9),
+        ));
+        let ui = rt.priority_by_name("ui").unwrap();
+        let rt2 = Arc::clone(&rt);
+        let outer = rt.fcreate(ui, move || {
+            let inner = rt2.fcreate(ui, || 2u64);
+            let io = rt2.submit_io(ui, || 3u64);
+            rt2.ftouch(&inner) + rt2.ftouch(&io)
+        });
+        assert_eq!(rt.ftouch_blocking(&outer), 5);
+        assert!(rt.drain(Duration::from_secs(5)));
+        let trace = rt.trace_snapshot().expect("tracing was enabled");
+        assert!(!trace.events.is_empty());
+        assert_eq!(trace.level_names, vec!["bg".to_string(), "ui".to_string()]);
+        let run = trace.reconstruct().expect("trace reconstructs");
+        // outer + inner + the I/O future.
+        assert_eq!(run.dag.thread_count(), 3);
+        assert_eq!(run.skipped, 0);
+        assert!(rp_core::wellformed::check_well_formed(&run.dag).is_ok());
+        run.schedule
+            .validate(&run.dag)
+            .expect("observed schedule valid");
+        assert!(run.schedule.is_admissible(&run.dag));
+        for report in run.check_observed() {
+            assert!(!report.report.is_counterexample(), "{report:?}");
+        }
+        // An untraced runtime has no snapshot.
+        let plain = runtime(SchedulerKind::ICilk);
+        assert!(plain.trace_snapshot().is_none());
+        plain.shutdown();
+        // Task closures drop their runtime handles shortly after the drain;
+        // wait to be the sole owner before shutting down.
+        let mut rt = rt;
+        loop {
+            match Arc::try_unwrap(rt) {
+                Ok(owned) => {
+                    owned.shutdown();
+                    break;
+                }
+                Err(shared) => {
+                    rt = shared;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! The runtime cost-graph tracer.
+//!
+//! When tracing is enabled ([`crate::runtime::RuntimeConfig::with_tracing`])
+//! the runtime records an event log of everything it executes — task spawns,
+//! run spans, steals, touches, and I/O submissions/completions — in the
+//! event vocabulary of [`rp_core::trace`].  After a drain,
+//! [`crate::runtime::Runtime::trace_snapshot`] merges the log into an
+//! [`ExecutionTrace`], which `rp_core` reconstructs into a cost graph and a
+//! concrete schedule so the Theorem 2.3 response-time bound can be checked
+//! against the real execution.
+//!
+//! # Sharding
+//!
+//! Recording happens on every spawn, touch, and task completion, so it uses
+//! the same pattern as [`crate::metrics::MetricsCollector`]: one
+//! cache-line-padded shard per recording thread (round-robin by the shared
+//! thread ordinal), each behind its own mutex.  A worker only ever locks its
+//! own shard, so recording never takes a global lock; shards are merged only
+//! by [`TraceCollector::snapshot`].  Task keys come from one relaxed atomic
+//! counter — the only cross-thread traffic on the hot path.
+
+use crate::metrics::thread_ordinal;
+use parking_lot::Mutex;
+use rp_core::trace::{ExecutionTrace, TraceEvent};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default number of trace shards; recording threads beyond this many share
+/// shards round-robin.
+pub const DEFAULT_TRACE_SHARDS: usize = 16;
+
+/// Distinguishes collectors so a thread executing tasks of one runtime never
+/// mis-attributes parents or touchers to another runtime's collector.
+static NEXT_COLLECTOR_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Task keys are drawn from one process-wide counter rather than
+/// per-collector ones: a future can be touched through a *different* traced
+/// runtime than the one that created it (the public API permits it), and
+/// with per-collector counters the recorded key would collide with an
+/// unrelated task of the touching runtime, fabricating an edge.  Globally
+/// unique keys make such a cross-runtime touch record a key unknown to the
+/// touching collector's log, which reconstruction drops harmlessly.
+static NEXT_TASK_KEY: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The `(collector token, task key)` of the task currently executing on
+    /// this thread, if any.  Saved and restored by [`TaskScope`], so nested
+    /// execution (a worker helping inside `ftouch`) attributes events to the
+    /// innermost task.
+    static CURRENT_TASK: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
+}
+
+/// One trace shard, padded to its own cache lines (see the module docs).
+#[repr(align(128))]
+struct Shard(Mutex<Vec<TraceEvent>>);
+
+/// Sharded, per-runtime recorder of [`TraceEvent`]s.
+pub struct TraceCollector {
+    token: u64,
+    epoch: Instant,
+    shards: Vec<Shard>,
+    shard_mask: usize,
+    level_names: Vec<String>,
+    num_workers: usize,
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("shards", &self.shards.len())
+            .field("num_workers", &self.num_workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceCollector {
+    /// A collector for a runtime with the given level names (lowest first)
+    /// and worker count, using [`DEFAULT_TRACE_SHARDS`] shards.
+    pub fn new(level_names: Vec<String>, num_workers: usize) -> Self {
+        let shards = DEFAULT_TRACE_SHARDS.next_power_of_two();
+        TraceCollector {
+            token: NEXT_COLLECTOR_TOKEN.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            shards: (0..shards).map(|_| Shard(Mutex::new(Vec::new()))).collect(),
+            shard_mask: shards - 1,
+            level_names,
+            num_workers,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let shard = &self.shards[thread_ordinal() & self.shard_mask];
+        shard.0.lock().push(event);
+    }
+
+    /// The task currently executing on this thread, if it belongs to this
+    /// collector's runtime.
+    fn current_task(&self) -> Option<u64> {
+        CURRENT_TASK
+            .with(Cell::get)
+            .and_then(|(token, key)| (token == self.token).then_some(key))
+    }
+
+    /// Records an `fcreate` and returns the new task's key.
+    pub(crate) fn record_spawn(&self, level: usize) -> u64 {
+        let task = NEXT_TASK_KEY.fetch_add(1, Ordering::Relaxed);
+        self.record(TraceEvent::Spawn {
+            task,
+            parent: self.current_task(),
+            level,
+            at: self.now(),
+        });
+        task
+    }
+
+    /// Records a simulated-I/O submission and returns the future's key.
+    pub(crate) fn record_io_submit(&self, level: usize) -> u64 {
+        let task = NEXT_TASK_KEY.fetch_add(1, Ordering::Relaxed);
+        self.record(TraceEvent::IoSubmit {
+            task,
+            parent: self.current_task(),
+            level,
+            at: self.now(),
+        });
+        task
+    }
+
+    /// Records a simulated-I/O completion.
+    pub(crate) fn record_io_complete(&self, task: u64) {
+        self.record(TraceEvent::IoComplete {
+            task,
+            at: self.now(),
+        });
+    }
+
+    /// Records an `ftouch` of the given task's future by whatever task is
+    /// currently executing on this thread (`None` for external threads).
+    pub(crate) fn record_touch(&self, touched: u64) {
+        self.record(TraceEvent::Touch {
+            toucher: self.current_task(),
+            touched,
+            at: self.now(),
+        });
+    }
+
+    /// Records a steal of the given task by this thread.
+    pub(crate) fn record_steal(&self, task: u64) {
+        self.record(TraceEvent::Steal {
+            task,
+            thief: thread_ordinal(),
+            at: self.now(),
+        });
+    }
+
+    /// Merges the shards into a time-ordered [`ExecutionTrace`].  The sort
+    /// is stable, so events recorded by one thread keep their relative order
+    /// even when the clock ties.
+    pub fn snapshot(&self) -> ExecutionTrace {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            events.extend(shard.0.lock().iter().copied());
+        }
+        events.sort_by_key(TraceEvent::at);
+        ExecutionTrace {
+            events,
+            num_workers: self.num_workers,
+            level_names: self.level_names.clone(),
+        }
+    }
+}
+
+/// RAII scope for one task's run span: records `Start` on entry, installs
+/// the task as this thread's current task, and on drop records `End` and
+/// restores the previous current task.  The task wrapper drops the scope
+/// *before* fulfilling the task's future, so every touch of the value is
+/// timestamped after the `End` event — which keeps all reconstructed edges
+/// pointing forward in time.
+pub(crate) struct TaskScope<'a> {
+    collector: &'a TraceCollector,
+    key: u64,
+    previous: Option<(u64, u64)>,
+}
+
+impl<'a> TaskScope<'a> {
+    /// Enters the scope, recording the start of the task's run span.
+    pub(crate) fn enter(collector: &'a TraceCollector, key: u64) -> Self {
+        collector.record(TraceEvent::Start {
+            task: key,
+            worker: thread_ordinal(),
+            at: collector.now(),
+        });
+        let previous = CURRENT_TASK.with(|c| c.replace(Some((collector.token, key))));
+        TaskScope {
+            collector,
+            key,
+            previous,
+        }
+    }
+}
+
+impl Drop for TaskScope<'_> {
+    fn drop(&mut self) {
+        CURRENT_TASK.with(|c| c.set(self.previous));
+        self.collector.record(TraceEvent::End {
+            task: self.key,
+            at: self.collector.now(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_events_ordered() {
+        let tc = TraceCollector::new(vec!["only".into()], 1);
+        let a = tc.record_spawn(0);
+        let b = tc.record_io_submit(0);
+        assert_ne!(a, b);
+        {
+            let _scope = TaskScope::enter(&tc, a);
+            let c = tc.record_spawn(0);
+            assert_ne!(c, a);
+        }
+        tc.record_io_complete(b);
+        tc.record_touch(b);
+        let trace = tc.snapshot();
+        assert_eq!(trace.level_names, vec!["only".to_string()]);
+        assert_eq!(trace.num_workers, 1);
+        assert!(trace.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        // The nested spawn was attributed to the scoped task; the touch after
+        // the scope ended was not.
+        let nested_parent = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Spawn { task, parent, .. } if *task != a => Some(*parent),
+            _ => None,
+        });
+        assert_eq!(nested_parent, Some(Some(a)));
+        let toucher = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Touch { toucher, .. } => Some(*toucher),
+            _ => None,
+        });
+        assert_eq!(toucher, Some(None));
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let tc = TraceCollector::new(vec!["only".into()], 1);
+        let outer = tc.record_spawn(0);
+        let inner = tc.record_spawn(0);
+        {
+            let _o = TaskScope::enter(&tc, outer);
+            assert_eq!(tc.current_task(), Some(outer));
+            {
+                let _i = TaskScope::enter(&tc, inner);
+                assert_eq!(tc.current_task(), Some(inner));
+            }
+            assert_eq!(tc.current_task(), Some(outer));
+        }
+        assert_eq!(tc.current_task(), None);
+    }
+
+    /// Task keys are globally unique, so a future created by one traced
+    /// runtime but touched through another records a key the touching
+    /// collector's log has never declared — reconstruction drops the touch
+    /// instead of aliasing it onto an unrelated local task.
+    #[test]
+    fn cross_runtime_touch_cannot_alias_a_local_task() {
+        let a = TraceCollector::new(vec!["only".into()], 1);
+        let b = TraceCollector::new(vec!["only".into()], 1);
+        let foreign = a.record_spawn(0);
+        let local = b.record_spawn(0);
+        assert_ne!(foreign, local, "keys never collide across collectors");
+        {
+            let _scope = TaskScope::enter(&b, local);
+            // Inside b's task, touch a future whose key belongs to a.
+            b.record_touch(foreign);
+        }
+        let run = b.snapshot().reconstruct().expect("b's log reconstructs");
+        assert_eq!(run.dag.thread_count(), 1);
+        assert_eq!(run.dag.touch_edges().len(), 0, "foreign touch dropped");
+        assert_eq!(run.dag.weak_edges().len(), 0);
+    }
+
+    #[test]
+    fn foreign_collector_tasks_are_not_attributed() {
+        let a = TraceCollector::new(vec!["only".into()], 1);
+        let b = TraceCollector::new(vec!["only".into()], 1);
+        let key = a.record_spawn(0);
+        let _scope = TaskScope::enter(&a, key);
+        // Collector B must not see A's current task as a parent.
+        assert_eq!(b.current_task(), None);
+        let foreign = b.record_spawn(0);
+        let trace = b.snapshot();
+        let parent = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Spawn { task, parent, .. } if *task == foreign => Some(*parent),
+            _ => None,
+        });
+        assert_eq!(parent, Some(None));
+    }
+}

@@ -87,6 +87,7 @@ mod tests {
             }),
             level: 1,
             enqueued_at: Instant::now(),
+            trace: None,
         };
         shared.push_task(task);
         let t = shared.pop_task(1).unwrap();
@@ -109,6 +110,7 @@ mod tests {
                 }),
                 level: 0,
                 enqueued_at: Instant::now(),
+                trace: None,
             });
         }
         let handles = spawn_workers(&shared);

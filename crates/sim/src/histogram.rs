@@ -180,6 +180,17 @@ impl LogHistogram {
         }
         let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let rank = rank.min(self.count);
+        // The extreme ranks are tracked exactly; answer them from `min` /
+        // `max` directly.  Walking the buckets instead used to report the
+        // *midpoint* of the lowest occupied bucket for `percentile(0.0)`,
+        // which can exceed the true minimum (e.g. min = 128 lives in the
+        // width-2 bucket [128, 130) whose representative is 129).
+        if rank <= 1 {
+            return Some(self.min as f64);
+        }
+        if rank == self.count {
+            return Some(self.max as f64);
+        }
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -314,6 +325,65 @@ mod tests {
         }
         assert_eq!(h.allocated_buckets(), LogHistogram::NUM_BUCKETS);
         assert_eq!(h.count(), 100_001);
+    }
+
+    /// Satellite regression: `u64::MAX` maps into the last bucket without
+    /// overflow anywhere (index, representative, sum).
+    #[test]
+    fn record_u64_max_is_safe_and_exact_at_the_extremes() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        h.record_n(u64::MAX, 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), 1 + 3 * u128::from(u64::MAX));
+        assert_eq!(h.percentile(0.0).unwrap(), 1.0);
+        assert_eq!(h.percentile(100.0).unwrap(), u64::MAX as f64);
+        // The p50 answer comes from the top bucket; it must stay within the
+        // histogram's relative-error bound of the exact answer (u64::MAX).
+        let p50 = h.percentile(50.0).unwrap();
+        let err = (p50 - u64::MAX as f64).abs() / u64::MAX as f64;
+        assert!(
+            err <= LogHistogram::MAX_RELATIVE_ERROR,
+            "p50 {p50} err {err}"
+        );
+    }
+
+    /// Satellite regression: `percentile(0.0)` must be the exact minimum.
+    /// Pre-fix it reported the lowest occupied bucket's representative,
+    /// which for min = 128 (bucket [128, 130), representative 129) was 129.
+    #[test]
+    fn percentile_zero_is_exact_min() {
+        let mut h = LogHistogram::new();
+        h.record(128);
+        h.record(129);
+        assert_eq!(h.percentile(0.0).unwrap(), 128.0);
+        // percentile(1.0) is the p1 (rank 1 here): also the exact min.
+        assert_eq!(h.percentile(1.0).unwrap(), 128.0);
+        // And the top extreme is the exact max even when the bucket
+        // representative would round elsewhere.
+        assert_eq!(h.percentile(100.0).unwrap(), 129.0);
+    }
+
+    /// Satellite regression: merging an empty histogram must not clobber
+    /// `min`/`max` (an empty histogram's zeroed fields must never
+    /// participate), in either direction.
+    #[test]
+    fn merge_with_empty_preserves_min_and_max() {
+        let mut h = LogHistogram::new();
+        h.record(500);
+        h.record(9_000);
+        h.merge(&LogHistogram::new());
+        assert_eq!(h.min(), Some(500));
+        assert_eq!(h.max(), Some(9_000));
+        assert_eq!(h.count(), 2);
+        let mut empty = LogHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.min(), Some(500));
+        assert_eq!(empty.max(), Some(9_000));
+        assert_eq!(empty, h);
     }
 
     #[test]
