@@ -1,0 +1,262 @@
+//! λ⁴ᵢ front-end sweep: every checked-in `.l4i` source program flows
+//! through the full pipeline — parse → priority inference → abstract
+//! machine *and* traced rp-icilk runtime — and Theorem 2.3 is checked on
+//! both resulting cost graphs (machine-emitted and trace-reconstructed,
+//! observed and replayed schedules).  Any `is_counterexample()` report, any
+//! lost trace event, or a machine/runtime value divergence on a
+//! deterministic program means the front end, scheduler, tracer, or bound
+//! analysis is buggy, so the binary prints the offending rows and **exits
+//! non-zero**.
+//!
+//! Usage: `bench_lambda [--quick] [--out PATH]`
+//!
+//! * `--quick` runs the runtime back end single-worker for CI smoke runs
+//!   (single-worker observed schedules are also the ones where promptness,
+//!   and hence the observed-schedule hypotheses, can actually hold);
+//! * `--out PATH` writes the JSON report (default `BENCH_lambda.json`).
+//!
+//! The JSON records, per program, front-end stage timings (parse / infer /
+//! machine / runtime), both graphs' sizes, hypotheses-held counts, and the
+//! counterexample totals.
+
+use rp_lambda4i::compile::CompileConfig;
+use rp_lambda4i::pipeline::{run_source, PipelineConfig, PipelineReport};
+use rp_lambda4i::progs::sources;
+use rp_lambda4i::run::RunConfig;
+use rp_lambda4i::syntax::Expr;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    parse_micros: f64,
+    pipeline_millis: f64,
+    inferred_vars: usize,
+    deferred_constraints: usize,
+    machine_steps: usize,
+    machine_threads: usize,
+    machine_vertices: usize,
+    machine_weak_edges: usize,
+    machine_counterexamples: usize,
+    runtime_threads: usize,
+    runtime_vertices: usize,
+    runtime_skipped: usize,
+    observed_hypotheses_held: usize,
+    observed_counterexamples: usize,
+    replay_counterexamples: usize,
+    values_agree: bool,
+    value: String,
+}
+
+fn summarise(
+    name: &'static str,
+    parse_micros: f64,
+    pipeline_millis: f64,
+    r: &PipelineReport,
+) -> Row {
+    let recon = r.reconstruction.as_ref();
+    Row {
+        name,
+        parse_micros,
+        pipeline_millis,
+        inferred_vars: r.inference.assignment.len(),
+        deferred_constraints: r.inference.deferred.len(),
+        machine_steps: r.machine.steps,
+        machine_threads: r.machine.graph_report.threads,
+        machine_vertices: r.machine.graph_report.vertices,
+        machine_weak_edges: r.machine.graph_report.weak_edges,
+        machine_counterexamples: r
+            .machine
+            .threads
+            .iter()
+            .filter(|t| t.bound.is_counterexample())
+            .count(),
+        runtime_threads: recon.map_or(0, |g| g.dag.thread_count()),
+        runtime_vertices: recon.map_or(0, |g| g.dag.vertex_count()),
+        runtime_skipped: recon.map_or(0, |g| g.skipped),
+        observed_hypotheses_held: r
+            .observed
+            .iter()
+            .filter(|t| t.report.hypotheses_hold())
+            .count(),
+        observed_counterexamples: r
+            .observed
+            .iter()
+            .filter(|t| t.report.is_counterexample())
+            .count(),
+        replay_counterexamples: r
+            .replay
+            .iter()
+            .filter(|t| t.report.is_counterexample())
+            .count(),
+        values_agree: r.values_agree(),
+        value: rp_lambda4i::pretty::expr_to_string(r.value()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_lambda.json".to_string());
+
+    // (name, source, deterministic value expected on both back ends).
+    let sweep: Vec<(&'static str, &'static str, Option<Expr>)> = vec![
+        ("figure1", sources::FIGURE1, Some(Expr::Unit)),
+        ("parallel-fib", sources::PARALLEL_FIB, Some(Expr::Nat(5))),
+        ("server", sources::SERVER, None),
+        (
+            "email-coordination",
+            sources::EMAIL_COORDINATION,
+            Some(Expr::Nat(0)),
+        ),
+        ("proxy", sources::PROXY, None),
+        ("email", sources::EMAIL, None),
+        ("jserver", sources::JSERVER, None),
+    ];
+
+    let workers = if quick { 1 } else { 2 };
+    let config = PipelineConfig {
+        machine: RunConfig {
+            cores: 2,
+            max_steps: 4_000_000,
+            ..RunConfig::default()
+        },
+        runtime: CompileConfig {
+            workers,
+            tracing: true,
+            drain_secs: 60,
+        },
+    };
+
+    println!("bench_lambda: λ⁴ᵢ front-end pipeline sweep (P={workers}, quick={quick})");
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for (name, src, expected) in &sweep {
+        // Stage-1 timing separately (parse is the cheap, pure stage).
+        let t0 = Instant::now();
+        let parsed = rp_lambda4i::parse::parse_program(src);
+        let parse_micros = t0.elapsed().as_secs_f64() * 1e6;
+        if let Err(e) = parsed {
+            failures.push(format!("{name}: parse failed: {e}"));
+            continue;
+        }
+        let t1 = Instant::now();
+        match run_source(src, &config) {
+            Ok(report) => {
+                let pipeline_millis = t1.elapsed().as_secs_f64() * 1e3;
+                if report.counterexamples() > 0 {
+                    failures.push(format!(
+                        "{name}: {} Theorem 2.3 counterexample(s)",
+                        report.counterexamples()
+                    ));
+                }
+                if let Some(recon) = &report.reconstruction {
+                    if recon.skipped > 0 {
+                        failures.push(format!(
+                            "{name}: tracer lost {} task(s) after a drained run",
+                            recon.skipped
+                        ));
+                    }
+                }
+                if let Some(v) = expected {
+                    if report.value() != v {
+                        failures.push(format!(
+                            "{name}: runtime value {:?} != expected {v:?}",
+                            report.value()
+                        ));
+                    }
+                    if !report.values_agree() {
+                        failures.push(format!(
+                            "{name}: machine value {:?} != runtime value {:?}",
+                            report.machine.value,
+                            report.value()
+                        ));
+                    }
+                }
+                rows.push(summarise(name, parse_micros, pipeline_millis, &report));
+            }
+            Err(e) => failures.push(format!("{name}: pipeline failed: {e}")),
+        }
+    }
+
+    for row in &rows {
+        println!(
+            "{:<20} parse {:>7.1}µs  pipeline {:>8.1}ms  inferred {}  machine {:>5} steps/{:>3} thr/{:>6} vx  runtime {:>3} thr/{:>5} vx  hyp {:>3}  cex {}/{}/{}  agree {}",
+            row.name,
+            row.parse_micros,
+            row.pipeline_millis,
+            row.inferred_vars,
+            row.machine_steps,
+            row.machine_threads,
+            row.machine_vertices,
+            row.runtime_threads,
+            row.runtime_vertices,
+            row.observed_hypotheses_held,
+            row.machine_counterexamples,
+            row.observed_counterexamples,
+            row.replay_counterexamples,
+            row.values_agree,
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"kernel\": \"bench_lambda\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"programs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"parse_micros\": {:.1}, \"pipeline_millis\": {:.1}, \
+             \"inferred_vars\": {}, \"deferred_constraints\": {}, \
+             \"machine\": {{\"steps\": {}, \"threads\": {}, \"vertices\": {}, \"weak_edges\": {}, \
+             \"counterexamples\": {}}}, \
+             \"runtime\": {{\"threads\": {}, \"vertices\": {}, \"skipped\": {}, \
+             \"observed_hypotheses_held\": {}, \"observed_counterexamples\": {}, \
+             \"replay_counterexamples\": {}}}, \
+             \"values_agree\": {}, \"value\": \"{}\"}}",
+            row.name,
+            row.parse_micros,
+            row.pipeline_millis,
+            row.inferred_vars,
+            row.deferred_constraints,
+            row.machine_steps,
+            row.machine_threads,
+            row.machine_vertices,
+            row.machine_weak_edges,
+            row.machine_counterexamples,
+            row.runtime_threads,
+            row.runtime_vertices,
+            row.runtime_skipped,
+            row.observed_hypotheses_held,
+            row.observed_counterexamples,
+            row.replay_counterexamples,
+            row.values_agree,
+            row.value.replace('\\', "\\\\").replace('"', "\\\""),
+        );
+        let _ = writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"counterexamples\": {}", failures.len());
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        eprintln!("bench_lambda: {} FAILURE(S):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "a counterexample or value divergence means the front end, scheduler, tracer, or bound analysis is buggy"
+        );
+        std::process::exit(1);
+    }
+}

@@ -64,6 +64,24 @@ impl RuntimeConfig {
         }
     }
 
+    /// A configuration whose levels mirror a λ⁴ᵢ [`PriorityDomain`]: one
+    /// runtime level per domain level, named after it, ordered by a
+    /// topological sort of the domain's `⪯` (lowest first).
+    ///
+    /// This is the compilation hook for language front ends: a partial
+    /// order is linearised (the runtime's pools are totally ordered), which
+    /// is a legal scheduling refinement — every `⪯` fact of the domain is
+    /// preserved by the embedding.  The caller maps a domain handle to the
+    /// runtime level via the topological position.
+    pub fn for_domain(workers: usize, domain: &rp_priority::PriorityDomain) -> Self {
+        let names: Vec<String> = domain
+            .topo_sorted()
+            .into_iter()
+            .map(|p| domain.name(p).to_string())
+            .collect();
+        RuntimeConfig::new(workers, names.len()).with_level_names(names)
+    }
+
     /// Names the priority levels, lowest first.
     ///
     /// # Panics

@@ -1,0 +1,321 @@
+//! Seeded random generation of well-typed λ⁴ᵢ programs.
+//!
+//! The front-end property suites need many programs that typecheck, round-
+//! trip through `pretty`/`parse`, and exercise the solver — the term-level
+//! analogue of `rp_core::random`'s well-formed cost graphs.  The generator
+//! builds commands the same way a well-typed program would:
+//!
+//! * every generated expression has type `nat`; binders introduce `nat`
+//!   variables that later expressions may reuse;
+//! * `dcl` introduces `nat ref` cells, and `!`/`:=`/`cas` only target them;
+//! * `fcreate` spawns children at a priority `⪰` the ambient one, so later
+//!   `ftouch`es of their handles satisfy the Touch rule;
+//! * with [`GenConfig::free_prio_probability`], a spawn's priority is a
+//!   *fresh free variable* instead — touching such a thread defers an
+//!   `ambient ⪯ π` goal to the solver, which is always satisfiable in a
+//!   total order (the top level works), so generated programs are well
+//!   typed under [`crate::typecheck::infer_program`] by construction.
+
+use crate::syntax::dsl::*;
+use crate::syntax::{Cmd, Expr, Program, Type};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_priority::{PrioTerm, Priority, PriorityDomain};
+use std::sync::Arc;
+
+/// Configuration for [`random_program`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Number of priority levels of the (totally ordered) domain.
+    pub levels: usize,
+    /// Maximum nesting depth of generated commands.
+    pub max_depth: usize,
+    /// Number of top-level command steps in the main sequence.
+    pub steps: usize,
+    /// Probability that a spawn's priority is left as a free variable for
+    /// the solver (0 disables inference exercise).
+    pub free_prio_probability: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            levels: 3,
+            max_depth: 3,
+            steps: 6,
+            free_prio_probability: 0.3,
+        }
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    config: GenConfig,
+    domain: PriorityDomain,
+    /// In-scope `nat` variables.
+    nats: Vec<String>,
+    /// In-scope `nat ref` variables.
+    refs: Vec<String>,
+    /// In-scope touchable handles: variable name, priority term, and
+    /// whether the handle is still untouched (each is touched at most once,
+    /// which keeps the generated binds linear).
+    handles: Vec<(String, PrioTerm)>,
+    fresh: usize,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    /// A random `nat` expression from the in-scope variables.
+    fn nat_expr(&mut self, depth: usize) -> Expr {
+        let leaf = depth == 0 || self.rng.gen_bool(0.4);
+        if leaf {
+            if !self.nats.is_empty() && self.rng.gen_bool(0.5) {
+                let i = self.rng.gen_range(0..self.nats.len());
+                var(&self.nats[i].clone())
+            } else {
+                nat(self.rng.gen_range(0u64..10))
+            }
+        } else {
+            match self.rng.gen_range(0u32..5) {
+                0 => add(self.nat_expr(depth - 1), self.nat_expr(depth - 1)),
+                1 => mul(self.nat_expr(depth - 1), self.nat_expr(depth - 1)),
+                2 => sub(self.nat_expr(depth - 1), self.nat_expr(depth - 1)),
+                3 => {
+                    let x = self.fresh("x");
+                    let bound = self.nat_expr(depth - 1);
+                    self.nats.push(x.clone());
+                    let body = self.nat_expr(depth - 1);
+                    self.nats.pop();
+                    let_(&x, bound, body)
+                }
+                _ => {
+                    // An applied identity-shaped lambda keeps application
+                    // and ifz in the mix while staying at type nat.
+                    let x = self.fresh("x");
+                    self.nats.push(x.clone());
+                    let body = ifz(
+                        var(&x),
+                        self.nat_expr(depth - 1),
+                        "m",
+                        add(nat(1), var("m")),
+                    );
+                    self.nats.pop();
+                    app(lam(&x, Type::Nat, body), self.nat_expr(depth - 1))
+                }
+            }
+        }
+    }
+
+    /// A priority for a spawned thread: concrete `⪰ ambient`, or a fresh
+    /// free variable for the solver.
+    fn spawn_prio(&mut self, ambient: Priority) -> PrioTerm {
+        if self.rng.gen_bool(self.config.free_prio_probability) {
+            PrioTerm::var(self.fresh("q"))
+        } else {
+            let above: Vec<Priority> = self
+                .domain
+                .iter()
+                .filter(|&q| self.domain.leq(ambient, q))
+                .collect();
+            let i = self.rng.gen_range(0..above.len());
+            PrioTerm::Const(above[i])
+        }
+    }
+
+    /// The body a spawned thread runs (kept touch-free so threads at
+    /// solver-chosen priorities impose no extra constraints).
+    fn child_body(&mut self, depth: usize) -> Cmd {
+        // Children see no parent-local variables.
+        let saved = (
+            std::mem::take(&mut self.nats),
+            std::mem::take(&mut self.refs),
+            std::mem::take(&mut self.handles),
+        );
+        let body = ret(self.nat_expr(depth));
+        (self.nats, self.refs, self.handles) = saved;
+        body
+    }
+
+    /// One step of the main command sequence: returns the command to bind
+    /// and the kind of variable it introduces.
+    fn step(&mut self, ambient: Priority, depth: usize) -> (Cmd, Binding) {
+        // Prefer touching an outstanding handle now and then so Touch
+        // constraints actually occur.
+        if !self.handles.is_empty() && self.rng.gen_bool(0.5) {
+            let i = self.rng.gen_range(0..self.handles.len());
+            let (name, _) = self.handles.remove(i);
+            return (ftouch(var(&name)), Binding::Nat);
+        }
+        match self.rng.gen_range(0u32..5) {
+            0 => (ret(self.nat_expr(depth)), Binding::Nat),
+            1 => {
+                let body = self.child_body(depth);
+                let prio = self.spawn_prio(ambient);
+                (fcreate(prio, Type::Nat, body), Binding::Handle)
+            }
+            2 if !self.refs.is_empty() => {
+                let i = self.rng.gen_range(0..self.refs.len());
+                let r = self.refs[i].clone();
+                (get(var(&r)), Binding::Nat)
+            }
+            3 if !self.refs.is_empty() => {
+                let i = self.rng.gen_range(0..self.refs.len());
+                let r = self.refs[i].clone();
+                let v = self.nat_expr(depth);
+                (set(var(&r), v), Binding::Nat)
+            }
+            4 if !self.refs.is_empty() => {
+                let i = self.rng.gen_range(0..self.refs.len());
+                let r = self.refs[i].clone();
+                let e = self.nat_expr(depth.min(1));
+                let n = self.nat_expr(depth.min(1));
+                (cas(var(&r), e, n), Binding::Nat)
+            }
+            _ => (ret(self.nat_expr(depth)), Binding::Nat),
+        }
+    }
+
+    fn main_cmd(&mut self, ambient: Priority) -> Cmd {
+        // Build the sequence front-to-back so generated variables are in
+        // scope for later steps, then fold it into nested binds.
+        let depth = self.config.max_depth;
+        let mut steps: Vec<(String, Cmd)> = Vec::new();
+        // Reference initialisers are generated *now*, while only outer
+        // variables are in scope — the `dcl`s wrap the whole sequence, so
+        // step-bound names must not leak into them.
+        let n_refs = self.rng.gen_range(1usize..3);
+        let mut ref_decls = Vec::new();
+        for _ in 0..n_refs {
+            let r = self.fresh("r");
+            let init = self.nat_expr(1);
+            self.refs.push(r.clone());
+            ref_decls.push((r, init));
+        }
+        for _ in 0..self.config.steps {
+            let (cmd, binding) = self.step(ambient, depth);
+            let name = match binding {
+                Binding::Nat => {
+                    let v = self.fresh("v");
+                    self.nats.push(v.clone());
+                    v
+                }
+                Binding::Handle => {
+                    let h = self.fresh("h");
+                    // The step that created this handle decided its
+                    // priority; remember it for bookkeeping (touches use
+                    // only the name).
+                    let prio = match &cmd {
+                        Cmd::Fcreate { prio, .. } => prio.clone(),
+                        _ => unreachable!("Handle bindings come from fcreate"),
+                    };
+                    self.handles.push((h.clone(), prio));
+                    h
+                }
+            };
+            steps.push((name, cmd));
+        }
+        // Touch every remaining handle so no spawn constraint is vacuous.
+        for (h, _) in std::mem::take(&mut self.handles) {
+            let v = self.fresh("v");
+            self.nats.push(v.clone());
+            steps.push((v, ftouch(var(&h))));
+        }
+        // Final value: a sum over a few in-scope nats.
+        let mut total: Expr = nat(0);
+        for _ in 0..3 {
+            total = add(total, self.nat_expr(1));
+        }
+        let mut body: Cmd = ret(total);
+        for (name, step_cmd) in steps.into_iter().rev() {
+            body = bind(
+                &name,
+                Expr::CmdVal(PrioTerm::Const(ambient), Arc::new(step_cmd)),
+                body,
+            );
+        }
+        for (r, init) in ref_decls.into_iter().rev() {
+            body = dcl(&r, Type::Nat, init, body);
+        }
+        body
+    }
+}
+
+enum Binding {
+    Nat,
+    Handle,
+}
+
+/// Generates a random well-typed program.
+///
+/// Programs with `free_prio_probability > 0` may mention free priority
+/// variables; they typecheck under
+/// [`crate::typecheck::infer_program`] (satisfiable by construction in the
+/// total order).  With the probability at 0 the result typechecks under
+/// plain [`crate::typecheck::typecheck_program`].
+pub fn random_program(seed: u64, config: &GenConfig) -> Program {
+    let domain = PriorityDomain::numeric(config.levels.max(1));
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        config: config.clone(),
+        domain: domain.clone(),
+        nats: Vec::new(),
+        refs: Vec::new(),
+        handles: Vec::new(),
+        fresh: 0,
+    };
+    // Main runs at the bottom level so every level is a legal spawn target.
+    let ambient = domain.by_index(0);
+    let main = g.main_cmd(ambient);
+    Program {
+        name: format!("random-{seed}"),
+        domain,
+        main_priority: ambient,
+        main: Arc::new(main),
+        return_type: Type::Nat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::{infer_program, typecheck_program};
+
+    #[test]
+    fn generated_programs_are_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        assert_eq!(random_program(7, &cfg), random_program(7, &cfg));
+        assert_ne!(random_program(7, &cfg), random_program(8, &cfg));
+    }
+
+    #[test]
+    fn annotated_programs_typecheck_directly() {
+        let cfg = GenConfig {
+            free_prio_probability: 0.0,
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let prog = random_program(seed, &cfg);
+            assert!(prog.free_prio_vars().is_empty());
+            typecheck_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn open_programs_typecheck_under_inference() {
+        let cfg = GenConfig {
+            free_prio_probability: 0.8,
+            ..GenConfig::default()
+        };
+        let mut saw_free = false;
+        for seed in 0..20 {
+            let prog = random_program(seed, &cfg);
+            saw_free |= !prog.free_prio_vars().is_empty();
+            infer_program(&prog).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert!(saw_free, "at 0.8 probability some program must be open");
+    }
+}

@@ -20,7 +20,21 @@
 //!   `rp-core` well-formedness and bound machinery;
 //! * [`progs`] — a library of example programs, including the racy Figure 1
 //!   program and λ⁴ᵢ encodings of the paper's three case studies (used by
-//!   the Table 1 reproduction).
+//!   the Table 1 reproduction), also checked in as `.l4i` source text
+//!   ([`progs::sources`]);
+//! * [`pretty`] and [`parse`] — the concrete Figure 4 dialect: an exact
+//!   round-tripping pretty-printer and a hand-written lexer + recursive-
+//!   descent parser with positioned error messages;
+//! * [`typecheck::infer_program`] — priority *inference*: a constraint-
+//!   collecting checking pass whose deferred goals are solved by
+//!   [`rp_priority::solve`], instantiating free priority variables;
+//! * [`compile`] — lowering typechecked programs onto the real
+//!   [`rp_icilk::runtime::Runtime`] (fcreate/ftouch tasks, shared-state
+//!   heap, execution tracing for cost-DAG reconstruction);
+//! * [`pipeline`] — the three stages glued: `.l4i` source in, machine and
+//!   runtime executions out, Theorem 2.3 cross-checked on both graphs;
+//! * [`generate`] — seeded random well-typed programs for the property
+//!   suites.
 //!
 //! # Example
 //!
@@ -38,7 +52,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
+pub mod generate;
 pub mod machine;
+pub mod parse;
+pub mod pipeline;
 pub mod policy;
 pub mod pretty;
 pub mod progs;
@@ -46,6 +64,9 @@ pub mod run;
 pub mod syntax;
 pub mod typecheck;
 
+pub use compile::{compile_and_run, CompileConfig};
+pub use parse::{parse_program, ParseError};
+pub use pipeline::{run_source, PipelineConfig, PipelineReport};
 pub use run::{run_program, RunConfig, RunResult};
 pub use syntax::{Cmd, Expr, Program, Type};
-pub use typecheck::{typecheck_program, TypeError};
+pub use typecheck::{infer_program, typecheck_program, TypeError};

@@ -1,0 +1,1258 @@
+//! Parsing the λ⁴ᵢ concrete syntax (Figure 4 dialect).
+//!
+//! A hand-written lexer and recursive-descent parser for the dialect
+//! [`crate::pretty`] emits, elaborating surface terms into the ANF
+//! [`Expr`]/[`Cmd`] AST.  The two are inverses: for every AST value,
+//! `parse(pretty(x)) == x`.
+//!
+//! # Source format
+//!
+//! A program file (`.l4i`) is a header plus the main command:
+//!
+//! ```text
+//! -- comments run to end of line
+//! priorities: background < interactive
+//! program my-server : nat
+//! main @ background:
+//!   t <- cmd[background]{fcreate[interactive; nat]{ret 42}}; ...
+//! ```
+//!
+//! The `priorities:` declaration names the levels of the priority domain,
+//! lowest first (`a < b < c` for a total order, or
+//! `a, b, c where a < b, a < c` for a partial order, listing covering
+//! pairs).  Identifiers in priority position resolve in order: a
+//! `Λπ ∼ C`-bound variable, then a declared level name, then a *free*
+//! priority variable — which is how source programs leave priorities to the
+//! solver ([`crate::typecheck::infer_program`]).  The positional spelling
+//! `ρN` (level index `N`) is also accepted, as emitted by the domain-less
+//! pretty-printers.
+//!
+//! Constraints accept both the paper's glyphs (`⪯`, `∧`, `⊤`) and ASCII
+//! (`<=`, `&`, `true`).
+//!
+//! # Errors
+//!
+//! Every error carries the 1-based line and column of the offending token
+//! and says what was expected:
+//!
+//! ```text
+//! line 3, column 14: expected `]` after priority, found `;`
+//! ```
+
+use crate::syntax::{Cmd, Expr, LocId, PrimOp, Program, ThreadSym, Type};
+use rp_priority::{Constraint, PrioTerm, PrioVar, Priority, PriorityDomain};
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse error, with the 1-based source position of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong, usually `expected …, found …`.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Nat(u64),
+    /// `ρN`: a concrete priority by level index.
+    PrioIndex(u32),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    UnitLit,   // <>
+    BindArrow, // <-
+    LeqSym,    // ⪯ or <=
+    Lt,        // <
+    Arrow,     // ->
+    Minus,     // -
+    Plus,      // +
+    Star,      // *
+    EqEq,      // ==
+    Eq,        // =
+    ColonEq,   // :=
+    Colon,     // :
+    Dot,       // .
+    Semi,      // ;
+    Comma,     // ,
+    Backslash, // \
+    BigLambda, // /\
+    Bang,      // !
+    Tilde,     // ~
+    At,        // @
+    AndSym,    // ∧ or &
+    TopSym,    // ⊤ or true
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "`{s}`"),
+            TokKind::Nat(n) => write!(f, "`{n}`"),
+            TokKind::PrioIndex(n) => write!(f, "`ρ{n}`"),
+            TokKind::LParen => write!(f, "`(`"),
+            TokKind::RParen => write!(f, "`)`"),
+            TokKind::LBrace => write!(f, "`{{`"),
+            TokKind::RBrace => write!(f, "`}}`"),
+            TokKind::LBracket => write!(f, "`[`"),
+            TokKind::RBracket => write!(f, "`]`"),
+            TokKind::UnitLit => write!(f, "`<>`"),
+            TokKind::BindArrow => write!(f, "`<-`"),
+            TokKind::LeqSym => write!(f, "`⪯`"),
+            TokKind::Lt => write!(f, "`<`"),
+            TokKind::Arrow => write!(f, "`->`"),
+            TokKind::Minus => write!(f, "`-`"),
+            TokKind::Plus => write!(f, "`+`"),
+            TokKind::Star => write!(f, "`*`"),
+            TokKind::EqEq => write!(f, "`==`"),
+            TokKind::Eq => write!(f, "`=`"),
+            TokKind::ColonEq => write!(f, "`:=`"),
+            TokKind::Colon => write!(f, "`:`"),
+            TokKind::Dot => write!(f, "`.`"),
+            TokKind::Semi => write!(f, "`;`"),
+            TokKind::Comma => write!(f, "`,`"),
+            TokKind::Backslash => write!(f, "`\\`"),
+            TokKind::BigLambda => write!(f, "`/\\`"),
+            TokKind::Bang => write!(f, "`!`"),
+            TokKind::Tilde => write!(f, "`~`"),
+            TokKind::At => write!(f, "`@`"),
+            TokKind::AndSym => write!(f, "`∧`"),
+            TokKind::TopSym => write!(f, "`⊤`"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let n = chars.len();
+    macro_rules! push {
+        ($kind:expr, $len:expr, $line:expr, $col:expr) => {{
+            toks.push(Tok {
+                kind: $kind,
+                line: $line,
+                col: $col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+    while i < n {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if i + 1 < n && chars[i + 1] == '-' => {
+                // Line comment.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '(' => push!(TokKind::LParen, 1, tline, tcol),
+            ')' => push!(TokKind::RParen, 1, tline, tcol),
+            '{' => push!(TokKind::LBrace, 1, tline, tcol),
+            '}' => push!(TokKind::RBrace, 1, tline, tcol),
+            '[' => push!(TokKind::LBracket, 1, tline, tcol),
+            ']' => push!(TokKind::RBracket, 1, tline, tcol),
+            '<' if i + 1 < n && chars[i + 1] == '>' => push!(TokKind::UnitLit, 2, tline, tcol),
+            '<' if i + 1 < n && chars[i + 1] == '-' => push!(TokKind::BindArrow, 2, tline, tcol),
+            '<' if i + 1 < n && chars[i + 1] == '=' => push!(TokKind::LeqSym, 2, tline, tcol),
+            '<' => push!(TokKind::Lt, 1, tline, tcol),
+            '⪯' => push!(TokKind::LeqSym, 1, tline, tcol),
+            '∧' => push!(TokKind::AndSym, 1, tline, tcol),
+            '&' => push!(TokKind::AndSym, 1, tline, tcol),
+            '⊤' => push!(TokKind::TopSym, 1, tline, tcol),
+            '-' if i + 1 < n && chars[i + 1] == '>' => push!(TokKind::Arrow, 2, tline, tcol),
+            '-' => push!(TokKind::Minus, 1, tline, tcol),
+            '+' => push!(TokKind::Plus, 1, tline, tcol),
+            '*' => push!(TokKind::Star, 1, tline, tcol),
+            '=' if i + 1 < n && chars[i + 1] == '=' => push!(TokKind::EqEq, 2, tline, tcol),
+            '=' => push!(TokKind::Eq, 1, tline, tcol),
+            ':' if i + 1 < n && chars[i + 1] == '=' => push!(TokKind::ColonEq, 2, tline, tcol),
+            ':' => push!(TokKind::Colon, 1, tline, tcol),
+            '.' => push!(TokKind::Dot, 1, tline, tcol),
+            ';' => push!(TokKind::Semi, 1, tline, tcol),
+            ',' => push!(TokKind::Comma, 1, tline, tcol),
+            '\\' => push!(TokKind::Backslash, 1, tline, tcol),
+            '/' if i + 1 < n && chars[i + 1] == '\\' => push!(TokKind::BigLambda, 2, tline, tcol),
+            '!' => push!(TokKind::Bang, 1, tline, tcol),
+            '~' => push!(TokKind::Tilde, 1, tline, tcol),
+            '@' => push!(TokKind::At, 1, tline, tcol),
+            'ρ' => {
+                let mut j = i + 1;
+                while j < n && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(ParseError {
+                        message: "expected a level index after `ρ`".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                let digits: String = chars[i + 1..j].iter().collect();
+                let idx: u32 = digits.parse().map_err(|_| ParseError {
+                    message: format!("priority index `{digits}` out of range"),
+                    line: tline,
+                    col: tcol,
+                })?;
+                let len = j - i;
+                push!(TokKind::PrioIndex(idx), len, tline, tcol);
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let digits: String = chars[i..j].iter().collect();
+                let value: u64 = digits.parse().map_err(|_| ParseError {
+                    message: format!("numeral `{digits}` does not fit in 64 bits"),
+                    line: tline,
+                    col: tcol,
+                })?;
+                let len = j - i;
+                push!(TokKind::Nat(value), len, tline, tcol);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n {
+                    let d = chars[j];
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        j += 1;
+                    } else if d == '-'
+                        && j + 1 < n
+                        && (chars[j + 1].is_alphanumeric() || chars[j + 1] == '_')
+                    {
+                        // Dashes glue identifiers only when flanked by
+                        // identifier characters ("event-loop"); a spaced
+                        // `-` is subtraction.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word: String = chars[i..j].iter().collect();
+                let len = j - i;
+                if word == "true" {
+                    push!(TokKind::TopSym, len, tline, tcol);
+                } else {
+                    push!(TokKind::Ident(word), len, tline, tcol);
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    toks.push(Tok {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    domain: Option<PriorityDomain>,
+    /// Priority variables bound by enclosing `Λπ ∼ C` / `forall π ∼ C`.
+    prio_scope: Vec<PrioVar>,
+}
+
+impl Parser {
+    fn new(src: &str, domain: Option<PriorityDomain>) -> Result<Self, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            domain,
+            prio_scope: Vec::new(),
+        })
+    }
+
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            message: message.into(),
+            line,
+            col,
+        })
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokKind, context: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind} {context}, found {}", self.peek()))
+        }
+    }
+
+    fn is_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), TokKind::Ident(w) if w == word)
+    }
+
+    fn eat_keyword(&mut self, word: &str, context: &str) -> Result<(), ParseError> {
+        if self.is_keyword(word) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected keyword `{word}` {context}, found {}",
+                self.peek()
+            ))
+        }
+    }
+
+    fn ident(&mut self, context: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokKind::Ident(w) => {
+                self.bump();
+                Ok(w)
+            }
+            other => self.err(format!("expected an identifier {context}, found {other}")),
+        }
+    }
+
+    // -- priorities and constraints ------------------------------------
+
+    fn prio(&mut self) -> Result<PrioTerm, ParseError> {
+        match self.peek().clone() {
+            TokKind::PrioIndex(idx) => {
+                if let Some(d) = &self.domain {
+                    if idx as usize >= d.len() {
+                        return self.err(format!(
+                            "priority index ρ{idx} out of range for a domain of {} level(s)",
+                            d.len()
+                        ));
+                    }
+                }
+                self.bump();
+                Ok(PrioTerm::Const(Priority::from_index(idx as usize)))
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                let var = PrioVar::new(name.clone());
+                if self.prio_scope.contains(&var) {
+                    Ok(PrioTerm::Var(var))
+                } else if let Some(p) = self.domain.as_ref().and_then(|d| d.priority(&name)) {
+                    Ok(PrioTerm::Const(p))
+                } else {
+                    // A free priority variable: left for the solver.
+                    Ok(PrioTerm::Var(var))
+                }
+            }
+            other => self.err(format!(
+                "expected a priority (level name, bound variable, or ρN), found {other}"
+            )),
+        }
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let mut acc = self.constraint_atom()?;
+        while matches!(self.peek(), TokKind::AndSym) {
+            self.bump();
+            acc = acc.and(self.constraint_atom()?);
+        }
+        Ok(acc)
+    }
+
+    fn constraint_atom(&mut self) -> Result<Constraint, ParseError> {
+        if matches!(self.peek(), TokKind::TopSym) {
+            self.bump();
+            return Ok(Constraint::True);
+        }
+        let lhs = self.prio()?;
+        self.eat(&TokKind::LeqSym, "in constraint")?;
+        let rhs = self.prio()?;
+        Ok(Constraint::leq(lhs, rhs))
+    }
+
+    // -- types ---------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        if self.is_keyword("forall") {
+            self.bump();
+            let var = PrioVar::new(self.ident("after `forall`")?);
+            self.eat(&TokKind::Tilde, "after the forall variable")?;
+            self.prio_scope.push(var.clone());
+            let c = self.constraint()?;
+            let result = self
+                .eat(&TokKind::Dot, "after the forall constraint")
+                .and_then(|()| self.ty());
+            self.prio_scope.pop();
+            return Ok(Type::Forall(var, c, Box::new(result?)));
+        }
+        let mut t = self.ty_atom()?;
+        loop {
+            if self.is_keyword("ref") {
+                self.bump();
+                t = Type::reference(t);
+            } else if self.is_keyword("thread") || self.is_keyword("cmd") {
+                let is_thread = self.is_keyword("thread");
+                self.bump();
+                self.eat(&TokKind::LBracket, "after `thread`/`cmd`")?;
+                let p = self.prio()?;
+                self.eat(&TokKind::RBracket, "after priority")?;
+                t = if is_thread {
+                    Type::Thread(Box::new(t), p)
+                } else {
+                    Type::Cmd(Box::new(t), p)
+                };
+            } else {
+                return Ok(t);
+            }
+        }
+    }
+
+    fn ty_atom(&mut self) -> Result<Type, ParseError> {
+        if self.is_keyword("unit") {
+            self.bump();
+            return Ok(Type::Unit);
+        }
+        if self.is_keyword("nat") {
+            self.bump();
+            return Ok(Type::Nat);
+        }
+        if matches!(self.peek(), TokKind::LParen) {
+            self.bump();
+            let a = self.ty()?;
+            let t = match self.peek() {
+                TokKind::Arrow => {
+                    self.bump();
+                    Type::arrow(a, self.ty()?)
+                }
+                TokKind::Star => {
+                    self.bump();
+                    Type::prod(a, self.ty()?)
+                }
+                TokKind::Plus => {
+                    self.bump();
+                    Type::sum(a, self.ty()?)
+                }
+                _ => a,
+            };
+            self.eat(&TokKind::RParen, "to close the type")?;
+            return Ok(t);
+        }
+        self.err(format!("expected a type, found {}", self.peek()))
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    /// Whether the current token can begin an expression (used to decide
+    /// whether a parenthesized form continues as an application).
+    fn starts_expr(&self) -> bool {
+        match self.peek() {
+            TokKind::Nat(_)
+            | TokKind::UnitLit
+            | TokKind::LParen
+            | TokKind::Backslash
+            | TokKind::BigLambda => true,
+            // `ref` begins the runtime value `ref[sN]` but is otherwise the
+            // type postfix, so it only starts an expression with `[` next.
+            TokKind::Ident(w) if w == "ref" => matches!(self.peek2(), TokKind::LBracket),
+            TokKind::Ident(w) => !matches!(
+                w.as_str(),
+                "in" | "is" | "thread" | "where" | "program" | "priorities" | "main"
+            ),
+            _ => false,
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Backslash => {
+                self.bump();
+                let x = self.ident("after `\\`")?;
+                self.eat(&TokKind::Colon, "after the lambda parameter")?;
+                let ty = self.ty()?;
+                self.eat(&TokKind::Dot, "after the lambda annotation")?;
+                let body = self.expr()?;
+                Ok(Expr::Lam(x, ty, Box::new(body)))
+            }
+            TokKind::BigLambda => {
+                self.bump();
+                let var = PrioVar::new(self.ident("after `/\\`")?);
+                self.eat(&TokKind::Tilde, "after the priority parameter")?;
+                self.prio_scope.push(var.clone());
+                let result = self.constraint().and_then(|c| {
+                    self.eat(&TokKind::Dot, "after the priority constraint")?;
+                    let body = self.expr()?;
+                    Ok((c, body))
+                });
+                self.prio_scope.pop();
+                let (c, body) = result?;
+                Ok(Expr::PLam(var, c, Box::new(body)))
+            }
+            TokKind::Ident(w) => match w.as_str() {
+                "let" => {
+                    self.bump();
+                    let x = self.ident("after `let`")?;
+                    self.eat(&TokKind::Eq, "after the let binder")?;
+                    let e1 = self.expr()?;
+                    self.eat_keyword("in", "after the bound expression")?;
+                    let e2 = self.expr()?;
+                    Ok(Expr::Let(x, Box::new(e1), Box::new(e2)))
+                }
+                "ifz" => {
+                    self.bump();
+                    let cond = self.atom()?;
+                    self.eat(&TokKind::LBrace, "after the ifz scrutinee")?;
+                    let zero = self.expr()?;
+                    self.eat(&TokKind::Semi, "after the zero branch")?;
+                    let x = self.ident("for the successor binder")?;
+                    self.eat(&TokKind::Dot, "after the successor binder")?;
+                    let succ = self.expr()?;
+                    self.eat(&TokKind::RBrace, "to close the ifz branches")?;
+                    Ok(Expr::Ifz(Box::new(cond), Box::new(zero), x, Box::new(succ)))
+                }
+                "case" => {
+                    self.bump();
+                    let scrut = self.atom()?;
+                    self.eat(&TokKind::LBrace, "after the case scrutinee")?;
+                    let x = self.ident("for the left binder")?;
+                    self.eat(&TokKind::Dot, "after the left binder")?;
+                    let e1 = self.expr()?;
+                    self.eat(&TokKind::Semi, "after the left branch")?;
+                    let y = self.ident("for the right binder")?;
+                    self.eat(&TokKind::Dot, "after the right binder")?;
+                    let e2 = self.expr()?;
+                    self.eat(&TokKind::RBrace, "to close the case branches")?;
+                    Ok(Expr::Case(
+                        Box::new(scrut),
+                        x,
+                        Box::new(e1),
+                        y,
+                        Box::new(e2),
+                    ))
+                }
+                "fix" => {
+                    self.bump();
+                    let x = self.ident("after `fix`")?;
+                    self.eat(&TokKind::Colon, "after the fix binder")?;
+                    let ty = self.ty()?;
+                    self.eat_keyword("is", "after the fix annotation")?;
+                    let body = self.expr()?;
+                    Ok(Expr::Fix(x, ty, Box::new(body)))
+                }
+                "inl" => {
+                    self.bump();
+                    Ok(Expr::Inl(Box::new(self.atom()?)))
+                }
+                "inr" => {
+                    self.bump();
+                    Ok(Expr::Inr(Box::new(self.atom()?)))
+                }
+                "fst" => {
+                    self.bump();
+                    Ok(Expr::Fst(Box::new(self.atom()?)))
+                }
+                "snd" => {
+                    self.bump();
+                    Ok(Expr::Snd(Box::new(self.atom()?)))
+                }
+                _ => self.atom(),
+            },
+            _ => self.atom(),
+        }
+    }
+
+    /// An operand-position expression: a self-delimiting primary followed
+    /// by `[ρ]` priority applications.  Greedy binder forms must be
+    /// parenthesized here (as the pretty-printer does).
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while matches!(self.peek(), TokKind::LBracket) {
+            self.bump();
+            let p = self.prio()?;
+            self.eat(&TokKind::RBracket, "after priority application")?;
+            e = Expr::PApp(Box::new(e), p);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Nat(n) => {
+                self.bump();
+                Ok(Expr::Nat(n))
+            }
+            TokKind::UnitLit => {
+                self.bump();
+                Ok(Expr::Unit)
+            }
+            TokKind::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                let e = match self.peek().clone() {
+                    TokKind::Comma => {
+                        self.bump();
+                        let second = self.expr()?;
+                        Expr::Pair(Box::new(first), Box::new(second))
+                    }
+                    TokKind::Plus => self.prim(first, PrimOp::Add)?,
+                    TokKind::Minus => self.prim(first, PrimOp::Sub)?,
+                    TokKind::Star => self.prim(first, PrimOp::Mul)?,
+                    TokKind::EqEq => self.prim(first, PrimOp::Eq)?,
+                    TokKind::Lt => self.prim(first, PrimOp::Lt)?,
+                    _ if self.starts_expr() => {
+                        let arg = self.expr()?;
+                        Expr::App(Box::new(first), Box::new(arg))
+                    }
+                    _ => first,
+                };
+                self.eat(&TokKind::RParen, "to close the expression")?;
+                Ok(e)
+            }
+            TokKind::Ident(w) => match w.as_str() {
+                "cmd" => {
+                    self.bump();
+                    self.eat(&TokKind::LBracket, "after `cmd`")?;
+                    let p = self.prio()?;
+                    self.eat(&TokKind::RBracket, "after the command priority")?;
+                    self.eat(&TokKind::LBrace, "to open the command body")?;
+                    let m = self.cmd()?;
+                    self.eat(&TokKind::RBrace, "to close the command body")?;
+                    Ok(Expr::CmdVal(p, Arc::new(m)))
+                }
+                "ref" => {
+                    self.bump();
+                    self.eat(&TokKind::LBracket, "after `ref`")?;
+                    let sym = self.ident("for the location symbol")?;
+                    let id = self.runtime_symbol(&sym, 's', "location")?;
+                    self.eat(&TokKind::RBracket, "after the location symbol")?;
+                    Ok(Expr::RefVal(LocId(id)))
+                }
+                "tid" => {
+                    self.bump();
+                    self.eat(&TokKind::LBracket, "after `tid`")?;
+                    let sym = self.ident("for the thread symbol")?;
+                    let id = self.runtime_symbol(&sym, 'a', "thread")?;
+                    self.eat(&TokKind::RBracket, "after the thread symbol")?;
+                    Ok(Expr::Tid(ThreadSym(id)))
+                }
+                "inl" | "inr" | "fst" | "snd" | "ifz" | "case" => self.expr(),
+                "let" | "fix" | "in" | "is" => self.err(format!(
+                    "`{w}` cannot start an operand; parenthesize the inner expression"
+                )),
+                _ => {
+                    self.bump();
+                    Ok(Expr::Var(w))
+                }
+            },
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    fn prim(&mut self, lhs: Expr, op: PrimOp) -> Result<Expr, ParseError> {
+        self.bump();
+        let rhs = self.atom()?;
+        Ok(Expr::Prim(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    /// Parses a bracketed runtime symbol (`s3` in `ref[s3]`, `a2` in
+    /// `tid[a2]`).
+    fn runtime_symbol(&mut self, word: &str, prefix: char, what: &str) -> Result<u32, ParseError> {
+        let digits = word.strip_prefix(prefix).unwrap_or("");
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return self.err(format!(
+                "expected a {what} symbol like `{prefix}0`, found `{word}`"
+            ));
+        }
+        digits.parse().map_err(|_| {
+            let (line, col) = self.here();
+            ParseError {
+                message: format!("{what} symbol `{word}` out of range"),
+                line,
+                col,
+            }
+        })
+    }
+
+    // -- commands ------------------------------------------------------
+
+    fn cmd(&mut self) -> Result<Cmd, ParseError> {
+        if let TokKind::Ident(w) = self.peek().clone() {
+            match w.as_str() {
+                "ret" => {
+                    self.bump();
+                    return Ok(Cmd::Ret(Box::new(self.expr()?)));
+                }
+                "ftouch" => {
+                    self.bump();
+                    return Ok(Cmd::Ftouch(Box::new(self.atom()?)));
+                }
+                "fcreate" => {
+                    self.bump();
+                    self.eat(&TokKind::LBracket, "after `fcreate`")?;
+                    let prio = self.prio()?;
+                    self.eat(&TokKind::Semi, "after the fcreate priority")?;
+                    let ret_type = self.ty()?;
+                    self.eat(&TokKind::RBracket, "after the fcreate return type")?;
+                    self.eat(&TokKind::LBrace, "to open the fcreate body")?;
+                    let body = self.cmd()?;
+                    self.eat(&TokKind::RBrace, "to close the fcreate body")?;
+                    return Ok(Cmd::Fcreate {
+                        prio,
+                        ret_type,
+                        body: Arc::new(body),
+                    });
+                }
+                "dcl" => {
+                    self.bump();
+                    self.eat(&TokKind::LBracket, "after `dcl`")?;
+                    let ty = self.ty()?;
+                    self.eat(&TokKind::RBracket, "after the declared type")?;
+                    let var = self.ident("for the reference binder")?;
+                    self.eat(&TokKind::ColonEq, "after the reference binder")?;
+                    let init = self.expr()?;
+                    self.eat_keyword("in", "after the initialiser")?;
+                    let body = self.cmd()?;
+                    return Ok(Cmd::Dcl {
+                        ty,
+                        var,
+                        init: Box::new(init),
+                        body: Arc::new(body),
+                    });
+                }
+                "cas" => {
+                    self.bump();
+                    self.eat(&TokKind::LParen, "after `cas`")?;
+                    let target = self.expr()?;
+                    self.eat(&TokKind::Comma, "after the cas target")?;
+                    let expected = self.expr()?;
+                    self.eat(&TokKind::Comma, "after the expected value")?;
+                    let new = self.expr()?;
+                    self.eat(&TokKind::RParen, "to close the cas")?;
+                    return Ok(Cmd::Cas {
+                        target: Box::new(target),
+                        expected: Box::new(expected),
+                        new: Box::new(new),
+                    });
+                }
+                _ => {
+                    // `x <- e; m` — a bind, recognised by two-token
+                    // lookahead so plain expressions still reach `Set`.
+                    if matches!(self.peek2(), TokKind::BindArrow) {
+                        let var = self.ident("for the bind variable")?;
+                        self.bump(); // `<-`
+                        let expr = self.expr()?;
+                        self.eat(&TokKind::Semi, "after the bound command")?;
+                        let rest = self.cmd()?;
+                        return Ok(Cmd::Bind {
+                            var,
+                            expr: Box::new(expr),
+                            rest: Arc::new(rest),
+                        });
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(), TokKind::Bang) {
+            self.bump();
+            return Ok(Cmd::Get(Box::new(self.atom()?)));
+        }
+        // `e₁ := e₂` — an assignment.
+        let target = self.atom()?;
+        self.eat(
+            &TokKind::ColonEq,
+            "in assignment (a bare expression is not a command)",
+        )?;
+        let value = self.expr()?;
+        Ok(Cmd::Set(Box::new(target), Box::new(value)))
+    }
+
+    // -- programs ------------------------------------------------------
+
+    fn domain_decl(&mut self) -> Result<PriorityDomain, ParseError> {
+        self.eat_keyword("priorities", "to declare the priority domain")?;
+        self.eat(&TokKind::Colon, "after `priorities`")?;
+        let first = self.ident("for the first priority level")?;
+        let mut names = vec![first];
+        match self.peek() {
+            TokKind::Lt => {
+                // Total order: a < b < c.
+                while matches!(self.peek(), TokKind::Lt) {
+                    self.bump();
+                    names.push(self.ident("for the next priority level")?);
+                }
+                PriorityDomain::total_order(names.clone()).map_err(|e| {
+                    self.err::<()>(format!("bad priority declaration: {e}"))
+                        .unwrap_err()
+                })
+            }
+            TokKind::Comma => {
+                // Partial order: a, b, c where a < b, a < c.  Without a
+                // `where` clause the levels form an antichain (no two
+                // comparable).
+                while matches!(self.peek(), TokKind::Comma) {
+                    self.bump();
+                    names.push(self.ident("for the next priority level")?);
+                }
+                let mut builder = PriorityDomain::builder();
+                for n in &names {
+                    builder = builder.level(n.clone());
+                }
+                if !self.is_keyword("where") {
+                    return builder.build().map_err(|e| {
+                        self.err::<()>(format!("bad priority declaration: {e}"))
+                            .unwrap_err()
+                    });
+                }
+                self.bump(); // `where`
+                loop {
+                    let lo = self.ident("for the lower level of a pair")?;
+                    self.eat(&TokKind::Lt, "between the levels of a pair")?;
+                    let hi = self.ident("for the higher level of a pair")?;
+                    builder = builder.lt(lo, hi);
+                    if matches!(self.peek(), TokKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                builder.build().map_err(|e| {
+                    self.err::<()>(format!("bad priority declaration: {e}"))
+                        .unwrap_err()
+                })
+            }
+            _ => PriorityDomain::total_order(names.clone()).map_err(|e| {
+                self.err::<()>(format!("bad priority declaration: {e}"))
+                    .unwrap_err()
+            }),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let domain = self.domain_decl()?;
+        self.domain = Some(domain.clone());
+        self.eat_keyword("program", "to begin the program header")?;
+        let name = self.ident("for the program name")?;
+        self.eat(&TokKind::Colon, "after the program name")?;
+        let return_type = self.ty()?;
+        self.eat_keyword("main", "to begin the main declaration")?;
+        self.eat(&TokKind::At, "after `main`")?;
+        let level = self.ident("for the main priority level")?;
+        let main_priority = match domain.priority(&level) {
+            Some(p) => p,
+            None => {
+                return self.err(format!(
+                    "`{level}` is not a declared priority level (declared: {})",
+                    domain
+                        .iter()
+                        .map(|q| domain.name(q).to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        };
+        self.eat(&TokKind::Colon, "after the main priority")?;
+        let main = self.cmd()?;
+        if !matches!(self.peek(), TokKind::Eof) {
+            return self.err(format!("expected end of program, found {}", self.peek()));
+        }
+        Ok(Program {
+            name,
+            domain,
+            main_priority,
+            main: Arc::new(main),
+            return_type,
+        })
+    }
+
+    fn finish<T>(self, value: T) -> Result<T, ParseError> {
+        if matches!(self.peek(), TokKind::Eof) {
+            Ok(value)
+        } else {
+            self.err(format!("expected end of input, found {}", self.peek()))
+        }
+    }
+}
+
+/// Parses a whole `.l4i` program (header + main command).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the source position of the first offending
+/// token.
+///
+/// # Example
+///
+/// ```
+/// let src = "\
+/// priorities: lo < hi
+/// program tiny : nat
+/// main @ hi:
+///   ret (1 + 2)
+/// ";
+/// let prog = rp_lambda4i::parse::parse_program(src).unwrap();
+/// assert_eq!(prog.name, "tiny");
+/// assert_eq!(prog.domain.len(), 2);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src, None)?.program()
+}
+
+/// Parses an expression against a known priority domain.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str, domain: &PriorityDomain) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src, Some(domain.clone()))?;
+    let e = p.expr()?;
+    p.finish(e)
+}
+
+/// Parses a command against a known priority domain.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_cmd(src: &str, domain: &PriorityDomain) -> Result<Cmd, ParseError> {
+    let mut p = Parser::new(src, Some(domain.clone()))?;
+    let m = p.cmd()?;
+    p.finish(m)
+}
+
+/// Parses a type against a known priority domain.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_type(src: &str, domain: &PriorityDomain) -> Result<Type, ParseError> {
+    let mut p = Parser::new(src, Some(domain.clone()))?;
+    let t = p.ty()?;
+    p.finish(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::{self, Printer};
+    use crate::progs;
+    use crate::syntax::dsl::*;
+
+    fn dom2() -> PriorityDomain {
+        PriorityDomain::total_order(["lo", "hi"]).unwrap()
+    }
+
+    fn roundtrip_cmd(m: &Cmd, d: &PriorityDomain) {
+        let s = Printer::with_domain(d).cmd(m);
+        let parsed = parse_cmd(&s, d).unwrap_or_else(|e| panic!("parsing `{s}`: {e}"));
+        assert_eq!(&parsed, m, "pretty output was `{s}`");
+    }
+
+    fn roundtrip_expr(e: &Expr, d: &PriorityDomain) {
+        let s = Printer::with_domain(d).expr(e);
+        let parsed = parse_expr(&s, d).unwrap_or_else(|err| panic!("parsing `{s}`: {err}"));
+        assert_eq!(&parsed, e, "pretty output was `{s}`");
+    }
+
+    #[test]
+    fn literals_and_arithmetic_roundtrip() {
+        let d = dom2();
+        roundtrip_expr(&nat(42), &d);
+        roundtrip_expr(&unit(), &d);
+        roundtrip_expr(&add(nat(1), mul(nat(2), nat(3))), &d);
+        roundtrip_expr(&eq(sub(nat(5), nat(2)), nat(3)), &d);
+        roundtrip_expr(
+            &Expr::Prim(PrimOp::Lt, Box::new(nat(1)), Box::new(nat(2))),
+            &d,
+        );
+    }
+
+    #[test]
+    fn binders_and_application_roundtrip() {
+        let d = dom2();
+        roundtrip_expr(&lam("x", Type::Nat, add(var("x"), nat(1))), &d);
+        roundtrip_expr(&app(lam("x", Type::Nat, var("x")), nat(7)), &d);
+        roundtrip_expr(&let_("y", nat(1), var("y")), &d);
+        roundtrip_expr(
+            &fix(
+                "f",
+                Type::arrow(Type::Nat, Type::Nat),
+                lam(
+                    "n",
+                    Type::Nat,
+                    ifz(var("n"), nat(0), "m", app(var("f"), var("m"))),
+                ),
+            ),
+            &d,
+        );
+    }
+
+    #[test]
+    fn sums_pairs_and_case_roundtrip() {
+        let d = dom2();
+        roundtrip_expr(&pair(nat(1), pair(nat(2), unit())), &d);
+        roundtrip_expr(&Expr::Inl(Box::new(nat(3))), &d);
+        roundtrip_expr(&Expr::Fst(Box::new(pair(nat(1), nat(2)))), &d);
+        roundtrip_expr(
+            &Expr::Case(
+                Box::new(Expr::Inr(Box::new(unit()))),
+                "a".into(),
+                Box::new(nat(1)),
+                "b".into(),
+                Box::new(nat(2)),
+            ),
+            &d,
+        );
+    }
+
+    #[test]
+    fn runtime_values_roundtrip() {
+        let d = dom2();
+        roundtrip_expr(&Expr::RefVal(LocId(3)), &d);
+        roundtrip_expr(&Expr::Tid(ThreadSym(2)), &d);
+    }
+
+    #[test]
+    fn priority_polymorphism_roundtrips() {
+        let d = dom2();
+        let pi = PrioVar::new("pi");
+        let lo = d.priority("lo").unwrap();
+        let plam = Expr::PLam(
+            pi.clone(),
+            Constraint::leq(lo, PrioTerm::Var(pi.clone())),
+            Box::new(cmd(PrioTerm::Var(pi.clone()), ret(nat(1)))),
+        );
+        roundtrip_expr(&plam, &d);
+        roundtrip_expr(&Expr::PApp(Box::new(plam), PrioTerm::Const(lo)), &d);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        let d = dom2();
+        let hi = d.priority("hi").unwrap();
+        roundtrip_cmd(&ret(add(nat(1), nat(2))), &d);
+        roundtrip_cmd(&get(var("r")), &d);
+        roundtrip_cmd(&set(var("r"), nat(5)), &d);
+        roundtrip_cmd(&cas(var("r"), nat(0), nat(1)), &d);
+        roundtrip_cmd(&ftouch(var("t")), &d);
+        roundtrip_cmd(&fcreate(hi, Type::Nat, ret(nat(1))), &d);
+        roundtrip_cmd(
+            &dcl(
+                "r",
+                Type::Nat,
+                nat(0),
+                bind("v", cmd(hi, get(var("r"))), ret(var("v"))),
+            ),
+            &d,
+        );
+    }
+
+    #[test]
+    fn free_priority_variables_survive_parsing() {
+        // `fcreate[worker; nat]{…}` with no `worker` level declared: the
+        // parser leaves a free variable for the solver.
+        let d = dom2();
+        let m = parse_cmd("t <- cmd[hi]{fcreate[worker; nat]{ret 1}}; ret 2", &d).unwrap();
+        assert_eq!(
+            m.free_prio_vars(),
+            vec![PrioVar::new("worker")],
+            "undeclared level names parse as priority variables"
+        );
+    }
+
+    #[test]
+    fn whole_programs_roundtrip() {
+        for prog in [
+            progs::parallel_fib(3),
+            progs::figure1_program(),
+            progs::server_with_background(2, 2),
+            progs::email_coordination_program(),
+            progs::priority_inversion_program(),
+            progs::proxy_program(),
+            progs::email_program(),
+            progs::jserver_program(),
+        ] {
+            let src = pretty::program_to_string(&prog);
+            let parsed =
+                parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", prog.name));
+            assert_eq!(parsed, prog, "program `{}` did not round-trip", prog.name);
+        }
+    }
+
+    #[test]
+    fn partial_order_domain_roundtrips() {
+        let d = PriorityDomain::builder()
+            .level("bot")
+            .level("l")
+            .level("r")
+            .level("top")
+            .lt("bot", "l")
+            .lt("bot", "r")
+            .lt("l", "top")
+            .lt("r", "top")
+            .build()
+            .unwrap();
+        let prog = Program {
+            name: "diamond".into(),
+            domain: d.clone(),
+            main_priority: d.priority("bot").unwrap(),
+            main: Arc::new(ret(nat(0))),
+            return_type: Type::Nat,
+        };
+        let src = pretty::program_to_string(&prog);
+        let parsed = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(parsed, prog);
+    }
+
+    /// Regression test: an antichain domain (valid — the builder accepts
+    /// zero ordering edges) used to pretty-print as `a, b where ` with an
+    /// empty pair list, which did not parse back.
+    #[test]
+    fn antichain_domain_roundtrips() {
+        let d = PriorityDomain::builder()
+            .level("anti")
+            .level("chain")
+            .build()
+            .unwrap();
+        let prog = Program {
+            name: "flat".into(),
+            domain: d.clone(),
+            main_priority: d.priority("anti").unwrap(),
+            main: Arc::new(ret(nat(1))),
+            return_type: Type::Nat,
+        };
+        let src = pretty::program_to_string(&prog);
+        assert!(
+            src.contains("priorities: anti, chain\n"),
+            "antichains must not emit a dangling `where`:\n{src}"
+        );
+        let parsed = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(parsed, prog);
+        assert!(parsed
+            .domain
+            .incomparable(d.priority("anti").unwrap(), d.priority("chain").unwrap()));
+    }
+
+    #[test]
+    fn comments_and_ascii_alternatives_parse() {
+        let src = "\
+-- the tiniest program
+priorities: only
+program tiny : nat
+main @ only:
+  ret 1 -- trailing comment
+";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.name, "tiny");
+        // ASCII constraint syntax.
+        let d = dom2();
+        let e = parse_expr("/\\pi ~ lo <= pi & true. cmd[pi]{ret 1}", &d).unwrap();
+        match e {
+            Expr::PLam(_, c, _) => assert_eq!(c.conjuncts().len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn golden_error_positions_and_messages() {
+        // Unexpected token, with position.
+        let err = parse_program("priorities: lo < hi\nprogram p : nat\nmain @ hi:\n  ret )\n")
+            .unwrap_err();
+        assert_eq!((err.line, err.col), (4, 7), "{err}");
+        assert!(err.to_string().contains("expected an expression"), "{err}");
+        // Unknown main level lists the declared ones.
+        let err = parse_program("priorities: lo < hi\nprogram p : nat\nmain @ zz:\n  ret 1\n")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("not a declared priority level")
+                && err.to_string().contains("lo, hi"),
+            "{err}"
+        );
+        // A bare expression is not a command.
+        let err = parse_cmd("(1 + 2)", &dom2()).unwrap_err();
+        assert!(err.to_string().contains(":="), "{err}");
+        // Duplicate level names are rejected by the domain builder.
+        let err =
+            parse_program("priorities: a < a\nprogram p : nat\nmain @ a:\n  ret 1\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Out-of-range ρN against a known domain.
+        let err = parse_expr("cmd[ρ7]{ret 1}", &dom2()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let d = dom2();
+        let err = parse_expr("1 2", &d).unwrap_err();
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The λ⁴ᵢ front-end pipeline: parse → infer → run (machine and runtime).
+//!
+//! This module glues the three front-end stages into one entry point used
+//! by `bench_lambda`, the `lambda_server` example, and the integration
+//! tests:
+//!
+//! 1. **parse** — [`crate::parse::parse_program`] turns `.l4i` source into
+//!    a [`Program`];
+//! 2. **infer** — [`crate::typecheck::infer_program`] collects the priority
+//!    constraints, solves for any free priority variables, and re-checks
+//!    the instantiated program;
+//! 3. **run** — the instantiated program executes on *both* back ends: the
+//!    abstract machine ([`crate::run::run_program`], which emits the cost
+//!    DAG of the paper's cost semantics) and the traced rp-icilk runtime
+//!    ([`crate::compile::compile_and_run`], whose trace reconstructs the
+//!    *observed* cost DAG).  Theorem 2.3 is checked on both graphs; any
+//!    [`BoundReport::is_counterexample`] is a bug in the scheduler, the
+//!    tracer, or the bound analysis.
+//!
+//! [`BoundReport::is_counterexample`]: rp_core::bound::BoundReport::is_counterexample
+
+// `TypeError` carries the full offending expression/command for error
+// messages (see `typecheck`); a large `Err` variant on this cold path is
+// deliberate, matching the checker itself.
+#![allow(clippy::result_large_err)]
+
+use crate::compile::{compile_and_run, CompileConfig, CompileError, RuntimeOutcome};
+use crate::machine::MachineError;
+use crate::parse::{parse_program, ParseError};
+use crate::run::{run_program, RunConfig, RunResult};
+use crate::syntax::{Expr, Program};
+use crate::typecheck::{infer_program, Inference, TypeError};
+use rp_core::trace::{ReconstructedRun, TraceBoundReport, TraceError};
+use std::fmt;
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Abstract-machine configuration.
+    pub machine: RunConfig,
+    /// Runtime lowering configuration.
+    pub runtime: CompileConfig,
+}
+
+/// Errors from any stage of the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Stage 1: the source did not parse.
+    Parse(ParseError),
+    /// Stage 2: type checking or priority inference failed.
+    Type(TypeError),
+    /// Stage 3a: the abstract machine got stuck or ran too long.
+    Machine(MachineError),
+    /// Stage 3b: runtime lowering failed.
+    Compile(CompileError),
+    /// Stage 3b: the runtime trace did not reconstruct.
+    Trace(TraceError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Type(e) => write!(f, "type error: {e}"),
+            PipelineError::Machine(e) => write!(f, "abstract machine error: {e}"),
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+            PipelineError::Trace(e) => write!(f, "trace reconstruction error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Everything one pipeline run produced: both executions and both graphs'
+/// bound verdicts, for cross-checking.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The inference outcome (assignment, instantiated program, stats).
+    pub inference: Inference,
+    /// The abstract-machine run (cost-semantics DAG, schedule, per-thread
+    /// Theorem 2.3 reports).
+    pub machine: RunResult,
+    /// The runtime run (value, trace).
+    pub runtime: RuntimeOutcome,
+    /// The reconstruction of the runtime trace, when tracing was on.
+    pub reconstruction: Option<ReconstructedRun>,
+    /// Theorem 2.3 against the *observed* runtime schedule.
+    pub observed: Vec<TraceBoundReport>,
+    /// Theorem 2.3 against a replayed weak-respecting prompt schedule of
+    /// the reconstructed graph (the configuration the theorem speaks
+    /// about — the oracle even when the observed schedule is not prompt).
+    pub replay: Vec<TraceBoundReport>,
+}
+
+impl PipelineReport {
+    /// Whether both back ends computed the same final value.  Guaranteed
+    /// for race-free programs; racy programs (Figure 1) may legitimately
+    /// differ.
+    pub fn values_agree(&self) -> bool {
+        self.machine.value == self.runtime.value
+    }
+
+    /// The runtime value (convenience).
+    pub fn value(&self) -> &Expr {
+        &self.runtime.value
+    }
+
+    /// Total Theorem 2.3 counterexamples across the machine graph, the
+    /// observed runtime schedule, and the replayed prompt schedule.  Zero
+    /// for a healthy build.
+    pub fn counterexamples(&self) -> usize {
+        let machine = self
+            .machine
+            .threads
+            .iter()
+            .filter(|t| t.bound.is_counterexample())
+            .count();
+        let observed = self
+            .observed
+            .iter()
+            .filter(|r| r.report.is_counterexample())
+            .count();
+        let replay = self
+            .replay
+            .iter()
+            .filter(|r| r.report.is_counterexample())
+            .count();
+        machine + observed + replay
+    }
+}
+
+/// Runs an already-parsed program through stages 2 and 3.
+///
+/// # Errors
+///
+/// Returns the first failing stage's error.
+pub fn run_pipeline(
+    prog: &Program,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, PipelineError> {
+    let inference = infer_program(prog).map_err(PipelineError::Type)?;
+    let machine =
+        run_program(&inference.program, &config.machine).map_err(PipelineError::Machine)?;
+    let runtime =
+        compile_and_run(&inference.program, &config.runtime).map_err(PipelineError::Compile)?;
+    let reconstruction = match &runtime.trace {
+        Some(trace) => Some(trace.reconstruct().map_err(PipelineError::Trace)?),
+        None => None,
+    };
+    let (observed, replay) = match &reconstruction {
+        Some(run) => (run.check_observed(), run.check_replay(runtime.workers)),
+        None => (Vec::new(), Vec::new()),
+    };
+    Ok(PipelineReport {
+        inference,
+        machine,
+        runtime,
+        reconstruction,
+        observed,
+        replay,
+    })
+}
+
+/// The whole front end: `.l4i` source in, cross-checked report out.
+///
+/// # Errors
+///
+/// Returns the first failing stage's error.
+///
+/// # Example
+///
+/// ```
+/// use rp_lambda4i::pipeline::{run_source, PipelineConfig};
+/// let src = "\
+/// priorities: lo < hi
+/// program doc-example : nat
+/// main @ lo:
+///   t <- cmd[lo]{fcreate[worker; nat]{ret 21}}; -- `worker` is inferred
+///   v <- cmd[lo]{ftouch t};
+///   ret (v + v)
+/// ";
+/// let report = run_source(src, &PipelineConfig::default()).unwrap();
+/// assert_eq!(report.value(), &rp_lambda4i::syntax::Expr::Nat(42));
+/// assert!(report.values_agree());
+/// assert_eq!(report.counterexamples(), 0);
+/// ```
+pub fn run_source(src: &str, config: &PipelineConfig) -> Result<PipelineReport, PipelineError> {
+    let prog = parse_program(src).map_err(PipelineError::Parse)?;
+    run_pipeline(&prog, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty;
+    use crate::progs;
+
+    fn config() -> PipelineConfig {
+        PipelineConfig::default()
+    }
+
+    #[test]
+    fn pretty_printed_programs_flow_through_the_whole_pipeline() {
+        let prog = progs::parallel_fib(5);
+        let src = pretty::program_to_string(&prog);
+        let report = run_source(&src, &config()).unwrap();
+        assert_eq!(report.value(), &crate::syntax::Expr::Nat(5));
+        assert!(report.values_agree());
+        assert_eq!(report.counterexamples(), 0);
+        assert!(report.reconstruction.is_some());
+    }
+
+    #[test]
+    fn inference_feeds_the_runtime_backend() {
+        // A source program with a solver-chosen priority.
+        let src = "\
+priorities: bg < fg
+program inferred : nat
+main @ fg:
+  t <- cmd[fg]{fcreate[p; nat]{ret 9}};
+  v <- cmd[fg]{ftouch t};
+  ret v
+";
+        let report = run_source(src, &config()).unwrap();
+        // fg ⪯ p forces p = fg.
+        let p = report
+            .inference
+            .assignment
+            .get(&rp_priority::PrioVar::new("p"))
+            .and_then(|t| t.as_const());
+        assert_eq!(p, report.inference.program.domain.priority("fg"));
+        assert_eq!(report.value(), &crate::syntax::Expr::Nat(9));
+        assert_eq!(report.counterexamples(), 0);
+    }
+
+    #[test]
+    fn parse_errors_surface_with_positions() {
+        let err = run_source(
+            "priorities: a\nprogram p : nat\nmain @ a:\n  ret (",
+            &config(),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::Parse(e) => assert_eq!(e.line, 4),
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let src = "\
+priorities: lo < hi
+program bad : nat
+main @ hi:
+  t <- cmd[hi]{fcreate[lo; nat]{ret 1}};
+  v <- cmd[hi]{ftouch t};
+  ret v
+";
+        let err = run_source(src, &config()).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Type(TypeError::PriorityInversion { .. })
+        ));
+    }
+}

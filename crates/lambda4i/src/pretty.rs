@@ -1,136 +1,292 @@
-//! Pretty-printing of λ⁴ᵢ types, expressions, and commands.
+//! Pretty-printing of λ⁴ᵢ types, expressions, commands, and programs.
 //!
-//! The output approximates the paper's concrete syntax (Figure 4) and is
-//! intended for error messages, examples, and debugging, not for parsing
-//! back.
+//! The output is the concrete Figure 4 dialect that [`crate::parse`] reads
+//! back: for every type, expression, command, and program,
+//! `parse(pretty(x)) == x` (see the round-trip property tests in
+//! `tests/frontend.rs`).  The printer keeps the grammar unambiguous by
+//! construction:
+//!
+//! * binary types (`→`, `×`, `+`) and binary expressions (application,
+//!   primitives) are always parenthesized;
+//! * binder forms with greedy bodies (`λ`, `Λ`, `let`, `fix`, `forall`) are
+//!   parenthesized whenever they appear in an *operand* position (argument
+//!   of an application or prefix form, base of a priority application or
+//!   postfix type);
+//! * everything else is self-delimiting (literals, `cmd[ρ]{…}`, `ifz`/`case`
+//!   braces, bracketed runtime values).
+//!
+//! Printing is domain-aware: given the program's [`PriorityDomain`],
+//! concrete priorities render as their level *names* (`interactive`), which
+//! the parser resolves against the program's `priorities:` declaration.
+//! The domain-less helpers fall back to the positional `ρN` spelling, which
+//! the parser also accepts.
 
-use crate::syntax::{Cmd, Expr, PrimOp, Type};
+use crate::syntax::{Cmd, Expr, PrimOp, Program, Type};
+use rp_priority::{Constraint, PrioTerm, PriorityDomain};
 use std::fmt::Write as _;
 
-/// Renders a type.
-pub fn type_to_string(t: &Type) -> String {
-    match t {
-        Type::Unit => "unit".to_string(),
-        Type::Nat => "nat".to_string(),
-        Type::Arrow(a, b) => format!("({} -> {})", type_to_string(a), type_to_string(b)),
-        Type::Prod(a, b) => format!("({} * {})", type_to_string(a), type_to_string(b)),
-        Type::Sum(a, b) => format!("({} + {})", type_to_string(a), type_to_string(b)),
-        Type::Ref(a) => format!("{} ref", type_to_string(a)),
-        Type::Thread(a, p) => format!("{} thread[{p}]", type_to_string(a)),
-        Type::Cmd(a, p) => format!("{} cmd[{p}]", type_to_string(a)),
-        Type::Forall(v, c, a) => format!("forall {v} ~ {c}. {}", type_to_string(a)),
-    }
+/// A printer, optionally aware of the priority domain (for level names).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Printer<'a> {
+    domain: Option<&'a PriorityDomain>,
 }
 
-/// Renders an expression.
-pub fn expr_to_string(e: &Expr) -> String {
-    match e {
-        Expr::Var(x) => x.clone(),
-        Expr::Unit => "<>".to_string(),
-        Expr::Nat(n) => n.to_string(),
-        Expr::Lam(x, ty, b) => format!("\\{x}:{}. {}", type_to_string(ty), expr_to_string(b)),
-        Expr::Pair(a, b) => format!("({}, {})", expr_to_string(a), expr_to_string(b)),
-        Expr::Inl(a) => format!("inl {}", expr_to_string(a)),
-        Expr::Inr(a) => format!("inr {}", expr_to_string(a)),
-        Expr::RefVal(s) => format!("ref[{s}]"),
-        Expr::Tid(a) => format!("tid[{a}]"),
-        Expr::CmdVal(p, m) => format!("cmd[{p}]{{{}}}", cmd_to_string(m)),
-        Expr::PLam(v, c, b) => format!("/\\{v} ~ {c}. {}", expr_to_string(b)),
-        Expr::PApp(b, p) => format!("{}[{p}]", expr_to_string(b)),
-        Expr::Let(x, a, b) => format!("let {x} = {} in {}", expr_to_string(a), expr_to_string(b)),
-        Expr::Ifz(c, z, x, s) => format!(
-            "ifz {} {{{}; {x}.{}}}",
-            expr_to_string(c),
-            expr_to_string(z),
-            expr_to_string(s)
-        ),
-        Expr::App(a, b) => format!("({} {})", expr_to_string(a), expr_to_string(b)),
-        Expr::Fst(a) => format!("fst {}", expr_to_string(a)),
-        Expr::Snd(a) => format!("snd {}", expr_to_string(a)),
-        Expr::Case(s, x, a, y, b) => format!(
-            "case {} {{{x}.{}; {y}.{}}}",
-            expr_to_string(s),
-            expr_to_string(a),
-            expr_to_string(b)
-        ),
-        Expr::Fix(x, ty, b) => format!("fix {x}:{} is {}", type_to_string(ty), expr_to_string(b)),
-        Expr::Prim(op, a, b) => {
-            let sym = match op {
-                PrimOp::Add => "+",
-                PrimOp::Sub => "-",
-                PrimOp::Mul => "*",
-                PrimOp::Eq => "==",
-                PrimOp::Lt => "<",
-            };
-            format!("({} {sym} {})", expr_to_string(a), expr_to_string(b))
+impl<'a> Printer<'a> {
+    /// A printer that renders concrete priorities as `ρN`.
+    pub fn new() -> Self {
+        Printer { domain: None }
+    }
+
+    /// A printer that renders concrete priorities as level names of the
+    /// given domain.
+    pub fn with_domain(domain: &'a PriorityDomain) -> Self {
+        Printer {
+            domain: Some(domain),
         }
     }
-}
 
-/// Renders a command.
-pub fn cmd_to_string(m: &Cmd) -> String {
-    match m {
-        Cmd::Fcreate {
-            prio,
-            ret_type,
-            body,
-        } => format!(
-            "fcreate[{prio}; {}]{{{}}}",
-            type_to_string(ret_type),
-            cmd_to_string(body)
-        ),
-        Cmd::Ftouch(e) => format!("ftouch {}", expr_to_string(e)),
-        Cmd::Dcl {
-            ty,
-            var,
-            init,
-            body,
-        } => format!(
-            "dcl[{}] {var} := {} in {}",
-            type_to_string(ty),
-            expr_to_string(init),
-            cmd_to_string(body)
-        ),
-        Cmd::Get(e) => format!("!{}", expr_to_string(e)),
-        Cmd::Set(a, b) => format!("{} := {}", expr_to_string(a), expr_to_string(b)),
-        Cmd::Bind { var, expr, rest } => {
-            format!("{var} <- {}; {}", expr_to_string(expr), cmd_to_string(rest))
+    /// Renders a priority term.
+    pub fn prio(&self, t: &PrioTerm) -> String {
+        match (t, self.domain) {
+            (PrioTerm::Const(p), Some(d)) => d.name(*p).to_string(),
+            (PrioTerm::Const(p), None) => format!("{p}"),
+            (PrioTerm::Var(v), _) => v.to_string(),
         }
-        Cmd::Ret(e) => format!("ret {}", expr_to_string(e)),
-        Cmd::Cas {
-            target,
-            expected,
-            new,
-        } => format!(
-            "cas({}, {}, {})",
-            expr_to_string(target),
-            expr_to_string(expected),
-            expr_to_string(new)
-        ),
+    }
+
+    /// Renders a constraint.
+    pub fn constraint(&self, c: &Constraint) -> String {
+        match c {
+            Constraint::Leq { lhs, rhs } => format!("{} ⪯ {}", self.prio(lhs), self.prio(rhs)),
+            Constraint::And(a, b) => format!("{} ∧ {}", self.constraint(a), self.constraint(b)),
+            Constraint::True => "⊤".to_string(),
+        }
+    }
+
+    /// Renders a type.
+    pub fn ty(&self, t: &Type) -> String {
+        match t {
+            Type::Unit => "unit".to_string(),
+            Type::Nat => "nat".to_string(),
+            Type::Arrow(a, b) => format!("({} -> {})", self.ty(a), self.ty(b)),
+            Type::Prod(a, b) => format!("({} * {})", self.ty(a), self.ty(b)),
+            Type::Sum(a, b) => format!("({} + {})", self.ty(a), self.ty(b)),
+            Type::Ref(a) => format!("{} ref", self.ty_postfix_base(a)),
+            Type::Thread(a, p) => {
+                format!("{} thread[{}]", self.ty_postfix_base(a), self.prio(p))
+            }
+            Type::Cmd(a, p) => format!("{} cmd[{}]", self.ty_postfix_base(a), self.prio(p)),
+            Type::Forall(v, c, a) => {
+                format!("forall {v} ~ {}. {}", self.constraint(c), self.ty(a))
+            }
+        }
+    }
+
+    /// Renders a type in the base position of a postfix form (`… ref`,
+    /// `… thread[ρ]`, `… cmd[ρ]`): a `forall` there must be parenthesized
+    /// or the postfix would attach inside its greedy body.
+    fn ty_postfix_base(&self, t: &Type) -> String {
+        match t {
+            Type::Forall(..) => format!("({})", self.ty(t)),
+            _ => self.ty(t),
+        }
+    }
+
+    /// Renders an expression.
+    pub fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Var(x) => x.clone(),
+            Expr::Unit => "<>".to_string(),
+            Expr::Nat(n) => n.to_string(),
+            Expr::Lam(x, ty, b) => format!("\\{x}:{}. {}", self.ty(ty), self.expr(b)),
+            Expr::Pair(a, b) => format!("({}, {})", self.expr(a), self.expr(b)),
+            Expr::Inl(a) => format!("inl {}", self.atom(a)),
+            Expr::Inr(a) => format!("inr {}", self.atom(a)),
+            Expr::RefVal(s) => format!("ref[{s}]"),
+            Expr::Tid(a) => format!("tid[{a}]"),
+            Expr::CmdVal(p, m) => format!("cmd[{}]{{{}}}", self.prio(p), self.cmd(m)),
+            Expr::PLam(v, c, b) => {
+                format!("/\\{v} ~ {}. {}", self.constraint(c), self.expr(b))
+            }
+            Expr::PApp(b, p) => format!("{}[{}]", self.atom(b), self.prio(p)),
+            Expr::Let(x, a, b) => {
+                format!("let {x} = {} in {}", self.expr(a), self.expr(b))
+            }
+            Expr::Ifz(c, z, x, s) => format!(
+                "ifz {} {{{}; {x}.{}}}",
+                self.atom(c),
+                self.expr(z),
+                self.expr(s)
+            ),
+            Expr::App(a, b) => format!("({} {})", self.atom(a), self.atom(b)),
+            Expr::Fst(a) => format!("fst {}", self.atom(a)),
+            Expr::Snd(a) => format!("snd {}", self.atom(a)),
+            Expr::Case(s, x, a, y, b) => format!(
+                "case {} {{{x}.{}; {y}.{}}}",
+                self.atom(s),
+                self.expr(a),
+                self.expr(b)
+            ),
+            Expr::Fix(x, ty, b) => format!("fix {x}:{} is {}", self.ty(ty), self.expr(b)),
+            Expr::Prim(op, a, b) => {
+                let sym = match op {
+                    PrimOp::Add => "+",
+                    PrimOp::Sub => "-",
+                    PrimOp::Mul => "*",
+                    PrimOp::Eq => "==",
+                    PrimOp::Lt => "<",
+                };
+                format!("({} {sym} {})", self.atom(a), self.atom(b))
+            }
+        }
+    }
+
+    /// Renders an expression in an operand position: forms whose greedy
+    /// bodies would otherwise swallow the surrounding context get wrapped
+    /// in parentheses; self-delimiting forms print as themselves.
+    fn atom(&self, e: &Expr) -> String {
+        match e {
+            Expr::Lam(..)
+            | Expr::PLam(..)
+            | Expr::Let(..)
+            | Expr::Fix(..)
+            | Expr::Inl(..)
+            | Expr::Inr(..)
+            | Expr::Fst(..)
+            | Expr::Snd(..) => format!("({})", self.expr(e)),
+            _ => self.expr(e),
+        }
+    }
+
+    /// Renders a command.
+    pub fn cmd(&self, m: &Cmd) -> String {
+        match m {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => format!(
+                "fcreate[{}; {}]{{{}}}",
+                self.prio(prio),
+                self.ty(ret_type),
+                self.cmd(body)
+            ),
+            Cmd::Ftouch(e) => format!("ftouch {}", self.atom(e)),
+            Cmd::Dcl {
+                ty,
+                var,
+                init,
+                body,
+            } => format!(
+                "dcl[{}] {var} := {} in {}",
+                self.ty(ty),
+                self.expr(init),
+                self.cmd(body)
+            ),
+            Cmd::Get(e) => format!("!{}", self.atom(e)),
+            Cmd::Set(a, b) => format!("{} := {}", self.atom(a), self.expr(b)),
+            Cmd::Bind { var, expr, rest } => {
+                format!("{var} <- {}; {}", self.expr(expr), self.cmd(rest))
+            }
+            Cmd::Ret(e) => format!("ret {}", self.expr(e)),
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => format!(
+                "cas({}, {}, {})",
+                self.expr(target),
+                self.expr(expected),
+                self.expr(new)
+            ),
+        }
+    }
+
+    /// Renders a whole program in the parseable header format:
+    ///
+    /// ```text
+    /// priorities: lo < mid < hi
+    /// program NAME : TYPE
+    /// main @ LEVEL:
+    ///   CMD
+    /// ```
+    ///
+    /// The `priorities:` declaration comes first so the parser knows the
+    /// domain before it meets a priority-bearing type or command.  A
+    /// non-total domain declares its levels and covering pairs instead:
+    /// `priorities: bot, l, r, top where bot < l, bot < r, l < top, r < top`.
+    pub fn program(&self, p: &Program) -> String {
+        let printer = Printer::with_domain(&p.domain);
+        let mut out = String::new();
+        let _ = writeln!(out, "priorities: {}", domain_decl(&p.domain));
+        let _ = writeln!(out, "program {} : {}", p.name, printer.ty(&p.return_type));
+        let _ = writeln!(out, "main @ {}:", p.domain.name(p.main_priority));
+        let _ = writeln!(out, "  {}", printer.cmd(&p.main));
+        out
     }
 }
 
-/// Renders a whole program, including its priority domain.
-pub fn program_to_string(p: &crate::syntax::Program) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "program {} : {}",
-        p.name,
-        type_to_string(&p.return_type)
-    );
-    let _ = writeln!(
-        out,
-        "priorities: {}",
-        p.domain
-            .iter()
-            .map(|q| p.domain.name(q).to_string())
+/// Renders a priority domain as the `priorities:` declaration body.
+fn domain_decl(domain: &PriorityDomain) -> String {
+    if domain.is_total() {
+        // Total orders list the levels lowest-first; declaration order of a
+        // `total_order` domain is already the chain order, but sort by the
+        // relation to be safe for hand-built equivalents.
+        domain
+            .topo_sorted()
+            .into_iter()
+            .map(|q| domain.name(q).to_string())
             .collect::<Vec<_>>()
             .join(" < ")
-    );
-    let _ = writeln!(out, "main @ {}:", p.domain.name(p.main_priority));
-    let _ = writeln!(out, "  {}", cmd_to_string(&p.main));
-    out
+    } else {
+        // Partial orders: the level list in declaration order, then the
+        // covering pairs of the order (whose transitive closure rebuilds
+        // the same `⪯`).
+        let levels = domain
+            .iter()
+            .map(|q| domain.name(q).to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut pairs = Vec::new();
+        for a in domain.iter() {
+            for b in domain.iter() {
+                if domain.lt(a, b)
+                    && !domain
+                        .iter()
+                        .any(|m| m != a && m != b && domain.lt(a, m) && domain.lt(m, b))
+                {
+                    pairs.push(format!("{} < {}", domain.name(a), domain.name(b)));
+                }
+            }
+        }
+        if pairs.is_empty() {
+            // An antichain: levels only, no `where` clause.
+            levels
+        } else {
+            format!("{levels} where {}", pairs.join(", "))
+        }
+    }
+}
+
+/// Renders a type (positional `ρN` priorities).
+pub fn type_to_string(t: &Type) -> String {
+    Printer::new().ty(t)
+}
+
+/// Renders an expression (positional `ρN` priorities).
+pub fn expr_to_string(e: &Expr) -> String {
+    Printer::new().expr(e)
+}
+
+/// Renders a command (positional `ρN` priorities).
+pub fn cmd_to_string(m: &Cmd) -> String {
+    Printer::new().cmd(m)
+}
+
+/// Renders a whole program, including its priority domain, in the format
+/// [`crate::parse::parse_program`] reads back.
+pub fn program_to_string(p: &Program) -> String {
+    Printer::new().program(p)
 }
 
 #[cfg(test)]
@@ -171,6 +327,53 @@ mod tests {
         let s = program_to_string(&prog);
         assert!(s.contains("background") && s.contains("interactive"));
         assert!(s.contains("fcreate"));
+        assert!(s.contains("priorities: background < interactive"));
+    }
+
+    #[test]
+    fn domain_aware_priorities_use_level_names() {
+        let dom = PriorityDomain::total_order(["bg", "ui"]).unwrap();
+        let ui = dom.priority("ui").unwrap();
+        let m = fcreate(ui, Type::Nat, ret(nat(1)));
+        let with = Printer::with_domain(&dom).cmd(&m);
+        assert!(with.contains("fcreate[ui;"), "{with}");
+        let without = cmd_to_string(&m);
+        assert!(without.contains("fcreate[ρ1;"), "{without}");
+    }
+
+    #[test]
+    fn partial_order_domain_decl_lists_covering_pairs() {
+        let dom = PriorityDomain::builder()
+            .level("bot")
+            .level("l")
+            .level("r")
+            .level("top")
+            .lt("bot", "l")
+            .lt("bot", "r")
+            .lt("l", "top")
+            .lt("r", "top")
+            .build()
+            .unwrap();
+        let decl = domain_decl(&dom);
+        assert!(decl.contains("where"));
+        assert!(decl.contains("bot < l") && decl.contains("r < top"));
+        // The transitive pair is not listed (it is implied).
+        assert!(!decl.contains("bot < top"));
+    }
+
+    #[test]
+    fn operand_positions_are_parenthesized() {
+        // An applied lambda must print with the lambda wrapped, or the
+        // greedy body would swallow the argument on the way back in.
+        let e = app(lam("x", Type::Nat, var("x")), nat(1));
+        assert_eq!(expr_to_string(&e), "((\\x:nat. x) 1)");
+        // A forall under a postfix type is wrapped for the same reason.
+        let t = Type::reference(Type::Forall(
+            "pi".into(),
+            rp_priority::Constraint::True,
+            Box::new(Type::Nat),
+        ));
+        assert_eq!(type_to_string(&t), "(forall pi ~ ⊤. nat) ref");
     }
 
     #[test]

@@ -390,6 +390,58 @@ pub fn case_studies() -> Vec<Program> {
     vec![proxy_program(), email_program(), jserver_program()]
 }
 
+/// The program library as checked-in `.l4i` source text
+/// (`crates/lambda4i/progs/`), for the front-end pipeline: parse → infer →
+/// run on the machine and the traced rp-icilk runtime.
+///
+/// Each source parses to exactly the AST its builder constructs (asserted
+/// by `tests/frontend.rs`); regenerate with
+/// `cargo run --example gen_fixtures` after changing a builder.
+pub mod sources {
+    use crate::syntax::Program;
+
+    /// The racy Figure 1 program.
+    pub const FIGURE1: &str = include_str!("../progs/figure1.l4i");
+    /// Fork/join Fibonacci with futures (n = 5).
+    pub const PARALLEL_FIB: &str = include_str!("../progs/parallel-fib.l4i");
+    /// Interactive server skeleton (2 requests, 3 background workers).
+    pub const SERVER: &str = include_str!("../progs/server.l4i");
+    /// The §5.1 print/compress coordination pattern.
+    pub const EMAIL_COORDINATION: &str = include_str!("../progs/email-coordination.l4i");
+    /// Proxy-server case study.
+    pub const PROXY: &str = include_str!("../progs/proxy.l4i");
+    /// Email-client case study.
+    pub const EMAIL: &str = include_str!("../progs/email.l4i");
+    /// Job-server case study.
+    pub const JSERVER: &str = include_str!("../progs/jserver.l4i");
+
+    /// One fixture: its name, its source text, and a builder for the AST
+    /// the source must parse to.
+    pub type Fixture = (&'static str, &'static str, fn() -> Program);
+
+    /// Every checked-in source, paired with a builder for the AST it must
+    /// parse to.
+    pub fn all() -> Vec<Fixture> {
+        vec![
+            (
+                "figure1",
+                FIGURE1,
+                super::figure1_program as fn() -> Program,
+            ),
+            ("parallel-fib", PARALLEL_FIB, || super::parallel_fib(5)),
+            ("server", SERVER, || super::server_with_background(2, 3)),
+            (
+                "email-coordination",
+                EMAIL_COORDINATION,
+                super::email_coordination_program,
+            ),
+            ("proxy", PROXY, super::proxy_program),
+            ("email", EMAIL, super::email_program),
+            ("jserver", JSERVER, super::jserver_program),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,38 @@ impl Type {
         self.subst_prio_all(&s)
     }
 
+    /// Collects the free priority variables of the type (those not bound by
+    /// an enclosing `∀π ∼ C`).
+    pub fn free_prio_vars(&self) -> Vec<PrioVar> {
+        let mut out = Vec::new();
+        self.collect_free_prio_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_prio_vars(&self, bound: &mut Vec<PrioVar>, out: &mut Vec<PrioVar>) {
+        match self {
+            Type::Unit | Type::Nat => {}
+            Type::Arrow(a, b) | Type::Prod(a, b) | Type::Sum(a, b) => {
+                a.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Type::Ref(t) => t.collect_free_prio_vars(bound, out),
+            Type::Thread(t, p) | Type::Cmd(t, p) => {
+                t.collect_free_prio_vars(bound, out);
+                collect_term_var(p, bound, out);
+            }
+            Type::Forall(v, c, t) => {
+                // The binder scopes over both the constraint and the body
+                // (see `subst_prio`, which leaves both untouched when the
+                // substituted variable is shadowed).
+                bound.push(v.clone());
+                collect_constraint_vars(c, bound, out);
+                t.collect_free_prio_vars(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
     /// Applies a priority substitution throughout the type.
     pub fn subst_prio_all(&self, s: &rp_priority::PrioSubst) -> Type {
         match self {
@@ -131,6 +163,23 @@ impl Type {
                 }
             }
         }
+    }
+}
+
+/// Records a priority term's variable into `out` unless it is bound.
+fn collect_term_var(t: &PrioTerm, bound: &[PrioVar], out: &mut Vec<PrioVar>) {
+    if let PrioTerm::Var(v) = t {
+        if !bound.contains(v) && !out.contains(v) {
+            out.push(v.clone());
+        }
+    }
+}
+
+/// Records a constraint's free variables into `out`.
+fn collect_constraint_vars(c: &Constraint, bound: &[PrioVar], out: &mut Vec<PrioVar>) {
+    for (l, r) in c.conjuncts() {
+        collect_term_var(l, bound, out);
+        collect_term_var(r, bound, out);
     }
 }
 
@@ -256,7 +305,7 @@ pub enum Cmd {
 
 /// A closed λ⁴ᵢ program: a command to run in the initial thread at a given
 /// priority, over a given priority domain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Human-readable name, used in reports.
     pub name: String,
@@ -268,6 +317,31 @@ pub struct Program {
     pub main: Arc<Cmd>,
     /// The program's declared return type (checked by `typecheck_program`).
     pub return_type: Type,
+}
+
+impl Program {
+    /// The free priority variables of the program (those the front end's
+    /// solver must instantiate before the program can run).
+    pub fn free_prio_vars(&self) -> Vec<PrioVar> {
+        let mut out = self.main.free_prio_vars();
+        for v in self.return_type.free_prio_vars() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Applies a priority substitution to the main command and return type.
+    pub fn subst_prio_all(&self, s: &rp_priority::PrioSubst) -> Program {
+        Program {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            main_priority: self.main_priority,
+            main: Arc::new(self.main.subst_prio_all(s)),
+            return_type: self.return_type.subst_prio_all(s),
+        }
+    }
 }
 
 impl Expr {
@@ -361,6 +435,75 @@ impl Expr {
             }
             Expr::Prim(op, a, b) => {
                 Expr::Prim(*op, Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            }
+        }
+    }
+
+    /// Applies a whole priority substitution, binding by binding.
+    ///
+    /// The images produced by the solver are concrete priorities, so
+    /// sequential application is exact (no image mentions another
+    /// substituted variable).
+    pub fn subst_prio_all(&self, s: &rp_priority::PrioSubst) -> Expr {
+        let mut out = self.clone();
+        for (v, t) in s.iter() {
+            out = out.subst_prio(v, t);
+        }
+        out
+    }
+
+    /// Collects the free priority variables of the expression.
+    pub fn free_prio_vars(&self) -> Vec<PrioVar> {
+        let mut out = Vec::new();
+        self.collect_free_prio_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_prio_vars(&self, bound: &mut Vec<PrioVar>, out: &mut Vec<PrioVar>) {
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => {}
+            Expr::Lam(_, ty, b) => {
+                ty.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Expr::Pair(a, b) | Expr::App(a, b) | Expr::Prim(_, a, b) => {
+                a.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Expr::Inl(a) | Expr::Inr(a) | Expr::Fst(a) | Expr::Snd(a) => {
+                a.collect_free_prio_vars(bound, out)
+            }
+            Expr::CmdVal(p, m) => {
+                collect_term_var(p, bound, out);
+                m.collect_free_prio_vars(bound, out);
+            }
+            Expr::PLam(v, c, b) => {
+                bound.push(v.clone());
+                collect_constraint_vars(c, bound, out);
+                b.collect_free_prio_vars(bound, out);
+                bound.pop();
+            }
+            Expr::PApp(b, p) => {
+                b.collect_free_prio_vars(bound, out);
+                collect_term_var(p, bound, out);
+            }
+            Expr::Let(_, a, b) => {
+                a.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Expr::Ifz(c, z, _, s) => {
+                c.collect_free_prio_vars(bound, out);
+                z.collect_free_prio_vars(bound, out);
+                s.collect_free_prio_vars(bound, out);
+            }
+            Expr::Case(s, _, a, _, b) => {
+                s.collect_free_prio_vars(bound, out);
+                a.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Expr::Fix(_, ty, b) => {
+                ty.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
             }
         }
     }
@@ -489,6 +632,60 @@ impl Cmd {
                 expected: Box::new(expected.subst(x, v)),
                 new: Box::new(new.subst(x, v)),
             },
+        }
+    }
+
+    /// Applies a whole priority substitution, binding by binding (see
+    /// [`Expr::subst_prio_all`]).
+    pub fn subst_prio_all(&self, s: &rp_priority::PrioSubst) -> Cmd {
+        let mut out = self.clone();
+        for (v, t) in s.iter() {
+            out = out.subst_prio(v, t);
+        }
+        out
+    }
+
+    /// Collects the free priority variables of the command.
+    pub fn free_prio_vars(&self) -> Vec<PrioVar> {
+        let mut out = Vec::new();
+        self.collect_free_prio_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_prio_vars(&self, bound: &mut Vec<PrioVar>, out: &mut Vec<PrioVar>) {
+        match self {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => {
+                collect_term_var(prio, bound, out);
+                ret_type.collect_free_prio_vars(bound, out);
+                body.collect_free_prio_vars(bound, out);
+            }
+            Cmd::Ftouch(e) | Cmd::Get(e) | Cmd::Ret(e) => e.collect_free_prio_vars(bound, out),
+            Cmd::Dcl { ty, init, body, .. } => {
+                ty.collect_free_prio_vars(bound, out);
+                init.collect_free_prio_vars(bound, out);
+                body.collect_free_prio_vars(bound, out);
+            }
+            Cmd::Set(a, b) => {
+                a.collect_free_prio_vars(bound, out);
+                b.collect_free_prio_vars(bound, out);
+            }
+            Cmd::Bind { expr, rest, .. } => {
+                expr.collect_free_prio_vars(bound, out);
+                rest.collect_free_prio_vars(bound, out);
+            }
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => {
+                target.collect_free_prio_vars(bound, out);
+                expected.collect_free_prio_vars(bound, out);
+                new.collect_free_prio_vars(bound, out);
+            }
         }
     }
 

@@ -95,6 +95,9 @@ pub enum TypeError {
     ConstraintNotEntailed(String),
     /// An undeclared priority variable was mentioned.
     UnknownPriorityVariable(String),
+    /// Priority inference found the program's constraint system
+    /// unsatisfiable; carries the rendered unsat core.
+    UnsatisfiablePriorities(String),
 }
 
 impl fmt::Display for TypeError {
@@ -125,6 +128,9 @@ impl fmt::Display for TypeError {
             }
             TypeError::UnknownPriorityVariable(v) => {
                 write!(f, "undeclared priority variable `{v}`")
+            }
+            TypeError::UnsatisfiablePriorities(core) => {
+                write!(f, "priority inference failed: {core}")
             }
         }
     }
@@ -176,6 +182,11 @@ pub struct CheckStats {
 pub struct Typechecker {
     domain: PriorityDomain,
     check_priorities: bool,
+    /// Inference mode: constraint goals mentioning *undeclared* priority
+    /// variables (the program's top-level unknowns) are recorded in
+    /// `deferred` instead of being checked, for the solver to discharge.
+    collect: bool,
+    deferred: Vec<Constraint>,
     stats: CheckStats,
 }
 
@@ -186,6 +197,8 @@ impl Typechecker {
         Typechecker {
             domain,
             check_priorities: true,
+            collect: false,
+            deferred: Vec::new(),
             stats: CheckStats::default(),
         }
     }
@@ -195,9 +208,18 @@ impl Typechecker {
     /// apply.
     pub fn without_priority_checks(domain: PriorityDomain) -> Self {
         Typechecker {
-            domain,
             check_priorities: false,
-            stats: CheckStats::default(),
+            ..Typechecker::new(domain)
+        }
+    }
+
+    /// A checker in constraint-collecting inference mode: goals over the
+    /// program's free priority variables are deferred (see
+    /// [`infer_program`]) rather than rejected.
+    pub fn collecting(domain: PriorityDomain) -> Self {
+        Typechecker {
+            collect: true,
+            ..Typechecker::new(domain)
         }
     }
 
@@ -206,10 +228,41 @@ impl Typechecker {
         self.stats
     }
 
+    /// The constraints deferred so far by a collecting checker.
+    pub fn deferred(&self) -> &[Constraint] {
+        &self.deferred
+    }
+
+    /// Whether the goal mentions a priority variable that is not declared
+    /// in the context — i.e. a top-level unknown of the inference problem.
+    fn mentions_unknown(&self, ctx: &TypeCtx, c: &Constraint) -> bool {
+        c.free_vars().iter().any(|v| !ctx.prio.is_declared(v))
+    }
+
+    /// Defers a goal for the solver, rejecting goals that mix an unknown
+    /// with a `Λπ ∼ C`-bound (universally quantified) variable: the solver
+    /// assigns unknowns *existentially* and would silently drop the bound
+    /// variable's quantification and hypotheses, so such programs must
+    /// annotate the instantiation explicitly instead.
+    fn defer(&mut self, ctx: &TypeCtx, c: Constraint) -> Result<(), TypeError> {
+        if let Some(bound) = c.free_vars().iter().find(|v| ctx.prio.is_declared(v)) {
+            return Err(TypeError::UnsatisfiablePriorities(format!(
+                "constraint {c} mixes the quantified priority variable `{bound}` with free \
+                 variables; inference cannot solve under a quantifier — annotate the \
+                 instantiation explicitly"
+            )));
+        }
+        self.deferred.push(c);
+        Ok(())
+    }
+
     fn entails(&mut self, ctx: &TypeCtx, c: &Constraint) -> Result<(), TypeError> {
         self.stats.entailment_checks += 1;
         if !self.check_priorities {
             return Ok(());
+        }
+        if self.collect && self.mentions_unknown(ctx, c) {
+            return self.defer(ctx, c.clone());
         }
         ctx.prio
             .check(&self.domain, c)
@@ -387,9 +440,15 @@ impl Typechecker {
                     Type::Thread(t, rho_prime) => {
                         if self.check_priorities {
                             self.entails(ctx, &Constraint::leq(rho.clone(), rho_prime.clone()))
-                                .map_err(|_| TypeError::PriorityInversion {
-                                    at: rho.clone(),
-                                    touched: rho_prime.clone(),
+                                .map_err(|e| match e {
+                                    // The quantifier-mixing rejection from
+                                    // inference mode is more precise than
+                                    // "inversion"; keep it.
+                                    TypeError::UnsatisfiablePriorities(_) => e,
+                                    _ => TypeError::PriorityInversion {
+                                        at: rho.clone(),
+                                        touched: rho_prime.clone(),
+                                    },
                                 })?;
                         } else {
                             self.stats.entailment_checks += 1;
@@ -440,12 +499,21 @@ impl Typechecker {
                 Type::Cmd(t1, rho_e) => {
                     if self.check_priorities && &rho_e != rho {
                         // The Bind rule requires the encapsulated command to
-                        // run at the ambient priority.
-                        return Err(TypeError::Mismatch {
-                            expected: Type::cmd(*t1, rho.clone()),
-                            found: Type::cmd(Type::Unit, rho_e),
-                            context: "bind: encapsulated command priority".into(),
-                        });
+                        // run at the ambient priority.  In inference mode an
+                        // unknown on either side is deferred as the
+                        // equality ρₑ ⪯ ρ ∧ ρ ⪯ ρₑ (antisymmetry makes the
+                        // pair equivalent to equality in the poset).
+                        let eq = Constraint::leq(rho_e.clone(), rho.clone())
+                            .and(Constraint::leq(rho.clone(), rho_e.clone()));
+                        if self.collect && self.mentions_unknown(ctx, &eq) {
+                            self.defer(ctx, eq)?;
+                        } else {
+                            return Err(TypeError::Mismatch {
+                                expected: Type::cmd(*t1, rho.clone()),
+                                found: Type::cmd(Type::Unit, rho_e),
+                                context: "bind: encapsulated command priority".into(),
+                            });
+                        }
                     }
                     self.check_cmd(&ctx.bind(var, *t1), sig, rest, rho)
                 }
@@ -548,6 +616,73 @@ pub fn typecheck_program_with(
     let mut probe = tc.clone();
     probe.expect(&t, &prog.return_type, "program return type")?;
     Ok(probe.stats())
+}
+
+/// What priority inference produced for a program.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The solver's assignment of the program's free priority variables to
+    /// concrete levels (empty when the program was already fully
+    /// annotated).
+    pub assignment: rp_priority::PrioSubst,
+    /// The fully instantiated program (`assignment` applied), which
+    /// typechecks under the ordinary checking judgment.
+    pub program: Program,
+    /// Statistics of the final checking pass.
+    pub stats: CheckStats,
+    /// The constraints the collecting pass deferred to the solver.
+    pub deferred: Vec<Constraint>,
+}
+
+/// Infers concrete priorities for a program's free priority variables.
+///
+/// This upgrades [`typecheck_program`] from *checking* annotated priority
+/// instantiations to *inferring* them: the program may mention priority
+/// variables that no `Λπ ∼ C` binds (e.g. `fcreate[pi; nat]{...}` in a
+/// source file).  A constraint-collecting checking pass records every
+/// entailment goal that involves such an unknown (the `Touch` rule's
+/// `ρ ⪯ ρ'`, `Bind`'s priority equality, and ∀-elimination side
+/// conditions); [`rp_priority::solve`] then computes the least satisfying
+/// assignment over the program's priority domain, and the instantiated
+/// program is re-checked under the ordinary judgment.
+///
+/// Fully annotated programs pass through unchanged (with an empty
+/// assignment), so this is a strict generalisation of
+/// [`typecheck_program`].
+///
+/// Unknowns are solved *existentially* over the program's domain.  A goal
+/// that constrains an unknown against a `Λπ ∼ C`-bound (universally
+/// quantified) variable is therefore rejected with a clear error rather
+/// than mis-solved — annotate such instantiations explicitly.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] from either checking pass, or
+/// [`TypeError::UnsatisfiablePriorities`] carrying the solver's unsat core
+/// when no assignment exists.
+pub fn infer_program(prog: &Program) -> Result<Inference, TypeError> {
+    let unknowns = prog.free_prio_vars();
+    let (assignment, deferred) = if unknowns.is_empty() {
+        (rp_priority::PrioSubst::new(), Vec::new())
+    } else {
+        let mut tc = Typechecker::collecting(prog.domain.clone());
+        let ctx = TypeCtx::new();
+        let sig = Signature::new();
+        let t = tc.check_cmd(&ctx, &sig, &prog.main, &PrioTerm::Const(prog.main_priority))?;
+        tc.expect(&t, &prog.return_type, "program return type")?;
+        let deferred = tc.deferred().to_vec();
+        let solution = rp_priority::solve(&prog.domain, &unknowns, &deferred)
+            .map_err(|core| TypeError::UnsatisfiablePriorities(core.to_string()))?;
+        (solution.assignment, deferred)
+    };
+    let program = prog.subst_prio_all(&assignment);
+    let stats = typecheck_program(&program)?;
+    Ok(Inference {
+        assignment,
+        program,
+        stats,
+        deferred,
+    })
 }
 
 /// Counts the AST nodes of a program (expressions + commands + types), the
@@ -869,9 +1004,165 @@ mod tests {
             TypeError::UnknownLocation(LocId(0)),
             TypeError::ConstraintNotEntailed("c".into()),
             TypeError::UnknownPriorityVariable("pi".into()),
+            TypeError::UnsatisfiablePriorities("core".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// A program spawning and touching a thread at an *uninstantiated*
+    /// priority variable: the Touch rule's `ρ ⪯ π` goal is deferred and the
+    /// solver must raise `π` to at least the toucher's priority.
+    fn unannotated_spawn(main_at: &str) -> Program {
+        let d = dom();
+        let pi = rp_priority::PrioVar::new("pi");
+        let m = bind(
+            "t",
+            cmd(
+                d.priority(main_at).unwrap(),
+                fcreate(PrioTerm::Var(pi.clone()), Type::Nat, ret(nat(7))),
+            ),
+            bind(
+                "v",
+                cmd(d.priority(main_at).unwrap(), ftouch(var("t"))),
+                ret(var("v")),
+            ),
+        );
+        program(m, main_at, Type::Nat)
+    }
+
+    #[test]
+    fn inference_instantiates_free_priority_variables() {
+        let prog = unannotated_spawn("hi");
+        assert_eq!(prog.free_prio_vars().len(), 1);
+        // Plain checking cannot discharge the Touch goal hi ⪯ pi.
+        assert!(typecheck_program(&prog).is_err());
+        let inf = infer_program(&prog).unwrap();
+        assert_eq!(inf.assignment.len(), 1);
+        // The least level satisfying hi ⪯ pi is hi itself.
+        let assigned = inf
+            .assignment
+            .get(&rp_priority::PrioVar::new("pi"))
+            .and_then(|t| t.as_const());
+        assert_eq!(assigned, prog.domain.priority("hi"));
+        assert!(!inf.deferred.is_empty());
+        // The instantiated program is closed and checks.
+        assert!(inf.program.free_prio_vars().is_empty());
+        typecheck_program(&inf.program).unwrap();
+    }
+
+    #[test]
+    fn inference_picks_least_level_when_unconstrained_from_below() {
+        let prog = unannotated_spawn("lo");
+        let inf = infer_program(&prog).unwrap();
+        let assigned = inf
+            .assignment
+            .get(&rp_priority::PrioVar::new("pi"))
+            .and_then(|t| t.as_const());
+        // lo ⪯ pi: the least satisfying level is lo.
+        assert_eq!(assigned, prog.domain.priority("lo"));
+    }
+
+    #[test]
+    fn inference_is_identity_on_annotated_programs() {
+        let prog = program(ret(add(nat(1), nat(2))), "hi", Type::Nat);
+        let inf = infer_program(&prog).unwrap();
+        assert!(inf.assignment.is_empty());
+        assert_eq!(inf.program, prog);
+    }
+
+    #[test]
+    fn inference_reports_unsat_core() {
+        // A bind at hi of a cmd at an unknown pi that must also be ⪯ lo:
+        // pi = hi (bind equality) contradicts pi ⪯ lo (touch at pi of a
+        // lo thread... simpler: force pi ⪯ lo and hi ⪯ pi directly).
+        let d = dom();
+        let pi = rp_priority::PrioVar::new("pi");
+        // At hi: bind a cmd[pi] (forces pi = hi) whose body touches a
+        // lo-priority thread handle (forces pi ⪯ lo).
+        let m = bind(
+            "t",
+            cmd(
+                d.priority("hi").unwrap(),
+                fcreate(d.priority("lo").unwrap(), Type::Nat, ret(nat(1))),
+            ),
+            bind(
+                "v",
+                Expr::CmdVal(
+                    PrioTerm::Var(pi.clone()),
+                    std::sync::Arc::new(ftouch(var("t"))),
+                ),
+                ret(var("v")),
+            ),
+        );
+        let prog = program(m, "hi", Type::Nat);
+        let err = infer_program(&prog).unwrap_err();
+        assert!(
+            matches!(err, TypeError::UnsatisfiablePriorities(_)),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("pi"), "{err}");
+    }
+
+    #[test]
+    fn inference_rejects_unknowns_under_quantifiers_with_a_clear_error() {
+        // Λpi ∼ pi ⪯ hi. cmd[pi]{ t ← fcreate[q]{…}; ftouch t } with q
+        // free: solving q existentially while pi is universally
+        // quantified is unsound (the solver would drop pi's hypothesis),
+        // so inference must reject with a message naming both variables —
+        // not report a bogus inversion against a solver-chosen level.
+        let d = dom();
+        let hi = d.priority("hi").unwrap();
+        let pi = rp_priority::PrioVar::new("pi");
+        let body = cmd(
+            PrioTerm::Var(pi.clone()),
+            bind(
+                "t",
+                cmd(
+                    PrioTerm::Var(pi.clone()),
+                    fcreate(PrioTerm::var("q"), Type::Nat, ret(nat(1))),
+                ),
+                bind(
+                    "v",
+                    cmd(PrioTerm::Var(pi.clone()), ftouch(var("t"))),
+                    ret(var("v")),
+                ),
+            ),
+        );
+        let plam = Expr::PLam(
+            pi.clone(),
+            Constraint::leq(PrioTerm::Var(pi.clone()), hi),
+            Box::new(body),
+        );
+        let applied = bind(
+            "v",
+            Expr::PApp(Box::new(plam), PrioTerm::Const(hi)),
+            ret(var("v")),
+        );
+        let prog = program(applied, "hi", Type::Nat);
+        let err = infer_program(&prog).unwrap_err();
+        match &err {
+            TypeError::UnsatisfiablePriorities(msg) => {
+                assert!(
+                    msg.contains("quantified") && msg.contains("pi") && msg.contains("annotate"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected a quantifier-mixing rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_prio_vars_respect_binders() {
+        let pi = rp_priority::PrioVar::new("pi");
+        let bound = Expr::PLam(
+            pi.clone(),
+            Constraint::leq(PrioTerm::Var(pi.clone()), PrioTerm::Var(pi.clone())),
+            Box::new(cmd(PrioTerm::Var(pi.clone()), ret(nat(1)))),
+        );
+        assert!(bound.free_prio_vars().is_empty());
+        let free = cmd(PrioTerm::Var(pi.clone()), ret(nat(1)));
+        assert_eq!(free.free_prio_vars(), vec![pi]);
     }
 }

@@ -1,0 +1,248 @@
+//! Integration tests for the λ⁴ᵢ front-end pipeline: the checked-in `.l4i`
+//! fixtures, the seeded pretty→parse→typecheck→solve property sweep, and
+//! end-to-end machine-vs-runtime cross-checks.
+
+use rp_lambda4i::compile::CompileConfig;
+use rp_lambda4i::generate::{random_program, GenConfig};
+use rp_lambda4i::parse::{parse_cmd, parse_program};
+use rp_lambda4i::pipeline::{run_pipeline, run_source, PipelineConfig};
+use rp_lambda4i::pretty;
+use rp_lambda4i::progs::{self, sources};
+use rp_lambda4i::run::RunConfig;
+use rp_lambda4i::syntax::Expr;
+use rp_lambda4i::typecheck::{infer_program, typecheck_program};
+use rp_priority::PriorityDomain;
+
+/// Every checked-in `.l4i` fixture parses to exactly the AST its `progs`
+/// builder constructs.
+#[test]
+fn fixtures_parse_to_the_embedded_asts() {
+    for (name, src, builder) in sources::all() {
+        let parsed = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            parsed,
+            builder(),
+            "fixture `{name}` diverged from its builder"
+        );
+    }
+}
+
+/// The fixtures are byte-identical to what the pretty-printer emits for the
+/// embedded ASTs (modulo the leading comment lines) — i.e. the checked-in
+/// text is canonical, not just parse-equivalent.
+#[test]
+fn fixtures_are_canonically_formatted() {
+    for (name, src, builder) in sources::all() {
+        let body: String = src
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            body,
+            pretty::program_to_string(&builder()),
+            "fixture `{name}` is not canonically formatted; regenerate with \
+             `cargo run --example gen_fixtures`"
+        );
+    }
+}
+
+/// Every fixture typechecks with solver-inferred priority instantiations
+/// (vacuously for the fully annotated library) and round-trips
+/// pretty → parse → AST-equal.
+#[test]
+fn fixtures_roundtrip_and_typecheck_under_inference() {
+    for (name, src, _) in sources::all() {
+        let prog = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reprinted = pretty::program_to_string(&prog);
+        let reparsed = parse_program(&reprinted).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed, prog, "{name}: pretty∘parse is not the identity");
+        infer_program(&prog).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// The acceptance sweep: every fixture runs on both the abstract machine
+/// and the traced rp-icilk runtime with zero Theorem 2.3 counterexamples.
+#[test]
+fn fixtures_run_on_both_backends_without_counterexamples() {
+    let config = PipelineConfig {
+        machine: RunConfig {
+            cores: 2,
+            max_steps: 2_000_000,
+            ..RunConfig::default()
+        },
+        runtime: CompileConfig {
+            workers: 2,
+            tracing: true,
+            drain_secs: 60,
+        },
+    };
+    for (name, src, _) in sources::all() {
+        let report = run_source(src, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            report.counterexamples(),
+            0,
+            "{name}: Theorem 2.3 counterexample on a front-end run"
+        );
+        let recon = report
+            .reconstruction
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: traced run must reconstruct"));
+        assert_eq!(recon.skipped, 0, "{name}: tracer lost tasks");
+        assert!(
+            rp_core::wellformed::check_well_formed(&recon.dag).is_ok(),
+            "{name}: reconstructed graph ill-formed"
+        );
+    }
+}
+
+/// Deterministic fixtures compute the same value on both back ends.
+#[test]
+fn deterministic_fixtures_agree_across_backends() {
+    let report = run_source(sources::PARALLEL_FIB, &PipelineConfig::default()).unwrap();
+    assert_eq!(report.value(), &Expr::Nat(5), "fib(5)");
+    assert!(report.values_agree());
+}
+
+/// Seeded property sweep: random well-typed programs round-trip through
+/// pretty → parse, typecheck, and solve.  Closed and open (solver-
+/// exercising) configurations are both swept.
+#[test]
+fn property_sweep_random_programs_roundtrip_and_solve() {
+    for (label, cfg) in [
+        (
+            "closed",
+            GenConfig {
+                free_prio_probability: 0.0,
+                ..GenConfig::default()
+            },
+        ),
+        (
+            "open",
+            GenConfig {
+                free_prio_probability: 0.5,
+                ..GenConfig::default()
+            },
+        ),
+    ] {
+        for seed in 0..40u64 {
+            let prog = random_program(seed, &cfg);
+            // pretty → parse round-trip.
+            let src = pretty::program_to_string(&prog);
+            let parsed =
+                parse_program(&src).unwrap_or_else(|e| panic!("{label} seed {seed}: {e}\n{src}"));
+            assert_eq!(parsed, prog, "{label} seed {seed}: round-trip mismatch");
+            // typecheck + solve.
+            let inf =
+                infer_program(&prog).unwrap_or_else(|e| panic!("{label} seed {seed}: {e}\n{src}"));
+            assert!(inf.program.free_prio_vars().is_empty());
+            typecheck_program(&inf.program)
+                .unwrap_or_else(|e| panic!("{label} seed {seed} (instantiated): {e}"));
+        }
+    }
+}
+
+/// A slice of the random sweep runs end to end on both back ends.
+#[test]
+fn random_programs_execute_on_both_backends() {
+    let cfg = GenConfig {
+        free_prio_probability: 0.4,
+        steps: 4,
+        ..GenConfig::default()
+    };
+    let pipeline = PipelineConfig {
+        runtime: CompileConfig {
+            workers: 1,
+            tracing: true,
+            drain_secs: 30,
+        },
+        ..PipelineConfig::default()
+    };
+    for seed in 0..6u64 {
+        let prog = random_program(seed, &cfg);
+        let report = run_pipeline(&prog, &pipeline).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(report.counterexamples(), 0, "seed {seed}");
+        // Generated programs are race-free on their return value only when
+        // no step reads a ref a spawned thread writes — spawned bodies are
+        // pure, so both back ends must agree.
+        assert!(report.values_agree(), "seed {seed}: values diverged");
+    }
+}
+
+/// Golden error-message tests for the parser and the solver, end to end.
+#[test]
+fn golden_frontend_error_messages() {
+    // Parser: position and expectation.
+    let err =
+        parse_program("priorities: lo < hi\nprogram p : nat\nmain @ hi:\n  ret 1 2\n").unwrap_err();
+    assert_eq!((err.line, err.col), (4, 9), "{err}");
+    assert!(err.to_string().contains("expected end of program"), "{err}");
+
+    // Parser: commands need `:=` to be assignments.
+    let d = PriorityDomain::total_order(["lo", "hi"]).unwrap();
+    let err = parse_cmd("1", &d).unwrap_err();
+    assert!(
+        err.to_string().contains("expected `:=` in assignment"),
+        "{err}"
+    );
+
+    // Solver (through the pipeline): an unsatisfiable spawn priority.
+    // At hi, binding cmd[pi] forces pi = hi; touching a lo thread from pi
+    // forces pi ⪯ lo — unsatisfiable, reported with the core.
+    let src = "\
+priorities: lo < hi
+program unsat : nat
+main @ hi:
+  t <- cmd[hi]{fcreate[lo; nat]{ret 1}};
+  v <- cmd[pi]{ftouch t};
+  ret v
+";
+    let err = run_source(src, &PipelineConfig::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("priority inference failed") && msg.contains("pi"),
+        "{msg}"
+    );
+
+    // Type checker: inversion survives the pipeline with its message.
+    let src_inversion = "\
+priorities: lo < hi
+program inv : nat
+main @ hi:
+  t <- cmd[hi]{fcreate[lo; nat]{ret 1}};
+  v <- cmd[hi]{ftouch t};
+  ret v
+";
+    let err = run_source(src_inversion, &PipelineConfig::default()).unwrap_err();
+    assert!(err.to_string().contains("priority inversion"), "{err}");
+}
+
+/// The machine and runtime graphs describe the same program: thread counts
+/// match for deterministic spawn structures.
+#[test]
+fn machine_and_runtime_graphs_agree_on_thread_count() {
+    let prog = progs::server_with_background(2, 2);
+    let report = run_pipeline(
+        &prog,
+        &PipelineConfig {
+            runtime: CompileConfig {
+                workers: 1,
+                tracing: true,
+                drain_secs: 30,
+            },
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let machine_threads = report.machine.graph.thread_count();
+    let runtime_threads = report
+        .reconstruction
+        .as_ref()
+        .expect("traced")
+        .dag
+        .thread_count();
+    assert_eq!(
+        machine_threads, runtime_threads,
+        "both back ends spawn one thread per fcreate plus main"
+    );
+}

@@ -16,6 +16,9 @@
 //! * [`Constraint`] and [`ConstraintCtx`] — the constraint language
 //!   `C ::= ρ ⪯ ρ | C ∧ C` of Figure 4 and the entailment judgment
 //!   `Γ ⊢^R C` of Figure 7 (module [`constraint`]).
+//! * [`solve`] — the other direction: a least-fixpoint solver that *infers*
+//!   satisfying assignments of priority variables to levels of the poset,
+//!   reporting unsatisfiable cores (module [`solve`]).
 //!
 //! # Example
 //!
@@ -41,10 +44,12 @@
 
 pub mod constraint;
 pub mod domain;
+pub mod solve;
 pub mod var;
 
 pub use constraint::{Constraint, ConstraintCtx, EntailmentError};
 pub use domain::{DomainBuildError, Priority, PriorityDomain, PriorityDomainBuilder};
+pub use solve::{solve, Solution, UnsatCore};
 pub use var::{PrioSubst, PrioTerm, PrioVar};
 
 #[cfg(test)]

@@ -1,0 +1,561 @@
+//! A solver for priority-constraint systems: inferring assignments of
+//! priority variables to concrete levels.
+//!
+//! [`ConstraintCtx::entails`](crate::ConstraintCtx::entails) *checks* a
+//! constraint against hypotheses — the Figure 7 judgment, which is all the
+//! declarative type system needs because λ⁴ᵢ programs annotate every
+//! priority instantiation.  A front end that wants to *infer* those
+//! instantiations needs the other direction: given a conjunction of
+//! `ρ ⪯ ρ` atoms over a finite poset `R` and a set of unknowns, find a
+//! satisfying assignment of the unknowns to levels of `R`, or explain why
+//! none exists.
+//!
+//! [`solve`] implements this as a least-fixpoint computation over the
+//! (finite) poset:
+//!
+//! 1. every variable starts with the full level set as its **candidates**;
+//! 2. each atom prunes candidates — `π ⪯ ρ` removes levels not `⪯ ρ`,
+//!    `ρ ⪯ π` removes levels not `⪰ ρ`, and `π₁ ⪯ π₂` removes levels of
+//!    either side with no partner in the other — repeated to a fixpoint
+//!    (pruning is monotone, so the iteration terminates);
+//! 3. the solver then assigns each variable a *minimal* remaining candidate
+//!    and verifies the full conjunction; because candidate filtering is arc
+//!    consistency (complete for total orders but not for every poset), a
+//!    failed verification falls back to an exhaustive search over the
+//!    pruned candidate sets, in minimal-first order, so the result is still
+//!    the least satisfying assignment under the poset's height order.
+//!
+//! When a candidate set empties — or the search exhausts — the solver
+//! reports an [`UnsatCore`]: the subset of atoms that participated in
+//! pruning the contradicted variable, which is what a type checker wants to
+//! show the programmer.
+
+use crate::constraint::Constraint;
+use crate::domain::{Priority, PriorityDomain};
+use crate::var::{PrioSubst, PrioTerm, PrioVar};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An atomic inequality `lhs ⪯ rhs`, the unit the solver works over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The lower side.
+    pub lhs: PrioTerm,
+    /// The upper side.
+    pub rhs: PrioTerm,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⪯ {}", self.lhs, self.rhs)
+    }
+}
+
+/// Why a constraint system has no solution: the contradicted variable (if
+/// the contradiction localised to one) and the atoms that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsatCore {
+    /// The variable whose candidate set emptied, when the contradiction is
+    /// attributable to a single unknown (`None` for a closed contradiction
+    /// or an exhausted global search).
+    pub var: Option<PrioVar>,
+    /// The atoms that participated in the contradiction, in input order.
+    pub atoms: Vec<Atom>,
+}
+
+impl fmt::Display for UnsatCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.var {
+            Some(v) => write!(f, "no priority level satisfies `{v}` under ")?,
+            None => write!(f, "unsatisfiable priority constraints: ")?,
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnsatCore {}
+
+/// A satisfying assignment together with solve diagnostics.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The inferred assignment: every unknown is mapped to a concrete
+    /// priority ([`PrioTerm::Const`]).
+    pub assignment: PrioSubst,
+    /// Number of fixpoint pruning rounds performed.
+    pub rounds: usize,
+    /// Whether the fallback search ran (arc consistency alone did not
+    /// produce a verified assignment — only possible on partial orders).
+    pub searched: bool,
+}
+
+impl Solution {
+    /// The assigned level of a variable, if it was an unknown of the solve.
+    pub fn level_of(&self, var: &PrioVar) -> Option<Priority> {
+        self.assignment.get(var).and_then(PrioTerm::as_const)
+    }
+}
+
+/// Flattens constraints into solver atoms.
+fn atoms_of(constraints: &[Constraint]) -> Vec<Atom> {
+    let mut out = Vec::new();
+    for c in constraints {
+        for (l, r) in c.conjuncts() {
+            out.push(Atom {
+                lhs: l.clone(),
+                rhs: r.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Solves a system of priority constraints for the given unknowns over a
+/// finite poset, returning the least satisfying assignment.
+///
+/// Variables mentioned by the constraints but not listed in `vars` are also
+/// treated as unknowns (so callers may pass just the declared unknowns and
+/// let the solver pick up stragglers).  Closed atoms are checked against the
+/// ambient order directly.
+///
+/// # Errors
+///
+/// Returns an [`UnsatCore`] naming the contradicted variable (when one is
+/// identifiable) and the atoms involved.
+///
+/// # Example
+///
+/// ```
+/// use rp_priority::{solve, Constraint, PrioTerm, PrioVar, PriorityDomain};
+/// let dom = PriorityDomain::total_order(["lo", "mid", "hi"]).unwrap();
+/// let pi = PrioVar::new("pi");
+/// // mid ⪯ π: the least solution is π = mid.
+/// let c = Constraint::leq(dom.priority("mid").unwrap(), PrioTerm::Var(pi.clone()));
+/// let sol = solve(&dom, &[pi.clone()], &[c]).unwrap();
+/// assert_eq!(sol.level_of(&pi), dom.priority("mid"));
+/// ```
+pub fn solve(
+    domain: &PriorityDomain,
+    vars: &[PrioVar],
+    constraints: &[Constraint],
+) -> Result<Solution, UnsatCore> {
+    let atoms = atoms_of(constraints);
+
+    // The unknowns: the declared variables plus any the atoms mention.
+    let mut unknowns: Vec<PrioVar> = vars.to_vec();
+    for a in &atoms {
+        for t in [&a.lhs, &a.rhs] {
+            if let PrioTerm::Var(v) = t {
+                if !unknowns.contains(v) {
+                    unknowns.push(v.clone());
+                }
+            }
+        }
+    }
+    let var_ix: HashMap<&PrioVar, usize> =
+        unknowns.iter().enumerate().map(|(i, v)| (v, i)).collect();
+
+    // Closed atoms are facts about the ambient order; a false one is an
+    // immediate (variable-free) contradiction.
+    for a in &atoms {
+        if let (Some(l), Some(r)) = (a.lhs.as_const(), a.rhs.as_const()) {
+            if !domain.leq(l, r) {
+                return Err(UnsatCore {
+                    var: None,
+                    atoms: vec![a.clone()],
+                });
+            }
+        }
+    }
+
+    let levels: Vec<Priority> = domain.iter().collect();
+    // candidates[i] = levels still possible for unknowns[i].
+    let mut candidates: Vec<Vec<bool>> = vec![vec![true; levels.len()]; unknowns.len()];
+    // involved[i] = indices into `atoms` that pruned unknowns[i] at least
+    // once (the per-variable core).
+    let mut involved: Vec<Vec<usize>> = vec![Vec::new(); unknowns.len()];
+
+    let count = |cand: &[bool]| cand.iter().filter(|b| **b).count();
+
+    // Least fixpoint: prune until no atom removes anything.
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for (ai, a) in atoms.iter().enumerate() {
+            match (&a.lhs, &a.rhs) {
+                (PrioTerm::Var(x), PrioTerm::Const(c)) => {
+                    let xi = var_ix[x];
+                    for (li, &l) in levels.iter().enumerate() {
+                        if candidates[xi][li] && !domain.leq(l, *c) {
+                            candidates[xi][li] = false;
+                            changed = true;
+                            if !involved[xi].contains(&ai) {
+                                involved[xi].push(ai);
+                            }
+                        }
+                    }
+                }
+                (PrioTerm::Const(c), PrioTerm::Var(x)) => {
+                    let xi = var_ix[x];
+                    for (li, &l) in levels.iter().enumerate() {
+                        if candidates[xi][li] && !domain.leq(*c, l) {
+                            candidates[xi][li] = false;
+                            changed = true;
+                            if !involved[xi].contains(&ai) {
+                                involved[xi].push(ai);
+                            }
+                        }
+                    }
+                }
+                (PrioTerm::Var(x), PrioTerm::Var(y)) if x != y => {
+                    let xi = var_ix[x];
+                    let yi = var_ix[y];
+                    // x keeps levels with some partner above in y.
+                    for (li, &l) in levels.iter().enumerate() {
+                        if candidates[xi][li]
+                            && !levels
+                                .iter()
+                                .enumerate()
+                                .any(|(mi, &m)| candidates[yi][mi] && domain.leq(l, m))
+                        {
+                            candidates[xi][li] = false;
+                            changed = true;
+                            if !involved[xi].contains(&ai) {
+                                involved[xi].push(ai);
+                            }
+                        }
+                    }
+                    // y keeps levels with some partner below in x.
+                    for (mi, &m) in levels.iter().enumerate() {
+                        if candidates[yi][mi]
+                            && !levels
+                                .iter()
+                                .enumerate()
+                                .any(|(li, &l)| candidates[xi][li] && domain.leq(l, m))
+                        {
+                            candidates[yi][mi] = false;
+                            changed = true;
+                            if !involved[yi].contains(&ai) {
+                                involved[yi].push(ai);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Report the first emptied variable with its pruning atoms.
+        for (xi, cand) in candidates.iter().enumerate() {
+            if count(cand) == 0 {
+                let mut core_atoms: Vec<Atom> =
+                    involved[xi].iter().map(|&ai| atoms[ai].clone()).collect();
+                core_atoms.dedup();
+                return Err(UnsatCore {
+                    var: Some(unknowns[xi].clone()),
+                    atoms: core_atoms,
+                });
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Candidate levels per variable, minimal-first (by poset height, then
+    // declaration index for determinism).
+    let ordered: Vec<Vec<Priority>> = candidates
+        .iter()
+        .map(|cand| {
+            let mut ls: Vec<Priority> = levels
+                .iter()
+                .enumerate()
+                .filter(|(li, _)| cand[*li])
+                .map(|(_, &l)| l)
+                .collect();
+            ls.sort_by_key(|&l| (domain.count_strictly_below(l), l.index()));
+            ls
+        })
+        .collect();
+
+    let verify = |assign: &[Priority]| -> bool {
+        let resolve = |t: &PrioTerm| -> Priority {
+            match t {
+                PrioTerm::Const(p) => *p,
+                PrioTerm::Var(v) => assign[var_ix[v]],
+            }
+        };
+        atoms
+            .iter()
+            .all(|a| domain.leq(resolve(&a.lhs), resolve(&a.rhs)))
+    };
+
+    // First try the all-minimal assignment (exact for total orders, where
+    // arc consistency is complete and minima are unique).
+    let minimal: Vec<Priority> = ordered.iter().map(|ls| ls[0]).collect();
+    let (assign, searched) = if verify(&minimal) {
+        (minimal, false)
+    } else {
+        // Partial-order fallback: exhaustive search over the pruned
+        // candidate sets in minimal-first order.  Domains are small (the
+        // paper's largest case study has six levels) and pruning has
+        // already cut the space, so this is cheap in practice.
+        match search(&ordered, &verify) {
+            Some(a) => (a, true),
+            None => {
+                return Err(UnsatCore {
+                    var: None,
+                    atoms: atoms
+                        .iter()
+                        .filter(|a| !a.lhs.is_const() || !a.rhs.is_const())
+                        .cloned()
+                        .collect(),
+                })
+            }
+        }
+    };
+
+    let mut assignment = PrioSubst::new();
+    for (xi, v) in unknowns.iter().enumerate() {
+        assignment.bind(v.clone(), PrioTerm::Const(assign[xi]));
+    }
+    Ok(Solution {
+        assignment,
+        rounds,
+        searched,
+    })
+}
+
+/// Depth-first product search over per-variable candidate lists (each
+/// minimal-first), returning the first verified assignment.
+fn search(
+    ordered: &[Vec<Priority>],
+    verify: &dyn Fn(&[Priority]) -> bool,
+) -> Option<Vec<Priority>> {
+    let mut cursor = vec![0usize; ordered.len()];
+    if ordered.is_empty() {
+        return None;
+    }
+    loop {
+        let assign: Vec<Priority> = cursor.iter().zip(ordered).map(|(&c, ls)| ls[c]).collect();
+        if verify(&assign) {
+            return Some(assign);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            cursor[i] += 1;
+            if cursor[i] < ordered[i].len() {
+                break;
+            }
+            cursor[i] = 0;
+            i += 1;
+            if i == ordered.len() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintCtx;
+
+    fn total() -> PriorityDomain {
+        PriorityDomain::total_order(["lo", "mid", "hi"]).unwrap()
+    }
+
+    fn diamond() -> PriorityDomain {
+        PriorityDomain::builder()
+            .level("bot")
+            .level("l")
+            .level("r")
+            .level("top")
+            .lt("bot", "l")
+            .lt("bot", "r")
+            .lt("l", "top")
+            .lt("r", "top")
+            .build()
+            .unwrap()
+    }
+
+    fn v(name: &str) -> PrioVar {
+        PrioVar::new(name)
+    }
+
+    #[test]
+    fn unconstrained_variable_gets_minimal_level() {
+        let d = total();
+        let sol = solve(&d, &[v("pi")], &[]).unwrap();
+        assert_eq!(sol.level_of(&v("pi")), d.priority("lo"));
+        assert!(!sol.searched);
+    }
+
+    #[test]
+    fn lower_bound_raises_least_solution() {
+        let d = total();
+        let c = Constraint::leq(d.priority("mid").unwrap(), PrioTerm::Var(v("pi")));
+        let sol = solve(&d, &[v("pi")], &[c]).unwrap();
+        assert_eq!(sol.level_of(&v("pi")), d.priority("mid"));
+    }
+
+    #[test]
+    fn upper_bound_keeps_minimum() {
+        let d = total();
+        let c = Constraint::leq(PrioTerm::Var(v("pi")), d.priority("mid").unwrap());
+        let sol = solve(&d, &[v("pi")], &[c]).unwrap();
+        assert_eq!(sol.level_of(&v("pi")), d.priority("lo"));
+    }
+
+    #[test]
+    fn chained_variables_propagate_bounds() {
+        // mid ⪯ a, a ⪯ b: least solution a = b = mid.
+        let d = total();
+        let cs = vec![
+            Constraint::leq(d.priority("mid").unwrap(), PrioTerm::Var(v("a"))),
+            Constraint::leq(PrioTerm::Var(v("a")), PrioTerm::Var(v("b"))),
+        ];
+        let sol = solve(&d, &[v("a"), v("b")], &cs).unwrap();
+        assert_eq!(sol.level_of(&v("a")), d.priority("mid"));
+        assert_eq!(sol.level_of(&v("b")), d.priority("mid"));
+    }
+
+    #[test]
+    fn contradictory_bounds_report_core_with_variable() {
+        // hi ⪯ π and π ⪯ lo cannot both hold.
+        let d = total();
+        let cs = vec![
+            Constraint::leq(d.priority("hi").unwrap(), PrioTerm::Var(v("pi"))),
+            Constraint::leq(PrioTerm::Var(v("pi")), d.priority("lo").unwrap()),
+        ];
+        let err = solve(&d, &[v("pi")], &cs).unwrap_err();
+        assert_eq!(err.var, Some(v("pi")));
+        assert_eq!(err.atoms.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("pi") && msg.contains("⪯"), "{msg}");
+    }
+
+    #[test]
+    fn closed_contradiction_reported_without_variable() {
+        let d = total();
+        let c = Constraint::leq(d.priority("hi").unwrap(), d.priority("lo").unwrap());
+        let err = solve(&d, &[], &[c]).unwrap_err();
+        assert_eq!(err.var, None);
+        assert_eq!(err.atoms.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_variables_are_picked_up() {
+        let d = total();
+        let c = Constraint::leq(d.priority("hi").unwrap(), PrioTerm::Var(v("rho")));
+        let sol = solve(&d, &[], &[c]).unwrap();
+        assert_eq!(sol.level_of(&v("rho")), d.priority("hi"));
+    }
+
+    #[test]
+    fn diamond_incomparable_bounds_force_top() {
+        // l ⪯ π and r ⪯ π: the only level above both is top.
+        let d = diamond();
+        let cs = vec![
+            Constraint::leq(d.priority("l").unwrap(), PrioTerm::Var(v("pi"))),
+            Constraint::leq(d.priority("r").unwrap(), PrioTerm::Var(v("pi"))),
+        ];
+        let sol = solve(&d, &[v("pi")], &cs).unwrap();
+        assert_eq!(sol.level_of(&v("pi")), d.priority("top"));
+    }
+
+    #[test]
+    fn diamond_unsat_between_incomparable_levels() {
+        // l ⪯ π and π ⪯ r: nothing sits between two incomparable levels.
+        let d = diamond();
+        let cs = vec![
+            Constraint::leq(d.priority("l").unwrap(), PrioTerm::Var(v("pi"))),
+            Constraint::leq(PrioTerm::Var(v("pi")), d.priority("r").unwrap()),
+        ];
+        let err = solve(&d, &[v("pi")], &cs).unwrap_err();
+        assert_eq!(err.var, Some(v("pi")));
+    }
+
+    #[test]
+    fn partial_order_search_fallback_finds_solution() {
+        // a ⪯ b with a ⪰ l and b ⪯ ... chains that arc consistency alone
+        // can leave unresolved on a poset: l ⪯ a, r ⪯ b, a ⪯ b.
+        // a ∈ {l, top}, b ∈ {r, top} after pruning; a ⪯ b forces a = l? No:
+        // l ⪯ r fails, l ⪯ top holds — least verified pair is (l, top).
+        let d = diamond();
+        let cs = vec![
+            Constraint::leq(d.priority("l").unwrap(), PrioTerm::Var(v("a"))),
+            Constraint::leq(d.priority("r").unwrap(), PrioTerm::Var(v("b"))),
+            Constraint::leq(PrioTerm::Var(v("a")), PrioTerm::Var(v("b"))),
+        ];
+        let sol = solve(&d, &[v("a"), v("b")], &cs).unwrap();
+        let a = sol.level_of(&v("a")).unwrap();
+        let b = sol.level_of(&v("b")).unwrap();
+        assert!(d.leq(d.priority("l").unwrap(), a));
+        assert!(d.leq(d.priority("r").unwrap(), b));
+        assert!(d.leq(a, b));
+    }
+
+    #[test]
+    fn solutions_entail_the_constraints() {
+        // Property: for a grid of small systems, a returned assignment makes
+        // every constraint hold under the empty context.
+        let d = total();
+        let lo = d.priority("lo").unwrap();
+        let mid = d.priority("mid").unwrap();
+        let hi = d.priority("hi").unwrap();
+        let terms = [
+            PrioTerm::Const(lo),
+            PrioTerm::Const(mid),
+            PrioTerm::Const(hi),
+            PrioTerm::Var(v("a")),
+            PrioTerm::Var(v("b")),
+        ];
+        let mut solved = 0;
+        for l1 in &terms {
+            for r1 in &terms {
+                for l2 in &terms {
+                    for r2 in &terms {
+                        let cs = vec![
+                            Constraint::leq(l1.clone(), r1.clone()),
+                            Constraint::leq(l2.clone(), r2.clone()),
+                        ];
+                        if let Ok(sol) = solve(&d, &[], &cs) {
+                            solved += 1;
+                            for c in &cs {
+                                let closed = c.subst(&sol.assignment);
+                                assert!(
+                                    ConstraintCtx::new().entails(&d, &closed),
+                                    "assignment {:?} does not satisfy {c}",
+                                    sol.assignment
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(solved > 100, "grid should be mostly satisfiable: {solved}");
+    }
+
+    #[test]
+    fn display_forms_are_informative() {
+        let d = total();
+        let a = Atom {
+            lhs: PrioTerm::Const(d.priority("hi").unwrap()),
+            rhs: PrioTerm::Var(v("pi")),
+        };
+        assert!(a.to_string().contains("⪯"));
+        let core = UnsatCore {
+            var: None,
+            atoms: vec![a],
+        };
+        assert!(core.to_string().contains("unsatisfiable"));
+    }
+}

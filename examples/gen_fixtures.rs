@@ -1,0 +1,47 @@
+use rp_lambda4i::{pretty, progs};
+fn main() {
+    let dir = std::path::Path::new("crates/lambda4i/progs");
+    let fixtures = [
+        (
+            "figure1.l4i",
+            progs::figure1_program(),
+            "The racy Figure 1 program: a handle published through shared state.",
+        ),
+        (
+            "parallel-fib.l4i",
+            progs::parallel_fib(5),
+            "Fork/join Fibonacci with futures (n = 5).",
+        ),
+        (
+            "server.l4i",
+            progs::server_with_background(2, 3),
+            "Interactive server skeleton: 2 requests racing 3 background workers.",
+        ),
+        (
+            "email-coordination.l4i",
+            progs::email_coordination_program(),
+            "The print/compress coordination pattern of the email case study (s5.1).",
+        ),
+        (
+            "proxy.l4i",
+            progs::proxy_program(),
+            "Proxy-server case study encoding (4 priority levels).",
+        ),
+        (
+            "email.l4i",
+            progs::email_program(),
+            "Email-client case study encoding (6 priority levels).",
+        ),
+        (
+            "jserver.l4i",
+            progs::jserver_program(),
+            "Job-server case study encoding (4 priority levels).",
+        ),
+    ];
+    for (file, prog, blurb) in fixtures {
+        let body = pretty::program_to_string(&prog);
+        let text = format!("-- {blurb}\n-- Regenerate with `cargo run --example gen_fixtures` after AST changes.\n{body}");
+        std::fs::write(dir.join(file), text).unwrap();
+        println!("wrote {file}");
+    }
+}

@@ -1,56 +1,98 @@
-//! Running a λ⁴ᵢ program through the cost semantics: the interactive-server
-//! skeleton (event loop + background work communicating through a
-//! reference), type-checked, executed under the prompt and the
-//! priority-oblivious D-Par policies, and cross-checked against the
-//! Section 2 cost model.
+//! Driving the λ⁴ᵢ front-end pipeline end to end from a source file: the
+//! interactive-server skeleton is parsed from its checked-in `.l4i` text,
+//! priority-inferred, executed on the abstract machine *and* lowered onto
+//! the real traced rp-icilk runtime, and both cost graphs are checked
+//! against the Theorem 2.3 response-time bound.
 //!
-//! Run with: `cargo run --example lambda_server`
+//! Run with: `cargo run --example lambda_server [path/to/program.l4i]`
+//!
+//! Without an argument it runs the embedded server fixture
+//! (`crates/lambda4i/progs/server.l4i`).
 
-use responsive_parallelism::lambda4i::policy::SelectionPolicy;
-use responsive_parallelism::lambda4i::progs;
-use responsive_parallelism::lambda4i::run::{run_program, RunConfig};
-use responsive_parallelism::lambda4i::typecheck::{typecheck_program, typecheck_program_with};
+use responsive_parallelism::lambda4i::compile::CompileConfig;
+use responsive_parallelism::lambda4i::pipeline::{run_source, PipelineConfig};
+use responsive_parallelism::lambda4i::pretty;
+use responsive_parallelism::lambda4i::progs::sources;
+use responsive_parallelism::lambda4i::run::RunConfig;
 
 fn main() {
-    let prog = progs::server_with_background(4, 12);
-    let stats = typecheck_program(&prog).expect("the server skeleton type checks");
-    println!(
-        "type checked `{}`: {} expression judgments, {} command judgments, {} entailment checks",
-        prog.name, stats.expr_judgments, stats.cmd_judgments, stats.entailment_checks
-    );
+    let src = match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+        }
+        None => sources::SERVER.to_string(),
+    };
 
-    let hi = prog.domain.priority("interactive").expect("declared");
-    for (label, policy) in [
-        ("prompt (I-Cilk principle)", SelectionPolicy::Prompt),
-        ("priority-oblivious (baseline)", SelectionPolicy::Oblivious),
-    ] {
-        let config = RunConfig {
+    let config = PipelineConfig {
+        machine: RunConfig {
             cores: 2,
-            policy,
-            max_steps: 500_000,
-        };
-        let result = run_program(&prog, &config).expect("well-typed programs don't get stuck");
+            max_steps: 2_000_000,
+            ..RunConfig::default()
+        },
+        runtime: CompileConfig {
+            workers: 2,
+            tracing: true,
+            drain_secs: 60,
+        },
+    };
+
+    let report = match run_source(&src, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            // The front end's error messages carry source positions; show
+            // them the way a compiler would.
+            eprintln!("lambda_server: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let prog = &report.inference.program;
+    println!(
+        "parsed and checked `{}`: {} expression judgments, {} entailment checks, {} inferred priority variable(s)",
+        prog.name,
+        report.inference.stats.expr_judgments,
+        report.inference.stats.entailment_checks,
+        report.inference.assignment.len(),
+    );
+    for (var, term) in report.inference.assignment.iter() {
         println!(
-            "{label}: {} steps, {} threads, {} weak edges, well-formed={}, mean interactive response = {:.1} steps",
-            result.steps,
-            result.graph_report.threads,
-            result.graph_report.weak_edges,
-            result.graph_report.well_formed,
-            result.mean_response_at(hi).unwrap_or(f64::NAN),
+            "  inferred {var} = {}",
+            pretty::Printer::with_domain(&prog.domain).prio(term)
         );
-        assert!(!result.any_bound_counterexample());
     }
 
-    // The type system at work: a deliberate inversion is rejected…
-    let bad = progs::priority_inversion_program();
-    assert!(typecheck_program(&bad).is_err());
-    // …unless the priority layer is disabled (the paper's "without priority"
-    // baseline), in which case it checks but produces an ill-formed graph.
-    typecheck_program_with(&bad, false).expect("checks without the priority layer");
-    let result = run_program(&bad, &RunConfig::default()).expect("still runs");
     println!(
-        "priority-inversion program: well-formed graph? {}",
-        result.graph_report.well_formed
+        "abstract machine: {} steps, {} threads, {} weak edges, value {}",
+        report.machine.steps,
+        report.machine.graph_report.threads,
+        report.machine.graph_report.weak_edges,
+        pretty::expr_to_string(&report.machine.value),
     );
-    assert!(!result.graph_report.well_formed);
+    let recon = report.reconstruction.as_ref().expect("tracing was enabled");
+    println!(
+        "rp-icilk runtime: {} threads, {} vertices reconstructed from the trace, value {}",
+        recon.dag.thread_count(),
+        recon.dag.vertex_count(),
+        pretty::expr_to_string(report.value()),
+    );
+    println!(
+        "Theorem 2.3: {} counterexample(s) across machine, observed, and replayed schedules",
+        report.counterexamples(),
+    );
+    assert_eq!(report.counterexamples(), 0);
+
+    // The type system at work, from source: a deliberate inversion is
+    // rejected with a priority-inversion error.
+    let inversion = "\
+priorities: lo < hi
+program inversion : nat
+main @ hi:
+  t <- cmd[hi]{fcreate[lo; nat]{ret 7}};
+  v <- cmd[hi]{ftouch t};
+  ret v
+";
+    match run_source(inversion, &config) {
+        Err(e) => println!("inversion program rejected as expected: {e}"),
+        Ok(_) => panic!("the inversion program must not typecheck"),
+    }
 }

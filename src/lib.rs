@@ -11,8 +11,10 @@
 //! * [`dag`] — the weak-edge cost-graph model, well-formedness,
 //!   a-strengthening, a-span, competitor work, prompt scheduling, and the
 //!   Theorem 2.3 response-time bound (`rp-core`).
-//! * [`lambda4i`] — the λ⁴ᵢ calculus: syntax, type system, and the
-//!   graph-emitting stack-machine cost semantics (`rp-lambda4i`).
+//! * [`lambda4i`] — the λ⁴ᵢ calculus: syntax, type system, the
+//!   graph-emitting stack-machine cost semantics, and the front-end
+//!   pipeline (`.l4i` parser, solver-backed priority inference, and the
+//!   rp-icilk compilation backend) (`rp-lambda4i`).
 //! * [`sim`] — the deterministic discrete-event multicore simulation
 //!   substrate (`rp-sim`).
 //! * [`icilk`] — the I-Cilk runtime: prioritized futures, two-level adaptive
