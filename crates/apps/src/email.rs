@@ -6,7 +6,7 @@
 //! `send`, `event` (the user-request event loop).
 //!
 //! The interesting interaction from the paper is reproduced in
-//! [`Mailbox::compress_message`] / [`Mailbox::print_message`]: both
+//! [`compress_message`] / [`print_message`]: both
 //! operations claim a per-message slot holding the handle of any ongoing
 //! operation; the newcomer touches the previous occupant's future before
 //! proceeding, so a print never observes a half-compressed message and vice
@@ -445,6 +445,10 @@ pub fn drive(
             rt.drain(Duration::from_secs(10));
             outcome.latency
         }
+        LoadMode::Socket(_) => panic!(
+            "socket load is driven from the client side over rp_net \
+             (harness::drive_socket_open / bench_net), not by the in-process drivers"
+        ),
     }
 }
 

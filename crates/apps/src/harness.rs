@@ -28,6 +28,9 @@ use rp_sim::latency::LatencyModel;
 use rp_sim::poisson::PoissonProcess;
 use rp_sim::stats::{ratio, LatencyStats, RatioSummary};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +44,12 @@ pub enum LoadMode {
     /// Open loop: Poisson arrivals at a fixed rate, independent of server
     /// progress.
     Open(OpenLoopConfig),
+    /// Open loop over **real loopback sockets**: the same Poisson schedule
+    /// as [`LoadMode::Open`], but every request crosses a TCP connection to
+    /// an `rp_net` server instead of calling a `drive()` function
+    /// in-process.  Driven from the *client* side by [`drive_socket_open`];
+    /// the in-process app drivers reject this mode.
+    Socket(SocketLoadConfig),
 }
 
 /// Parameters of the open-loop injector.
@@ -69,6 +78,27 @@ impl OpenLoopConfig {
     /// Total injection horizon (warmup + measurement).
     pub fn horizon(&self) -> Duration {
         Duration::from_millis(self.warmup_millis + self.measure_millis)
+    }
+}
+
+/// Parameters of the socket open-loop injector ([`drive_socket_open`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketLoadConfig {
+    /// The Poisson arrival schedule (shared with the in-process open loop).
+    pub open: OpenLoopConfig,
+    /// Number of client threads; the global arrival schedule is split
+    /// round-robin, each client owning one persistent loopback connection.
+    pub clients: usize,
+}
+
+impl SocketLoadConfig {
+    /// A config with the given arrival rate, the default open-loop windows,
+    /// and 4 client connections.
+    pub fn at_rate(arrival_rate_per_sec: f64) -> Self {
+        SocketLoadConfig {
+            open: OpenLoopConfig::at_rate(arrival_rate_per_sec),
+            clients: 4,
+        }
     }
 }
 
@@ -278,6 +308,280 @@ where
         measured,
         unfinished: in_flight.len(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Socket open loop: the same Poisson schedule, over real TCP.
+// ---------------------------------------------------------------------------
+
+/// The wire **envelope** shared by this driver and the `rp_net` server: a
+/// frame is a 4-byte big-endian length (of everything after it), an 8-byte
+/// big-endian request id, and an opaque body.  Responses echo the request
+/// id, so clients may pipeline requests on one connection and match replies
+/// out of order.  `rp_net::protocol` implements the same envelope on the
+/// server side (the body layout — request class tags and payloads — lives
+/// only there; this driver treats bodies as opaque).
+pub const SOCKET_FRAME_HEADER_BYTES: usize = 4;
+
+/// Largest envelope length field either side accepts.  A header past this
+/// bound cannot be a real frame, so the peer is broken or hostile — without
+/// the cap, one bogus 4-byte header would make the reader buffer up to
+/// 4 GiB waiting for a frame that never completes.
+pub const SOCKET_FRAME_MAX_BYTES: usize = 64 << 20;
+
+/// The peer sent an envelope header no valid frame can have (length < the
+/// 8-byte request id, or past [`SOCKET_FRAME_MAX_BYTES`]).  The only sane
+/// recovery is to drop the connection: the stream cannot be re-synchronised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MalformedFrame {
+    /// The impossible length field.
+    pub len: u32,
+}
+
+impl std::fmt::Display for MalformedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed envelope: length field {} outside 8..={SOCKET_FRAME_MAX_BYTES}",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for MalformedFrame {}
+
+impl From<MalformedFrame> for std::io::Error {
+    fn from(e: MalformedFrame) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Writes one envelope frame (`id` + `body`) to `w`.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_socket_frame<W: Write>(w: &mut W, id: u64, body: &[u8]) -> std::io::Result<()> {
+    let len = 8 + body.len();
+    assert!(len <= SOCKET_FRAME_MAX_BYTES, "frame body too large");
+    let mut frame = Vec::with_capacity(SOCKET_FRAME_HEADER_BYTES + len);
+    frame.extend_from_slice(&u32::try_from(len).expect("frame fits in u32").to_be_bytes());
+    frame.extend_from_slice(&id.to_be_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+}
+
+/// Extracts the next complete envelope frame from the front of `buf`,
+/// returning the request id and body; `Ok(None)` when the buffer holds no
+/// complete frame yet.
+///
+/// # Errors
+///
+/// Returns [`MalformedFrame`] on an impossible length field.  The caller
+/// must drop the connection — the bytes are left in the buffer, so calling
+/// again just returns the same error.
+pub fn take_socket_frame(buf: &mut Vec<u8>) -> Result<Option<(u64, Vec<u8>)>, MalformedFrame> {
+    if buf.len() < SOCKET_FRAME_HEADER_BYTES {
+        return Ok(None);
+    }
+    let len_field = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes"));
+    let len = len_field as usize;
+    if !(8..=SOCKET_FRAME_MAX_BYTES).contains(&len) {
+        return Err(MalformedFrame { len: len_field });
+    }
+    if buf.len() < SOCKET_FRAME_HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let frame: Vec<u8> = buf.drain(..SOCKET_FRAME_HEADER_BYTES + len).collect();
+    let id = u64::from_be_bytes(frame[4..12].try_into().expect("8 bytes"));
+    Ok(Some((id, frame[12..].to_vec())))
+}
+
+/// What one client thread of [`drive_socket_open`] produced.
+struct ClientOutcome {
+    latency: LatencyStats,
+    measured: usize,
+    unfinished: usize,
+}
+
+/// Runs an open-loop injection **over real loopback sockets**: the global
+/// Poisson arrival schedule (identical to [`drive_open_loop`]'s for the
+/// same `(open, seed)`) is split round-robin across `socket.clients` client
+/// threads, each owning one persistent TCP connection to `addr`.  The
+/// `i`-th arrival sends the body `encode(i)` wrapped in the wire envelope
+/// with request id `i`; a request completes when a response frame echoing
+/// its id arrives on the same connection.
+///
+/// Latencies are coordinated-omission corrected exactly like the in-process
+/// open loop: measured from each request's *intended* arrival time, so a
+/// saturated server (or a stalled client thread) charges the delay to the
+/// affected requests.  Requests pipeline freely — a client does not wait
+/// for a reply before sending the next request.
+///
+/// # Errors
+///
+/// Returns the first connection/send error any client thread hit.  Requests
+/// whose responses never arrive are counted in
+/// [`OpenLoopOutcome::unfinished`], not treated as errors.
+pub fn drive_socket_open<F>(
+    socket: &SocketLoadConfig,
+    seed: u64,
+    addr: SocketAddr,
+    encode: F,
+) -> std::io::Result<OpenLoopOutcome>
+where
+    F: Fn(usize) -> Vec<u8> + Send + Sync,
+{
+    let open = socket.open;
+    let clients = socket.clients.max(1);
+    let warmup = Duration::from_millis(open.warmup_millis);
+    let horizon = VirtualTime::from_micros(open.horizon().as_micros() as u64);
+    let offsets =
+        PoissonProcess::with_rate_per_sec(open.arrival_rate_per_sec, seed).arrivals_until(horizon);
+    let issued = offsets.len();
+    let encode = &encode;
+    let offsets = &offsets;
+
+    let start = Instant::now();
+    let outcomes: Vec<std::io::Result<ClientOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    socket_client_loop(client, clients, addr, start, warmup, offsets, encode)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("socket client thread"))
+            .collect()
+    });
+
+    let mut latency = LatencyStats::new();
+    let mut measured = 0;
+    let mut unfinished = 0;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        latency.merge(&outcome.latency);
+        measured += outcome.measured;
+        unfinished += outcome.unfinished;
+    }
+    Ok(OpenLoopOutcome {
+        latency,
+        issued,
+        measured,
+        unfinished,
+    })
+}
+
+/// One client thread of the socket open loop: sends its round-robin share
+/// of the arrival schedule down one connection, matching responses by id.
+fn socket_client_loop(
+    client: usize,
+    clients: usize,
+    addr: SocketAddr,
+    start: Instant,
+    warmup: Duration,
+    offsets: &[VirtualTime],
+    encode: &(impl Fn(usize) -> Vec<u8> + Send + Sync),
+) -> std::io::Result<ClientOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Reads double as the pacing sleep: a blocking read that times out
+    // after one poll interval keeps the thread responsive to both the
+    // schedule and arriving responses.
+    stream.set_read_timeout(Some(OPEN_LOOP_POLL))?;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // request id → (intended arrival, inside the measurement window)
+    let mut in_flight: HashMap<u64, (Instant, bool)> = HashMap::new();
+    let mut latency = LatencyStats::new();
+    let mut measured = 0usize;
+
+    let mut poll = |stream: &mut TcpStream,
+                    buf: &mut Vec<u8>,
+                    in_flight: &mut HashMap<u64, (Instant, bool)>,
+                    latency: &mut LatencyStats,
+                    measured: &mut usize|
+     -> std::io::Result<()> {
+        match stream.read(&mut chunk) {
+            Ok(0) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection with requests in flight",
+            )),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some((id, _body)) = take_socket_frame(buf)? {
+                    if let Some((intended, measure)) = in_flight.remove(&id) {
+                        if measure {
+                            latency.record(Instant::now().saturating_duration_since(intended));
+                            *measured += 1;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    };
+
+    for (i, offset) in offsets.iter().enumerate() {
+        if i % clients != client {
+            continue;
+        }
+        let offset = Duration::from_micros(offset.as_micros());
+        let intended = start + offset;
+        // Wait for the intended arrival; the timed-out read is the sleep.
+        // The timeout is capped at the time remaining (like the in-process
+        // injector's `sleep(min(intended - now, OPEN_LOOP_POLL))`), so a
+        // send is never held past its intended time by a full poll
+        // interval — without the cap every sample would carry up to 200 µs
+        // of client-side skew.  A 1 µs floor keeps the read from blocking
+        // indefinitely (a zero timeout means "no timeout") while still
+        // harvesting at least once per arrival even when behind schedule.
+        loop {
+            let remaining = intended.saturating_duration_since(Instant::now());
+            let wait = remaining.min(OPEN_LOOP_POLL).max(Duration::from_micros(1));
+            stream.set_read_timeout(Some(wait))?;
+            poll(
+                &mut stream,
+                &mut buf,
+                &mut in_flight,
+                &mut latency,
+                &mut measured,
+            )?;
+            if Instant::now() >= intended {
+                break;
+            }
+        }
+        in_flight.insert(i as u64, (intended, offset >= warmup));
+        write_socket_frame(&mut stream, i as u64, &encode(i))?;
+    }
+
+    stream.set_read_timeout(Some(OPEN_LOOP_POLL))?;
+    let deadline = Instant::now() + OPEN_LOOP_TAIL_TIMEOUT;
+    while !in_flight.is_empty() && Instant::now() < deadline {
+        poll(
+            &mut stream,
+            &mut buf,
+            &mut in_flight,
+            &mut latency,
+            &mut measured,
+        )?;
+    }
+
+    Ok(ClientOutcome {
+        latency,
+        measured,
+        unfinished: in_flight.len(),
+    })
 }
 
 /// Why harvesting a trace from a runtime failed.
@@ -529,7 +833,7 @@ mod tests {
                 assert_eq!(o.arrival_rate_per_sec, 500.0);
                 assert_eq!(o.horizon(), Duration::from_millis(500));
             }
-            LoadMode::Closed => panic!("open_loop() must switch the mode"),
+            _ => panic!("open_loop() must switch the mode"),
         }
     }
 
@@ -596,6 +900,110 @@ mod tests {
             p95 >= 10_000_000.0,
             "p95 {p95}ns should reflect the ≥10 ms injection backlog, \
              not the near-zero service time"
+        );
+    }
+
+    /// A minimal frame-echo server: accepts `conns` connections, each served
+    /// by a thread that echoes every envelope frame back unchanged.
+    fn spawn_echo_server(conns: usize) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::spawn(move || {
+            for _ in 0..conns {
+                let (mut stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) => return,
+                };
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => {
+                                buf.extend_from_slice(&chunk[..n]);
+                                loop {
+                                    match take_socket_frame(&mut buf) {
+                                        Ok(Some((id, body))) => {
+                                            if write_socket_frame(&mut stream, id, &body).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Ok(None) => break,
+                                        Err(_) => return,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn socket_frames_roundtrip_through_a_buffer() {
+        let mut wire = Vec::new();
+        write_socket_frame(&mut wire, 7, b"hello").unwrap();
+        write_socket_frame(&mut wire, u64::MAX, b"").unwrap();
+        // A partial frame is not extracted.
+        let mut partial = wire[..5].to_vec();
+        assert_eq!(take_socket_frame(&mut partial), Ok(None));
+        let (id, body) = take_socket_frame(&mut wire).unwrap().unwrap();
+        assert_eq!((id, body.as_slice()), (7, b"hello".as_slice()));
+        let (id, body) = take_socket_frame(&mut wire).unwrap().unwrap();
+        assert_eq!((id, body.len()), (u64::MAX, 0));
+        assert_eq!(take_socket_frame(&mut wire), Ok(None));
+        assert!(wire.is_empty());
+    }
+
+    /// An impossible length field is an error, not an incomplete frame:
+    /// treating it as incomplete would wedge the connection forever
+    /// (length 0 never completes) or buffer up to 4 GiB (length
+    /// `u32::MAX`).
+    #[test]
+    fn malformed_envelope_lengths_are_rejected() {
+        // Length 0: smaller than the 8-byte request id.
+        let mut zero = 0u32.to_be_bytes().to_vec();
+        zero.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(take_socket_frame(&mut zero), Err(MalformedFrame { len: 0 }));
+        // Absurdly large: past SOCKET_FRAME_MAX_BYTES.
+        let mut huge = u32::MAX.to_be_bytes().to_vec();
+        assert_eq!(
+            take_socket_frame(&mut huge),
+            Err(MalformedFrame { len: u32::MAX })
+        );
+        // The error converts into an io::Error for the client driver.
+        let io: std::io::Error = MalformedFrame { len: 0 }.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn socket_open_loop_issues_the_same_schedule_as_in_process() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 1_000.0,
+                warmup_millis: 20,
+                measure_millis: 80,
+            },
+            clients: 3,
+        };
+        let addr = spawn_echo_server(socket.clients);
+        let outcome =
+            drive_socket_open(&socket, 7, addr, |i| i.to_be_bytes().to_vec()).expect("socket run");
+        // The schedule is the in-process one: same (open, seed) ⇒ same count.
+        let horizon = VirtualTime::from_micros(socket.open.horizon().as_micros() as u64);
+        let expected = PoissonProcess::with_rate_per_sec(socket.open.arrival_rate_per_sec, 7)
+            .arrivals_until(horizon)
+            .len();
+        assert_eq!(outcome.issued, expected);
+        assert!(outcome.issued > 20, "~100 arrivals expected");
+        assert_eq!(outcome.unfinished, 0, "echo server answers everything");
+        assert_eq!(outcome.latency.count(), outcome.measured);
+        assert!(
+            outcome.measured < outcome.issued,
+            "warmup arrivals are issued but not measured"
         );
     }
 

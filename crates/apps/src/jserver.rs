@@ -252,6 +252,10 @@ pub fn drive(rt: &Arc<Runtime>, config: &ExperimentConfig) -> LatencyStats {
             rt.drain(Duration::from_secs(20));
             outcome.latency
         }
+        LoadMode::Socket(_) => panic!(
+            "socket load is driven from the client side over rp_net \
+             (harness::drive_socket_open / bench_net), not by the in-process drivers"
+        ),
     }
 }
 

@@ -1,0 +1,343 @@
+//! Socket front-end benchmark: an open-loop arrival-rate sweep over **real
+//! loopback TCP connections** for all three `rp_net` request classes, plus
+//! a traced socket run whose reconstructed cost DAG is checked against
+//! Theorem 2.3.  Machine-readable JSON output for CI trend tracking.
+//!
+//! Usage: `bench_net [--quick] [--out PATH]`
+//!
+//! * `--quick` shrinks the sweep (lower rates, shorter windows) so CI smoke
+//!   runs finish in a few seconds; the sweep still covers 3 rates × all
+//!   three request classes;
+//! * `--out PATH` writes the JSON report there (default `BENCH_net.json`
+//!   in the current directory).
+//!
+//! Request classes (see `rp_net::protocol`):
+//!
+//! * **app** — a cycling mix of proxy page fetches, email compress/print,
+//!   and jserver jobs;
+//! * **lambda** — a λ⁴ᵢ program submitted as source text, through the full
+//!   parse → infer → machine + runtime pipeline per request;
+//! * **lambda-cached** — the same source every request, with the
+//!   parse → infer front half memoized per source.
+//!
+//! Latencies are coordinated-omission corrected (measured from intended
+//! Poisson arrival times) and, unlike `BENCH_server.json`'s in-process
+//! numbers, include the full socket path: client send → shard decode →
+//! task dispatch → reactor response write → client receive.
+//!
+//! The process exits non-zero if the traced run yields any Theorem 2.3
+//! counterexample — the hypotheses held and the bound still failed, which
+//! means the scheduler, the tracer, or the bound analysis has a bug.
+
+use bytes::Bytes;
+use rp_apps::harness::{collect_trace, drive_socket_open, OpenLoopConfig, SocketLoadConfig};
+use rp_net::protocol::{encode_request, AppOp, Request, RequestClass};
+use rp_net::server::{NetServer, NetServerConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SEED: u64 = 0x00E7_CAFE;
+
+/// The λ⁴ᵢ program served by the lambda classes: a fork–join over an
+/// inferred worker priority, small enough that the per-request cost is
+/// dominated by pipeline stages rather than the kernel itself.
+const LAMBDA_SOURCE: &str = "\
+priorities: lo < hi
+program bench-net : nat
+main @ lo:
+  t <- cmd[lo]{fcreate[worker; nat]{ret 21}};
+  v <- cmd[lo]{ftouch t};
+  ret (v + v)
+";
+
+/// Deterministic page body for the `i`-th proxy request.
+fn page_body(i: usize) -> Bytes {
+    let mut body = Vec::with_capacity(512);
+    let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    while body.len() < 512 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        body.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(body)
+}
+
+/// The `i`-th request body of a class (the cycling app mix, or one of the
+/// lambda submissions).
+fn request_body(class: RequestClass, i: usize, users: usize, msgs: usize) -> Vec<u8> {
+    // `i % 4` selects the op, so every parameter below must be derived
+    // from `i / 4` — deriving it from `i` would alias with the op cycle
+    // (e.g. `class: i % 4` inside the `i % 4 == 3` arm is constantly 3).
+    let k = i / 4;
+    let req = match class {
+        RequestClass::App => match i % 4 {
+            0 => Request::App(AppOp::ProxyGet {
+                // A pool of 64 distinct URLs so the proxy cache gets real
+                // hits, like the in-process drivers.
+                url: format!("http://origin/page-{}", k % 64),
+                body_if_missed: page_body(k % 64),
+            }),
+            1 => Request::App(AppOp::EmailCompress {
+                user: (k % users) as u32,
+                msg: ((k / users) % msgs) as u32,
+            }),
+            2 => Request::App(AppOp::EmailPrint {
+                user: (k % users) as u32,
+                msg: ((k / users) % msgs) as u32,
+            }),
+            _ => Request::App(AppOp::JserverJob {
+                class: (k % 4) as u8,
+                seed: i as u64,
+            }),
+        },
+        RequestClass::Lambda => Request::Lambda {
+            source: LAMBDA_SOURCE.to_string(),
+        },
+        RequestClass::LambdaCached => Request::LambdaCached {
+            source: LAMBDA_SOURCE.to_string(),
+        },
+    };
+    encode_request(&req)
+}
+
+struct SweepRow {
+    class: RequestClass,
+    rate: f64,
+    clients: usize,
+    issued: usize,
+    measured: usize,
+    unfinished: usize,
+    p50_micros: Option<f64>,
+    p95_micros: Option<f64>,
+    frames_received: u64,
+    responses_sent: u64,
+    decode_errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn server_config(workers: usize, tracing: bool) -> NetServerConfig {
+    NetServerConfig {
+        workers,
+        tracing,
+        seed: SEED,
+        ..NetServerConfig::default()
+    }
+}
+
+fn run_one(
+    class: RequestClass,
+    rate: f64,
+    warmup_millis: u64,
+    measure_millis: u64,
+    workers: usize,
+) -> SweepRow {
+    let config = server_config(workers, false);
+    let (users, msgs) = (config.email_users, config.email_messages);
+    let server = NetServer::start(config).expect("server starts");
+    let socket = SocketLoadConfig {
+        open: OpenLoopConfig {
+            arrival_rate_per_sec: rate,
+            warmup_millis,
+            measure_millis,
+        },
+        clients: 4,
+    };
+    let outcome = drive_socket_open(&socket, SEED, server.addr(), |i| {
+        request_body(class, i, users, msgs)
+    })
+    .expect("socket load run");
+    server.drain(Duration::from_secs(10));
+    let stats = server.stats();
+    let cache = server.cache_stats();
+    let row = SweepRow {
+        class,
+        rate,
+        clients: socket.clients,
+        issued: outcome.issued,
+        measured: outcome.measured,
+        unfinished: outcome.unfinished,
+        p50_micros: outcome.latency.median().map(|ns| ns / 1_000.0),
+        p95_micros: outcome.latency.p95().map(|ns| ns / 1_000.0),
+        frames_received: stats.frames_received,
+        responses_sent: stats.responses_sent,
+        decode_errors: stats.decode_errors,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    };
+    server.shutdown();
+    row
+}
+
+struct TracedSummary {
+    threads: usize,
+    io_threads: usize,
+    counterexamples: usize,
+    observed_hypotheses_held: usize,
+    requests: usize,
+}
+
+/// One traced socket run over a mixed-class load: the server runtime
+/// records every spawn/steal/touch/IO event, the reconstructed cost DAG is
+/// checked per thread against Theorem 2.3 (observed schedule + prompt
+/// replay), and any counterexample fails the whole benchmark.
+fn run_traced(workers: usize, rate: f64, measure_millis: u64) -> TracedSummary {
+    let config = server_config(workers, true);
+    let (users, msgs) = (config.email_users, config.email_messages);
+    let server = NetServer::start(config).expect("server starts");
+    let socket = SocketLoadConfig {
+        open: OpenLoopConfig {
+            arrival_rate_per_sec: rate,
+            warmup_millis: 0,
+            measure_millis,
+        },
+        clients: 2,
+    };
+    let outcome = drive_socket_open(&socket, SEED ^ 0xBEEF, server.addr(), |i| match i % 3 {
+        0 => request_body(RequestClass::App, i, users, msgs),
+        1 => request_body(RequestClass::Lambda, i, users, msgs),
+        _ => request_body(RequestClass::LambdaCached, i, users, msgs),
+    })
+    .expect("traced socket run");
+    assert!(
+        server.drain(Duration::from_secs(30)),
+        "traced server must drain before the trace snapshot"
+    );
+    let report = collect_trace(server.runtime()).expect("trace reconstructs");
+    let io_threads = report.run.tasks.iter().filter(|t| t.is_io).count();
+    let summary = TracedSummary {
+        threads: report.run.dag.thread_count(),
+        io_threads,
+        counterexamples: report.counterexamples().len(),
+        observed_hypotheses_held: report.observed_hypotheses_held(),
+        requests: outcome.issued,
+    };
+    server.shutdown();
+    summary
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 8))
+        .unwrap_or(4);
+    // Lambda classes run a full (or cached) compile per request, so their
+    // rate axis is an order of magnitude below the app class's.
+    let (rates, warmup_millis, measure_millis) = if quick {
+        (
+            [
+                (RequestClass::App, [200.0, 400.0, 800.0]),
+                (RequestClass::Lambda, [20.0, 40.0, 80.0]),
+                (RequestClass::LambdaCached, [50.0, 100.0, 200.0]),
+            ],
+            30u64,
+            120u64,
+        )
+    } else {
+        (
+            [
+                (RequestClass::App, [500.0, 1_000.0, 2_000.0]),
+                (RequestClass::Lambda, [50.0, 100.0, 200.0]),
+                (RequestClass::LambdaCached, [100.0, 200.0, 400.0]),
+            ],
+            100,
+            400,
+        )
+    };
+
+    println!("bench_net: socket open-loop sweep ({workers} workers, seed {SEED:#x})");
+    let mut rows = Vec::new();
+    for (class, class_rates) in rates {
+        for rate in class_rates {
+            let row = run_one(class, rate, warmup_millis, measure_millis, workers);
+            println!(
+                "{:<13} rate {:>6.0}/s issued {:>5} measured {:>5} unfinished {:>2}  p50 {:>9}µs  p95 {:>9}µs",
+                row.class.name(),
+                row.rate,
+                row.issued,
+                row.measured,
+                row.unfinished,
+                fmt_opt(row.p50_micros),
+                fmt_opt(row.p95_micros),
+            );
+            rows.push(row);
+        }
+    }
+
+    let traced = run_traced(workers, if quick { 60.0 } else { 120.0 }, measure_millis);
+    println!(
+        "traced: {} requests → {} threads ({} io), hypotheses held on {}, counterexamples {}",
+        traced.requests,
+        traced.threads,
+        traced.io_threads,
+        traced.observed_hypotheses_held,
+        traced.counterexamples,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"kernel\": \"bench_net\",\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"warmup_millis\": {warmup_millis},");
+    let _ = writeln!(json, "  \"measure_millis\": {measure_millis},");
+    json.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"class\": \"{}\", \"rate_per_sec\": {:.1}, \"clients\": {}, \"issued\": {}, \"measured\": {}, \"unfinished\": {}, \"client_p50_micros\": {}, \"client_p95_micros\": {}, \"frames_received\": {}, \"responses_sent\": {}, \"decode_errors\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            row.class.name(),
+            row.rate,
+            row.clients,
+            row.issued,
+            row.measured,
+            row.unfinished,
+            fmt_opt(row.p50_micros),
+            fmt_opt(row.p95_micros),
+            row.frames_received,
+            row.responses_sent,
+            row.decode_errors,
+            row.cache_hits,
+            row.cache_misses,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"traced\": {\n");
+    let _ = writeln!(json, "    \"requests\": {},", traced.requests);
+    let _ = writeln!(json, "    \"threads\": {},", traced.threads);
+    let _ = writeln!(json, "    \"io_threads\": {},", traced.io_threads);
+    let _ = writeln!(
+        json,
+        "    \"observed_hypotheses_held\": {},",
+        traced.observed_hypotheses_held
+    );
+    let _ = writeln!(json, "    \"counterexamples\": {}", traced.counterexamples);
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if traced.counterexamples > 0 {
+        eprintln!(
+            "FAIL: {} Theorem 2.3 counterexample(s) in the traced socket run",
+            traced.counterexamples
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,4 +1,5 @@
-//! Compressed-sparse-row (CSR) adjacency index for [`CostDag`]s.
+//! Compressed-sparse-row (CSR) adjacency index for
+//! [`CostDag`](crate::graph::CostDag)s.
 //!
 //! The seed implementation answered every neighbourhood query
 //! (`out_edges`, `in_edges`, `strong_parents`, …) by filtering the full edge

@@ -14,9 +14,9 @@
 //! level dominates it, so each pick costs `O(levels + log n)` instead of the
 //! `O(ready²)` pairwise-domination scan of the naive formulation.  Domains
 //! with more than 64 levels (none exist in this repository) fall back to the
-//! [`reference`] implementation.
+//! [`mod@reference`] implementation.
 //!
-//! The [`reference`] module retains the naive `O(ready²·P)`-per-step
+//! The [`mod@reference`] module retains the naive `O(ready²·P)`-per-step
 //! formulation verbatim.  It is the executable specification: the property
 //! suite asserts the bucketed schedulers produce *identical* schedules, and
 //! the benches quote the speedup against it.

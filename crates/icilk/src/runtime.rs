@@ -64,7 +64,8 @@ impl RuntimeConfig {
         }
     }
 
-    /// A configuration whose levels mirror a λ⁴ᵢ [`PriorityDomain`]: one
+    /// A configuration whose levels mirror a λ⁴ᵢ
+    /// [`PriorityDomain`](rp_priority::PriorityDomain): one
     /// runtime level per domain level, named after it, ordered by a
     /// topological sort of the domain's `⪯` (lowest first).
     ///
@@ -140,6 +141,21 @@ pub struct Runtime {
 
 impl Runtime {
     /// Starts the runtime.
+    ///
+    /// # Example
+    ///
+    /// Two priority levels, background below interactive — the paper's
+    /// motivating server shape:
+    ///
+    /// ```
+    /// use rp_icilk::runtime::{Runtime, RuntimeConfig};
+    ///
+    /// let rt = Runtime::start(
+    ///     RuntimeConfig::new(2, 2).with_level_names(["background", "interactive"]),
+    /// );
+    /// assert_eq!(rt.priorities().len(), 2);
+    /// rt.shutdown();
+    /// ```
     pub fn start(config: RuntimeConfig) -> Self {
         let priorities = match &config.level_names {
             Some(names) => PrioritySet::new(names.clone()),
@@ -189,6 +205,40 @@ impl Runtime {
 
     /// `fcreate`: spawns `body` as a task at `priority` and returns its
     /// future.
+    ///
+    /// # Example
+    ///
+    /// A background task publishes progress through shared state while an
+    /// interactive request reads it and answers immediately — communication
+    /// through mutable state, no touch of the low-priority future:
+    ///
+    /// ```
+    /// use rp_icilk::runtime::{Runtime, RuntimeConfig};
+    /// use std::sync::{Arc, Mutex};
+    ///
+    /// let rt = Runtime::start(
+    ///     RuntimeConfig::new(2, 2).with_level_names(["background", "interactive"]),
+    /// );
+    /// let background = rt.priority_by_name("background").unwrap();
+    /// let interactive = rt.priority_by_name("interactive").unwrap();
+    ///
+    /// let progress = Arc::new(Mutex::new(0u64));
+    /// let progress_bg = Arc::clone(&progress);
+    /// let _optimizer = rt.fcreate(background, move || {
+    ///     *progress_bg.lock().unwrap() = 42;
+    /// });
+    /// let progress_fg = Arc::clone(&progress);
+    /// let request = rt.fcreate(interactive, move || *progress_fg.lock().unwrap());
+    /// // The request answers regardless of how far the optimizer got.
+    /// let _seen = rt.ftouch_blocking(&request);
+    ///
+    /// // Touching the *background* future from interactive code would be a
+    /// // priority inversion; the dynamically-checked API refuses it:
+    /// let low = rt.fcreate(background, || 7);
+    /// assert!(rt.try_ftouch(interactive, &low).is_err());
+    /// assert_eq!(rt.try_ftouch(background, &low).unwrap(), 7);
+    /// rt.shutdown();
+    /// ```
     pub fn fcreate<T, F>(&self, priority: Priority, body: F) -> IFuture<T>
     where
         T: Send + 'static,
@@ -244,6 +294,37 @@ impl Runtime {
     /// ready tasks while it is not yet available (so the worker never idles
     /// on a join — the analogue of proactive work stealing's non-blocking
     /// joins).
+    ///
+    /// # Example
+    ///
+    /// A fork–join inside a task: the outer task helps run other work while
+    /// waiting on its child (threads outside the runtime use
+    /// [`Runtime::ftouch_blocking`] instead):
+    ///
+    /// ```
+    /// use rp_icilk::runtime::{Runtime, RuntimeConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let rt = Arc::new(Runtime::start(RuntimeConfig::new(2, 1)));
+    /// let p = rt.priority_by_index(0).unwrap();
+    /// let rt2 = Arc::clone(&rt);
+    /// let outer = rt.fcreate(p, move || {
+    ///     let inner = rt2.fcreate(p, || 21u64);
+    ///     rt2.ftouch(&inner) * 2
+    /// });
+    /// assert_eq!(rt.ftouch_blocking(&outer), 42);
+    /// // The task closure drops its clone of `rt` shortly after completing.
+    /// let mut rt = rt;
+    /// loop {
+    ///     match Arc::try_unwrap(rt) {
+    ///         Ok(owned) => break owned.shutdown(),
+    ///         Err(shared) => {
+    ///             rt = shared;
+    ///             std::thread::sleep(std::time::Duration::from_millis(1));
+    ///         }
+    ///     }
+    /// }
+    /// ```
     pub fn ftouch<T: Clone + Send + 'static>(&self, future: &IFuture<T>) -> T {
         let value = loop {
             if let Some(v) = future.try_get() {
@@ -353,6 +434,26 @@ impl Runtime {
             }
             None => self.reactor.submit(priority, latency, produce),
         }
+    }
+
+    /// Starts an I/O operation that the reactor performs **as soon as
+    /// possible** (zero simulated latency): `produce` runs on the reactor
+    /// thread, not on a worker, and its cost is whatever the real side
+    /// effect costs.
+    ///
+    /// This is the hook for *real* I/O back ends: `rp_net` fulfils network
+    /// responses through it, so the socket write happens off the workers and
+    /// a traced run reconstructs the round-trip as an I/O thread in the cost
+    /// DAG (exactly like the simulated `cilk_read` / `cilk_write` paths).
+    ///
+    /// Keep `produce` short — the reactor is a single thread, so a slow
+    /// completion delays every other pending I/O behind it.
+    pub fn submit_io_now<T, F>(&self, priority: Priority, produce: F) -> IFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_io_with_latency(priority, Duration::ZERO, produce)
     }
 
     /// A snapshot of the per-level response/compute statistics.
@@ -554,6 +655,30 @@ mod tests {
         assert_eq!(rt.priority_by_index(1), rt.priority_by_name("ui"));
         assert_eq!(rt.priority_by_index(2), None);
         assert_eq!(rt.priority_by_index(usize::MAX), None);
+        rt.shutdown();
+    }
+
+    /// `submit_io_now` completes promptly, off the workers, and is visible
+    /// to `drain` like any other I/O.
+    #[test]
+    fn submit_io_now_completes_promptly_on_the_reactor() {
+        let rt = runtime(SchedulerKind::ICilk);
+        let ui = rt.priority_by_name("ui").unwrap();
+        let ran_on = Arc::new(parking_lot::Mutex::new(String::new()));
+        let ran_on2 = Arc::clone(&ran_on);
+        let started = Instant::now();
+        let f = rt.submit_io_now(ui, move || {
+            *ran_on2.lock() = std::thread::current().name().unwrap_or("?").to_string();
+            17u32
+        });
+        assert_eq!(rt.ftouch_blocking(&f), 17);
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "zero-latency I/O took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(&*ran_on.lock(), "icilk-io-reactor");
+        assert!(rt.drain(Duration::from_secs(2)));
         rt.shutdown();
     }
 

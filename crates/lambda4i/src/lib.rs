@@ -24,10 +24,14 @@
 //!   ([`progs::sources`]);
 //! * [`pretty`] and [`parse`] — the concrete Figure 4 dialect: an exact
 //!   round-tripping pretty-printer and a hand-written lexer + recursive-
-//!   descent parser with positioned error messages;
+//!   descent parser with positioned error messages.  The full grammar —
+//!   the Figure 4 dialect, priority-domain declaration forms, the
+//!   Unicode/ASCII token table, and the `parse ∘ pretty = id` guarantee —
+//!   is documented in `GRAMMAR.md` at this crate's root
+//!   (`crates/lambda4i/GRAMMAR.md`);
 //! * [`typecheck::infer_program`] — priority *inference*: a constraint-
 //!   collecting checking pass whose deferred goals are solved by
-//!   [`rp_priority::solve`], instantiating free priority variables;
+//!   [`rp_priority::solve()`], instantiating free priority variables;
 //! * [`compile`] — lowering typechecked programs onto the real
 //!   [`rp_icilk::runtime::Runtime`] (fcreate/ftouch tasks, shared-state
 //!   heap, execution tracing for cost-DAG reconstruction);
@@ -66,7 +70,7 @@ pub mod typecheck;
 
 pub use compile::{compile_and_run, CompileConfig};
 pub use parse::{parse_program, ParseError};
-pub use pipeline::{run_source, PipelineConfig, PipelineReport};
+pub use pipeline::{run_source, CompileCache, PipelineConfig, PipelineReport};
 pub use run::{run_program, RunConfig, RunResult};
 pub use syntax::{Cmd, Expr, Program, Type};
 pub use typecheck::{infer_program, typecheck_program, TypeError};

@@ -31,7 +31,10 @@ use crate::run::{run_program, RunConfig, RunResult};
 use crate::syntax::{Expr, Program};
 use crate::typecheck::{infer_program, Inference, TypeError};
 use rp_core::trace::{ReconstructedRun, TraceBoundReport, TraceError};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Default)]
@@ -76,7 +79,9 @@ impl std::error::Error for PipelineError {}
 #[derive(Debug)]
 pub struct PipelineReport {
     /// The inference outcome (assignment, instantiated program, stats).
-    pub inference: Inference,
+    /// Shared, not owned, so [`CompileCache`] hits hand out the memoized
+    /// result without deep-cloning the instantiated AST.
+    pub inference: Arc<Inference>,
     /// The abstract-machine run (cost-semantics DAG, schedule, per-thread
     /// Theorem 2.3 reports).
     pub machine: RunResult,
@@ -139,6 +144,21 @@ pub fn run_pipeline(
     config: &PipelineConfig,
 ) -> Result<PipelineReport, PipelineError> {
     let inference = infer_program(prog).map_err(PipelineError::Type)?;
+    run_inferred(Arc::new(inference), config)
+}
+
+/// Runs stage 3 (both back ends plus the Theorem 2.3 cross-check) on an
+/// already-inferred program.  This is the shared tail of [`run_pipeline`]
+/// and the memoized [`CompileCache::run_source`] path: the expensive
+/// parse → infer front half is skippable, the execution half never is.
+///
+/// # Errors
+///
+/// Returns the first failing stage's error.
+pub fn run_inferred(
+    inference: Arc<Inference>,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, PipelineError> {
     let machine =
         run_program(&inference.program, &config.machine).map_err(PipelineError::Machine)?;
     let runtime =
@@ -189,6 +209,127 @@ pub fn run_source(src: &str, config: &PipelineConfig) -> Result<PipelineReport, 
     run_pipeline(&prog, config)
 }
 
+/// Cumulative hit/miss counters of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Submissions answered from a memoized parse → infer result.
+    pub hits: u64,
+    /// Submissions that had to run the full front half.
+    pub misses: u64,
+    /// Distinct sources currently memoized.
+    pub entries: usize,
+}
+
+/// A memoizing front half of the pipeline for services that run the same
+/// λ⁴ᵢ source repeatedly (the `rp_net` cached-compilation request class).
+///
+/// The expensive parse → infer stages are keyed by the **source text
+/// itself** (not a hash — the cache is fed network-supplied sources, and a
+/// 64-bit non-cryptographic hash key would let a colliding submission be
+/// answered with a *different* program's inference); on a hit,
+/// [`CompileCache::run_source`] skips straight to the execution stage
+/// ([`run_inferred`]), which always runs — memoizing an execution would
+/// defeat the point of checking Theorem 2.3 against real runs.  Parse and
+/// type errors are *not* cached: failing sources pay the front half again
+/// on every submission (they are cheap — they never reach the execution
+/// stage).
+///
+/// The cache holds at most [`CompileCache::capacity`] distinct sources;
+/// inserting past the bound flushes the whole cache (a crude but
+/// predictable policy: a service fed a stream of distinct sources degrades
+/// to miss-always instead of growing without bound).
+///
+/// The cache is internally synchronized; share it across server shards with
+/// an [`Arc`].
+#[derive(Debug)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<String, Arc<Inference>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
+}
+
+impl CompileCache {
+    /// The default bound on distinct memoized sources.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        CompileCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` distinct sources (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompileCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The bound on distinct memoized sources.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The FNV-1a hash of a source text.  *Not* the cache key (see the
+    /// type docs) — exposed so protocol layers can log or route by it.
+    pub fn source_hash(src: &str) -> u64 {
+        src.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+        })
+    }
+
+    /// Like the free function [`run_source`], but memoizing the
+    /// parse → infer front half per source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage's error; front-half errors are
+    /// recomputed (never cached).
+    pub fn run_source(
+        &self,
+        src: &str,
+        config: &PipelineConfig,
+    ) -> Result<PipelineReport, PipelineError> {
+        let cached = self.entries.lock().expect("cache lock").get(src).cloned();
+        let inference = match cached {
+            Some(inference) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                inference
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let prog = parse_program(src).map_err(PipelineError::Parse)?;
+                let inference = Arc::new(infer_program(&prog).map_err(PipelineError::Type)?);
+                let mut entries = self.entries.lock().expect("cache lock");
+                if entries.len() >= self.capacity {
+                    entries.clear();
+                }
+                entries.insert(src.to_string(), Arc::clone(&inference));
+                inference
+            }
+        };
+        run_inferred(inference, config)
+    }
+
+    /// Hit/miss counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +372,68 @@ main @ fg:
         assert_eq!(p, report.inference.program.domain.priority("fg"));
         assert_eq!(report.value(), &crate::syntax::Expr::Nat(9));
         assert_eq!(report.counterexamples(), 0);
+    }
+
+    #[test]
+    fn compile_cache_memoizes_the_front_half_only() {
+        let cache = CompileCache::new();
+        let prog = progs::parallel_fib(5);
+        let src = pretty::program_to_string(&prog);
+        let first = cache.run_source(&src, &config()).unwrap();
+        let second = cache.run_source(&src, &config()).unwrap();
+        // The front half was reused, the execution half was not: both runs
+        // produced fresh machine/runtime executions with the same value.
+        assert_eq!(first.value(), second.value());
+        assert_eq!(first.counterexamples(), 0);
+        assert_eq!(second.counterexamples(), 0);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // A different source is a separate entry.
+        let other = pretty::program_to_string(&progs::parallel_fib(4));
+        cache.run_source(&other, &config()).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn compile_cache_does_not_cache_errors() {
+        let cache = CompileCache::new();
+        let bad = "priorities: a\nprogram p : nat\nmain @ a:\n  ret (";
+        for _ in 0..2 {
+            let err = cache.run_source(bad, &config()).unwrap_err();
+            assert!(matches!(err, PipelineError::Parse(_)));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 0));
+    }
+
+    /// The cache never grows past its capacity: inserting beyond the bound
+    /// flushes, so a stream of distinct sources cannot exhaust memory.
+    #[test]
+    fn compile_cache_is_bounded() {
+        let cache = CompileCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        for n in 3..7 {
+            let src = pretty::program_to_string(&progs::parallel_fib(n));
+            cache.run_source(&src, &config()).unwrap();
+            assert!(cache.stats().entries <= 2, "capacity must bound the map");
+        }
+        // Four distinct sources through a 2-entry cache: all misses, with
+        // at least one flush along the way.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert!(stats.entries <= 2);
+    }
+
+    #[test]
+    fn source_hash_is_stable_and_content_sensitive() {
+        assert_eq!(
+            CompileCache::source_hash("abc"),
+            CompileCache::source_hash("abc")
+        );
+        assert_ne!(
+            CompileCache::source_hash("abc"),
+            CompileCache::source_hash("abd")
+        );
     }
 
     #[test]

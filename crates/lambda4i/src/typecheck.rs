@@ -642,7 +642,7 @@ pub struct Inference {
 /// source file).  A constraint-collecting checking pass records every
 /// entailment goal that involves such an unknown (the `Touch` rule's
 /// `ρ ⪯ ρ'`, `Bind`'s priority equality, and ∀-elimination side
-/// conditions); [`rp_priority::solve`] then computes the least satisfying
+/// conditions); [`rp_priority::solve()`] then computes the least satisfying
 /// assignment over the program's priority domain, and the instantiated
 /// program is re-checked under the ordinary judgment.
 ///

@@ -1,0 +1,419 @@
+//! The request/response body layout of the `rp_net` wire protocol.
+//!
+//! Framing is two-layered.  The outer **envelope** — a 4-byte big-endian
+//! length followed by an 8-byte big-endian request id — is shared with the
+//! client-side driver ([`rp_apps::harness::write_socket_frame`] /
+//! [`rp_apps::harness::take_socket_frame`]), which treats bodies as opaque.
+//! This module defines the **body**: a one-byte request-class tag followed
+//! by a class-specific payload, and the matching response layout (a status
+//! byte followed by a result or an error message).  All integers are
+//! big-endian; all text is UTF-8.
+//!
+//! | class | tag | payload |
+//! |-------|-----|---------|
+//! | [`Request::App`] | `0` | op tag + op payload (see [`AppOp`]) |
+//! | [`Request::Lambda`] | `1` | λ⁴ᵢ source text |
+//! | [`Request::LambdaCached`] | `2` | λ⁴ᵢ source text |
+
+use bytes::Bytes;
+use std::fmt;
+
+/// The three request classes the server dispatches at different priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Raw case-study operations (proxy / email / jserver).
+    App,
+    /// λ⁴ᵢ source through the full parse → infer → run pipeline.
+    Lambda,
+    /// λ⁴ᵢ source with the parse → infer front half memoized.
+    LambdaCached,
+}
+
+impl RequestClass {
+    /// All classes, in tag order.
+    pub const ALL: [RequestClass; 3] = [
+        RequestClass::App,
+        RequestClass::Lambda,
+        RequestClass::LambdaCached,
+    ];
+
+    /// The class's wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            RequestClass::App => 0,
+            RequestClass::Lambda => 1,
+            RequestClass::LambdaCached => 2,
+        }
+    }
+
+    /// A short stable name for reports (`BENCH_net.json` keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::App => "app",
+            RequestClass::Lambda => "lambda",
+            RequestClass::LambdaCached => "lambda-cached",
+        }
+    }
+}
+
+/// A raw application operation — the in-process case-study entry points,
+/// exposed over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppOp {
+    /// A proxy page fetch: answered from the cache, or from simulated
+    /// network I/O on a miss.  The client ships the page body the origin
+    /// *would* return (the same convention as the in-process drivers, where
+    /// the workload generator owns the page content).
+    ProxyGet {
+        /// The requested URL.
+        url: String,
+        /// The origin's page body, used on a cache miss.
+        body_if_missed: Bytes,
+    },
+    /// Compress one message of one user's mailbox (Huffman).
+    EmailCompress {
+        /// Mailbox owner (index into the server's generated users).
+        user: u32,
+        /// Message index within the mailbox.
+        msg: u32,
+    },
+    /// Print (checksum) one message, coordinating with any in-flight
+    /// compression of the same message through its slot.
+    EmailPrint {
+        /// Mailbox owner.
+        user: u32,
+        /// Message index within the mailbox.
+        msg: u32,
+    },
+    /// Run one job of the jserver mix.
+    JserverJob {
+        /// Index into [`rp_apps::jserver::JobClass::default_mix`] (0–3).
+        class: u8,
+        /// Seed for the job's input generator.
+        seed: u64,
+    },
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A raw application operation.
+    App(AppOp),
+    /// λ⁴ᵢ source for the full pipeline.
+    Lambda {
+        /// The `.l4i` source text.
+        source: String,
+    },
+    /// λ⁴ᵢ source for the memoized pipeline.
+    LambdaCached {
+        /// The `.l4i` source text.
+        source: String,
+    },
+}
+
+impl Request {
+    /// The request's class.
+    pub fn class(&self) -> RequestClass {
+        match self {
+            Request::App(_) => RequestClass::App,
+            Request::Lambda { .. } => RequestClass::Lambda,
+            Request::LambdaCached { .. } => RequestClass::LambdaCached,
+        }
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// An app operation's checksum-ish result.
+    App {
+        /// The operation's `u64` result.
+        result: u64,
+    },
+    /// A λ⁴ᵢ run's outcome.
+    Lambda {
+        /// Theorem 2.3 counterexamples across the machine graph, the
+        /// observed runtime schedule, and the prompt replay (0 on a healthy
+        /// build).
+        counterexamples: u64,
+        /// The pretty-printed final value.
+        value: String,
+    },
+    /// The request failed; the server stayed up.
+    Error {
+        /// A human-readable description (parse errors, type errors, …).
+        message: String,
+    },
+}
+
+/// Why a body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The body was empty or shorter than its layout requires.
+    Truncated,
+    /// An unknown request-class or op tag.
+    UnknownTag(u8),
+    /// Text payload was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "truncated body"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+            ProtocolError::BadUtf8 => write!(f, "text payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn take_u32(b: &[u8]) -> Result<(u32, &[u8]), ProtocolError> {
+    if b.len() < 4 {
+        return Err(ProtocolError::Truncated);
+    }
+    Ok((
+        u32::from_be_bytes(b[..4].try_into().expect("4 bytes")),
+        &b[4..],
+    ))
+}
+
+fn take_u64(b: &[u8]) -> Result<(u64, &[u8]), ProtocolError> {
+    if b.len() < 8 {
+        return Err(ProtocolError::Truncated);
+    }
+    Ok((
+        u64::from_be_bytes(b[..8].try_into().expect("8 bytes")),
+        &b[8..],
+    ))
+}
+
+fn utf8(b: &[u8]) -> Result<String, ProtocolError> {
+    String::from_utf8(b.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+}
+
+/// Encodes a request body (the envelope is the caller's job).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = vec![req.class().tag()];
+    match req {
+        Request::App(op) => match op {
+            AppOp::ProxyGet {
+                url,
+                body_if_missed,
+            } => {
+                out.push(0);
+                out.extend_from_slice(
+                    &u32::try_from(url.len())
+                        .expect("url fits in u32")
+                        .to_be_bytes(),
+                );
+                out.extend_from_slice(url.as_bytes());
+                out.extend_from_slice(body_if_missed);
+            }
+            AppOp::EmailCompress { user, msg } => {
+                out.push(1);
+                out.extend_from_slice(&user.to_be_bytes());
+                out.extend_from_slice(&msg.to_be_bytes());
+            }
+            AppOp::EmailPrint { user, msg } => {
+                out.push(2);
+                out.extend_from_slice(&user.to_be_bytes());
+                out.extend_from_slice(&msg.to_be_bytes());
+            }
+            AppOp::JserverJob { class, seed } => {
+                out.push(3);
+                out.push(*class);
+                out.extend_from_slice(&seed.to_be_bytes());
+            }
+        },
+        Request::Lambda { source } | Request::LambdaCached { source } => {
+            out.extend_from_slice(source.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request body.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on truncated, mistagged, or non-UTF-8 input.
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
+    let (&class, rest) = body.split_first().ok_or(ProtocolError::Truncated)?;
+    match class {
+        0 => {
+            let (&op, rest) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+            let op = match op {
+                0 => {
+                    let (url_len, rest) = take_u32(rest)?;
+                    let url_len = url_len as usize;
+                    if rest.len() < url_len {
+                        return Err(ProtocolError::Truncated);
+                    }
+                    AppOp::ProxyGet {
+                        url: utf8(&rest[..url_len])?,
+                        body_if_missed: Bytes::from(rest[url_len..].to_vec()),
+                    }
+                }
+                1 | 2 => {
+                    let (user, rest) = take_u32(rest)?;
+                    let (msg, _) = take_u32(rest)?;
+                    if op == 1 {
+                        AppOp::EmailCompress { user, msg }
+                    } else {
+                        AppOp::EmailPrint { user, msg }
+                    }
+                }
+                3 => {
+                    let (&class, rest) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+                    let (seed, _) = take_u64(rest)?;
+                    AppOp::JserverJob { class, seed }
+                }
+                t => return Err(ProtocolError::UnknownTag(t)),
+            };
+            Ok(Request::App(op))
+        }
+        1 => Ok(Request::Lambda {
+            source: utf8(rest)?,
+        }),
+        2 => Ok(Request::LambdaCached {
+            source: utf8(rest)?,
+        }),
+        t => Err(ProtocolError::UnknownTag(t)),
+    }
+}
+
+/// Encodes a response body.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::App { result } => {
+            let mut out = vec![0u8];
+            out.extend_from_slice(&result.to_be_bytes());
+            out
+        }
+        Response::Lambda {
+            counterexamples,
+            value,
+        } => {
+            let mut out = vec![1u8];
+            out.extend_from_slice(&counterexamples.to_be_bytes());
+            out.extend_from_slice(value.as_bytes());
+            out
+        }
+        Response::Error { message } => {
+            let mut out = vec![2u8];
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+    }
+}
+
+/// Decodes a response body.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on truncated, mistagged, or non-UTF-8 input.
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
+    let (&status, rest) = body.split_first().ok_or(ProtocolError::Truncated)?;
+    match status {
+        0 => {
+            let (result, _) = take_u64(rest)?;
+            Ok(Response::App { result })
+        }
+        1 => {
+            let (counterexamples, rest) = take_u64(rest)?;
+            Ok(Response::Lambda {
+                counterexamples,
+                value: utf8(rest)?,
+            })
+        }
+        2 => Ok(Response::Error {
+            message: utf8(rest)?,
+        }),
+        t => Err(ProtocolError::UnknownTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let encoded = encode_request(&req);
+        assert_eq!(decode_request(&encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::App(AppOp::ProxyGet {
+            url: "http://example/π".into(),
+            body_if_missed: Bytes::from(b"<html>body</html>".to_vec()),
+        }));
+        roundtrip_request(Request::App(AppOp::ProxyGet {
+            url: String::new(),
+            body_if_missed: Bytes::new(),
+        }));
+        roundtrip_request(Request::App(AppOp::EmailCompress { user: 3, msg: 9 }));
+        roundtrip_request(Request::App(AppOp::EmailPrint {
+            user: u32::MAX,
+            msg: 0,
+        }));
+        roundtrip_request(Request::App(AppOp::JserverJob {
+            class: 2,
+            seed: u64::MAX,
+        }));
+        roundtrip_request(Request::Lambda {
+            source: "priorities: lo < hi\n…".into(),
+        });
+        roundtrip_request(Request::LambdaCached { source: "".into() });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::App { result: 0 },
+            Response::App { result: u64::MAX },
+            Response::Lambda {
+                counterexamples: 0,
+                value: "ret 42".into(),
+            },
+            Response::Error {
+                message: "parse error: …".into(),
+            },
+        ] {
+            let encoded = encode_response(&resp);
+            assert_eq!(decode_response(&encoded).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked_on() {
+        assert_eq!(decode_request(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_request(&[9]), Err(ProtocolError::UnknownTag(9)));
+        assert_eq!(decode_request(&[0]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_request(&[0, 7]), Err(ProtocolError::UnknownTag(7)));
+        // ProxyGet with a claimed URL length past the end of the body.
+        assert_eq!(
+            decode_request(&[0, 0, 0, 0, 0, 200, b'x']),
+            Err(ProtocolError::Truncated)
+        );
+        assert_eq!(
+            decode_request(&[1, 0xFF, 0xFE]),
+            Err(ProtocolError::BadUtf8)
+        );
+        assert_eq!(decode_response(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_response(&[0, 1]), Err(ProtocolError::Truncated));
+        assert_eq!(decode_response(&[7]), Err(ProtocolError::UnknownTag(7)));
+    }
+
+    #[test]
+    fn class_tags_and_names_are_stable() {
+        for class in RequestClass::ALL {
+            assert_eq!(RequestClass::ALL[class.tag() as usize], class);
+        }
+        assert_eq!(RequestClass::App.name(), "app");
+        assert_eq!(RequestClass::Lambda.name(), "lambda");
+        assert_eq!(RequestClass::LambdaCached.name(), "lambda-cached");
+    }
+}

@@ -1,0 +1,832 @@
+//! The TCP server: acceptor + connection shards in front of the runtime.
+//!
+//! Thread model (all `std::net`, blocking sockets):
+//!
+//! * one **acceptor** thread owns the listener and hands accepted
+//!   connections round-robin to the shards;
+//! * N **shard** threads each own a set of connections.  A shard's read
+//!   loop uses a short read timeout as its poll interval: it buffers
+//!   whatever bytes are available per connection, extracts complete
+//!   envelope frames, and dispatches each request as an `fcreate` task on
+//!   the runtime at a priority chosen per request class.  Shards never run
+//!   request bodies themselves;
+//! * **workers** execute the request tasks (cache lookups, Huffman coding,
+//!   jserver kernels, λ⁴ᵢ pipelines);
+//! * the **I/O reactor** writes every response frame:  the handler task
+//!   hands the encoded response to
+//!   [`Runtime::submit_io_now`](rp_icilk::runtime::Runtime::submit_io_now),
+//!   so socket writes happen off the workers and traced runs reconstruct
+//!   each network round-trip as an I/O thread in the cost DAG.
+//!
+//! Per-connection response writes are serialized by a mutex around the
+//! write half, so pipelined responses interleave only at frame granularity.
+//! Keep clients reading: the reactor is one thread, and a response write
+//! into a full socket buffer would stall every pending completion behind
+//! it.
+
+use crate::protocol::{decode_request, encode_response, AppOp, Request, Response};
+use parking_lot::Mutex;
+use rp_apps::harness::write_socket_frame;
+use rp_apps::harness::{shutdown_runtime, take_socket_frame};
+use rp_apps::jserver::JobClass;
+use rp_apps::{email, proxy};
+use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_lambda4i::pipeline::{CacheStats, CompileCache, PipelineConfig, PipelineError};
+use rp_lambda4i::pretty::expr_to_string;
+use rp_priority::Priority;
+use rp_sim::latency::LatencyModel;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The server runtime's priority levels, lowest first: the union of the
+/// proxy and email case studies' level names (both apps' internal orders
+/// are preserved), plus the two λ⁴ᵢ dispatch levels.  Request dispatch
+/// priorities per class: `app` operations run on the levels the in-process
+/// drivers use (`event` for proxy requests, `compress` for email
+/// compress/print, a per-class mapping for jserver jobs);
+/// λ⁴ᵢ pipelines run at `lambda` / `lambda-cached`, below every
+/// interactive level — a compile farm must not starve the request path.
+pub const LEVELS: [&str; 10] = [
+    "main",
+    "lambda",
+    "lambda-cached",
+    "check",
+    "logging",
+    "compress",
+    "sort",
+    "fetch",
+    "send",
+    "event",
+];
+
+/// How long a shard read blocks per connection before moving on — the
+/// shard's poll interval.
+const SHARD_POLL: Duration = Duration::from_micros(200);
+
+/// Configuration of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Number of connection-shard threads.
+    pub shards: usize,
+    /// Number of runtime worker threads.
+    pub workers: usize,
+    /// Scheduler flavour of the runtime behind the sockets.
+    pub scheduler: SchedulerKind,
+    /// Whether the runtime records an execution trace (harvest it with
+    /// [`rp_apps::harness::collect_trace`] after [`NetServer::drain`]).
+    pub tracing: bool,
+    /// Latency model of the *simulated* I/O the app handlers perform
+    /// (proxy origin fetches, email SMTP); the socket I/O is real.
+    pub io_latency: LatencyModel,
+    /// Seed for the simulated I/O and the generated email state.
+    pub seed: u64,
+    /// Number of generated email users.
+    pub email_users: usize,
+    /// Messages per generated mailbox.
+    pub email_messages: usize,
+    /// The λ⁴ᵢ pipeline configuration used by both lambda classes.  The
+    /// default disables tracing of the *nested* per-request runtimes (the
+    /// front-end's machine-graph bound check still runs); the server's own
+    /// runtime is traced via [`NetServerConfig::tracing`].
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        let mut pipeline = PipelineConfig::default();
+        pipeline.runtime.tracing = false;
+        pipeline.runtime.drain_secs = 10;
+        NetServerConfig {
+            shards: 2,
+            workers: 4,
+            scheduler: SchedulerKind::ICilk,
+            tracing: false,
+            io_latency: LatencyModel::Uniform { lo: 200, hi: 1_500 },
+            seed: 42,
+            email_users: 4,
+            email_messages: 4,
+            pipeline,
+        }
+    }
+}
+
+/// Monotonic counters of one server's lifetime.
+#[derive(Debug, Default)]
+struct NetStats {
+    connections_accepted: AtomicU64,
+    frames_received: AtomicU64,
+    responses_sent: AtomicU64,
+    decode_errors: AtomicU64,
+    per_class: [AtomicU64; 3],
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections the acceptor handed to shards.
+    pub connections_accepted: u64,
+    /// Complete request frames decoded (including malformed bodies).
+    pub frames_received: u64,
+    /// Response frames handed to the reactor for writing.
+    pub responses_sent: u64,
+    /// Bodies that failed to decode (answered with an error response).
+    pub decode_errors: u64,
+    /// Requests per class, indexed by [`crate::protocol::RequestClass::tag`].
+    pub per_class: [u64; 3],
+}
+
+/// Everything the handler tasks share.
+struct ServerCtx {
+    runtime: Arc<Runtime>,
+    proxy: Arc<proxy::ProxyState>,
+    email: Arc<email::EmailState>,
+    jobs: [JobClass; 4],
+    cache: CompileCache,
+    pipeline: PipelineConfig,
+    stats: NetStats,
+    /// Dispatch priorities, resolved once at startup.
+    event: Priority,
+    compress: Priority,
+    lambda: Priority,
+    lambda_cached: Priority,
+}
+
+/// The priority a jserver job class dispatches at: the four kernels map
+/// onto the server's unified level list in the same relative order as the
+/// standalone jserver's own four levels.
+fn job_priority(ctx: &ServerCtx, job: &JobClass) -> Priority {
+    let name = match job {
+        JobClass::Sw { .. } => "check",
+        JobClass::Sort { .. } => "sort",
+        JobClass::Fib { .. } => "fetch",
+        JobClass::Matmul { .. } => "event",
+    };
+    ctx.runtime
+        .priority_by_name(name)
+        .expect("LEVELS contains every dispatch level")
+}
+
+impl ServerCtx {
+    fn dispatch_priority(&self, req: &Request) -> Priority {
+        match req {
+            Request::App(AppOp::ProxyGet { .. }) => self.event,
+            Request::App(AppOp::EmailCompress { .. } | AppOp::EmailPrint { .. }) => self.compress,
+            Request::App(AppOp::JserverJob { class, .. }) => {
+                match self.jobs.get(*class as usize) {
+                    Some(job) => job_priority(self, job),
+                    // Out-of-range classes are answered with an error at
+                    // the event level (the error path is cheap).
+                    None => self.event,
+                }
+            }
+            Request::Lambda { .. } => self.lambda,
+            Request::LambdaCached { .. } => self.lambda_cached,
+        }
+    }
+
+    /// Runs one request to completion on the current worker (helping on
+    /// touches, never blocking idle).
+    fn execute(self: &Arc<Self>, req: Request) -> Response {
+        match req {
+            Request::App(AppOp::ProxyGet {
+                url,
+                body_if_missed,
+            }) => {
+                let fut = proxy::handle_request(&self.runtime, &self.proxy, url, body_if_missed);
+                Response::App {
+                    result: self.runtime.ftouch(&fut),
+                }
+            }
+            Request::App(AppOp::EmailCompress { user, msg }) => {
+                self.email_op(user, msg, email::compress_message)
+            }
+            Request::App(AppOp::EmailPrint { user, msg }) => {
+                self.email_op(user, msg, email::print_message)
+            }
+            Request::App(AppOp::JserverJob { class, seed }) => {
+                match self.jobs.get(class as usize) {
+                    Some(job) => Response::App {
+                        result: job.execute(seed),
+                    },
+                    None => Response::Error {
+                        message: format!("unknown jserver job class {class}"),
+                    },
+                }
+            }
+            Request::Lambda { source } => {
+                lambda_response(rp_lambda4i::pipeline::run_source(&source, &self.pipeline))
+            }
+            Request::LambdaCached { source } => {
+                lambda_response(self.cache.run_source(&source, &self.pipeline))
+            }
+        }
+    }
+
+    fn email_op(
+        &self,
+        user: u32,
+        msg: u32,
+        op: impl FnOnce(&Arc<Runtime>, Arc<email::Message>) -> rp_icilk::IFuture<u64>,
+    ) -> Response {
+        let Some(mailbox) = self.email.mailboxes.get(user as usize) else {
+            return Response::Error {
+                message: format!("unknown email user {user}"),
+            };
+        };
+        if msg as usize >= mailbox.len() {
+            return Response::Error {
+                message: format!("user {user} has no message {msg}"),
+            };
+        }
+        let ticket = op(&self.runtime, mailbox.message(msg as usize));
+        Response::App {
+            result: self.runtime.ftouch(&ticket),
+        }
+    }
+}
+
+fn lambda_response(
+    result: Result<rp_lambda4i::pipeline::PipelineReport, PipelineError>,
+) -> Response {
+    match result {
+        Ok(report) => Response::Lambda {
+            counterexamples: report.counterexamples() as u64,
+            value: expr_to_string(report.value()),
+        },
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// One connection owned by a shard: the buffered read half plus the
+/// mutex-serialized write half the reactor uses for responses.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    buf: Vec<u8>,
+}
+
+/// The TCP front end: a listener on loopback, shard threads, and the
+/// runtime the requests execute on.
+pub struct NetServer {
+    ctx: Arc<ServerCtx>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds a listener on an ephemeral loopback port, starts the runtime,
+    /// the acceptor, and the shard threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener/bind errors.
+    pub fn start(config: NetServerConfig) -> std::io::Result<NetServer> {
+        // Bind before starting the runtime: a bind failure must not leak a
+        // started runtime's worker/reactor threads.
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let runtime = Arc::new(Runtime::start(
+            RuntimeConfig::new(config.workers, LEVELS.len())
+                .with_level_names(LEVELS)
+                .with_scheduler(config.scheduler)
+                .with_io_latency(config.io_latency, config.seed)
+                .with_tracing(config.tracing),
+        ));
+        let by_name = |name: &str| {
+            runtime
+                .priority_by_name(name)
+                .expect("LEVELS contains every dispatch level")
+        };
+        let ctx = Arc::new(ServerCtx {
+            event: by_name("event"),
+            compress: by_name("compress"),
+            lambda: by_name("lambda"),
+            lambda_cached: by_name("lambda-cached"),
+            proxy: proxy::ProxyState::new(),
+            email: email::EmailState::generate(
+                config.email_users.max(1),
+                config.email_messages.max(1),
+                config.seed,
+            ),
+            jobs: JobClass::default_mix(),
+            cache: CompileCache::new(),
+            pipeline: config.pipeline.clone(),
+            stats: NetStats::default(),
+            runtime,
+        });
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let shard_count = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("rp-net-shard-{shard}"))
+                    .spawn(move || shard_loop(ctx, shutdown, rx))
+                    .expect("spawning a shard thread"),
+            );
+        }
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("rp-net-acceptor".to_string())
+                .spawn(move || accept_loop(listener, ctx, shutdown, senders))
+                .expect("spawning the acceptor thread")
+        };
+
+        Ok(NetServer {
+            ctx,
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            shards,
+        })
+    }
+
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The runtime behind the sockets (for draining, metrics, and trace
+    /// harvesting).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.ctx.runtime
+    }
+
+    /// Waits (bounded by `timeout`) until no request tasks are pending and
+    /// no I/O — simulated or response writes — is in flight.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.ctx.runtime.drain(timeout)
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        let s = &self.ctx.stats;
+        NetStatsSnapshot {
+            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            responses_sent: s.responses_sent.load(Ordering::Relaxed),
+            decode_errors: s.decode_errors.load(Ordering::Relaxed),
+            per_class: [
+                s.per_class[0].load(Ordering::Relaxed),
+                s.per_class[1].load(Ordering::Relaxed),
+                s.per_class[2].load(Ordering::Relaxed),
+            ],
+        }
+    }
+
+    /// Hit/miss counters of the cached-compilation class.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.cache.stats()
+    }
+
+    /// Stops accepting, joins the shard threads, drains outstanding
+    /// requests, and shuts the runtime down.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+        let _ = self.ctx.runtime.drain(Duration::from_secs(10));
+        let runtime = Arc::clone(&self.ctx.runtime);
+        drop(self.ctx);
+        shutdown_runtime(runtime, Duration::from_secs(10));
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+    shutdown: Arc<AtomicBool>,
+    senders: Vec<mpsc::Sender<TcpStream>>,
+) {
+    let mut next = 0usize;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Accept can fail persistently (fd exhaustion under many
+                // clients); back off briefly instead of spinning a core on
+                // the failing syscall.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection from `NetServer::shutdown` (or a late
+            // client); drop it and exit.
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(SHARD_POLL));
+        ctx.stats
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        if senders[next % senders.len()].send(stream).is_err() {
+            return; // shard gone — only happens on shutdown
+        }
+        next = next.wrapping_add(1);
+    }
+}
+
+fn shard_loop(ctx: Arc<ServerCtx>, shutdown: Arc<AtomicBool>, rx: mpsc::Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        while let Ok(stream) = rx.try_recv() {
+            match stream.try_clone() {
+                Ok(writer) => conns.push(Conn {
+                    stream,
+                    writer: Arc::new(Mutex::new(writer)),
+                    buf: Vec::new(),
+                }),
+                Err(_) => continue, // dropping the stream closes it
+            }
+        }
+        if conns.is_empty() {
+            // No connection to poll-read on; sleep one poll interval so the
+            // idle shard does not spin on `try_recv`.
+            std::thread::sleep(SHARD_POLL);
+            continue;
+        }
+        conns.retain_mut(|conn| match conn.stream.read(&mut chunk) {
+            Ok(0) => false, // peer closed
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match take_socket_frame(&mut conn.buf) {
+                        Ok(Some((id, body))) => dispatch(&ctx, &conn.writer, id, body),
+                        Ok(None) => break true,
+                        // A malformed envelope cannot be re-synchronised;
+                        // drop the connection (malformed *bodies*, by
+                        // contrast, get an error response above).
+                        Err(_) => break false,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                true
+            }
+            Err(_) => false,
+        });
+    }
+}
+
+/// Decodes one frame and spawns its handler task; the task computes the
+/// response and hands the write to the reactor.
+fn dispatch(ctx: &Arc<ServerCtx>, writer: &Arc<Mutex<TcpStream>>, id: u64, body: Vec<u8>) {
+    ctx.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+    let (priority, work) = match decode_request(&body) {
+        Ok(req) => {
+            ctx.stats.per_class[req.class().tag() as usize].fetch_add(1, Ordering::Relaxed);
+            (ctx.dispatch_priority(&req), Ok(req))
+        }
+        Err(e) => {
+            ctx.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            (ctx.event, Err(e))
+        }
+    };
+    let ctx2 = Arc::clone(ctx);
+    let writer = Arc::clone(writer);
+    ctx.runtime.fcreate(priority, move || {
+        let response = match work {
+            Ok(req) => ctx2.execute(req),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        respond(&ctx2, &writer, id, &response, priority);
+    });
+}
+
+/// Hands one encoded response frame to the reactor for writing.  Write
+/// errors are swallowed: the client hung up, and the server must outlive
+/// its clients.
+fn respond(
+    ctx: &Arc<ServerCtx>,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: u64,
+    response: &Response,
+    priority: Priority,
+) {
+    let body = encode_response(response);
+    let ctx2 = Arc::clone(ctx);
+    let writer = Arc::clone(writer);
+    let _written = ctx.runtime.submit_io_now(priority, move || {
+        let mut w = writer.lock();
+        let ok = write_socket_frame(&mut *w, id, &body).is_ok();
+        if ok {
+            ctx2.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_response, encode_request};
+    use rp_apps::harness::write_socket_frame;
+    use std::collections::HashMap;
+    use std::io::Read;
+
+    /// A test client: sends the given requests pipelined down one
+    /// connection and collects all responses (by request id).
+    fn roundtrip(addr: SocketAddr, requests: &[Request]) -> HashMap<u64, Response> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .expect("timeout");
+        for (i, req) in requests.iter().enumerate() {
+            write_socket_frame(&mut stream, i as u64, &encode_request(req)).expect("send");
+        }
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut responses = HashMap::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while responses.len() < requests.len() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out with {}/{} responses",
+                responses.len(),
+                requests.len()
+            );
+            match stream.read(&mut chunk) {
+                Ok(0) => panic!("server closed the connection"),
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    while let Some((id, body)) = take_socket_frame(&mut buf).expect("valid frames")
+                    {
+                        responses.insert(id, decode_response(&body).expect("valid response"));
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        responses
+    }
+
+    fn small_server(tracing: bool) -> NetServer {
+        NetServer::start(NetServerConfig {
+            shards: 2,
+            workers: 2,
+            tracing,
+            io_latency: LatencyModel::Constant { micros: 200 },
+            ..NetServerConfig::default()
+        })
+        .expect("server starts")
+    }
+
+    #[test]
+    fn app_requests_roundtrip_over_a_real_socket() {
+        let server = small_server(false);
+        let responses = roundtrip(
+            server.addr(),
+            &[
+                Request::App(AppOp::ProxyGet {
+                    url: "http://site/a".into(),
+                    body_if_missed: bytes::Bytes::from(b"page body".to_vec()),
+                }),
+                Request::App(AppOp::ProxyGet {
+                    // The same URL again: the second fetch hits the cache.
+                    url: "http://site/a".into(),
+                    body_if_missed: bytes::Bytes::from(b"page body".to_vec()),
+                }),
+                Request::App(AppOp::EmailCompress { user: 0, msg: 0 }),
+                Request::App(AppOp::EmailPrint { user: 0, msg: 0 }),
+                Request::App(AppOp::JserverJob { class: 1, seed: 9 }),
+            ],
+        );
+        // Both proxy fetches checksum the same body.
+        assert_eq!(responses[&0], responses[&1]);
+        for id in 0..5u64 {
+            assert!(
+                matches!(responses[&id], Response::App { .. }),
+                "request {id} failed: {:?}",
+                responses[&id]
+            );
+        }
+        // The fib job is deterministic.
+        assert_eq!(responses[&4], Response::App { result: 10946 });
+        let stats = server.stats();
+        assert_eq!(stats.frames_received, 5);
+        assert_eq!(stats.per_class, [5, 0, 0]);
+        assert_eq!(stats.decode_errors, 0);
+        assert!(server.drain(Duration::from_secs(10)));
+        assert_eq!(server.stats().responses_sent, 5);
+        server.shutdown();
+    }
+
+    const PROG: &str = "\
+priorities: lo < hi
+program net-test : nat
+main @ lo:
+  t <- cmd[lo]{fcreate[worker; nat]{ret 21}};
+  v <- cmd[lo]{ftouch t};
+  ret (v + v)
+";
+
+    #[test]
+    fn lambda_requests_compile_and_run_with_and_without_the_cache() {
+        let server = small_server(false);
+        let expected = Response::Lambda {
+            counterexamples: 0,
+            value: "42".into(),
+        };
+        // Two concurrently-submitted cached requests could both miss, so
+        // the second cached submission goes in a separate round trip —
+        // its predecessor has completed (and populated the cache) by then.
+        let first = roundtrip(
+            server.addr(),
+            &[
+                Request::Lambda {
+                    source: PROG.into(),
+                },
+                Request::LambdaCached {
+                    source: PROG.into(),
+                },
+            ],
+        );
+        assert_eq!(first[&0], expected);
+        assert_eq!(first[&1], expected);
+        let second = roundtrip(
+            server.addr(),
+            &[Request::LambdaCached {
+                source: PROG.into(),
+            }],
+        );
+        assert_eq!(second[&0], expected);
+        let cache = server.cache_stats();
+        assert_eq!(
+            (cache.hits, cache.misses, cache.entries),
+            (1, 1, 1),
+            "two cached submissions, one distinct source"
+        );
+        assert_eq!(server.stats().per_class, [0, 1, 2]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_failing_requests_get_error_responses() {
+        let server = small_server(false);
+        let addr = server.addr();
+        // A malformed body (unknown class tag), sent raw.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .expect("timeout");
+        write_socket_frame(&mut stream, 77, &[99, 1, 2, 3]).expect("send");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let (id, body) = loop {
+            match stream.read(&mut chunk) {
+                Ok(n) if n > 0 => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if let Some(frame) = take_socket_frame(&mut buf).expect("valid frame") {
+                        break frame;
+                    }
+                }
+                _ => {}
+            }
+        };
+        assert_eq!(id, 77);
+        assert!(
+            matches!(decode_response(&body), Ok(Response::Error { .. })),
+            "malformed bodies are answered, not dropped"
+        );
+        // Requests that decode but fail stay on the same connection.
+        let responses = roundtrip(
+            addr,
+            &[
+                Request::App(AppOp::EmailCompress { user: 999, msg: 0 }),
+                Request::App(AppOp::JserverJob {
+                    class: 200,
+                    seed: 0,
+                }),
+                Request::Lambda {
+                    source: "priorities: a\nprogram p : nat\nmain @ a:\n  ret (".into(),
+                },
+            ],
+        );
+        for id in 0..3u64 {
+            assert!(
+                matches!(responses[&id], Response::Error { .. }),
+                "request {id}: {:?}",
+                responses[&id]
+            );
+        }
+        assert_eq!(server.stats().decode_errors, 1);
+        server.shutdown();
+    }
+
+    /// A connection sending an impossible envelope header (length < 8)
+    /// cannot be re-synchronised: the shard must drop it — not loop on it
+    /// forever, not buffer gigabytes — while the server keeps serving
+    /// other connections.
+    #[test]
+    fn malformed_envelope_drops_the_connection_only() {
+        use std::io::Write;
+        let server = small_server(false);
+        let addr = server.addr();
+        let mut bad = TcpStream::connect(addr).expect("connect");
+        bad.set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("timeout");
+        bad.write_all(&[0, 0, 0, 0]).expect("send bogus header");
+        let mut chunk = [0u8; 64];
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match bad.read(&mut chunk) {
+                Ok(0) => break, // dropped, as required
+                Ok(_) => panic!("no response expected on a malformed envelope"),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "connection was not dropped"
+                    );
+                }
+                Err(_) => break, // reset also counts as dropped
+            }
+        }
+        // A fresh connection still gets served.
+        let responses = roundtrip(
+            addr,
+            &[Request::App(AppOp::JserverJob { class: 1, seed: 7 })],
+        );
+        assert!(matches!(responses[&0], Response::App { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_socket_run_reconstructs_with_io_threads_and_no_counterexamples() {
+        let server = small_server(true);
+        let responses = roundtrip(
+            server.addr(),
+            &[
+                Request::App(AppOp::ProxyGet {
+                    url: "http://site/t".into(),
+                    body_if_missed: bytes::Bytes::from(b"traced body".to_vec()),
+                }),
+                Request::App(AppOp::JserverJob { class: 1, seed: 3 }),
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        assert!(server.drain(Duration::from_secs(10)));
+        let report = rp_apps::harness::collect_trace(server.runtime()).expect("trace harvests");
+        assert!(
+            report.counterexamples().is_empty(),
+            "Theorem 2.3 counterexample on a socket run"
+        );
+        // The response writes appear as I/O threads in the cost DAG: at
+        // least one io-thread per request beyond the handler tasks.
+        assert!(
+            report.run.dag.thread_count() >= 4,
+            "expected handler + response-write threads, got {}",
+            report.run.dag.thread_count()
+        );
+        server.shutdown();
+    }
+}

@@ -16,9 +16,9 @@
 //! * [`Constraint`] and [`ConstraintCtx`] — the constraint language
 //!   `C ::= ρ ⪯ ρ | C ∧ C` of Figure 4 and the entailment judgment
 //!   `Γ ⊢^R C` of Figure 7 (module [`constraint`]).
-//! * [`solve`] — the other direction: a least-fixpoint solver that *infers*
+//! * [`mod@solve`] — the other direction: a least-fixpoint solver that *infers*
 //!   satisfying assignments of priority variables to levels of the poset,
-//!   reporting unsatisfiable cores (module [`solve`]).
+//!   reporting unsatisfiable cores (module [`mod@solve`]).
 //!
 //! # Example
 //!

@@ -2,6 +2,12 @@
 //! cost-graph sanity check of the same pattern.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! The same patterns live as **runnable doc examples** on the API itself —
+//! `Runtime::start`, `Runtime::fcreate`, `Runtime::ftouch` in `rp_icilk`,
+//! and `pipeline::run_source` in `rp_lambda4i` — exercised by
+//! `cargo test --doc` in CI, so they cannot rot.  This example keeps the
+//! narrated end-to-end version.
 
 use responsive_parallelism::dag::prelude::*;
 use responsive_parallelism::icilk::runtime::{Runtime, RuntimeConfig};

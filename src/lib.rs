@@ -22,6 +22,9 @@
 //!   baseline (`rp-icilk`).
 //! * [`apps`] — the proxy / email / jserver case studies and their load
 //!   harness (`rp-apps`).
+//! * [`net`] — the TCP front end: a length-prefixed protocol over real
+//!   loopback sockets, shard threads feeding the runtime, responses
+//!   written by the I/O reactor (`rp-net`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! reproduced tables and figures.
@@ -38,5 +41,6 @@ pub use rp_apps as apps;
 pub use rp_core as dag;
 pub use rp_icilk as icilk;
 pub use rp_lambda4i as lambda4i;
+pub use rp_net as net;
 pub use rp_priority as priority;
 pub use rp_sim as sim;
