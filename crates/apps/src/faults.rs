@@ -1,0 +1,296 @@
+//! Seeded fault injection for the socket layer.
+//!
+//! The two untrusted surfaces of the TCP front end are the bytes a server
+//! shard reads and the bytes the reactor writes back.  This module is a
+//! deterministic fault model for both: a [`FaultPlan`] is a probability
+//! table plus a seed, and [`FaultPlan::session`] derives an independent,
+//! reproducible [`FaultSession`] per connection — the decision stream
+//! depends only on `(seed, conn_id)` and the *sequence* of I/O operations
+//! on that connection, never on wall-clock time or cross-connection
+//! interleaving.  Chaos tests fix the seed and assert liveness (the server
+//! answers or cleanly closes every surviving connection), so thread-timing
+//! nondeterminism cannot change which faults fire.
+//!
+//! Faults modelled, per I/O operation:
+//!
+//! * **disconnect** — the connection is torn down mid-stream (read or
+//!   write side);
+//! * **partial write** — only a prefix of a response frame reaches the
+//!   wire before the connection dies (the classic torn-frame case);
+//! * **delayed read** — bytes arrive but are withheld from the parser for
+//!   a while (a slow or stalled peer);
+//! * **corruption** — a byte of the received data is flipped;
+//! * **truncation** — the tail of the received data is dropped.
+//!
+//! Corruption and truncation mutate the data in place; disconnects,
+//! partials, and delays are returned as [`ReadFault`] / [`WriteFault`]
+//! verdicts for the I/O loop to enact (the session never touches sockets
+//! itself, so it is equally usable on the client and server side and in
+//! pure in-memory tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Probabilities and magnitudes of the injected faults.  All probabilities
+/// are per I/O operation and default to zero — an all-default plan is a
+/// no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the whole plan; each connection derives its own stream.
+    pub seed: u64,
+    /// Probability a read verdict is [`ReadFault::Disconnect`].
+    pub read_disconnect: f64,
+    /// Probability received bytes are withheld for [`FaultConfig::delay`].
+    pub read_delay: f64,
+    /// How long a delayed read withholds its bytes.
+    pub delay: Duration,
+    /// Probability one byte of the received data is flipped.
+    pub corrupt: f64,
+    /// Probability the tail of the received data is dropped.
+    pub truncate: f64,
+    /// Probability a write verdict is [`WriteFault::Disconnect`].
+    pub write_disconnect: f64,
+    /// Probability a write is cut short ([`WriteFault::Partial`]).
+    pub partial_write: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            read_disconnect: 0.0,
+            read_delay: 0.0,
+            delay: Duration::from_millis(5),
+            corrupt: 0.0,
+            truncate: 0.0,
+            write_disconnect: 0.0,
+            partial_write: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A plan that exercises every fault kind at the given per-operation
+    /// rate — the chaos tests' default shape.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            read_disconnect: rate,
+            read_delay: rate,
+            delay: Duration::from_millis(2),
+            corrupt: rate,
+            truncate: rate,
+            write_disconnect: rate,
+            partial_write: rate,
+        }
+    }
+}
+
+/// A seeded fault plan; cheap to clone, hand one to each side of the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Wraps a configuration into a plan.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan { config }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Derives the deterministic fault stream for one connection.  The
+    /// same `(plan seed, conn_id)` always yields the same verdicts in the
+    /// same order.
+    pub fn session(&self, conn_id: u64) -> FaultSession {
+        // SplitMix-style mix of (seed, conn_id) so adjacent connection ids
+        // do not get correlated streams.
+        let mut x = self.config.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultSession {
+            config: self.config,
+            rng: StdRng::seed_from_u64(x ^ (x >> 31)),
+        }
+    }
+}
+
+/// The verdict for one read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Proceed normally (the data may still have been mutated in place).
+    None,
+    /// Withhold the received bytes from the parser for this long.
+    Delay(Duration),
+    /// Tear the connection down now.
+    Disconnect,
+}
+
+/// The verdict for one write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the whole buffer.
+    Full,
+    /// Write only this many bytes, then kill the connection (torn frame).
+    Partial(usize),
+    /// Tear the connection down instead of writing.
+    Disconnect,
+}
+
+/// One connection's deterministic fault stream.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    config: FaultConfig,
+    rng: StdRng,
+}
+
+impl FaultSession {
+    /// Judges one read that produced `data`; may corrupt or truncate the
+    /// data in place.  The RNG consumption per call is fixed (one draw per
+    /// configured fault kind), so the verdict stream is a pure function of
+    /// the call count.
+    pub fn on_read(&mut self, data: &mut Vec<u8>) -> ReadFault {
+        let disconnect = self.roll(self.config.read_disconnect);
+        let delay = self.roll(self.config.read_delay);
+        let corrupt = self.roll(self.config.corrupt);
+        let truncate = self.roll(self.config.truncate);
+        if corrupt && !data.is_empty() {
+            let at = self.rng.gen_range(0..data.len());
+            data[at] ^= 0x55;
+        }
+        if truncate && !data.is_empty() {
+            let keep = self.rng.gen_range(0..data.len());
+            data.truncate(keep);
+        }
+        if disconnect {
+            ReadFault::Disconnect
+        } else if delay {
+            ReadFault::Delay(self.config.delay)
+        } else {
+            ReadFault::None
+        }
+    }
+
+    /// Judges one write of `len` bytes.
+    pub fn on_write(&mut self, len: usize) -> WriteFault {
+        let disconnect = self.roll(self.config.write_disconnect);
+        let partial = self.roll(self.config.partial_write);
+        if disconnect {
+            WriteFault::Disconnect
+        } else if partial && len > 0 {
+            WriteFault::Partial(self.rng.gen_range(0..len))
+        } else {
+            WriteFault::Full
+        }
+    }
+
+    /// One probability roll; zero-probability faults still draw, keeping
+    /// the stream alignment independent of which faults are enabled.
+    fn roll(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_a_no_op() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        let mut s = plan.session(7);
+        let mut data = vec![1, 2, 3, 4];
+        for _ in 0..100 {
+            assert_eq!(s.on_read(&mut data), ReadFault::None);
+            assert_eq!(data, vec![1, 2, 3, 4]);
+            assert_eq!(s.on_write(data.len()), WriteFault::Full);
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_connection() {
+        let plan = FaultPlan::new(FaultConfig::chaos(42, 0.3));
+        for conn in 0..8u64 {
+            let mut a = plan.session(conn);
+            let mut b = plan.session(conn);
+            for _ in 0..50 {
+                let mut da = vec![0u8; 16];
+                let mut db = vec![0u8; 16];
+                assert_eq!(a.on_read(&mut da), b.on_read(&mut db));
+                assert_eq!(da, db);
+                assert_eq!(a.on_write(32), b.on_write(32));
+            }
+        }
+    }
+
+    #[test]
+    fn different_connections_get_different_streams() {
+        let plan = FaultPlan::new(FaultConfig::chaos(42, 0.5));
+        let verdicts = |conn: u64| {
+            let mut s = plan.session(conn);
+            (0..64)
+                .map(|_| {
+                    let mut d = vec![0u8; 8];
+                    (s.on_read(&mut d), s.on_write(8))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(verdicts(0), verdicts(1), "streams must decorrelate");
+    }
+
+    #[test]
+    fn chaos_plan_eventually_fires_every_fault_kind() {
+        let plan = FaultPlan::new(FaultConfig::chaos(9, 0.25));
+        let (mut disconnects, mut delays, mut mutations, mut partials) = (0, 0, 0, 0);
+        for conn in 0..32u64 {
+            let mut s = plan.session(conn);
+            for _ in 0..32 {
+                let mut data = vec![0xAAu8; 32];
+                match s.on_read(&mut data) {
+                    ReadFault::Disconnect => disconnects += 1,
+                    ReadFault::Delay(d) => {
+                        assert_eq!(d, Duration::from_millis(2));
+                        delays += 1;
+                    }
+                    ReadFault::None => {}
+                }
+                if data.len() < 32 || data.iter().any(|&b| b != 0xAA) {
+                    mutations += 1;
+                }
+                match s.on_write(64) {
+                    WriteFault::Partial(n) => {
+                        assert!(n < 64);
+                        partials += 1;
+                    }
+                    WriteFault::Disconnect => disconnects += 1,
+                    WriteFault::Full => {}
+                }
+            }
+        }
+        assert!(disconnects > 0, "no disconnect fired");
+        assert!(delays > 0, "no delay fired");
+        assert!(mutations > 0, "no corruption/truncation fired");
+        assert!(partials > 0, "no partial write fired");
+    }
+
+    #[test]
+    fn partial_writes_are_strict_prefixes() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 3,
+            partial_write: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut s = plan.session(0);
+        for _ in 0..100 {
+            match s.on_write(100) {
+                WriteFault::Partial(n) => assert!(n < 100),
+                v => panic!("expected a partial write, got {v:?}"),
+            }
+        }
+    }
+}

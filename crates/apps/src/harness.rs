@@ -89,17 +89,109 @@ pub struct SocketLoadConfig {
     /// Number of client threads; the global arrival schedule is split
     /// round-robin, each client owning one persistent loopback connection.
     pub clients: usize,
+    /// Client-side fault handling (deadlines, `Overloaded` retries,
+    /// reconnects); the default is fully passive — errors propagate exactly
+    /// as they did before this knob existed.
+    pub resilience: ResilienceConfig,
 }
 
 impl SocketLoadConfig {
     /// A config with the given arrival rate, the default open-loop windows,
-    /// and 4 client connections.
+    /// 4 client connections, and passive (non-resilient) fault handling.
     pub fn at_rate(arrival_rate_per_sec: f64) -> Self {
         SocketLoadConfig {
             open: OpenLoopConfig::at_rate(arrival_rate_per_sec),
             clients: 4,
+            resilience: ResilienceConfig::default(),
         }
     }
+}
+
+/// Retry pacing for requests the server answered `Overloaded`: capped
+/// exponential backoff with deterministic jitter (see [`backoff_delay`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total send attempts per request (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2; doubles per further attempt.
+    pub base: Duration,
+    /// Upper bound of the exponential backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Client-side resilience of the socket open loop.  Everything defaults to
+/// off: no deadline, no retries, no reconnect — the driver then behaves
+/// exactly as it did before resilience existed (any connection error aborts
+/// the run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResilienceConfig {
+    /// Per-request deadline, measured from the *intended* arrival time; a
+    /// request unanswered past it is abandoned and counted in
+    /// [`OpenLoopOutcome::timed_out`] (and in `unfinished`).
+    pub deadline: Option<Duration>,
+    /// Retry pacing for responses the classifier marks
+    /// [`ResponseVerdict::Overloaded`].
+    pub retry: RetryPolicy,
+    /// Reconnect transparently when the connection breaks.  Requests that
+    /// were awaiting a reply on the broken connection are recorded as
+    /// unfinished **immediately** (never silently resent: the server may
+    /// have executed them); requests merely queued for a backoff resend
+    /// carry over to the new connection.
+    pub reconnect: bool,
+}
+
+impl ResilienceConfig {
+    /// The shape the overload bench and chaos tests use: reconnects on,
+    /// a handful of retry attempts, and the given per-request deadline.
+    pub fn robust(deadline: Option<Duration>) -> Self {
+        ResilienceConfig {
+            deadline,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(5),
+            },
+            reconnect: true,
+        }
+    }
+}
+
+/// How the driver should treat one response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseVerdict {
+    /// A final answer (success or error): the request is complete.
+    Answered,
+    /// The server shed the request; retry it under the
+    /// [`RetryPolicy`], or count it rejected once attempts run out.
+    Overloaded,
+}
+
+/// The deterministic jittered backoff before `attempt` (≥ 2) of a request:
+/// `min(base · 2^(attempt−2), cap)` scaled by a jitter factor in
+/// `[0.5, 1.0)` drawn from a stateless hash of `(seed, request, attempt)`.
+/// Being a pure function — no RNG state shared across requests — the delay
+/// a given retry backs off for is independent of how requests interleave,
+/// which keeps seeded runs reproducible.
+pub fn backoff_delay(policy: &RetryPolicy, seed: u64, request: u64, attempt: u32) -> Duration {
+    let doublings = attempt.saturating_sub(2).min(20);
+    let exp = policy.base.saturating_mul(1 << doublings).min(policy.cap);
+    // SplitMix64 finalizer over the three inputs.
+    let mut x = seed ^ request.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 32);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    exp.mul_f64(0.5 + 0.5 * unit)
 }
 
 /// Configuration shared by all three case studies.
@@ -198,8 +290,19 @@ pub struct OpenLoopOutcome {
     /// and completed before the tail deadline).
     pub measured: usize,
     /// Requests still incomplete when the tail deadline expired (0 on a
-    /// healthy run).
+    /// healthy run).  For the socket driver this includes requests lost to
+    /// a broken connection and requests abandoned at their deadline.
     pub unfinished: usize,
+    /// Requests whose final answer was `Overloaded` after retries ran out
+    /// (socket driver only; they are absent from [`Self::latency`]).
+    pub rejected: usize,
+    /// Requests abandoned because their per-request deadline expired
+    /// (subset of [`Self::unfinished`]; socket driver only).
+    pub timed_out: usize,
+    /// Total retry sends after `Overloaded` answers (socket driver only).
+    pub retries: usize,
+    /// Transparent reconnects performed (socket driver only).
+    pub reconnects: usize,
 }
 
 impl OpenLoopOutcome {
@@ -307,6 +410,10 @@ where
         issued: offsets.len(),
         measured,
         unfinished: in_flight.len(),
+        rejected: 0,
+        timed_out: 0,
+        retries: 0,
+        reconnects: 0,
     }
 }
 
@@ -398,10 +505,15 @@ pub fn take_socket_frame(buf: &mut Vec<u8>) -> Result<Option<(u64, Vec<u8>)>, Ma
 }
 
 /// What one client thread of [`drive_socket_open`] produced.
+#[derive(Default)]
 struct ClientOutcome {
     latency: LatencyStats,
     measured: usize,
     unfinished: usize,
+    rejected: usize,
+    timed_out: usize,
+    retries: usize,
+    reconnects: usize,
 }
 
 /// Runs an open-loop injection **over real loopback sockets**: the global
@@ -432,6 +544,33 @@ pub fn drive_socket_open<F>(
 where
     F: Fn(usize) -> Vec<u8> + Send + Sync,
 {
+    drive_socket_open_with(socket, seed, addr, encode, |_| ResponseVerdict::Answered)
+}
+
+/// [`drive_socket_open`] with a response classifier: `classify` inspects
+/// each response body and decides whether it is a final answer or an
+/// `Overloaded` rejection to retry under
+/// [`ResilienceConfig::retry`].  The driver treats bodies as opaque apart
+/// from this verdict, so the protocol layering stays one-way
+/// (`rp_net::protocol::body_is_overloaded` is the intended classifier for
+/// `rp_net` servers).
+///
+/// # Errors
+///
+/// Returns the first connection/send error any client thread hit (with
+/// [`ResilienceConfig::reconnect`] enabled, only errors that persist
+/// through the reconnect attempts surface here).
+pub fn drive_socket_open_with<F, C>(
+    socket: &SocketLoadConfig,
+    seed: u64,
+    addr: SocketAddr,
+    encode: F,
+    classify: C,
+) -> std::io::Result<OpenLoopOutcome>
+where
+    F: Fn(usize) -> Vec<u8> + Send + Sync,
+    C: Fn(&[u8]) -> ResponseVerdict + Send + Sync,
+{
     let open = socket.open;
     let clients = socket.clients.max(1);
     let warmup = Duration::from_millis(open.warmup_millis);
@@ -440,14 +579,19 @@ where
         PoissonProcess::with_rate_per_sec(open.arrival_rate_per_sec, seed).arrivals_until(horizon);
     let issued = offsets.len();
     let encode = &encode;
+    let classify = &classify;
     let offsets = &offsets;
+    let resilience = &socket.resilience;
 
     let start = Instant::now();
     let outcomes: Vec<std::io::Result<ClientOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
                 scope.spawn(move || {
-                    socket_client_loop(client, clients, addr, start, warmup, offsets, encode)
+                    socket_client_loop(
+                        client, clients, addr, start, warmup, offsets, encode, classify,
+                        resilience, seed,
+                    )
                 })
             })
             .collect();
@@ -457,25 +601,254 @@ where
             .collect()
     });
 
-    let mut latency = LatencyStats::new();
-    let mut measured = 0;
-    let mut unfinished = 0;
+    let mut total = ClientOutcome::default();
     for outcome in outcomes {
         let outcome = outcome?;
-        latency.merge(&outcome.latency);
-        measured += outcome.measured;
-        unfinished += outcome.unfinished;
+        total.latency.merge(&outcome.latency);
+        total.measured += outcome.measured;
+        total.unfinished += outcome.unfinished;
+        total.rejected += outcome.rejected;
+        total.timed_out += outcome.timed_out;
+        total.retries += outcome.retries;
+        total.reconnects += outcome.reconnects;
     }
     Ok(OpenLoopOutcome {
-        latency,
+        latency: total.latency,
         issued,
-        measured,
-        unfinished,
+        measured: total.measured,
+        unfinished: total.unfinished,
+        rejected: total.rejected,
+        timed_out: total.timed_out,
+        retries: total.retries,
+        reconnects: total.reconnects,
     })
+}
+
+/// One request awaiting its reply (or its backoff resend).
+struct Pending {
+    intended: Instant,
+    measure: bool,
+    /// The encoded body, kept only when retries are enabled.
+    body: Option<Vec<u8>>,
+    /// Send attempts so far.
+    attempts: u32,
+    /// Abandon the request past this instant.
+    deadline: Option<Instant>,
+    /// `Some(when)` — queued for a backoff resend at `when`; `None` — sent,
+    /// awaiting the reply.
+    resend_at: Option<Instant>,
+}
+
+/// The mutable state of one socket client thread, factored out so the
+/// connection-error path (record losses, reconnect, carry queued resends
+/// over) is one method instead of a closure pyramid.
+struct ClientState<'a> {
+    resilience: &'a ResilienceConfig,
+    seed: u64,
+    addr: SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+    in_flight: HashMap<u64, Pending>,
+    /// Requests lost to a broken connection (recorded the moment the break
+    /// is observed, not at the tail deadline).
+    lost: usize,
+    out: ClientOutcome,
+}
+
+impl ClientState<'_> {
+    fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(OPEN_LOOP_POLL))?;
+        Ok(stream)
+    }
+
+    /// One poll step: read with `wait` as the pacing timeout, complete any
+    /// arrived responses, expire deadlines, flush due resends.
+    fn poll(
+        &mut self,
+        wait: Duration,
+        classify: &(impl Fn(&[u8]) -> ResponseVerdict + Sync),
+    ) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(wait))?;
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => self.on_conn_error(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection with requests in flight",
+            ))?,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match take_socket_frame(&mut self.buf) {
+                        Ok(Some((id, body))) => self.on_frame(id, &body, classify),
+                        Ok(None) => break,
+                        Err(e) => {
+                            self.on_conn_error(e.into())?;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => self.on_conn_error(e)?,
+        }
+        self.expire_deadlines();
+        self.flush_resends()
+    }
+
+    fn on_frame(
+        &mut self,
+        id: u64,
+        body: &[u8],
+        classify: &(impl Fn(&[u8]) -> ResponseVerdict + Sync),
+    ) {
+        let Some(mut pending) = self.in_flight.remove(&id) else {
+            return; // duplicate (a retried request answered twice)
+        };
+        match classify(body) {
+            ResponseVerdict::Answered => {
+                if pending.measure {
+                    self.out
+                        .latency
+                        .record(Instant::now().saturating_duration_since(pending.intended));
+                    self.out.measured += 1;
+                }
+            }
+            ResponseVerdict::Overloaded => {
+                let retriable = pending.body.is_some()
+                    && pending.attempts < self.resilience.retry.max_attempts
+                    && pending.deadline.is_none_or(|d| Instant::now() < d);
+                if retriable {
+                    pending.attempts += 1;
+                    pending.resend_at = Some(
+                        Instant::now()
+                            + backoff_delay(
+                                &self.resilience.retry,
+                                self.seed,
+                                id,
+                                pending.attempts,
+                            ),
+                    );
+                    self.out.retries += 1;
+                    self.in_flight.insert(id, pending);
+                } else {
+                    self.out.rejected += 1;
+                }
+            }
+        }
+    }
+
+    /// Abandons requests whose per-request deadline has passed.
+    fn expire_deadlines(&mut self) {
+        if self.resilience.deadline.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let timed_out = &mut self.out.timed_out;
+        self.in_flight.retain(|_, p| {
+            let expired = p.deadline.is_some_and(|d| now >= d);
+            if expired {
+                *timed_out += 1;
+            }
+            !expired
+        });
+    }
+
+    /// Sends every request whose (re)send is due.
+    fn flush_resends(&mut self) -> std::io::Result<()> {
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, p)| p.resend_at.is_some_and(|t| t <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            match self.in_flight[&id].body.clone() {
+                Some(body) => self.send(id, &body)?,
+                None => {
+                    // Queued without a kept body (a failed initial send with
+                    // retries off): the request cannot be resent — lost.
+                    self.in_flight.remove(&id);
+                    self.lost += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes one frame for a request currently marked queued
+    /// (`resend_at: Some`); on success the request switches to
+    /// awaiting-reply.  A failed write goes through the connection-error
+    /// path — the queued marker protects the request from being counted
+    /// lost there — after which it is re-queued (body kept) or recorded
+    /// lost (body not kept).
+    fn send(&mut self, id: u64, body: &[u8]) -> std::io::Result<()> {
+        if write_socket_frame(&mut self.stream, id, body).is_ok() {
+            if let Some(p) = self.in_flight.get_mut(&id) {
+                p.resend_at = None;
+            }
+            return Ok(());
+        }
+        self.on_conn_error(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "send failed",
+        ))?;
+        if let Some(p) = self.in_flight.get_mut(&id) {
+            if p.body.is_some() {
+                p.resend_at = Some(Instant::now());
+            } else {
+                self.in_flight.remove(&id);
+                self.lost += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The connection broke.  Without [`ResilienceConfig::reconnect`] the
+    /// error propagates (the historical behaviour).  With it, requests
+    /// awaiting a reply are recorded lost *now* — the server may have
+    /// executed them, so they are never resent — queued resends carry over,
+    /// and the connection is re-established with a short bounded backoff.
+    fn on_conn_error(&mut self, e: std::io::Error) -> std::io::Result<()> {
+        if !self.resilience.reconnect {
+            return Err(e);
+        }
+        let lost = &mut self.lost;
+        self.in_flight.retain(|_, p| {
+            let awaiting = p.resend_at.is_none();
+            if awaiting {
+                *lost += 1;
+            }
+            !awaiting
+        });
+        self.buf.clear();
+        let mut wait = Duration::from_millis(1);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match Self::connect(self.addr) {
+                Ok(stream) => {
+                    self.stream = stream;
+                    self.out.reconnects += 1;
+                    return Ok(());
+                }
+                Err(err) if Instant::now() < deadline => {
+                    std::thread::sleep(wait);
+                    wait = (wait * 2).min(Duration::from_millis(50));
+                    let _ = err;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
 }
 
 /// One client thread of the socket open loop: sends its round-robin share
 /// of the arrival schedule down one connection, matching responses by id.
+#[allow(clippy::too_many_arguments)]
 fn socket_client_loop(
     client: usize,
     clients: usize,
@@ -484,53 +857,21 @@ fn socket_client_loop(
     warmup: Duration,
     offsets: &[VirtualTime],
     encode: &(impl Fn(usize) -> Vec<u8> + Send + Sync),
+    classify: &(impl Fn(&[u8]) -> ResponseVerdict + Send + Sync),
+    resilience: &ResilienceConfig,
+    seed: u64,
 ) -> std::io::Result<ClientOutcome> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    // Reads double as the pacing sleep: a blocking read that times out
-    // after one poll interval keeps the thread responsive to both the
-    // schedule and arriving responses.
-    stream.set_read_timeout(Some(OPEN_LOOP_POLL))?;
-
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    // request id → (intended arrival, inside the measurement window)
-    let mut in_flight: HashMap<u64, (Instant, bool)> = HashMap::new();
-    let mut latency = LatencyStats::new();
-    let mut measured = 0usize;
-
-    let mut poll = |stream: &mut TcpStream,
-                    buf: &mut Vec<u8>,
-                    in_flight: &mut HashMap<u64, (Instant, bool)>,
-                    latency: &mut LatencyStats,
-                    measured: &mut usize|
-     -> std::io::Result<()> {
-        match stream.read(&mut chunk) {
-            Ok(0) => Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection with requests in flight",
-            )),
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                while let Some((id, _body)) = take_socket_frame(buf)? {
-                    if let Some((intended, measure)) = in_flight.remove(&id) {
-                        if measure {
-                            latency.record(Instant::now().saturating_duration_since(intended));
-                            *measured += 1;
-                        }
-                    }
-                }
-                Ok(())
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(())
-            }
-            Err(e) => Err(e),
-        }
+    let mut state = ClientState {
+        resilience,
+        seed,
+        addr,
+        stream: ClientState::connect(addr)?,
+        buf: Vec::new(),
+        in_flight: HashMap::new(),
+        lost: 0,
+        out: ClientOutcome::default(),
     };
+    let keep_bodies = resilience.retry.max_attempts > 1;
 
     for (i, offset) in offsets.iter().enumerate() {
         if i % clients != client {
@@ -549,39 +890,37 @@ fn socket_client_loop(
         loop {
             let remaining = intended.saturating_duration_since(Instant::now());
             let wait = remaining.min(OPEN_LOOP_POLL).max(Duration::from_micros(1));
-            stream.set_read_timeout(Some(wait))?;
-            poll(
-                &mut stream,
-                &mut buf,
-                &mut in_flight,
-                &mut latency,
-                &mut measured,
-            )?;
+            state.poll(wait, classify)?;
             if Instant::now() >= intended {
                 break;
             }
         }
-        in_flight.insert(i as u64, (intended, offset >= warmup));
-        write_socket_frame(&mut stream, i as u64, &encode(i))?;
+        let body = encode(i);
+        state.in_flight.insert(
+            i as u64,
+            Pending {
+                intended,
+                measure: offset >= warmup,
+                body: keep_bodies.then(|| body.clone()),
+                attempts: 1,
+                deadline: resilience.deadline.map(|d| intended + d),
+                // Marked queued until the write below lands, so a write
+                // failure routes through the same queued/lost logic as a
+                // resend.
+                resend_at: Some(Instant::now()),
+            },
+        );
+        state.send(i as u64, &body)?;
     }
 
-    stream.set_read_timeout(Some(OPEN_LOOP_POLL))?;
     let deadline = Instant::now() + OPEN_LOOP_TAIL_TIMEOUT;
-    while !in_flight.is_empty() && Instant::now() < deadline {
-        poll(
-            &mut stream,
-            &mut buf,
-            &mut in_flight,
-            &mut latency,
-            &mut measured,
-        )?;
+    while !state.in_flight.is_empty() && Instant::now() < deadline {
+        state.poll(OPEN_LOOP_POLL, classify)?;
     }
 
-    Ok(ClientOutcome {
-        latency,
-        measured,
-        unfinished: in_flight.len(),
-    })
+    let mut out = state.out;
+    out.unfinished = state.in_flight.len() + state.lost + out.timed_out;
+    Ok(out)
 }
 
 /// Why harvesting a trace from a runtime failed.
@@ -988,6 +1327,7 @@ mod tests {
                 measure_millis: 80,
             },
             clients: 3,
+            resilience: ResilienceConfig::default(),
         };
         let addr = spawn_echo_server(socket.clients);
         let outcome =
@@ -1004,6 +1344,342 @@ mod tests {
         assert!(
             outcome.measured < outcome.issued,
             "warmup arrivals are issued but not measured"
+        );
+    }
+
+    #[test]
+    fn backoff_delay_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(8),
+        };
+        // Pure function: same inputs, same delay — however calls interleave.
+        assert_eq!(
+            backoff_delay(&policy, 42, 7, 2),
+            backoff_delay(&policy, 42, 7, 2)
+        );
+        // Exponential growth with jitter in [0.5, 1.0)·exp, capped.
+        for attempt in 2..=10u32 {
+            let exp = policy
+                .base
+                .saturating_mul(1 << (attempt - 2).min(20))
+                .min(policy.cap);
+            for request in 0..50u64 {
+                let d = backoff_delay(&policy, 42, request, attempt);
+                assert!(
+                    d >= exp / 2,
+                    "attempt {attempt} req {request}: {d:?} < {exp:?}/2"
+                );
+                assert!(d < exp, "attempt {attempt} req {request}: {d:?} >= {exp:?}");
+            }
+        }
+        // Jitter decorrelates requests (and seeds).
+        let delays: Vec<Duration> = (0..16).map(|r| backoff_delay(&policy, 42, r, 2)).collect();
+        assert!(
+            delays.windows(2).any(|w| w[0] != w[1]),
+            "all 16 requests drew identical jitter"
+        );
+        assert_ne!(
+            backoff_delay(&policy, 1, 7, 2),
+            backoff_delay(&policy, 2, 7, 2)
+        );
+    }
+
+    /// A server that echoes frames but closes the connection the moment it
+    /// reads a request with `id % 3 == 0`, leaving that request (and any
+    /// pipelined ones) unanswered.  Accepts forever so reconnects land.
+    fn spawn_flaky_server() -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::spawn(move || loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            while let Ok(Some((id, body))) = take_socket_frame(&mut buf) {
+                                if id % 3 == 0 {
+                                    return; // mid-stream disconnect
+                                }
+                                if write_socket_frame(&mut stream, id, &body).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        });
+        addr
+    }
+
+    /// Regression (mid-stream disconnect): a request lost to a connection
+    /// reset must be recorded unfinished the moment the break is observed —
+    /// not parked in flight until the 10 s tail timeout — and with
+    /// reconnects enabled the driver must finish the schedule instead of
+    /// erroring out.
+    #[test]
+    fn socket_driver_records_reset_losses_immediately_and_reconnects() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 1_000.0,
+                warmup_millis: 0,
+                measure_millis: 100,
+            },
+            clients: 2,
+            resilience: ResilienceConfig {
+                reconnect: true,
+                ..ResilienceConfig::default()
+            },
+        };
+        let addr = spawn_flaky_server();
+        let started = Instant::now();
+        let outcome =
+            drive_socket_open(&socket, 11, addr, |i| i.to_be_bytes().to_vec()).expect("resilient");
+        let elapsed = started.elapsed();
+        assert!(
+            outcome.reconnects > 0,
+            "the flaky server must force reconnects"
+        );
+        assert!(
+            outcome.unfinished >= outcome.issued / 6,
+            "every id % 3 == 0 is lost: {} unfinished of {}",
+            outcome.unfinished,
+            outcome.issued
+        );
+        assert!(
+            outcome.measured > 0,
+            "surviving requests still complete across reconnects"
+        );
+        // The immediacy half of the regression: losses are recorded at
+        // break time, so the run ends well before the 10 s tail timeout
+        // (pre-fix, lost requests sat in flight until it expired).
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "run took {elapsed:?} — lost requests waited out the tail timeout"
+        );
+    }
+
+    /// Without reconnects the historical contract holds: a broken
+    /// connection aborts the run with the underlying error.
+    #[test]
+    fn socket_driver_without_reconnect_propagates_connection_errors() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 1_000.0,
+                warmup_millis: 0,
+                measure_millis: 20,
+            },
+            clients: 1,
+            resilience: ResilienceConfig::default(),
+        };
+        let addr = spawn_flaky_server();
+        let result = drive_socket_open(&socket, 11, addr, |i| i.to_be_bytes().to_vec());
+        assert!(result.is_err(), "id 0 disconnects the only client");
+    }
+
+    /// A server that answers the first attempt of every id with the single
+    /// byte `0xFF` (the test's "overloaded" marker) and echoes the retry.
+    fn spawn_overload_once_server() -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::spawn(move || loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            std::thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            while let Ok(Some((id, body))) = take_socket_frame(&mut buf) {
+                                let reply: &[u8] = if seen.insert(id) { &[0xFF] } else { &body };
+                                if write_socket_frame(&mut stream, id, reply).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        });
+        addr
+    }
+
+    #[test]
+    fn socket_driver_retries_overloaded_answers_with_backoff() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 800.0,
+                warmup_millis: 20,
+                measure_millis: 80,
+            },
+            clients: 2,
+            resilience: ResilienceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base: Duration::from_micros(100),
+                    cap: Duration::from_millis(1),
+                },
+                ..ResilienceConfig::default()
+            },
+        };
+        let addr = spawn_overload_once_server();
+        let outcome = drive_socket_open_with(
+            &socket,
+            5,
+            addr,
+            |i| i.to_be_bytes().to_vec(),
+            |body| {
+                if body == [0xFF] {
+                    ResponseVerdict::Overloaded
+                } else {
+                    ResponseVerdict::Answered
+                }
+            },
+        )
+        .expect("retried run");
+        assert_eq!(outcome.unfinished, 0);
+        assert_eq!(
+            outcome.rejected, 0,
+            "one retry suffices against this server"
+        );
+        assert_eq!(
+            outcome.retries, outcome.issued,
+            "every request is shed exactly once"
+        );
+        assert_eq!(outcome.latency.count(), outcome.measured);
+        assert!(outcome.measured > 0 && outcome.measured < outcome.issued);
+    }
+
+    #[test]
+    fn socket_driver_counts_rejections_once_retries_run_out() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 500.0,
+                warmup_millis: 0,
+                measure_millis: 40,
+            },
+            clients: 1,
+            resilience: ResilienceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    base: Duration::from_micros(100),
+                    cap: Duration::from_millis(1),
+                },
+                ..ResilienceConfig::default()
+            },
+        };
+        // The echo server never stops answering 0xFF: every request burns
+        // its retry and ends rejected.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 4096];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        buf.extend_from_slice(&chunk[..n]);
+                        while let Ok(Some((id, _))) = take_socket_frame(&mut buf) {
+                            if write_socket_frame(&mut stream, id, &[0xFF]).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        let outcome = drive_socket_open_with(
+            &socket,
+            5,
+            addr,
+            |i| i.to_be_bytes().to_vec(),
+            |body| {
+                if body == [0xFF] {
+                    ResponseVerdict::Overloaded
+                } else {
+                    ResponseVerdict::Answered
+                }
+            },
+        )
+        .expect("rejected run");
+        assert_eq!(outcome.rejected, outcome.issued, "no request ever succeeds");
+        assert_eq!(outcome.retries, outcome.issued, "one retry each");
+        assert_eq!(outcome.measured, 0);
+        assert_eq!(outcome.unfinished, 0, "rejections are a final disposition");
+    }
+
+    /// Per-request deadlines: a server that swallows some requests must not
+    /// stall the run for the 10 s tail timeout — the swallowed requests are
+    /// abandoned at their deadline and counted.
+    #[test]
+    fn socket_driver_abandons_requests_at_their_deadline() {
+        let socket = SocketLoadConfig {
+            open: OpenLoopConfig {
+                arrival_rate_per_sec: 800.0,
+                warmup_millis: 0,
+                measure_millis: 60,
+            },
+            clients: 2,
+            resilience: ResilienceConfig {
+                deadline: Some(Duration::from_millis(30)),
+                ..ResilienceConfig::default()
+            },
+        };
+        // Echoes everything except ids divisible by 5, which it swallows.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        std::thread::spawn(move || loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            while let Ok(Some((id, body))) = take_socket_frame(&mut buf) {
+                                if id % 5 != 0
+                                    && write_socket_frame(&mut stream, id, &body).is_err()
+                                {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        });
+        let started = Instant::now();
+        let outcome =
+            drive_socket_open(&socket, 13, addr, |i| i.to_be_bytes().to_vec()).expect("deadlines");
+        assert!(outcome.timed_out > 0, "swallowed requests must time out");
+        assert_eq!(
+            outcome.unfinished, outcome.timed_out,
+            "every loss here is a deadline expiry"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadlines must beat the tail timeout"
         );
     }
 

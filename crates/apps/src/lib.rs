@@ -24,15 +24,22 @@
 //! at a configured rate with warmup/measurement windows and
 //! coordinated-omission-corrected latencies, the paper's actual workload
 //! model for the rate sweeps.
+//!
+//! The [`faults`] module adds a seeded fault-injection layer for the socket
+//! path (injected disconnects, partial writes, delayed/corrupted/truncated
+//! reads), used by the chaos tests on both the client and server side.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod email;
+pub mod faults;
 pub mod harness;
 pub mod jserver;
 pub mod proxy;
 
+pub use faults::{FaultConfig, FaultPlan, FaultSession, ReadFault, WriteFault};
 pub use harness::{
     ExperimentConfig, ExperimentReport, LevelReport, LoadMode, OpenLoopConfig, OpenLoopOutcome,
+    ResilienceConfig,
 };

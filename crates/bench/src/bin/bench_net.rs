@@ -30,7 +30,9 @@
 //! means the scheduler, the tracer, or the bound analysis has a bug.
 
 use bytes::Bytes;
-use rp_apps::harness::{collect_trace, drive_socket_open, OpenLoopConfig, SocketLoadConfig};
+use rp_apps::harness::{
+    collect_trace, drive_socket_open, OpenLoopConfig, ResilienceConfig, SocketLoadConfig,
+};
 use rp_net::protocol::{encode_request, AppOp, Request, RequestClass};
 use rp_net::server::{NetServer, NetServerConfig};
 use std::fmt::Write as _;
@@ -143,6 +145,7 @@ fn run_one(
             measure_millis,
         },
         clients: 4,
+        resilience: ResilienceConfig::default(),
     };
     let outcome = drive_socket_open(&socket, SEED, server.addr(), |i| {
         request_body(class, i, users, msgs)
@@ -193,6 +196,7 @@ fn run_traced(workers: usize, rate: f64, measure_millis: u64) -> TracedSummary {
             measure_millis,
         },
         clients: 2,
+        resilience: ResilienceConfig::default(),
     };
     let outcome = drive_socket_open(&socket, SEED ^ 0xBEEF, server.addr(), |i| match i % 3 {
         0 => request_body(RequestClass::App, i, users, msgs),

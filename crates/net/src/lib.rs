@@ -66,8 +66,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{AppOp, ProtocolError, Request, RequestClass, Response};
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot, ClassBudget};
+pub use protocol::{AppOp, ErrorCode, ProtocolError, Request, RequestClass, Response};
 pub use server::{NetServer, NetServerConfig};

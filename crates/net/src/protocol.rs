@@ -6,14 +6,24 @@
 //! [`rp_apps::harness::take_socket_frame`]), which treats bodies as opaque.
 //! This module defines the **body**: a one-byte request-class tag followed
 //! by a class-specific payload, and the matching response layout (a status
-//! byte followed by a result or an error message).  All integers are
-//! big-endian; all text is UTF-8.
+//! byte followed by a result, or — for errors — an [`ErrorCode`] byte and a
+//! message).  All integers are big-endian; all text is UTF-8.
 //!
 //! | class | tag | payload |
 //! |-------|-----|---------|
 //! | [`Request::App`] | `0` | op tag + op payload (see [`AppOp`]) |
 //! | [`Request::Lambda`] | `1` | λ⁴ᵢ source text |
 //! | [`Request::LambdaCached`] | `2` | λ⁴ᵢ source text |
+//!
+//! Error responses (status byte `2`) carry one [`ErrorCode`] byte so clients
+//! can distinguish a *shed* request from a *broken* one:
+//!
+//! | code | tag | meaning | client action |
+//! |------|-----|---------|---------------|
+//! | [`ErrorCode::Malformed`] | `0` | undecodable body / unknown entity | don't retry |
+//! | [`ErrorCode::Overloaded`] | `1` | shed by admission control, not executed | retry with backoff |
+//! | [`ErrorCode::Internal`] | `2` | executed and failed (λ⁴ᵢ errors, …) | inspect message |
+//! | [`ErrorCode::ShuttingDown`] | `3` | server draining, not executed | reconnect elsewhere/later |
 
 use bytes::Bytes;
 use std::fmt;
@@ -122,6 +132,68 @@ impl Request {
     }
 }
 
+/// Why an error response was sent — one byte on the wire, so clients can
+/// tell a *shed* request (retry later, with backoff) from a *broken* one
+/// (retrying the same bytes will fail again) without parsing the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request body could not be decoded, or named an entity that does
+    /// not exist (unknown job class, unknown mailbox).  Retrying the same
+    /// request is pointless.
+    Malformed,
+    /// The admission controller shed the request to protect the response-time
+    /// budgets of higher-priority classes.  The request was *not* executed;
+    /// retry after a backoff.
+    Overloaded,
+    /// The request was valid but its execution failed (λ⁴ᵢ parse/type/run
+    /// errors, handler failures).  The server stayed up.
+    Internal,
+    /// The server is draining for shutdown; the request was not executed and
+    /// the connection will close once in-flight responses are delivered.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// All codes, in tag order.
+    pub const ALL: [ErrorCode; 4] = [
+        ErrorCode::Malformed,
+        ErrorCode::Overloaded,
+        ErrorCode::Internal,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The code's wire byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0,
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Internal => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_tag(tag: u8) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+
+    /// A short stable name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A decoded response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -141,9 +213,42 @@ pub enum Response {
     },
     /// The request failed; the server stayed up.
     Error {
+        /// Why, machine-readably (shed vs malformed vs failed vs draining).
+        code: ErrorCode,
         /// A human-readable description (parse errors, type errors, …).
         message: String,
     },
+}
+
+impl Response {
+    /// An error response with the given code and message.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Whether this is an [`ErrorCode::Overloaded`] rejection — the one
+    /// error class clients should retry (with backoff).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+/// Classifies an *encoded* response body without fully decoding it: `true`
+/// exactly when the body is an error response carrying
+/// [`ErrorCode::Overloaded`].  This is the hook the protocol-agnostic socket
+/// driver ([`rp_apps::harness::drive_socket_open`]) needs to decide whether
+/// a response means "done" or "shed — retry with backoff".
+pub fn body_is_overloaded(body: &[u8]) -> bool {
+    body.len() >= 2 && body[0] == 2 && body[1] == ErrorCode::Overloaded.tag()
 }
 
 /// Why a body failed to decode.
@@ -301,8 +406,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(value.as_bytes());
             out
         }
-        Response::Error { message } => {
-            let mut out = vec![2u8];
+        Response::Error { code, message } => {
+            let mut out = vec![2u8, code.tag()];
             out.extend_from_slice(message.as_bytes());
             out
         }
@@ -328,9 +433,14 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                 value: utf8(rest)?,
             })
         }
-        2 => Ok(Response::Error {
-            message: utf8(rest)?,
-        }),
+        2 => {
+            let (&code, rest) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+            let code = ErrorCode::from_tag(code).ok_or(ProtocolError::UnknownTag(code))?;
+            Ok(Response::Error {
+                code,
+                message: utf8(rest)?,
+            })
+        }
         t => Err(ProtocolError::UnknownTag(t)),
     }
 }
@@ -379,12 +489,44 @@ mod tests {
                 value: "ret 42".into(),
             },
             Response::Error {
+                code: ErrorCode::Internal,
                 message: "parse error: …".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: String::new(),
+            },
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "draining".into(),
             },
         ] {
             let encoded = encode_response(&resp);
             assert_eq!(decode_response(&encoded).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_classifiable() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_tag(code.tag()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_tag(200), None);
+        // An error body with an unknown code byte is rejected, not guessed.
+        assert_eq!(
+            decode_response(&[2, 99]),
+            Err(ProtocolError::UnknownTag(99))
+        );
+        // A bare error status byte with no code is truncated.
+        assert_eq!(decode_response(&[2]), Err(ProtocolError::Truncated));
+        // The cheap classifier agrees with a full decode.
+        let shed = encode_response(&Response::error(ErrorCode::Overloaded, "shed"));
+        assert!(body_is_overloaded(&shed));
+        assert!(decode_response(&shed).unwrap().is_overloaded());
+        let other = encode_response(&Response::error(ErrorCode::Internal, "boom"));
+        assert!(!body_is_overloaded(&other));
+        let ok = encode_response(&Response::App { result: 7 });
+        assert!(!body_is_overloaded(&ok));
     }
 
     #[test]

@@ -23,9 +23,31 @@
 //! Keep clients reading: the reactor is one thread, and a response write
 //! into a full socket buffer would stall every pending completion behind
 //! it.
+//!
+//! Two protection layers sit in front of dispatch:
+//!
+//! * **admission control** ([`crate::admission`]) — when enabled, a
+//!   dedicated refresh thread keeps per-class work estimates current and
+//!   evaluates the Theorem 2.3 response-time bound predictively; requests
+//!   of a shed class are answered with an explicit
+//!   [`ErrorCode::Overloaded`] response instead of executing;
+//! * **lifecycle** — [`NetServer::shutdown`] first switches the server to
+//!   *draining*: shards keep polling, frames arriving during the drain are
+//!   answered [`ErrorCode::ShuttingDown`], and the runtime drains so every
+//!   in-flight response reaches its socket.  Only then do the shards exit
+//!   and drop their connections, so a client blocked on a read observes an
+//!   orderly EOF (or a `ShuttingDown` answer) rather than a hang or a lost
+//!   response.
+//!
+//! For chaos testing, [`NetServerConfig::faults`] wires a seeded
+//! [`FaultPlan`] into the server's own I/O: shard reads can be delayed,
+//! corrupted, truncated, or turned into disconnects, and reactor writes can
+//! be torn mid-frame — all deterministic per `(seed, connection)`.
 
-use crate::protocol::{decode_request, encode_response, AppOp, Request, Response};
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
+use crate::protocol::{decode_request, encode_response, AppOp, ErrorCode, Request, Response};
 use parking_lot::Mutex;
+use rp_apps::faults::{FaultConfig, FaultPlan, FaultSession, ReadFault, WriteFault};
 use rp_apps::harness::write_socket_frame;
 use rp_apps::harness::{shutdown_runtime, take_socket_frame};
 use rp_apps::jserver::JobClass;
@@ -35,12 +57,12 @@ use rp_lambda4i::pipeline::{CacheStats, CompileCache, PipelineConfig, PipelineEr
 use rp_lambda4i::pretty::expr_to_string;
 use rp_priority::Priority;
 use rp_sim::latency::LatencyModel;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The server runtime's priority levels, lowest first: the union of the
 /// proxy and email case studies' level names (both apps' internal orders
@@ -66,6 +88,12 @@ pub const LEVELS: [&str; 10] = [
 /// How long a shard read blocks per connection before moving on — the
 /// shard's poll interval.
 const SHARD_POLL: Duration = Duration::from_micros(200);
+
+/// Lifecycle: the server is accepting and executing requests.
+const RUNNING: u8 = 0;
+/// Lifecycle: [`NetServer::shutdown`] is draining — new frames are answered
+/// [`ErrorCode::ShuttingDown`] while in-flight responses finish writing.
+const DRAINING: u8 = 1;
 
 /// Configuration of a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -93,6 +121,12 @@ pub struct NetServerConfig {
     /// front-end's machine-graph bound check still runs); the server's own
     /// runtime is traced via [`NetServerConfig::tracing`].
     pub pipeline: PipelineConfig,
+    /// Bound-driven admission control; disabled by default (every request
+    /// admitted, no refresh thread started).
+    pub admission: AdmissionConfig,
+    /// Seeded fault injection on the server's own socket I/O (chaos
+    /// testing); `None` — the default — injects nothing.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for NetServerConfig {
@@ -110,6 +144,8 @@ impl Default for NetServerConfig {
             email_users: 4,
             email_messages: 4,
             pipeline,
+            admission: AdmissionConfig::default(),
+            faults: None,
         }
     }
 }
@@ -137,6 +173,9 @@ pub struct NetStatsSnapshot {
     pub decode_errors: u64,
     /// Requests per class, indexed by [`crate::protocol::RequestClass::tag`].
     pub per_class: [u64; 3],
+    /// Requests rejected `Overloaded` by admission control, per class
+    /// (indexed by [`crate::protocol::RequestClass::tag`]).
+    pub shed_per_class: [u64; 3],
 }
 
 /// Everything the handler tasks share.
@@ -148,6 +187,10 @@ struct ServerCtx {
     cache: CompileCache,
     pipeline: PipelineConfig,
     stats: NetStats,
+    admission: AdmissionController,
+    /// [`RUNNING`] or [`DRAINING`].
+    lifecycle: AtomicU8,
+    faults: Option<FaultPlan>,
     /// Dispatch priorities, resolved once at startup.
     event: Priority,
     compress: Priority,
@@ -212,9 +255,10 @@ impl ServerCtx {
                     Some(job) => Response::App {
                         result: job.execute(seed),
                     },
-                    None => Response::Error {
-                        message: format!("unknown jserver job class {class}"),
-                    },
+                    None => Response::error(
+                        ErrorCode::Malformed,
+                        format!("unknown jserver job class {class}"),
+                    ),
                 }
             }
             Request::Lambda { source } => {
@@ -233,14 +277,13 @@ impl ServerCtx {
         op: impl FnOnce(&Arc<Runtime>, Arc<email::Message>) -> rp_icilk::IFuture<u64>,
     ) -> Response {
         let Some(mailbox) = self.email.mailboxes.get(user as usize) else {
-            return Response::Error {
-                message: format!("unknown email user {user}"),
-            };
+            return Response::error(ErrorCode::Malformed, format!("unknown email user {user}"));
         };
         if msg as usize >= mailbox.len() {
-            return Response::Error {
-                message: format!("user {user} has no message {msg}"),
-            };
+            return Response::error(
+                ErrorCode::Malformed,
+                format!("user {user} has no message {msg}"),
+            );
         }
         let ticket = op(&self.runtime, mailbox.message(msg as usize));
         Response::App {
@@ -257,18 +300,25 @@ fn lambda_response(
             counterexamples: report.counterexamples() as u64,
             value: expr_to_string(report.value()),
         },
-        Err(e) => Response::Error {
-            message: e.to_string(),
-        },
+        Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
     }
 }
 
 /// One connection owned by a shard: the buffered read half plus the
-/// mutex-serialized write half the reactor uses for responses.
+/// mutex-serialized write half the reactor uses for responses.  Under a
+/// fault plan each connection also carries its two deterministic fault
+/// streams — reads are judged on the shard thread, writes on the reactor.
 struct Conn {
     stream: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
     buf: Vec<u8>,
+    /// Read-side fault stream (shard thread only).
+    read_fault: Option<FaultSession>,
+    /// Write-side fault stream, shared with the reactor's write closures.
+    write_fault: Option<Arc<Mutex<FaultSession>>>,
+    /// Injected read delay: bytes already in `buf` are withheld from the
+    /// parser until this instant.
+    delay_until: Option<Instant>,
 }
 
 /// The TCP front end: a listener on loopback, shard threads, and the
@@ -279,6 +329,7 @@ pub struct NetServer {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
+    refresher: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -314,6 +365,10 @@ impl NetServer {
                 .priority_by_name(name)
                 .expect("LEVELS contains every dispatch level")
         };
+        let refresh_interval = config
+            .admission
+            .enabled
+            .then_some(config.admission.refresh_interval);
         let ctx = Arc::new(ServerCtx {
             event: by_name("event"),
             compress: by_name("compress"),
@@ -329,6 +384,9 @@ impl NetServer {
             cache: CompileCache::new(),
             pipeline: config.pipeline.clone(),
             stats: NetStats::default(),
+            admission: AdmissionController::new(config.admission, config.workers, &LEVELS),
+            lifecycle: AtomicU8::new(RUNNING),
+            faults: config.faults.map(FaultPlan::new),
             runtime,
         });
 
@@ -338,7 +396,7 @@ impl NetServer {
         let mut senders = Vec::with_capacity(shard_count);
         let mut shards = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
             senders.push(tx);
             let ctx = Arc::clone(&ctx);
             let shutdown = Arc::clone(&shutdown);
@@ -359,12 +417,23 @@ impl NetServer {
                 .expect("spawning the acceptor thread")
         };
 
+        let refresher = refresh_interval.map(|interval| {
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            let tracing = config.tracing;
+            std::thread::Builder::new()
+                .name("rp-net-admission".to_string())
+                .spawn(move || admission_refresh_loop(ctx, shutdown, interval, tracing))
+                .expect("spawning the admission refresh thread")
+        });
+
         Ok(NetServer {
             ctx,
             addr,
             shutdown,
             acceptor: Some(acceptor),
             shards,
+            refresher,
         })
     }
 
@@ -398,7 +467,15 @@ impl NetServer {
                 s.per_class[1].load(Ordering::Relaxed),
                 s.per_class[2].load(Ordering::Relaxed),
             ],
+            shed_per_class: self.ctx.admission.snapshot().shed,
         }
+    }
+
+    /// A snapshot of the admission controller: work/span estimates,
+    /// per-class bound predictions, the current shed mask, and the
+    /// admitted/completed/shed counters.
+    pub fn admission(&self) -> AdmissionSnapshot {
+        self.ctx.admission.snapshot()
     }
 
     /// Hit/miss counters of the cached-compilation class.
@@ -406,9 +483,19 @@ impl NetServer {
         self.ctx.cache.stats()
     }
 
-    /// Stops accepting, joins the shard threads, drains outstanding
-    /// requests, and shuts the runtime down.
+    /// Stops the server in two phases so live clients never observe a
+    /// hang:
+    ///
+    /// 1. **drain** — the lifecycle flips to draining: shards keep
+    ///    reading, frames that arrive now are answered `ShuttingDown`, and
+    ///    the runtime drains so every in-flight response reaches its
+    ///    socket;
+    /// 2. **stop** — the acceptor and shards exit and drop their
+    ///    connections (a blocked client sees an orderly EOF), the late
+    ///    `ShuttingDown` writes drain, and the runtime shuts down.
     pub fn shutdown(mut self) {
+        self.ctx.lifecycle.store(DRAINING, Ordering::SeqCst);
+        let _ = self.ctx.runtime.drain(Duration::from_secs(10));
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor out of its blocking accept.
         let _ = TcpStream::connect(self.addr);
@@ -418,6 +505,11 @@ impl NetServer {
         for h in self.shards.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.refresher.take() {
+            let _ = h.join();
+        }
+        // `ShuttingDown` answers to frames that raced the drain may still
+        // sit with the reactor; flush them before tearing the runtime down.
         let _ = self.ctx.runtime.drain(Duration::from_secs(10));
         let runtime = Arc::clone(&self.ctx.runtime);
         drop(self.ctx);
@@ -429,7 +521,7 @@ fn accept_loop(
     listener: TcpListener,
     ctx: Arc<ServerCtx>,
     shutdown: Arc<AtomicBool>,
-    senders: Vec<mpsc::Sender<TcpStream>>,
+    senders: Vec<mpsc::Sender<(u64, TcpStream)>>,
 ) {
     let mut next = 0usize;
     loop {
@@ -453,26 +545,44 @@ fn accept_loop(
         }
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(SHARD_POLL));
-        ctx.stats
+        let conn_id = ctx
+            .stats
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
-        if senders[next % senders.len()].send(stream).is_err() {
+        if senders[next % senders.len()]
+            .send((conn_id, stream))
+            .is_err()
+        {
             return; // shard gone — only happens on shutdown
         }
         next = next.wrapping_add(1);
     }
 }
 
-fn shard_loop(ctx: Arc<ServerCtx>, shutdown: Arc<AtomicBool>, rx: mpsc::Receiver<TcpStream>) {
+fn shard_loop(
+    ctx: Arc<ServerCtx>,
+    shutdown: Arc<AtomicBool>,
+    rx: mpsc::Receiver<(u64, TcpStream)>,
+) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     while !shutdown.load(Ordering::SeqCst) {
-        while let Ok(stream) = rx.try_recv() {
+        while let Ok((conn_id, stream)) = rx.try_recv() {
             match stream.try_clone() {
                 Ok(writer) => conns.push(Conn {
                     stream,
                     writer: Arc::new(Mutex::new(writer)),
                     buf: Vec::new(),
+                    // Independent read- and write-side streams, so each
+                    // side's verdicts stay a pure function of its own call
+                    // count even though shard reads and reactor writes
+                    // interleave across threads.
+                    read_fault: ctx.faults.as_ref().map(|p| p.session(conn_id << 1)),
+                    write_fault: ctx
+                        .faults
+                        .as_ref()
+                        .map(|p| Arc::new(Mutex::new(p.session((conn_id << 1) | 1)))),
+                    delay_until: None,
                 }),
                 Err(_) => continue, // dropping the stream closes it
             }
@@ -483,65 +593,135 @@ fn shard_loop(ctx: Arc<ServerCtx>, shutdown: Arc<AtomicBool>, rx: mpsc::Receiver
             std::thread::sleep(SHARD_POLL);
             continue;
         }
-        conns.retain_mut(|conn| match conn.stream.read(&mut chunk) {
-            Ok(0) => false, // peer closed
-            Ok(n) => {
-                conn.buf.extend_from_slice(&chunk[..n]);
-                loop {
-                    match take_socket_frame(&mut conn.buf) {
-                        Ok(Some((id, body))) => dispatch(&ctx, &conn.writer, id, body),
-                        Ok(None) => break true,
-                        // A malformed envelope cannot be re-synchronised;
-                        // drop the connection (malformed *bodies*, by
-                        // contrast, get an error response above).
-                        Err(_) => break false,
+        conns.retain_mut(|conn| poll_conn(&ctx, conn, &mut chunk));
+    }
+}
+
+/// One poll of one connection: read whatever bytes are available (subject
+/// to the read-side fault verdict), then pump complete frames into
+/// [`dispatch`].  Returns `false` when the connection must be dropped.
+fn poll_conn(ctx: &Arc<ServerCtx>, conn: &mut Conn, chunk: &mut [u8]) -> bool {
+    match conn.stream.read(chunk) {
+        Ok(0) => return false, // peer closed
+        Ok(n) => {
+            let mut data = chunk[..n].to_vec();
+            if let Some(fault) = conn.read_fault.as_mut() {
+                match fault.on_read(&mut data) {
+                    ReadFault::Disconnect => return false,
+                    ReadFault::Delay(d) => {
+                        let until = Instant::now() + d;
+                        conn.delay_until = Some(conn.delay_until.map_or(until, |t| t.max(until)));
                     }
+                    ReadFault::None => {}
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                true
+            conn.buf.extend_from_slice(&data);
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        Err(_) => return false,
+    }
+    if let Some(t) = conn.delay_until {
+        if Instant::now() < t {
+            return true; // injected delay: withhold buffered bytes
+        }
+        conn.delay_until = None;
+    }
+    loop {
+        match take_socket_frame(&mut conn.buf) {
+            Ok(Some((id, body))) => dispatch(ctx, &conn.writer, &conn.write_fault, id, body),
+            Ok(None) => return true,
+            // A malformed envelope cannot be re-synchronised; drop the
+            // connection (malformed *bodies*, by contrast, get an error
+            // response).
+            Err(_) => return false,
+        }
+    }
+}
+
+/// The admission refresher: periodically folds fresh runtime metrics into
+/// the controller's (W, S) estimates and re-evaluates the shed mask; on
+/// traced runtimes it occasionally harvests a trace snapshot to refine the
+/// per-class span fractions.
+fn admission_refresh_loop(
+    ctx: Arc<ServerCtx>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+    tracing: bool,
+) {
+    let mut tick = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        ctx.admission.refresh(&ctx.runtime.metrics());
+        tick += 1;
+        // Mid-run trace reconstruction skips incomplete tasks and is much
+        // heavier than a metrics snapshot, so sample it sparsely and ignore
+        // reconstruction failures.
+        if tracing && tick.is_multiple_of(64) {
+            if let Ok(report) = rp_apps::harness::collect_trace(&ctx.runtime) {
+                ctx.admission.refresh_from_trace(&report);
             }
-            Err(_) => false,
-        });
+        }
     }
 }
 
 /// Decodes one frame and spawns its handler task; the task computes the
-/// response and hands the write to the reactor.
-fn dispatch(ctx: &Arc<ServerCtx>, writer: &Arc<Mutex<TcpStream>>, id: u64, body: Vec<u8>) {
+/// response and hands the write to the reactor.  Three fast paths answer
+/// directly, without spawning a handler: frames arriving while the server
+/// drains (`ShuttingDown`), bodies that fail to decode (`Malformed`), and
+/// classes currently shed by admission control (`Overloaded`).
+fn dispatch(
+    ctx: &Arc<ServerCtx>,
+    writer: &Arc<Mutex<TcpStream>>,
+    fault: &Option<Arc<Mutex<FaultSession>>>,
+    id: u64,
+    body: Vec<u8>,
+) {
     ctx.stats.frames_received.fetch_add(1, Ordering::Relaxed);
-    let (priority, work) = match decode_request(&body) {
-        Ok(req) => {
-            ctx.stats.per_class[req.class().tag() as usize].fetch_add(1, Ordering::Relaxed);
-            (ctx.dispatch_priority(&req), Ok(req))
-        }
+    if ctx.lifecycle.load(Ordering::SeqCst) == DRAINING {
+        let resp = Response::error(ErrorCode::ShuttingDown, "server is shutting down");
+        respond(ctx, writer, fault, id, &resp, ctx.event);
+        return;
+    }
+    let req = match decode_request(&body) {
+        Ok(req) => req,
         Err(e) => {
             ctx.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-            (ctx.event, Err(e))
+            let resp = Response::error(ErrorCode::Malformed, e.to_string());
+            respond(ctx, writer, fault, id, &resp, ctx.event);
+            return;
         }
     };
+    let class = req.class();
+    ctx.stats.per_class[class.tag() as usize].fetch_add(1, Ordering::Relaxed);
+    if !ctx.admission.admit(class) {
+        let resp = Response::error(
+            ErrorCode::Overloaded,
+            format!("{} shed by admission control", class.name()),
+        );
+        respond(ctx, writer, fault, id, &resp, ctx.event);
+        return;
+    }
+    let priority = ctx.dispatch_priority(&req);
     let ctx2 = Arc::clone(ctx);
     let writer = Arc::clone(writer);
+    let fault = fault.clone();
     ctx.runtime.fcreate(priority, move || {
-        let response = match work {
-            Ok(req) => ctx2.execute(req),
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
-        };
-        respond(&ctx2, &writer, id, &response, priority);
+        let response = ctx2.execute(req);
+        ctx2.admission.on_completed(class);
+        respond(&ctx2, &writer, &fault, id, &response, priority);
     });
 }
 
 /// Hands one encoded response frame to the reactor for writing.  Write
 /// errors are swallowed: the client hung up, and the server must outlive
-/// its clients.
+/// its clients.  Under a fault plan the write-side verdict can tear the
+/// frame ([`WriteFault::Partial`]) or kill the connection outright.
 fn respond(
     ctx: &Arc<ServerCtx>,
     writer: &Arc<Mutex<TcpStream>>,
+    fault: &Option<Arc<Mutex<FaultSession>>>,
     id: u64,
     response: &Response,
     priority: Priority,
@@ -549,13 +729,38 @@ fn respond(
     let body = encode_response(response);
     let ctx2 = Arc::clone(ctx);
     let writer = Arc::clone(writer);
+    let fault = fault.clone();
     let _written = ctx.runtime.submit_io_now(priority, move || {
+        let verdict = fault
+            .as_ref()
+            .map_or(WriteFault::Full, |f| f.lock().on_write(12 + body.len()));
         let mut w = writer.lock();
-        let ok = write_socket_frame(&mut *w, id, &body).is_ok();
-        if ok {
-            ctx2.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+        match verdict {
+            WriteFault::Full => {
+                let ok = write_socket_frame(&mut *w, id, &body).is_ok();
+                if ok {
+                    ctx2.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            WriteFault::Partial(n) => {
+                // Torn frame: a prefix of the envelope reaches the wire,
+                // then the connection dies — the client must treat this as
+                // a reset, never as a reply.
+                let mut frame = Vec::with_capacity(12 + body.len());
+                let len = u32::try_from(8 + body.len()).expect("frame fits in u32");
+                frame.extend_from_slice(&len.to_be_bytes());
+                frame.extend_from_slice(&id.to_be_bytes());
+                frame.extend_from_slice(&body);
+                let _ = w.write_all(&frame[..n.min(frame.len())]);
+                let _ = w.shutdown(Shutdown::Both);
+                false
+            }
+            WriteFault::Disconnect => {
+                let _ = w.shutdown(Shutdown::Both);
+                false
+            }
         }
-        ok
     });
 }
 
@@ -798,6 +1003,85 @@ main @ lo:
         );
         assert!(matches!(responses[&0], Response::App { .. }));
         server.shutdown();
+    }
+
+    /// Regression: shutting down with live, blocked clients must hand
+    /// every one of them an orderly EOF (or a late `ShuttingDown` answer) —
+    /// never leave a client hanging on a read, and never lose an in-flight
+    /// response.
+    #[test]
+    fn shutdown_with_live_clients_gives_eof_not_hang() {
+        let server = small_server(false);
+        let addr = server.addr();
+        // One roundtrip proves the connection is live before the shutdown.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("timeout");
+        write_socket_frame(
+            &mut stream,
+            1,
+            &encode_request(&Request::App(AppOp::JserverJob { class: 1, seed: 1 })),
+        )
+        .expect("send");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let first = std::time::Instant::now();
+        loop {
+            assert!(
+                first.elapsed() < Duration::from_secs(30),
+                "no response before shutdown"
+            );
+            match stream.read(&mut chunk) {
+                Ok(0) => panic!("connection died before shutdown"),
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if take_socket_frame(&mut buf).expect("valid frame").is_some() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read before shutdown: {e}"),
+            }
+        }
+        // Shut down while this client sits blocked on its next read.
+        let shut = std::thread::spawn(move || server.shutdown());
+        let started = std::time::Instant::now();
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break, // orderly EOF, as required
+                Ok(n) => {
+                    // A late `ShuttingDown` answer is also acceptable.
+                    buf.extend_from_slice(&chunk[..n]);
+                    while let Ok(Some((_, body))) = take_socket_frame(&mut buf) {
+                        let resp = decode_response(&body).expect("valid response");
+                        assert!(
+                            matches!(
+                                resp,
+                                Response::Error {
+                                    code: ErrorCode::ShuttingDown,
+                                    ..
+                                }
+                            ),
+                            "unexpected response during shutdown: {resp:?}"
+                        );
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    assert!(
+                        started.elapsed() < Duration::from_secs(20),
+                        "client still blocked 20s into shutdown — hang"
+                    );
+                }
+                Err(_) => break, // a reset also unblocks the client
+            }
+        }
+        shut.join().expect("shutdown completes");
     }
 
     #[test]
