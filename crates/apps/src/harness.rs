@@ -19,9 +19,11 @@
 //!   so injector stalls behind a slow server count against the server
 //!   instead of silently dropping the worst samples.
 
+use rp_core::stream::{IncrementalReconstructor, StreamAggregates, StreamConfig, StreamCounters};
 use rp_core::trace::{ReconstructedRun, TraceBoundReport, TraceError};
 use rp_icilk::master::MasterConfig;
 use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_icilk::trace::TraceStats;
 use rp_icilk::IFuture;
 use rp_sim::clock::VirtualTime;
 use rp_sim::latency::LatencyModel;
@@ -31,6 +33,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -1004,6 +1007,172 @@ pub fn collect_trace(rt: &Runtime) -> Result<TraceRunReport, TraceHarvestError> 
         run,
         observed,
         replay,
+    })
+}
+
+/// Default drain interval of [`collect_trace_streaming`].
+const STREAM_DRAIN_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Consecutive empty drains before the streaming collector treats the
+/// runtime as trace-quiescent and flushes the reorder-window tail.
+const STREAM_IDLE_FLUSH: u32 = 2;
+
+/// The running (or final) state of a [`StreamingTraceCollector`]: the
+/// reconstructor's aggregates and memory gauges plus the tracer's own
+/// counters.
+#[derive(Debug, Clone)]
+pub struct StreamingTraceReport {
+    /// Running totals over every retired request subgraph, including the
+    /// per-level bound-slack statistics and counterexample counts.
+    pub aggregates: StreamAggregates,
+    /// The reconstructor's live memory and progress gauges.
+    pub counters: StreamCounters,
+    /// The tracer's recorded/drained/dropped/buffered counters.
+    pub trace: TraceStats,
+    /// Drained batches the reconstructor rejected (recording bugs; a
+    /// healthy run keeps it 0).
+    pub ingest_errors: u64,
+}
+
+/// State shared between the drain thread and the collector handle.
+#[derive(Debug)]
+struct StreamShared {
+    recon: parking_lot::Mutex<IncrementalReconstructor>,
+    ingest_errors: AtomicU64,
+}
+
+impl StreamShared {
+    fn report(&self, rt: &Runtime) -> StreamingTraceReport {
+        let recon = self.recon.lock();
+        StreamingTraceReport {
+            aggregates: recon.aggregates().clone(),
+            counters: recon.counters(),
+            trace: rt.trace_stats().unwrap_or_default(),
+            ingest_errors: self.ingest_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One drain → ingest (or quiescent flush) step.
+    fn step(&self, rt: &Runtime, idle: &mut u32) {
+        let Some(batch) = rt.drain_trace_events() else {
+            return;
+        };
+        let mut recon = self.recon.lock();
+        let result = if batch.events.is_empty() {
+            *idle += 1;
+            let counters = recon.counters();
+            if *idle >= STREAM_IDLE_FLUSH
+                && (counters.pending_events > 0 || counters.live_components > 0)
+            {
+                recon.flush()
+            } else {
+                Ok(Vec::new())
+            }
+        } else {
+            *idle = 0;
+            recon.ingest(&batch.events)
+        };
+        if result.is_err() {
+            self.ingest_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Streaming counterpart of [`collect_trace`]: a background thread drains
+/// the runtime's trace buffers into an [`IncrementalReconstructor`] *while
+/// the workload runs*, retiring each request subgraph (and checking its
+/// Theorem 2.3 bound) as soon as it completes.  Trace memory stays bounded
+/// by in-flight work instead of total history, so arbitrarily long runs can
+/// be checked.  Obtain one from [`collect_trace_streaming`]; read
+/// [`StreamingTraceCollector::snapshot`] during the run and
+/// [`StreamingTraceCollector::stop`] after [`Runtime::drain`].
+#[derive(Debug)]
+pub struct StreamingTraceCollector {
+    runtime: Arc<Runtime>,
+    stop_flag: Arc<std::sync::atomic::AtomicBool>,
+    shared: Arc<StreamShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StreamingTraceCollector {
+    /// The live aggregates, gauges, and tracer counters, mid-run.
+    pub fn snapshot(&self) -> StreamingTraceReport {
+        self.shared.report(&self.runtime)
+    }
+
+    /// Stops the drain thread, sweeps the remaining events, finalizes the
+    /// reconstructor (incomplete tasks are skipped and counted, exactly as
+    /// post-hoc reconstruction skips them), and returns the final report.
+    /// Call after [`Runtime::drain`] so nothing is mid-flight.
+    pub fn stop(mut self) -> StreamingTraceReport {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(batch) = self.runtime.drain_trace_events() {
+            let mut recon = self.shared.recon.lock();
+            if recon.ingest(&batch.events).is_err() {
+                self.shared.ingest_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if recon.finalize().is_err() {
+                self.shared.ingest_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared.report(&self.runtime)
+    }
+}
+
+impl Drop for StreamingTraceCollector {
+    fn drop(&mut self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Starts streaming trace collection on a tracing runtime: spawns the
+/// background drain thread and returns its handle.  The thread drains every
+/// millisecond and flushes the reconstructor's reorder-window tail when the
+/// runtime goes trace-quiescent, so subgraphs retire promptly even when
+/// traffic pauses.
+///
+/// # Errors
+///
+/// [`TraceHarvestError::NotTracing`] when the runtime records no trace;
+/// [`TraceHarvestError::Reconstruct`] when the runtime's level declaration
+/// cannot seed a reconstructor.
+pub fn collect_trace_streaming(
+    rt: &Arc<Runtime>,
+) -> Result<StreamingTraceCollector, TraceHarvestError> {
+    let (level_names, num_workers) = rt.trace_topology().ok_or(TraceHarvestError::NotTracing)?;
+    let recon = IncrementalReconstructor::new(StreamConfig::new(level_names, num_workers))
+        .map_err(TraceHarvestError::Reconstruct)?;
+    let shared = Arc::new(StreamShared {
+        recon: parking_lot::Mutex::new(recon),
+        ingest_errors: AtomicU64::new(0),
+    });
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handle = {
+        let rt = Arc::clone(rt);
+        let shared = Arc::clone(&shared);
+        let stop_flag = Arc::clone(&stop_flag);
+        std::thread::Builder::new()
+            .name("rp-trace-drain".to_string())
+            .spawn(move || {
+                let mut idle = 0u32;
+                while !stop_flag.load(Ordering::SeqCst) {
+                    std::thread::sleep(STREAM_DRAIN_INTERVAL);
+                    shared.step(&rt, &mut idle);
+                }
+            })
+            .expect("spawning the trace drain thread")
+    };
+    Ok(StreamingTraceCollector {
+        runtime: Arc::clone(rt),
+        stop_flag,
+        shared,
+        handle: Some(handle),
     })
 }
 

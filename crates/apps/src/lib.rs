@@ -41,5 +41,5 @@ pub mod proxy;
 pub use faults::{FaultConfig, FaultPlan, FaultSession, ReadFault, WriteFault};
 pub use harness::{
     ExperimentConfig, ExperimentReport, LevelReport, LoadMode, OpenLoopConfig, OpenLoopOutcome,
-    ResilienceConfig,
+    ResilienceConfig, StreamingTraceCollector, StreamingTraceReport,
 };

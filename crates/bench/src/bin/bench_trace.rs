@@ -16,14 +16,28 @@
 //! the adjusted bound, ≤ 1 when the bound holds), and wall-clock response
 //! measurements; plus an A/B of the same closed-loop workload with tracing
 //! off vs on.
+//!
+//! The binary also runs a **streaming sweep**: a traced socket server with
+//! the incremental reconstructor on, driven at a constant request rate for
+//! 30 s (2 s under `--quick`).  It fails on any Theorem 2.3 counterexample,
+//! dropped trace event, or ingest error, and on a memory-bound violation —
+//! the reconstructor's live working set must stay bounded by in-flight work
+//! while retired subgraphs track completed requests.  A second A/B measures
+//! the streaming drain loop against post-hoc reconstruction on the same
+//! closed-loop workload (both timings include reconstruction).
 
 use rp_apps::harness::{
-    collect_trace, shutdown_runtime, ExperimentConfig, OpenLoopConfig, TraceRunReport,
+    collect_trace, collect_trace_streaming, shutdown_runtime, take_socket_frame,
+    write_socket_frame, ExperimentConfig, OpenLoopConfig, TraceRunReport,
 };
 use rp_apps::proxy;
 use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use rp_net::protocol::encode_request;
+use rp_net::{AppOp, NetServer, NetServerConfig, Request};
 use rp_sim::latency::LatencyModel;
 use std::fmt::Write as _;
+use std::io::Read;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -181,6 +195,256 @@ fn proxy_wall_time(config: &ExperimentConfig) -> Duration {
     elapsed
 }
 
+/// One batch of mixed app requests for the streaming sweep: two proxy
+/// fetches (one unique URL forcing origin I/O, one repeat hitting the
+/// cache), two email operations, and a CPU-heavy jserver job.
+fn sweep_batch(round: u64) -> Vec<Request> {
+    vec![
+        Request::App(AppOp::ProxyGet {
+            url: format!("http://origin/{round}"),
+            body_if_missed: bytes::Bytes::from(format!("page {round}").into_bytes()),
+        }),
+        Request::App(AppOp::ProxyGet {
+            url: "http://origin/hot".to_string(),
+            body_if_missed: bytes::Bytes::from_static(b"hot page"),
+        }),
+        Request::App(AppOp::EmailCompress { user: 0, msg: 0 }),
+        Request::App(AppOp::EmailPrint { user: 0, msg: 0 }),
+        Request::App(AppOp::JserverJob {
+            class: 1,
+            seed: round & 0x7,
+        }),
+    ]
+}
+
+/// What the streaming sweep observed, for the JSON report.
+struct StreamingSweep {
+    duration_millis: f64,
+    requests: u64,
+    retired_subgraphs: u64,
+    retired_threads: u64,
+    retired_vertices: u64,
+    counterexamples: u64,
+    dropped_events: u64,
+    ingest_errors: u64,
+    unresolved_events: u64,
+    max_live_tasks: u64,
+    max_pending_events: u64,
+    slack_max: f64,
+    slack_samples: u64,
+}
+
+/// The reconstructor's live working set must be bounded by in-flight work.
+/// One closed-loop connection keeps at most one batch in flight, so even a
+/// very loose cap separates "bounded" from "retirement stopped keeping up".
+const STREAM_LIVE_TASK_CAP: u64 = 1_024;
+
+/// Drives a streaming-traced socket server closed-loop for `duration`,
+/// sampling the live gauges per batch, then waits for quiescence and reads
+/// the final aggregates.  Pushes one failure string per violated invariant.
+fn run_streaming_sweep(duration: Duration, failures: &mut Vec<String>) -> Option<StreamingSweep> {
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("streaming: {msg}"));
+        None
+    };
+    let server = match NetServer::start(NetServerConfig {
+        shards: 2,
+        workers: 2,
+        tracing: true,
+        streaming_trace: true,
+        io_latency: LatencyModel::Constant { micros: 200 },
+        ..NetServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => return fail(failures, format!("server failed to start: {e:?}")),
+    };
+
+    let mut stream = match TcpStream::connect(server.addr()) {
+        Ok(s) => s,
+        Err(e) => return fail(failures, format!("connect: {e}")),
+    };
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("timeout");
+
+    let started = Instant::now();
+    let hard_deadline = started + duration + Duration::from_secs(60);
+    let mut id = 0u64;
+    let mut responses = 0u64;
+    let mut max_live_tasks = 0u64;
+    let mut max_pending = 0u64;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while started.elapsed() < duration {
+        let batch = sweep_batch(id);
+        for req in &batch {
+            if let Err(e) = write_socket_frame(&mut stream, id, &encode_request(req)) {
+                return fail(failures, format!("send: {e}"));
+            }
+            id += 1;
+        }
+        // Closed loop: wait for the whole batch before the next one.
+        while responses < id {
+            if Instant::now() > hard_deadline {
+                return fail(failures, format!("stalled with {responses}/{id} responses"));
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return fail(failures, "server closed the connection".to_string()),
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    while let Ok(Some(_)) = take_socket_frame(&mut buf) {
+                        responses += 1;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return fail(failures, format!("read: {e}")),
+            }
+        }
+        let live = server.stream_stats().expect("streaming is on");
+        max_live_tasks = max_live_tasks.max(live.counters.live_tasks);
+        max_pending = max_pending.max(live.counters.pending_events);
+    }
+    drop(stream);
+
+    if !server.drain(Duration::from_secs(30)) {
+        return fail(failures, "server did not drain".to_string());
+    }
+    // The drain thread flushes the reorder-window tail at quiescence; wait
+    // for the working set to hit zero.
+    let quiesce_deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let s = server.stream_stats().expect("streaming is on");
+        if s.counters.live_components == 0 && s.counters.pending_events == 0 {
+            break s;
+        }
+        if Instant::now() > quiesce_deadline {
+            return fail(failures, format!("never quiesced: {:?}", s.counters));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let elapsed = started.elapsed();
+    server.shutdown();
+
+    let slack_max = stats
+        .aggregates
+        .levels
+        .iter()
+        .fold(0.0f64, |m, l| m.max(l.slack_max));
+    let sweep = StreamingSweep {
+        duration_millis: elapsed.as_secs_f64() * 1_000.0,
+        requests: id,
+        retired_subgraphs: stats.aggregates.retired_subgraphs,
+        retired_threads: stats.aggregates.retired_threads,
+        retired_vertices: stats.aggregates.retired_vertices,
+        counterexamples: stats.aggregates.counterexamples,
+        dropped_events: stats.trace.dropped,
+        ingest_errors: stats.ingest_errors,
+        unresolved_events: stats.counters.unresolved_events,
+        max_live_tasks,
+        max_pending_events: max_pending,
+        slack_max,
+        slack_samples: stats
+            .aggregates
+            .levels
+            .iter()
+            .map(|l| l.slack_samples)
+            .sum(),
+    };
+
+    if sweep.counterexamples > 0 {
+        failures.push(format!(
+            "streaming: {} Theorem 2.3 counterexample(s) in retired subgraphs",
+            sweep.counterexamples
+        ));
+    }
+    if sweep.dropped_events > 0 {
+        failures.push(format!(
+            "streaming: tracer dropped {} event(s) — ring buffers overflowed",
+            sweep.dropped_events
+        ));
+    }
+    if sweep.ingest_errors > 0 {
+        failures.push(format!(
+            "streaming: {} drain-loop ingest error(s)",
+            sweep.ingest_errors
+        ));
+    }
+    if sweep.unresolved_events > 0 {
+        failures.push(format!(
+            "streaming: {} orphan event(s) dropped past grace",
+            sweep.unresolved_events
+        ));
+    }
+    if sweep.retired_subgraphs < sweep.requests {
+        failures.push(format!(
+            "streaming: retired only {} subgraph(s) for {} completed requests",
+            sweep.retired_subgraphs, sweep.requests
+        ));
+    }
+    if sweep.max_live_tasks > STREAM_LIVE_TASK_CAP {
+        failures.push(format!(
+            "streaming: live-task peak {} exceeds {} — memory not bounded by in-flight work",
+            sweep.max_live_tasks, STREAM_LIVE_TASK_CAP
+        ));
+    }
+    Some(sweep)
+}
+
+/// Wall time of one traced closed-loop proxy run reconstructed **post-hoc**:
+/// drive, drain, then snapshot + reconstruct in one pass at the end.
+fn post_hoc_wall_time(config: &ExperimentConfig, failures: &mut Vec<String>) -> f64 {
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &proxy::LEVELS));
+    let state = proxy::ProxyState::new();
+    let started = Instant::now();
+    let _ = proxy::drive(&rt, &state, config);
+    let drained = rt.drain(Duration::from_secs(10));
+    let report = collect_trace(&rt);
+    let elapsed = started.elapsed();
+    shutdown_runtime(rt, Duration::from_secs(10));
+    if !drained {
+        failures.push("drain-ab/post-hoc: runtime did not drain".to_string());
+    }
+    match report {
+        Ok(r) => {
+            if !r.counterexamples().is_empty() {
+                failures.push("drain-ab/post-hoc: counterexample".to_string());
+            }
+        }
+        Err(e) => failures.push(format!("drain-ab/post-hoc: {e}")),
+    }
+    elapsed.as_secs_f64() * 1_000.0
+}
+
+/// Wall time of the same run reconstructed **streaming**: the background
+/// drain loop ingests while the workload runs, and `stop()` finalizes.
+fn streaming_wall_time(config: &ExperimentConfig, failures: &mut Vec<String>) -> f64 {
+    let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &proxy::LEVELS));
+    let state = proxy::ProxyState::new();
+    let started = Instant::now();
+    let collector = collect_trace_streaming(&rt).expect("config is traced");
+    let _ = proxy::drive(&rt, &state, config);
+    let drained = rt.drain(Duration::from_secs(10));
+    let report = collector.stop();
+    let elapsed = started.elapsed();
+    shutdown_runtime(rt, Duration::from_secs(10));
+    if !drained {
+        failures.push("drain-ab/streaming: runtime did not drain".to_string());
+    }
+    if report.aggregates.counterexamples > 0 {
+        failures.push("drain-ab/streaming: counterexample".to_string());
+    }
+    if report.trace.dropped > 0 {
+        failures.push("drain-ab/streaming: dropped trace events".to_string());
+    }
+    if report.ingest_errors > 0 {
+        failures.push("drain-ab/streaming: ingest errors".to_string());
+    }
+    elapsed.as_secs_f64() * 1_000.0
+}
+
 fn fmt_opt(v: Option<f64>) -> String {
     match v {
         Some(x) => format!("{x:.4}"),
@@ -314,6 +578,45 @@ fn main() {
         "tracer A/B (closed loop): off {off:.1} ms, on {on:.1} ms, overhead {overhead_percent:+.1}%"
     );
 
+    // Streaming sweep: constant-rate traced socket load with the
+    // incremental reconstructor retiring request subgraphs live.
+    let stream_duration = Duration::from_secs(if quick { 2 } else { 30 });
+    let streaming = run_streaming_sweep(stream_duration, &mut failures);
+    if let Some(s) = &streaming {
+        println!(
+            "streaming  {:.1} s: {} requests, {} subgraphs retired ({} threads, {} vertices), \
+             live-task peak {}, pending peak {}, slack max {:.4} over {} samples, \
+             cex {} dropped {} ingest-errors {}",
+            s.duration_millis / 1_000.0,
+            s.requests,
+            s.retired_subgraphs,
+            s.retired_threads,
+            s.retired_vertices,
+            s.max_live_tasks,
+            s.max_pending_events,
+            s.slack_max,
+            s.slack_samples,
+            s.counterexamples,
+            s.dropped_events,
+            s.ingest_errors,
+        );
+    }
+
+    // Drain-loop A/B: streaming reconstruction overlapped with the run vs
+    // post-hoc reconstruction after it, both ending with verdicts in hand.
+    let drain_config = base_config(2, connections, requests).traced();
+    let mut post_hoc_ms = f64::MAX;
+    let mut streaming_ms = f64::MAX;
+    for _ in 0..ab_trials {
+        post_hoc_ms = post_hoc_ms.min(post_hoc_wall_time(&drain_config, &mut failures));
+        streaming_ms = streaming_ms.min(streaming_wall_time(&drain_config, &mut failures));
+    }
+    let drain_overhead_percent = (streaming_ms / post_hoc_ms - 1.0) * 100.0;
+    println!(
+        "drain A/B (closed loop): post-hoc {post_hoc_ms:.1} ms, streaming {streaming_ms:.1} ms, \
+         overhead {drain_overhead_percent:+.1}%"
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"kernel\": \"bench_trace\",\n  \"app\": \"proxy\",\n");
     let _ = writeln!(json, "  \"seed\": {SEED},");
@@ -359,6 +662,35 @@ fn main() {
     let _ = writeln!(json, "    \"traced_on_millis\": {on:.2},");
     let _ = writeln!(json, "    \"overhead_percent\": {overhead_percent:.2}");
     json.push_str("  },\n");
+    if let Some(s) = &streaming {
+        json.push_str("  \"streaming\": {\n");
+        let _ = writeln!(json, "    \"duration_millis\": {:.1},", s.duration_millis);
+        let _ = writeln!(json, "    \"requests\": {},", s.requests);
+        let _ = writeln!(json, "    \"retired_subgraphs\": {},", s.retired_subgraphs);
+        let _ = writeln!(json, "    \"retired_threads\": {},", s.retired_threads);
+        let _ = writeln!(json, "    \"retired_vertices\": {},", s.retired_vertices);
+        let _ = writeln!(json, "    \"counterexamples\": {},", s.counterexamples);
+        let _ = writeln!(json, "    \"dropped_events\": {},", s.dropped_events);
+        let _ = writeln!(json, "    \"ingest_errors\": {},", s.ingest_errors);
+        let _ = writeln!(json, "    \"unresolved_events\": {},", s.unresolved_events);
+        let _ = writeln!(json, "    \"max_live_tasks\": {},", s.max_live_tasks);
+        let _ = writeln!(
+            json,
+            "    \"max_pending_events\": {},",
+            s.max_pending_events
+        );
+        let _ = writeln!(json, "    \"slack_max\": {:.4},", s.slack_max);
+        let _ = writeln!(json, "    \"slack_samples\": {},", s.slack_samples);
+        json.push_str("    \"drain_ab\": {\n");
+        let _ = writeln!(json, "      \"trials\": {ab_trials},");
+        let _ = writeln!(json, "      \"post_hoc_millis\": {post_hoc_ms:.2},");
+        let _ = writeln!(json, "      \"streaming_millis\": {streaming_ms:.2},");
+        let _ = writeln!(
+            json,
+            "      \"overhead_percent\": {drain_overhead_percent:.2}"
+        );
+        json.push_str("    }\n  },\n");
+    }
     let _ = writeln!(json, "  \"counterexamples\": {}", failures.len());
     json.push_str("}\n");
 

@@ -80,6 +80,7 @@ pub mod random;
 pub mod render;
 pub mod schedule;
 pub mod scheduler;
+pub mod stream;
 pub mod strengthen;
 pub mod trace;
 pub mod wellformed;
@@ -100,6 +101,10 @@ pub mod prelude {
     pub use crate::scheduler::{
         oblivious_schedule, prompt_schedule, random_schedule, weak_respecting_prompt_schedule,
         SchedulerKind,
+    };
+    pub use crate::stream::{
+        IncrementalReconstructor, LevelAggregate, StreamAggregates, StreamConfig, StreamCounters,
+        SubgraphReport,
     };
     pub use crate::strengthen::strengthening;
     pub use crate::trace::{

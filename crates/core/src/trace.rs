@@ -296,28 +296,57 @@ impl ReconstructedRun {
     }
 }
 
-/// Per-task accumulation while walking the event log.
+/// Per-task accumulation while walking the event log.  Shared between the
+/// post-hoc passes below and the streaming reconstructor
+/// ([`crate::stream`]), so both paths assemble identical graphs.
 #[derive(Debug)]
-struct TaskRecord {
-    level: usize,
-    is_io: bool,
-    spawned_at: u64,
-    started_at: Option<u64>,
-    finished_at: Option<u64>,
+pub(crate) struct TaskRecord {
+    pub(crate) level: usize,
+    pub(crate) is_io: bool,
+    pub(crate) spawned_at: u64,
+    pub(crate) started_at: Option<u64>,
+    pub(crate) finished_at: Option<u64>,
     /// Spawns and touches performed by this task's body, in recorded order.
-    actions: Vec<Action>,
+    pub(crate) actions: Vec<Action>,
+}
+
+impl TaskRecord {
+    pub(crate) fn new(level: usize, is_io: bool, spawned_at: u64) -> Self {
+        TaskRecord {
+            level,
+            is_io,
+            spawned_at,
+            started_at: None,
+            finished_at: None,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Whether the trace saw this task both start and finish.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.started_at.is_some() && self.finished_at.is_some()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ActionKind {
+pub(crate) enum ActionKind {
     SpawnChild(TaskKey),
     Touch(TaskKey),
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Action {
-    at: u64,
-    kind: ActionKind,
+pub(crate) struct Action {
+    pub(crate) at: u64,
+    pub(crate) kind: ActionKind,
+}
+
+/// Builds the total-order priority domain a trace's level names declare.
+pub(crate) fn trace_domain(level_names: &[String]) -> Result<PriorityDomain, TraceError> {
+    if level_names.is_empty() {
+        return Err(TraceError::NoLevels);
+    }
+    PriorityDomain::total_order(level_names.iter().cloned())
+        .map_err(|e| TraceError::BadLevels(e.to_string()))
 }
 
 impl ExecutionTrace {
@@ -333,120 +362,274 @@ impl ExecutionTrace {
     /// Returns a [`TraceError`] when the level declaration is unusable, an
     /// event references an out-of-range level, or no task ever completed.
     pub fn reconstruct(&self) -> Result<ReconstructedRun, TraceError> {
-        if self.level_names.is_empty() {
-            return Err(TraceError::NoLevels);
-        }
-        let domain = PriorityDomain::total_order(self.level_names.iter().cloned())
-            .map_err(|e| TraceError::BadLevels(e.to_string()))?;
-
-        // Pass 1a: create a record per declared task, in first-appearance
-        // order.  Done before any Start/End is applied so a cross-shard
-        // timestamp tie that orders a task's `Start` ahead of its `Spawn`
-        // in the merged log cannot silently drop the task.
-        let mut order: Vec<TaskKey> = Vec::new();
-        let mut records: HashMap<TaskKey, TaskRecord> = HashMap::new();
-        let mut steals = 0u64;
-        for ev in &self.events {
-            match *ev {
-                TraceEvent::Spawn {
-                    task, level, at, ..
-                }
-                | TraceEvent::IoSubmit {
-                    task, level, at, ..
-                } => {
-                    if level >= domain.len() {
-                        return Err(TraceError::LevelOutOfRange { task, level });
-                    }
-                    records.entry(task).or_insert_with(|| {
-                        order.push(task);
-                        TaskRecord {
-                            level,
-                            is_io: matches!(ev, TraceEvent::IoSubmit { .. }),
-                            spawned_at: at,
-                            started_at: None,
-                            finished_at: None,
-                            actions: Vec::new(),
-                        }
-                    });
-                }
-                TraceEvent::Steal { .. } => steals += 1,
-                _ => {}
-            }
-        }
-
-        // Pass 1b: apply run spans and completions.
-        for ev in &self.events {
-            match *ev {
-                TraceEvent::Start { task, at, .. } => {
-                    if let Some(r) = records.get_mut(&task) {
-                        r.started_at.get_or_insert(at);
-                    }
-                }
-                TraceEvent::End { task, at } => {
-                    if let Some(r) = records.get_mut(&task) {
-                        r.finished_at.get_or_insert(at);
-                    }
-                }
-                TraceEvent::IoComplete { task, at } => {
-                    if let Some(r) = records.get_mut(&task) {
-                        r.started_at.get_or_insert(at);
-                        r.finished_at.get_or_insert(at);
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        // Pass 2: attribute spawn/touch actions to the performing task.
-        for ev in &self.events {
-            match *ev {
-                TraceEvent::Spawn {
-                    task,
-                    parent: Some(p),
-                    at,
-                    ..
-                }
-                | TraceEvent::IoSubmit {
-                    task,
-                    parent: Some(p),
-                    at,
-                    ..
-                } if records.contains_key(&task) => {
-                    if let Some(r) = records.get_mut(&p) {
-                        r.actions.push(Action {
-                            at,
-                            kind: ActionKind::SpawnChild(task),
-                        });
-                    }
-                }
-                TraceEvent::Touch {
-                    toucher: Some(t),
-                    touched,
-                    at,
-                } if records.contains_key(&touched) => {
-                    if let Some(r) = records.get_mut(&t) {
-                        r.actions.push(Action {
-                            at,
-                            kind: ActionKind::Touch(touched),
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
+        let domain = trace_domain(&self.level_names)?;
+        let (order, records, steals) = collect_records(&self.events, &domain)?;
 
         // Keep only completed tasks.
-        let complete =
-            |r: &TaskRecord| -> bool { r.started_at.is_some() && r.finished_at.is_some() };
         let kept: Vec<TaskKey> = order
             .iter()
             .copied()
-            .filter(|k| complete(&records[k]))
+            .filter(|k| records[k].is_complete())
             .collect();
         let skipped = order.len() - kept.len();
         if kept.is_empty() {
             return Err(TraceError::Empty);
         }
+        let members: Vec<(TaskKey, &TaskRecord)> =
+            kept.iter().map(|&k| (k, &records[&k])).collect();
+        assemble(&domain, self.num_workers, &members, skipped, steals)
+    }
+
+    /// Reconstructs each **weakly-connected component** of the trace — each
+    /// request subgraph — as its own [`ReconstructedRun`], in order of the
+    /// component's first appearance in the log.
+    ///
+    /// This is the post-hoc mirror of the streaming reconstructor
+    /// ([`crate::stream::IncrementalReconstructor`]), which retires one
+    /// component at a time: both call the same record-collection and
+    /// graph-assembly code, so per-component verdicts and (W, S) values are
+    /// identical by construction.  Note that a component's bound reports can
+    /// legitimately differ from the full-graph [`ExecutionTrace::reconstruct`]
+    /// reports, because competitor work `W` counts vertices of *other*
+    /// components when they are present in the same graph.
+    ///
+    /// Tasks that never completed are excluded from their component's graph
+    /// (counted in that component's [`ReconstructedRun::skipped`]) but still
+    /// glue components together for partitioning purposes.  Components with
+    /// no completed task at all are dropped.  [`ReconstructedRun::steals`] is
+    /// reported on the first component (steals are a whole-run diagnostic,
+    /// not attributable to one request).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ExecutionTrace::reconstruct`].
+    pub fn reconstruct_components(&self) -> Result<Vec<ReconstructedRun>, TraceError> {
+        let domain = trace_domain(&self.level_names)?;
+        let (order, records, steals) = collect_records(&self.events, &domain)?;
+
+        // Union-find over first-appearance indices: spawns and touches glue
+        // the performing task to the created/touched one.
+        let index_of: HashMap<TaskKey, usize> =
+            order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let mut uf = UnionFind::new(order.len());
+        for (&key, record) in &records {
+            let i = index_of[&key];
+            for action in &record.actions {
+                let other = match action.kind {
+                    ActionKind::SpawnChild(c) => c,
+                    ActionKind::Touch(t) => t,
+                };
+                if let Some(&j) = index_of.get(&other) {
+                    uf.union(i, j);
+                }
+            }
+        }
+
+        // Group members by component root, in first-appearance order of both
+        // the component and its members.
+        let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut components: Vec<Vec<TaskKey>> = Vec::new();
+        for (i, &key) in order.iter().enumerate() {
+            let root = uf.find(i);
+            let c = *component_of_root.entry(root).or_insert_with(|| {
+                components.push(Vec::new());
+                components.len() - 1
+            });
+            components[c].push(key);
+        }
+
+        let mut runs = Vec::new();
+        for member_keys in components {
+            let members: Vec<(TaskKey, &TaskRecord)> = member_keys
+                .iter()
+                .filter(|k| records[k].is_complete())
+                .map(|&k| (k, &records[&k]))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let skipped = member_keys.len() - members.len();
+            let run_steals = if runs.is_empty() { steals } else { 0 };
+            runs.push(assemble(
+                &domain,
+                self.num_workers,
+                &members,
+                skipped,
+                run_steals,
+            )?);
+        }
+        if runs.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(runs)
+    }
+}
+
+/// Minimal union-find (path halving + union by size) used for component
+/// partitioning.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        big
+    }
+}
+
+/// What [`collect_records`] produces: the tasks in first-appearance order,
+/// their records, and the steal count.
+pub(crate) type CollectedRecords = (Vec<TaskKey>, HashMap<TaskKey, TaskRecord>, u64);
+
+/// Walks a complete event log into per-task records: passes 1a (task
+/// creation), 1b (run spans), and 2 (action attribution) of reconstruction.
+pub(crate) fn collect_records(
+    events: &[TraceEvent],
+    domain: &PriorityDomain,
+) -> Result<CollectedRecords, TraceError> {
+    // Pass 1a: create a record per declared task, in first-appearance
+    // order.  Done before any Start/End is applied so a cross-shard
+    // timestamp tie that orders a task's `Start` ahead of its `Spawn`
+    // in the merged log cannot silently drop the task.
+    let mut order: Vec<TaskKey> = Vec::new();
+    let mut records: HashMap<TaskKey, TaskRecord> = HashMap::new();
+    let mut steals = 0u64;
+    for ev in events {
+        match *ev {
+            TraceEvent::Spawn {
+                task, level, at, ..
+            }
+            | TraceEvent::IoSubmit {
+                task, level, at, ..
+            } => {
+                if level >= domain.len() {
+                    return Err(TraceError::LevelOutOfRange { task, level });
+                }
+                records.entry(task).or_insert_with(|| {
+                    order.push(task);
+                    TaskRecord::new(level, matches!(ev, TraceEvent::IoSubmit { .. }), at)
+                });
+            }
+            TraceEvent::Steal { .. } => steals += 1,
+            _ => {}
+        }
+    }
+
+    // Pass 1b: apply run spans and completions.
+    for ev in events {
+        match *ev {
+            TraceEvent::Start { task, at, .. } => {
+                if let Some(r) = records.get_mut(&task) {
+                    r.started_at.get_or_insert(at);
+                }
+            }
+            TraceEvent::End { task, at } => {
+                if let Some(r) = records.get_mut(&task) {
+                    r.finished_at.get_or_insert(at);
+                }
+            }
+            TraceEvent::IoComplete { task, at } => {
+                if let Some(r) = records.get_mut(&task) {
+                    r.started_at.get_or_insert(at);
+                    r.finished_at.get_or_insert(at);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: attribute spawn/touch actions to the performing task.
+    for ev in events {
+        match *ev {
+            TraceEvent::Spawn {
+                task,
+                parent: Some(p),
+                at,
+                ..
+            }
+            | TraceEvent::IoSubmit {
+                task,
+                parent: Some(p),
+                at,
+                ..
+            } if records.contains_key(&task) => {
+                if let Some(r) = records.get_mut(&p) {
+                    r.actions.push(Action {
+                        at,
+                        kind: ActionKind::SpawnChild(task),
+                    });
+                }
+            }
+            TraceEvent::Touch {
+                toucher: Some(t),
+                touched,
+                at,
+            } if records.contains_key(&touched) => {
+                if let Some(r) = records.get_mut(&t) {
+                    r.actions.push(Action {
+                        at,
+                        kind: ActionKind::Touch(touched),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Ok((order, records, steals))
+}
+
+/// Passes 3 and 4 of reconstruction, shared verbatim by the post-hoc and
+/// streaming paths: builds the cost graph and observed schedule for the
+/// given complete tasks (`members`, in thread order).  Edges referencing
+/// tasks outside `members` are dropped.  Each member's actions are stably
+/// re-sorted by timestamp first — a no-op for the post-hoc path (the log is
+/// time-sorted), and a repair for streaming commits where a late-resolved
+/// orphan event was applied out of order.
+pub(crate) fn assemble(
+    domain: &PriorityDomain,
+    num_workers: usize,
+    members: &[(TaskKey, &TaskRecord)],
+    skipped: usize,
+    steals: u64,
+) -> Result<ReconstructedRun, TraceError> {
+    {
+        let kept: Vec<TaskKey> = members.iter().map(|&(k, _)| k).collect();
+        let sorted_actions: Vec<Vec<Action>> = members
+            .iter()
+            .map(|&(_, r)| {
+                let mut actions = r.actions.clone();
+                actions.sort_by_key(|a| a.at);
+                actions
+            })
+            .collect();
         let thread_of: HashMap<TaskKey, usize> =
             kept.iter().enumerate().map(|(i, &k)| (k, i)).collect();
 
@@ -462,7 +645,7 @@ impl ExecutionTrace {
         let mut action_vertices: Vec<Vec<VertexId>> = Vec::with_capacity(kept.len());
         let mut thread_last: Vec<VertexId> = Vec::with_capacity(kept.len());
         for (i, key) in kept.iter().enumerate() {
-            let r = &records[key];
+            let r = members[i].1;
             let priority = domain.by_index(r.level);
             let name = if r.is_io {
                 format!("io{i}")
@@ -482,7 +665,7 @@ impl ExecutionTrace {
             } else {
                 let _begin = builder.vertex_labeled(t, Some("begin"));
                 vertex_times.push(started);
-                for a in &r.actions {
+                for a in &sorted_actions[i] {
                     let label = match a.kind {
                         ActionKind::SpawnChild(_) => "spawn",
                         ActionKind::Touch(_) => "touch",
@@ -509,13 +692,13 @@ impl ExecutionTrace {
         }
 
         // Pass 4: edges.
-        for (i, key) in kept.iter().enumerate() {
-            let r = &records[key];
+        for i in 0..kept.len() {
+            let r = members[i].1;
             if r.is_io {
                 continue;
             }
             let my_priority = domain.by_index(r.level);
-            for (a, &v) in r.actions.iter().zip(&action_vertices[i]) {
+            for (a, &v) in sorted_actions[i].iter().zip(&action_vertices[i]) {
                 match a.kind {
                     ActionKind::SpawnChild(child) => {
                         let Some(&j) = thread_of.get(&child) else {
@@ -527,7 +710,7 @@ impl ExecutionTrace {
                         let Some(&j) = thread_of.get(&touched) else {
                             continue;
                         };
-                        let touched_priority = domain.by_index(records[&touched].level);
+                        let touched_priority = domain.by_index(members[j].1.level);
                         if domain.leq(my_priority, touched_priority) {
                             // A legal touch: a strong ftouch edge.
                             builder.ftouch(threads[j], v).map_err(TraceError::Build)?;
@@ -544,7 +727,7 @@ impl ExecutionTrace {
         }
 
         let dag = builder.build().map_err(TraceError::Build)?;
-        let schedule = observed_schedule(&dag, &vertex_times, self.num_workers.max(1));
+        let schedule = observed_schedule(&dag, &vertex_times, num_workers.max(1));
         Ok(ReconstructedRun {
             dag,
             schedule,

@@ -6,7 +6,7 @@ use crate::master::{spawn_master, MasterConfig};
 use crate::metrics::MetricsSnapshot;
 use crate::pool::{PoolKind, SharedState, Task};
 use crate::priority::{OutranksOrEqual, PriorityLevel, PrioritySet};
-use crate::trace::{TaskScope, TraceCollector};
+use crate::trace::{TaskScope, TraceBatch, TraceCollector, TraceStats};
 use crate::worker::{execute_task, spawn_workers};
 use rp_core::trace::ExecutionTrace;
 use rp_priority::Priority;
@@ -45,6 +45,10 @@ pub struct RuntimeConfig {
     pub io_seed: u64,
     /// Whether to record an execution trace (see [`crate::trace`]).
     pub tracing: bool,
+    /// Per-shard event capacity of the trace collector (see
+    /// [`crate::trace::DEFAULT_TRACE_CAPACITY`]).  Overflowing events are
+    /// dropped and counted, never silently lost.
+    pub trace_capacity: usize,
 }
 
 impl RuntimeConfig {
@@ -61,6 +65,7 @@ impl RuntimeConfig {
             io_latency: LatencyModel::Uniform { lo: 200, hi: 2_000 },
             io_seed: 0xC11F,
             tracing: false,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -125,6 +130,14 @@ impl RuntimeConfig {
         self.tracing = tracing;
         self
     }
+
+    /// Sets the per-shard event capacity of the trace collector (minimum 1).
+    /// Post-hoc runs may want it large; drained streaming runs keep buffers
+    /// small and can afford less.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity.max(1);
+        self
+    }
 }
 
 /// The I-Cilk runtime: a fixed set of workers, per-priority pools, the
@@ -169,7 +182,11 @@ impl Runtime {
             let names = (0..priorities.len())
                 .map(|i| priorities.domain().name(priorities.by_index(i)).to_string())
                 .collect();
-            Arc::new(TraceCollector::new(names, config.workers))
+            Arc::new(TraceCollector::with_capacity(
+                names,
+                config.workers,
+                config.trace_capacity,
+            ))
         });
         let shared = SharedState::new_with_trace(priorities, config.workers, kind, trace);
         let workers = spawn_workers(&shared);
@@ -466,6 +483,33 @@ impl Runtime {
     /// spawned task has completed and reconstruction skips nothing.
     pub fn trace_snapshot(&self) -> Option<ExecutionTrace> {
         self.shared.trace.as_ref().map(|tc| tc.snapshot())
+    }
+
+    /// Drains the trace buffers, returning only the events recorded since
+    /// the previous drain, or `None` when the runtime was started without
+    /// tracing.  This is the streaming counterpart of
+    /// [`Runtime::trace_snapshot`]: each call is O(new events) and frees the
+    /// buffer space it consumed, so a long-running service can trace forever
+    /// in bounded memory.  Don't mix the two styles on one run — a snapshot
+    /// taken after a drain only sees the not yet drained remainder.
+    pub fn drain_trace_events(&self) -> Option<TraceBatch> {
+        self.shared.trace.as_ref().map(|tc| tc.drain())
+    }
+
+    /// The trace collector's cumulative counters (recorded / drained /
+    /// dropped / buffered), or `None` when tracing is off.
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.shared.trace.as_ref().map(|tc| tc.stats())
+    }
+
+    /// The traced runtime's `(level names, worker count)` — what a streaming
+    /// consumer needs to configure its reconstructor without snapshotting
+    /// the event buffers.  `None` when tracing is off.
+    pub fn trace_topology(&self) -> Option<(Vec<String>, usize)> {
+        self.shared
+            .trace
+            .as_ref()
+            .map(|tc| (tc.level_names().to_vec(), tc.num_workers()))
     }
 
     /// Time since the runtime started.

@@ -16,8 +16,21 @@
 //! cache-line-padded shard per recording thread (round-robin by the shared
 //! thread ordinal), each behind its own mutex.  A worker only ever locks its
 //! own shard, so recording never takes a global lock; shards are merged only
-//! by [`TraceCollector::snapshot`].  Task keys come from one relaxed atomic
-//! counter — the only cross-thread traffic on the hot path.
+//! by [`TraceCollector::snapshot`] or [`TraceCollector::drain`].  Task keys
+//! come from one relaxed atomic counter — the only cross-thread traffic on
+//! the hot path.
+//!
+//! # Bounded buffers and draining
+//!
+//! Each shard is a *bounded* buffer ([`DEFAULT_TRACE_CAPACITY`] events by
+//! default, configurable per runtime).  A full shard drops new events and
+//! counts them in [`TraceStats::dropped`] — loss is never silent.  Long-running
+//! services keep the buffers small by periodically calling
+//! [`TraceCollector::drain`], which empties the shards and hands back only
+//! the events recorded since the previous drain as a [`TraceBatch`]; the
+//! streaming reconstructor (`rp_core::stream`) consumes those batches.
+//! Post-hoc consumers keep using [`TraceCollector::snapshot`], which copies
+//! without consuming — the two styles should not be mixed on one run.
 
 use crate::metrics::thread_ordinal;
 use parking_lot::Mutex;
@@ -29,6 +42,11 @@ use std::time::Instant;
 /// Default number of trace shards; recording threads beyond this many share
 /// shards round-robin.
 pub const DEFAULT_TRACE_SHARDS: usize = 16;
+
+/// Default per-shard event capacity.  With [`DEFAULT_TRACE_SHARDS`] shards
+/// this bounds an undrained collector at ~1M events; drained collectors stay
+/// far below it.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
 /// Distinguishes collectors so a thread executing tasks of one runtime never
 /// mis-attributes parents or touchers to another runtime's collector.
@@ -51,9 +69,59 @@ thread_local! {
     static CURRENT_TASK: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
 }
 
+/// One shard's bounded buffer plus its lifetime counters.
+#[derive(Default)]
+struct ShardBuf {
+    events: Vec<TraceEvent>,
+    /// Events accepted into this shard since collector creation.
+    recorded: u64,
+    /// Events rejected because the buffer was at capacity.
+    dropped: u64,
+}
+
 /// One trace shard, padded to its own cache lines (see the module docs).
 #[repr(align(128))]
-struct Shard(Mutex<Vec<TraceEvent>>);
+struct Shard(Mutex<ShardBuf>);
+
+/// Cumulative counters for one [`TraceCollector`], as of the moment
+/// [`TraceCollector::stats`] was called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Events accepted into shard buffers since collector creation.
+    pub recorded: u64,
+    /// Events handed out by [`TraceCollector::drain`] so far.
+    pub drained: u64,
+    /// Events dropped because a shard buffer was full.  A healthy drained
+    /// run keeps this at zero; it is never silently reset.
+    pub dropped: u64,
+    /// Events currently sitting in shard buffers (`recorded - drained`).
+    pub buffered: u64,
+    /// The per-shard capacity this collector was built with.
+    pub shard_capacity: usize,
+}
+
+/// One drained batch of trace events: everything recorded since the previous
+/// [`TraceCollector::drain`], merged across shards and stably sorted by
+/// timestamp.
+///
+/// Batches carry a monotone `seq` number plus the collector's cumulative
+/// `recorded`/`dropped` counters at drain time, so a consumer can detect
+/// loss without a side channel.  Note that a drain can race a recording
+/// thread between its clock read and its buffer push: an event with
+/// timestamp `t` may arrive in a *later* batch than events stamped after
+/// `t`.  Streaming consumers tolerate this with a reorder window
+/// (`rp_core::stream`).
+#[derive(Debug, Clone)]
+pub struct TraceBatch {
+    /// Batch sequence number, starting at 0 for the first drain.
+    pub seq: u64,
+    /// The drained events, stably sorted by [`TraceEvent::at`].
+    pub events: Vec<TraceEvent>,
+    /// Cumulative events accepted by the collector at drain time.
+    pub recorded: u64,
+    /// Cumulative events dropped by the collector at drain time.
+    pub dropped: u64,
+}
 
 /// Sharded, per-runtime recorder of [`TraceEvent`]s.
 pub struct TraceCollector {
@@ -63,6 +131,9 @@ pub struct TraceCollector {
     shard_mask: usize,
     level_names: Vec<String>,
     num_workers: usize,
+    shard_capacity: usize,
+    drained: AtomicU64,
+    next_batch: AtomicU64,
 }
 
 impl std::fmt::Debug for TraceCollector {
@@ -76,17 +147,44 @@ impl std::fmt::Debug for TraceCollector {
 
 impl TraceCollector {
     /// A collector for a runtime with the given level names (lowest first)
-    /// and worker count, using [`DEFAULT_TRACE_SHARDS`] shards.
+    /// and worker count, using [`DEFAULT_TRACE_SHARDS`] shards of
+    /// [`DEFAULT_TRACE_CAPACITY`] events each.
     pub fn new(level_names: Vec<String>, num_workers: usize) -> Self {
+        Self::with_capacity(level_names, num_workers, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Like [`TraceCollector::new`] but with an explicit per-shard event
+    /// capacity (minimum 1).  Once a shard is full, further events recorded
+    /// through it are dropped and counted in [`TraceStats::dropped`].
+    pub fn with_capacity(
+        level_names: Vec<String>,
+        num_workers: usize,
+        shard_capacity: usize,
+    ) -> Self {
         let shards = DEFAULT_TRACE_SHARDS.next_power_of_two();
         TraceCollector {
             token: NEXT_COLLECTOR_TOKEN.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
-            shards: (0..shards).map(|_| Shard(Mutex::new(Vec::new()))).collect(),
+            shards: (0..shards)
+                .map(|_| Shard(Mutex::new(ShardBuf::default())))
+                .collect(),
             shard_mask: shards - 1,
             level_names,
             num_workers,
+            shard_capacity: shard_capacity.max(1),
+            drained: AtomicU64::new(0),
+            next_batch: AtomicU64::new(0),
         }
+    }
+
+    /// The level names this collector was built with (lowest first).
+    pub fn level_names(&self) -> &[String] {
+        &self.level_names
+    }
+
+    /// The worker count this collector was built with.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
     }
 
     fn now(&self) -> u64 {
@@ -95,7 +193,13 @@ impl TraceCollector {
 
     fn record(&self, event: TraceEvent) {
         let shard = &self.shards[thread_ordinal() & self.shard_mask];
-        shard.0.lock().push(event);
+        let mut buf = shard.0.lock();
+        if buf.events.len() < self.shard_capacity {
+            buf.events.push(event);
+            buf.recorded += 1;
+        } else {
+            buf.dropped += 1;
+        }
     }
 
     /// The task currently executing on this thread, if it belongs to this
@@ -160,16 +264,69 @@ impl TraceCollector {
     /// Merges the shards into a time-ordered [`ExecutionTrace`].  The sort
     /// is stable, so events recorded by one thread keep their relative order
     /// even when the clock ties.
+    ///
+    /// Copies without consuming — the post-hoc path.  On a run that also
+    /// [`drain`](TraceCollector::drain)s, a snapshot only sees the not yet
+    /// drained remainder.
     pub fn snapshot(&self) -> ExecutionTrace {
         let mut events: Vec<TraceEvent> = Vec::new();
         for shard in &self.shards {
-            events.extend(shard.0.lock().iter().copied());
+            events.extend(shard.0.lock().events.iter().copied());
         }
         events.sort_by_key(TraceEvent::at);
         ExecutionTrace {
             events,
             num_workers: self.num_workers,
             level_names: self.level_names.clone(),
+        }
+    }
+
+    /// Empties every shard and returns the events recorded since the
+    /// previous drain as one stably time-sorted [`TraceBatch`].
+    ///
+    /// This is the streaming path: each call is O(events since last drain),
+    /// independent of total run length, and frees the buffer space it
+    /// consumed.  See [`TraceBatch`] for the ordering caveat near the drain
+    /// boundary.
+    pub fn drain(&self) -> TraceBatch {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut recorded = 0;
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut buf = shard.0.lock();
+            events.append(&mut buf.events);
+            recorded += buf.recorded;
+            dropped += buf.dropped;
+        }
+        events.sort_by_key(TraceEvent::at);
+        self.drained
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        TraceBatch {
+            seq: self.next_batch.fetch_add(1, Ordering::Relaxed),
+            events,
+            recorded,
+            dropped,
+        }
+    }
+
+    /// Current cumulative counters (recorded / drained / dropped /
+    /// buffered).  Cheap enough for periodic gauges: it locks each shard
+    /// once without copying events.
+    pub fn stats(&self) -> TraceStats {
+        let mut recorded = 0;
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let buf = shard.0.lock();
+            recorded += buf.recorded;
+            dropped += buf.dropped;
+        }
+        let drained = self.drained.load(Ordering::Relaxed);
+        TraceStats {
+            recorded,
+            drained,
+            dropped,
+            buffered: recorded.saturating_sub(drained),
+            shard_capacity: self.shard_capacity,
         }
     }
 }
@@ -285,6 +442,60 @@ mod tests {
         assert_eq!(run.dag.thread_count(), 1);
         assert_eq!(run.dag.touch_edges().len(), 0, "foreign touch dropped");
         assert_eq!(run.dag.weak_edges().len(), 0);
+    }
+
+    /// `drain` hands out exactly the events recorded since the previous
+    /// drain — deltas, not history — and a quiet collector drains empty.
+    #[test]
+    fn drain_returns_deltas_and_empties_buffers() {
+        let tc = TraceCollector::new(vec!["only".into()], 1);
+        let a = tc.record_spawn(0);
+        tc.record_touch(a);
+        let first = tc.drain();
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.events.len(), 2);
+        assert_eq!(first.recorded, 2);
+        assert_eq!(first.dropped, 0);
+        assert!(first.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+
+        let quiet = tc.drain();
+        assert_eq!(quiet.seq, 1);
+        assert!(quiet.events.is_empty());
+
+        let b = tc.record_spawn(0);
+        tc.record_io_complete(b);
+        let second = tc.drain();
+        assert_eq!(second.seq, 2);
+        assert_eq!(second.events.len(), 2, "only the new events");
+        assert_eq!(second.recorded, 4, "counters stay cumulative");
+
+        let stats = tc.stats();
+        assert_eq!(stats.recorded, 4);
+        assert_eq!(stats.drained, 4);
+        assert_eq!(stats.buffered, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    /// A full shard drops new events loudly: the counter moves, nothing is
+    /// silently overwritten, and draining frees capacity again.
+    #[test]
+    fn capacity_overflow_drops_and_counts() {
+        let tc = TraceCollector::with_capacity(vec!["only".into()], 1, 2);
+        // All records from this one test thread land in the same shard.
+        let a = tc.record_spawn(0);
+        tc.record_touch(a);
+        tc.record_touch(a); // shard is full: dropped
+        let stats = tc.stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.shard_capacity, 2);
+
+        let batch = tc.drain();
+        assert_eq!(batch.events.len(), 2);
+        assert_eq!(batch.dropped, 1, "drops are visible in the batch");
+        tc.record_touch(a);
+        assert_eq!(tc.stats().dropped, 1, "room again after the drain");
+        assert_eq!(tc.stats().buffered, 1);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   `w(c)` of each request class, fed from the runtime's sharded
 //!   [`MetricsCollector`](rp_icilk::metrics::MetricsCollector) snapshots
 //!   (per-level compute-time sums, aggregated to classes), and a **span
-//!   fraction** `φ(c)` (the serial share of a request, 1.0 until a trace
-//!   snapshot refines it — see [`AdmissionController::refresh_from_trace`]);
+//!   fraction** `φ(c)` (the serial share of a request, 1.0 until the
+//!   streaming reconstructor's running aggregates refine it — see
+//!   [`AdmissionController::refresh_from_stream`]);
 //! * per class `c`, the competitor work is estimated from the requests
 //!   currently in flight at classes that are *not strictly below* `c`
 //!   (`⊀` on the server's totally ordered level list), giving the predicted
@@ -37,7 +38,7 @@
 
 use crate::protocol::RequestClass;
 use parking_lot::Mutex;
-use rp_apps::harness::TraceRunReport;
+use rp_core::stream::StreamAggregates;
 use rp_icilk::metrics::MetricsSnapshot;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
@@ -141,9 +142,15 @@ impl AdmissionConfig {
 struct Estimates {
     /// EWMA per-request work per class, nanoseconds.
     w_ns: [f64; CLASSES],
-    /// Serial fraction of a request (span/work), 1.0 until a trace refines
-    /// it.
+    /// Serial fraction of a request (span/work), 1.0 until the streaming
+    /// aggregates refine it.
     span_fraction: [f64; CLASSES],
+    /// Mean competitor work `W` per retired thread (vertices), per class,
+    /// from the streaming aggregates.
+    stream_work: [Option<f64>; CLASSES],
+    /// Mean a-span `S` per retired thread (vertices), per class, from the
+    /// streaming aggregates.
+    stream_span: [Option<f64>; CLASSES],
     /// Completed requests folded into `w_ns` so far, per class.
     samples: [u64; CLASSES],
     /// Per level: completed-task count at the last refresh.
@@ -178,6 +185,16 @@ pub struct AdmissionSnapshot {
     pub work_estimate_micros: [Option<f64>; CLASSES],
     /// The span fraction per class (1.0 = assumed fully serial).
     pub span_fraction: [f64; CLASSES],
+    /// Live bound-slack gauge: predicted response over budget per class
+    /// (> 1 means the class's budget is predicted to be violated).  `None`
+    /// for classes without a budget or before the first prediction.
+    pub bound_slack: [Option<f64>; CLASSES],
+    /// Mean competitor work `W` (in cost-graph vertices) per class, from
+    /// the streaming reconstructor's retired subgraphs.
+    pub stream_work_vertices: [Option<f64>; CLASSES],
+    /// Mean a-span `S` (in cost-graph vertices) per class, from the
+    /// streaming reconstructor's retired subgraphs.
+    pub stream_span_vertices: [Option<f64>; CLASSES],
 }
 
 impl AdmissionSnapshot {
@@ -254,6 +271,8 @@ impl AdmissionController {
             est: Mutex::new(Estimates {
                 w_ns: [config.default_work.as_nanos() as f64; CLASSES],
                 span_fraction: [1.0; CLASSES],
+                stream_work: [None; CLASSES],
+                stream_span: [None; CLASSES],
                 samples: [0; CLASSES],
                 seen_tasks: vec![0; levels],
                 seen_compute_ns: vec![0.0; levels],
@@ -399,36 +418,46 @@ impl AdmissionController {
         order
     }
 
-    /// Refines the span fractions from a traced run: per class, the mean of
-    /// `a_span / |thread vertices|` over the class's reconstructed threads —
+    /// Refines the span fractions and per-class (W, S) estimates from the
+    /// streaming reconstructor's running aggregates: per class, the
+    /// vertex-weighted `Σ a_span / Σ own vertices` over the class's levels —
     /// the serial share of a request's critical path in the paper's own
     /// vertex units.  Wall-clock scale keeps coming from the metrics; the
     /// trace contributes *structure* (how parallel each class's handlers
     /// really are).
-    pub fn refresh_from_trace(&self, report: &TraceRunReport) {
+    ///
+    /// The aggregates are a fixed-size running summary, so a refresh costs
+    /// O(levels) regardless of how long the server has been up — this
+    /// replaced an earlier design that re-sorted a full trace snapshot.
+    pub fn refresh_from_stream(&self, aggregates: &StreamAggregates) {
         if !self.config.enabled {
             return;
         }
-        let mut sums = [0.0f64; CLASSES];
-        let mut counts = [0u32; CLASSES];
-        for r in &report.observed {
-            if r.task.is_io {
-                continue;
-            }
-            let Some(Some(class)) = self.class_of_level.get(r.task.level) else {
+        let mut span_sums = [0u64; CLASSES];
+        let mut own_sums = [0u64; CLASSES];
+        let mut work_sums = [0u64; CLASSES];
+        let mut threads = [0u64; CLASSES];
+        for (level, class) in self.class_of_level.iter().enumerate() {
+            let Some(class) = class else { continue };
+            let Some(agg) = aggregates.levels.get(level) else {
                 continue;
             };
-            let own = report.run.dag.thread(r.report.thread).vertices.len().max(1);
-            let fraction = (r.report.a_span as f64 / own as f64).clamp(0.05, 1.0);
-            sums[class.tag() as usize] += fraction;
-            counts[class.tag() as usize] += 1;
+            let i = class.tag() as usize;
+            span_sums[i] += agg.span_sum;
+            own_sums[i] += agg.own_vertices;
+            work_sums[i] += agg.work_sum;
+            threads[i] += agg.threads;
         }
         let alpha = self.config.ewma_alpha.clamp(0.01, 1.0);
         let mut est = self.est.lock();
         for i in 0..CLASSES {
-            if counts[i] > 0 {
-                let observed = sums[i] / counts[i] as f64;
+            if own_sums[i] > 0 {
+                let observed = (span_sums[i] as f64 / own_sums[i] as f64).clamp(0.05, 1.0);
                 est.span_fraction[i] = alpha * observed + (1.0 - alpha) * est.span_fraction[i];
+            }
+            if threads[i] > 0 {
+                est.stream_work[i] = Some(work_sums[i] as f64 / threads[i] as f64);
+                est.stream_span[i] = Some(span_sums[i] as f64 / threads[i] as f64);
             }
         }
     }
@@ -451,6 +480,13 @@ impl AdmissionController {
                 (est.samples[i] > 0).then(|| est.w_ns[i] / 1_000.0)
             }),
             span_fraction: est.span_fraction,
+            bound_slack: std::array::from_fn(|i| {
+                let budget = self.config.budgets[i].budget?;
+                ((est.samples[i] > 0 || est.predicted_ns[i] > 0.0) && !budget.is_zero())
+                    .then(|| est.predicted_ns[i] / budget.as_nanos() as f64)
+            }),
+            stream_work_vertices: est.stream_work,
+            stream_span_vertices: est.stream_span,
         }
     }
 }
@@ -551,6 +587,9 @@ mod tests {
         let p = snap.predicted_response_micros[RequestClass::Lambda.tag() as usize]
             .expect("prediction exists");
         assert!(p > 50_000.0, "predicted {p}µs must exceed the 50ms budget");
+        let slack = snap.bound_slack[RequestClass::Lambda.tag() as usize]
+            .expect("budgeted class has a slack gauge");
+        assert!(slack > 1.0, "predicted/budget {slack} must exceed 1");
 
         // Shed requests are rejected and counted, never silently dropped.
         assert!(!c.admit(RequestClass::Lambda));
@@ -626,6 +665,50 @@ mod tests {
         );
         // λ levels never leak into the app estimate.
         assert!(c.snapshot().work_estimate_micros[RequestClass::Lambda.tag() as usize].is_none());
+    }
+
+    /// The streaming aggregates refine span fractions and surface (W, S) —
+    /// and the refresh is O(levels): the aggregate is the same fixed-size
+    /// summary whether it describes ten requests or ten million, so the
+    /// cost is independent of run length (the regression this guards
+    /// against: the old design re-sorted a full trace snapshot here).
+    #[test]
+    fn stream_aggregates_refine_span_fractions_and_expose_w_s() {
+        use rp_core::stream::LevelAggregate;
+        let c = controller(50, 50);
+        let lambda = RequestClass::Lambda.tag() as usize;
+        assert_eq!(c.snapshot().span_fraction[lambda], 1.0, "serial prior");
+
+        let mut levels = vec![LevelAggregate::default(); LEVELS.len()];
+        // The lambda level (index 1), as if after 10 million retired
+        // requests: 4 own vertices each, a-span 1, competitor work 20.
+        let n = 10_000_000u64;
+        levels[1] = LevelAggregate {
+            threads: n,
+            own_vertices: 4 * n,
+            span_sum: n,
+            work_sum: 20 * n,
+            ..LevelAggregate::default()
+        };
+        let aggregates = StreamAggregates {
+            levels,
+            retired_subgraphs: n,
+            ..StreamAggregates::default()
+        };
+        c.refresh_from_stream(&aggregates);
+        let snap = c.snapshot();
+        // EWMA from 1.0 toward the observed 0.25: 0.3·0.25 + 0.7·1.0.
+        assert!(
+            (snap.span_fraction[lambda] - 0.775).abs() < 1e-9,
+            "got {}",
+            snap.span_fraction[lambda]
+        );
+        assert_eq!(snap.stream_work_vertices[lambda], Some(20.0));
+        assert_eq!(snap.stream_span_vertices[lambda], Some(1.0));
+        // Classes with no retired threads keep their prior, quietly.
+        let app = RequestClass::App.tag() as usize;
+        assert_eq!(snap.span_fraction[app], 1.0);
+        assert_eq!(snap.stream_work_vertices[app], None);
     }
 
     #[test]
