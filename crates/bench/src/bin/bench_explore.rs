@@ -1,0 +1,338 @@
+//! DPOR schedule-explorer sweep: every explorer fixture is exhaustively
+//! model-checked (`rp_lambda4i::explore`) and its golden verdict re-asserted,
+//! then a seeded corpus of generated programs — type-safe and race-free by
+//! construction (spawned children are pure) — is explored as a soundness
+//! gate.  Any Theorem 2.3 counterexample, any nondeterministic outcome on a
+//! race-free program, any racy pair in the generated corpus, or a fixture
+//! verdict that drifts from its golden classification means the explorer,
+//! the race detector, or the machine semantics is buggy, so the binary
+//! prints the offending rows and **exits non-zero**.
+//!
+//! Usage: `bench_explore [--quick] [--out PATH]`
+//!
+//! * `--quick` shrinks the generated corpus for CI smoke runs;
+//! * `--out PATH` writes the JSON report (default `BENCH_explore.json`).
+//!
+//! The JSON records, per fixture, the explored/pruned schedule counts, the
+//! race classification tallies, the Theorem 2.3 check totals, and the
+//! exploration time; the corpus section aggregates the same counters over
+//! all seeds.
+
+use rp_lambda4i::explore::{explore_program, ExploreConfig, ExploreReport};
+use rp_lambda4i::generate::{random_program, GenConfig};
+use rp_lambda4i::pretty::expr_to_string;
+use rp_lambda4i::progs;
+use rp_lambda4i::syntax::Program;
+use rp_lambda4i::typecheck::infer_program;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The golden verdict a fixture must reproduce.
+struct Expectation {
+    /// Whether the explorer must report at least one racy pair.
+    racy: bool,
+    /// The exact sorted set of final values, when outcome-deterministic
+    /// enough to pin down (`None` skips the value check).
+    values: Option<Vec<&'static str>>,
+}
+
+struct Row {
+    name: String,
+    explore_millis: f64,
+    schedules: usize,
+    pruned: usize,
+    sleep_pruned: usize,
+    complete: bool,
+    outcomes: usize,
+    races: usize,
+    ordered_pairs: usize,
+    cas_pairs: usize,
+    bounds_checked: usize,
+    bounds_vacuous: usize,
+    bound_counterexamples: usize,
+    max_depth: usize,
+    total_steps: usize,
+    values: Vec<String>,
+}
+
+fn summarise(name: &str, explore_millis: f64, r: &ExploreReport) -> Row {
+    let mut values: Vec<String> = r
+        .outcomes
+        .iter()
+        .map(|o| expr_to_string(&o.value))
+        .collect();
+    values.sort();
+    Row {
+        name: name.to_string(),
+        explore_millis,
+        schedules: r.schedules_explored,
+        pruned: r.pruned_choices,
+        sleep_pruned: r.sleep_pruned,
+        complete: r.complete,
+        outcomes: r.outcomes.len(),
+        races: r.races.len(),
+        ordered_pairs: r.ordered_pairs,
+        cas_pairs: r.cas_pairs,
+        bounds_checked: r.bounds_checked,
+        bounds_vacuous: r.bounds_vacuous,
+        bound_counterexamples: r.bound_counterexamples,
+        max_depth: r.max_depth,
+        total_steps: r.total_steps,
+        values,
+    }
+}
+
+fn check_fixture(row: &Row, expect: &Expectation, failures: &mut Vec<String>) {
+    let name = &row.name;
+    if !row.complete {
+        failures.push(format!("{name}: fixture space not exhausted"));
+    }
+    if row.bound_counterexamples > 0 {
+        failures.push(format!(
+            "{name}: {} Theorem 2.3 counterexample(s)",
+            row.bound_counterexamples
+        ));
+    }
+    if (row.races > 0) != expect.racy {
+        failures.push(format!(
+            "{name}: race verdict drifted (got {} racy pair(s), expected racy={})",
+            row.races, expect.racy
+        ));
+    }
+    if let Some(want) = &expect.values {
+        if row.values != *want {
+            failures.push(format!(
+                "{name}: outcome set {:?} != golden {:?}",
+                row.values, want
+            ));
+        }
+    }
+    if !expect.racy && row.outcomes > 1 {
+        failures.push(format!(
+            "{name}: race-free fixture produced {} distinct outcomes",
+            row.outcomes
+        ));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    let config = ExploreConfig::default();
+    println!(
+        "bench_explore: DPOR interleaving sweep (quick={quick}, budget={} schedules)",
+        config.max_schedules
+    );
+
+    // The explorer fixtures and their golden verdicts (kept in sync with
+    // `crates/lambda4i/tests/explore.rs`).
+    let fixtures: Vec<(&'static str, Program, Expectation)> = vec![
+        (
+            "racy-counter",
+            progs::racy_counter_program(),
+            Expectation {
+                racy: true,
+                values: Some(vec!["1", "2"]),
+            },
+        ),
+        (
+            "cas-counter",
+            progs::cas_counter_program(),
+            Expectation {
+                racy: false,
+                values: Some(vec!["2"]),
+            },
+        ),
+        (
+            "handoff",
+            progs::handoff_program(),
+            Expectation {
+                racy: false,
+                values: Some(vec!["42"]),
+            },
+        ),
+        (
+            "figure1",
+            progs::figure1_program(),
+            Expectation {
+                racy: true,
+                values: None,
+            },
+        ),
+        (
+            "parallel-fib",
+            progs::parallel_fib(5),
+            Expectation {
+                racy: false,
+                values: Some(vec!["5"]),
+            },
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for (name, prog, expect) in &fixtures {
+        let t0 = Instant::now();
+        match explore_program(prog, &config) {
+            Ok(report) => {
+                let row = summarise(name, t0.elapsed().as_secs_f64() * 1e3, &report);
+                check_fixture(&row, expect, &mut failures);
+                rows.push(row);
+            }
+            Err(e) => failures.push(format!("{name}: exploration failed: {e}")),
+        }
+    }
+
+    // Seeded corpus: generated programs are type-safe and their spawned
+    // children are pure, so every one must explore race-free and
+    // deterministic.  Free priority variables are solved first.
+    let seeds: u64 = if quick { 8 } else { 32 };
+    let gen_config = GenConfig::default();
+    let mut corpus_schedules = 0usize;
+    let mut corpus_pruned = 0usize;
+    let mut corpus_steps = 0usize;
+    let mut corpus_races = 0usize;
+    let mut corpus_nondet = 0usize;
+    let mut corpus_cex = 0usize;
+    let mut corpus_incomplete = 0usize;
+    let t_corpus = Instant::now();
+    for seed in 0..seeds {
+        let generated = random_program(seed, &gen_config);
+        let inferred = match infer_program(&generated) {
+            Ok(i) => i,
+            Err(e) => {
+                failures.push(format!("corpus seed {seed}: inference failed: {e}"));
+                continue;
+            }
+        };
+        match explore_program(&inferred.program, &config) {
+            Ok(report) => {
+                corpus_schedules += report.schedules_explored;
+                corpus_pruned += report.pruned_choices;
+                corpus_steps += report.total_steps;
+                corpus_races += report.races.len();
+                corpus_cex += report.bound_counterexamples;
+                if !report.complete {
+                    corpus_incomplete += 1;
+                }
+                if report.racy() {
+                    failures.push(format!(
+                        "corpus seed {seed}: {} racy pair(s) in a program whose children are pure",
+                        report.races.len()
+                    ));
+                }
+                if !report.deterministic() {
+                    corpus_nondet += 1;
+                    failures.push(format!(
+                        "corpus seed {seed}: {} distinct outcomes in a race-free program",
+                        report.outcomes.len()
+                    ));
+                }
+                if report.bound_counterexamples > 0 {
+                    failures.push(format!(
+                        "corpus seed {seed}: {} Theorem 2.3 counterexample(s)",
+                        report.bound_counterexamples
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("corpus seed {seed}: exploration failed: {e}")),
+        }
+    }
+    let corpus_millis = t_corpus.elapsed().as_secs_f64() * 1e3;
+
+    for row in &rows {
+        println!(
+            "{:<16} {:>8.1}ms  {:>6} sched/{:>6} pruned/{:>4} sleep  depth {:>4}  races {:>2}  ordered {:>2}  cas {:>2}  bounds {:>4}/{:>4} vac/{} cex  complete {}  values {:?}",
+            row.name,
+            row.explore_millis,
+            row.schedules,
+            row.pruned,
+            row.sleep_pruned,
+            row.max_depth,
+            row.races,
+            row.ordered_pairs,
+            row.cas_pairs,
+            row.bounds_checked,
+            row.bounds_vacuous,
+            row.bound_counterexamples,
+            row.complete,
+            row.values,
+        );
+    }
+    println!(
+        "corpus           {corpus_millis:>8.1}ms  {seeds} seeds  {corpus_schedules} sched/{corpus_pruned} pruned  {corpus_steps} steps  races {corpus_races}  nondet {corpus_nondet}  cex {corpus_cex}  incomplete {corpus_incomplete}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"kernel\": \"bench_explore\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"max_schedules\": {},", config.max_schedules);
+    json.push_str("  \"fixtures\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let values: Vec<String> = row
+            .values
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"explore_millis\": {:.1}, \
+             \"schedules_explored\": {}, \"pruned_choices\": {}, \"sleep_pruned\": {}, \
+             \"complete\": {}, \"max_depth\": {}, \"total_steps\": {}, \
+             \"outcomes\": {}, \"races\": {}, \"ordered_pairs\": {}, \"cas_pairs\": {}, \
+             \"bounds\": {{\"checked\": {}, \"vacuous\": {}, \"counterexamples\": {}}}, \
+             \"values\": [{}]}}",
+            row.name,
+            row.explore_millis,
+            row.schedules,
+            row.pruned,
+            row.sleep_pruned,
+            row.complete,
+            row.max_depth,
+            row.total_steps,
+            row.outcomes,
+            row.races,
+            row.ordered_pairs,
+            row.cas_pairs,
+            row.bounds_checked,
+            row.bounds_vacuous,
+            row.bound_counterexamples,
+            values.join(", "),
+        );
+        let _ = writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"seeds\": {seeds}, \"explore_millis\": {corpus_millis:.1}, \
+         \"schedules_explored\": {corpus_schedules}, \"pruned_choices\": {corpus_pruned}, \
+         \"total_steps\": {corpus_steps}, \"races\": {corpus_races}, \
+         \"nondeterministic\": {corpus_nondet}, \"bound_counterexamples\": {corpus_cex}, \
+         \"incomplete\": {corpus_incomplete}}},"
+    );
+    let _ = writeln!(json, "  \"failures\": {}", failures.len());
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        eprintln!("bench_explore: {} FAILURE(S):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "a racy pair in the pure-children corpus, a nondeterministic race-free program, or a \
+             Theorem 2.3 counterexample means the explorer, race detector, or machine is buggy"
+        );
+        std::process::exit(1);
+    }
+}

@@ -240,6 +240,56 @@ pub fn check_response_time_bound(dag: &CostDag, schedule: &Schedule, a: ThreadId
     BoundAnalysis::new(dag).check(schedule, a)
 }
 
+/// The Theorem 2.3 verdict for one whole schedule: every thread's report
+/// plus the aggregate facts callers gate on.
+///
+/// This is the per-schedule entry point the schedule explorer uses: it runs
+/// the same batch check as [`check_bounds_batch`] and pre-computes the
+/// summary counts so a caller sweeping thousands of schedules can accumulate
+/// totals without re-walking the reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleBounds {
+    /// One report per thread, indexed by thread id (`ThreadId::index`).
+    pub reports: Vec<BoundReport>,
+    /// Whether the theorem's hypotheses (well-formed graph, admissible
+    /// prompt schedule) held — identical across threads, hoisted out.
+    pub hypotheses_hold: bool,
+    /// Threads whose report is a counterexample (hypotheses hold, bound
+    /// violated).  Empty unless Theorem 2.3 is falsified.
+    pub counterexamples: Vec<ThreadId>,
+}
+
+impl ScheduleBounds {
+    /// Whether any thread's report falsifies Theorem 2.3.
+    pub fn any_counterexample(&self) -> bool {
+        !self.counterexamples.is_empty()
+    }
+
+    /// Whether the check was vacuous: the hypotheses did not hold (for
+    /// example a serialized exploration schedule that is admissible but not
+    /// prompt), so the theorem makes no claim about this schedule.
+    pub fn vacuous(&self) -> bool {
+        !self.hypotheses_hold
+    }
+}
+
+/// Checks Theorem 2.3 for every thread of the graph against one schedule and
+/// summarizes the verdict.  See [`ScheduleBounds`].
+pub fn check_schedule(dag: &CostDag, schedule: &Schedule) -> ScheduleBounds {
+    let reports = check_bounds_batch(dag, schedule);
+    let hypotheses_hold = reports.first().is_none_or(BoundReport::hypotheses_hold);
+    let counterexamples = reports
+        .iter()
+        .filter(|r| r.is_counterexample())
+        .map(|r| r.thread)
+        .collect();
+    ScheduleBounds {
+        reports,
+        hypotheses_hold,
+        counterexamples,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

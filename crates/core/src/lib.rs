@@ -90,8 +90,8 @@ pub mod prelude {
     pub use crate::adjacency::{Adjacency, ReadyTracker};
     pub use crate::analysis::Reachability;
     pub use crate::bound::{
-        check_bounds_batch, check_response_time_bound, response_time_bound, BoundAnalysis,
-        BoundReport,
+        check_bounds_batch, check_response_time_bound, check_schedule, response_time_bound,
+        BoundAnalysis, BoundReport, ScheduleBounds,
     };
     pub use crate::build::{DagBuildError, DagBuilder};
     pub use crate::graph::{CostDag, EdgeKind, ThreadId, VertexId};

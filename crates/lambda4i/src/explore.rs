@@ -1,0 +1,987 @@
+//! A stateless DPOR model checker for the λ⁴ᵢ abstract machine.
+//!
+//! [`explore_program`] enumerates the D-Par interleavings of a program at
+//! single-step granularity: every scheduling point picks one runnable thread,
+//! so the explored executions are exactly the serializations of the machine's
+//! transition relation.  Because [`Machine::step_thread`] is pure and
+//! replayable, the explorer is *stateless* in the Flanagan–Godefroid sense —
+//! it keeps only the current execution's scheduling stack and re-runs the
+//! machine from scratch after each backtrack.
+//!
+//! Two pruning techniques cut the interleaving space without losing any
+//! observable behavior:
+//!
+//! * **Persistent-set (DPOR) backtracking.**  At every scheduling point the
+//!   explorer initially commits to one thread.  While executing, it watches
+//!   each enabled thread's [`pending_effect`](Machine::pending_effect) — the
+//!   machine makes the next shared-state interaction syntactically evident —
+//!   and whenever a pending effect conflicts with an already-executed event
+//!   that is not happens-before-ordered with it, the conflicting thread is
+//!   added to the *backtrack set* of the scheduling point that ran the
+//!   earlier event.  Only those backtrack choices are explored.
+//! * **Sleep sets.**  After a choice's subtree is fully explored, the choice
+//!   goes to sleep for its sibling branches; a sleeping thread is not picked
+//!   again until some dependent event wakes it.  Branches whose every enabled
+//!   thread is asleep are provably redundant and abandoned.
+//!
+//! The happens-before relation driving the backtrack test is tracked with
+//! exact per-location vector clocks (last-write clock, reads-since-write
+//! join) — over-approximating it would *hide* backtrack points and make the
+//! reduction unsound, so no shortcuts are taken.  Two deliberate,
+//! documented refinements of the dependence relation keep fork-join programs
+//! tractable:
+//!
+//! * two `fcreate` steps are treated as independent even though they race on
+//!   the thread-name counter: exploring both orders would only permute
+//!   [`ThreadSym`] names, so outcomes are compared modulo thread naming and
+//!   a pure fork-join program like `parallel_fib` explores in one schedule;
+//! * `ftouch` and thread completion are never *co-enabled* (the machine
+//!   blocks a toucher until its target finishes), so the pair is excluded
+//!   from backtracking — though the finish→touch edge still enters every
+//!   happens-before clock.
+//!
+//! On every complete execution the explorer checks three properties:
+//!
+//! 1. **Theorem 2.3** on the reconstructed cost graph via
+//!    [`rp_core::bound::check_schedule`].  Serialized exploration schedules
+//!    are admissible by construction but rarely prompt, so the theorem is
+//!    often vacuous for them; the report counts vacuous checks honestly
+//!    instead of claiming evidence it does not have.
+//! 2. **Value determinism**: the main thread's final value and the final
+//!    heap (as a sorted multiset of pretty-printed cell values, insulating
+//!    the comparison from location and thread renaming) must be identical
+//!    across all explored schedules.
+//! 3. **Race freedom**: the [`RaceDetector`] classifies every conflicting
+//!    `dcl/!/:=/cas` pair as ordered, CAS-synchronized, or racy; racy pairs
+//!    are reported with both access sites and an exhibiting schedule per
+//!    observed direction.
+
+use crate::machine::{Machine, MachineError, PendingEffect, StepEffect, StepOutcome};
+use crate::pretty::expr_to_string;
+use crate::syntax::{Expr, LocId, Program, ThreadSym};
+use crate::vclock::{AccessKind, PairOrder, RaceDetector, RacePair, VClock};
+use rp_core::bound::check_schedule;
+use rp_core::graph::VertexId;
+use rp_core::schedule::Schedule;
+use std::collections::{BTreeSet, HashMap};
+
+/// How aggressively the explorer prunes the interleaving space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploreMode {
+    /// Sleep sets + persistent-set (DPOR) backtracking: sound for all the
+    /// properties checked, exponentially smaller on independent programs.
+    #[default]
+    Dpor,
+    /// Full enumeration of every serialization, no pruning.  Exists to
+    /// cross-check the DPOR reduction on small programs.
+    Full,
+}
+
+/// Exploration budget and switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Pruning mode.
+    pub mode: ExploreMode,
+    /// Maximum number of executions (complete or sleep-abandoned) before the
+    /// explorer gives up and reports `complete = false`.
+    pub max_schedules: usize,
+    /// Per-execution step cap (runaway guard).
+    pub max_steps: usize,
+    /// Whether to reconstruct the cost graph and check Theorem 2.3 on every
+    /// explored schedule.
+    pub check_bounds: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            mode: ExploreMode::Dpor,
+            max_schedules: 10_000,
+            max_steps: 100_000,
+            check_bounds: true,
+        }
+    }
+}
+
+/// An explicit schedule: the thread symbols stepped at each parallel step.
+/// Replayable through [`crate::run::run_with_schedule`].
+pub type Script = Vec<Vec<ThreadSym>>;
+
+/// One access site of a race report, identified schedule-independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRef {
+    /// The accessing thread.
+    pub thread: ThreadSym,
+    /// The thread-local effect ordinal of the access (stable across
+    /// schedules; see [`crate::machine::StepAccess::ordinal`]).
+    pub ordinal: usize,
+    /// The machine rule that performed the access (e.g. `"set-write"`).
+    pub label: &'static str,
+    /// The accessed cell.
+    pub loc: LocId,
+    /// What the access did.
+    pub kind: AccessKind,
+}
+
+/// A data race found by the explorer: two conflicting, unordered access
+/// sites plus the divergent schedules that exhibit each execution order.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// One access site (the lexicographically smaller `(thread, ordinal)`).
+    pub first: SiteRef,
+    /// The other access site.
+    pub second: SiteRef,
+    /// Exhibiting schedules, one per observed execution order of the pair
+    /// (up to two).  Replaying these through
+    /// [`crate::run::run_with_schedule`] reproduces the race.
+    pub schedules: Vec<Script>,
+}
+
+/// One distinct observable outcome (final value + final heap) with an
+/// exhibiting schedule.
+#[derive(Debug, Clone)]
+pub struct OutcomeReport {
+    /// The main thread's final value.
+    pub value: Expr,
+    /// The final heap as a sorted multiset of pretty-printed cell values
+    /// (insensitive to location numbering).
+    pub heap: Vec<String>,
+    /// How many explored schedules produced this outcome.
+    pub count: usize,
+    /// A schedule producing it.
+    pub schedule: Script,
+}
+
+/// The result of exploring a program's interleaving space.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The program's name.
+    pub name: String,
+    /// The pruning mode used.
+    pub mode: ExploreMode,
+    /// Complete executions explored.
+    pub schedules_explored: usize,
+    /// Scheduling choices that DPOR proved redundant and never ran: enabled
+    /// threads at retired scheduling points that no backtrack set demanded.
+    pub pruned_choices: usize,
+    /// Branches abandoned (or backtrack choices skipped) because sleep sets
+    /// proved them redundant.
+    pub sleep_pruned: usize,
+    /// Whether the space was exhausted within the budget.  When `false`,
+    /// every count below is a lower bound.
+    pub complete: bool,
+    /// Distinct observable outcomes.  A deterministic program has exactly
+    /// one.
+    pub outcomes: Vec<OutcomeReport>,
+    /// Distinct racy access-site pairs.
+    pub races: Vec<RaceReport>,
+    /// Distinct conflicting pairs whose every observation was ordered by
+    /// program order / fcreate / ftouch alone.
+    pub ordered_pairs: usize,
+    /// Distinct conflicting pairs ordered only through CAS synchronization
+    /// in at least one observation (and never racy).
+    pub cas_pairs: usize,
+    /// Schedules on which Theorem 2.3 was checked.
+    pub bounds_checked: usize,
+    /// Checks that were vacuous (hypotheses did not hold — serialized
+    /// schedules are admissible but usually not prompt).
+    pub bounds_vacuous: usize,
+    /// Checks that falsified the theorem.  Must be zero.
+    pub bound_counterexamples: usize,
+    /// Deepest scheduling stack reached (= longest execution in steps).
+    pub max_depth: usize,
+    /// Total machine steps across all executions.
+    pub total_steps: usize,
+}
+
+impl ExploreReport {
+    /// Whether every explored schedule produced the same value and heap.
+    pub fn deterministic(&self) -> bool {
+        self.outcomes.len() <= 1
+    }
+
+    /// Whether any racy pair was found.
+    pub fn racy(&self) -> bool {
+        !self.races.is_empty()
+    }
+}
+
+/// One scheduling point of the current execution.
+#[derive(Debug)]
+struct Point {
+    /// The thread currently chosen at this point.
+    chosen: ThreadSym,
+    /// Threads that were runnable here.
+    enabled: Vec<ThreadSym>,
+    /// Threads that must (eventually) be explored here.
+    backtrack: BTreeSet<ThreadSym>,
+    /// Threads already explored (or proven redundant) here.
+    done: BTreeSet<ThreadSym>,
+    /// Sleep set governing the current choice's subtree.
+    sleep: BTreeSet<ThreadSym>,
+}
+
+/// One executed event of the current execution (index-aligned with the
+/// scheduling stack).
+#[derive(Debug)]
+struct Event {
+    thread: ThreadSym,
+    effect: Option<StepEffect>,
+    /// The acting thread's happens-before clock *after* the event.
+    clock: VClock,
+}
+
+enum ExecStatus {
+    /// Ran to completion (all threads done).
+    Complete,
+    /// Abandoned: every enabled thread was asleep, so the branch is
+    /// redundant.
+    SleepBlocked,
+}
+
+/// Explores every (DPOR-reduced) interleaving of `program`, checking
+/// Theorem 2.3, value determinism, and race freedom on each.
+///
+/// # Errors
+///
+/// Returns a [`MachineError`] if any interleaving gets stuck (ill-typed
+/// input), deadlocks, or exceeds `config.max_steps`.  Budget exhaustion is
+/// *not* an error — the report comes back with `complete = false`.
+pub fn explore_program(
+    program: &Program,
+    config: &ExploreConfig,
+) -> Result<ExploreReport, MachineError> {
+    let mut explorer = Explorer::new(program, config);
+    let mut executions = 0usize;
+    let mut complete = true;
+    loop {
+        if executions >= config.max_schedules {
+            complete = false;
+            break;
+        }
+        executions += 1;
+        explorer.run_one()?;
+        if !explorer.advance() {
+            break;
+        }
+    }
+    Ok(explorer.into_report(complete))
+}
+
+struct Explorer<'p> {
+    program: &'p Program,
+    config: &'p ExploreConfig,
+    stack: Vec<Point>,
+    // Cumulative statistics and oracles.
+    schedules_explored: usize,
+    pruned_choices: usize,
+    sleep_pruned: usize,
+    max_depth: usize,
+    total_steps: usize,
+    bounds_checked: usize,
+    bounds_vacuous: usize,
+    bound_counterexamples: usize,
+    /// Outcome fingerprint → report (insertion-ordered via the Vec).
+    outcome_index: HashMap<String, usize>,
+    outcomes: Vec<OutcomeReport>,
+    /// Pair site key → strongest classification seen + a representative.
+    pair_class: HashMap<PairKey, (PairOrder, RacePair)>,
+    /// For racy pairs: per execution order of the pair, one exhibiting
+    /// schedule.
+    race_examples: HashMap<PairKey, HashMap<(ThreadSym, usize), Script>>,
+}
+
+type PairKey = ((ThreadSym, usize), (ThreadSym, usize));
+
+impl<'p> Explorer<'p> {
+    fn new(program: &'p Program, config: &'p ExploreConfig) -> Self {
+        Explorer {
+            program,
+            config,
+            stack: Vec::new(),
+            schedules_explored: 0,
+            pruned_choices: 0,
+            sleep_pruned: 0,
+            max_depth: 0,
+            total_steps: 0,
+            bounds_checked: 0,
+            bounds_vacuous: 0,
+            bound_counterexamples: 0,
+            outcome_index: HashMap::new(),
+            outcomes: Vec::new(),
+            pair_class: HashMap::new(),
+            race_examples: HashMap::new(),
+        }
+    }
+
+    /// Runs one execution: replays the scheduling stack's choices, then
+    /// extends it with fresh points until the machine finishes (or the
+    /// branch is proven redundant by sleep sets).
+    fn run_one(&mut self) -> Result<ExecStatus, MachineError> {
+        let mut machine = Machine::new(self.program);
+        let mut detector = RaceDetector::new();
+        // DPOR happens-before state: per-thread clocks plus exact
+        // per-location last-write / reads-since-write clocks.
+        let mut clocks: HashMap<ThreadSym, VClock> = HashMap::new();
+        let mut write_clock: HashMap<LocId, VClock> = HashMap::new();
+        let mut read_clock: HashMap<LocId, VClock> = HashMap::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut sched_steps: Vec<Vec<VertexId>> = Vec::new();
+        let mut running_sleep: BTreeSet<ThreadSym> = BTreeSet::new();
+        let mut step = 0usize;
+
+        loop {
+            if machine.all_done() {
+                self.total_steps += step;
+                self.max_depth = self.max_depth.max(self.stack.len());
+                self.record_outcome(machine, detector, sched_steps);
+                return Ok(ExecStatus::Complete);
+            }
+            if step >= self.config.max_steps {
+                return Err(MachineError::StepLimitExceeded(self.config.max_steps));
+            }
+            let enabled: Vec<ThreadSym> = machine.runnable().to_vec();
+            if enabled.is_empty() {
+                let blocked = machine
+                    .thread_syms()
+                    .into_iter()
+                    .find(|s| !machine.thread(*s).is_done())
+                    .expect("not all done");
+                return Err(MachineError::Stuck {
+                    thread: blocked,
+                    state: "deadlock: every unfinished thread is blocked".into(),
+                });
+            }
+
+            let replaying = step < self.stack.len();
+            let chosen = if replaying {
+                // Backtrack-set updates for this state already happened on
+                // its first visit (the state is identical — the machine is
+                // deterministic given the choice prefix), so replay only
+                // refreshes the running sleep set.
+                running_sleep = self.stack[step].sleep.clone();
+                debug_assert!(enabled.contains(&self.stack[step].chosen));
+                self.stack[step].chosen
+            } else {
+                let avail = enabled.iter().copied().find(|s| !running_sleep.contains(s));
+                let chosen = match avail {
+                    Some(c) => c,
+                    None => {
+                        // Every enabled thread is asleep: every extension of
+                        // this branch reorders only independent steps of
+                        // already-explored executions.
+                        self.sleep_pruned += 1;
+                        self.total_steps += step;
+                        self.max_depth = self.max_depth.max(self.stack.len());
+                        return Ok(ExecStatus::SleepBlocked);
+                    }
+                };
+                let mut backtrack = BTreeSet::new();
+                let mut done = BTreeSet::new();
+                backtrack.insert(chosen);
+                done.insert(chosen);
+                if self.config.mode == ExploreMode::Full {
+                    backtrack.extend(enabled.iter().copied());
+                }
+                self.stack.push(Point {
+                    chosen,
+                    enabled: enabled.clone(),
+                    backtrack,
+                    done,
+                    sleep: running_sleep.clone(),
+                });
+                if self.config.mode == ExploreMode::Dpor {
+                    for &p in &enabled {
+                        self.dpor_update(p, machine.pending_effect(p), &clocks, &events);
+                    }
+                }
+                chosen
+            };
+
+            match machine.step_thread(chosen, step)? {
+                StepOutcome::Progress(v) => sched_steps.push(vec![v]),
+                other => unreachable!("runnable thread did not progress: {other:?}"),
+            }
+            let access = machine.last_step_access().copied();
+            if let Some(a) = &access {
+                detector.observe(a);
+            }
+            let effect = access.map(|a| a.effect);
+            let clock = advance_clocks(
+                chosen,
+                effect,
+                &mut clocks,
+                &mut write_clock,
+                &mut read_clock,
+            );
+            events.push(Event {
+                thread: chosen,
+                effect,
+                clock,
+            });
+            // Wake sleeping threads whose pending effect depends on the
+            // event just executed.
+            if let Some(eff) = effect {
+                running_sleep.retain(|&s| match machine.pending_effect(s) {
+                    Some(pe) => !dependent(eff, pe),
+                    None => false,
+                });
+            }
+            step += 1;
+        }
+    }
+
+    /// The DPOR backtrack rule for thread `p` at the current state: find the
+    /// latest executed event that conflicts with `p`'s pending effect and is
+    /// not happens-before it, and make `p` (or, if `p` was not enabled
+    /// there, every enabled thread) a backtrack choice at that point.
+    fn dpor_update(
+        &mut self,
+        p: ThreadSym,
+        pending: Option<PendingEffect>,
+        clocks: &HashMap<ThreadSym, VClock>,
+        events: &[Event],
+    ) {
+        let pe = match pending {
+            Some(pe) => pe,
+            None => return,
+        };
+        if matches!(
+            pe,
+            PendingEffect::Local
+                | PendingEffect::Spawn
+                | PendingEffect::Touch(_)
+                | PendingEffect::Finish
+        ) {
+            return;
+        }
+        let cp = clocks.get(&p);
+        let hit = events.iter().enumerate().rev().find(|(_, ev)| {
+            if ev.thread == p {
+                return false;
+            }
+            let eff = match ev.effect {
+                Some(e) => e,
+                None => return false,
+            };
+            if !dependent(eff, pe) {
+                return false;
+            }
+            // ev happens-before p's next step iff p's clock has seen ev's
+            // own tick.
+            let seen = cp.map_or(0, |c| c.get(ev.thread));
+            ev.clock.get(ev.thread) > seen
+        });
+        if let Some((j, _)) = hit {
+            let point = &mut self.stack[j];
+            if point.enabled.contains(&p) {
+                point.backtrack.insert(p);
+            } else {
+                // Conservative fallback of the Flanagan–Godefroid rule.
+                point.backtrack.extend(point.enabled.iter().copied());
+            }
+        }
+    }
+
+    /// Consumes the finished machine: outcome fingerprint, race pairs,
+    /// Theorem 2.3 on the reconstructed graph.
+    fn record_outcome(
+        &mut self,
+        machine: Machine,
+        detector: RaceDetector,
+        steps: Vec<Vec<VertexId>>,
+    ) {
+        self.schedules_explored += 1;
+        let script: Script = self.stack.iter().map(|p| vec![p.chosen]).collect();
+
+        let value = machine
+            .main_value()
+            .cloned()
+            .expect("all threads done implies main done");
+        let mut heap: Vec<String> = machine
+            .heap_cells()
+            .map(|(_, c)| expr_to_string(&c.value))
+            .collect();
+        heap.sort();
+        let fingerprint = format!("{}⊣{}", expr_to_string(&value), heap.join(","));
+        match self.outcome_index.get(&fingerprint) {
+            Some(&i) => self.outcomes[i].count += 1,
+            None => {
+                self.outcome_index.insert(fingerprint, self.outcomes.len());
+                self.outcomes.push(OutcomeReport {
+                    value,
+                    heap,
+                    count: 1,
+                    schedule: script.clone(),
+                });
+            }
+        }
+
+        for pair in detector.pairs() {
+            let key = pair.site_key();
+            match self.pair_class.get_mut(&key) {
+                Some((order, rep)) => {
+                    if severity(pair.order) > severity(*order) {
+                        *order = pair.order;
+                        *rep = *pair;
+                    }
+                }
+                None => {
+                    self.pair_class.insert(key, (pair.order, *pair));
+                }
+            }
+            if pair.order == PairOrder::Racy {
+                let direction = (pair.first.thread, pair.first.ordinal);
+                self.race_examples
+                    .entry(key)
+                    .or_default()
+                    .entry(direction)
+                    .or_insert_with(|| script.clone());
+            }
+        }
+
+        if self.config.check_bounds {
+            let graph = machine
+                .into_graph()
+                .expect("machine-produced graphs are acyclic");
+            let schedule = Schedule {
+                num_cores: 1,
+                steps,
+            };
+            let verdict = check_schedule(&graph, &schedule);
+            self.bounds_checked += 1;
+            if verdict.vacuous() {
+                self.bounds_vacuous += 1;
+            }
+            if verdict.any_counterexample() {
+                self.bound_counterexamples += 1;
+            }
+        }
+    }
+
+    /// Backtracks to the deepest scheduling point with an unexplored
+    /// backtrack choice, retiring fully-explored points (and counting the
+    /// choices DPOR pruned at them).  Returns `false` when the whole space
+    /// is exhausted.
+    fn advance(&mut self) -> bool {
+        while let Some(point) = self.stack.last_mut() {
+            // The current choice's subtree is fully explored: it goes to
+            // sleep for the remaining siblings.
+            if self.config.mode == ExploreMode::Dpor {
+                point.sleep.insert(point.chosen);
+            }
+            loop {
+                let next = point
+                    .backtrack
+                    .iter()
+                    .find(|c| !point.done.contains(c))
+                    .copied();
+                match next {
+                    Some(c) if point.sleep.contains(&c) => {
+                        // A sibling already covered this choice's behaviors.
+                        point.done.insert(c);
+                        self.sleep_pruned += 1;
+                    }
+                    Some(c) => {
+                        point.done.insert(c);
+                        point.chosen = c;
+                        return true;
+                    }
+                    None => break,
+                }
+            }
+            self.pruned_choices += point
+                .enabled
+                .iter()
+                .filter(|e| !point.done.contains(e))
+                .count();
+            self.stack.pop();
+        }
+        false
+    }
+
+    fn into_report(self, complete: bool) -> ExploreReport {
+        let mut ordered_pairs = 0;
+        let mut cas_pairs = 0;
+        let mut races = Vec::new();
+        for (key, (order, rep)) in &self.pair_class {
+            match order {
+                PairOrder::Ordered => ordered_pairs += 1,
+                PairOrder::CasSynchronized => cas_pairs += 1,
+                PairOrder::Racy => {
+                    let (a, b) = normalized_sites(rep);
+                    let mut schedules: Vec<Script> = self
+                        .race_examples
+                        .get(key)
+                        .map(|m| m.values().cloned().collect())
+                        .unwrap_or_default();
+                    schedules.sort();
+                    races.push(RaceReport {
+                        first: a,
+                        second: b,
+                        schedules,
+                    });
+                }
+            }
+        }
+        races.sort_by_key(|r| {
+            (
+                r.first.thread,
+                r.first.ordinal,
+                r.second.thread,
+                r.second.ordinal,
+            )
+        });
+        ExploreReport {
+            name: self.program.name.clone(),
+            mode: self.config.mode,
+            schedules_explored: self.schedules_explored,
+            pruned_choices: self.pruned_choices,
+            sleep_pruned: self.sleep_pruned,
+            complete,
+            outcomes: self.outcomes,
+            races,
+            ordered_pairs,
+            cas_pairs,
+            bounds_checked: self.bounds_checked,
+            bounds_vacuous: self.bounds_vacuous,
+            bound_counterexamples: self.bound_counterexamples,
+            max_depth: self.max_depth,
+            total_steps: self.total_steps,
+        }
+    }
+}
+
+/// The two sites of a pair, ordered by `(thread, ordinal)`.
+fn normalized_sites(pair: &RacePair) -> (SiteRef, SiteRef) {
+    let site = |a: &crate::vclock::Access| SiteRef {
+        thread: a.thread,
+        ordinal: a.ordinal,
+        label: a.label,
+        loc: a.loc,
+        kind: a.kind,
+    };
+    let (f, s) = (site(&pair.first), site(&pair.second));
+    if (f.thread, f.ordinal) <= (s.thread, s.ordinal) {
+        (f, s)
+    } else {
+        (s, f)
+    }
+}
+
+fn severity(order: PairOrder) -> u8 {
+    match order {
+        PairOrder::Ordered => 0,
+        PairOrder::CasSynchronized => 1,
+        PairOrder::Racy => 2,
+    }
+}
+
+/// The dependence relation between an *executed* event and a thread's
+/// *pending* effect, used both for backtrack-point discovery and sleep-set
+/// wake-ups.
+///
+/// Conservative where success is unknowable in advance (a pending `cas` is
+/// treated as a write), and deliberately refined in two places documented at
+/// the module level: spawn–spawn pairs are independent (outcomes are
+/// compared modulo thread naming) and touch–finish pairs are excluded
+/// (never co-enabled).
+fn dependent(executed: StepEffect, pending: PendingEffect) -> bool {
+    use PendingEffect as P;
+    use StepEffect as E;
+    match (executed, pending) {
+        // The allocation counter is shared state: two pending allocations
+        // would name locations differently under reordering.
+        (E::Alloc(_), P::Alloc) => true,
+        (E::Alloc(l), P::Read(m) | P::Write(m) | P::Cas(m)) => l == m,
+        (E::Read(l), P::Write(m) | P::Cas(m)) => l == m,
+        (E::Write(l), P::Read(m) | P::Write(m) | P::Cas(m)) => l == m,
+        // Any cas observes the cell; a pending read only conflicts if the
+        // cas wrote, but success under reordering is not stable, so stay
+        // conservative.
+        (E::Cas { loc, .. }, P::Read(m) | P::Write(m) | P::Cas(m)) => loc == m,
+        _ => false,
+    }
+}
+
+/// Advances the DPOR happens-before clocks for one executed event and
+/// returns the acting thread's clock after the event.
+fn advance_clocks(
+    thread: ThreadSym,
+    effect: Option<StepEffect>,
+    clocks: &mut HashMap<ThreadSym, VClock>,
+    write_clock: &mut HashMap<LocId, VClock>,
+    read_clock: &mut HashMap<LocId, VClock>,
+) -> VClock {
+    clocks.entry(thread).or_default().tick(thread);
+    match effect {
+        None | Some(StepEffect::Finish) => {}
+        Some(StepEffect::Alloc(l)) => {
+            write_clock.insert(l, clocks[&thread].clone());
+        }
+        Some(StepEffect::Read(l)) => {
+            if let Some(w) = write_clock.get(&l) {
+                let w = w.clone();
+                clocks.get_mut(&thread).expect("ticked").join(&w);
+            }
+            let snap = clocks[&thread].clone();
+            read_clock.entry(l).or_default().join(&snap);
+        }
+        Some(StepEffect::Write(l)) => {
+            heap_write_join(thread, l, clocks, write_clock, read_clock);
+        }
+        Some(StepEffect::Cas { loc, success }) => {
+            if success {
+                heap_write_join(thread, loc, clocks, write_clock, read_clock);
+            } else {
+                // A failed cas observed the cell: order it after the last
+                // write and record it as a read.
+                if let Some(w) = write_clock.get(&loc) {
+                    let w = w.clone();
+                    clocks.get_mut(&thread).expect("ticked").join(&w);
+                }
+                let snap = clocks[&thread].clone();
+                read_clock.entry(loc).or_default().join(&snap);
+            }
+        }
+        Some(StepEffect::Spawn(child)) => {
+            let snap = clocks[&thread].clone();
+            clocks.entry(child).or_default().join(&snap);
+        }
+        Some(StepEffect::Touch(target)) => {
+            if let Some(t) = clocks.get(&target).cloned() {
+                clocks.get_mut(&thread).expect("ticked").join(&t);
+            }
+        }
+    }
+    clocks[&thread].clone()
+}
+
+/// A write is ordered after the cell's last write and every read since it;
+/// it then becomes the cell's new last write (absorbing those reads, so the
+/// read clock resets).
+fn heap_write_join(
+    thread: ThreadSym,
+    loc: LocId,
+    clocks: &mut HashMap<ThreadSym, VClock>,
+    write_clock: &mut HashMap<LocId, VClock>,
+    read_clock: &mut HashMap<LocId, VClock>,
+) {
+    let ck = clocks.get_mut(&thread).expect("ticked");
+    if let Some(w) = write_clock.get(&loc) {
+        ck.join(w);
+    }
+    if let Some(r) = read_clock.remove(&loc) {
+        ck.join(&r);
+    }
+    write_clock.insert(loc, ck.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progs;
+    use crate::run::{run_with_schedule, RunConfig};
+
+    #[test]
+    fn sequential_program_has_one_schedule() {
+        use crate::syntax::dsl::*;
+        use crate::syntax::Type;
+        use rp_priority::PriorityDomain;
+        use std::sync::Arc;
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let body = dcl(
+            "r",
+            Type::Nat,
+            nat(1),
+            bind(
+                "v",
+                cmd(p, get(var("r"))),
+                bind(
+                    "_",
+                    cmd(p, set(var("r"), add(var("v"), nat(41)))),
+                    bind("out", cmd(p, get(var("r"))), ret(var("out"))),
+                ),
+            ),
+        );
+        let prog = crate::syntax::Program {
+            name: "sequential".into(),
+            domain: dom.clone(),
+            main_priority: p,
+            main: Arc::new(body),
+            return_type: Type::Nat,
+        };
+        let report = explore_program(&prog, &ExploreConfig::default()).unwrap();
+        assert_eq!(report.schedules_explored, 1);
+        assert!(report.complete);
+        assert!(report.deterministic());
+        assert_eq!(report.outcomes[0].value, nat(42));
+        assert!(!report.racy());
+        assert_eq!(report.bound_counterexamples, 0);
+    }
+
+    #[test]
+    fn parallel_fib_explores_one_schedule_under_dpor() {
+        // Pure fork-join: every pair of steps of different threads is
+        // independent (spawn–spawn included, by the documented refinement),
+        // so DPOR needs exactly one execution.
+        let prog = progs::parallel_fib(4);
+        let report = explore_program(&prog, &ExploreConfig::default()).unwrap();
+        assert_eq!(report.schedules_explored, 1);
+        assert!(report.complete);
+        assert!(report.deterministic());
+        assert_eq!(report.outcomes[0].value, crate::syntax::dsl::nat(3));
+        assert!(!report.racy());
+    }
+
+    #[test]
+    fn figure1_race_is_found_and_replayable() {
+        // Figure 1's handler writes `slot` while main reads it without
+        // synchronization: one racy pair, but a deterministic final value
+        // (the program returns unit).
+        let prog = progs::figure1_program();
+        let report = explore_program(&prog, &ExploreConfig::default()).unwrap();
+        assert!(report.complete);
+        assert!(report.racy(), "figure 1 races on `slot`");
+        assert!(report.pruned_choices > 0, "DPOR must prune something");
+        for race in &report.races {
+            assert!(!race.schedules.is_empty());
+            for script in &race.schedules {
+                // Every exhibiting schedule replays cleanly through the
+                // explicit-schedule driver.
+                let rerun = run_with_schedule(
+                    &prog,
+                    script,
+                    &RunConfig {
+                        cores: 1,
+                        ..RunConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(rerun.steps, script.len());
+            }
+        }
+    }
+
+    /// A minimal racy program: one child writes the cell the parent reads,
+    /// with no synchronization between write and read.  Small enough for
+    /// `ExploreMode::Full` to exhaust.
+    fn tiny_racy_program() -> crate::syntax::Program {
+        use crate::syntax::dsl::*;
+        use crate::syntax::Type;
+        use rp_priority::PriorityDomain;
+        use std::sync::Arc;
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        // Kept deliberately micro: full enumeration branches at every
+        // machine step, so even one extra `bind` multiplies the space.
+        let child = set(var("r"), nat(1));
+        let body = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind(
+                "_t",
+                cmd(p, fcreate(p, Type::Nat, child)),
+                bind("v", cmd(p, get(var("r"))), ret(var("v"))),
+            ),
+        );
+        crate::syntax::Program {
+            name: "tiny-racy".into(),
+            domain: dom.clone(),
+            main_priority: p,
+            main: Arc::new(body),
+            return_type: Type::Nat,
+        }
+    }
+
+    #[test]
+    fn dpor_and_full_agree_on_outcomes_and_races() {
+        // Full enumeration is only tractable on genuinely tiny programs;
+        // bigger fixtures are covered by the DPOR-only tests.
+        let progs = [tiny_racy_program()];
+        for prog in &progs {
+            let dpor = explore_program(prog, &ExploreConfig::default()).unwrap();
+            let full = explore_program(
+                prog,
+                &ExploreConfig {
+                    mode: ExploreMode::Full,
+                    max_schedules: 200_000,
+                    check_bounds: false,
+                    ..ExploreConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(dpor.complete && full.complete, "{}", prog.name);
+            assert!(
+                dpor.schedules_explored <= full.schedules_explored,
+                "{}: reduction cannot grow the space",
+                prog.name
+            );
+            let values = |r: &ExploreReport| {
+                let mut v: Vec<String> = r
+                    .outcomes
+                    .iter()
+                    .map(|o| format!("{}|{}", expr_to_string(&o.value), o.heap.join(",")))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(values(&dpor), values(&full), "{}", prog.name);
+            let race_sites = |r: &ExploreReport| {
+                let mut v: Vec<_> = r
+                    .races
+                    .iter()
+                    .map(|x| {
+                        (
+                            x.first.thread,
+                            x.first.ordinal,
+                            x.second.thread,
+                            x.second.ordinal,
+                        )
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(race_sites(&dpor), race_sites(&full), "{}", prog.name);
+            // The unsynchronized write/read pair must be found, and the
+            // read observes 0 or 1 depending on the schedule.
+            assert!(dpor.racy(), "{}", prog.name);
+            assert_eq!(dpor.outcomes.len(), 2, "{}", prog.name);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_fatal() {
+        let prog = progs::figure1_program();
+        let report = explore_program(
+            &prog,
+            &ExploreConfig {
+                max_schedules: 1,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.complete);
+        assert_eq!(report.schedules_explored, 1);
+    }
+
+    #[test]
+    fn bounds_are_checked_per_schedule() {
+        let prog = progs::parallel_fib(3);
+        let report = explore_program(&prog, &ExploreConfig::default()).unwrap();
+        assert_eq!(report.bounds_checked, report.schedules_explored);
+        assert_eq!(report.bound_counterexamples, 0);
+        let unchecked = explore_program(
+            &prog,
+            &ExploreConfig {
+                check_bounds: false,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unchecked.bounds_checked, 0);
+    }
+}

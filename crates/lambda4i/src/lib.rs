@@ -38,7 +38,14 @@
 //! * [`pipeline`] — the three stages glued: `.l4i` source in, machine and
 //!   runtime executions out, Theorem 2.3 cross-checked on both graphs;
 //! * [`generate`] — seeded random well-typed programs for the property
-//!   suites.
+//!   suites;
+//! * [`vclock`] — vector clocks and a happens-before race detector
+//!   classifying conflicting `dcl/!/:=/cas` access pairs as ordered,
+//!   CAS-synchronized, or racy;
+//! * [`explore`] — a stateless DPOR model checker that enumerates the D-Par
+//!   interleavings of a program (sleep sets + persistent-set backtracking),
+//!   checking Theorem 2.3, value determinism, and race freedom on every
+//!   explored schedule.
 //!
 //! # Example
 //!
@@ -57,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod explore;
 pub mod generate;
 pub mod machine;
 pub mod parse;
@@ -67,10 +75,13 @@ pub mod progs;
 pub mod run;
 pub mod syntax;
 pub mod typecheck;
+pub mod vclock;
 
 pub use compile::{compile_and_run, CompileConfig};
+pub use explore::{explore_program, ExploreConfig, ExploreMode, ExploreReport};
 pub use parse::{parse_program, ParseError};
 pub use pipeline::{run_source, CompileCache, PipelineConfig, PipelineReport};
-pub use run::{run_program, RunConfig, RunResult};
+pub use run::{run_program, run_with_schedule, RunConfig, RunResult};
 pub use syntax::{Cmd, Expr, Program, Type};
 pub use typecheck::{infer_program, typecheck_program, TypeError};
+pub use vclock::{PairOrder, RaceDetector, RacePair, VClock};

@@ -91,6 +91,10 @@ pub enum Control {
 
 /// A heap cell `s ↦ (v, u, Σ)`: the stored value, the vertex of the most
 /// recent write, and the thread symbols the writer knew about.
+///
+/// Beyond the paper's triple, the cell also remembers the vertices that have
+/// *read* it since the most recent write — the metadata a happens-before
+/// race detector needs to pair every write with the reads it may race with.
 #[derive(Debug, Clone)]
 pub struct HeapCell {
     /// The stored value.
@@ -99,6 +103,118 @@ pub struct HeapCell {
     pub writer: VertexId,
     /// The threads the writer knew about at the time of the write.
     pub known: HashSet<ThreadSym>,
+    /// Vertices that read the cell since the most recent write (including
+    /// failed `cas` attempts, which observe the value), in execution order.
+    pub readers: Vec<VertexId>,
+}
+
+impl HeapCell {
+    /// The vertex of the most recent write to this cell (`dcl` allocation,
+    /// `:=` assignment, or a successful `cas`).
+    pub fn last_writer(&self) -> VertexId {
+        self.writer
+    }
+
+    /// The vertices that read this cell since the most recent write (`!`
+    /// reads and failed `cas` attempts), oldest first.  Cleared whenever a
+    /// write installs a new value.
+    pub fn last_readers(&self) -> &[VertexId] {
+        &self.readers
+    }
+
+    /// The thread symbols the most recent writer knew about at the time of
+    /// the write (the `Σ` component of the paper's heap triple).
+    pub fn known_threads(&self) -> &HashSet<ThreadSym> {
+        &self.known
+    }
+}
+
+/// The shared-state interaction a single machine step performed, if any.
+///
+/// Purely thread-local transitions (expression evaluation, `bind`, `ret`)
+/// record no effect; the effectful steps are exactly the rules that touch
+/// the heap (`D-Dcl2`, `D-Get2`, `D-Set3`, `D-CAS`) or the thread pool
+/// (`D-Create`, `D-Touch2`, thread completion).  The schedule explorer's
+/// dependence relation and the happens-before race detector are both driven
+/// by this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEffect {
+    /// `dcl` allocated a fresh cell and wrote its initial value.
+    Alloc(LocId),
+    /// `!` read the cell.
+    Read(LocId),
+    /// `:=` wrote the cell.
+    Write(LocId),
+    /// `cas` observed the cell and, if `success`, installed a new value.
+    Cas {
+        /// The targeted cell.
+        loc: LocId,
+        /// Whether the expected value matched (the write happened).
+        success: bool,
+    },
+    /// `fcreate` spawned the given thread.
+    Spawn(ThreadSym),
+    /// `ftouch` joined with the given finished thread.
+    Touch(ThreadSym),
+    /// The thread reached `ϵ ◀ ret v` and finished.
+    Finish,
+}
+
+/// The full record of the most recent effectful step: which thread did what,
+/// at which cost-graph vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepAccess {
+    /// The thread that took the step.
+    pub thread: ThreadSym,
+    /// The cost-graph vertex allocated for the step.
+    pub vertex: VertexId,
+    /// What the step did.
+    pub effect: StepEffect,
+    /// The vertex label of the step (e.g. `"get-read"`), a stable site name.
+    pub label: &'static str,
+    /// How many effectful steps this thread had performed before this one —
+    /// a schedule-independent ordinal identifying the access site, since a
+    /// thread's own step sequence is deterministic.
+    pub ordinal: usize,
+}
+
+/// What a thread's *next* transition will do to shared state, computed from
+/// its control and stack without executing it.
+///
+/// This is the `next(s, p)` oracle of persistent-set (DPOR) exploration: the
+/// machine's frames make the imminent heap or thread-pool interaction
+/// syntactically evident one step ahead (e.g. a `SetValue(s)` frame under a
+/// returned value means the next step writes `s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingEffect {
+    /// The next step is thread-local.
+    Local,
+    /// The next step reads the cell.
+    Read(LocId),
+    /// The next step writes the cell.
+    Write(LocId),
+    /// The next step performs a `cas` on the cell (read, and possibly write).
+    Cas(LocId),
+    /// The next step joins with the given thread (blocking until it
+    /// finishes).
+    Touch(ThreadSym),
+    /// The next step allocates a fresh cell.
+    Alloc,
+    /// The next step spawns a thread.
+    Spawn,
+    /// The next step finishes the thread.
+    Finish,
+}
+
+/// Scheduling status of a thread, maintained incrementally by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadStatus {
+    /// Can take a step right now.
+    Runnable,
+    /// Waiting on an `ftouch` of the given unfinished thread.
+    Blocked(ThreadSym),
+    /// Reached `ϵ ◀ ret v`.
+    Done,
 }
 
 /// Per-thread machine state.
@@ -121,6 +237,8 @@ pub struct ThreadEntry {
     pub finished_at_step: Option<usize>,
     /// Number of cost-graph vertices this thread has executed.
     pub vertices_created: usize,
+    /// Number of effectful steps recorded so far (the next access ordinal).
+    effects: usize,
     stack: Vec<Frame>,
     control: Control,
 }
@@ -195,6 +313,18 @@ pub struct Machine {
     heap: HashMap<LocId, HeapCell>,
     next_loc: u32,
     builder: DagBuilder,
+    /// Per-thread scheduling status, maintained incrementally so the
+    /// runnable set never has to be recomputed by filtering all threads.
+    status: Vec<ThreadStatus>,
+    /// The runnable threads, sorted by symbol.  Kept in sync with `status`:
+    /// threads are inserted on spawn and wake-up, removed on block and
+    /// finish — replay loops over thousands of schedules stay linear in the
+    /// number of *transitions*, not `steps × threads`.
+    runnable: Vec<ThreadSym>,
+    /// For each unfinished thread, the threads blocked on touching it.
+    waiters: HashMap<ThreadSym, Vec<ThreadSym>>,
+    /// The effect record of the most recent step, if it was effectful.
+    last_access: Option<StepAccess>,
     /// The initial thread.
     pub main: ThreadSym,
 }
@@ -214,6 +344,7 @@ impl Machine {
             created_at_step: 0,
             finished_at_step: None,
             vertices_created: 0,
+            effects: 0,
             stack: Vec::new(),
             control: Control::EvalCmd(program.main.clone()),
         };
@@ -223,6 +354,10 @@ impl Machine {
             heap: HashMap::new(),
             next_loc: 0,
             builder,
+            status: vec![ThreadStatus::Runnable],
+            runnable: vec![main_sym],
+            waiters: HashMap::new(),
+            last_access: None,
             main: main_sym,
         }
     }
@@ -257,30 +392,119 @@ impl Machine {
     }
 
     /// Threads that can take a step right now: not finished and not blocked
-    /// on an unfinished `ftouch`.
-    pub fn runnable(&self) -> Vec<ThreadSym> {
-        self.threads
-            .iter()
-            .filter(|t| !t.is_done() && self.blocked_on(t.sym).is_none())
-            .map(|t| t.sym)
-            .collect()
+    /// on an unfinished `ftouch`.  Sorted by symbol.
+    ///
+    /// The set is maintained incrementally (updated on spawn, block, wake-up
+    /// and finish), so this accessor is O(1) — it does not rescan the thread
+    /// pool.
+    pub fn runnable(&self) -> &[ThreadSym] {
+        &self.runnable
     }
 
     /// If the thread is blocked on an `ftouch`, the thread it is waiting for.
     pub fn blocked_on(&self, sym: ThreadSym) -> Option<ThreadSym> {
+        match self.status[sym.0 as usize] {
+            ThreadStatus::Blocked(b) => Some(b),
+            ThreadStatus::Runnable | ThreadStatus::Done => None,
+        }
+    }
+
+    /// The effect record of the most recent [`step_thread`](Self::step_thread)
+    /// call, if that step interacted with the heap or the thread pool.
+    /// Cleared at the start of every step.
+    pub fn last_step_access(&self) -> Option<&StepAccess> {
+        self.last_access.as_ref()
+    }
+
+    /// Read access to a heap cell, including its last-writer vertex, the
+    /// reads since that write, and the writer's known-thread set.
+    ///
+    /// Returns `None` for locations this machine never allocated.
+    pub fn heap_cell(&self, loc: LocId) -> Option<&HeapCell> {
+        self.heap.get(&loc)
+    }
+
+    /// All live heap cells, in unspecified order.
+    pub fn heap_cells(&self) -> impl Iterator<Item = (LocId, &HeapCell)> {
+        self.heap.iter().map(|(l, c)| (*l, c))
+    }
+
+    /// What thread `sym`'s next transition will do to shared state, computed
+    /// from its control state without executing anything.  Returns `None`
+    /// for finished threads.
+    ///
+    /// A [`PendingEffect::Touch`] of an unfinished thread means `sym` is (or
+    /// is about to become) blocked.
+    pub fn pending_effect(&self, sym: ThreadSym) -> Option<PendingEffect> {
         let t = &self.threads[sym.0 as usize];
         if t.is_done() {
             return None;
         }
+        Some(match (&t.control, t.stack.last()) {
+            (Control::RetExpr(v), Some(frame)) => match (frame, v) {
+                (Frame::GetHole, Expr::RefVal(s)) => PendingEffect::Read(*s),
+                (Frame::SetValue(s), _) => PendingEffect::Write(*s),
+                (Frame::CasNew(s, _), _) => PendingEffect::Cas(*s),
+                (Frame::TouchHole, Expr::Tid(b)) => PendingEffect::Touch(*b),
+                (Frame::DclIn(_, _, _), _) => PendingEffect::Alloc,
+                _ => PendingEffect::Local,
+            },
+            (Control::EvalCmd(m), _) => match m.as_ref() {
+                Cmd::Fcreate { .. } => PendingEffect::Spawn,
+                _ => PendingEffect::Local,
+            },
+            (Control::RetCmd(_), None) => PendingEffect::Finish,
+            _ => PendingEffect::Local,
+        })
+    }
+
+    /// Inserts a thread into the sorted runnable set.
+    fn runnable_insert(&mut self, sym: ThreadSym) {
+        if let Err(i) = self.runnable.binary_search(&sym) {
+            self.runnable.insert(i, sym);
+        }
+    }
+
+    /// Removes a thread from the sorted runnable set.
+    fn runnable_remove(&mut self, sym: ThreadSym) {
+        if let Ok(i) = self.runnable.binary_search(&sym) {
+            self.runnable.remove(i);
+        }
+    }
+
+    /// Recomputes whether thread `idx` just blocked on a touch: its control
+    /// holds a thread handle under a `TouchHole` frame and the target is
+    /// unfinished.
+    fn touch_block_target(&self, idx: usize) -> Option<ThreadSym> {
+        let t = &self.threads[idx];
         if let (Control::RetExpr(Expr::Tid(b)), Some(Frame::TouchHole)) =
             (&t.control, t.stack.last())
         {
-            let target = &self.threads[b.0 as usize];
+            let target = self.threads.get(b.0 as usize)?;
             if !target.is_done() {
                 return Some(*b);
             }
         }
         None
+    }
+
+    /// Records the shared-state effect of the step that allocated `vertex`.
+    fn record_effect(
+        &mut self,
+        idx: usize,
+        vertex: VertexId,
+        label: &'static str,
+        effect: StepEffect,
+    ) {
+        let ordinal = self.threads[idx].effects;
+        self.threads[idx].effects += 1;
+        self.last_access = Some(StepAccess {
+            thread: self.threads[idx].sym,
+            vertex,
+            effect,
+            label,
+            ordinal,
+        });
     }
 
     /// Performs one transition of thread `sym` (one auxiliary-judgment step
@@ -300,11 +524,11 @@ impl Machine {
         step_index: usize,
     ) -> Result<StepOutcome, MachineError> {
         let idx = sym.0 as usize;
-        if self.threads[idx].is_done() {
-            return Ok(StepOutcome::Finished);
-        }
-        if let Some(b) = self.blocked_on(sym) {
-            return Ok(StepOutcome::Blocked(b));
+        self.last_access = None;
+        match self.status[idx] {
+            ThreadStatus::Done => return Ok(StepOutcome::Finished),
+            ThreadStatus::Blocked(b) => return Ok(StepOutcome::Blocked(b)),
+            ThreadStatus::Runnable => {}
         }
 
         // Take the control out to appease the borrow checker; it is always
@@ -313,7 +537,26 @@ impl Machine {
             std::mem::replace(&mut self.threads[idx].control, Control::RetExpr(Expr::Unit));
         let outcome = self.transition(idx, control, step_index);
         match outcome {
-            Ok(vertex) => Ok(StepOutcome::Progress(vertex)),
+            Ok(vertex) => {
+                // Maintain the incremental runnable set: the step may have
+                // finished the thread (waking its waiters) or blocked it on
+                // an unfinished touch target.
+                if self.threads[idx].is_done() {
+                    self.status[idx] = ThreadStatus::Done;
+                    self.runnable_remove(sym);
+                    if let Some(ws) = self.waiters.remove(&sym) {
+                        for w in ws {
+                            self.status[w.0 as usize] = ThreadStatus::Runnable;
+                            self.runnable_insert(w);
+                        }
+                    }
+                } else if let Some(b) = self.touch_block_target(idx) {
+                    self.status[idx] = ThreadStatus::Blocked(b);
+                    self.runnable_remove(sym);
+                    self.waiters.entry(b).or_default().push(sym);
+                }
+                Ok(StepOutcome::Progress(vertex))
+            }
             Err(e) => Err(e),
         }
     }
@@ -391,10 +634,13 @@ impl Machine {
                     created_at_step: step_index,
                     finished_at_step: None,
                     vertices_created: 0,
+                    effects: 0,
                     stack: Vec::new(),
                     control: Control::EvalCmd(body.clone()),
                 };
                 self.threads.push(entry);
+                self.status.push(ThreadStatus::Runnable);
+                self.runnable_insert(new_sym);
                 self.builder
                     .fcreate(u, dag_thread)
                     .expect("fresh thread has no creator yet");
@@ -402,6 +648,7 @@ impl Machine {
                 // handle.
                 self.threads[idx].known.insert(new_sym);
                 self.threads[idx].control = Control::RetCmd(Expr::Tid(new_sym));
+                self.record_effect(idx, u, "fcreate", StepEffect::Spawn(new_sym));
                 Ok(u)
             }
             Cmd::Ftouch(e) => {
@@ -729,6 +976,7 @@ impl Machine {
                         self.builder
                             .ftouch(target_dag, u)
                             .expect("touching a different thread");
+                        self.record_effect(idx, u, "touch", StepEffect::Touch(b));
                         Ok(u)
                     }
                     other => self.stuck(idx, format!("ftouch of non-handle {other:?}")),
@@ -747,10 +995,12 @@ impl Machine {
                         value: v,
                         writer: u,
                         known,
+                        readers: Vec::new(),
                     },
                 );
                 let body_with_ref = body.subst(&var, &Expr::RefVal(loc));
                 self.threads[idx].control = Control::EvalCmd(Arc::new(body_with_ref));
+                self.record_effect(idx, u, "dcl-alloc", StepEffect::Alloc(loc));
                 Ok(u)
             }
             Frame::GetHole => {
@@ -774,6 +1024,12 @@ impl Machine {
                         self.builder
                             .weak(cell.writer, u)
                             .expect("read vertex is fresh");
+                        self.heap
+                            .get_mut(&s)
+                            .expect("cell present above")
+                            .readers
+                            .push(u);
+                        self.record_effect(idx, u, "get-read", StepEffect::Read(s));
                         Ok(u)
                     }
                     other => self.stuck(idx, format!("read of non-reference {other:?}")),
@@ -805,10 +1061,12 @@ impl Machine {
                     HeapCell {
                         value: v.clone(),
                         writer: u,
+                        readers: Vec::new(),
                         known,
                     },
                 );
                 self.threads[idx].control = Control::RetCmd(v);
+                self.record_effect(idx, u, "set-write", StepEffect::Write(s));
                 Ok(u)
             }
             Frame::RetHole => {
@@ -850,20 +1108,30 @@ impl Machine {
                 self.builder
                     .weak(cell.writer, u)
                     .expect("cas vertex is fresh");
-                if cell.value == expected {
+                let success = cell.value == expected;
+                if success {
                     let known = self.threads[idx].known.clone();
                     self.heap.insert(
                         s,
                         HeapCell {
                             value: v,
                             writer: u,
+                            readers: Vec::new(),
                             known,
                         },
                     );
                     self.threads[idx].control = Control::RetCmd(Expr::Nat(1));
                 } else {
+                    // A failed CAS still observed the cell, so it counts as
+                    // a reader of the surviving write.
+                    self.heap
+                        .get_mut(&s)
+                        .expect("cell present above")
+                        .readers
+                        .push(u);
                     self.threads[idx].control = Control::RetCmd(Expr::Nat(0));
                 }
+                self.record_effect(idx, u, "cas-apply", StepEffect::Cas { loc: s, success });
                 Ok(u)
             }
         }
@@ -886,6 +1154,7 @@ impl Machine {
                 self.threads[idx].done = Some(v.clone());
                 self.threads[idx].finished_at_step = Some(step_index);
                 self.threads[idx].control = Control::RetCmd(v);
+                self.record_effect(idx, u, "finish", StepEffect::Finish);
                 Ok(u)
             }
             Some(Frame::BindIn(x, m2)) => {
@@ -952,7 +1221,7 @@ mod tests {
         let mut m = Machine::new(prog);
         let mut step = 0;
         while !m.all_done() {
-            let runnable = m.runnable();
+            let runnable = m.runnable().to_vec();
             assert!(!runnable.is_empty(), "deadlock in sequential run");
             for sym in runnable {
                 m.step_thread(sym, step).unwrap();
@@ -1130,6 +1399,134 @@ mod tests {
             }
         }
         assert!(matches!(result, Err(MachineError::Stuck { .. })));
+    }
+
+    #[test]
+    fn incremental_runnable_matches_recomputed_definition() {
+        // Round-robin a fork-join program and check, before every step, that
+        // the incrementally maintained runnable set equals the from-scratch
+        // definition: unfinished and not waiting on an unfinished touch
+        // target (derived independently via `pending_effect`).
+        let prog = crate::progs::figure1_program();
+        let mut m = Machine::new(&prog);
+        let mut step = 0;
+        while !m.all_done() {
+            let expected: Vec<ThreadSym> = m
+                .thread_syms()
+                .into_iter()
+                .filter(|&s| {
+                    if m.thread(s).is_done() {
+                        return false;
+                    }
+                    match m.pending_effect(s) {
+                        Some(PendingEffect::Touch(b)) => m.thread(b).is_done(),
+                        _ => true,
+                    }
+                })
+                .collect();
+            assert_eq!(m.runnable(), expected.as_slice(), "at step {step}");
+            let pick = expected[step % expected.len()];
+            m.step_thread(pick, step).unwrap();
+            step += 1;
+            assert!(step < 100_000, "runaway program");
+        }
+        assert!(m.runnable().is_empty());
+    }
+
+    #[test]
+    fn step_effects_and_heap_metadata_are_recorded() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        // dcl r := 0 in { v ← get r; set r (v + 1); get r }
+        let m = dcl(
+            "r",
+            Type::Nat,
+            nat(0),
+            bind(
+                "v",
+                cmd(p, get(var("r"))),
+                bind(
+                    "_w",
+                    cmd(p, set(var("r"), add(var("v"), nat(1)))),
+                    bind("out", cmd(p, get(var("r"))), ret(var("out"))),
+                ),
+            ),
+        );
+        let prog = single_prog(m);
+        let mut machine = Machine::new(&prog);
+        let main = machine.main;
+        let mut effects = Vec::new();
+        let mut step = 0;
+        while !machine.thread(main).is_done() {
+            machine.step_thread(main, step).unwrap();
+            if let Some(a) = machine.last_step_access() {
+                assert_eq!(a.thread, main);
+                effects.push((a.effect, a.ordinal));
+            }
+            step += 1;
+            assert!(step < 1000);
+        }
+        let kinds: Vec<StepEffect> = effects.iter().map(|&(e, _)| e).collect();
+        let loc = match kinds[0] {
+            StepEffect::Alloc(l) => l,
+            other => panic!("first effect should be the allocation, got {other:?}"),
+        };
+        assert_eq!(
+            kinds,
+            vec![
+                StepEffect::Alloc(loc),
+                StepEffect::Read(loc),
+                StepEffect::Write(loc),
+                StepEffect::Read(loc),
+                StepEffect::Finish,
+            ]
+        );
+        // Ordinals number a thread's effects densely from zero.
+        assert_eq!(
+            effects.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        // The final cell records the set-write as last writer and exactly one
+        // read (the post-write get) since then.
+        let cell = machine.heap_cell(loc).expect("cell is live");
+        assert_eq!(cell.value, nat(1));
+        assert_eq!(cell.last_readers().len(), 1);
+        assert_eq!(cell.known_threads(), &machine.thread(main).known);
+        assert_ne!(cell.last_writer(), cell.last_readers()[0]);
+        assert_eq!(machine.heap_cells().count(), 1);
+    }
+
+    #[test]
+    fn pending_effect_predicts_the_next_transition() {
+        let dom = PriorityDomain::single();
+        let p = dom.by_index(0);
+        let m = dcl(
+            "r",
+            Type::Nat,
+            nat(7),
+            bind("v", cmd(p, get(var("r"))), ret(var("v"))),
+        );
+        let prog = single_prog(m);
+        let mut machine = Machine::new(&prog);
+        let main = machine.main;
+        let mut step = 0;
+        while !machine.thread(main).is_done() {
+            let predicted = machine.pending_effect(main).expect("unfinished");
+            machine.step_thread(main, step).unwrap();
+            let observed = machine.last_step_access().map(|a| a.effect);
+            // Every non-local prediction must match the observed effect.
+            match (predicted, observed) {
+                (PendingEffect::Alloc, Some(StepEffect::Alloc(_)))
+                | (PendingEffect::Local, None)
+                | (PendingEffect::Finish, Some(StepEffect::Finish)) => {}
+                (PendingEffect::Read(l), Some(StepEffect::Read(l2))) => assert_eq!(l, l2),
+                (PendingEffect::Write(l), Some(StepEffect::Write(l2))) => assert_eq!(l, l2),
+                (pred, obs) => panic!("prediction {pred:?} disagrees with {obs:?}"),
+            }
+            step += 1;
+            assert!(step < 1000);
+        }
+        assert_eq!(machine.pending_effect(main), None, "done thread");
     }
 
     #[test]

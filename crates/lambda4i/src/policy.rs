@@ -19,6 +19,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rp_priority::{Priority, PriorityDomain};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// How the run driver picks which runnable threads step at each parallel
 /// step.
@@ -104,6 +105,61 @@ impl Selector {
     }
 }
 
+/// A selector that replays an explicit per-step script of thread choices and
+/// falls back to an ordinary [`Selector`] once the script is exhausted.
+///
+/// This is the scheduling half of the explicit-schedule driver
+/// ([`crate::run::run_with_schedule`]): the DPOR explorer records, for each
+/// parallel step, exactly which threads stepped, and replays a prefix of that
+/// script with a different choice at the divergence point.  Scripted entries
+/// that name threads which are not currently runnable are skipped rather
+/// than rejected — a replayed prefix may legitimately race past the point
+/// where a thread finished — so a scripted step can select fewer threads
+/// than written, even zero.  Scripted steps are taken verbatim and are *not*
+/// truncated to the core count; the script's author is responsible for
+/// respecting the machine width it intends to model.
+#[derive(Debug)]
+pub struct ScriptedSelector {
+    script: VecDeque<Vec<ThreadSym>>,
+    fallback: Selector,
+}
+
+impl ScriptedSelector {
+    /// Creates a selector that replays `script` and then follows `fallback`.
+    pub fn new(
+        script: impl IntoIterator<Item = Vec<ThreadSym>>,
+        fallback: SelectionPolicy,
+    ) -> Self {
+        ScriptedSelector {
+            script: script.into_iter().collect(),
+            fallback: Selector::new(fallback),
+        }
+    }
+
+    /// Number of scripted steps not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+
+    /// Chooses the threads to step this round: the next scripted entry
+    /// (filtered to currently runnable threads), or the fallback policy's
+    /// choice once the script is exhausted.
+    pub fn select(
+        &mut self,
+        domain: &PriorityDomain,
+        runnable: &[(ThreadSym, Priority)],
+        cores: usize,
+    ) -> Vec<ThreadSym> {
+        match self.script.pop_front() {
+            Some(step) => step
+                .into_iter()
+                .filter(|s| runnable.iter().any(|&(r, _)| r == *s))
+                .collect(),
+            None => self.fallback.select(domain, runnable, cores),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +217,25 @@ mod tests {
     #[test]
     fn default_policy_is_prompt() {
         assert_eq!(SelectionPolicy::default(), SelectionPolicy::Prompt);
+    }
+
+    #[test]
+    fn scripted_selector_replays_then_falls_back() {
+        let (dom, runnable) = setup();
+        let mut sel = ScriptedSelector::new(
+            vec![vec![ThreadSym(2)], vec![ThreadSym(9), ThreadSym(0)]],
+            SelectionPolicy::Oblivious,
+        );
+        assert_eq!(sel.remaining(), 2);
+        // Scripted entries are returned verbatim (ignoring cores).
+        assert_eq!(sel.select(&dom, &runnable, 1), vec![ThreadSym(2)]);
+        // Non-runnable scripted threads are skipped, not errors.
+        assert_eq!(sel.select(&dom, &runnable, 1), vec![ThreadSym(0)]);
+        assert_eq!(sel.remaining(), 0);
+        // Exhausted script falls back to the wrapped policy.
+        assert_eq!(
+            sel.select(&dom, &runnable, 2),
+            vec![ThreadSym(0), ThreadSym(1)]
+        );
     }
 }

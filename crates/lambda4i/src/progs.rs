@@ -302,6 +302,142 @@ pub fn email_coordination_program() -> Program {
 }
 
 // ---------------------------------------------------------------------------
+// Explorer fixtures: small programs with known race verdicts.
+//
+// These are the golden inputs of the DPOR schedule explorer
+// (`crate::explore`): each one's full interleaving space is small enough to
+// exhaust, and its race classification and outcome set are asserted exactly
+// in `tests/explore.rs`.
+// ---------------------------------------------------------------------------
+
+/// A deliberately racy shared counter: two futures each perform an
+/// unsynchronized read-modify-write (`v ← get r; set r (v+1)`) on the same
+/// cell, so the increments can interleave and one can be lost.
+///
+/// Known verdict: the explorer finds racy pairs between the two children's
+/// `get`/`set` sites, and the final counter value is schedule-dependent —
+/// 1 when the increments interleave, 2 when they serialize.
+pub fn racy_counter_program() -> Program {
+    let dom = PriorityDomain::single();
+    let p = dom.by_index(0);
+    // One unsynchronized increment.
+    let child = bind(
+        "v",
+        cmd(p, get(var("r"))),
+        set(var("r"), add(var("v"), nat(1))),
+    );
+    let main = dcl(
+        "r",
+        Type::Nat,
+        nat(0),
+        bind(
+            "a",
+            cmd(p, fcreate(p, Type::Nat, child.clone())),
+            bind(
+                "b",
+                cmd(p, fcreate(p, Type::Nat, child)),
+                bind(
+                    "_va",
+                    cmd(p, ftouch(var("a"))),
+                    bind(
+                        "_vb",
+                        cmd(p, ftouch(var("b"))),
+                        bind("out", cmd(p, get(var("r"))), ret(var("out"))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    program("racy-counter", dom, p, main, Type::Nat)
+}
+
+/// The same two-increment counter, but synchronized entirely through `cas`:
+/// both futures race to move the cell 0→1; the loser observes the failure
+/// and moves it 1→2.
+///
+/// Known verdict: every conflicting pair is CAS-synchronized (zero racy
+/// pairs), and the final value is deterministically 2.
+pub fn cas_counter_program() -> Program {
+    let dom = PriorityDomain::single();
+    let p = dom.by_index(0);
+    let child = bind(
+        "x",
+        cmd(p, cas(var("r"), nat(0), nat(1))),
+        bind(
+            "res",
+            ifz(
+                var("x"),
+                // x = 0: the other future won the first round; finish the
+                // count by moving 1 → 2.
+                cmd(p, cas(var("r"), nat(1), nat(2))),
+                "_w",
+                // x = 1: won the first round; done.
+                cmd(p, ret(nat(0))),
+            ),
+            ret(var("res")),
+        ),
+    );
+    let main = dcl(
+        "r",
+        Type::Nat,
+        nat(0),
+        bind(
+            "a",
+            cmd(p, fcreate(p, Type::Nat, child.clone())),
+            bind(
+                "b",
+                cmd(p, fcreate(p, Type::Nat, child)),
+                bind(
+                    "_va",
+                    cmd(p, ftouch(var("a"))),
+                    bind(
+                        "_vb",
+                        cmd(p, ftouch(var("b"))),
+                        bind("out", cmd(p, get(var("r"))), ret(var("out"))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    program("cas-counter", dom, p, main, Type::Nat)
+}
+
+/// A race-free handoff: the future writes the cell, the parent touches the
+/// future *before* reading, so every access pair is ordered by the
+/// fcreate/ftouch edges alone.
+///
+/// Known verdict: zero conflicting unordered pairs, deterministic final
+/// value 42.
+pub fn handoff_program() -> Program {
+    let dom = PriorityDomain::single();
+    let p = dom.by_index(0);
+    let child = set(var("r"), nat(41));
+    let main = dcl(
+        "r",
+        Type::Nat,
+        nat(0),
+        bind(
+            "t",
+            cmd(p, fcreate(p, Type::Nat, child)),
+            bind(
+                "_j",
+                cmd(p, ftouch(var("t"))),
+                bind(
+                    "v",
+                    cmd(p, get(var("r"))),
+                    bind(
+                        "_w",
+                        cmd(p, set(var("r"), add(var("v"), nat(1)))),
+                        bind("out", cmd(p, get(var("r"))), ret(var("out"))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    program("handoff", dom, p, main, Type::Nat)
+}
+
+// ---------------------------------------------------------------------------
 // Case-study encodings for the Table 1 reproduction.
 //
 // The paper measures the compile-time overhead of the priority machinery on
@@ -414,6 +550,12 @@ pub mod sources {
     pub const EMAIL: &str = include_str!("../progs/email.l4i");
     /// Job-server case study.
     pub const JSERVER: &str = include_str!("../progs/jserver.l4i");
+    /// Known-racy shared counter (explorer fixture).
+    pub const RACY_COUNTER: &str = include_str!("../progs/racy-counter.l4i");
+    /// CAS-synchronized counter, race-free (explorer fixture).
+    pub const CAS_COUNTER: &str = include_str!("../progs/cas-counter.l4i");
+    /// Touch-ordered handoff, race-free (explorer fixture).
+    pub const HANDOFF: &str = include_str!("../progs/handoff.l4i");
 
     /// One fixture: its name, its source text, and a builder for the AST
     /// the source must parse to.
@@ -438,6 +580,13 @@ pub mod sources {
             ("proxy", PROXY, super::proxy_program),
             ("email", EMAIL, super::email_program),
             ("jserver", JSERVER, super::jserver_program),
+            (
+                "racy-counter",
+                RACY_COUNTER,
+                super::racy_counter_program as fn() -> Program,
+            ),
+            ("cas-counter", CAS_COUNTER, super::cas_counter_program),
+            ("handoff", HANDOFF, super::handoff_program),
         ]
     }
 }

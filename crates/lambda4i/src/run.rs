@@ -2,7 +2,7 @@
 //! cross-checks against the Section 2 cost model.
 
 use crate::machine::{Machine, MachineError, StepOutcome};
-use crate::policy::{SelectionPolicy, Selector};
+use crate::policy::{ScriptedSelector, SelectionPolicy, Selector};
 use crate::syntax::{Expr, Program, ThreadSym};
 use rp_core::bound::{check_bounds_batch, BoundReport};
 use rp_core::graph::{CostDag, ThreadId as DagThreadId, VertexId};
@@ -134,8 +134,51 @@ impl RunResult {
 /// exceeds `max_steps`.
 pub fn run_program(program: &Program, config: &RunConfig) -> Result<RunResult, MachineError> {
     assert!(config.cores > 0, "need at least one core");
-    let mut machine = Machine::new(program);
     let mut selector = Selector::new(config.policy);
+    let (machine, steps) = drive(program, config, |domain, runnable, cores| {
+        selector.select(domain, runnable, cores)
+    })?;
+    finalize(program, config, machine, steps)
+}
+
+/// Runs a program replaying an explicit schedule script.
+///
+/// `script[i]` lists the thread symbols to step at parallel step `i` — the
+/// explicit-schedule driver the DPOR explorer replays candidate
+/// interleavings through.  Scripted entries naming threads that are not
+/// runnable at that step are skipped (see [`ScriptedSelector`]); once the
+/// script is exhausted the run continues under `config.policy` until every
+/// thread finishes, so partial scripts (replayed prefixes) are legal.
+///
+/// # Errors
+///
+/// Returns a [`MachineError`] if the program gets stuck (ill-typed input) or
+/// exceeds `config.max_steps`.
+pub fn run_with_schedule(
+    program: &Program,
+    script: &[Vec<ThreadSym>],
+    config: &RunConfig,
+) -> Result<RunResult, MachineError> {
+    assert!(config.cores > 0, "need at least one core");
+    let mut selector = ScriptedSelector::new(script.iter().cloned(), config.policy);
+    let (machine, steps) = drive(program, config, |domain, runnable, cores| {
+        selector.select(domain, runnable, cores)
+    })?;
+    finalize(program, config, machine, steps)
+}
+
+/// The shared D-Par loop: steps the machine until all threads are done,
+/// asking `choose` which runnable threads to step each round.
+fn drive(
+    program: &Program,
+    config: &RunConfig,
+    mut choose: impl FnMut(
+        &rp_priority::PriorityDomain,
+        &[(ThreadSym, Priority)],
+        usize,
+    ) -> Vec<ThreadSym>,
+) -> Result<(Machine, Vec<Vec<VertexId>>), MachineError> {
+    let mut machine = Machine::new(program);
     let mut steps: Vec<Vec<VertexId>> = Vec::new();
 
     while !machine.all_done() {
@@ -144,8 +187,8 @@ pub fn run_program(program: &Program, config: &RunConfig) -> Result<RunResult, M
         }
         let runnable: Vec<(ThreadSym, Priority)> = machine
             .runnable()
-            .into_iter()
-            .map(|s| (s, machine.thread(s).priority))
+            .iter()
+            .map(|&s| (s, machine.thread(s).priority))
             .collect();
         if runnable.is_empty() {
             // All unfinished threads are blocked: deadlock.  Well-typed
@@ -161,7 +204,7 @@ pub fn run_program(program: &Program, config: &RunConfig) -> Result<RunResult, M
                 state: "deadlock: every unfinished thread is blocked".into(),
             });
         }
-        let chosen = selector.select(machine.domain(), &runnable, config.cores);
+        let chosen = choose(machine.domain(), &runnable, config.cores);
         let step_index = steps.len();
         let mut executed = Vec::new();
         for sym in chosen {
@@ -172,7 +215,18 @@ pub fn run_program(program: &Program, config: &RunConfig) -> Result<RunResult, M
         }
         steps.push(executed);
     }
+    Ok((machine, steps))
+}
 
+/// Builds the [`RunResult`] from a finished machine and its recorded steps:
+/// cost graph, schedule, well-formedness facts, and per-thread Theorem 2.3
+/// reports.
+fn finalize(
+    program: &Program,
+    config: &RunConfig,
+    machine: Machine,
+    steps: Vec<Vec<VertexId>>,
+) -> Result<RunResult, MachineError> {
     let total_steps = steps.len();
     let value = machine
         .main_value()

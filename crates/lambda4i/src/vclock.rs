@@ -1,0 +1,359 @@
+//! Vector clocks and the happens-before race detector for λ⁴ᵢ executions.
+//!
+//! The machine reports every shared-state step as a
+//! [`StepAccess`]; this module replays that event
+//! stream through two families of vector clocks to classify each pair of
+//! conflicting heap accesses:
+//!
+//! * the **plain** clocks order events by program order plus the structural
+//!   edges of the cost semantics — `fcreate` (the child starts after the
+//!   spawn) and `ftouch` (the toucher continues after the target's finish);
+//! * the **sync** clocks additionally propagate order through `cas`
+//!   operations on the same cell: every `cas` *acquires* the cell's release
+//!   clock before it runs, and a successful `cas` *releases* its own clock
+//!   into the cell afterwards, so chains of CASes transfer happens-before
+//!   exactly the way an atomic read-modify-write does.
+//!
+//! A pair of conflicting accesses (same location, at least one write) is then
+//!
+//! * [`PairOrder::Ordered`] if the plain clocks already order it — no data
+//!   race, independent of how `cas` is modelled;
+//! * [`PairOrder::CasSynchronized`] if only the sync clocks order it — the
+//!   accesses are serialized by CAS synchronization, as in a lock-free
+//!   counter;
+//! * [`PairOrder::Racy`] otherwise — a genuine data race: there exists an
+//!   interleaving reordering the two accesses, so the program's outcome may
+//!   depend on the schedule.
+//!
+//! The detector is exact for a single observed execution: it neither
+//! over-approximates (extra order edges would hide races *and* would make the
+//! DPOR explorer's persistent sets unsound) nor under-approximates the order
+//! relation of the semantics.
+
+use crate::machine::{StepAccess, StepEffect};
+use crate::syntax::{LocId, ThreadSym};
+use rp_core::graph::VertexId;
+use std::collections::HashMap;
+
+/// A vector clock over thread symbols.
+///
+/// Components are indexed by [`ThreadSym`]; missing components are zero, so
+/// clocks grow on demand as threads spawn.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The component for thread `t` (zero if never ticked).
+    pub fn get(&self, t: ThreadSym) -> u64 {
+        self.ticks.get(t.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `t`'s own component and returns the new value.
+    pub fn tick(&mut self, t: ThreadSym) -> u64 {
+        let i = t.0 as usize;
+        if self.ticks.len() <= i {
+            self.ticks.resize(i + 1, 0);
+        }
+        self.ticks[i] += 1;
+        self.ticks[i]
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &v) in other.ticks.iter().enumerate() {
+            if self.ticks[i] < v {
+                self.ticks[i] = v;
+            }
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` (the happens-before partial order on clocks).
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.ticks.get(i).copied().unwrap_or(0))
+    }
+}
+
+/// The kind of heap access an event performed, for conflict detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// `dcl` allocation (writes the initial value).
+    Alloc,
+    /// `!` read.
+    Read,
+    /// `:=` write.
+    Write,
+    /// Failed `cas` (observes the value; no write).
+    CasRead,
+    /// Successful `cas` (observes and writes).
+    CasWrite,
+}
+
+impl AccessKind {
+    /// Whether the access writes the cell.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::Alloc | AccessKind::Write | AccessKind::CasWrite
+        )
+    }
+
+    /// Whether two access kinds conflict (at least one writes).
+    pub fn conflicts_with(self, other: AccessKind) -> bool {
+        self.is_write() || other.is_write()
+    }
+}
+
+/// One heap access event, identified both by its cost-graph vertex (specific
+/// to one execution) and by its `(thread, ordinal)` site (stable across
+/// schedules, since each thread's own step sequence is deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The accessing thread.
+    pub thread: ThreadSym,
+    /// The cost-graph vertex of the access in the observed execution.
+    pub vertex: VertexId,
+    /// The vertex label naming the machine rule (e.g. `"set-write"`).
+    pub label: &'static str,
+    /// The thread-local effect ordinal (see
+    /// [`StepAccess::ordinal`](crate::machine::StepAccess)).
+    pub ordinal: usize,
+    /// What the access did.
+    pub kind: AccessKind,
+    /// The accessed cell.
+    pub loc: LocId,
+}
+
+/// How a pair of conflicting accesses is ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairOrder {
+    /// Ordered by program order, `fcreate`, or `ftouch` alone.
+    Ordered,
+    /// Ordered only through `cas` acquire/release chains on the same cell.
+    CasSynchronized,
+    /// Unordered: a data race.
+    Racy,
+}
+
+/// A pair of conflicting accesses to the same cell, classified.
+///
+/// `first` is the access that executed earlier in the observed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RacePair {
+    /// The earlier access.
+    pub first: Access,
+    /// The later access.
+    pub second: Access,
+    /// The classification.
+    pub order: PairOrder,
+}
+
+impl RacePair {
+    /// A schedule-independent identity for the pair: both access sites as
+    /// `(thread, ordinal)`, normalized so the smaller site comes first.
+    /// Two executions that report the same race produce the same key even if
+    /// the accesses executed in the opposite order.
+    pub fn site_key(&self) -> ((ThreadSym, usize), (ThreadSym, usize)) {
+        let a = (self.first.thread, self.first.ordinal);
+        let b = (self.second.thread, self.second.ordinal);
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// Per-location history entry: the access plus the acting thread's clock
+/// snapshots taken at the access.
+#[derive(Debug, Clone)]
+struct HistoryEntry {
+    access: Access,
+    plain: VClock,
+    sync: VClock,
+}
+
+/// Online happens-before race detector.
+///
+/// Feed it every [`StepAccess`] the machine reports (in execution order) via
+/// [`observe`](Self::observe); it maintains the plain and sync clocks and
+/// classifies each conflicting pair as it completes.  Histories are kept per
+/// cell and never pruned — the detector targets the explorer's small fixture
+/// programs, where exhaustiveness matters more than memory.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    /// Per-thread plain clock (program order + fcreate + ftouch).
+    plain: HashMap<ThreadSym, VClock>,
+    /// Per-thread sync clock (plain edges + cas acquire/release).
+    sync: HashMap<ThreadSym, VClock>,
+    /// Per-cell release clock for `cas` synchronization.
+    cas_release: HashMap<LocId, VClock>,
+    /// Per-cell access history.
+    history: HashMap<LocId, Vec<HistoryEntry>>,
+    /// Every conflicting pair seen, classified, in completion order.
+    pairs: Vec<RacePair>,
+}
+
+impl RaceDetector {
+    /// A fresh detector with all clocks at zero.
+    pub fn new() -> Self {
+        RaceDetector::default()
+    }
+
+    /// Processes one machine step's effect record.
+    pub fn observe(&mut self, step: &StepAccess) {
+        let t = step.thread;
+        // Every effectful step is a fresh event on its thread's clocks.
+        self.plain.entry(t).or_default().tick(t);
+        self.sync.entry(t).or_default().tick(t);
+
+        match step.effect {
+            StepEffect::Spawn(child) => {
+                // The child starts with everything the parent has seen.
+                let p = self.plain[&t].clone();
+                let s = self.sync[&t].clone();
+                self.plain.entry(child).or_default().join(&p);
+                self.sync.entry(child).or_default().join(&s);
+            }
+            StepEffect::Touch(target) => {
+                // The toucher continues after the target's final event.
+                if let Some(p) = self.plain.get(&target).cloned() {
+                    self.plain.get_mut(&t).expect("ticked above").join(&p);
+                }
+                if let Some(s) = self.sync.get(&target).cloned() {
+                    self.sync.get_mut(&t).expect("ticked above").join(&s);
+                }
+            }
+            StepEffect::Finish => {}
+            StepEffect::Alloc(loc) => self.heap_access(step, AccessKind::Alloc, loc),
+            StepEffect::Read(loc) => self.heap_access(step, AccessKind::Read, loc),
+            StepEffect::Write(loc) => self.heap_access(step, AccessKind::Write, loc),
+            StepEffect::Cas { loc, success } => {
+                // Acquire: order this event after every released cas on the
+                // cell, whether or not this one succeeds.
+                if let Some(rel) = self.cas_release.get(&loc).cloned() {
+                    self.sync.get_mut(&t).expect("ticked above").join(&rel);
+                }
+                let kind = if success {
+                    AccessKind::CasWrite
+                } else {
+                    AccessKind::CasRead
+                };
+                self.heap_access(step, kind, loc);
+                // Release: publish this event (successful cas only, matching
+                // the write; a failed cas transfers no order downstream).
+                if success {
+                    let s = self.sync[&t].clone();
+                    self.cas_release.entry(loc).or_default().join(&s);
+                }
+            }
+        }
+    }
+
+    /// Classifies the new access against every conflicting earlier access to
+    /// the same cell and appends it to the history.
+    fn heap_access(&mut self, step: &StepAccess, kind: AccessKind, loc: LocId) {
+        let t = step.thread;
+        let access = Access {
+            thread: t,
+            vertex: step.vertex,
+            label: step.label,
+            ordinal: step.ordinal,
+            kind,
+            loc,
+        };
+        let plain_now = self.plain[&t].clone();
+        let sync_now = self.sync[&t].clone();
+        let entries = self.history.entry(loc).or_default();
+        for earlier in entries.iter() {
+            if !earlier.access.kind.conflicts_with(kind) {
+                continue;
+            }
+            if earlier.access.thread == t {
+                // Program order on the same thread: always plain-ordered.
+                continue;
+            }
+            // `earlier` happens-before the new access iff the new thread's
+            // clock has caught up with the earlier event's own tick.
+            let e = earlier.access.thread;
+            let order = if earlier.plain.get(e) <= plain_now.get(e) {
+                PairOrder::Ordered
+            } else if earlier.sync.get(e) <= sync_now.get(e) {
+                PairOrder::CasSynchronized
+            } else {
+                PairOrder::Racy
+            };
+            self.pairs.push(RacePair {
+                first: earlier.access,
+                second: access,
+                order,
+            });
+        }
+        entries.push(HistoryEntry {
+            access,
+            plain: plain_now,
+            sync: sync_now,
+        });
+    }
+
+    /// Every conflicting cross-thread pair seen so far, in completion order.
+    pub fn pairs(&self) -> &[RacePair] {
+        &self.pairs
+    }
+
+    /// The subset of [`pairs`](Self::pairs) classified as racy.
+    pub fn racy_pairs(&self) -> impl Iterator<Item = &RacePair> {
+        self.pairs.iter().filter(|p| p.order == PairOrder::Racy)
+    }
+
+    /// The thread's current plain clock, if it has had any event.
+    pub fn plain_clock(&self, t: ThreadSym) -> Option<&VClock> {
+        self.plain.get(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_algebra() {
+        let a = ThreadSym(0);
+        let b = ThreadSym(1);
+        let mut x = VClock::new();
+        let mut y = VClock::new();
+        assert!(x.leq(&y) && y.leq(&x));
+        x.tick(a);
+        assert!(!x.leq(&y) && y.leq(&x));
+        y.tick(b);
+        assert!(!x.leq(&y) && !y.leq(&x), "concurrent clocks");
+        y.join(&x);
+        assert!(x.leq(&y));
+        assert_eq!(y.get(a), 1);
+        assert_eq!(y.get(b), 1);
+        assert_eq!(y.get(ThreadSym(7)), 0);
+    }
+
+    #[test]
+    fn access_kind_conflicts() {
+        use AccessKind::*;
+        assert!(Write.conflicts_with(Read));
+        assert!(Read.conflicts_with(CasWrite));
+        assert!(!Read.conflicts_with(Read));
+        assert!(!CasRead.conflicts_with(Read));
+        assert!(Alloc.is_write() && CasWrite.is_write() && !CasRead.is_write());
+    }
+}

@@ -1,0 +1,167 @@
+//! Golden explorer verdicts for the checked-in race fixtures.
+//!
+//! Each fixture in `crates/lambda4i/progs/` that exists for the DPOR
+//! explorer (`racy-counter.l4i`, `cas-counter.l4i`, `handoff.l4i`) has a
+//! known race classification and outcome set, asserted exactly here: the
+//! racy fixture's race-pair sites are pinned down to the access label and
+//! thread level, and the race-free fixtures must come back with zero racy
+//! pairs and a single bit-identical outcome.
+
+use rp_lambda4i::explore::{explore_program, ExploreConfig, ExploreReport};
+use rp_lambda4i::parse::parse_program;
+use rp_lambda4i::progs::{self, sources};
+use rp_lambda4i::run::{run_with_schedule, RunConfig};
+use rp_lambda4i::syntax::{dsl::nat, Program, ThreadSym};
+use rp_lambda4i::typecheck::infer_program;
+
+fn explore(prog: &Program) -> ExploreReport {
+    explore_program(prog, &ExploreConfig::default())
+        .unwrap_or_else(|e| panic!("{}: exploration failed: {e}", prog.name))
+}
+
+/// The racy counter loses an increment on some schedules: the explorer must
+/// exhaust the space, report exactly the outcomes {1, 2}, and pin the racy
+/// pairs to the two children's `get`/`set` sites.
+#[test]
+fn racy_counter_verdict_is_golden() {
+    let report = explore(&progs::racy_counter_program());
+    assert!(report.complete, "fixture space must be exhaustible");
+    assert!(report.racy());
+    assert!(!report.deterministic());
+    assert!(report.pruned_choices > 0, "DPOR must prune something");
+    assert_eq!(report.bound_counterexamples, 0);
+
+    let mut values: Vec<_> = report.outcomes.iter().map(|o| o.value.clone()).collect();
+    values.sort_by_key(|v| format!("{v:?}"));
+    assert_eq!(values, vec![nat(1), nat(2)], "lost-update outcome set");
+
+    // Both children are spawned by `main` in program order, so their thread
+    // symbols are stable across schedules: a1 is future `a`, a2 is `b`.
+    let (a, b) = (ThreadSym(1), ThreadSym(2));
+    let mut sites: Vec<(ThreadSym, &str, ThreadSym, &str)> = report
+        .races
+        .iter()
+        .map(|r| {
+            (
+                r.first.thread,
+                r.first.label,
+                r.second.thread,
+                r.second.label,
+            )
+        })
+        .collect();
+    sites.sort();
+    assert_eq!(
+        sites,
+        vec![
+            (a, "get-read", b, "set-write"),
+            (a, "set-write", b, "get-read"),
+            (a, "set-write", b, "set-write"),
+        ],
+        "exact racy site pairs between the two increments"
+    );
+}
+
+/// Every race schedule the explorer reports is a real counterexample: it
+/// replays deterministically through the scripted driver and reproduces one
+/// of the observed outcomes.
+#[test]
+fn racy_counter_race_schedules_replay() {
+    let prog = progs::racy_counter_program();
+    let report = explore(&prog);
+    let config = RunConfig {
+        cores: 1,
+        ..RunConfig::default()
+    };
+    let mut replayed = 0usize;
+    for race in &report.races {
+        assert!(
+            !race.schedules.is_empty(),
+            "race without a witness schedule"
+        );
+        for script in &race.schedules {
+            let rerun = run_with_schedule(&prog, script, &config)
+                .expect("race witness schedule must replay");
+            assert_eq!(rerun.steps, script.len(), "script must drive every step");
+            assert!(
+                rerun.value == nat(1) || rerun.value == nat(2),
+                "replay produced an outcome the explorer never saw: {:?}",
+                rerun.value
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= report.races.len());
+}
+
+/// The CAS counter is the same shape as the racy counter but fully
+/// synchronized: zero racy pairs, at least one CAS-synchronized pair, and a
+/// deterministic final value of 2.
+#[test]
+fn cas_counter_verdict_is_golden() {
+    let report = explore(&progs::cas_counter_program());
+    assert!(report.complete);
+    assert!(!report.racy(), "CAS-synchronized pairs must not be racy");
+    assert!(report.deterministic());
+    assert_eq!(report.outcomes[0].value, nat(2));
+    assert!(
+        report.cas_pairs > 0,
+        "the cas/cas conflicts must be observed"
+    );
+    assert!(
+        report.schedules_explored > 1,
+        "the cas conflicts force real re-exploration"
+    );
+    assert_eq!(report.bound_counterexamples, 0);
+}
+
+/// The touch-ordered handoff has conflicting accesses but every pair is
+/// ordered by the fcreate/ftouch edges alone, so DPOR needs exactly one
+/// schedule and reports zero races of any kind.
+#[test]
+fn handoff_verdict_is_golden() {
+    let report = explore(&progs::handoff_program());
+    assert!(report.complete);
+    assert!(!report.racy());
+    assert!(report.deterministic());
+    assert_eq!(report.outcomes[0].value, nat(42));
+    assert_eq!(report.races.len(), 0);
+    assert_eq!(report.cas_pairs, 0, "no cas in the program");
+    assert!(
+        report.ordered_pairs > 0,
+        "the handoff conflicts are ordered"
+    );
+    assert_eq!(
+        report.schedules_explored, 1,
+        "touch ordering leaves nothing to backtrack"
+    );
+    assert_eq!(report.bound_counterexamples, 0);
+}
+
+/// The checked-in `.l4i` sources produce the same verdicts as the embedded
+/// builders when driven through the full front end (parse → infer →
+/// explore), so the fixtures stay golden end to end.
+#[test]
+fn fixture_sources_explore_to_the_same_verdicts() {
+    let expectations: &[(&str, bool, &[u64])] = &[
+        ("racy-counter", true, &[1, 2]),
+        ("cas-counter", false, &[2]),
+        ("handoff", false, &[42]),
+    ];
+    for &(name, racy, values) in expectations {
+        let (_, src, _) = sources::all()
+            .into_iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("fixture `{name}` missing from sources::all()"));
+        let parsed = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inferred = infer_program(&parsed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = explore(&inferred.program);
+        assert!(report.complete, "{name}: space must be exhaustible");
+        assert_eq!(report.racy(), racy, "{name}: race verdict diverged");
+        let mut got: Vec<_> = report.outcomes.iter().map(|o| o.value.clone()).collect();
+        got.sort_by_key(|v| format!("{v:?}"));
+        let want: Vec<_> = values.iter().map(|&n| nat(n)).collect();
+        assert_eq!(got, want, "{name}: outcome set diverged");
+        assert_eq!(report.bound_counterexamples, 0, "{name}: Theorem 2.3");
+    }
+}

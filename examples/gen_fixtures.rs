@@ -37,6 +37,21 @@ fn main() {
             progs::jserver_program(),
             "Job-server case study encoding (4 priority levels).",
         ),
+        (
+            "racy-counter.l4i",
+            progs::racy_counter_program(),
+            "Explorer fixture: two unsynchronized increments; known racy, value 1 or 2.",
+        ),
+        (
+            "cas-counter.l4i",
+            progs::cas_counter_program(),
+            "Explorer fixture: CAS-synchronized counter; race-free, value always 2.",
+        ),
+        (
+            "handoff.l4i",
+            progs::handoff_program(),
+            "Explorer fixture: touch-ordered handoff; race-free, value always 42.",
+        ),
     ];
     for (file, prog, blurb) in fixtures {
         let body = pretty::program_to_string(&prog);
