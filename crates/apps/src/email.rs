@@ -555,6 +555,43 @@ mod tests {
         crate::harness::shutdown_runtime(rt, Duration::from_secs(5));
     }
 
+    /// Documents a known scheduler limitation (see ROADMAP): when three or
+    /// more compressions of the *same* message are in flight, the slot
+    /// chain can deadlock under work-helping.  A task suspended in
+    /// `ftouch(previous)` helps by popping queued tasks onto its own
+    /// stack; if the popped task is a later compress of the same message,
+    /// it touches the suspended task's ticket — which can never be
+    /// fulfilled, because its producer is buried beneath it on the same
+    /// stack.  Chains of length ≤ 2 cannot wedge (the predecessor is a
+    /// leaf task), which is why the coordinate-through-the-slot test above
+    /// is safe.  Run with `--ignored` to observe the hang (it is
+    /// probabilistic; repeat a few times).
+    #[test]
+    #[ignore = "known work-helping deadlock on slot chains of length >= 3"]
+    fn same_message_compress_storm_documents_the_helping_deadlock() {
+        let config = small_config();
+        let rt = Arc::new(config.start_runtime(SchedulerKind::ICilk, &LEVELS));
+        let compress = rt.priority_by_name("compress").expect("level exists");
+        let mailboxes: Vec<_> = (0..6)
+            .map(|_| Arc::new(Mailbox::new(vec!["the quick brown fox ".repeat(64); 1])))
+            .collect();
+        for _ in 0..50 {
+            let outers: Vec<_> = (0..24)
+                .map(|i| {
+                    let rt2 = Arc::clone(&rt);
+                    let mb = Arc::clone(&mailboxes[i % 6]);
+                    rt.fcreate(compress, move || {
+                        let t = compress_message(&rt2, mb.message(0));
+                        rt2.ftouch(&t)
+                    })
+                })
+                .collect();
+            for o in &outers {
+                rt.ftouch_blocking(o);
+            }
+        }
+    }
+
     #[test]
     fn experiment_runs_on_both_schedulers() {
         let report = run_experiment(&small_config());

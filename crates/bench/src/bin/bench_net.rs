@@ -25,14 +25,22 @@
 //! numbers, include the full socket path: client send → shard decode →
 //! task dispatch → reactor response write → client receive.
 //!
+//! Every sweep point is also scraped mid-run over the **admin plane**
+//! (`rp_net`'s wire-level telemetry endpoint): the report gains a
+//! `telemetry` section, and the run fails if any scrape goes unanswered,
+//! any counter regresses between polls, any latency quantile inverts, or
+//! the post-drain wire counters disagree with the in-process snapshot.
+//!
 //! The process exits non-zero if the traced run yields any Theorem 2.3
 //! counterexample — the hypotheses held and the bound still failed, which
-//! means the scheduler, the tracer, or the bound analysis has a bug.
+//! means the scheduler, the tracer, or the bound analysis has a bug — or
+//! if the telemetry plane was incoherent under load.
 
 use bytes::Bytes;
 use rp_apps::harness::{
     collect_trace, drive_socket_open, OpenLoopConfig, ResilienceConfig, SocketLoadConfig,
 };
+use rp_bench::telemetry::{reconcile, telemetry_json, ScrapeTally, Scraper};
 use rp_net::protocol::{encode_request, AppOp, Request, RequestClass};
 use rp_net::server::{NetServer, NetServerConfig};
 use std::fmt::Write as _;
@@ -134,10 +142,15 @@ fn run_one(
     warmup_millis: u64,
     measure_millis: u64,
     workers: usize,
+    tally: &mut ScrapeTally,
+    mismatches: &mut Vec<String>,
 ) -> SweepRow {
     let config = server_config(workers, false);
     let (users, msgs) = (config.email_users, config.email_messages);
     let server = NetServer::start(config).expect("server starts");
+    // Scrape the admin plane mid-sweep: the telemetry it serves must stay
+    // coherent while the data plane is under open-loop load.
+    let scraper = Scraper::start(server.admin_addr(), Duration::from_millis(20));
     let socket = SocketLoadConfig {
         open: OpenLoopConfig {
             arrival_rate_per_sec: rate,
@@ -153,6 +166,13 @@ fn run_one(
     .expect("socket load run");
     server.drain(Duration::from_secs(10));
     let stats = server.stats();
+    let run_tally = scraper.stop();
+    if let Some(exp) = &run_tally.last {
+        for miss in reconcile(exp, &stats) {
+            mismatches.push(format!("{} @ {rate}/s: {miss}", class.name()));
+        }
+    }
+    tally.absorb(run_tally);
     let cache = server.cache_stats();
     let row = SweepRow {
         class,
@@ -267,9 +287,19 @@ fn main() {
 
     println!("bench_net: socket open-loop sweep ({workers} workers, seed {SEED:#x})");
     let mut rows = Vec::new();
+    let mut tally = ScrapeTally::default();
+    let mut mismatches = Vec::new();
     for (class, class_rates) in rates {
         for rate in class_rates {
-            let row = run_one(class, rate, warmup_millis, measure_millis, workers);
+            let row = run_one(
+                class,
+                rate,
+                warmup_millis,
+                measure_millis,
+                workers,
+                &mut tally,
+                &mut mismatches,
+            );
             println!(
                 "{:<13} rate {:>6.0}/s issued {:>5} measured {:>5} unfinished {:>2}  p50 {:>9}µs  p95 {:>9}µs",
                 row.class.name(),
@@ -283,6 +313,15 @@ fn main() {
             rows.push(row);
         }
     }
+
+    println!(
+        "telemetry: {} scrapes ({} failed), {} monotone / {} quantile violations, {} reconcile mismatches",
+        tally.scrapes,
+        tally.failures,
+        tally.monotone_violations,
+        tally.quantile_violations,
+        mismatches.len(),
+    );
 
     let traced = run_traced(workers, if quick { 60.0 } else { 120.0 }, measure_millis);
     println!(
@@ -332,16 +371,37 @@ fn main() {
         traced.observed_hypotheses_held
     );
     let _ = writeln!(json, "    \"counterexamples\": {}", traced.counterexamples);
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {}",
+        telemetry_json(&tally, mismatches.len() as u64)
+    );
+    json.push_str("}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
 
+    let mut failed = false;
     if traced.counterexamples > 0 {
         eprintln!(
             "FAIL: {} Theorem 2.3 counterexample(s) in the traced socket run",
             traced.counterexamples
         );
+        failed = true;
+    }
+    if !tally.clean() {
+        eprintln!(
+            "FAIL: telemetry incoherent under load — {} scrape failure(s), {} monotone violation(s), {} quantile inversion(s)",
+            tally.failures, tally.monotone_violations, tally.quantile_violations
+        );
+        failed = true;
+    }
+    for miss in &mismatches {
+        eprintln!("FAIL: wire/process counter mismatch — {miss}");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

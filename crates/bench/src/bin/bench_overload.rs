@@ -18,12 +18,18 @@
 //! A final traced run repeats the 2× flood with shedding on and checks the
 //! reconstructed cost DAG against Theorem 2.3.
 //!
+//! Every overload point is scraped concurrently over the **admin plane**
+//! (20ms polls), which must answer every scrape even at 10× saturation —
+//! that is the point of a plane that never enters the runtime.  The
+//! report gains a `telemetry` section with the scrape tally.
+//!
 //! The process exits non-zero only for genuine protection failures:
 //!
 //! * an **exempt class missed its budget** — the app class's measured p95
 //!   exceeded its (generous, calibration-derived) budget, or any app
 //!   request was shed, in a run with shedding enabled;
-//! * a **Theorem 2.3 counterexample** in the traced overload run.
+//! * a **Theorem 2.3 counterexample** in the traced overload run;
+//! * an **unanswered or incoherent admin scrape** during the flood.
 //!
 //! A collapsing *unprotected* baseline is expected output, not a failure.
 
@@ -32,6 +38,7 @@ use rp_apps::harness::{
     collect_trace, drive_socket_open_with, OpenLoopConfig, OpenLoopOutcome, ResilienceConfig,
     ResponseVerdict, RetryPolicy, SocketLoadConfig,
 };
+use rp_bench::telemetry::{telemetry_json, ScrapeTally, Scraper};
 use rp_net::admission::AdmissionConfig;
 use rp_net::protocol::{body_is_overloaded, encode_request, AppOp, Request, RequestClass};
 use rp_net::server::{NetServer, NetServerConfig};
@@ -202,12 +209,16 @@ fn run_overload(
     app_budget: Duration,
     lambda_budget: Duration,
     win: &Windows,
+    tally: &mut ScrapeTally,
 ) -> OverloadRow {
     let admission = shedding.then(|| AdmissionConfig::protect_app(app_budget, lambda_budget));
     let config = server_config(workers, false, admission);
     let (users, msgs) = (config.email_users, config.email_messages);
     let server = NetServer::start(config).expect("server starts");
     let addr = server.addr();
+    // The admin plane must answer every scrape even while the flood is
+    // drowning the data plane — that is the point of a separate plane.
+    let scraper = Scraper::start(server.admin_addr(), Duration::from_millis(20));
 
     let app_socket = SocketLoadConfig {
         open: OpenLoopConfig {
@@ -259,6 +270,7 @@ fn run_overload(
     let lambda_outcome = lambda_outcome.expect("lambda driver");
 
     server.drain(Duration::from_secs(10));
+    tally.absorb(scraper.stop());
     let stats = server.stats();
     let admission = server.admission();
     let row = OverloadRow {
@@ -403,6 +415,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut tally = ScrapeTally::default();
     for &multiplier in multipliers {
         for shedding in [false, true] {
             let row = run_overload(
@@ -414,6 +427,7 @@ fn main() {
                 app_budget,
                 lambda_budget,
                 &win,
+                &mut tally,
             );
             println!(
                 "{:>4.0}x shed={:<5} app p95 {:>9}µs (timeouts {:>3})  lambda p95 {:>9}µs rejected {:>5}/{:<5} shed {:?}",
@@ -429,6 +443,11 @@ fn main() {
             rows.push(row);
         }
     }
+
+    println!(
+        "telemetry: {} scrapes under flood ({} failed), {} monotone / {} quantile violations",
+        tally.scrapes, tally.failures, tally.monotone_violations, tally.quantile_violations,
+    );
 
     let traced = run_traced(workers, saturation * 2.0, app_budget, lambda_budget);
     println!(
@@ -514,6 +533,7 @@ fn main() {
     );
     let _ = writeln!(json, "    \"counterexamples\": {}", traced.counterexamples);
     json.push_str("  },\n");
+    let _ = writeln!(json, "  \"telemetry\": {},", telemetry_json(&tally, 0));
     let _ = writeln!(json, "  \"exempt_budget_misses\": {}", exempt_misses.len());
     json.push_str("}\n");
 
@@ -531,6 +551,13 @@ fn main() {
         eprintln!(
             "FAIL: {} Theorem 2.3 counterexample(s) in the traced overload run",
             traced.counterexamples
+        );
+        failed = true;
+    }
+    if !tally.clean() {
+        eprintln!(
+            "FAIL: telemetry incoherent under flood — {} scrape failure(s), {} monotone violation(s), {} quantile inversion(s)",
+            tally.failures, tally.monotone_violations, tally.quantile_violations
         );
         failed = true;
     }

@@ -340,7 +340,7 @@ fn run_streaming_sweep(duration: Duration, failures: &mut Vec<String>) -> Option
         retired_threads: stats.aggregates.retired_threads,
         retired_vertices: stats.aggregates.retired_vertices,
         counterexamples: stats.aggregates.counterexamples,
-        dropped_events: stats.trace.dropped,
+        dropped_events: stats.trace.dropped_events,
         ingest_errors: stats.ingest_errors,
         unresolved_events: stats.counters.unresolved_events,
         max_live_tasks,
@@ -436,7 +436,7 @@ fn streaming_wall_time(config: &ExperimentConfig, failures: &mut Vec<String>) ->
     if report.aggregates.counterexamples > 0 {
         failures.push("drain-ab/streaming: counterexample".to_string());
     }
-    if report.trace.dropped > 0 {
+    if report.trace.dropped_events > 0 {
         failures.push("drain-ab/streaming: dropped trace events".to_string());
     }
     if report.ingest_errors > 0 {

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod telemetry;
+
 use rp_lambda4i::progs;
 use rp_lambda4i::typecheck::{count_nodes, typecheck_program_with, CheckStats};
 use std::time::{Duration, Instant};

@@ -320,7 +320,7 @@ fn streaming_server_working_set_plateaus_under_waves() {
             std::thread::sleep(Duration::from_millis(5));
         };
         assert_eq!(stats.counters.live_tasks, 0, "working set returns to zero");
-        assert_eq!(stats.trace.dropped, 0, "no tracer overflow");
+        assert_eq!(stats.trace.dropped_events, 0, "no tracer overflow");
         assert_eq!(stats.ingest_errors, 0);
         assert_eq!(stats.aggregates.counterexamples, 0, "Theorem 2.3 holds");
         retired_after_wave.push(stats.aggregates.retired_subgraphs);

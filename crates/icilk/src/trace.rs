@@ -24,7 +24,7 @@
 //!
 //! Each shard is a *bounded* buffer ([`DEFAULT_TRACE_CAPACITY`] events by
 //! default, configurable per runtime).  A full shard drops new events and
-//! counts them in [`TraceStats::dropped`] — loss is never silent.  Long-running
+//! counts them in [`TraceStats::dropped_events`] — loss is never silent.  Long-running
 //! services keep the buffers small by periodically calling
 //! [`TraceCollector::drain`], which empties the shards and hands back only
 //! the events recorded since the previous drain as a [`TraceBatch`]; the
@@ -88,14 +88,15 @@ struct Shard(Mutex<ShardBuf>);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceStats {
     /// Events accepted into shard buffers since collector creation.
-    pub recorded: u64,
+    pub recorded_events: u64,
     /// Events handed out by [`TraceCollector::drain`] so far.
-    pub drained: u64,
+    pub drained_events: u64,
     /// Events dropped because a shard buffer was full.  A healthy drained
     /// run keeps this at zero; it is never silently reset.
-    pub dropped: u64,
-    /// Events currently sitting in shard buffers (`recorded - drained`).
-    pub buffered: u64,
+    pub dropped_events: u64,
+    /// Events currently sitting in shard buffers
+    /// (`recorded_events - drained_events`).
+    pub buffered_events: u64,
     /// The per-shard capacity this collector was built with.
     pub shard_capacity: usize,
 }
@@ -105,8 +106,8 @@ pub struct TraceStats {
 /// timestamp.
 ///
 /// Batches carry a monotone `seq` number plus the collector's cumulative
-/// `recorded`/`dropped` counters at drain time, so a consumer can detect
-/// loss without a side channel.  Note that a drain can race a recording
+/// `recorded_events`/`dropped_events` counters at drain time, so a consumer
+/// can detect loss without a side channel.  Note that a drain can race a recording
 /// thread between its clock read and its buffer push: an event with
 /// timestamp `t` may arrive in a *later* batch than events stamped after
 /// `t`.  Streaming consumers tolerate this with a reorder window
@@ -118,9 +119,9 @@ pub struct TraceBatch {
     /// The drained events, stably sorted by [`TraceEvent::at`].
     pub events: Vec<TraceEvent>,
     /// Cumulative events accepted by the collector at drain time.
-    pub recorded: u64,
+    pub recorded_events: u64,
     /// Cumulative events dropped by the collector at drain time.
-    pub dropped: u64,
+    pub dropped_events: u64,
 }
 
 /// Sharded, per-runtime recorder of [`TraceEvent`]s.
@@ -155,7 +156,7 @@ impl TraceCollector {
 
     /// Like [`TraceCollector::new`] but with an explicit per-shard event
     /// capacity (minimum 1).  Once a shard is full, further events recorded
-    /// through it are dropped and counted in [`TraceStats::dropped`].
+    /// through it are dropped and counted in [`TraceStats::dropped_events`].
     pub fn with_capacity(
         level_names: Vec<String>,
         num_workers: usize,
@@ -304,8 +305,8 @@ impl TraceCollector {
         TraceBatch {
             seq: self.next_batch.fetch_add(1, Ordering::Relaxed),
             events,
-            recorded,
-            dropped,
+            recorded_events: recorded,
+            dropped_events: dropped,
         }
     }
 
@@ -322,10 +323,10 @@ impl TraceCollector {
         }
         let drained = self.drained.load(Ordering::Relaxed);
         TraceStats {
-            recorded,
-            drained,
-            dropped,
-            buffered: recorded.saturating_sub(drained),
+            recorded_events: recorded,
+            drained_events: drained,
+            dropped_events: dropped,
+            buffered_events: recorded.saturating_sub(drained),
             shard_capacity: self.shard_capacity,
         }
     }
@@ -454,8 +455,8 @@ mod tests {
         let first = tc.drain();
         assert_eq!(first.seq, 0);
         assert_eq!(first.events.len(), 2);
-        assert_eq!(first.recorded, 2);
-        assert_eq!(first.dropped, 0);
+        assert_eq!(first.recorded_events, 2);
+        assert_eq!(first.dropped_events, 0);
         assert!(first.events.windows(2).all(|w| w[0].at() <= w[1].at()));
 
         let quiet = tc.drain();
@@ -467,13 +468,13 @@ mod tests {
         let second = tc.drain();
         assert_eq!(second.seq, 2);
         assert_eq!(second.events.len(), 2, "only the new events");
-        assert_eq!(second.recorded, 4, "counters stay cumulative");
+        assert_eq!(second.recorded_events, 4, "counters stay cumulative");
 
         let stats = tc.stats();
-        assert_eq!(stats.recorded, 4);
-        assert_eq!(stats.drained, 4);
-        assert_eq!(stats.buffered, 0);
-        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.recorded_events, 4);
+        assert_eq!(stats.drained_events, 4);
+        assert_eq!(stats.buffered_events, 0);
+        assert_eq!(stats.dropped_events, 0);
     }
 
     /// A full shard drops new events loudly: the counter moves, nothing is
@@ -486,16 +487,16 @@ mod tests {
         tc.record_touch(a);
         tc.record_touch(a); // shard is full: dropped
         let stats = tc.stats();
-        assert_eq!(stats.recorded, 2);
-        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.recorded_events, 2);
+        assert_eq!(stats.dropped_events, 1);
         assert_eq!(stats.shard_capacity, 2);
 
         let batch = tc.drain();
         assert_eq!(batch.events.len(), 2);
-        assert_eq!(batch.dropped, 1, "drops are visible in the batch");
+        assert_eq!(batch.dropped_events, 1, "drops are visible in the batch");
         tc.record_touch(a);
-        assert_eq!(tc.stats().dropped, 1, "room again after the drain");
-        assert_eq!(tc.stats().buffered, 1);
+        assert_eq!(tc.stats().dropped_events, 1, "room again after the drain");
+        assert_eq!(tc.stats().buffered_events, 1);
     }
 
     #[test]

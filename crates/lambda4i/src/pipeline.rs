@@ -209,6 +209,18 @@ pub fn run_source(src: &str, config: &PipelineConfig) -> Result<PipelineReport, 
     run_pipeline(&prog, config)
 }
 
+/// The uncached parse → infer front half alone.  [`run_source`] is this
+/// followed by [`run_inferred`]; callers that time the front half
+/// separately (the `rp_net` request spans) run the two stages themselves.
+///
+/// # Errors
+///
+/// Parse or type errors of the source.
+pub fn infer_source(src: &str) -> Result<Arc<Inference>, PipelineError> {
+    let prog = parse_program(src).map_err(PipelineError::Parse)?;
+    Ok(Arc::new(infer_program(&prog).map_err(PipelineError::Type)?))
+}
+
 /// Cumulative hit/miss counters of a [`CompileCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -299,11 +311,24 @@ impl CompileCache {
         src: &str,
         config: &PipelineConfig,
     ) -> Result<PipelineReport, PipelineError> {
+        run_inferred(self.inference(src)?, config)
+    }
+
+    /// The memoized parse → infer front half alone: the source's inference,
+    /// from the cache on a hit or freshly computed (and memoized) on a miss.
+    /// [`CompileCache::run_source`] is this followed by [`run_inferred`];
+    /// callers that time the front half separately (the `rp_net` request
+    /// spans) run the two stages themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/type errors; front-half errors are never cached.
+    pub fn inference(&self, src: &str) -> Result<Arc<Inference>, PipelineError> {
         let cached = self.entries.lock().expect("cache lock").get(src).cloned();
-        let inference = match cached {
+        match cached {
             Some(inference) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                inference
+                Ok(inference)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -314,10 +339,9 @@ impl CompileCache {
                     entries.clear();
                 }
                 entries.insert(src.to_string(), Arc::clone(&inference));
-                inference
+                Ok(inference)
             }
-        };
-        run_inferred(inference, config)
+        }
     }
 
     /// Hit/miss counters and current size.

@@ -27,6 +27,17 @@
 //!   each network round-trip as an I/O thread in the cost DAG and
 //!   Theorem 2.3 can be checked on executions that include genuine network
 //!   I/O.
+//! * [`span`] — per-request latency spans: monotonic phase timestamps
+//!   (decode / queue / infer / execute / reply-write) threaded through the
+//!   dispatch path, aggregated into per-class per-phase histograms and a
+//!   bounded top-K slow-request log.
+//! * [`telemetry`] — the telemetry plane: a versioned **admin** request
+//!   class ([`protocol::ADMIN_TAG`]) served from a dedicated listener that
+//!   never enters the runtime and keeps answering while the data plane
+//!   drains or sheds; metrics render as JSON or Prometheus-style text
+//!   exposition, with histogram quantiles exported straight from the
+//!   log-bucketed histograms (no sorting).  The `rp-stat` binary
+//!   (`crates/tools`) polls it into a live dashboard.
 //!
 //! Load generation lives on the client side:
 //! [`rp_apps::harness::drive_socket_open`] replays the same Poisson
@@ -69,7 +80,14 @@
 pub mod admission;
 pub mod protocol;
 pub mod server;
+pub mod span;
+pub mod telemetry;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot, ClassBudget};
-pub use protocol::{AppOp, ErrorCode, ProtocolError, Request, RequestClass, Response};
+pub use protocol::{
+    AdminOp, AdminRequest, AppOp, ErrorCode, MetricsFormat, ProtocolError, Request, RequestClass,
+    Response,
+};
 pub use server::{NetServer, NetServerConfig};
+pub use span::{Phase, RequestSpan, SlowEntry, SpanRecorder, SpanSnapshot};
+pub use telemetry::TelemetrySnapshot;

@@ -14,6 +14,14 @@
 //! | [`Request::App`] | `0` | op tag + op payload (see [`AppOp`]) |
 //! | [`Request::Lambda`] | `1` | λ⁴ᵢ source text |
 //! | [`Request::LambdaCached`] | `2` | λ⁴ᵢ source text |
+//! | [`AdminRequest`] | [`ADMIN_TAG`] (`3`) | version byte + admin op (see [`AdminOp`]) |
+//!
+//! The admin class is the **telemetry plane**: it is versioned
+//! ([`ADMIN_VERSION`]), served inline by the listening thread (never
+//! dispatched into the runtime), and answered even while the server drains
+//! or sheds.  Admin responses (status byte `3`) carry a UTF-8 text body —
+//! JSON or Prometheus-style exposition depending on the requested
+//! [`MetricsFormat`].
 //!
 //! Error responses (status byte `2`) carry one [`ErrorCode`] byte so clients
 //! can distinguish a *shed* request from a *broken* one:
@@ -132,6 +140,149 @@ impl Request {
     }
 }
 
+/// The request-body tag of the admin (telemetry-plane) class.  Deliberately
+/// *not* a [`RequestClass`]: admin requests never enter the runtime, are
+/// never counted against per-class budgets, and are answered even while the
+/// server drains — they sit outside the data plane's class machinery.
+pub const ADMIN_TAG: u8 = 3;
+
+/// The admin body layout version this build speaks.  A request carrying a
+/// different version byte is answered [`ErrorCode::Malformed`] — operators
+/// upgrade `rp-stat` and the server together, and the mismatch is explicit
+/// rather than a silently misparsed body.
+pub const ADMIN_VERSION: u8 = 1;
+
+/// The text format of a [`AdminOp::Metrics`] response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricsFormat {
+    /// A structured JSON document (machine-readable snapshots, `--json`).
+    Json,
+    /// Prometheus-style text exposition (`# HELP`/`# TYPE` + samples).
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// The format's wire byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            MetricsFormat::Json => 0,
+            MetricsFormat::Prometheus => 1,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_tag(tag: u8) -> Option<MetricsFormat> {
+        match tag {
+            0 => Some(MetricsFormat::Json),
+            1 => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry-plane operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminOp {
+    /// The full metrics snapshot: server counters, admission state, cache
+    /// hit rates, per-level latency quantiles, per-class per-phase span
+    /// quantiles, and the streaming bound-slack gauges.
+    Metrics {
+        /// JSON or Prometheus-style text.
+        format: MetricsFormat,
+    },
+    /// A tiny liveness/lifecycle probe; reports `running` or `draining`
+    /// explicitly (a draining server is *alive* — its telemetry plane keeps
+    /// answering while the data plane says `ShuttingDown`).
+    Health,
+    /// The streaming-trace pipeline: per-level bound-slack gauges, retire
+    /// counters, and memory gauges (empty levels elided).
+    TraceSummary,
+    /// The slowest requests seen so far (top-K by total latency), with
+    /// per-phase breakdowns.
+    SlowLog {
+        /// Maximum entries to return (the server's own log bound still
+        /// applies).
+        max: u32,
+    },
+}
+
+/// A decoded admin request: a version byte plus one [`AdminOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// The body layout version the client speaks (see [`ADMIN_VERSION`]).
+    pub version: u8,
+    /// The requested operation.
+    pub op: AdminOp,
+}
+
+impl AdminRequest {
+    /// An admin request at this build's [`ADMIN_VERSION`].
+    pub fn new(op: AdminOp) -> AdminRequest {
+        AdminRequest {
+            version: ADMIN_VERSION,
+            op,
+        }
+    }
+}
+
+/// Whether an *encoded* request body is an admin request — the cheap
+/// classifier the shard threads use to route telemetry traffic around the
+/// data plane's drain/shed fast paths.
+pub fn body_is_admin(body: &[u8]) -> bool {
+    body.first() == Some(&ADMIN_TAG)
+}
+
+/// Encodes an admin request body (the envelope is the caller's job).
+pub fn encode_admin_request(req: &AdminRequest) -> Vec<u8> {
+    let mut out = vec![ADMIN_TAG, req.version];
+    match req.op {
+        AdminOp::Metrics { format } => {
+            out.push(0);
+            out.push(format.tag());
+        }
+        AdminOp::Health => out.push(1),
+        AdminOp::TraceSummary => out.push(2),
+        AdminOp::SlowLog { max } => {
+            out.push(3);
+            out.extend_from_slice(&max.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes an admin request body.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on truncated or mistagged input.  An
+/// unsupported *version* decodes successfully (the version byte is carried
+/// through) — version policy is the server's, so it can answer with a
+/// precise message instead of a generic decode error.
+pub fn decode_admin_request(body: &[u8]) -> Result<AdminRequest, ProtocolError> {
+    let (&tag, rest) = body.split_first().ok_or(ProtocolError::Truncated)?;
+    if tag != ADMIN_TAG {
+        return Err(ProtocolError::UnknownTag(tag));
+    }
+    let (&version, rest) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+    let (&op, rest) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+    let op = match op {
+        0 => {
+            let (&fmt, _) = rest.split_first().ok_or(ProtocolError::Truncated)?;
+            AdminOp::Metrics {
+                format: MetricsFormat::from_tag(fmt).ok_or(ProtocolError::UnknownTag(fmt))?,
+            }
+        }
+        1 => AdminOp::Health,
+        2 => AdminOp::TraceSummary,
+        3 => {
+            let (max, _) = take_u32(rest)?;
+            AdminOp::SlowLog { max }
+        }
+        t => return Err(ProtocolError::UnknownTag(t)),
+    };
+    Ok(AdminRequest { version, op })
+}
+
 /// Why an error response was sent — one byte on the wire, so clients can
 /// tell a *shed* request (retry later, with backoff) from a *broken* one
 /// (retrying the same bytes will fail again) without parsing the message.
@@ -217,6 +368,12 @@ pub enum Response {
         code: ErrorCode,
         /// A human-readable description (parse errors, type errors, …).
         message: String,
+    },
+    /// A telemetry-plane answer: a UTF-8 text body (JSON or Prometheus
+    /// exposition, per the request's [`MetricsFormat`]).
+    Admin {
+        /// The rendered telemetry document.
+        text: String,
     },
 }
 
@@ -411,6 +568,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(message.as_bytes());
             out
         }
+        Response::Admin { text } => {
+            let mut out = vec![3u8];
+            out.extend_from_slice(text.as_bytes());
+            out
+        }
     }
 }
 
@@ -441,6 +603,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                 message: utf8(rest)?,
             })
         }
+        3 => Ok(Response::Admin { text: utf8(rest)? }),
         t => Err(ProtocolError::UnknownTag(t)),
     }
 }
@@ -500,10 +663,83 @@ mod tests {
                 code: ErrorCode::ShuttingDown,
                 message: "draining".into(),
             },
+            Response::Admin {
+                text: "{\"state\":\"running\"}".into(),
+            },
+            Response::Admin {
+                text: String::new(),
+            },
         ] {
             let encoded = encode_response(&resp);
             assert_eq!(decode_response(&encoded).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn admin_requests_roundtrip() {
+        for op in [
+            AdminOp::Metrics {
+                format: MetricsFormat::Json,
+            },
+            AdminOp::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            AdminOp::Health,
+            AdminOp::TraceSummary,
+            AdminOp::SlowLog { max: 0 },
+            AdminOp::SlowLog { max: u32::MAX },
+        ] {
+            let req = AdminRequest::new(op);
+            let encoded = encode_admin_request(&req);
+            assert!(body_is_admin(&encoded));
+            assert_eq!(decode_admin_request(&encoded).unwrap(), req);
+        }
+        // Data-plane bodies are never misclassified as admin.
+        let data = encode_request(&Request::Lambda { source: "x".into() });
+        assert!(!body_is_admin(&data));
+    }
+
+    #[test]
+    fn admin_versions_are_carried_not_rejected_by_the_decoder() {
+        // A future-version body still decodes — the server (not the codec)
+        // owns version policy and answers with a precise message.
+        let mut encoded = encode_admin_request(&AdminRequest::new(AdminOp::Health));
+        encoded[1] = ADMIN_VERSION + 1;
+        let req = decode_admin_request(&encoded).unwrap();
+        assert_eq!(req.version, ADMIN_VERSION + 1);
+        assert_eq!(req.op, AdminOp::Health);
+    }
+
+    #[test]
+    fn malformed_admin_bodies_are_rejected() {
+        assert_eq!(decode_admin_request(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(
+            decode_admin_request(&[0, 1, 1]),
+            Err(ProtocolError::UnknownTag(0)),
+            "data-plane tag is not admin"
+        );
+        assert_eq!(
+            decode_admin_request(&[ADMIN_TAG]),
+            Err(ProtocolError::Truncated)
+        );
+        assert_eq!(
+            decode_admin_request(&[ADMIN_TAG, ADMIN_VERSION]),
+            Err(ProtocolError::Truncated)
+        );
+        assert_eq!(
+            decode_admin_request(&[ADMIN_TAG, ADMIN_VERSION, 9]),
+            Err(ProtocolError::UnknownTag(9))
+        );
+        // Metrics with an unknown format byte.
+        assert_eq!(
+            decode_admin_request(&[ADMIN_TAG, ADMIN_VERSION, 0, 7]),
+            Err(ProtocolError::UnknownTag(7))
+        );
+        // SlowLog with a truncated max.
+        assert_eq!(
+            decode_admin_request(&[ADMIN_TAG, ADMIN_VERSION, 3, 0, 0]),
+            Err(ProtocolError::Truncated)
+        );
     }
 
     #[test]

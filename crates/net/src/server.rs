@@ -45,17 +45,26 @@
 //! be torn mid-frame — all deterministic per `(seed, connection)`.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
-use crate::protocol::{decode_request, encode_response, AppOp, ErrorCode, Request, Response};
+use crate::protocol::{
+    body_is_admin, decode_admin_request, decode_request, encode_response, AdminOp, AppOp,
+    ErrorCode, MetricsFormat, Request, RequestClass, Response, ADMIN_VERSION,
+};
+use crate::span::{RequestSpan, SpanOutcome, SpanRecorder, SpanSnapshot};
+use crate::telemetry::{health_json, TelemetrySnapshot};
 use parking_lot::Mutex;
 use rp_apps::faults::{FaultConfig, FaultPlan, FaultSession, ReadFault, WriteFault};
 use rp_apps::harness::write_socket_frame;
 use rp_apps::harness::{shutdown_runtime, take_socket_frame};
 use rp_apps::jserver::JobClass;
 use rp_apps::{email, proxy};
-use rp_core::stream::{IncrementalReconstructor, StreamAggregates, StreamConfig, StreamCounters};
+use rp_core::stream::{
+    IncrementalReconstructor, LevelAggregate, StreamAggregates, StreamConfig, StreamCounters,
+};
 use rp_icilk::runtime::{Runtime, RuntimeConfig, SchedulerKind};
 use rp_icilk::trace::TraceStats;
-use rp_lambda4i::pipeline::{CacheStats, CompileCache, PipelineConfig, PipelineError};
+use rp_lambda4i::pipeline::{
+    run_inferred, CacheStats, CompileCache, PipelineConfig, PipelineError,
+};
 use rp_lambda4i::pretty::expr_to_string;
 use rp_priority::Priority;
 use rp_sim::latency::LatencyModel;
@@ -180,6 +189,11 @@ struct NetStats {
     responses_sent: AtomicU64,
     decode_errors: AtomicU64,
     per_class: [AtomicU64; 3],
+    /// Telemetry-plane requests served (either port).  Deliberately *not*
+    /// folded into `frames_received`/`responses_sent`: those reconcile
+    /// against client-side data-plane counts, and concurrent scrapes must
+    /// not skew them.
+    admin_requests: AtomicU64,
 }
 
 /// A point-in-time copy of the server counters.
@@ -198,6 +212,10 @@ pub struct NetStatsSnapshot {
     /// Requests rejected `Overloaded` by admission control, per class
     /// (indexed by [`crate::protocol::RequestClass::tag`]).
     pub shed_per_class: [u64; 3],
+    /// Telemetry-plane (admin) requests served; counted separately so
+    /// data-plane totals keep reconciling with client-side counts while
+    /// scrapes run.
+    pub admin_requests: u64,
     /// Trace events the runtime's tracer dropped because a shard buffer was
     /// full (0 on untraced servers; a healthy streamed run keeps it 0).
     pub trace_dropped_events: u64,
@@ -241,6 +259,9 @@ struct ServerCtx {
     cache: CompileCache,
     pipeline: PipelineConfig,
     stats: NetStats,
+    /// Per-request span aggregates and the slow log (the telemetry plane's
+    /// per-class per-phase histograms).
+    spans: SpanRecorder,
     admission: AdmissionController,
     /// The streaming-trace pipeline; `Some` only when both
     /// [`NetServerConfig::tracing`] and [`NetServerConfig::streaming_trace`]
@@ -290,8 +311,11 @@ impl ServerCtx {
     }
 
     /// Runs one request to completion on the current worker (helping on
-    /// touches, never blocking idle).
-    fn execute(self: &Arc<Self>, req: Request) -> Response {
+    /// touches, never blocking idle).  The lambda classes time their parse
+    /// → infer front half into the span's infer phase, so the telemetry
+    /// plane can show how much of a lambda request the compile cache
+    /// actually saves.
+    fn execute(self: &Arc<Self>, req: Request, span: &mut RequestSpan) -> Response {
         match req {
             Request::App(AppOp::ProxyGet {
                 url,
@@ -320,10 +344,22 @@ impl ServerCtx {
                 }
             }
             Request::Lambda { source } => {
-                lambda_response(rp_lambda4i::pipeline::run_source(&source, &self.pipeline))
+                let t0 = Instant::now();
+                let front = rp_lambda4i::pipeline::infer_source(&source);
+                span.add_infer_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                match front {
+                    Ok(inference) => lambda_response(run_inferred(inference, &self.pipeline)),
+                    Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
+                }
             }
             Request::LambdaCached { source } => {
-                lambda_response(self.cache.run_source(&source, &self.pipeline))
+                let t0 = Instant::now();
+                let front = self.cache.inference(&source);
+                span.add_infer_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                match front {
+                    Ok(inference) => lambda_response(run_inferred(inference, &self.pipeline)),
+                    Err(e) => Response::error(ErrorCode::Internal, e.to_string()),
+                }
             }
         }
     }
@@ -384,11 +420,13 @@ struct Conn {
 pub struct NetServer {
     ctx: Arc<ServerCtx>,
     addr: SocketAddr,
+    admin_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
     refresher: Option<JoinHandle<()>>,
     trace_drainer: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -412,6 +450,10 @@ impl NetServer {
         // started runtime's worker/reactor threads.
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        // The telemetry plane listens on its own ephemeral port, served by
+        // a dedicated thread that never touches the runtime.
+        let admin_listener = TcpListener::bind("127.0.0.1:0")?;
+        let admin_addr = admin_listener.local_addr()?;
         let runtime = Arc::new(Runtime::start(
             RuntimeConfig::new(config.workers, LEVELS.len())
                 .with_level_names(LEVELS)
@@ -456,6 +498,7 @@ impl NetServer {
             cache: CompileCache::new(),
             pipeline: config.pipeline.clone(),
             stats: NetStats::default(),
+            spans: SpanRecorder::new(crate::span::DEFAULT_SLOW_LOG),
             admission: AdmissionController::new(config.admission, config.workers, &LEVELS),
             lifecycle: AtomicU8::new(RUNNING),
             faults: config.faults.map(FaultPlan::new),
@@ -508,20 +551,38 @@ impl NetServer {
                 .expect("spawning the trace drain thread")
         });
 
+        let admin = {
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("rp-net-admin-plane".to_string())
+                .spawn(move || admin_loop(admin_listener, ctx, shutdown))
+                .expect("spawning the admin plane thread")
+        };
+
         Ok(NetServer {
             ctx,
             addr,
+            admin_addr,
             shutdown,
             acceptor: Some(acceptor),
             shards,
             refresher,
             trace_drainer,
+            admin: Some(admin),
         })
     }
 
     /// The loopback address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The telemetry plane's loopback address: admin requests sent here
+    /// are served by a dedicated thread that never enters the runtime and
+    /// keeps answering while the data plane drains or sheds.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin_addr
     }
 
     /// The runtime behind the sockets (for draining, metrics, and trace
@@ -538,43 +599,35 @@ impl NetServer {
 
     /// A snapshot of the server counters.
     pub fn stats(&self) -> NetStatsSnapshot {
-        let s = &self.ctx.stats;
-        NetStatsSnapshot {
-            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
-            frames_received: s.frames_received.load(Ordering::Relaxed),
-            responses_sent: s.responses_sent.load(Ordering::Relaxed),
-            decode_errors: s.decode_errors.load(Ordering::Relaxed),
-            per_class: [
-                s.per_class[0].load(Ordering::Relaxed),
-                s.per_class[1].load(Ordering::Relaxed),
-                s.per_class[2].load(Ordering::Relaxed),
-            ],
-            shed_per_class: self.ctx.admission.snapshot().shed,
-            trace_dropped_events: self.ctx.runtime.trace_stats().map_or(0, |t| t.dropped),
-            retired_subgraphs: self
-                .ctx
-                .stream
-                .as_ref()
-                .map_or(0, |s| s.recon.lock().aggregates().retired_subgraphs),
-        }
+        net_stats_snapshot(&self.ctx)
     }
 
     /// A snapshot of the streaming-trace pipeline — live bound-slack
     /// statistics per priority level, retirement counters, and the memory
     /// gauges.  `None` unless [`NetServerConfig::streaming_trace`] is on.
     pub fn stream_stats(&self) -> Option<StreamStatsSnapshot> {
-        let state = self.ctx.stream.as_ref()?;
-        let recon = state.recon.lock();
-        Some(StreamStatsSnapshot {
-            aggregates: recon.aggregates().clone(),
-            counters: recon.counters(),
-            trace: self
-                .ctx
-                .runtime
-                .trace_stats()
-                .expect("streaming implies tracing"),
-            ingest_errors: state.ingest_errors.load(Ordering::Relaxed),
-        })
+        stream_stats_snapshot(&self.ctx)
+    }
+
+    /// The full telemetry snapshot the admin `Metrics` op renders —
+    /// available in-process for harnesses that want the exact exported
+    /// numbers without a socket round-trip.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        telemetry_snapshot(&self.ctx)
+    }
+
+    /// A snapshot of the per-request span aggregates: per-class per-phase
+    /// latency histograms plus the top-K slow-request log.
+    pub fn spans(&self) -> SpanSnapshot {
+        self.ctx.spans.snapshot()
+    }
+
+    /// Enters the first shutdown phase without stopping anything: the
+    /// lifecycle flips to DRAINING, data-plane frames are answered
+    /// `ShuttingDown`, and the admin plane reports `"draining"`.
+    /// Idempotent; [`NetServer::shutdown`] begins with exactly this step.
+    pub fn enter_drain(&self) {
+        self.ctx.lifecycle.store(DRAINING, Ordering::SeqCst);
     }
 
     /// A snapshot of the admission controller: work/span estimates,
@@ -600,7 +653,10 @@ impl NetServer {
     ///    connections (a blocked client sees an orderly EOF), the late
     ///    `ShuttingDown` writes drain, and the runtime shuts down.
     pub fn shutdown(mut self) {
-        self.ctx.lifecycle.store(DRAINING, Ordering::SeqCst);
+        self.enter_drain();
+        // The admin plane outlives this drain: its loop only watches the
+        // `shutdown` flag, which flips after the drain completes, so
+        // telemetry stays scrapeable for the whole DRAINING window.
         let _ = self.ctx.runtime.drain(Duration::from_secs(10));
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor out of its blocking accept.
@@ -615,6 +671,9 @@ impl NetServer {
             let _ = h.join();
         }
         if let Some(h) = self.trace_drainer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
         // `ShuttingDown` answers to frames that raced the drain may still
@@ -824,10 +883,14 @@ fn trace_drain_step(ctx: &Arc<ServerCtx>, idle: &mut u32) {
 }
 
 /// Decodes one frame and spawns its handler task; the task computes the
-/// response and hands the write to the reactor.  Three fast paths answer
-/// directly, without spawning a handler: frames arriving while the server
-/// drains (`ShuttingDown`), bodies that fail to decode (`Malformed`), and
-/// classes currently shed by admission control (`Overloaded`).
+/// response and hands the write to the reactor.  Four fast paths answer
+/// directly, without spawning a handler: **admin** frames (the telemetry
+/// plane — served inline on the shard thread, before every other check,
+/// with a direct synchronous write that bypasses the runtime and fault
+/// injection entirely, so telemetry keeps answering while the data plane
+/// drains, sheds, or wedges), frames arriving while the server drains
+/// (`ShuttingDown`), bodies that fail to decode (`Malformed`), and classes
+/// currently shed by admission control (`Overloaded`).
 fn dispatch(
     ctx: &Arc<ServerCtx>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -835,10 +898,27 @@ fn dispatch(
     id: u64,
     body: Vec<u8>,
 ) {
+    if body_is_admin(&body) {
+        let resp = serve_admin(ctx, &body);
+        let mut w = writer.lock();
+        write_admin_frame(&mut w, id, &resp);
+        return;
+    }
+    let mut span = RequestSpan::begin(id);
     ctx.stats.frames_received.fetch_add(1, Ordering::Relaxed);
     if ctx.lifecycle.load(Ordering::SeqCst) == DRAINING {
         let resp = Response::error(ErrorCode::ShuttingDown, "server is shutting down");
-        respond(ctx, writer, fault, id, &resp, ctx.event);
+        respond(
+            ctx,
+            writer,
+            fault,
+            id,
+            &resp,
+            ctx.event,
+            span,
+            None,
+            SpanOutcome::Executed,
+        );
         return;
     }
     let req = match decode_request(&body) {
@@ -846,10 +926,21 @@ fn dispatch(
         Err(e) => {
             ctx.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
             let resp = Response::error(ErrorCode::Malformed, e.to_string());
-            respond(ctx, writer, fault, id, &resp, ctx.event);
+            respond(
+                ctx,
+                writer,
+                fault,
+                id,
+                &resp,
+                ctx.event,
+                span,
+                None,
+                SpanOutcome::Executed,
+            );
             return;
         }
     };
+    span.mark_decoded();
     let class = req.class();
     ctx.stats.per_class[class.tag() as usize].fetch_add(1, Ordering::Relaxed);
     if !ctx.admission.admit(class) {
@@ -857,7 +948,21 @@ fn dispatch(
             ErrorCode::Overloaded,
             format!("{} shed by admission control", class.name()),
         );
-        respond(ctx, writer, fault, id, &resp, ctx.event);
+        // Sheds never start executing: close the queue phase here so the
+        // admission decision time lands in it; the recorder keeps decode +
+        // queue only for shed spans.
+        span.mark_started();
+        respond(
+            ctx,
+            writer,
+            fault,
+            id,
+            &resp,
+            ctx.event,
+            span,
+            Some(class),
+            SpanOutcome::Shed,
+        );
         return;
     }
     let priority = ctx.dispatch_priority(&req);
@@ -865,9 +970,22 @@ fn dispatch(
     let writer = Arc::clone(writer);
     let fault = fault.clone();
     ctx.runtime.fcreate(priority, move || {
-        let response = ctx2.execute(req);
+        let mut span = span;
+        span.mark_started();
+        let response = ctx2.execute(req, &mut span);
+        span.mark_executed();
         ctx2.admission.on_completed(class);
-        respond(&ctx2, &writer, &fault, id, &response, priority);
+        respond(
+            &ctx2,
+            &writer,
+            &fault,
+            id,
+            &response,
+            priority,
+            span,
+            Some(class),
+            SpanOutcome::Executed,
+        );
     });
 }
 
@@ -875,6 +993,13 @@ fn dispatch(
 /// errors are swallowed: the client hung up, and the server must outlive
 /// its clients.  Under a fault plan the write-side verdict can tear the
 /// frame ([`WriteFault::Partial`]) or kill the connection outright.
+///
+/// The request's span is finalized **inside** the write closure, after the
+/// frame reached the socket, so the reply-write phase covers the reactor
+/// queue plus the actual write; spans of frames that never made it (client
+/// gone, injected fault) are discarded rather than polluting the
+/// histograms with torn writes.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     ctx: &Arc<ServerCtx>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -882,11 +1007,15 @@ fn respond(
     id: u64,
     response: &Response,
     priority: Priority,
+    span: RequestSpan,
+    class: Option<RequestClass>,
+    outcome: SpanOutcome,
 ) {
     let body = encode_response(response);
     let ctx2 = Arc::clone(ctx);
     let writer = Arc::clone(writer);
     let fault = fault.clone();
+    let level = priority.index();
     let _written = ctx.runtime.submit_io_now(priority, move || {
         let verdict = fault
             .as_ref()
@@ -897,6 +1026,8 @@ fn respond(
                 let ok = write_socket_frame(&mut *w, id, &body).is_ok();
                 if ok {
                     ctx2.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+                    let slack = live_level_slack(&ctx2, level);
+                    ctx2.spans.record(&span, class, outcome, slack);
                 }
                 ok
             }
@@ -919,6 +1050,200 @@ fn respond(
             }
         }
     });
+}
+
+/// The lifecycle gauge as the telemetry plane reports it.
+fn lifecycle_str(ctx: &ServerCtx) -> &'static str {
+    if ctx.lifecycle.load(Ordering::SeqCst) == DRAINING {
+        "draining"
+    } else {
+        "running"
+    }
+}
+
+/// Snapshot of the monotone server counters (shared by [`NetServer::stats`]
+/// and the admin plane).
+fn net_stats_snapshot(ctx: &ServerCtx) -> NetStatsSnapshot {
+    let s = &ctx.stats;
+    NetStatsSnapshot {
+        connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+        frames_received: s.frames_received.load(Ordering::Relaxed),
+        responses_sent: s.responses_sent.load(Ordering::Relaxed),
+        decode_errors: s.decode_errors.load(Ordering::Relaxed),
+        per_class: [
+            s.per_class[0].load(Ordering::Relaxed),
+            s.per_class[1].load(Ordering::Relaxed),
+            s.per_class[2].load(Ordering::Relaxed),
+        ],
+        shed_per_class: ctx.admission.snapshot().shed,
+        admin_requests: s.admin_requests.load(Ordering::Relaxed),
+        trace_dropped_events: ctx.runtime.trace_stats().map_or(0, |t| t.dropped_events),
+        retired_subgraphs: ctx
+            .stream
+            .as_ref()
+            .map_or(0, |s| s.recon.lock().aggregates().retired_subgraphs),
+    }
+}
+
+/// Snapshot of the streaming-trace pipeline, `None` when streaming is off
+/// (shared by [`NetServer::stream_stats`] and the admin plane).
+fn stream_stats_snapshot(ctx: &ServerCtx) -> Option<StreamStatsSnapshot> {
+    let state = ctx.stream.as_ref()?;
+    let recon = state.recon.lock();
+    Some(StreamStatsSnapshot {
+        aggregates: recon.aggregates().clone(),
+        counters: recon.counters(),
+        trace: ctx
+            .runtime
+            .trace_stats()
+            .expect("streaming implies tracing"),
+        ingest_errors: state.ingest_errors.load(Ordering::Relaxed),
+    })
+}
+
+/// Assembles the full telemetry snapshot the admin `Metrics` op renders.
+fn telemetry_snapshot(ctx: &ServerCtx) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        lifecycle: lifecycle_str(ctx),
+        net: net_stats_snapshot(ctx),
+        admission: ctx.admission.snapshot(),
+        cache: ctx.cache.stats(),
+        metrics: ctx.runtime.metrics(),
+        levels: LEVELS.iter().map(|&s| s.to_string()).collect(),
+        spans: ctx.spans.snapshot(),
+        stream: stream_stats_snapshot(ctx),
+    }
+}
+
+/// The live mean bound-slack gauge of one dispatch level, read from the
+/// incremental reconstructor's running aggregates.  This is the value the
+/// slow log attaches to a request: an *approximation* — the request's own
+/// subgraph retires some milliseconds after its reply-write, so the gauge
+/// reflects recently retired neighbours at the same level, not the request
+/// itself.  `None` when streaming trace is off or the level has no retired
+/// samples yet.
+fn live_level_slack(ctx: &ServerCtx, level: usize) -> Option<f64> {
+    let state = ctx.stream.as_ref()?;
+    let recon = state.recon.lock();
+    recon
+        .aggregates()
+        .levels
+        .get(level)
+        .and_then(LevelAggregate::mean_slack)
+}
+
+/// Writes one admin response frame directly (synchronously) to the
+/// connection.  Admin writes deliberately bypass the reactor *and* fault
+/// injection: telemetry must stay dependable while the data plane is
+/// wedged, draining, or under a fault plan.
+fn write_admin_frame(w: &mut TcpStream, id: u64, resp: &Response) -> bool {
+    write_socket_frame(w, id, &encode_response(resp)).is_ok()
+}
+
+/// Serves one admin request body.  Never enters the runtime: every op is
+/// answered from atomics, lock-protected snapshots, and the histogram
+/// buckets, all readable even while the data plane drains or sheds.
+fn serve_admin(ctx: &Arc<ServerCtx>, body: &[u8]) -> Response {
+    ctx.stats.admin_requests.fetch_add(1, Ordering::Relaxed);
+    let req = match decode_admin_request(body) {
+        Ok(req) => req,
+        Err(e) => return Response::error(ErrorCode::Malformed, format!("admin: {e}")),
+    };
+    // The decoder carries unknown versions through; the version policy is
+    // the server's, and this build speaks exactly one.
+    if req.version != ADMIN_VERSION {
+        return Response::error(
+            ErrorCode::Malformed,
+            format!(
+                "unsupported admin version {} (this build speaks {ADMIN_VERSION})",
+                req.version
+            ),
+        );
+    }
+    let text = match req.op {
+        AdminOp::Health => {
+            let s = &ctx.stats;
+            health_json(
+                lifecycle_str(ctx),
+                s.frames_received.load(Ordering::Relaxed),
+                s.responses_sent.load(Ordering::Relaxed),
+            )
+        }
+        AdminOp::Metrics { format } => {
+            let snap = telemetry_snapshot(ctx);
+            match format {
+                MetricsFormat::Json => snap.to_json(),
+                MetricsFormat::Prometheus => snap.to_prometheus(),
+            }
+        }
+        AdminOp::TraceSummary => telemetry_snapshot(ctx).trace_summary_json(),
+        AdminOp::SlowLog { max } => telemetry_snapshot(ctx).slow_log_json(max as usize),
+    };
+    Response::Admin { text }
+}
+
+/// The dedicated admin listener: accepts connections on its own loopback
+/// port and serves admin frames inline on this thread.  The loop only
+/// watches the `shutdown` flag — which [`NetServer::shutdown`] flips
+/// *after* the drain phase — so the telemetry plane keeps answering for
+/// the whole DRAINING window.  Non-admin bodies sent here get a
+/// `Malformed` error: the admin port carries telemetry only.
+fn admin_loop(listener: TcpListener, ctx: Arc<ServerCtx>, shutdown: Arc<AtomicBool>) {
+    let _ = listener.set_nonblocking(true);
+    let mut conns: Vec<(TcpStream, Vec<u8>)> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets inherit the listener's non-blocking
+                    // flag on some platforms; admin reads want the same
+                    // poll-read discipline as the shards.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(SHARD_POLL));
+                    conns.push((stream, Vec::new()));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        if conns.is_empty() {
+            std::thread::sleep(SHARD_POLL);
+            continue;
+        }
+        conns.retain_mut(|(stream, buf)| poll_admin_conn(&ctx, stream, buf, &mut chunk));
+    }
+}
+
+/// One poll of one admin connection: read, frame, answer.  Returns `false`
+/// when the connection must be dropped.
+fn poll_admin_conn(
+    ctx: &Arc<ServerCtx>,
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    chunk: &mut [u8],
+) -> bool {
+    match stream.read(chunk) {
+        Ok(0) => return false,
+        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        Err(_) => return false,
+    }
+    loop {
+        match take_socket_frame(buf) {
+            Ok(Some((id, body))) => {
+                let resp = serve_admin(ctx, &body);
+                if !write_admin_frame(stream, id, &resp) {
+                    return false;
+                }
+            }
+            Ok(None) => return true,
+            Err(_) => return false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1317,7 +1642,7 @@ main @ lo:
             std::thread::sleep(Duration::from_millis(5));
         };
         assert_eq!(stats.aggregates.counterexamples, 0, "Theorem 2.3 holds");
-        assert_eq!(stats.trace.dropped, 0, "no tracer overflow");
+        assert_eq!(stats.trace.dropped_events, 0, "no tracer overflow");
         assert_eq!(stats.ingest_errors, 0);
         assert_eq!(stats.counters.unresolved_events, 0);
         assert!(

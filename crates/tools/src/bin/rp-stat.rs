@@ -1,0 +1,189 @@
+//! `rp-stat` — a live dashboard over an `rp_net` server's telemetry plane.
+//!
+//! ```text
+//! rp-stat --addr 127.0.0.1:PORT              # live dashboard (1s polls)
+//! rp-stat --addr ... --interval-ms 250       # faster polls
+//! rp-stat --addr ... --once                  # one frame, no clearing
+//! rp-stat --addr ... --once --json           # one structured JSON snapshot
+//! rp-stat --addr ... --raw                   # raw Prometheus exposition
+//! rp-stat --addr ... --health                # lifecycle + counters only
+//! rp-stat --addr ... --slow 10               # top-10 slow-request log
+//! rp-stat --demo [--demo-ms 1500] ...        # self-contained loaded server
+//! ```
+//!
+//! The address is the server's **admin** port
+//! ([`rp_net::server::NetServer::admin_addr`]), not the data port: the
+//! admin plane answers even while the server drains or sheds, which is
+//! the whole point of scraping it.
+
+use rp_net::protocol::{AdminOp, MetricsFormat};
+use rp_net::telemetry::scrape;
+use rp_tools::{dash, demo::Demo, prom::Exposition};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Args {
+    addr: Option<SocketAddr>,
+    interval: Duration,
+    once: bool,
+    json: bool,
+    raw: bool,
+    health: bool,
+    slow: Option<u32>,
+    demo: bool,
+    demo_ms: u64,
+    frames: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rp-stat [--addr HOST:PORT | --demo] [--interval-ms N] [--once] [--json]\n\
+         \x20              [--raw] [--health] [--slow N] [--demo-ms N] [--frames N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        interval: Duration::from_millis(1000),
+        once: false,
+        json: false,
+        raw: false,
+        health: false,
+        slow: None,
+        demo: false,
+        demo_ms: 1500,
+        frames: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage_missing(name));
+        match arg.as_str() {
+            "--addr" => args.addr = Some(value("--addr").parse().unwrap_or_else(|_| usage())),
+            "--interval-ms" => {
+                args.interval = Duration::from_millis(
+                    value("--interval-ms").parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--once" => args.once = true,
+            "--json" => args.json = true,
+            "--raw" => args.raw = true,
+            "--health" => args.health = true,
+            "--slow" => args.slow = Some(value("--slow").parse().unwrap_or_else(|_| usage())),
+            "--demo" => args.demo = true,
+            "--demo-ms" => args.demo_ms = value("--demo-ms").parse().unwrap_or_else(|_| usage()),
+            "--frames" => args.frames = Some(value("--frames").parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.addr.is_none() && !args.demo {
+        usage()
+    }
+    args
+}
+
+fn usage_missing(name: &str) -> String {
+    eprintln!("missing value for {name}");
+    usage()
+}
+
+fn fetch(addr: SocketAddr, op: AdminOp) -> String {
+    match scrape(addr, op, SCRAPE_TIMEOUT) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("rp-stat: scrape of {addr} failed: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --demo: spin a loaded streaming server and point the scraper at it.
+    let demo = if args.demo {
+        let demo = Demo::start(2, 7).unwrap_or_else(|e| {
+            eprintln!("rp-stat: demo server failed to start: {e}");
+            std::process::exit(1)
+        });
+        // Let the load generators fill the histograms before the first
+        // scrape, so --once output is non-trivial.
+        std::thread::sleep(Duration::from_millis(args.demo_ms));
+        Some(demo)
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .or_else(|| demo.as_ref().map(Demo::admin_addr))
+        .unwrap_or_else(|| usage());
+
+    if args.health {
+        print!("{}", fetch(addr, AdminOp::Health));
+    } else if let Some(max) = args.slow {
+        print!("{}", fetch(addr, AdminOp::SlowLog { max }));
+    } else if args.json {
+        print!(
+            "{}",
+            fetch(
+                addr,
+                AdminOp::Metrics {
+                    format: MetricsFormat::Json
+                }
+            )
+        );
+    } else if args.raw {
+        print!(
+            "{}",
+            fetch(
+                addr,
+                AdminOp::Metrics {
+                    format: MetricsFormat::Prometheus
+                }
+            )
+        );
+    } else {
+        run_dashboard(addr, &args);
+    }
+
+    if let Some(demo) = demo {
+        demo.stop();
+    }
+}
+
+fn run_dashboard(addr: SocketAddr, args: &Args) {
+    let mut prev: Option<(Exposition, Instant)> = None;
+    let mut shown = 0u64;
+    loop {
+        let text = fetch(
+            addr,
+            AdminOp::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+        );
+        let now = Instant::now();
+        let cur = Exposition::parse(&text);
+        let elapsed = prev
+            .as_ref()
+            .map_or(args.interval, |(_, at)| now.duration_since(*at));
+        let frame = dash::render(prev.as_ref().map(|(e, _)| e), &cur, elapsed);
+        if args.once || args.frames.is_some() {
+            println!("{frame}");
+        } else {
+            // Clear + home, then the frame — a plain-ANSI live view.
+            print!("\x1b[2J\x1b[H{frame}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        shown += 1;
+        if args.once || args.frames.is_some_and(|n| shown >= n) {
+            return;
+        }
+        prev = Some((cur, now));
+        std::thread::sleep(args.interval);
+    }
+}

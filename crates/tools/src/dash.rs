@@ -1,0 +1,223 @@
+//! The `rp-stat` dashboard renderer: one Prometheus exposition (plus the
+//! previous poll, for rates) in, one plain-text frame out.  Rendering is a
+//! pure function of the two expositions, so it is unit-testable without a
+//! terminal or a server.
+
+use crate::prom::Exposition;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Quantile labels the server exports, in display order.
+const QUANTILES: [&str; 3] = ["0.5", "0.95", "0.99"];
+/// Span phases, in pipeline order (mirrors `rp_net::span::Phase::ALL`).
+const PHASES: [&str; 5] = ["decode", "queue", "infer", "execute", "reply-write"];
+
+fn fmt_ms(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Per-second rate of a counter between two polls.
+fn rate(prev: Option<&Exposition>, cur: &Exposition, name: &str, elapsed: Duration) -> Option<f64> {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    let now = cur.value(name)?;
+    let before = prev?.value(name)?;
+    Some(((now - before) / secs).max(0.0))
+}
+
+fn rate_str(prev: Option<&Exposition>, cur: &Exposition, name: &str, elapsed: Duration) -> String {
+    match rate(prev, cur, name, elapsed) {
+        Some(r) => format!(" ({r:+.1}/s)"),
+        None => String::new(),
+    }
+}
+
+/// Renders one dashboard frame.
+pub fn render(prev: Option<&Exposition>, cur: &Exposition, elapsed: Duration) -> String {
+    let mut out = String::new();
+    let lifecycle = match cur.value("rp_lifecycle") {
+        Some(v) if v >= 1.0 => "DRAINING",
+        Some(_) => "running",
+        None => "unknown",
+    };
+    let _ = writeln!(out, "rp-stat — lifecycle: {lifecycle}");
+    let _ = writeln!(
+        out,
+        "frames: {}{}   responses: {}{}   decode errors: {}   admin scrapes: {}",
+        fmt_count(cur.value("rp_frames_received_total").unwrap_or(0.0)),
+        rate_str(prev, cur, "rp_frames_received_total", elapsed),
+        fmt_count(cur.value("rp_responses_sent_total").unwrap_or(0.0)),
+        rate_str(prev, cur, "rp_responses_sent_total", elapsed),
+        fmt_count(cur.value("rp_decode_errors_total").unwrap_or(0.0)),
+        fmt_count(cur.value("rp_admin_requests_total").unwrap_or(0.0)),
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses, {} entries   trace drops: {}   retired subgraphs: {}",
+        fmt_count(cur.value("rp_cache_hits_total").unwrap_or(0.0)),
+        fmt_count(cur.value("rp_cache_misses_total").unwrap_or(0.0)),
+        fmt_count(cur.value("rp_cache_entries").unwrap_or(0.0)),
+        fmt_count(cur.value("rp_trace_dropped_events_total").unwrap_or(0.0)),
+        fmt_count(cur.value("rp_retired_subgraphs_total").unwrap_or(0.0)),
+    );
+    out.push('\n');
+
+    // Per-class table: counts, shed state, end-to-end quantiles.
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>5} {:>10} {:>10} {:>10}",
+        "class", "reqs", "shed", "mask", "p50", "p95", "p99"
+    );
+    for class in cur.label_values("rp_requests_total", "class") {
+        let l = [("class", class.as_str())];
+        let mask = match cur.get("rp_admission_shedding", &l) {
+            Some(v) if v >= 1.0 => "SHED",
+            Some(_) => "-",
+            None => "?",
+        };
+        let q = |label: &str| {
+            cur.get(
+                "rp_request_latency_ns",
+                &[("class", class.as_str()), ("quantile", label)],
+            )
+            .map_or_else(|| "-".to_string(), fmt_ms)
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>9} {:>5} {:>10} {:>10} {:>10}",
+            class,
+            fmt_count(cur.get("rp_requests_total", &l).unwrap_or(0.0)),
+            fmt_count(cur.get("rp_requests_shed_total", &l).unwrap_or(0.0)),
+            mask,
+            q(QUANTILES[0]),
+            q(QUANTILES[1]),
+            q(QUANTILES[2]),
+        );
+    }
+    out.push('\n');
+
+    // Per-phase p95 breakdown per class (only phases with samples).
+    let _ = writeln!(
+        out,
+        "{:<14} {}",
+        "phase p95",
+        PHASES
+            .iter()
+            .map(|p| format!("{p:>12}"))
+            .collect::<String>()
+    );
+    for class in cur.label_values("rp_request_phase_ns", "class") {
+        let mut row = format!("{class:<14}");
+        for phase in PHASES {
+            let v = cur.get(
+                "rp_request_phase_ns",
+                &[
+                    ("class", class.as_str()),
+                    ("phase", phase),
+                    ("quantile", "0.95"),
+                ],
+            );
+            let _ = write!(row, "{:>12}", v.map_or_else(|| "-".to_string(), fmt_ms));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out.push('\n');
+
+    // Streaming bound-slack gauges, when the server streams its trace.
+    let slack_levels = cur.label_values("rp_stream_bound_slack_mean", "level");
+    if slack_levels.is_empty() {
+        let _ = writeln!(out, "stream: off (start the server with streaming trace)");
+    } else {
+        let _ = writeln!(
+            out,
+            "stream: counterexamples {}   pending {}   live tasks {}   ingest errors {}",
+            fmt_count(cur.value("rp_stream_counterexamples_total").unwrap_or(0.0)),
+            fmt_count(cur.value("rp_stream_pending_events").unwrap_or(0.0)),
+            fmt_count(cur.value("rp_stream_live_tasks").unwrap_or(0.0)),
+            fmt_count(cur.value("rp_stream_ingest_errors_total").unwrap_or(0.0)),
+        );
+        let _ = writeln!(out, "{:<14} {:>12} {:>12}", "bound slack", "mean", "max");
+        for level in slack_levels {
+            let l = [("level", level.as_str())];
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12} {:>12}",
+                level,
+                cur.get("rp_stream_bound_slack_mean", &l)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.3}")),
+                cur.get("rp_stream_bound_slack_max", &l)
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.3}")),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "slow log: {} entries (rp-stat --slow N for detail)",
+        fmt_count(cur.value("rp_slow_log_entries").unwrap_or(0.0))
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+rp_lifecycle 0
+rp_frames_received_total 1000
+rp_responses_sent_total 990
+rp_decode_errors_total 1
+rp_admin_requests_total 5
+rp_cache_hits_total 10
+rp_cache_misses_total 2
+rp_cache_entries 2
+rp_requests_total{class=\"lambda\"} 500
+rp_requests_shed_total{class=\"lambda\"} 7
+rp_admission_shedding{class=\"lambda\"} 1
+rp_request_latency_ns{class=\"lambda\",quantile=\"0.5\"} 1000000
+rp_request_latency_ns{class=\"lambda\",quantile=\"0.95\"} 2000000
+rp_request_phase_ns{class=\"lambda\",phase=\"infer\",quantile=\"0.95\"} 500000
+rp_stream_bound_slack_mean{level=\"lambda\"} 0.42
+rp_stream_bound_slack_max{level=\"lambda\"} 0.9
+rp_slow_log_entries 3
+";
+
+    #[test]
+    fn renders_every_section() {
+        let cur = Exposition::parse(SAMPLE);
+        let frame = render(None, &cur, Duration::from_secs(1));
+        assert!(frame.contains("lifecycle: running"));
+        assert!(frame.contains("lambda"));
+        assert!(frame.contains("SHED"));
+        assert!(frame.contains("1.00ms"), "p50 rendered: {frame}");
+        assert!(frame.contains("0.420"), "slack rendered: {frame}");
+        assert!(frame.contains("slow log: 3 entries"));
+    }
+
+    #[test]
+    fn rates_come_from_the_previous_poll() {
+        let prev = Exposition::parse("rp_frames_received_total 100\n");
+        let cur = Exposition::parse("rp_frames_received_total 300\nrp_lifecycle 1\n");
+        let frame = render(Some(&prev), &cur, Duration::from_secs(2));
+        assert!(frame.contains("(+100.0/s)"), "{frame}");
+        assert!(frame.contains("DRAINING"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Operator tooling for the `rp_net` telemetry plane.
+//!
+//! The `rp-stat` binary polls a server's admin endpoint
+//! ([`rp_net::server::NetServer::admin_addr`]) and renders the Prometheus
+//! text exposition as a live terminal dashboard; `--once --json` prints
+//! one structured snapshot instead.  The pieces live here as a library so
+//! the parser and renderer are unit-testable and reusable from the bench
+//! harnesses:
+//!
+//! * [`prom`] — a small parser for the Prometheus-style exposition the
+//!   admin `Metrics` op emits (`name{label="v"} value` lines);
+//! * [`dash`] — the dashboard renderer: one exposition (plus the previous
+//!   poll, for rates) in, one ANSI-free text frame out;
+//! * [`demo`] — a self-contained loaded server (streaming trace on, a few
+//!   load-generator connections) so `rp-stat --demo` can show live numbers
+//!   without an external deployment, and CI can capture a snapshot
+//!   artifact deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dash;
+pub mod demo;
+pub mod prom;

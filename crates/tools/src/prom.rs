@@ -1,0 +1,204 @@
+//! A minimal parser for the Prometheus text exposition format — exactly
+//! the subset [`rp_net::telemetry::TelemetrySnapshot::to_prometheus`]
+//! emits: `# HELP`/`# TYPE` comment lines and `name{k="v",...} value`
+//! samples.  No dependency, no allocation tricks; the dashboard polls a
+//! few kilobytes per frame.
+
+/// One sample line of an exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric family name (e.g. `rp_request_latency_ns`).
+    pub name: String,
+    /// Label pairs in source order (e.g. `[("class", "lambda")]`).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: the sample lines, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// All samples, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Parses an exposition, skipping comments, blank lines, and lines
+    /// that do not scan (forward compatibility beats strictness in a
+    /// dashboard).
+    pub fn parse(text: &str) -> Exposition {
+        Exposition {
+            samples: text.lines().filter_map(parse_line).collect(),
+        }
+    }
+
+    /// The first sample of a family, regardless of labels.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// The sample of a family carrying all the given labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+            .map(|s| s.value)
+    }
+
+    /// All samples of one family.
+    pub fn series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// Distinct values of one label across a family, in first-seen order.
+    pub fn label_values(&self, name: &str, key: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in self.series(name) {
+            if let Some(v) = s.label(key) {
+                if !out.iter().any(|have| have == v) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_line(line: &str) -> Option<Sample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in split_label_pairs(body) {
+                let (k, v) = pair.split_once('=')?;
+                let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                labels.push((k.trim().to_string(), unescape(v)));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Splits `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                if i > start {
+                    out.push(&body[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+fn unescape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labelled_samples() {
+        let text = "\
+# HELP rp_frames_received_total Complete frames parsed off sockets.
+# TYPE rp_frames_received_total counter
+rp_frames_received_total 42
+rp_request_latency_ns{class=\"lambda\",quantile=\"0.95\"} 1250000
+rp_request_latency_ns{class=\"app\",quantile=\"0.5\"} 9000
+";
+        let exp = Exposition::parse(text);
+        assert_eq!(exp.samples.len(), 3);
+        assert_eq!(exp.value("rp_frames_received_total"), Some(42.0));
+        assert_eq!(
+            exp.get(
+                "rp_request_latency_ns",
+                &[("class", "lambda"), ("quantile", "0.95")]
+            ),
+            Some(1_250_000.0)
+        );
+        assert_eq!(
+            exp.label_values("rp_request_latency_ns", "class"),
+            vec!["lambda".to_string(), "app".to_string()]
+        );
+    }
+
+    #[test]
+    fn tolerates_junk_lines_and_escaped_labels() {
+        let text = "not a sample line at all\nrp_x{msg=\"a,b \\\"q\\\"\"} 1\n";
+        let exp = Exposition::parse(text);
+        assert_eq!(exp.samples.len(), 1);
+        assert_eq!(exp.samples[0].label("msg"), Some("a,b \"q\""));
+    }
+
+    #[test]
+    fn roundtrips_a_real_server_exposition() {
+        // Sanity against the real emitter: every non-comment line the
+        // server produces must scan.
+        let server = rp_net::server::NetServer::start(rp_net::server::NetServerConfig {
+            shards: 1,
+            workers: 1,
+            ..Default::default()
+        })
+        .expect("server starts");
+        let text = server.telemetry().to_prometheus();
+        let non_comment = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .count();
+        let exp = Exposition::parse(&text);
+        assert_eq!(exp.samples.len(), non_comment, "every sample line scans");
+        assert!(exp.value("rp_connections_accepted_total").is_some());
+        server.shutdown();
+    }
+}
