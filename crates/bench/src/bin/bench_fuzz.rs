@@ -1,0 +1,377 @@
+//! The adversarial-correctness campaign: seeded fuzzing of the `.l4i`
+//! front end and the wire protocol, differential machine-vs-runtime
+//! execution, and source-level mutation testing of the hot paths — one
+//! bounded, reproducible run, one JSON report, one exit code.
+//!
+//! Usage: `bench_fuzz [--quick] [--out PATH] [--survivors PATH]
+//! [--update-baseline]`
+//!
+//! * `--quick` shrinks every campaign for CI smoke runs;
+//! * `--out PATH` writes the JSON report (default `BENCH_fuzz.json`);
+//! * `--survivors PATH` writes the mutant-by-mutant survivor report
+//!   (default `BENCH_fuzz_survivors.txt`);
+//! * `--update-baseline` rewrites `crates/fuzz/baseline/survivors.txt`
+//!   with this run's survivors instead of failing on new ones (crashes and
+//!   divergences still fail).
+//!
+//! The binary **exits non-zero** on any parser invariant violation
+//! (panic, broken `parse ∘ pretty = id` round trip, out-of-bounds error
+//! position), any protocol liveness violation (an unanswered well-formed
+//! frame, a wedged connection, a leaked thread), any machine-vs-runtime
+//! divergence (value, thread count, or Theorem 2.3 verdict), any
+//! mutation-harness infrastructure error, any target module with no
+//! mutants exercised, and any surviving mutant not enumerated in the
+//! checked-in baseline.  Parser findings are persisted into
+//! `crates/fuzz/corpus/` so `fuzz_regressions` replays them forever after.
+
+use rp_fuzz::corpus;
+use rp_fuzz::diff::{deterministic_fixture_programs, run_differential, DifferentialConfig};
+use rp_fuzz::mutate::{
+    baseline_path, load_baseline, run_mutation_campaign, MutationConfig, TARGETS,
+};
+use rp_fuzz::parser::{run_parser_campaign, ParserCampaignConfig};
+use rp_fuzz::proto::{run_protocol_campaign, ProtocolCampaignConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_fuzz.json".to_string();
+    let mut survivors_path = "BENCH_fuzz_survivors.txt".to_string();
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--update-baseline" => update_baseline = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--survivors" => survivors_path = args.next().expect("--survivors needs a path"),
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: bench_fuzz [--quick] [--out PATH] \
+                     [--survivors PATH] [--update-baseline]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // ---- Stage 1: parser campaign (byte-level + AST-level) --------------
+    let parser_config = if quick {
+        ParserCampaignConfig {
+            byte_iterations: 800,
+            ast_iterations: 150,
+            generated_bases: 8,
+            ..ParserCampaignConfig::default()
+        }
+    } else {
+        ParserCampaignConfig::default()
+    };
+    let t0 = Instant::now();
+    let parser = run_parser_campaign(&parser_config);
+    let parser_millis = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "parser      {parser_millis:>9.1}ms  {} execs  {} accepted  {} rejected  {} inferred  {} findings",
+        parser.execs,
+        parser.accepted,
+        parser.rejected,
+        parser.inferred,
+        parser.findings.len()
+    );
+    for finding in &parser.findings {
+        failures.push(format!(
+            "parser {}: {}",
+            finding.kind.label(),
+            finding.detail
+        ));
+        // Check the offending input into the corpus so fuzz_regressions
+        // replays it on every future `cargo test`.
+        match corpus::persist(
+            "parser",
+            finding.kind.label(),
+            "l4i",
+            finding.input.as_bytes(),
+        ) {
+            Ok(path) => println!("  persisted finding -> {}", path.display()),
+            Err(e) => eprintln!("  could not persist finding: {e}"),
+        }
+    }
+
+    // ---- Stage 2: corpus replay ----------------------------------------
+    // The regression suite replays these on every `cargo test`; the bench
+    // replays them too so a red corpus fails the campaign even when tests
+    // are skipped.
+    let t1 = Instant::now();
+    let mut corpus_replayed = 0u64;
+    for entry in corpus::parser_entries() {
+        corpus_replayed += 1;
+        let src = String::from_utf8_lossy(&entry.bytes);
+        if let rp_fuzz::parser::ParserVerdict::Violation(f) =
+            rp_fuzz::parser::check_parser_input(&src)
+        {
+            failures.push(format!(
+                "corpus parser/{}: {} regressed: {}",
+                entry.name,
+                f.kind.label(),
+                f.detail
+            ));
+        }
+    }
+    for entry in corpus::protocol_entries() {
+        corpus_replayed += 1;
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = rp_net::protocol::decode_request(&entry.bytes);
+            let _ = rp_net::protocol::body_is_admin(&entry.bytes);
+        });
+        if outcome.is_err() {
+            failures.push(format!(
+                "corpus protocol/{}: decoder panicked on replay",
+                entry.name
+            ));
+        }
+    }
+    let replay_millis = t1.elapsed().as_secs_f64() * 1e3;
+    println!("corpus      {replay_millis:>9.1}ms  {corpus_replayed} entries replayed");
+
+    // ---- Stage 3: differential machine-vs-runtime ----------------------
+    let diff_config = DifferentialConfig {
+        max_programs: if quick { 12 } else { 48 },
+        ..DifferentialConfig::default()
+    };
+    let mut programs = deterministic_fixture_programs();
+    programs.extend(parser.differential_corpus.iter().cloned());
+    let t2 = Instant::now();
+    let diff = run_differential(&programs, &diff_config);
+    let diff_millis = t2.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "diff        {diff_millis:>9.1}ms  {} programs  {} skipped  {} bound reports  {} divergences",
+        diff.programs_run,
+        diff.skipped,
+        diff.bound_reports,
+        diff.divergences.len()
+    );
+    for d in &diff.divergences {
+        failures.push(format!("differential {} divergence: {}", d.kind, d.detail));
+    }
+
+    // ---- Stage 4: protocol campaign against a live server ---------------
+    let proto_config = if quick {
+        ProtocolCampaignConfig {
+            body_frames: 120,
+            envelope_conns: 12,
+            ..ProtocolCampaignConfig::default()
+        }
+    } else {
+        ProtocolCampaignConfig::default()
+    };
+    let t3 = Instant::now();
+    let proto = run_protocol_campaign(&proto_config);
+    let proto_millis = t3.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "protocol    {proto_millis:>9.1}ms  {} bodies ({} answered, {} malformed)  {} envelope conns ({} answered, {} closed, {} abandoned)  {} violations",
+        proto.body_frames_sent,
+        proto.body_frames_answered,
+        proto.locally_malformed,
+        proto.envelope_conns,
+        proto.envelope_answered,
+        proto.envelope_closed,
+        proto.envelope_abandoned,
+        proto.violations.len()
+    );
+    for v in &proto.violations {
+        failures.push(format!("protocol: {v}"));
+    }
+
+    // ---- Stage 5: mutation testing --------------------------------------
+    let mutation_config = MutationConfig {
+        mutants_per_module: if quick { 2 } else { 6 },
+        ..MutationConfig::default()
+    };
+    let t4 = Instant::now();
+    let mutation = run_mutation_campaign(&mutation_config);
+    let mutation_millis = t4.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "mutation    {mutation_millis:>9.1}ms  {} generated  {} killed  {} timed out  {} build failures  {} survived",
+        mutation.generated,
+        mutation.killed,
+        mutation.timed_out,
+        mutation.build_failures,
+        mutation.survivors.len()
+    );
+    for e in &mutation.errors {
+        failures.push(format!("mutation harness: {e}"));
+    }
+    for target in TARGETS {
+        if !mutation
+            .outcomes
+            .iter()
+            .any(|o| o.mutant.module == target.module)
+        {
+            failures.push(format!(
+                "mutation: no mutants exercised in target module `{}`",
+                target.module
+            ));
+        }
+    }
+    if update_baseline {
+        let mut text = String::from(
+            "# rp-fuzz mutation-campaign survivor baseline.\n\
+             # One mutant ID per line; regenerate with `bench_fuzz --update-baseline`.\n\
+             # A survivor listed here is a KNOWN test-suite hole: acceptable, tracked,\n\
+             # and diffed in CI — a survivor NOT listed here fails the campaign.\n",
+        );
+        for id in &mutation.survivors {
+            text.push_str(id);
+            text.push('\n');
+        }
+        let path = baseline_path();
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!(
+            "rewrote {} with {} survivor(s)",
+            path.display(),
+            mutation.survivors.len()
+        );
+    }
+    let baseline = load_baseline(&baseline_path());
+    let new_survivors = mutation.new_survivors(&baseline);
+    for id in &new_survivors {
+        failures.push(format!(
+            "mutation: NEW survivor {id} — a hot-path mutant no targeted test kills; \
+             either strengthen the suite or (deliberately) add it to \
+             crates/fuzz/baseline/survivors.txt"
+        ));
+    }
+
+    // ---- Survivor report -------------------------------------------------
+    let mut surv = String::new();
+    let _ = writeln!(surv, "# bench_fuzz mutant-by-mutant report");
+    let _ = writeln!(
+        surv,
+        "# generated {} / killed {} / timed-out {} / build-failures {} / survived {}",
+        mutation.generated,
+        mutation.killed,
+        mutation.timed_out,
+        mutation.build_failures,
+        mutation.survivors.len()
+    );
+    for outcome in &mutation.outcomes {
+        let _ = writeln!(
+            surv,
+            "{:<60} {:<18} {:>6.1}s  {} -> {}",
+            outcome.mutant.id,
+            outcome.verdict.label(),
+            outcome.secs,
+            outcome.mutant.original_line.trim(),
+            outcome.mutant.mutated_line.trim()
+        );
+    }
+    if !new_survivors.is_empty() {
+        let _ = writeln!(surv, "\n# NEW survivors (not in baseline):");
+        for id in &new_survivors {
+            let _ = writeln!(surv, "{id}");
+        }
+    }
+    std::fs::write(&survivors_path, &surv)
+        .unwrap_or_else(|e| panic!("writing {survivors_path}: {e}"));
+    println!("wrote {survivors_path}");
+
+    // ---- JSON report -----------------------------------------------------
+    let execs = parser.execs + corpus_replayed + proto.body_frames_sent + proto.envelope_conns;
+    let crashes = parser.findings.len() + proto.violations.len();
+    let mut json = String::new();
+    json.push_str("{\n  \"kernel\": \"bench_fuzz\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"execs\": {execs},");
+    let _ = writeln!(json, "  \"crashes\": {crashes},");
+    let _ = writeln!(
+        json,
+        "  \"parser\": {{\"millis\": {parser_millis:.1}, \"seed\": {}, \"execs\": {}, \
+         \"accepted\": {}, \"rejected\": {}, \"inferred\": {}, \"findings\": {}}},",
+        parser_config.seed,
+        parser.execs,
+        parser.accepted,
+        parser.rejected,
+        parser.inferred,
+        parser.findings.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"millis\": {replay_millis:.1}, \"entries\": {corpus_replayed}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"differential\": {{\"millis\": {diff_millis:.1}, \"programs_run\": {}, \
+         \"skipped\": {}, \"bound_reports\": {}, \"divergences\": {}}},",
+        diff.programs_run,
+        diff.skipped,
+        diff.bound_reports,
+        diff.divergences.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"protocol\": {{\"millis\": {proto_millis:.1}, \"seed\": {}, \
+         \"body_frames_sent\": {}, \"body_frames_answered\": {}, \"locally_malformed\": {}, \
+         \"server_decode_errors\": {}, \"envelope_conns\": {}, \"envelope_answered\": {}, \
+         \"envelope_closed\": {}, \"envelope_abandoned\": {}, \"violations\": {}}},",
+        proto_config.seed,
+        proto.body_frames_sent,
+        proto.body_frames_answered,
+        proto.locally_malformed,
+        proto.server_decode_errors,
+        proto.envelope_conns,
+        proto.envelope_answered,
+        proto.envelope_closed,
+        proto.envelope_abandoned,
+        proto.violations.len()
+    );
+    let outcomes_json: Vec<String> = mutation
+        .outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"id\": \"{}\", \"verdict\": \"{}\", \"secs\": {:.1}}}",
+                json_escape(&o.mutant.id),
+                o.verdict.label(),
+                o.secs
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"mutation\": {{\"millis\": {mutation_millis:.1}, \"generated\": {}, \
+         \"killed\": {}, \"timed_out\": {}, \"build_failures\": {}, \"survived\": {}, \
+         \"new_survivors\": {}, \"outcomes\": [{}]}},",
+        mutation.generated,
+        mutation.killed,
+        mutation.timed_out,
+        mutation.build_failures,
+        mutation.survivors.len(),
+        new_survivors.len(),
+        outcomes_json.join(", ")
+    );
+    let _ = writeln!(json, "  \"failures\": {}", failures.len());
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        eprintln!("bench_fuzz: {} FAILURE(S):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "a parser finding, protocol violation, or divergence is a bug in the front end, \
+             server, or one of the two back ends; a new mutation survivor is a hole in the \
+             targeted test suites"
+        );
+        std::process::exit(1);
+    }
+}

@@ -141,13 +141,17 @@ fn scrape_once(admin: SocketAddr, tally: &mut ScrapeTally) {
         },
         SCRAPE_TIMEOUT,
     ) {
-        Ok(text) => {
-            let cur = Exposition::parse(&text);
-            let prev = tally.last.take();
-            check_exposition(prev.as_ref(), &cur, tally);
-            tally.scrapes += 1;
-            tally.last = Some(cur);
-        }
+        // A scrape that comes back malformed counts as a failure just like
+        // one that never comes back: both mean the wire view is unusable.
+        Ok(text) => match Exposition::parse(&text) {
+            Ok(cur) => {
+                let prev = tally.last.take();
+                check_exposition(prev.as_ref(), &cur, tally);
+                tally.scrapes += 1;
+                tally.last = Some(cur);
+            }
+            Err(_) => tally.failures += 1,
+        },
         Err(_) => tally.failures += 1,
     }
 }
@@ -240,7 +244,8 @@ mod tests {
              rp_request_latency_ns{class=\"lambda\",quantile=\"0.5\"} 10\n\
              rp_request_latency_ns{class=\"lambda\",quantile=\"0.95\"} 20\n\
              rp_request_latency_ns{class=\"lambda\",quantile=\"0.99\"} 30\n",
-        );
+        )
+        .expect("fixture exposition scans");
         assert_eq!(
             quantile_inversions(&exp, "rp_request_latency_ns", "class"),
             1
@@ -249,8 +254,8 @@ mod tests {
 
     #[test]
     fn monotone_regressions_are_flagged() {
-        let a = Exposition::parse("rp_frames_received_total 10\n");
-        let b = Exposition::parse("rp_frames_received_total 9\n");
+        let a = Exposition::parse("rp_frames_received_total 10\n").expect("scans");
+        let b = Exposition::parse("rp_frames_received_total 9\n").expect("scans");
         let mut tally = ScrapeTally::default();
         check_exposition(Some(&a), &b, &mut tally);
         assert_eq!(tally.monotone_violations, 1);

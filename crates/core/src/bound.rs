@@ -333,6 +333,43 @@ mod tests {
     }
 
     #[test]
+    fn a_violating_report_is_a_counterexample() {
+        // No real prompt schedule can produce this (that is the theorem);
+        // build the report directly so the classifier itself is pinned:
+        // hypotheses hold + bound exceeded must read as a counterexample.
+        let mut report = BoundReport {
+            thread: ThreadId(0),
+            num_cores: 2,
+            competitor_work: 1,
+            a_span: 2,
+            bound: 1.5,
+            adjusted_bound: 3.0,
+            observed: Some(10),
+            admissible: true,
+            prompt: true,
+            well_formed: true,
+        };
+        assert!(report.hypotheses_hold());
+        assert!(!report.bound_holds());
+        assert!(!report.paper_bound_holds());
+        assert!(report.is_counterexample());
+        // Each hypothesis failing makes the same violation vacuous…
+        for broken in 0..3 {
+            let mut vacuous = report.clone();
+            match broken {
+                0 => vacuous.admissible = false,
+                1 => vacuous.prompt = false,
+                _ => vacuous.well_formed = false,
+            }
+            assert!(!vacuous.is_counterexample(), "hypothesis {broken}");
+        }
+        // …and so does a respected bound.
+        report.observed = Some(3);
+        assert!(report.bound_holds());
+        assert!(!report.is_counterexample());
+    }
+
+    #[test]
     fn bound_ingredients_are_sensible() {
         let g = contended();
         let h = g.thread_by_name("h").unwrap();

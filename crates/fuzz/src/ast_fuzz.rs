@@ -1,0 +1,530 @@
+//! Seeded AST-level mutation of λ⁴ᵢ programs.
+//!
+//! Byte-level mutation mostly produces inputs the lexer rejects on the
+//! first mangled token; AST-level mutation starts from a *well-typed*
+//! generated program ([`rp_lambda4i::generate`]) and perturbs it
+//! structurally, so the mutants are always syntactically printable and
+//! exercise the typechecker, the priority solver, and — for mutants that
+//! stay well typed — the whole differential machine-vs-runtime pipeline.
+//!
+//! Mutation operators (chosen per target node, deterministically from the
+//! seed):
+//!
+//! * `nat-tweak` — a numeral is nudged (`n±1`, `0`, `9`);
+//! * `prim-op-flip` — a primitive arithmetic operator is swapped for
+//!   another (`+` → `-`, `==` → `<`, …);
+//! * `operand-swap` — the operands of a pair, application, or primitive
+//!   operation are exchanged;
+//! * `branch-pin` — an `ifz` scrutinee is pinned to `0` or `1`;
+//! * `node-replace` — an arbitrary expression node is replaced by a
+//!   numeral (usually ill-typed: the front end must *reject*, not panic);
+//! * `prio-swap` — an `fcreate` spawn priority (or the main thread's
+//!   priority) is moved to another level of the domain, probing the Touch
+//!   rule and the solver.
+//!
+//! Expression-level operators never touch spawn structure or reference
+//! usage, so mutants of race-free generated programs stay race-free: when
+//! they typecheck, both back ends must agree on the value ([`crate::diff`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_lambda4i::syntax::{Cmd, Expr, PrimOp, Program};
+use rp_priority::PrioTerm;
+use std::sync::Arc;
+
+/// One AST mutation: the mutated program and the operator applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstMutation {
+    /// The mutated program (same domain, possibly ill-typed).
+    pub program: Program,
+    /// The operator label (one of the module-level list).
+    pub op: &'static str,
+}
+
+/// A seeded AST-level mutator.
+#[derive(Debug)]
+pub struct AstMutator {
+    rng: StdRng,
+}
+
+impl AstMutator {
+    /// A mutator with a fixed seed.
+    pub fn new(seed: u64) -> AstMutator {
+        AstMutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One mutated copy of `prog`.
+    pub fn mutate(&mut self, prog: &Program) -> AstMutation {
+        // A quarter of mutants perturb priorities; the rest perturb
+        // expressions.
+        if self.rng.gen_bool(0.25) {
+            if let Some(mutation) = self.mutate_priority(prog) {
+                return mutation;
+            }
+        }
+        self.mutate_expr(prog)
+    }
+
+    /// Moves an `fcreate` priority (or `main_priority`) to another level.
+    fn mutate_priority(&mut self, prog: &Program) -> Option<AstMutation> {
+        let levels: Vec<_> = prog.domain.iter().collect();
+        if levels.len() < 2 {
+            return None;
+        }
+        let spawns = count_spawns(&prog.main);
+        // Site 0 is the main priority; 1..=spawns are fcreate sites.
+        let site = self.rng.gen_range(0..=spawns);
+        let new_level = levels[self.rng.gen_range(0..levels.len())];
+        let mut out = prog.clone();
+        if site == 0 {
+            out.main_priority = new_level;
+        } else {
+            let mut counter = 0usize;
+            out.main = retarget_spawn(&prog.main, site, &mut counter, PrioTerm::Const(new_level));
+        }
+        Some(AstMutation {
+            program: out,
+            op: "prio-swap",
+        })
+    }
+
+    /// Rewrites one expression node, chosen uniformly over the pre-order
+    /// traversal of the program.
+    fn mutate_expr(&mut self, prog: &Program) -> AstMutation {
+        let total = {
+            let mut counter = Counter { next: 0 };
+            counter.cmd(&prog.main);
+            counter.next
+        };
+        if total == 0 {
+            // A program with no expression nodes at all cannot occur (main
+            // always ends in `ret e`), but degrade gracefully.
+            return AstMutation {
+                program: prog.clone(),
+                op: "noop",
+            };
+        }
+        let target = self.rng.gen_range(0..total);
+        let roll: u8 = self.rng.gen_range(0..=255);
+        let pick: u64 = self.rng.gen_range(0..10);
+        let mut editor = Editor {
+            next: 0,
+            target,
+            op: "noop",
+            roll,
+            pick,
+        };
+        let main = editor.cmd(&prog.main);
+        let mut out = prog.clone();
+        out.main = main;
+        AstMutation {
+            program: out,
+            op: editor.op,
+        }
+    }
+}
+
+/// Pre-order expression counter (the index space [`Editor`] edits in).
+struct Counter {
+    next: usize,
+}
+
+impl Counter {
+    fn expr(&mut self, e: &Expr) {
+        self.next += 1;
+        match e {
+            Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => {}
+            Expr::Lam(_, _, b)
+            | Expr::Inl(b)
+            | Expr::Inr(b)
+            | Expr::PLam(_, _, b)
+            | Expr::Fst(b)
+            | Expr::Snd(b)
+            | Expr::Fix(_, _, b)
+            | Expr::PApp(b, _) => self.expr(b),
+            Expr::Pair(a, b) | Expr::App(a, b) | Expr::Let(_, a, b) | Expr::Prim(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Ifz(v, z, _, s) => {
+                self.expr(v);
+                self.expr(z);
+                self.expr(s);
+            }
+            Expr::Case(v, _, l, _, r) => {
+                self.expr(v);
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::CmdVal(_, m) => self.cmd(m),
+        }
+    }
+
+    fn cmd(&mut self, m: &Cmd) {
+        match m {
+            Cmd::Fcreate { body, .. } => self.cmd(body),
+            Cmd::Ftouch(e) | Cmd::Get(e) | Cmd::Ret(e) => self.expr(e),
+            Cmd::Set(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Cmd::Dcl { init, body, .. } => {
+                self.expr(init);
+                self.cmd(body);
+            }
+            Cmd::Bind { expr, rest, .. } => {
+                self.expr(expr);
+                self.cmd(rest);
+            }
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => {
+                self.expr(target);
+                self.expr(expected);
+                self.expr(new);
+            }
+        }
+    }
+}
+
+/// Rebuilds the tree, rewriting the expression at pre-order index
+/// `target`.  `roll` and `pick` are pre-drawn randomness (drawing inside
+/// the traversal would make the stream depend on tree shape in fragile
+/// ways).
+struct Editor {
+    next: usize,
+    target: usize,
+    op: &'static str,
+    roll: u8,
+    pick: u64,
+}
+
+impl Editor {
+    fn rewrite(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Nat(n) => {
+                self.op = "nat-tweak";
+                match self.roll % 4 {
+                    0 => Expr::Nat(n.wrapping_add(1)),
+                    1 => Expr::Nat(n.saturating_sub(1)),
+                    2 => Expr::Nat(0),
+                    _ => Expr::Nat(9),
+                }
+            }
+            Expr::Prim(op, a, b) => {
+                if self.roll.is_multiple_of(2) {
+                    self.op = "prim-op-flip";
+                    let ops = [
+                        PrimOp::Add,
+                        PrimOp::Sub,
+                        PrimOp::Mul,
+                        PrimOp::Eq,
+                        PrimOp::Lt,
+                    ];
+                    let mut new_op = ops[(self.pick as usize) % ops.len()];
+                    if new_op == *op {
+                        new_op = ops[(self.pick as usize + 1) % ops.len()];
+                    }
+                    Expr::Prim(new_op, a.clone(), b.clone())
+                } else {
+                    self.op = "operand-swap";
+                    Expr::Prim(*op, b.clone(), a.clone())
+                }
+            }
+            Expr::Pair(a, b) => {
+                self.op = "operand-swap";
+                Expr::Pair(b.clone(), a.clone())
+            }
+            Expr::App(f, x) => {
+                self.op = "operand-swap";
+                Expr::App(x.clone(), f.clone())
+            }
+            Expr::Ifz(_, z, x, s) => {
+                self.op = "branch-pin";
+                let pin = if self.roll.is_multiple_of(2) { 0 } else { 1 };
+                Expr::Ifz(Box::new(Expr::Nat(pin)), z.clone(), x.clone(), s.clone())
+            }
+            _ => {
+                self.op = "node-replace";
+                Expr::Nat(self.pick % 10)
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Expr {
+        let here = self.next;
+        self.next += 1;
+        if here == self.target {
+            return self.rewrite(e);
+        }
+        match e {
+            Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => e.clone(),
+            Expr::Lam(x, t, b) => Expr::Lam(x.clone(), t.clone(), Box::new(self.expr(b))),
+            Expr::Inl(b) => Expr::Inl(Box::new(self.expr(b))),
+            Expr::Inr(b) => Expr::Inr(Box::new(self.expr(b))),
+            Expr::PLam(v, c, b) => Expr::PLam(v.clone(), c.clone(), Box::new(self.expr(b))),
+            Expr::PApp(b, t) => Expr::PApp(Box::new(self.expr(b)), t.clone()),
+            Expr::Fst(b) => Expr::Fst(Box::new(self.expr(b))),
+            Expr::Snd(b) => Expr::Snd(Box::new(self.expr(b))),
+            Expr::Fix(x, t, b) => Expr::Fix(x.clone(), t.clone(), Box::new(self.expr(b))),
+            Expr::Pair(a, b) => Expr::Pair(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::App(a, b) => Expr::App(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Let(x, a, b) => {
+                Expr::Let(x.clone(), Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+            Expr::Prim(op, a, b) => Expr::Prim(*op, Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Ifz(v, z, x, s) => Expr::Ifz(
+                Box::new(self.expr(v)),
+                Box::new(self.expr(z)),
+                x.clone(),
+                Box::new(self.expr(s)),
+            ),
+            Expr::Case(v, x, l, y, r) => Expr::Case(
+                Box::new(self.expr(v)),
+                x.clone(),
+                Box::new(self.expr(l)),
+                y.clone(),
+                Box::new(self.expr(r)),
+            ),
+            Expr::CmdVal(p, m) => Expr::CmdVal(p.clone(), self.cmd(m)),
+        }
+    }
+
+    fn cmd(&mut self, m: &Cmd) -> Arc<Cmd> {
+        Arc::new(match m {
+            Cmd::Fcreate {
+                prio,
+                ret_type,
+                body,
+            } => Cmd::Fcreate {
+                prio: prio.clone(),
+                ret_type: ret_type.clone(),
+                body: self.cmd(body),
+            },
+            Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(self.expr(e))),
+            Cmd::Get(e) => Cmd::Get(Box::new(self.expr(e))),
+            Cmd::Ret(e) => Cmd::Ret(Box::new(self.expr(e))),
+            Cmd::Set(a, b) => Cmd::Set(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Cmd::Dcl {
+                ty,
+                var,
+                init,
+                body,
+            } => Cmd::Dcl {
+                ty: ty.clone(),
+                var: var.clone(),
+                init: Box::new(self.expr(init)),
+                body: self.cmd(body),
+            },
+            Cmd::Bind { var, expr, rest } => Cmd::Bind {
+                var: var.clone(),
+                expr: Box::new(self.expr(expr)),
+                rest: self.cmd(rest),
+            },
+            Cmd::Cas {
+                target,
+                expected,
+                new,
+            } => Cmd::Cas {
+                target: Box::new(self.expr(target)),
+                expected: Box::new(self.expr(expected)),
+                new: Box::new(self.expr(new)),
+            },
+        })
+    }
+}
+
+/// The number of `fcreate` sites in a command tree (including those inside
+/// `cmd` values).
+fn count_spawns(m: &Cmd) -> usize {
+    match m {
+        Cmd::Fcreate { body, .. } => 1 + count_spawns(body),
+        Cmd::Ftouch(e) | Cmd::Get(e) | Cmd::Ret(e) => count_spawns_expr(e),
+        Cmd::Set(a, b) => count_spawns_expr(a) + count_spawns_expr(b),
+        Cmd::Dcl { init, body, .. } => count_spawns_expr(init) + count_spawns(body),
+        Cmd::Bind { expr, rest, .. } => count_spawns_expr(expr) + count_spawns(rest),
+        Cmd::Cas {
+            target,
+            expected,
+            new,
+        } => count_spawns_expr(target) + count_spawns_expr(expected) + count_spawns_expr(new),
+    }
+}
+
+fn count_spawns_expr(e: &Expr) -> usize {
+    match e {
+        Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => 0,
+        Expr::Lam(_, _, b)
+        | Expr::Inl(b)
+        | Expr::Inr(b)
+        | Expr::PLam(_, _, b)
+        | Expr::PApp(b, _)
+        | Expr::Fst(b)
+        | Expr::Snd(b)
+        | Expr::Fix(_, _, b) => count_spawns_expr(b),
+        Expr::Pair(a, b) | Expr::App(a, b) | Expr::Let(_, a, b) | Expr::Prim(_, a, b) => {
+            count_spawns_expr(a) + count_spawns_expr(b)
+        }
+        Expr::Ifz(v, z, _, s) => count_spawns_expr(v) + count_spawns_expr(z) + count_spawns_expr(s),
+        Expr::Case(v, _, l, _, r) => {
+            count_spawns_expr(v) + count_spawns_expr(l) + count_spawns_expr(r)
+        }
+        Expr::CmdVal(_, m) => count_spawns(m),
+    }
+}
+
+/// Replaces the priority of the `site`-th `fcreate` (1-based, pre-order).
+fn retarget_spawn(m: &Cmd, site: usize, counter: &mut usize, new: PrioTerm) -> Arc<Cmd> {
+    Arc::new(match m {
+        Cmd::Fcreate {
+            prio,
+            ret_type,
+            body,
+        } => {
+            *counter += 1;
+            let prio = if *counter == site {
+                new.clone()
+            } else {
+                prio.clone()
+            };
+            Cmd::Fcreate {
+                prio,
+                ret_type: ret_type.clone(),
+                body: retarget_spawn(body, site, counter, new),
+            }
+        }
+        Cmd::Ftouch(e) => Cmd::Ftouch(Box::new(retarget_expr(e, site, counter, new))),
+        Cmd::Get(e) => Cmd::Get(Box::new(retarget_expr(e, site, counter, new))),
+        Cmd::Ret(e) => Cmd::Ret(Box::new(retarget_expr(e, site, counter, new))),
+        Cmd::Set(a, b) => Cmd::Set(
+            Box::new(retarget_expr(a, site, counter, new.clone())),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Cmd::Dcl {
+            ty,
+            var,
+            init,
+            body,
+        } => Cmd::Dcl {
+            ty: ty.clone(),
+            var: var.clone(),
+            init: Box::new(retarget_expr(init, site, counter, new.clone())),
+            body: retarget_spawn(body, site, counter, new),
+        },
+        Cmd::Bind { var, expr, rest } => Cmd::Bind {
+            var: var.clone(),
+            expr: Box::new(retarget_expr(expr, site, counter, new.clone())),
+            rest: retarget_spawn(rest, site, counter, new),
+        },
+        Cmd::Cas {
+            target,
+            expected,
+            new: n,
+        } => Cmd::Cas {
+            target: Box::new(retarget_expr(target, site, counter, new.clone())),
+            expected: Box::new(retarget_expr(expected, site, counter, new.clone())),
+            new: Box::new(retarget_expr(n, site, counter, new)),
+        },
+    })
+}
+
+fn retarget_expr(e: &Expr, site: usize, counter: &mut usize, new: PrioTerm) -> Expr {
+    match e {
+        Expr::CmdVal(p, m) => Expr::CmdVal(p.clone(), retarget_spawn(m, site, counter, new)),
+        Expr::Var(_) | Expr::Unit | Expr::Nat(_) | Expr::RefVal(_) | Expr::Tid(_) => e.clone(),
+        Expr::Lam(x, t, b) => Expr::Lam(
+            x.clone(),
+            t.clone(),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::Inl(b) => Expr::Inl(Box::new(retarget_expr(b, site, counter, new))),
+        Expr::Inr(b) => Expr::Inr(Box::new(retarget_expr(b, site, counter, new))),
+        Expr::PLam(v, c, b) => Expr::PLam(
+            v.clone(),
+            c.clone(),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::PApp(b, t) => Expr::PApp(Box::new(retarget_expr(b, site, counter, new)), t.clone()),
+        Expr::Fst(b) => Expr::Fst(Box::new(retarget_expr(b, site, counter, new))),
+        Expr::Snd(b) => Expr::Snd(Box::new(retarget_expr(b, site, counter, new))),
+        Expr::Fix(x, t, b) => Expr::Fix(
+            x.clone(),
+            t.clone(),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::Pair(a, b) => Expr::Pair(
+            Box::new(retarget_expr(a, site, counter, new.clone())),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::App(a, b) => Expr::App(
+            Box::new(retarget_expr(a, site, counter, new.clone())),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::Let(x, a, b) => Expr::Let(
+            x.clone(),
+            Box::new(retarget_expr(a, site, counter, new.clone())),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::Prim(op, a, b) => Expr::Prim(
+            *op,
+            Box::new(retarget_expr(a, site, counter, new.clone())),
+            Box::new(retarget_expr(b, site, counter, new)),
+        ),
+        Expr::Ifz(v, z, x, s) => Expr::Ifz(
+            Box::new(retarget_expr(v, site, counter, new.clone())),
+            Box::new(retarget_expr(z, site, counter, new.clone())),
+            x.clone(),
+            Box::new(retarget_expr(s, site, counter, new)),
+        ),
+        Expr::Case(v, x, l, y, r) => Expr::Case(
+            Box::new(retarget_expr(v, site, counter, new.clone())),
+            x.clone(),
+            Box::new(retarget_expr(l, site, counter, new.clone())),
+            y.clone(),
+            Box::new(retarget_expr(r, site, counter, new)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_lambda4i::generate::{random_program, GenConfig};
+    use rp_lambda4i::parse::parse_program;
+    use rp_lambda4i::pretty::program_to_string;
+
+    #[test]
+    fn mutants_always_pretty_print_and_reparse() {
+        let mut mutator = AstMutator::new(0xA57);
+        for seed in 0..40u64 {
+            let base = random_program(seed, &GenConfig::default());
+            let mutation = mutator.mutate(&base);
+            let src = program_to_string(&mutation.program);
+            let reparsed = parse_program(&src)
+                .unwrap_or_else(|e| panic!("mutant (op {}) must parse: {e}\n{src}", mutation.op));
+            assert_eq!(reparsed, mutation.program, "parse∘pretty=id on mutants");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_mutants() {
+        let base = random_program(3, &GenConfig::default());
+        let mut a = AstMutator::new(9);
+        let mut b = AstMutator::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.mutate(&base), b.mutate(&base));
+        }
+    }
+
+    #[test]
+    fn mutants_eventually_differ_from_the_base() {
+        let base = random_program(5, &GenConfig::default());
+        let mut mutator = AstMutator::new(11);
+        let changed = (0..50).any(|_| mutator.mutate(&base).program != base);
+        assert!(changed, "the mutator must actually mutate");
+    }
+}

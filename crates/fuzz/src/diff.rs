@@ -1,0 +1,213 @@
+//! Differential execution: every fuzzer-accepted program runs on both the
+//! abstract machine (the paper's cost semantics) and the traced rp-icilk
+//! runtime, and the two executions must agree.
+//!
+//! Gillian-style multi-backend differential testing maps directly onto
+//! this workspace: the machine and the runtime are two independent
+//! implementations of the same semantics, already cross-checked for the
+//! fixture corpus — here they are stressed with adversarial (but
+//! race-free) programs.  A divergence in any of the following is a bug in
+//! one of the back ends, the tracer, or the bound analysis:
+//!
+//! * **value** — both back ends must compute the same final value
+//!   (guaranteed for race-free programs, and every program this driver is
+//!   fed is race-free: generated children are pure, and AST mutants only
+//!   perturb expressions);
+//! * **thread count** — the machine cost DAG and the reconstructed runtime
+//!   DAG must spawn one thread per `fcreate` plus main;
+//! * **Theorem 2.3 verdict** — zero counterexamples across the machine
+//!   graph, the observed runtime schedule, and the replayed prompt
+//!   schedule.
+
+use rp_lambda4i::compile::CompileConfig;
+use rp_lambda4i::machine::MachineError;
+use rp_lambda4i::parse::parse_program;
+use rp_lambda4i::pipeline::{run_pipeline, PipelineConfig, PipelineError};
+use rp_lambda4i::pretty::{expr_to_string, program_to_string};
+use rp_lambda4i::progs::sources;
+use rp_lambda4i::run::RunConfig;
+use rp_lambda4i::syntax::Program;
+
+/// Configuration of the differential driver.
+#[derive(Debug, Clone)]
+pub struct DifferentialConfig {
+    /// Runtime workers per program run.
+    pub workers: usize,
+    /// Abstract-machine cores.
+    pub machine_cores: usize,
+    /// Abstract-machine step cap (a mutated program that legitimately
+    /// exceeds it is skipped, not a divergence — the cap exists to bound
+    /// the campaign).
+    pub max_steps: usize,
+    /// Cap on programs run (the corpus may be larger).
+    pub max_programs: usize,
+}
+
+impl Default for DifferentialConfig {
+    fn default() -> Self {
+        DifferentialConfig {
+            workers: 2,
+            machine_cores: 2,
+            max_steps: 2_000_000,
+            max_programs: 64,
+        }
+    }
+}
+
+/// One machine-vs-runtime disagreement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The program (pretty-printed) that diverged.
+    pub program: String,
+    /// Which check failed (`value`, `thread-count`, `bound`, `backend`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// The outcome of a differential sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialReport {
+    /// Programs executed on both back ends.
+    pub programs_run: u64,
+    /// Programs skipped (machine step cap, solver-free fixtures that fail
+    /// inference after mutation, …).
+    pub skipped: u64,
+    /// Total Theorem 2.3 reports checked (machine + observed + replay).
+    pub bound_reports: u64,
+    /// Disagreements (the sweep fails if non-empty).
+    pub divergences: Vec<Divergence>,
+}
+
+impl DifferentialReport {
+    /// Whether the back ends agreed everywhere.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// The deterministic, race-free fixture programs every campaign feeds the
+/// driver in addition to fuzzer-accepted mutants: both back ends must
+/// agree on these regardless of what the fuzzers produced this run.
+pub fn deterministic_fixture_programs() -> Vec<Program> {
+    [
+        sources::PARALLEL_FIB,
+        sources::EMAIL_COORDINATION,
+        sources::HANDOFF,
+        sources::CAS_COUNTER,
+    ]
+    .iter()
+    .map(|src| parse_program(src).expect("checked-in fixtures parse"))
+    .collect()
+}
+
+/// Runs every program through both back ends and cross-checks them.
+pub fn run_differential(programs: &[Program], config: &DifferentialConfig) -> DifferentialReport {
+    let mut report = DifferentialReport {
+        programs_run: 0,
+        skipped: 0,
+        bound_reports: 0,
+        divergences: Vec::new(),
+    };
+    let pipeline = PipelineConfig {
+        machine: RunConfig {
+            cores: config.machine_cores,
+            max_steps: config.max_steps,
+            ..RunConfig::default()
+        },
+        runtime: CompileConfig {
+            workers: config.workers,
+            tracing: true,
+            drain_secs: 60,
+        },
+    };
+    for prog in programs.iter().take(config.max_programs) {
+        let outcome = match run_pipeline(prog, &pipeline) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The corpus is pre-filtered through inference, so the only
+                // legitimate failure here is the machine step cap; anything
+                // else means one back end rejected a program the other
+                // would run.
+                if matches!(
+                    e,
+                    PipelineError::Machine(MachineError::StepLimitExceeded(_))
+                ) {
+                    report.skipped += 1;
+                } else {
+                    report.divergences.push(Divergence {
+                        program: program_to_string(prog),
+                        kind: "backend",
+                        detail: e.to_string(),
+                    });
+                }
+                continue;
+            }
+        };
+        report.programs_run += 1;
+        report.bound_reports +=
+            (outcome.machine.threads.len() + outcome.observed.len() + outcome.replay.len()) as u64;
+        if !outcome.values_agree() {
+            report.divergences.push(Divergence {
+                program: program_to_string(prog),
+                kind: "value",
+                detail: format!(
+                    "machine computed {}, runtime computed {}",
+                    expr_to_string(&outcome.machine.value),
+                    expr_to_string(&outcome.runtime.value)
+                ),
+            });
+        }
+        let machine_threads = outcome.machine.graph.thread_count();
+        let runtime_threads = outcome
+            .reconstruction
+            .as_ref()
+            .map(|r| r.dag.thread_count())
+            .unwrap_or(0);
+        if machine_threads != runtime_threads {
+            report.divergences.push(Divergence {
+                program: program_to_string(prog),
+                kind: "thread-count",
+                detail: format!(
+                    "machine DAG has {machine_threads} threads, reconstructed runtime DAG has {runtime_threads}"
+                ),
+            });
+        }
+        let cex = outcome.counterexamples();
+        if cex > 0 {
+            report.divergences.push(Divergence {
+                program: program_to_string(prog),
+                kind: "bound",
+                detail: format!("{cex} Theorem 2.3 counterexample(s)"),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_lambda4i::generate::{random_program, GenConfig};
+
+    #[test]
+    fn fixtures_agree_across_backends() {
+        let report = run_differential(
+            &deterministic_fixture_programs(),
+            &DifferentialConfig::default(),
+        );
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.programs_run, 4);
+        assert!(report.bound_reports > 0);
+    }
+
+    #[test]
+    fn generated_programs_agree_across_backends() {
+        let programs: Vec<Program> = (0..4)
+            .map(|seed| random_program(seed, &GenConfig::default()))
+            .collect();
+        let report = run_differential(&programs, &DifferentialConfig::default());
+        assert!(report.clean(), "divergences: {:#?}", report.divergences);
+        assert_eq!(report.programs_run, 4);
+    }
+}

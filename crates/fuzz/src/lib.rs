@@ -1,0 +1,102 @@
+//! Adversarial correctness campaign for the workspace: seeded grammar
+//! fuzzers, a machine-vs-runtime differential driver, and a source-level
+//! mutation-testing harness.
+//!
+//! Two parsers face untrusted input (the `.l4i` front end and the rp_net
+//! wire protocol), and every theorem-checking hot path — the prompt
+//! scheduler, the priority solver, the trace reconstructor, the Theorem 2.3
+//! bound check — is guarded only by tests a single reviewer wrote.  This
+//! crate is the standing adversary:
+//!
+//! * [`byte_fuzz`] — a seeded byte-level mutator (bit flips, splices,
+//!   truncations, duplications) producing a deterministic mutation stream
+//!   per seed;
+//! * [`ast_fuzz`] — a seeded AST-level mutator over λ⁴ᵢ [`Program`]s
+//!   (literal tweaks, operand swaps, branch pinning, node replacement,
+//!   spawn-priority swaps), always yielding *syntactically* printable
+//!   programs so the front end's rejection paths are exercised semantically;
+//! * [`parser`] — the `.l4i` parser campaign: no panic on any input,
+//!   `parse ∘ pretty = id` on every accepted input, error positions
+//!   in-bounds on every rejected input;
+//! * [`diff`] — the differential driver: every fuzzer-accepted program runs
+//!   on both the abstract machine and the rp-icilk runtime, failing on any
+//!   value, thread-count, or Theorem 2.3 verdict divergence;
+//! * [`proto`] — the rp_net protocol campaign against a *live* server:
+//!   mutated bodies and envelopes must never wedge a shard, never leak a
+//!   thread, and every well-formed frame must be answered (or the
+//!   connection cleanly closed);
+//! * [`mutate`] — the mutation-testing harness in the spirit of Mull:
+//!   mechanically mutates scheduler/solver/tracer/bound-check hot paths in
+//!   a temporary worktree, reruns the targeted test suites per mutant, and
+//!   reports the survivors against a checked-in baseline allowlist;
+//! * [`corpus`] — the checked-in crash corpus, replayed on every
+//!   `cargo test` run (`tests/fuzz_regressions.rs`) and every `bench_fuzz`
+//!   campaign.
+//!
+//! Everything is seeded: the same seed produces a byte-identical mutation
+//! stream and identical campaign verdicts (see `tests/determinism.rs`).
+//! The `bench_fuzz` binary in `rp-bench` drives a bounded campaign in CI
+//! and exits non-zero on any crash, divergence, or mutation survivor not in
+//! the checked-in baseline.
+//!
+//! [`Program`]: rp_lambda4i::syntax::Program
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast_fuzz;
+pub mod byte_fuzz;
+pub mod corpus;
+pub mod diff;
+pub mod mutate;
+pub mod parser;
+pub mod proto;
+
+use std::path::PathBuf;
+
+/// The repository root, resolved from this crate's manifest directory.
+/// Valid whenever the crate is built from its checked-out workspace (the
+/// only way it is ever built — everything here is test infrastructure).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/fuzz sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// FNV-1a over arbitrary bytes; the stable content hash used for mutant
+/// identities and corpus entry names.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Renders a panic payload (from [`std::panic::catch_unwind`]) as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_root_contains_the_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").is_file());
+        assert!(repo_root().join("crates/fuzz/Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_content_sensitive() {
+        assert_eq!(fnv64(b"abc"), fnv64(b"abc"));
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+    }
+}

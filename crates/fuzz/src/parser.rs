@@ -1,0 +1,321 @@
+//! The `.l4i` parser campaign: invariant checking for arbitrary inputs and
+//! the seeded byte-level / AST-level campaign loops.
+//!
+//! Three invariants, checked on every input:
+//!
+//! 1. **No panic** — the parser (and, on accepted inputs, the pretty
+//!    printer and re-parser) must return, never unwind;
+//! 2. **`parse ∘ pretty = id`** — an accepted input's AST must survive a
+//!    pretty-print/re-parse round trip unchanged (the PR 4 inversion
+//!    guarantee, here stressed on *adversarial* accepted inputs instead of
+//!    generator output);
+//! 3. **Error positions in-bounds** — a rejected input's error must point
+//!    at a real 1-based (line, column) of the input (columns may point one
+//!    past the end of a line: the position of `end of input`).
+//!
+//! Findings carry the offending input so they can be checked into
+//! [`crate::corpus`] and replayed forever after.
+
+use crate::ast_fuzz::AstMutator;
+use crate::byte_fuzz::ByteMutator;
+use crate::panic_message;
+use rp_lambda4i::generate::{random_program, GenConfig};
+use rp_lambda4i::parse::parse_program;
+use rp_lambda4i::pretty::program_to_string;
+use rp_lambda4i::progs;
+use rp_lambda4i::syntax::Program;
+use rp_lambda4i::typecheck::infer_program;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What kind of invariant a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The front end panicked.
+    Panic,
+    /// An accepted input failed the `parse ∘ pretty = id` round trip.
+    RoundTrip,
+    /// A rejected input's error position is out of bounds.
+    ErrorPosition,
+}
+
+impl FindingKind {
+    /// A short stable label (used in reports and corpus entry names).
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Panic => "panic",
+            FindingKind::RoundTrip => "roundtrip",
+            FindingKind::ErrorPosition => "error-position",
+        }
+    }
+}
+
+/// One invariant violation: the input that triggered it and what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which invariant broke.
+    pub kind: FindingKind,
+    /// The offending source text.
+    pub input: String,
+    /// Human-readable detail (panic message, diverging AST, bad position).
+    pub detail: String,
+}
+
+/// The verdict of [`check_parser_input`] on one input.
+#[derive(Debug)]
+pub enum ParserVerdict {
+    /// The input parsed, and every invariant held.  Carries the AST so the
+    /// campaign can hand well-typed inputs to the differential driver.
+    Accepted(Box<Program>),
+    /// The input was rejected with an in-bounds error position.
+    Rejected,
+    /// An invariant broke.
+    Violation(Box<Finding>),
+}
+
+/// Runs one input through the parser invariants (the fuzzing oracle).
+pub fn check_parser_input(src: &str) -> ParserVerdict {
+    let parsed = catch_unwind(AssertUnwindSafe(|| parse_program(src)));
+    match parsed {
+        Err(payload) => ParserVerdict::Violation(Box::new(Finding {
+            kind: FindingKind::Panic,
+            input: src.to_string(),
+            detail: format!("parse_program panicked: {}", panic_message(&*payload)),
+        })),
+        Ok(Err(e)) => {
+            // The error must point into the input.  Lines are 1-based; the
+            // `end of input` token sits on the last line, one column past
+            // its end, so allow one line of slack for empty inputs and two
+            // columns of slack per line.
+            let lines: Vec<&str> = src.split('\n').collect();
+            let in_bounds = e.line >= 1
+                && e.line <= lines.len()
+                && e.col >= 1
+                && e.col <= lines[e.line - 1].chars().count() + 2;
+            if in_bounds {
+                ParserVerdict::Rejected
+            } else {
+                ParserVerdict::Violation(Box::new(Finding {
+                    kind: FindingKind::ErrorPosition,
+                    input: src.to_string(),
+                    detail: format!("error `{e}` points outside the {}-line input", lines.len()),
+                }))
+            }
+        }
+        Ok(Ok(prog)) => {
+            let printed = match catch_unwind(AssertUnwindSafe(|| program_to_string(&prog))) {
+                Ok(p) => p,
+                Err(payload) => {
+                    return ParserVerdict::Violation(Box::new(Finding {
+                        kind: FindingKind::Panic,
+                        input: src.to_string(),
+                        detail: format!(
+                            "pretty printer panicked on accepted input: {}",
+                            panic_message(&*payload)
+                        ),
+                    }))
+                }
+            };
+            match catch_unwind(AssertUnwindSafe(|| parse_program(&printed))) {
+                Err(payload) => ParserVerdict::Violation(Box::new(Finding {
+                    kind: FindingKind::Panic,
+                    input: src.to_string(),
+                    detail: format!(
+                        "re-parse of pretty output panicked: {}",
+                        panic_message(&*payload)
+                    ),
+                })),
+                Ok(Err(e)) => ParserVerdict::Violation(Box::new(Finding {
+                    kind: FindingKind::RoundTrip,
+                    input: src.to_string(),
+                    detail: format!("pretty output no longer parses: {e}\n---\n{printed}"),
+                })),
+                Ok(Ok(reparsed)) if reparsed != prog => {
+                    ParserVerdict::Violation(Box::new(Finding {
+                        kind: FindingKind::RoundTrip,
+                        input: src.to_string(),
+                        detail: "pretty output parses to a different AST".to_string(),
+                    }))
+                }
+                Ok(Ok(_)) => ParserVerdict::Accepted(Box::new(prog)),
+            }
+        }
+    }
+}
+
+/// Configuration of one parser campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParserCampaignConfig {
+    /// RNG seed for the mutators and base selection.
+    pub seed: u64,
+    /// Byte-level mutation executions.
+    pub byte_iterations: usize,
+    /// AST-level mutation executions.
+    pub ast_iterations: usize,
+    /// Seeds for `generate::random_program` base programs.
+    pub generated_bases: u64,
+    /// Cap on accepted (well-typed) programs retained for the differential
+    /// driver.
+    pub max_accepted: usize,
+}
+
+impl Default for ParserCampaignConfig {
+    fn default() -> Self {
+        ParserCampaignConfig {
+            seed: 0x4C34_15ED,
+            byte_iterations: 4_000,
+            ast_iterations: 600,
+            generated_bases: 16,
+            max_accepted: 48,
+        }
+    }
+}
+
+/// The outcome of a parser campaign.  Two runs with the same config are
+/// field-for-field identical (`tests/determinism.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParserCampaignReport {
+    /// Total inputs executed (byte + AST).
+    pub execs: u64,
+    /// Inputs the front end accepted (parse succeeded, invariants held).
+    pub accepted: u64,
+    /// Inputs rejected with an in-bounds error.
+    pub rejected: u64,
+    /// AST mutants that additionally passed priority inference (and were
+    /// therefore eligible for the differential driver).
+    pub inferred: u64,
+    /// Invariant violations (campaign fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Well-typed programs retained for [`crate::diff`], capped at
+    /// [`ParserCampaignConfig::max_accepted`].
+    pub differential_corpus: Vec<Program>,
+}
+
+impl ParserCampaignReport {
+    /// Whether every invariant held.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The seed corpus for byte-level mutation: every checked-in `.l4i`
+/// fixture plus pretty-printed generated programs.
+pub fn seed_corpus(generated_bases: u64) -> Vec<Vec<u8>> {
+    let mut pool: Vec<Vec<u8>> = progs::sources::all()
+        .into_iter()
+        .map(|(_, src, _)| src.as_bytes().to_vec())
+        .collect();
+    for seed in 0..generated_bases {
+        let prog = random_program(seed, &GenConfig::default());
+        pool.push(program_to_string(&prog).into_bytes());
+    }
+    pool
+}
+
+/// Runs the full parser campaign: a byte-level phase over the seed corpus
+/// and an AST-level phase over generated programs.
+pub fn run_parser_campaign(config: &ParserCampaignConfig) -> ParserCampaignReport {
+    let mut report = ParserCampaignReport {
+        execs: 0,
+        accepted: 0,
+        rejected: 0,
+        inferred: 0,
+        findings: Vec::new(),
+        differential_corpus: Vec::new(),
+    };
+
+    // Phase 1: byte-level mutation.  Mutated bytes may not be UTF-8; the
+    // parser takes `&str`, so the campaign feeds it the lossy decoding
+    // (which is what any real front end would do with such bytes).
+    let pool = seed_corpus(config.generated_bases);
+    let mut bytes = ByteMutator::new(config.seed);
+    for i in 0..config.byte_iterations {
+        // Base rotation is round-robin so every seed is exercised.
+        let base = &pool[i % pool.len()];
+        let mutated = bytes.mutate(base, &pool);
+        let src = String::from_utf8_lossy(&mutated).into_owned();
+        report.execs += 1;
+        match check_parser_input(&src) {
+            ParserVerdict::Accepted(_) => report.accepted += 1,
+            ParserVerdict::Rejected => report.rejected += 1,
+            ParserVerdict::Violation(f) => report.findings.push(*f),
+        }
+    }
+
+    // Phase 2: AST-level mutation of generated well-typed programs.
+    let mut ast = AstMutator::new(config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    for i in 0..config.ast_iterations {
+        let base_seed = config.seed.wrapping_add(i as u64) % 997;
+        let base = random_program(base_seed, &GenConfig::default());
+        let mutation = ast.mutate(&base);
+        let src = program_to_string(&mutation.program);
+        report.execs += 1;
+        match check_parser_input(&src) {
+            ParserVerdict::Accepted(prog) => {
+                report.accepted += 1;
+                // Mutants that still pass priority inference feed the
+                // differential driver; inference itself must not panic.
+                match catch_unwind(AssertUnwindSafe(|| infer_program(&prog).map_err(Box::new))) {
+                    Err(payload) => report.findings.push(Finding {
+                        kind: FindingKind::Panic,
+                        input: src,
+                        detail: format!(
+                            "infer_program panicked (op {}): {}",
+                            mutation.op,
+                            panic_message(&*payload)
+                        ),
+                    }),
+                    Ok(Ok(_)) => {
+                        report.inferred += 1;
+                        if report.differential_corpus.len() < config.max_accepted {
+                            report.differential_corpus.push(*prog);
+                        }
+                    }
+                    Ok(Err(_)) => {} // ill-typed mutant, cleanly rejected
+                }
+            }
+            ParserVerdict::Rejected => report.rejected += 1,
+            ParserVerdict::Violation(f) => report.findings.push(*f),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_accepted_by_the_oracle() {
+        for (name, src, _) in progs::sources::all() {
+            match check_parser_input(src) {
+                ParserVerdict::Accepted(_) => {}
+                other => panic!("{name}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_in_bounds() {
+        for src in ["", "\n\n", "priorities:", "@@@@", "priorities: a\nret ("] {
+            match check_parser_input(src) {
+                ParserVerdict::Rejected => {}
+                other => panic!("{src:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_campaign_is_clean() {
+        let report = run_parser_campaign(&ParserCampaignConfig {
+            byte_iterations: 300,
+            ast_iterations: 60,
+            generated_bases: 4,
+            ..ParserCampaignConfig::default()
+        });
+        assert!(report.clean(), "findings: {:#?}", report.findings);
+        assert_eq!(report.execs, 360);
+        assert!(report.rejected > 0, "mutation must produce rejects");
+        assert!(report.accepted > 0, "mutation must produce accepts");
+    }
+}

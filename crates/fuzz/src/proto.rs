@@ -1,0 +1,480 @@
+//! The rp_net protocol campaign: seeded envelope- and body-level mutation
+//! against a **live** server over real loopback TCP.
+//!
+//! The wire protocol is two-layer — a `u32`-length/`u64`-request-id
+//! envelope around a class-tagged body — and the campaign attacks both
+//! layers separately, because the server's obligations differ:
+//!
+//! * **body mutation** (envelope intact): the frame reaches the decoder,
+//!   so the server must *answer* it — `Malformed` when the decoder rejects
+//!   the body (and the server's rejection must agree with an in-process
+//!   decode of the same bytes), any response when it still parses.  In
+//!   addition, no mutated body may panic [`decode_request`] in-process.
+//! * **envelope mutation** (whole frame mangled): the server may no longer
+//!   be able to attribute bytes to a frame, so the obligation is liveness:
+//!   every locally-reconstructible frame is answered, or the connection is
+//!   cleanly closed; a connection left waiting for more bytes (a mutated
+//!   length promising more than was sent) is legitimate — the campaign
+//!   closes it and the server must reclaim it.
+//!
+//! After the storm the server must still serve a fresh well-formed probe,
+//! drain, and shut down with every shard/reactor/admin thread reclaimed
+//! (`/proc/self/task` settle check, same discipline as the chaos suite).
+
+use crate::byte_fuzz::ByteMutator;
+use crate::panic_message;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_apps::harness::{take_socket_frame, write_socket_frame};
+use rp_net::protocol::{
+    body_is_admin, decode_request, decode_response, encode_admin_request, encode_request, AdminOp,
+    AdminRequest, AppOp, ErrorCode, MetricsFormat, Request, Response,
+};
+use rp_net::server::{NetServer, NetServerConfig};
+use rp_sim::latency::LatencyModel;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Configuration of one protocol campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolCampaignConfig {
+    /// RNG seed for the mutation streams.
+    pub seed: u64,
+    /// Mutated *bodies* sent inside intact envelopes.
+    pub body_frames: usize,
+    /// Connections carrying whole-frame (envelope) mutations.
+    pub envelope_conns: usize,
+    /// Server shard threads.
+    pub shards: usize,
+    /// Runtime workers.
+    pub workers: usize,
+}
+
+impl Default for ProtocolCampaignConfig {
+    fn default() -> Self {
+        ProtocolCampaignConfig {
+            seed: 0x0F12_2ED0,
+            body_frames: 400,
+            envelope_conns: 48,
+            shards: 2,
+            workers: 2,
+        }
+    }
+}
+
+/// The outcome of a protocol campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolCampaignReport {
+    /// Body-mutation frames sent (all inside valid envelopes).
+    pub body_frames_sent: u64,
+    /// Body-mutation frames answered (must equal `body_frames_sent`).
+    pub body_frames_answered: u64,
+    /// Bodies the in-process decoder rejected (data-plane bodies only).
+    pub locally_malformed: u64,
+    /// The server's decode-error counter after the body phase.
+    pub server_decode_errors: u64,
+    /// Envelope-mutation connections opened.
+    pub envelope_conns: u64,
+    /// ... of which ended in an orderly close by the server.
+    pub envelope_closed: u64,
+    /// ... of which had every locally-reconstructible frame answered.
+    pub envelope_answered: u64,
+    /// ... of which were abandoned mid-frame by the campaign (mutated
+    /// length field promised more bytes than were sent — no obligation).
+    pub envelope_abandoned: u64,
+    /// Liveness/agreement violations (campaign fails if non-empty).
+    pub violations: Vec<String>,
+}
+
+impl ProtocolCampaignReport {
+    /// Whether the server met every obligation.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|entries| entries.count())
+        .unwrap_or(0)
+}
+
+/// Base (well-formed) bodies the mutators start from: every data-plane
+/// class plus admin bodies — the data port must route mutated admin tags
+/// without wedging too.
+fn base_bodies() -> Vec<Vec<u8>> {
+    vec![
+        encode_request(&Request::App(AppOp::JserverJob { class: 1, seed: 5 })),
+        encode_request(&Request::App(AppOp::EmailPrint { user: 0, msg: 0 })),
+        encode_request(&Request::App(AppOp::ProxyGet {
+            url: "http://site/fuzz".into(),
+            body_if_missed: bytes::Bytes::from(b"protocol campaign".to_vec()),
+        })),
+        encode_request(&Request::Lambda {
+            source: "priorities: a\nprogram f : nat\nmain @ a:\n  ret 2\n".into(),
+        }),
+        encode_admin_request(&AdminRequest::new(AdminOp::Health)),
+        encode_admin_request(&AdminRequest::new(AdminOp::Metrics {
+            format: MetricsFormat::Json,
+        })),
+    ]
+}
+
+/// Reads frames until `want` answers arrive or the deadline passes.
+/// Returns the answered ids (an early close returns what was collected).
+fn collect_answers(
+    stream: &mut TcpStream,
+    want: usize,
+    deadline: Instant,
+    violations: &mut Vec<String>,
+    context: &str,
+) -> std::collections::HashMap<u64, Response> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut answered = std::collections::HashMap::new();
+    while answered.len() < want {
+        if Instant::now() >= deadline {
+            violations.push(format!(
+                "{context}: only {}/{want} frames answered before the deadline — wedged",
+                answered.len()
+            ));
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // server closed; caller decides if that is OK
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match take_socket_frame(&mut buf) {
+                        Ok(Some((id, body))) => match decode_response(&body) {
+                            Ok(resp) => {
+                                answered.insert(id, resp);
+                            }
+                            Err(e) => {
+                                violations
+                                    .push(format!("{context}: undecodable response frame: {e}"));
+                            }
+                        },
+                        Ok(None) => break,
+                        Err(e) => {
+                            violations.push(format!("{context}: malformed response envelope: {e}"));
+                            return answered;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break, // reset counts as a close
+        }
+    }
+    answered
+}
+
+/// Sends one well-formed request on a fresh connection and requires an
+/// answer — the "is the server still alive?" probe.
+fn probe(addr: SocketAddr, violations: &mut Vec<String>) {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("post-campaign probe could not connect: {e}"));
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let body = encode_request(&Request::App(AppOp::JserverJob { class: 1, seed: 9 }));
+    if let Err(e) = write_socket_frame(&mut stream, 1, &body) {
+        violations.push(format!("post-campaign probe send failed: {e}"));
+        return;
+    }
+    let answers = collect_answers(
+        &mut stream,
+        1,
+        Instant::now() + Duration::from_secs(30),
+        violations,
+        "post-campaign probe",
+    );
+    if !answers.contains_key(&1) {
+        violations.push("post-campaign probe was never answered".to_string());
+    }
+}
+
+/// Runs the full protocol campaign against a freshly started server.
+pub fn run_protocol_campaign(config: &ProtocolCampaignConfig) -> ProtocolCampaignReport {
+    let mut report = ProtocolCampaignReport {
+        body_frames_sent: 0,
+        body_frames_answered: 0,
+        locally_malformed: 0,
+        server_decode_errors: 0,
+        envelope_conns: 0,
+        envelope_closed: 0,
+        envelope_answered: 0,
+        envelope_abandoned: 0,
+        violations: Vec::new(),
+    };
+    let baseline_threads = thread_count();
+    let server = match NetServer::start(NetServerConfig {
+        shards: config.shards,
+        workers: config.workers,
+        io_latency: LatencyModel::Constant { micros: 100 },
+        ..NetServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            report
+                .violations
+                .push(format!("server failed to start: {e}"));
+            return report;
+        }
+    };
+    let addr = server.addr();
+    let bases = base_bodies();
+
+    // ---- Phase 1: body mutation inside intact envelopes -----------------
+    let mut mutator = ByteMutator::new(config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB0D7);
+    let mut bodies: Vec<(Vec<u8>, bool)> = Vec::with_capacity(config.body_frames);
+    for i in 0..config.body_frames {
+        let base = &bases[i % bases.len()];
+        let mut body = mutator.mutate(base, &bases);
+        if body.is_empty() {
+            body.push(rng.gen_range(0..=255u8));
+        }
+        // In-process oracle: the decoder must classify, never panic.  Admin
+        // tags route around the data-plane decoder, so they do not count
+        // toward the decode-error agreement check.
+        let is_admin = body_is_admin(&body);
+        let locally_rejected =
+            match catch_unwind(AssertUnwindSafe(|| decode_request(&body).is_err())) {
+                Ok(rejected) => rejected,
+                Err(payload) => {
+                    report.violations.push(format!(
+                        "decode_request panicked on mutated body {i}: {}",
+                        panic_message(&*payload)
+                    ));
+                    true
+                }
+            };
+        bodies.push((body, !is_admin && locally_rejected));
+    }
+    // Pipeline the frames over a handful of connections, chaos-suite style.
+    let conns = 4usize;
+    let per_conn = bodies.len().div_ceil(conns);
+    for (c, chunk_bodies) in bodies.chunks(per_conn).enumerate() {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("body-phase connect {c} failed: {e}"));
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        for (i, (body, _)) in chunk_bodies.iter().enumerate() {
+            if write_socket_frame(&mut stream, i as u64, body).is_err() {
+                report
+                    .violations
+                    .push(format!("body-phase send failed on connection {c}"));
+                break;
+            }
+            report.body_frames_sent += 1;
+        }
+        let answered = collect_answers(
+            &mut stream,
+            chunk_bodies.len(),
+            Instant::now() + Duration::from_secs(60),
+            &mut report.violations,
+            &format!("body-phase connection {c}"),
+        );
+        report.body_frames_answered += answered.len() as u64;
+        if answered.len() < chunk_bodies.len() {
+            report.violations.push(format!(
+                "body-phase connection {c}: {}/{} mutated frames answered — well-formed \
+                 envelopes must always be answered",
+                answered.len(),
+                chunk_bodies.len()
+            ));
+        }
+        // Locally-rejected data-plane bodies must be answered `Malformed`.
+        for (i, (_, locally_rejected)) in chunk_bodies.iter().enumerate() {
+            if !locally_rejected {
+                continue;
+            }
+            match answered.get(&(i as u64)) {
+                Some(Response::Error {
+                    code: ErrorCode::Malformed,
+                    ..
+                })
+                | None => {}
+                Some(other) => report.violations.push(format!(
+                    "body-phase connection {c} frame {i}: locally rejected but answered {other:?}"
+                )),
+            }
+        }
+    }
+    report.locally_malformed = bodies.iter().filter(|(_, r)| *r).count() as u64;
+    report.server_decode_errors = server.stats().decode_errors;
+    if report.server_decode_errors != report.locally_malformed {
+        report.violations.push(format!(
+            "server counted {} decode errors, the in-process decoder rejected {} bodies — \
+             the two decoders disagree on what is malformed",
+            report.server_decode_errors, report.locally_malformed
+        ));
+    }
+
+    // ---- Phase 2: whole-frame (envelope) mutation -----------------------
+    let mut env_mutator = ByteMutator::new(config.seed ^ 0xE57E_10FE);
+    for c in 0..config.envelope_conns {
+        report.envelope_conns += 1;
+        let base_body = &bases[c % bases.len()];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(
+            &u32::try_from(8 + base_body.len())
+                .expect("base frames fit")
+                .to_be_bytes(),
+        );
+        frame.extend_from_slice(&(c as u64).to_be_bytes());
+        frame.extend_from_slice(base_body);
+        let blob = env_mutator.mutate(&frame, std::slice::from_ref(&frame));
+        // Local reconstruction decides the server's obligation.
+        let mut local = blob.clone();
+        let mut expected_ids = Vec::new();
+        let envelope_broken = loop {
+            match take_socket_frame(&mut local) {
+                Ok(Some((id, _))) => expected_ids.push(id),
+                Ok(None) => break false,
+                Err(_) => break true,
+            }
+        };
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("envelope-phase connect {c} failed: {e}"));
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        if stream.write_all(&blob).is_err() {
+            // The server closed while we wrote (e.g. an earlier byte already
+            // made the envelope malformed) — that is a clean close.
+            report.envelope_closed += 1;
+            continue;
+        }
+        if envelope_broken {
+            // The stream contains an unambiguously malformed envelope: the
+            // server must answer anything reconstructible before it and
+            // then close.  Wait for the close.
+            let deadline = Instant::now() + Duration::from_secs(20);
+            let mut chunk = [0u8; 4096];
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        report.envelope_closed += 1;
+                        break;
+                    }
+                    Ok(_) => {} // late answers before the close are fine
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if Instant::now() >= deadline {
+                            report.violations.push(format!(
+                                "envelope-phase connection {c}: malformed envelope neither \
+                                 answered nor closed — wedged"
+                            ));
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        report.envelope_closed += 1; // reset counts as closed
+                        break;
+                    }
+                }
+            }
+        } else if expected_ids.is_empty() {
+            // Incomplete frame: the server is legitimately waiting for more
+            // bytes.  No obligation; close our end and move on.
+            report.envelope_abandoned += 1;
+        } else {
+            // Complete, well-formed frames: each must be answered (the
+            // server may close afterwards if trailing bytes were mangled,
+            // and may drop unwritten answers *with* the close).
+            let answers = collect_answers(
+                &mut stream,
+                expected_ids.len(),
+                Instant::now() + Duration::from_secs(30),
+                &mut Vec::new(), // a close here is legitimate; check below
+                &format!("envelope-phase connection {c}"),
+            );
+            if answers.len() == expected_ids.len() {
+                report.envelope_answered += 1;
+            } else {
+                // Tolerated only if the server actually closed the
+                // connection (observable as instant EOF on another read).
+                let mut one = [0u8; 1];
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                match stream.read(&mut one) {
+                    Ok(0) | Err(_) => report.envelope_closed += 1,
+                    Ok(_) => report.violations.push(format!(
+                        "envelope-phase connection {c}: {}/{} frames answered and the \
+                         connection stayed open — wedged frames",
+                        answers.len(),
+                        expected_ids.len()
+                    )),
+                }
+            }
+        }
+    }
+
+    // ---- Liveness after the storm ---------------------------------------
+    probe(addr, &mut report.violations);
+    if !server.drain(Duration::from_secs(10)) {
+        report
+            .violations
+            .push("server did not drain after the campaign".to_string());
+    }
+    server.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if thread_count() <= baseline_threads {
+            break;
+        }
+        if Instant::now() >= deadline {
+            report.violations.push(format!(
+                "{} threads alive after shutdown, baseline {} — leaked threads",
+                thread_count(),
+                baseline_threads
+            ));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small campaign must complete clean.  Serial by nature (it counts
+    /// `/proc/self/task`), so it tolerates sibling-test threads by
+    /// measuring its own baseline first.
+    #[test]
+    fn a_small_protocol_campaign_is_clean() {
+        let report = run_protocol_campaign(&ProtocolCampaignConfig {
+            body_frames: 60,
+            envelope_conns: 8,
+            ..ProtocolCampaignConfig::default()
+        });
+        assert!(report.clean(), "violations: {:#?}", report.violations);
+        assert_eq!(report.body_frames_sent, 60);
+        assert_eq!(report.body_frames_answered, 60);
+        assert!(report.locally_malformed > 0, "mutation produced no rejects");
+    }
+}

@@ -1,0 +1,47 @@
+//! Replays every checked-in crash-corpus entry on every `cargo test` run:
+//! any input that ever violated a campaign invariant (plus the hand-written
+//! seeds) must stay fixed forever.
+
+use rp_fuzz::corpus::{parser_entries, protocol_entries};
+use rp_fuzz::parser::{check_parser_input, ParserVerdict};
+use rp_net::protocol::{body_is_admin, decode_request};
+use std::panic::catch_unwind;
+
+#[test]
+fn every_parser_corpus_entry_replays_clean() {
+    let entries = parser_entries();
+    assert!(!entries.is_empty(), "parser corpus must not be empty");
+    for entry in entries {
+        // Accepted and rejected are both fine — the corpus pins *invariant*
+        // regressions (panics, broken round trips, bad error positions),
+        // not acceptance.
+        let src = String::from_utf8_lossy(&entry.bytes).into_owned();
+        if let ParserVerdict::Violation(finding) = check_parser_input(&src) {
+            panic!(
+                "corpus/parser/{}.l4i regressed ({}): {}",
+                entry.name,
+                finding.kind.label(),
+                finding.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn every_protocol_corpus_entry_replays_clean() {
+    let entries = protocol_entries();
+    assert!(!entries.is_empty(), "protocol corpus must not be empty");
+    for entry in entries {
+        // The decoder must classify (accept or reject) without unwinding,
+        // and the admin-tag probe must never panic either.
+        let outcome = catch_unwind(|| {
+            let _ = decode_request(&entry.bytes);
+            let _ = body_is_admin(&entry.bytes);
+        });
+        assert!(
+            outcome.is_ok(),
+            "corpus/protocol/{}.bin regressed: decoder panicked",
+            entry.name
+        );
+    }
+}

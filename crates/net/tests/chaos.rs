@@ -18,7 +18,8 @@ use rp_apps::harness::{
     drive_socket_open, take_socket_frame, write_socket_frame, ResilienceConfig, SocketLoadConfig,
 };
 use rp_net::protocol::{
-    decode_request, decode_response, encode_request, AppOp, ErrorCode, Request, Response,
+    decode_request, decode_response, encode_admin_request, encode_request, AdminOp, AdminRequest,
+    AppOp, ErrorCode, MetricsFormat, Request, Response,
 };
 use rp_net::server::{NetServer, NetServerConfig};
 use rp_sim::latency::LatencyModel;
@@ -399,4 +400,169 @@ fn mutation_sweep_over_decode_never_panics_and_is_always_answered() {
     );
     server.shutdown();
     assert_threads_settle(baseline, "mutation sweep");
+}
+
+/// Satellite: the telemetry plane under fire.  Mutated admin bodies inside
+/// intact envelopes, a data-plane body on the admin port, a wrong admin
+/// version, a malformed envelope, and a mid-frame disconnect — all while
+/// the *data* plane runs with server-side fault injection enabled.  The
+/// admin listener must answer every complete frame (or cleanly drop the
+/// connection on a broken envelope), keep serving afterwards, reconcile
+/// `admin_requests` exactly, never touch the data-plane counters, and its
+/// dedicated thread must not leak on shutdown.
+#[test]
+fn mutated_admin_frames_never_wedge_the_admin_plane_or_touch_data_counters() {
+    let _gate = GATE.lock().unwrap();
+    let baseline = thread_count();
+    // Data-plane fault injection on: the admin plane must be immune to it.
+    let server = small_server(Some(FaultConfig::chaos(0xAD_31_7E_57, 0.05)));
+    let admin_addr = server.admin_addr();
+    let before = server.stats();
+
+    // Phase 1: mutated admin bodies inside intact envelopes.  Every frame
+    // reaches `serve_admin` and must be answered — `Malformed` when the
+    // mutation breaks the body, a normal answer when it still parses.
+    let bases = [
+        encode_admin_request(&AdminRequest::new(AdminOp::Health)),
+        encode_admin_request(&AdminRequest::new(AdminOp::Metrics {
+            format: MetricsFormat::Json,
+        })),
+        encode_admin_request(&AdminRequest::new(AdminOp::Metrics {
+            format: MetricsFormat::Prometheus,
+        })),
+        encode_admin_request(&AdminRequest::new(AdminOp::TraceSummary)),
+        encode_admin_request(&AdminRequest::new(AdminOp::SlowLog { max: 4 })),
+        // Wrong version byte: decodes, then fails the version policy.
+        encode_admin_request(&AdminRequest {
+            version: 0xEE,
+            op: AdminOp::Health,
+        }),
+        // A data-plane body on the admin port: not admin-tagged, must be
+        // answered `Malformed`, not routed into the runtime.
+        cheap_request(3),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xAD_F0_0D);
+    let mut sent = 0u64;
+    let mut stream = TcpStream::connect(admin_addr).expect("admin connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("timeout");
+    for i in 0..120usize {
+        let mut body = bases[i % bases.len()].clone();
+        for _ in 0..rng.gen_range(0..3) {
+            if body.is_empty() {
+                break;
+            }
+            let at = rng.gen_range(0..body.len());
+            body[at] ^= 1u8 << rng.gen_range(0..8u8);
+        }
+        write_socket_frame(&mut stream, i as u64, &body).expect("send admin frame");
+        sent += 1;
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut answered = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while answered < sent {
+        assert!(
+            Instant::now() < deadline,
+            "only {answered}/{sent} admin frames answered — admin plane wedged"
+        );
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("admin connection dropped after {answered} answers"),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some((_, body)) = take_socket_frame(&mut buf).expect("valid frame") {
+                    let resp = decode_response(&body).expect("decodable admin response");
+                    assert!(
+                        matches!(resp, Response::Admin { .. } | Response::Error { .. }),
+                        "admin port answered a data-plane response: {resp:?}"
+                    );
+                    answered += 1;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("admin storm read: {e}"),
+        }
+    }
+    drop(stream);
+
+    // Phase 2: a malformed envelope (length field below the 8-byte id
+    // minimum) — the connection must be dropped, not served or wedged.
+    let mut evil = TcpStream::connect(admin_addr).expect("admin connect");
+    evil.write_all(&[0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef])
+        .expect("send malformed envelope");
+    drain_until_close(&mut evil, "admin malformed envelope");
+
+    // Phase 3: a mid-frame disconnect — a length promising more bytes than
+    // ever arrive, then a hangup.  The listener must just reclaim it.
+    let mut torn = TcpStream::connect(admin_addr).expect("admin connect");
+    torn.write_all(&[0, 0, 1, 0, 0, 0])
+        .expect("send torn frame");
+    drop(torn);
+
+    // The admin plane is still alive: a fresh well-formed Health probe is
+    // answered first try (no fault injection exists on this plane).
+    let mut probe = TcpStream::connect(admin_addr).expect("admin probe connect");
+    probe
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("timeout");
+    write_socket_frame(
+        &mut probe,
+        7,
+        &encode_admin_request(&AdminRequest::new(AdminOp::Health)),
+    )
+    .expect("probe send");
+    let mut buf = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let health = loop {
+        assert!(
+            Instant::now() < deadline,
+            "admin health probe never answered"
+        );
+        match probe.read(&mut chunk) {
+            Ok(0) => panic!("admin probe connection closed without an answer"),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some((id, body)) = take_socket_frame(&mut buf).expect("valid frame") {
+                    assert_eq!(id, 7);
+                    break decode_response(&body).expect("valid response");
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("admin probe read: {e}"),
+        }
+    };
+    assert!(
+        matches!(health, Response::Admin { .. }),
+        "health probe after the storm: {health:?}"
+    );
+
+    // Counter reconciliation: the storm was admin-only, so the data-plane
+    // counters are untouched, and `admin_requests` counts exactly the
+    // complete frames that reached `serve_admin` (the storm + the probe;
+    // the malformed envelope and the torn frame never completed a frame).
+    let after = server.stats();
+    assert_eq!(after.frames_received, before.frames_received);
+    assert_eq!(after.responses_sent, before.responses_sent);
+    assert_eq!(after.decode_errors, before.decode_errors);
+    assert_eq!(after.per_class, before.per_class);
+    assert_eq!(
+        after.admin_requests,
+        before.admin_requests + sent + 1,
+        "admin_requests must reconcile against the frames actually served"
+    );
+
+    // The data plane still works too (its faults may close a probe's
+    // connection, so allow retries, as in the fault test above).
+    let addr = server.addr();
+    let served = (0..10).any(|_| std::panic::catch_unwind(|| probe_roundtrip(addr)).is_ok());
+    assert!(served, "data plane wedged after an admin-only storm");
+
+    server.shutdown();
+    assert_threads_settle(baseline, "admin storm");
 }

@@ -424,6 +424,10 @@ mod tests {
         let sol = solve(&d, &[v("a"), v("b")], &cs).unwrap();
         assert_eq!(sol.level_of(&v("a")), d.priority("mid"));
         assert_eq!(sol.level_of(&v("b")), d.priority("mid"));
+        // The fixpoint's var–var pruning alone must resolve the chain — if
+        // it silently stops pruning, the brute-force search fallback would
+        // still find the right levels and mask the regression.
+        assert!(!sol.searched, "var–var chain should not need the search");
     }
 
     #[test]

@@ -166,7 +166,10 @@ fn run_dashboard(addr: SocketAddr, args: &Args) {
             },
         );
         let now = Instant::now();
-        let cur = Exposition::parse(&text);
+        let cur = Exposition::parse(&text).unwrap_or_else(|e| {
+            eprintln!("rp-stat: malformed exposition from {addr}: {e}");
+            std::process::exit(1);
+        });
         let elapsed = prev
             .as_ref()
             .map_or(args.interval, |(_, at)| now.duration_since(*at));

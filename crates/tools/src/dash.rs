@@ -202,7 +202,7 @@ rp_slow_log_entries 3
 
     #[test]
     fn renders_every_section() {
-        let cur = Exposition::parse(SAMPLE);
+        let cur = Exposition::parse(SAMPLE).expect("fixture exposition scans");
         let frame = render(None, &cur, Duration::from_secs(1));
         assert!(frame.contains("lifecycle: running"));
         assert!(frame.contains("lambda"));
@@ -214,8 +214,9 @@ rp_slow_log_entries 3
 
     #[test]
     fn rates_come_from_the_previous_poll() {
-        let prev = Exposition::parse("rp_frames_received_total 100\n");
-        let cur = Exposition::parse("rp_frames_received_total 300\nrp_lifecycle 1\n");
+        let prev = Exposition::parse("rp_frames_received_total 100\n").expect("scans");
+        let cur =
+            Exposition::parse("rp_frames_received_total 300\nrp_lifecycle 1\n").expect("scans");
         let frame = render(Some(&prev), &cur, Duration::from_secs(2));
         assert!(frame.contains("(+100.0/s)"), "{frame}");
         assert!(frame.contains("DRAINING"));

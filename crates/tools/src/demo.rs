@@ -170,7 +170,7 @@ mod tests {
             Duration::from_secs(5),
         )
         .expect("scrape succeeds");
-        let exp = crate::prom::Exposition::parse(&text);
+        let exp = crate::prom::Exposition::parse(&text).expect("server exposition scans");
         assert!(exp.value("rp_responses_sent_total").unwrap_or(0.0) > 0.0);
         demo.stop();
     }

@@ -1,8 +1,18 @@
-//! A minimal parser for the Prometheus text exposition format — exactly
-//! the subset [`rp_net::telemetry::TelemetrySnapshot::to_prometheus`]
+//! A minimal parser and renderer for the Prometheus text exposition format
+//! — exactly the subset [`rp_net::telemetry::TelemetrySnapshot::to_prometheus`]
 //! emits: `# HELP`/`# TYPE` comment lines and `name{k="v",...} value`
 //! samples.  No dependency, no allocation tricks; the dashboard polls a
 //! few kilobytes per frame.
+//!
+//! Parsing is **strict**: a non-comment line that does not scan is an
+//! error carrying its 1-based line number, not a silently dropped sample.
+//! A dashboard that quietly ignores lines it cannot read will happily
+//! render half a telemetry plane as if it were all of it; rejecting loudly
+//! turns an emitter/scraper drift into a visible failure.  [`Exposition::render`]
+//! is the exact inverse on the sample lines: `render ∘ parse ∘ render = render`
+//! byte-for-byte (comments are not retained).
+
+use std::fmt;
 
 /// One sample line of an exposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,7 +33,45 @@ impl Sample {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Renders the sample as one exposition line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape(v));
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        out.push_str(&format_value(self.value));
+        out
+    }
 }
+
+/// Why an exposition failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PromParseError {}
 
 /// A parsed exposition: the sample lines, in order.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,13 +81,44 @@ pub struct Exposition {
 }
 
 impl Exposition {
-    /// Parses an exposition, skipping comments, blank lines, and lines
-    /// that do not scan (forward compatibility beats strictness in a
-    /// dashboard).
-    pub fn parse(text: &str) -> Exposition {
-        Exposition {
-            samples: text.lines().filter_map(parse_line).collect(),
+    /// Parses an exposition.  Comments and blank lines are skipped; any
+    /// other line that does not scan as `name{k="v",...} value` is an
+    /// error carrying its 1-based line number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PromParseError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Exposition, PromParseError> {
+        let mut samples = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match parse_line(trimmed) {
+                Ok(sample) => samples.push(sample),
+                Err(reason) => {
+                    return Err(PromParseError {
+                        line: i + 1,
+                        reason,
+                    })
+                }
+            }
         }
+        Ok(Exposition { samples })
+    }
+
+    /// Renders the samples back to exposition text, one line each, with a
+    /// trailing newline.  The exact inverse of [`Exposition::parse`] on
+    /// sample lines: `render(parse(render(e))) == render(e)` byte-for-byte
+    /// (`f64` `Display` round-trips through `parse`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for sample in &self.samples {
+            out.push_str(&sample.render());
+            out.push('\n');
+        }
+        out
     }
 
     /// The first sample of a family, regardless of labels.
@@ -77,52 +156,103 @@ impl Exposition {
     }
 }
 
-fn parse_line(line: &str) -> Option<Sample> {
-    let line = line.trim();
-    if line.is_empty() || line.starts_with('#') {
-        return None;
+/// Whether `name` is a valid metric/label identifier
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
     }
-    let (head, value) = line.rsplit_once(' ')?;
-    let value: f64 = value.parse().ok()?;
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "no space between series and value".to_string())?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("unparsable value `{value}`"))?;
     let (name, labels) = match head.split_once('{') {
         None => (head.to_string(), Vec::new()),
         Some((name, rest)) => {
-            let body = rest.strip_suffix('}')?;
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unclosed label braces".to_string())?;
             let mut labels = Vec::new();
-            for pair in split_label_pairs(body) {
-                let (k, v) = pair.split_once('=')?;
-                let v = v.strip_prefix('"')?.strip_suffix('"')?;
-                labels.push((k.trim().to_string(), unescape(v)));
+            for pair in split_label_pairs(body)? {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label pair `{pair}` has no `=`"))?;
+                let k = k.trim();
+                if !valid_name(k) {
+                    return Err(format!("invalid label name `{k}`"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("label value of `{k}` is not quoted"))?;
+                labels.push((k.to_string(), unescape(v)));
             }
             (name.to_string(), labels)
         }
     };
-    Some(Sample {
+    if !valid_name(&name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    Ok(Sample {
         name,
         labels,
         value,
     })
 }
 
-/// Splits `k1="v1",k2="v2"` on commas outside quotes.
-fn split_label_pairs(body: &str) -> Vec<&str> {
+/// Splits `k1="v1",k2="v2"` on commas outside quotes (backslash-escape
+/// aware).  An empty pair (`,,` or a trailing comma) is an error.
+fn split_label_pairs(body: &str) -> Result<Vec<&str>, String> {
     let mut out = Vec::new();
-    let mut depth_quote = false;
+    if body.is_empty() {
+        return Ok(out);
+    }
+    let mut in_quote = false;
+    let mut escaped = false;
     let mut start = 0;
     for (i, c) in body.char_indices() {
         match c {
-            '"' => depth_quote = !depth_quote,
-            ',' if !depth_quote => {
-                if i > start {
-                    out.push(&body[start..i]);
+            _ if escaped => escaped = false,
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            ',' if !in_quote => {
+                if i == start {
+                    return Err("empty label pair".to_string());
                 }
+                out.push(&body[start..i]);
                 start = i + 1;
             }
             _ => {}
         }
     }
-    if start < body.len() {
-        out.push(&body[start..]);
+    if in_quote {
+        return Err("unterminated label value quote".to_string());
+    }
+    if start >= body.len() {
+        return Err("trailing comma in label set".to_string());
+    }
+    out.push(&body[start..]);
+    Ok(out)
+}
+
+/// Escapes a label value for rendering: the inverse of [`unescape`].
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
     }
     out
 }
@@ -144,9 +274,19 @@ fn unescape(v: &str) -> String {
     out
 }
 
+/// Renders a sample value the way the parser reads it back.  `f64`'s
+/// `Display` is the shortest decimal that round-trips, so
+/// `format_value(v).parse::<f64>() == v` exactly (including `inf`/`NaN`,
+/// which Rust both prints and parses).
+fn format_value(v: f64) -> String {
+    format!("{v}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn parses_plain_and_labelled_samples() {
@@ -157,7 +297,7 @@ rp_frames_received_total 42
 rp_request_latency_ns{class=\"lambda\",quantile=\"0.95\"} 1250000
 rp_request_latency_ns{class=\"app\",quantile=\"0.5\"} 9000
 ";
-        let exp = Exposition::parse(text);
+        let exp = Exposition::parse(text).expect("scans");
         assert_eq!(exp.samples.len(), 3);
         assert_eq!(exp.value("rp_frames_received_total"), Some(42.0));
         assert_eq!(
@@ -174,17 +314,102 @@ rp_request_latency_ns{class=\"app\",quantile=\"0.5\"} 9000
     }
 
     #[test]
-    fn tolerates_junk_lines_and_escaped_labels() {
-        let text = "not a sample line at all\nrp_x{msg=\"a,b \\\"q\\\"\"} 1\n";
-        let exp = Exposition::parse(text);
+    fn escaped_labels_parse_and_roundtrip() {
+        let text = "rp_x{msg=\"a,b \\\"q\\\"\"} 1\n";
+        let exp = Exposition::parse(text).expect("scans");
         assert_eq!(exp.samples.len(), 1);
         assert_eq!(exp.samples[0].label("msg"), Some("a,b \"q\""));
+        assert_eq!(exp.render(), text);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_with_positions() {
+        let cases = [
+            ("rp_ok 1\nnot a sample line at all\n", 2, "unparsable value"),
+            ("rp_x{a=\"1\"", 1, "no space"),
+            ("rp_x{a=\"1\"} x", 1, "unparsable value"),
+            ("rp_x{a=1} 2", 1, "not quoted"),
+            ("rp_x{a} 2", 1, "no `=`"),
+            ("rp_x{a=\"1\",} 2", 1, "trailing comma"),
+            ("rp_x{a=\"1} 2", 1, "unterminated"),
+            ("rp_x{2a=\"1\"} 2", 1, "invalid label name"),
+            ("2rp_x 1", 1, "invalid metric name"),
+            ("rp_x{a=\"1\"}extra 2", 1, "unclosed label braces"),
+        ];
+        for (text, line, needle) in cases {
+            let err = Exposition::parse(text).expect_err(text);
+            assert_eq!(err.line, line, "{text}: {err}");
+            assert!(
+                err.reason.contains(needle),
+                "{text}: expected `{needle}` in `{}`",
+                err.reason
+            );
+        }
+    }
+
+    /// The satellite property: seeded random expositions survive
+    /// `render → parse → render` byte-identically — label escaping and
+    /// `f64` formatting are exact inverses of the parser.
+    #[test]
+    fn seeded_render_parse_render_is_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(0x9120_77E2);
+        let names = ["rp_a", "rp_b_total", "rp:c", "x_1"];
+        let label_keys = ["class", "phase", "level", "q_2"];
+        let tricky = [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "new\nline",
+            ",comma,",
+            "",
+        ];
+        for case in 0..200 {
+            let mut samples = Vec::new();
+            for _ in 0..rng.gen_range(1..8usize) {
+                let mut labels = Vec::new();
+                for _ in 0..rng.gen_range(0..3usize) {
+                    labels.push((
+                        label_keys[rng.gen_range(0..label_keys.len())].to_string(),
+                        tricky[rng.gen_range(0..tricky.len())].to_string(),
+                    ));
+                }
+                // Mix of integers, small rationals, and raw f64 bit noise
+                // (finite only — the emitter never produces inf/NaN).
+                let value = match rng.gen_range(0..3u8) {
+                    0 => rng.gen_range(0..1_000_000u64) as f64,
+                    1 => rng.gen_range(0..1000u64) as f64 / 64.0,
+                    _ => {
+                        let v = f64::from_bits(rng.gen::<u64>());
+                        if v.is_finite() {
+                            v
+                        } else {
+                            0.5
+                        }
+                    }
+                };
+                samples.push(Sample {
+                    name: names[rng.gen_range(0..names.len())].to_string(),
+                    labels,
+                    value,
+                });
+            }
+            let exp = Exposition { samples };
+            let rendered = exp.render();
+            let reparsed = Exposition::parse(&rendered)
+                .unwrap_or_else(|e| panic!("case {case}: render does not scan: {e}\n{rendered}"));
+            assert_eq!(reparsed, exp, "case {case}: parse is not inverse");
+            assert_eq!(
+                reparsed.render(),
+                rendered,
+                "case {case}: render is not stable"
+            );
+        }
     }
 
     #[test]
     fn roundtrips_a_real_server_exposition() {
-        // Sanity against the real emitter: every non-comment line the
-        // server produces must scan.
+        // Sanity against the real emitter: everything the server produces
+        // must scan, and the parsed view must round-trip stably.
         let server = rp_net::server::NetServer::start(rp_net::server::NetServerConfig {
             shards: 1,
             workers: 1,
@@ -196,9 +421,13 @@ rp_request_latency_ns{class=\"app\",quantile=\"0.5\"} 9000
             .lines()
             .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
             .count();
-        let exp = Exposition::parse(&text);
+        let exp = Exposition::parse(&text).expect("server exposition scans");
         assert_eq!(exp.samples.len(), non_comment, "every sample line scans");
         assert!(exp.value("rp_connections_accepted_total").is_some());
+        let rendered = exp.render();
+        let reparsed = Exposition::parse(&rendered).expect("rendered exposition scans");
+        assert_eq!(reparsed, exp);
+        assert_eq!(reparsed.render(), rendered);
         server.shutdown();
     }
 }
